@@ -1,0 +1,409 @@
+(* The reproduction harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md's per-experiment index).
+
+     dune exec bench/main.exe                 full reproduction
+     dune exec bench/main.exe -- --quick      ~4x smaller workloads
+     dune exec bench/main.exe -- --fig4       one artifact only
+     dune exec bench/main.exe -- --ablations  design-choice ablations
+     dune exec bench/main.exe -- --micro      bechamel microbenchmarks
+
+   Everything is deterministic: identical invocations print identical
+   numbers. *)
+
+open Acsi_core
+module Policy = Acsi_policy.Policy
+module Workloads = Acsi_workloads.Workloads
+
+type mode = {
+  mutable table1 : bool;
+  mutable fig4 : bool;
+  mutable fig5 : bool;
+  mutable fig6 : bool;
+  mutable term_stats : bool;
+  mutable summary : bool;
+  mutable ablations : bool;
+  mutable micro : bool;
+  mutable scale_factor : float;
+}
+
+let parse_args () =
+  let m =
+    {
+      table1 = false;
+      fig4 = false;
+      fig5 = false;
+      fig6 = false;
+      term_stats = false;
+      summary = false;
+      ablations = false;
+      micro = false;
+      scale_factor = 1.0;
+    }
+  in
+  let any = ref false in
+  let rec go = function
+    | [] -> ()
+    | "--table1" :: rest ->
+        m.table1 <- true;
+        any := true;
+        go rest
+    | "--fig4" :: rest ->
+        m.fig4 <- true;
+        any := true;
+        go rest
+    | "--fig5" :: rest ->
+        m.fig5 <- true;
+        any := true;
+        go rest
+    | "--fig6" :: rest ->
+        m.fig6 <- true;
+        any := true;
+        go rest
+    | "--term-stats" :: rest ->
+        m.term_stats <- true;
+        any := true;
+        go rest
+    | "--summary" :: rest ->
+        m.summary <- true;
+        any := true;
+        go rest
+    | "--ablations" :: rest ->
+        m.ablations <- true;
+        any := true;
+        go rest
+    | "--micro" :: rest ->
+        m.micro <- true;
+        any := true;
+        go rest
+    | "--quick" :: rest ->
+        m.scale_factor <- 0.25;
+        go rest
+    | "--scale-factor" :: f :: rest ->
+        m.scale_factor <- float_of_string f;
+        go rest
+    | arg :: _ ->
+        Format.eprintf "unknown argument %s@." arg;
+        exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  if not !any then begin
+    (* Default: the full reproduction (micro excluded; it measures the
+       harness, not the paper). *)
+    m.table1 <- true;
+    m.fig4 <- true;
+    m.fig5 <- true;
+    m.fig6 <- true;
+    m.term_stats <- true;
+    m.summary <- true;
+    m.ablations <- true
+  end;
+  m
+
+let hr title =
+  Format.printf "@.%s@.%s@.@." title (String.make (String.length title) '=')
+
+(* --- the main sweep, shared by table1/fig4/fig5/fig6/summary --- *)
+
+let the_sweep = ref None
+
+let sweep mode =
+  match !the_sweep with
+  | Some s -> s
+  | None ->
+      let benches =
+        List.map
+          (fun (name, program) -> { Experiment.name; program })
+          (Workloads.build_all ~scale_factor:mode.scale_factor ())
+      in
+      let cfg = Config.default ~policy:Policy.Context_insensitive in
+      let s =
+        Experiment.run_sweep
+          ~progress:(fun msg -> Format.eprintf "  [sweep] %s@." msg)
+          cfg ~benches ~policies:Policy.paper_sweep
+      in
+      the_sweep := Some s;
+      s
+
+(* --- §4 in-text termination statistics --- *)
+
+let term_stats mode =
+  hr "Trace-termination statistics (paper section 4, in-text numbers)";
+  Format.printf
+    "Collected with the trace listener instrumented, under fixed(max=5).@.\
+     Paper: ~20%% of callees immediately parameterless; 50-80%% hit a@.\
+     parameterless method within 5 levels; 50-80%% hit a class (instance)@.\
+     method within 2 edges; ~50%% need 4+ edges to reach a large method.@.@.";
+  Format.printf "%-10s %10s %14s %12s %12s %12s@." "bench" "samples"
+    "callee-p-less" "p-less<=5" "class<=2" "large>=4";
+  List.iter
+    (fun (name, program) ->
+      let cfg = Config.default ~policy:(Policy.Fixed 5) in
+      let cfg =
+        {
+          cfg with
+          Config.aos =
+            {
+              cfg.Config.aos with
+              Acsi_aos.System.collect_termination_stats = true;
+            };
+        }
+      in
+      let result = Runtime.run cfg program in
+      let st = Acsi_aos.System.trace_stats result.Runtime.sys in
+      let n = max 1 st.Acsi_aos.Trace_listener.samples in
+      let pct x = 100.0 *. float_of_int x /. float_of_int n in
+      Format.printf "%-10s %10d %13.1f%% %11.1f%% %11.1f%% %11.1f%%@." name
+        st.Acsi_aos.Trace_listener.samples
+        (pct st.Acsi_aos.Trace_listener.callee_parameterless)
+        (pct st.Acsi_aos.Trace_listener.param_stop_within_5)
+        (pct st.Acsi_aos.Trace_listener.class_stop_within_2)
+        (pct st.Acsi_aos.Trace_listener.large_needs_4))
+    (Workloads.build_all ~scale_factor:mode.scale_factor ())
+
+(* --- ablations of the design choices DESIGN.md calls out --- *)
+
+let ablations mode =
+  hr "Ablations (DESIGN.md: key design decisions)";
+  let interesting = [ "db"; "javac"; "jbb" ] in
+  let programs =
+    List.filter
+      (fun (n, _) -> List.mem n interesting)
+      (Workloads.build_all ~scale_factor:mode.scale_factor ())
+  in
+  let run ?(tweak_aos = fun c -> c) ?(tweak_oracle = fun c -> c) program
+      policy =
+    let cfg = Config.default ~policy in
+    let aos = tweak_aos cfg.Config.aos in
+    let aos =
+      {
+        aos with
+        Acsi_aos.System.oracle_config =
+          tweak_oracle aos.Acsi_aos.System.oracle_config;
+      }
+    in
+    (Runtime.run { cfg with Config.aos } program).Runtime.metrics
+  in
+  let show name base m =
+    Format.printf
+      "  %-32s speedup %+7.2f%%  code %+8.2f%%  compile %+8.2f%%@." name
+      (Metrics.speedup_pct ~baseline:base m)
+      (Metrics.code_size_change_pct ~baseline:base m)
+      (Metrics.compile_time_change_pct ~baseline:base m)
+  in
+  List.iter
+    (fun (name, program) ->
+      Format.printf "@.%s (deltas vs context-insensitive baseline):@." name;
+      let base = run program Policy.Context_insensitive in
+      show "fixed(3), full system" base (run program (Policy.Fixed 3));
+      show "fixed(3), exact-match oracle" base
+        (run
+           ~tweak_oracle:(fun c ->
+             { c with Acsi_jit.Oracle.exact_match_only = true })
+           program (Policy.Fixed 3));
+      show "fixed(3), rules merged to edges" base
+        (run
+           ~tweak_aos:(fun c ->
+             { c with Acsi_aos.System.merge_rules_to_edges = true })
+           program (Policy.Fixed 3));
+      show "fixed(3), time-based tracing" base
+        (run
+           ~tweak_aos:(fun c ->
+             { c with Acsi_aos.System.trace_on_timer = true })
+           program (Policy.Fixed 3));
+      List.iter
+        (fun threshold ->
+          show
+            (Printf.sprintf "fixed(3), hot threshold %.1f%%"
+               (100.0 *. threshold))
+            base
+            (run
+               ~tweak_aos:(fun c ->
+                 { c with Acsi_aos.System.hot_edge_threshold = threshold })
+               program (Policy.Fixed 3)))
+        [ 0.005; 0.03 ];
+      show "fixed(3), no peephole optimizer" base
+        (run
+           ~tweak_oracle:(fun c -> { c with Acsi_jit.Oracle.peephole = false })
+           program (Policy.Fixed 3));
+      show "fixed(3), with OSR (extension)" base
+        (run
+           ~tweak_aos:(fun c -> { c with Acsi_aos.System.enable_osr = true })
+           program (Policy.Fixed 3));
+      (* Offline profile-directed inlining: seed the run with the profile a
+         previous identical run collected (see Acsi_profile.Persist). *)
+      let cfg = Config.default ~policy:(Policy.Fixed 3) in
+      let collect = Runtime.run cfg program in
+      let profile =
+        Acsi_profile.Persist.of_string
+          (Acsi_profile.Persist.to_string
+             (Acsi_aos.System.dcg collect.Runtime.sys))
+      in
+      show "fixed(3), offline-seeded profile" base
+        (Runtime.run ~profile cfg program).Runtime.metrics)
+    programs;
+  (* Representation comparison (paper section 6's future work): the flat
+     trace table vs the calling-context tree on each benchmark's final
+     profile. *)
+  Format.printf
+    "@.Profile representation sizes under fixed(max=4), flat trace-table entries vs CCT nodes:@.";
+  List.iter
+    (fun (name, program) ->
+      let result = Runtime.run (Config.default ~policy:(Policy.Fixed 4)) program in
+      let dcg = Acsi_aos.System.dcg result.Runtime.sys in
+      let cct = Acsi_profile.Cct.of_dcg dcg in
+      Format.printf "  %-10s flat=%4d entries   cct=%4d nodes (depth %d)@."
+        name
+        (Acsi_profile.Dcg.size dcg)
+        (Acsi_profile.Cct.node_count cct)
+        (Acsi_profile.Cct.max_depth cct))
+    programs
+
+(* --- extension: the §7 "more object-oriented programs" suite --- *)
+
+let extended mode =
+  hr "Extension: larger object-oriented programs (paper section 7)";
+  List.iter
+    (fun (spec : Workloads.spec) ->
+      let scale =
+        max 1
+          (int_of_float
+             (mode.scale_factor *. float_of_int spec.Workloads.default_scale))
+      in
+      let program = spec.Workloads.build ~scale in
+      let base =
+        (Runtime.run (Config.default ~policy:Policy.Context_insensitive)
+           program)
+          .Runtime.metrics
+      in
+      Format.printf "%s (%s):@." spec.Workloads.name spec.Workloads.description;
+      List.iter
+        (fun policy ->
+          let m = (Runtime.run (Config.default ~policy) program).Runtime.metrics in
+          Format.printf
+            "  %-18s speedup %+7.2f%%  code %+8.2f%%  compile %+8.2f%%               guards %d/%d@."
+            (Policy.to_string policy)
+            (Metrics.speedup_pct ~baseline:base m)
+            (Metrics.code_size_change_pct ~baseline:base m)
+            (Metrics.compile_time_change_pct ~baseline:base m)
+            m.Metrics.guard_hits m.Metrics.guard_misses)
+        Policy.
+          [ Fixed 2; Fixed 4; Parameterless 4; Hybrid_param_large 4 ])
+    Workloads.extended
+
+(* --- bechamel microbenchmarks: one Test.make per table/figure kernel --- *)
+
+let micro () =
+  hr "Bechamel microbenchmarks (one kernel per table/figure)";
+  let open Bechamel in
+  let program = (Workloads.find "db").Workloads.build ~scale:2 in
+  let jess = (Workloads.find "jess").Workloads.build ~scale:4 in
+  (* Table 1 kernel: program construction + characteristics scan. *)
+  let table1_kernel =
+    Test.make ~name:"table1/build+scan"
+      (Staged.stage (fun () ->
+           let p = (Workloads.find "jack").Workloads.build ~scale:1 in
+           ignore (Acsi_bytecode.Program.total_bytecodes p)))
+  in
+  (* Figure 4 kernel: a complete adaptive run (wall-clock datum). *)
+  let fig4_kernel =
+    Test.make ~name:"fig4/adaptive-run"
+      (Staged.stage (fun () ->
+           ignore (Runtime.run (Config.default ~policy:(Policy.Fixed 3)) jess)))
+  in
+  (* Figure 5 kernel: inline expansion + code-size accounting. *)
+  let oracle = Acsi_jit.Oracle.create program in
+  let hot_method =
+    Acsi_bytecode.Program.find_method program ~cls:"HashMap" ~name:"get"
+  in
+  let fig5_kernel =
+    Test.make ~name:"fig5/inline-expansion"
+      (Staged.stage (fun () ->
+           ignore
+             (Acsi_jit.Expand.compile program Acsi_vm.Cost.default oracle
+                ~root:hot_method)))
+  in
+  (* Figure 6 kernel: profile maintenance (the organizers' data path). *)
+  let mid = hot_method.Acsi_bytecode.Meth.id in
+  let entry = { Acsi_profile.Trace.caller = mid; callsite = 3 } in
+  let trace = Acsi_profile.Trace.make ~callee:mid ~chain:[ entry; entry ] in
+  let fig6_kernel =
+    Test.make ~name:"fig6/profile-maintenance"
+      (Staged.stage (fun () ->
+           let dcg = Acsi_profile.Dcg.create () in
+           for _ = 1 to 64 do
+             Acsi_profile.Dcg.add_sample dcg trace
+           done;
+           Acsi_profile.Dcg.decay dcg ~factor:0.95 ~prune_below:0.05;
+           ignore (Acsi_profile.Dcg.hot dcg ~threshold:0.015)))
+  in
+  (* Termination-stats kernel: the oracle's partial-match query. *)
+  let rules =
+    Acsi_profile.Rules.of_hot_traces [ (trace, 100.0); (trace, 50.0) ]
+  in
+  let term_kernel =
+    Test.make ~name:"term-stats/partial-match"
+      (Staged.stage (fun () ->
+           ignore
+             (Acsi_profile.Rules.candidates rules
+                ~site_chain:[| entry; entry; entry |])))
+  in
+  let tests =
+    Test.make_grouped ~name:"acsi"
+      [ table1_kernel; fig4_kernel; fig5_kernel; fig6_kernel; term_kernel ]
+  in
+  let benchmark () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    in
+    let raw = Benchmark.all cfg instances tests in
+    Analyze.all ols Toolkit.Instance.monotonic_clock raw
+  in
+  let results = benchmark () in
+  Format.printf "%-36s %16s@." "kernel" "ns/run (OLS)";
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Format.printf "%-36s %16.1f@." name est
+      | Some _ | None -> Format.printf "%-36s %16s@." name "n/a")
+    results
+
+let () =
+  let mode = parse_args () in
+  Format.printf
+    "Adaptive Online Context-Sensitive Inlining (CGO 2003) — reproduction \
+     harness@.scale factor %.2f@."
+    mode.scale_factor;
+  if mode.table1 then begin
+    hr "Table 1";
+    Report.table1 Format.std_formatter (sweep mode);
+    Format.print_newline ()
+  end;
+  if mode.fig4 then begin
+    hr "Figure 4";
+    Report.figure4 Format.std_formatter (sweep mode)
+  end;
+  if mode.fig5 then begin
+    hr "Figure 5";
+    Report.figure5 Format.std_formatter (sweep mode)
+  end;
+  if mode.fig6 then begin
+    hr "Figure 6";
+    Report.figure6 Format.std_formatter (sweep mode);
+    Format.print_newline ()
+  end;
+  if mode.term_stats then term_stats mode;
+  if mode.summary then begin
+    hr "Summary";
+    Report.summary Format.std_formatter (sweep mode);
+    Format.print_newline ()
+  end;
+  if mode.ablations then begin
+    ablations mode;
+    extended mode
+  end;
+  if mode.micro then micro ();
+  Format.printf "@.done.@."

@@ -1,0 +1,189 @@
+(* Command-line driver: run one benchmark under one context-sensitivity
+   policy and print the run's metrics, optionally with the compilation log
+   and the baseline comparison the paper's figures are built from. *)
+
+open Acsi_core
+
+let list_benchmarks () =
+  Format.printf "@[<v>Available benchmarks:@,";
+  List.iter
+    (fun (s : Acsi_workloads.Workloads.spec) ->
+      Format.printf "  %-10s %s (default scale %d)@,"
+        s.Acsi_workloads.Workloads.name s.description s.default_scale)
+    Acsi_workloads.Workloads.all;
+  Format.printf "@]%!";
+  0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Print the installed code of every method whose (unmangled) name
+   contains [pattern]: the post-run view of what the JIT produced. *)
+let disassemble program vm pattern =
+  Array.iter
+    (fun (m : Acsi_bytecode.Meth.t) ->
+      let name = m.Acsi_bytecode.Meth.name in
+      let matches =
+        let n = String.length name and k = String.length pattern in
+        let rec go i =
+          i + k <= n
+          && (String.equal (String.sub name i k) pattern || go (i + 1))
+        in
+        go 0
+      in
+      if matches then begin
+        let code = Acsi_vm.Interp.code_of vm m.Acsi_bytecode.Meth.id in
+        Format.printf "@.%a@." Acsi_vm.Code.pp code
+      end)
+    (Acsi_bytecode.Program.methods program)
+
+let run_one ~bench ~file ~policy_str ~scale ~compare_baseline
+    ~show_compilations ~disasm =
+  match Acsi_policy.Policy.of_string policy_str with
+  | None ->
+      Format.eprintf
+        "unknown policy %S (try: cins, fixed(max=3), paramLess(max=4), \
+         class, large, hybrid1, hybrid2, resolve)@."
+        policy_str;
+      2
+  | Some policy -> (
+      match Acsi_workloads.Workloads.find bench with
+      | exception Not_found ->
+          Format.eprintf "unknown benchmark %S (use --list)@." bench;
+          2
+      | spec ->
+          let scale =
+            match scale with
+            | Some s -> s
+            | None -> spec.Acsi_workloads.Workloads.default_scale
+          in
+          let program =
+            match file with
+            | Some path -> Acsi_lang.Parser.compile (read_file path)
+            | None -> spec.Acsi_workloads.Workloads.build ~scale
+          in
+          let result = Runtime.run (Config.default ~policy) program in
+          (match file with
+          | Some path -> Format.printf "%s:@.%a@." path Metrics.pp result.Runtime.metrics
+          | None ->
+              Format.printf "%s at scale %d:@.%a@." bench scale Metrics.pp
+                result.Runtime.metrics);
+          if show_compilations then begin
+            Format.printf "@.Compilation log:@.";
+            List.iter
+              (fun (e : Acsi_aos.Db.compilation_event) ->
+                let m =
+                  Acsi_bytecode.Program.meth program e.Acsi_aos.Db.ce_method
+                in
+                Format.printf
+                  "  %-22s v%d %4d units %5d bytes %7d cycles %2d inlines %d \
+                   guards@."
+                  m.Acsi_bytecode.Meth.name e.Acsi_aos.Db.ce_version
+                  e.Acsi_aos.Db.ce_units e.Acsi_aos.Db.ce_bytes
+                  e.Acsi_aos.Db.ce_cycles e.Acsi_aos.Db.ce_inlines
+                  e.Acsi_aos.Db.ce_guards)
+              (Acsi_aos.Db.compilations (Acsi_aos.System.db result.Runtime.sys))
+          end;
+          (match disasm with
+          | Some pattern -> disassemble program result.Runtime.vm pattern
+          | None -> ());
+          (if compare_baseline then
+             let base =
+               Runtime.run
+                 (Config.default ~policy:Acsi_policy.Policy.Context_insensitive)
+                 program
+             in
+             let bm = base.Runtime.metrics in
+             let m = result.Runtime.metrics in
+             Format.printf
+               "@.vs context-insensitive baseline:@.  speedup %+.2f%%  code \
+                size %+.2f%%  compile time %+.2f%%@."
+               (Metrics.speedup_pct ~baseline:bm m)
+               (Metrics.code_size_change_pct ~baseline:bm m)
+               (Metrics.compile_time_change_pct ~baseline:bm m));
+          0)
+
+open Cmdliner
+
+let bench_arg =
+  Arg.(value & opt string "db" & info [ "b"; "bench" ] ~doc:"Benchmark name.")
+
+let policy_arg =
+  Arg.(
+    value
+    & opt string "fixed(max=3)"
+    & info [ "p"; "policy" ]
+        ~doc:
+          "Context-sensitivity policy: cins, fixed, paramLess, class, large, \
+           hybrid1, hybrid2, resolve; optionally with (max=N).")
+
+let scale_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "s"; "scale" ] ~doc:"Workload scale (default per benchmark).")
+
+let list_arg =
+  Arg.(value & flag & info [ "list" ] ~doc:"List benchmarks and exit.")
+
+let compare_arg =
+  Arg.(
+    value & flag
+    & info [ "compare" ]
+        ~doc:"Also run the context-insensitive baseline and print deltas.")
+
+let compilations_arg =
+  Arg.(
+    value & flag
+    & info [ "compilations" ] ~doc:"Print the optimizing-compilation log.")
+
+let disasm_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "disasm" ]
+        ~doc:
+          "After the run, disassemble the installed code of methods whose \
+           name contains the given substring.")
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ]
+        ~doc:"Log adaptive-system events (compilations, rule rebuilds).")
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "f"; "file" ]
+        ~doc:
+          "Run a textual mini-language program (.acsi) instead of a named \
+           benchmark.")
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let main list_only verbose bench file policy scale compare_baseline
+    show_compilations disasm =
+  setup_logs verbose;
+  if list_only then list_benchmarks ()
+  else
+    run_one ~bench ~file ~policy_str:policy ~scale ~compare_baseline
+      ~show_compilations ~disasm
+
+let cmd =
+  let doc =
+    "run an adaptive-context-sensitive-inlining experiment on one benchmark"
+  in
+  Cmd.v
+    (Cmd.info "acsi-run" ~doc)
+    Term.(
+      const main $ list_arg $ verbose_arg $ bench_arg $ file_arg $ policy_arg
+      $ scale_arg $ compare_arg $ compilations_arg $ disasm_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Acsi_core Acsi_lang Acsi_policy Acsi_workloads Config Format List Metrics Runtime

@@ -1,0 +1,1 @@
+examples/policy_explorer.ml: Acsi_core Acsi_policy Acsi_workloads Array Config Format List Metrics Option Printf Runtime String Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Acsi_aos Acsi_bytecode Acsi_core Acsi_jit Acsi_lang Acsi_policy Acsi_workloads Config Format List Metrics Runtime

@@ -1,0 +1,62 @@
+(* Policy explorer: sweep every context-sensitivity policy over one
+   benchmark and print the three quantities the paper's evaluation is
+   about — wall-clock speedup, optimized code size, compile time — each
+   relative to the context-insensitive baseline.
+
+   Usage: dune exec examples/policy_explorer.exe [-- BENCH [SCALE]] *)
+
+open Acsi_core
+
+let () =
+  let bench = if Array.length Sys.argv > 1 then Sys.argv.(1) else "jbb" in
+  let scale_arg =
+    if Array.length Sys.argv > 2 then Some (int_of_string Sys.argv.(2))
+    else None
+  in
+  (* Paper benchmark names first, then the micro workloads. *)
+  let program =
+    match Acsi_workloads.Workloads.find bench with
+    | spec ->
+        let scale =
+          Option.value scale_arg
+            ~default:spec.Acsi_workloads.Workloads.default_scale
+        in
+        spec.Acsi_workloads.Workloads.build ~scale
+    | exception Not_found -> (
+        match List.assoc_opt bench Acsi_workloads.Micro.all with
+        | Some build -> build ~scale:(Option.value scale_arg ~default:400)
+        | None ->
+            Format.eprintf "unknown benchmark %s (paper: %s; micro: %s)@."
+              bench
+              (String.concat ", "
+                 (List.map
+                    (fun (s : Acsi_workloads.Workloads.spec) ->
+                      s.Acsi_workloads.Workloads.name)
+                    Acsi_workloads.Workloads.all))
+              (String.concat ", " (List.map fst Acsi_workloads.Micro.all));
+            exit 2)
+  in
+  Format.printf "Policy sweep on %s@.@." bench;
+  let baseline =
+    (Runtime.run
+       (Config.default ~policy:Acsi_policy.Policy.Context_insensitive)
+       program)
+      .Runtime.metrics
+  in
+  Format.printf "%-18s %10s %12s %12s %15s@." "policy" "speedup%" "code-size%"
+    "compile%" "guards";
+  Format.printf "%-18s %10s %12d %12d %15s@." "cins" "-"
+    baseline.Metrics.opt_code_bytes baseline.Metrics.opt_compile_cycles
+    (Printf.sprintf "%d/%d" baseline.Metrics.guard_hits
+       baseline.Metrics.guard_misses);
+  List.iter
+    (fun policy ->
+      let m = (Runtime.run (Config.default ~policy) program).Runtime.metrics in
+      Format.printf "%-18s %+10.2f %+12.2f %+12.2f %15s@."
+        (Acsi_policy.Policy.to_string policy)
+        (Metrics.speedup_pct ~baseline m)
+        (Metrics.code_size_change_pct ~baseline m)
+        (Metrics.compile_time_change_pct ~baseline m)
+        (Printf.sprintf "%d/%d" m.Metrics.guard_hits m.Metrics.guard_misses))
+    (Acsi_policy.Policy.paper_sweep
+    @ [ Acsi_policy.Policy.Adaptive_resolving 4 ])

@@ -1,0 +1,1 @@
+lib/aos/accounting.ml: Array Format List

@@ -1,0 +1,1 @@
+lib/aos/accounting.mli: Format

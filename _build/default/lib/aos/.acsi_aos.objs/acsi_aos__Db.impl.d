@@ -1,0 +1,1 @@
+lib/aos/db.ml: Acsi_bytecode Acsi_jit Hashtbl Ids List

@@ -1,0 +1,1 @@
+lib/aos/db.mli: Acsi_bytecode Acsi_jit Ids

@@ -1,0 +1,1 @@
+lib/aos/flags.ml: Acsi_bytecode Hashtbl Ids

@@ -1,0 +1,1 @@
+lib/aos/flags.mli: Acsi_bytecode Ids

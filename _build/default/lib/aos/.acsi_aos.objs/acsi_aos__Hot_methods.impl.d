@@ -1,0 +1,1 @@
+lib/aos/hot_methods.ml: Acsi_bytecode Array Float Ids List Program

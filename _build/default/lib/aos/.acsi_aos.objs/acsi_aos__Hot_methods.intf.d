@@ -1,0 +1,1 @@
+lib/aos/hot_methods.mli: Acsi_bytecode Ids Program

@@ -1,0 +1,1 @@
+lib/aos/registry.ml: Acsi_bytecode Acsi_jit Array Hashtbl Ids List Program

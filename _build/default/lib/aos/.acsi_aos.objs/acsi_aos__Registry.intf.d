@@ -1,0 +1,1 @@
+lib/aos/registry.mli: Acsi_bytecode Acsi_jit Hashtbl Ids Program

@@ -1,0 +1,1 @@
+lib/aos/system.ml: Accounting Acsi_bytecode Acsi_jit Acsi_policy Acsi_profile Acsi_vm Array Db Dcg Flags Float Hashtbl Hot_methods Ids List Logs Meth Program Queue Registry Rules Trace Trace_listener

@@ -1,0 +1,1 @@
+lib/aos/system.mli: Accounting Acsi_jit Acsi_policy Acsi_profile Acsi_vm Db Dcg Flags Registry Rules Trace_listener

@@ -1,0 +1,1 @@
+lib/aos/trace_listener.ml: Acsi_bytecode Acsi_jit Acsi_policy Acsi_profile Acsi_vm Array Flags List Meth Program Trace

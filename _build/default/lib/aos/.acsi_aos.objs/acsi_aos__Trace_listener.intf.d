@@ -1,0 +1,1 @@
+lib/aos/trace_listener.mli: Acsi_bytecode Acsi_policy Acsi_profile Acsi_vm Flags Program Trace

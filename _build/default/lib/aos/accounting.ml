@@ -1,0 +1,47 @@
+type component =
+  | Listeners
+  | Compilation
+  | Decay_organizer
+  | Ai_organizer
+  | Method_organizer
+  | Controller
+
+let all_components =
+  [
+    Listeners;
+    Compilation;
+    Decay_organizer;
+    Ai_organizer;
+    Method_organizer;
+    Controller;
+  ]
+
+let component_name = function
+  | Listeners -> "AOS Listeners"
+  | Compilation -> "CompilationThread"
+  | Decay_organizer -> "DecayOrganizer"
+  | Ai_organizer -> "AIOrganizer"
+  | Method_organizer -> "MethodSampleOrganizer"
+  | Controller -> "ControllerThread"
+
+let index = function
+  | Listeners -> 0
+  | Compilation -> 1
+  | Decay_organizer -> 2
+  | Ai_organizer -> 3
+  | Method_organizer -> 4
+  | Controller -> 5
+
+type t = int array
+
+let create () = Array.make 6 0
+let charge t c cycles = t.(index c) <- t.(index c) + cycles
+let get t c = t.(index c)
+let total t = Array.fold_left ( + ) 0 t
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun c -> Format.fprintf fmt "%-22s %d@," (component_name c) (get t c))
+    all_components;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,26 @@
+(** Per-component cycle accounting for the adaptive optimization system.
+
+    These are the components of the paper's Figure 6: the AOS listeners,
+    the compilation thread, the decay organizer, the adaptive inlining
+    organizer (which includes the dynamic call graph organizer and the
+    missing-edge organizer), the method sample organizer, and the
+    controller thread. *)
+
+type component =
+  | Listeners
+  | Compilation
+  | Decay_organizer
+  | Ai_organizer
+  | Method_organizer
+  | Controller
+
+val all_components : component list
+val component_name : component -> string
+
+type t
+
+val create : unit -> t
+val charge : t -> component -> int -> unit
+val get : t -> component -> int
+val total : t -> int
+val pp : Format.formatter -> t -> unit

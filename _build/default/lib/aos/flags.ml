@@ -1,0 +1,43 @@
+open Acsi_bytecode
+
+type state =
+  | Flagged of int
+  | Resolved
+  | Given_up
+
+type t = (int * int, state) Hashtbl.t
+
+let create () = Hashtbl.create 32
+
+let key ~(caller : Ids.Method_id.t) ~callsite = ((caller :> int), callsite)
+
+let state t ~caller ~callsite = Hashtbl.find_opt t (key ~caller ~callsite)
+
+let flagged t ~caller ~callsite =
+  match state t ~caller ~callsite with
+  | Some (Flagged _) -> true
+  | Some Resolved | Some Given_up | None -> false
+
+let flag t ~caller ~callsite ~max_attempts =
+  let k = key ~caller ~callsite in
+  match Hashtbl.find_opt t k with
+  | None -> Hashtbl.replace t k (Flagged 1)
+  | Some (Flagged n) ->
+      if n >= max_attempts then Hashtbl.replace t k Given_up
+      else Hashtbl.replace t k (Flagged (n + 1))
+  | Some Resolved | Some Given_up -> ()
+
+let resolve t ~caller ~callsite =
+  let k = key ~caller ~callsite in
+  match Hashtbl.find_opt t k with
+  | Some (Flagged _) -> Hashtbl.replace t k Resolved
+  | None | Some Resolved | Some Given_up -> ()
+
+let counts t =
+  Hashtbl.fold
+    (fun _ st (f, r, g) ->
+      match st with
+      | Flagged _ -> (f + 1, r, g)
+      | Resolved -> (f, r + 1, g)
+      | Given_up -> (f, r, g + 1))
+    t (0, 0, 0)

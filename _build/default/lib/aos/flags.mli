@@ -1,0 +1,33 @@
+(** Call-site flags for the adaptive-resolution policy (paper §4.3,
+    "Adaptively Resolving Imprecisions").
+
+    The AI organizer flags polymorphic call sites whose receiver
+    distribution is not sufficiently skewed; the trace listener collects
+    deeper context only at flagged sites. A site stays flagged until
+    either deeper profile data resolves the imprecision or the system
+    gives up, deeming the site inherently polymorphic. *)
+
+open Acsi_bytecode
+
+type state =
+  | Flagged of int  (** attempts spent so far *)
+  | Resolved
+  | Given_up
+
+type t
+
+val create : unit -> t
+
+val flagged : t -> caller:Ids.Method_id.t -> callsite:int -> bool
+(** Whether the trace listener should deepen traces through this site. *)
+
+val state : t -> caller:Ids.Method_id.t -> callsite:int -> state option
+
+val flag : t -> caller:Ids.Method_id.t -> callsite:int -> max_attempts:int -> unit
+(** Flag a site, or bump its attempt count; moves to [Given_up] past
+    [max_attempts]. No effect on resolved or given-up sites. *)
+
+val resolve : t -> caller:Ids.Method_id.t -> callsite:int -> unit
+
+val counts : t -> int * int * int
+(** (currently flagged, resolved, given up). *)

@@ -1,0 +1,31 @@
+open Acsi_bytecode
+
+type t = {
+  counts : float array;
+  mutable total_samples : float;
+}
+
+let create program =
+  { counts = Array.make (Program.method_count program) 0.0; total_samples = 0.0 }
+
+let add_sample t (mid : Ids.Method_id.t) =
+  t.counts.((mid :> int)) <- t.counts.((mid :> int)) +. 1.0;
+  t.total_samples <- t.total_samples +. 1.0
+
+let samples t (mid : Ids.Method_id.t) = t.counts.((mid :> int))
+let total t = t.total_samples
+
+let decay t ~factor =
+  Array.iteri (fun i c -> t.counts.(i) <- c *. factor) t.counts;
+  t.total_samples <- t.total_samples *. factor
+
+let hot t ~min_samples ~fraction =
+  if t.total_samples <= 0.0 then []
+  else
+    let cut = Float.max min_samples (fraction *. t.total_samples) in
+    let acc = ref [] in
+    Array.iteri
+      (fun i c ->
+        if c >= cut then acc := (Ids.Method_id.of_int i, c) :: !acc)
+      t.counts;
+    List.sort (fun (_, a) (_, b) -> Float.compare b a) !acc

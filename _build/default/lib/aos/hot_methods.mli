@@ -1,0 +1,19 @@
+(** The hot-methods organizer's sample aggregate.
+
+    Counts timer samples per method; the controller treats a method as hot
+    when it holds both a minimum number of samples and a minimum fraction
+    of all samples. Counts decay together with the call graph so hotness
+    tracks program phases. *)
+
+open Acsi_bytecode
+
+type t
+
+val create : Program.t -> t
+val add_sample : t -> Ids.Method_id.t -> unit
+val samples : t -> Ids.Method_id.t -> float
+val total : t -> float
+val decay : t -> factor:float -> unit
+
+val hot : t -> min_samples:float -> fraction:float -> (Ids.Method_id.t * float) list
+(** Hottest first. *)

@@ -1,0 +1,98 @@
+open Acsi_bytecode
+
+type entry = {
+  mutable version : int;
+  mutable stats : Acsi_jit.Expand.stats;
+  mutable rule_stamp : int;
+  inlined : (int * int * int, unit) Hashtbl.t;
+  inlined_methods : (int, unit) Hashtbl.t;
+}
+
+type t = {
+  entries : entry option array;
+  mutable compilations : int;
+  mutable cumulative_bytes : int;
+  mutable cumulative_cycles : int;
+}
+
+let create program =
+  {
+    entries = Array.make (Program.method_count program) None;
+    compilations = 0;
+    cumulative_bytes = 0;
+    cumulative_cycles = 0;
+  }
+
+let entry t (mid : Ids.Method_id.t) = t.entries.((mid :> int))
+
+let record t (mid : Ids.Method_id.t) (stats : Acsi_jit.Expand.stats)
+    ~rule_stamp =
+  t.compilations <- t.compilations + 1;
+  t.cumulative_bytes <- t.cumulative_bytes + stats.Acsi_jit.Expand.code_bytes;
+  t.cumulative_cycles <-
+    t.cumulative_cycles + stats.Acsi_jit.Expand.compile_cycles;
+  let e =
+    match t.entries.((mid :> int)) with
+    | Some e ->
+        e.version <- e.version + 1;
+        e.stats <- stats;
+        e.rule_stamp <- rule_stamp;
+        Hashtbl.reset e.inlined;
+        Hashtbl.reset e.inlined_methods;
+        e
+    | None ->
+        let e =
+          {
+            version = 1;
+            stats;
+            rule_stamp;
+            inlined = Hashtbl.create 16;
+            inlined_methods = Hashtbl.create 8;
+          }
+        in
+        t.entries.((mid :> int)) <- Some e;
+        e
+  in
+  List.iter
+    (fun ((caller, _, callee) as edge) ->
+      Hashtbl.replace e.inlined edge ();
+      Hashtbl.replace e.inlined_methods caller ();
+      Hashtbl.replace e.inlined_methods callee ())
+    stats.Acsi_jit.Expand.inlined_edges
+
+let has_inlined t ~root ~(caller : Ids.Method_id.t) ~callsite
+    ~(callee : Ids.Method_id.t) =
+  match entry t root with
+  | None -> false
+  | Some e ->
+      Hashtbl.mem e.inlined ((caller :> int), callsite, (callee :> int))
+
+let contains_method t ~root (mid : Ids.Method_id.t) =
+  match entry t root with
+  | None -> false
+  | Some e ->
+      Ids.Method_id.equal root mid || Hashtbl.mem e.inlined_methods (mid :> int)
+
+let opt_method_count t =
+  Array.fold_left
+    (fun acc e -> match e with Some _ -> acc + 1 | None -> acc)
+    0 t.entries
+
+let opt_compilation_count t = t.compilations
+
+let installed_bytes t =
+  Array.fold_left
+    (fun acc e ->
+      match e with
+      | Some e -> acc + e.stats.Acsi_jit.Expand.code_bytes
+      | None -> acc)
+    0 t.entries
+
+let cumulative_bytes t = t.cumulative_bytes
+let cumulative_compile_cycles t = t.cumulative_cycles
+
+let iter t ~f =
+  Array.iteri
+    (fun i e ->
+      match e with Some e -> f (Ids.Method_id.of_int i) e | None -> ())
+    t.entries

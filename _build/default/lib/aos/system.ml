@@ -1,0 +1,430 @@
+open Acsi_bytecode
+open Acsi_profile
+module Interp = Acsi_vm.Interp
+module Cost = Acsi_vm.Cost
+
+let log_src = Logs.Src.create "acsi.aos" ~doc:"adaptive optimization system"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  policy : Acsi_policy.Policy.t;
+  hot_edge_threshold : float;
+  hot_method_min_samples : float;
+  hot_method_fraction : float;
+  organizer_period : int;
+  ai_period : int;
+  decay_period : int;
+  decay_factor : float;
+  dcg_prune_below : float;
+  oracle_config : Acsi_jit.Oracle.config;
+  skew_threshold : float;
+  min_context_share : float;
+  max_flag_attempts : int;
+  max_opt_versions : int;
+  refusal_ttl : int;
+  merge_rules_to_edges : bool;
+  trace_on_timer : bool;
+  enable_osr : bool;
+  collect_termination_stats : bool;
+}
+
+let default_config policy =
+  {
+    policy;
+    hot_edge_threshold = 0.015;
+    hot_method_min_samples = 3.0;
+    hot_method_fraction = 0.01;
+    organizer_period = 16;
+    ai_period = 4;
+    decay_period = 8;
+    decay_factor = 0.95;
+    dcg_prune_below = 0.05;
+    oracle_config = Acsi_jit.Oracle.default_config;
+    skew_threshold = 0.8;
+    min_context_share = 0.1;
+    max_flag_attempts = 8;
+    max_opt_versions = 4;
+    refusal_ttl = 12;
+    merge_rules_to_edges = false;
+    trace_on_timer = false;
+    enable_osr = false;
+    collect_termination_stats = false;
+  }
+
+type t = {
+  cfg : config;
+  vm : Interp.t;
+  program : Program.t;
+  cost : Cost.t;
+  accounting : Accounting.t;
+  db : Db.t;
+  dcg : Dcg.t;
+  registry : Registry.t;
+  hot_methods : Hot_methods.t;
+  flags : Flags.t;
+  oracle : Acsi_jit.Oracle.t;
+  listener : Trace_listener.t;
+  mutable rules : Rules.t;
+  mutable rules_version : int;
+  (* buffers *)
+  mutable method_buffer : Ids.Method_id.t list;
+  mutable method_buffer_len : int;
+  mutable trace_buffer : Trace.t list;
+  mutable trace_buffer_len : int;
+  (* compilation queue *)
+  compile_queue : Ids.Method_id.t Queue.t;
+  pending : bool array;
+  (* counters *)
+  mutable baseline_methods : int;
+  mutable baseline_bytes : int;
+  mutable method_samples : int;
+  mutable trace_samples : int;
+  mutable samples_in_epoch : int;
+  mutable epochs : int;
+}
+
+let config t = t.cfg
+let accounting t = t.accounting
+let db t = t.db
+let dcg t = t.dcg
+let registry t = t.registry
+let rules t = t.rules
+let flags t = t.flags
+let trace_stats t = Trace_listener.stats t.listener
+let baseline_compiled_methods t = t.baseline_methods
+let baseline_code_bytes t = t.baseline_bytes
+let method_samples_taken t = t.method_samples
+let trace_samples_taken t = t.trace_samples
+let epochs_run t = t.epochs
+
+(* All AOS work is charged to both the component accounting (Figure 6) and
+   the VM clock (total time includes the adaptive system). *)
+let charge t component cycles =
+  Accounting.charge t.accounting component cycles;
+  Interp.charge t.vm cycles
+
+let enqueue_compile t (mid : Ids.Method_id.t) =
+  if not t.pending.((mid :> int)) then begin
+    t.pending.((mid :> int)) <- true;
+    Queue.add mid t.compile_queue
+  end
+
+(* --- organizers --- *)
+
+let method_organizer t =
+  charge t Accounting.Method_organizer
+    (t.method_buffer_len * t.cost.Cost.organizer_per_event);
+  List.iter (Hot_methods.add_sample t.hot_methods) t.method_buffer;
+  t.method_buffer <- [];
+  t.method_buffer_len <- 0
+
+let dcg_organizer t =
+  charge t Accounting.Ai_organizer
+    (t.trace_buffer_len * t.cost.Cost.organizer_per_event);
+  List.iter (Dcg.add_sample t.dcg) t.trace_buffer;
+  t.trace_buffer <- [];
+  t.trace_buffer_len <- 0
+
+(* Adaptive resolution (§4.3): find hot polymorphic sites whose callee
+   distribution is not skewed; flag them for deeper tracing unless some
+   sufficiently heavy deep context already resolves them. *)
+let update_flags t =
+  let site_total : (int * int, float ref) Hashtbl.t = Hashtbl.create 32 in
+  let site_callee : (int * int * int, float ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let ctx_total : ((int * int) list, float ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let ctx_callee : ((int * int) list * int, float ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let bump tbl key w =
+    match Hashtbl.find_opt tbl key with
+    | Some r -> r := !r +. w
+    | None -> Hashtbl.add tbl key (ref w)
+  in
+  Dcg.iter t.dcg ~f:(fun trace w ->
+      let e0 = trace.Trace.chain.(0) in
+      let site = ((e0.Trace.caller :> int), e0.Trace.callsite) in
+      let callee = (trace.Trace.callee :> int) in
+      bump site_total site w;
+      bump site_callee (fst site, snd site, callee) w;
+      if Array.length trace.Trace.chain >= 2 then begin
+        let ctx =
+          Array.to_list trace.Trace.chain
+          |> List.map (fun e -> ((e.Trace.caller :> int), e.Trace.callsite))
+        in
+        bump ctx_total ctx w;
+        bump ctx_callee (ctx, callee) w
+      end);
+  Hashtbl.iter
+    (fun (caller_i, callsite) total ->
+      let callees =
+        Hashtbl.fold
+          (fun (c, s, callee) w acc ->
+            if c = caller_i && s = callsite then (callee, !w) :: acc else acc)
+          site_callee []
+      in
+      match callees with
+      | [] | [ _ ] -> ()
+      | _ :: _ :: _ ->
+          let top =
+            List.fold_left (fun acc (_, w) -> Float.max acc w) 0.0 callees
+          in
+          let caller = Ids.Method_id.of_int caller_i in
+          if top /. !total >= t.cfg.skew_threshold then
+            Flags.resolve t.flags ~caller ~callsite
+          else begin
+            (* Does some heavy deep context already discriminate? *)
+            let resolved_by_context =
+              Hashtbl.fold
+                (fun ctx ctotal acc ->
+                  acc
+                  ||
+                  match ctx with
+                  | (c, s) :: _
+                    when c = caller_i && s = callsite
+                         && !ctotal >= t.cfg.min_context_share *. !total ->
+                      let ctop =
+                        Hashtbl.fold
+                          (fun (ctx', _) w acc ->
+                            if ctx' = ctx then Float.max acc !w else acc)
+                          ctx_callee 0.0
+                      in
+                      ctop /. !ctotal >= t.cfg.skew_threshold
+                  | _ -> false)
+                ctx_total false
+            in
+            if resolved_by_context then
+              Flags.resolve t.flags ~caller ~callsite
+            else
+              Flags.flag t.flags ~caller ~callsite
+                ~max_attempts:t.cfg.max_flag_attempts
+          end)
+    site_total
+
+(* The AI missing-edge organizer: hot edges that optimized code failed to
+   inline (and that the compiler has not refused) trigger recompilation,
+   up to the per-method version cap. The edge's call site lives in the
+   direct caller's own code, but also in every optimized root that inlined
+   that caller — all of them are candidates. *)
+let missing_edge_scan t =
+  Rules.iter t.rules ~f:(fun r ->
+      charge t Accounting.Ai_organizer t.cost.Cost.organizer_per_event;
+      let e0 = r.Rules.trace.Trace.chain.(0) in
+      let caller = e0.Trace.caller in
+      let callsite = e0.Trace.callsite in
+      let callee = r.Rules.trace.Trace.callee in
+      let callee_m = Program.meth t.program callee in
+      let inlinable =
+        match Acsi_jit.Size.clazz_of callee_m with
+        | Acsi_jit.Size.Large -> false
+        | Acsi_jit.Size.Tiny | Acsi_jit.Size.Small | Acsi_jit.Size.Medium ->
+            true
+      in
+      if
+        inlinable
+        && not
+             (Db.refused t.db ~caller ~callsite ~callee ~now:t.rules_version
+                ~ttl:t.cfg.refusal_ttl)
+      then
+        Registry.iter t.registry ~f:(fun root entry ->
+            charge t Accounting.Ai_organizer t.cost.Cost.organizer_per_event;
+            if
+              Registry.contains_method t.registry ~root caller
+              && entry.Registry.rule_stamp < t.rules_version
+              && entry.Registry.version < t.cfg.max_opt_versions
+              && not
+                   (Registry.has_inlined t.registry ~root ~caller ~callsite
+                      ~callee)
+            then begin
+              Log.debug (fun m ->
+                  m "missing edge %a@%d => %a: recompiling %a"
+                    Ids.Method_id.pp caller callsite Ids.Method_id.pp callee
+                    Ids.Method_id.pp root);
+              enqueue_compile t root
+            end))
+
+(* Ablation: collapse hot traces to their underlying edges, merging the
+   weights — the "merge partial matches at collection time" alternative
+   the paper rejects in §3.3. *)
+let merge_to_edges hot =
+  let table = Trace.Table.create 64 in
+  List.iter
+    (fun (trace, w) ->
+      let edge = Trace.edge trace in
+      match Trace.Table.find_opt table edge with
+      | Some r -> r := !r +. w
+      | None -> Trace.Table.add table edge (ref w))
+    hot;
+  Trace.Table.fold (fun trace w acc -> (trace, !w) :: acc) table []
+
+let ai_organizer t =
+  charge t Accounting.Ai_organizer
+    (Dcg.size t.dcg * t.cost.Cost.ai_organizer_per_trace);
+  let hot = Dcg.hot t.dcg ~threshold:t.cfg.hot_edge_threshold in
+  let hot = if t.cfg.merge_rules_to_edges then merge_to_edges hot else hot in
+  Log.debug (fun m ->
+      m "AI organizer: %d traces in DCG, %d hot -> rules v%d"
+        (Dcg.size t.dcg) (List.length hot) (t.rules_version + 1));
+  t.rules <- Rules.of_hot_traces hot;
+  t.rules_version <- t.rules_version + 1;
+  Acsi_jit.Oracle.set_rules t.oracle t.rules;
+  if Acsi_policy.Policy.is_adaptive_resolving t.cfg.policy then update_flags t;
+  missing_edge_scan t
+
+let decay_organizer t =
+  charge t Accounting.Decay_organizer
+    (Dcg.size t.dcg * t.cost.Cost.decay_per_trace);
+  Dcg.decay t.dcg ~factor:t.cfg.decay_factor
+    ~prune_below:t.cfg.dcg_prune_below;
+  Hot_methods.decay t.hot_methods ~factor:t.cfg.decay_factor
+
+let controller t =
+  let hot =
+    Hot_methods.hot t.hot_methods ~min_samples:t.cfg.hot_method_min_samples
+      ~fraction:t.cfg.hot_method_fraction
+  in
+  List.iter
+    (fun (mid, _samples) ->
+      charge t Accounting.Controller t.cost.Cost.controller_per_event;
+      match Registry.entry t.registry mid with
+      | None -> enqueue_compile t mid
+      | Some _ -> ())
+    hot
+
+let compilation_thread t =
+  while not (Queue.is_empty t.compile_queue) do
+    let mid = Queue.pop t.compile_queue in
+    t.pending.((mid :> int)) <- false;
+    let root = Program.meth t.program mid in
+    let code, stats =
+      Acsi_jit.Expand.compile t.program t.cost t.oracle ~root
+    in
+    Log.info (fun m ->
+        m "opt-compiled %s: %d units, %d inlines, %d guards"
+          root.Meth.name stats.Acsi_jit.Expand.expanded_units
+          stats.Acsi_jit.Expand.inline_count
+          stats.Acsi_jit.Expand.guard_count);
+    charge t Accounting.Compilation stats.Acsi_jit.Expand.compile_cycles;
+    Interp.install_code t.vm mid code;
+    if t.cfg.enable_osr then ignore (Interp.osr t.vm mid);
+    Registry.record t.registry mid stats ~rule_stamp:t.rules_version;
+    Db.record_compilation t.db
+      {
+        Db.ce_method = mid;
+        ce_version =
+          (match Registry.entry t.registry mid with
+          | Some e -> e.Registry.version
+          | None -> 0);
+        ce_units = stats.Acsi_jit.Expand.expanded_units;
+        ce_bytes = stats.Acsi_jit.Expand.code_bytes;
+        ce_cycles = stats.Acsi_jit.Expand.compile_cycles;
+        ce_inlines = stats.Acsi_jit.Expand.inline_count;
+        ce_guards = stats.Acsi_jit.Expand.guard_count;
+      }
+  done
+
+let run_epoch t =
+  t.epochs <- t.epochs + 1;
+  method_organizer t;
+  dcg_organizer t;
+  if t.epochs mod t.cfg.ai_period = 0 then ai_organizer t;
+  if t.epochs mod t.cfg.decay_period = 0 then decay_organizer t;
+  controller t;
+  compilation_thread t
+
+(* --- listeners (VM hooks) --- *)
+
+let take_trace_sample t vm =
+  match Trace_listener.sample t.listener vm with
+  | Some (trace, walked) ->
+      charge t Accounting.Listeners (walked * t.cost.Cost.trace_sample_frame);
+      t.trace_buffer <- trace :: t.trace_buffer;
+      t.trace_buffer_len <- t.trace_buffer_len + 1;
+      t.trace_samples <- t.trace_samples + 1
+  | None -> ()
+
+let on_timer_sample t vm =
+  charge t Accounting.Listeners t.cost.Cost.method_sample;
+  if t.cfg.trace_on_timer then take_trace_sample t vm;
+  (* The method listener records the currently executing (source) method. *)
+  let current = ref None in
+  Interp.walk_source_stack vm ~f:(fun mid _pc ->
+      current := Some mid;
+      false);
+  (match !current with
+  | Some mid ->
+      t.method_buffer <- mid :: t.method_buffer;
+      t.method_buffer_len <- t.method_buffer_len + 1;
+      t.method_samples <- t.method_samples + 1
+  | None -> ());
+  t.samples_in_epoch <- t.samples_in_epoch + 1;
+  if t.samples_in_epoch >= t.cfg.organizer_period then begin
+    t.samples_in_epoch <- 0;
+    run_epoch t
+  end
+
+let on_invoke t vm _callee =
+  if not t.cfg.trace_on_timer then take_trace_sample t vm
+
+let on_first_execution t mid =
+  let m = Program.meth t.program mid in
+  let units = Meth.size_units m in
+  charge t Accounting.Compilation
+    (t.cost.Cost.baseline_compile_fixed
+    + (units * t.cost.Cost.baseline_compile_unit));
+  t.baseline_methods <- t.baseline_methods + 1;
+  t.baseline_bytes <-
+    t.baseline_bytes + (units * t.cost.Cost.baseline_bytes_per_unit)
+
+let create ?profile cfg vm =
+  let program = Interp.program vm in
+  let flags = Flags.create () in
+  let dcg = match profile with Some d -> d | None -> Dcg.create () in
+  let oracle =
+    Acsi_jit.Oracle.create ~config:cfg.oracle_config program
+  in
+  let t =
+    {
+      cfg;
+      vm;
+      program;
+      cost = Interp.cost vm;
+      accounting = Accounting.create ();
+      db = Db.create ();
+      dcg;
+      registry = Registry.create program;
+      hot_methods = Hot_methods.create program;
+      flags;
+      oracle;
+      listener =
+        Trace_listener.create
+          ~collect_termination_stats:cfg.collect_termination_stats program
+          ~policy:cfg.policy ~flags;
+      rules = Rules.empty;
+      rules_version = 0;
+      method_buffer = [];
+      method_buffer_len = 0;
+      trace_buffer = [];
+      trace_buffer_len = 0;
+      compile_queue = Queue.create ();
+      pending = Array.make (Program.method_count program) false;
+      baseline_methods = 0;
+      baseline_bytes = 0;
+      method_samples = 0;
+      trace_samples = 0;
+      samples_in_epoch = 0;
+      epochs = 0;
+    }
+  in
+  Acsi_jit.Oracle.set_on_refusal oracle (fun ~site ~callee reason ->
+      let e0 = site.(0) in
+      Db.record_refusal t.db ~caller:e0.Trace.caller
+        ~callsite:e0.Trace.callsite ~callee ~stamp:t.rules_version reason);
+  Interp.set_on_first_execution vm (on_first_execution t);
+  Interp.set_on_timer_sample vm (on_timer_sample t);
+  Interp.set_on_invoke vm (on_invoke t);
+  t

@@ -1,0 +1,83 @@
+(** The adaptive optimization system (paper Figure 3), wired onto a VM.
+
+    [create] installs the three hooks the VM exposes:
+    - first execution of a method charges its baseline compilation;
+    - the timer sample drives the method listener, and every
+      [organizer_period] samples runs an organizer epoch: the method
+      sample organizer and the dynamic call graph organizer drain their
+      buffers, the AI organizer periodically rebuilds inlining rules from
+      hot traces (and, for the adaptive-resolution policy, re-flags
+      insufficiently skewed polymorphic sites), the decay organizer
+      periodically decays the profile, the controller turns hot methods
+      into compilation plans, and the compilation thread drains the queue
+      installing optimized code;
+    - the invocation stride drives the trace listener.
+
+    All overhead cycles are charged both to the per-component accounting
+    (Figure 6) and to the VM clock, so total execution time includes the
+    adaptive system's own cost. *)
+
+open Acsi_profile
+
+type config = {
+  policy : Acsi_policy.Policy.t;
+  hot_edge_threshold : float;
+      (** fraction of total profile weight above which a trace becomes an
+          inlining rule (the paper's 1.5%) *)
+  hot_method_min_samples : float;
+  hot_method_fraction : float;
+  organizer_period : int;  (** method samples per organizer epoch *)
+  ai_period : int;  (** organizer epochs between AI-organizer passes *)
+  decay_period : int;  (** organizer epochs between decay passes *)
+  decay_factor : float;
+  dcg_prune_below : float;  (** drop traces whose weight decays below this *)
+  oracle_config : Acsi_jit.Oracle.config;
+  skew_threshold : float;
+      (** adaptive resolution: a site is imprecise when its top target
+          holds less than this fraction of the site's weight *)
+  min_context_share : float;
+      (** adaptive resolution: a deep context must hold at least this
+          fraction of its site's weight for its skew to count as a
+          resolution *)
+  max_flag_attempts : int;
+  max_opt_versions : int;  (** recompilation cap per method *)
+  refusal_ttl : int;
+      (** AI-organizer passes before a recorded inline refusal expires and
+          the missing-edge organizer may retry (phase adaptation) *)
+  merge_rules_to_edges : bool;
+      (** ablation: merge hot traces into plain edges when building rules
+          (the collection-time merging the paper's hybrid approach avoids) *)
+  trace_on_timer : bool;
+      (** ablation: drive the trace listener from the timer instead of the
+          invocation stride — edge weights become time-biased *)
+  enable_osr : bool;
+      (** extension: on-stack-replace the innermost frame when its method
+          gets (re)compiled; the paper's system activates new code only on
+          the next invocation *)
+  collect_termination_stats : bool;
+}
+
+val default_config : Acsi_policy.Policy.t -> config
+
+type t
+
+val create : ?profile:Dcg.t -> config -> Acsi_vm.Interp.t -> t
+(** [profile] seeds the dynamic call graph with previously collected data
+    (see {!Acsi_profile.Persist}), reproducing offline profile-directed
+    inlining: the first AI-organizer pass derives rules from a mature
+    profile instead of warming one up online. *)
+
+val config : t -> config
+val accounting : t -> Accounting.t
+val db : t -> Db.t
+val dcg : t -> Dcg.t
+val registry : t -> Registry.t
+val rules : t -> Rules.t
+val flags : t -> Flags.t
+val trace_stats : t -> Trace_listener.stats
+
+val baseline_compiled_methods : t -> int
+val baseline_code_bytes : t -> int
+val method_samples_taken : t -> int
+val trace_samples_taken : t -> int
+val epochs_run : t -> int

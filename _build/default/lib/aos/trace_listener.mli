@@ -1,0 +1,45 @@
+(** The trace listener (paper §3.3): samples variable-depth call traces.
+
+    Fired on an invocation stride by the VM (modeling prologue-yieldpoint
+    edge sampling), it walks the source-level call stack — expanding
+    optimized frames through their inline maps — and builds a trace whose
+    depth is governed by the context-sensitivity policy. For the
+    adaptive-resolution policy, depth is 1 unless the sampled edge's call
+    site has been flagged by the AI organizer.
+
+    The listener also keeps the instrumentation counters behind the
+    paper's §4 in-text statistics (how soon each early-termination
+    condition would fire), which the bench harness reports. *)
+
+open Acsi_bytecode
+open Acsi_profile
+
+type stats = {
+  mutable samples : int;
+  mutable frames_walked : int;
+  mutable callee_parameterless : int;
+      (** samples whose callee itself declares no parameters *)
+  mutable param_stop_within_5 : int;
+      (** samples where the parameterless rule fires within 5 edges *)
+  mutable class_stop_within_2 : int;
+      (** samples where an instance caller appears within 2 edges *)
+  mutable large_needs_4 : int;
+      (** samples where no large caller appears within the first 3 edges *)
+  depth_histogram : int array;  (** index = collected depth, 0..8 *)
+}
+
+type t
+
+val create :
+  ?collect_termination_stats:bool ->
+  Program.t ->
+  policy:Acsi_policy.Policy.t ->
+  flags:Flags.t ->
+  t
+
+val sample : t -> Acsi_vm.Interp.t -> (Trace.t * int) option
+(** Take one trace sample from the VM's current stack. Returns the trace
+    and the number of stack frames walked (for cost accounting), or [None]
+    when the stack is too shallow (no caller). *)
+
+val stats : t -> stats

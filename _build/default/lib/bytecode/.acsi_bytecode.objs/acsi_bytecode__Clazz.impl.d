@@ -1,0 +1,1 @@
+lib/bytecode/clazz.ml: Array Format Ids String

@@ -1,0 +1,1 @@
+lib/bytecode/clazz.mli: Format Ids

@@ -1,0 +1,1 @@
+lib/bytecode/ids.mli: Format

@@ -1,0 +1,1 @@
+lib/bytecode/meth.ml: Array Format Ids Instr

@@ -1,0 +1,1 @@
+lib/bytecode/meth.mli: Format Ids Instr

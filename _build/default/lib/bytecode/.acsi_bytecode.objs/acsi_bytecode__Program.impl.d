@@ -1,0 +1,1 @@
+lib/bytecode/program.ml: Array Clazz Format Hashtbl Ids Instr List Meth Printf String

@@ -1,0 +1,1 @@
+lib/bytecode/program.mli: Clazz Format Ids Instr Meth

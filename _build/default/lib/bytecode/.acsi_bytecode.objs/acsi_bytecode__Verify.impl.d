@@ -1,0 +1,1 @@
+lib/bytecode/verify.ml: Array Bool Format Instr List Meth Printf Program Queue

@@ -1,0 +1,19 @@
+type t = {
+  id : Ids.Class_id.t;
+  name : string;
+  parent : Ids.Class_id.t option;
+  fields : string array;
+  own_methods : (Ids.Selector.t * Ids.Method_id.t) list;
+}
+
+let field_count c = Array.length c.fields
+
+let field_slot c name =
+  let rec find i =
+    if i >= Array.length c.fields then raise Not_found
+    else if String.equal c.fields.(i) name then i
+    else find (i + 1)
+  in
+  find 0
+
+let pp fmt c = Format.fprintf fmt "%s%a" c.name Ids.Class_id.pp c.id

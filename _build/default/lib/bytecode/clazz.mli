@@ -1,0 +1,23 @@
+(** Classes of the bytecode IR.
+
+    Field slots are assigned densely: inherited fields first (in the
+    parent's layout order), then the class's own declared fields. Instance
+    methods are recorded by selector; dispatch tables are built when the
+    program is sealed (see {!Program}). *)
+
+type t = {
+  id : Ids.Class_id.t;
+  name : string;
+  parent : Ids.Class_id.t option;
+  fields : string array;  (** full layout, inherited prefix included *)
+  own_methods : (Ids.Selector.t * Ids.Method_id.t) list;
+      (** instance methods declared by this class itself *)
+}
+
+val field_count : t -> int
+
+val field_slot : t -> string -> int
+(** Slot of a named field. Raises [Not_found] if the class has no such
+    field. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+type label = int
+
+type 'a t = {
+  dummy : 'a;
+  mutable code : Instr.t array;
+  mutable notes : 'a array;
+  mutable len : int;
+  mutable labels : int array;  (* label -> position, -1 while unbound *)
+  mutable label_count : int;
+  mutable fixups : (int * label) list;
+}
+
+let create ~dummy =
+  {
+    dummy;
+    code = Array.make 64 Instr.Nop;
+    notes = Array.make 64 dummy;
+    len = 0;
+    labels = Array.make 16 (-1);
+    label_count = 0;
+    fixups = [];
+  }
+
+let length t = t.len
+
+let ensure_capacity t =
+  if t.len = Array.length t.code then begin
+    let code = Array.make (2 * t.len) Instr.Nop in
+    let notes = Array.make (2 * t.len) t.dummy in
+    Array.blit t.code 0 code 0 t.len;
+    Array.blit t.notes 0 notes 0 t.len;
+    t.code <- code;
+    t.notes <- notes
+  end
+
+let emit t instr note =
+  ensure_capacity t;
+  t.code.(t.len) <- instr;
+  t.notes.(t.len) <- note;
+  t.len <- t.len + 1
+
+let new_label t =
+  if t.label_count = Array.length t.labels then begin
+    let labels = Array.make (2 * t.label_count) (-1) in
+    Array.blit t.labels 0 labels 0 t.label_count;
+    t.labels <- labels
+  end;
+  let l = t.label_count in
+  t.label_count <- l + 1;
+  l
+
+let bind_label t l =
+  if t.labels.(l) >= 0 then invalid_arg "Codebuf: label bound twice";
+  t.labels.(l) <- t.len
+
+let emit_branch t instr note l =
+  t.fixups <- (t.len, l) :: t.fixups;
+  emit t instr note
+
+let finish t =
+  List.iter
+    (fun (pc, l) ->
+      let target = t.labels.(l) in
+      if target < 0 then invalid_arg "Codebuf: unbound label";
+      t.code.(pc) <- Instr.with_jump_targets t.code.(pc) ~f:(fun _ -> target))
+    t.fixups;
+  (Array.sub t.code 0 t.len, Array.sub t.notes 0 t.len)

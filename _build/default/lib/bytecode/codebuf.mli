@@ -1,0 +1,28 @@
+(** Growable instruction buffer with symbolic labels.
+
+    Shared by every code generator in the system (the mini-language
+    compiler and the JIT's inline expander). Branch instructions are
+    emitted against labels and patched to absolute targets by {!finish}.
+    Each instruction carries a caller-chosen annotation (the JIT uses this
+    for source maps; the front end uses [unit]). *)
+
+type 'a t
+
+val create : dummy:'a -> 'a t
+val length : 'a t -> int
+
+type label
+
+val new_label : 'a t -> label
+val bind_label : 'a t -> label -> unit
+(** Bind to the current position. A label may be bound only once. *)
+
+val emit : 'a t -> Instr.t -> 'a -> unit
+
+val emit_branch : 'a t -> Instr.t -> 'a -> label -> unit
+(** Emit a branching instruction whose (single) target will be patched to
+    the label's bound position. For [Guard_method] the patched target is
+    the [fail] field. *)
+
+val finish : 'a t -> Instr.t array * 'a array
+(** Raises [Invalid_argument] if any referenced label is unbound. *)

@@ -1,0 +1,28 @@
+module type ID = sig
+  type t = private int
+
+  val of_int : int -> t
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make () : ID = struct
+  type t = int
+
+  let of_int i =
+    if i < 0 then invalid_arg "Ids.of_int: negative id";
+    i
+
+  let to_int i = i
+  let equal = Int.equal
+  let compare = Int.compare
+  let hash i = i
+  let pp fmt i = Format.fprintf fmt "#%d" i
+end
+
+module Class_id = Make ()
+module Method_id = Make ()
+module Selector = Make ()

@@ -1,0 +1,24 @@
+(** Typed identifiers for the bytecode IR.
+
+    All identifiers are dense non-negative integers assigned by the program
+    builder, so they can index arrays directly via the [( :> int)] coercion
+    while remaining distinct types to the checker. *)
+
+module type ID = sig
+  type t = private int
+
+  val of_int : int -> t
+  (** [of_int i] wraps [i]. Raises [Invalid_argument] if [i < 0]. *)
+
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Class_id : ID
+module Method_id : ID
+
+module Selector : ID
+(** Interned method-name selectors used for virtual dispatch. *)

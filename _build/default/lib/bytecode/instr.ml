@@ -1,0 +1,135 @@
+type binop = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Const of int
+  | Const_null
+  | Load of int
+  | Store of int
+  | Dup
+  | Pop
+  | Swap
+  | Binop of binop
+  | Neg
+  | Not
+  | Cmp of cmp
+  | Jump of int
+  | Jump_if of int
+  | Jump_ifnot of int
+  | New of Ids.Class_id.t
+  | Get_field of int
+  | Put_field of int
+  | Get_global of int
+  | Put_global of int
+  | Array_new
+  | Array_get
+  | Array_set
+  | Array_len
+  | Call_static of Ids.Method_id.t
+  | Call_virtual of Ids.Selector.t * int
+  | Call_direct of Ids.Method_id.t
+  | Return
+  | Return_void
+  | Instance_of of Ids.Class_id.t
+  | Guard_method of guard
+  | Print_int
+  | Nop
+
+and guard = {
+  expected : Ids.Method_id.t;
+  sel : Ids.Selector.t;
+  argc : int;
+  fail : int;
+}
+
+let binop_to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+
+let cmp_to_string = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+let pp fmt = function
+  | Const n -> Format.fprintf fmt "const %d" n
+  | Const_null -> Format.fprintf fmt "const_null"
+  | Load i -> Format.fprintf fmt "load %d" i
+  | Store i -> Format.fprintf fmt "store %d" i
+  | Dup -> Format.fprintf fmt "dup"
+  | Pop -> Format.fprintf fmt "pop"
+  | Swap -> Format.fprintf fmt "swap"
+  | Binop op -> Format.fprintf fmt "%s" (binop_to_string op)
+  | Neg -> Format.fprintf fmt "neg"
+  | Not -> Format.fprintf fmt "not"
+  | Cmp c -> Format.fprintf fmt "cmp.%s" (cmp_to_string c)
+  | Jump t -> Format.fprintf fmt "jump %d" t
+  | Jump_if t -> Format.fprintf fmt "jump_if %d" t
+  | Jump_ifnot t -> Format.fprintf fmt "jump_ifnot %d" t
+  | New c -> Format.fprintf fmt "new %a" Ids.Class_id.pp c
+  | Get_field i -> Format.fprintf fmt "get_field %d" i
+  | Put_field i -> Format.fprintf fmt "put_field %d" i
+  | Get_global i -> Format.fprintf fmt "get_global %d" i
+  | Put_global i -> Format.fprintf fmt "put_global %d" i
+  | Array_new -> Format.fprintf fmt "array_new"
+  | Array_get -> Format.fprintf fmt "array_get"
+  | Array_set -> Format.fprintf fmt "array_set"
+  | Array_len -> Format.fprintf fmt "array_len"
+  | Call_static m -> Format.fprintf fmt "call_static %a" Ids.Method_id.pp m
+  | Call_virtual (s, n) ->
+      Format.fprintf fmt "call_virtual %a/%d" Ids.Selector.pp s n
+  | Call_direct m -> Format.fprintf fmt "call_direct %a" Ids.Method_id.pp m
+  | Return -> Format.fprintf fmt "return"
+  | Return_void -> Format.fprintf fmt "return_void"
+  | Instance_of c -> Format.fprintf fmt "instance_of %a" Ids.Class_id.pp c
+  | Guard_method g ->
+      Format.fprintf fmt "guard %a/%d expect=%a fail=%d" Ids.Selector.pp g.sel
+        g.argc Ids.Method_id.pp g.expected g.fail
+  | Print_int -> Format.fprintf fmt "print_int"
+  | Nop -> Format.fprintf fmt "nop"
+
+let to_string i = Format.asprintf "%a" pp i
+
+let jump_targets = function
+  | Jump t | Jump_if t | Jump_ifnot t -> [ t ]
+  | Guard_method g -> [ g.fail ]
+  | Const _ | Const_null | Load _ | Store _ | Dup | Pop | Swap | Binop _ | Neg
+  | Not | Cmp _ | New _ | Get_field _ | Put_field _ | Get_global _
+  | Put_global _ | Array_new | Array_get | Array_set | Array_len
+  | Call_static _ | Call_virtual _ | Call_direct _ | Return | Return_void
+  | Instance_of _ | Print_int | Nop ->
+      []
+
+let with_jump_targets i ~f =
+  match i with
+  | Jump t -> Jump (f t)
+  | Jump_if t -> Jump_if (f t)
+  | Jump_ifnot t -> Jump_ifnot (f t)
+  | Guard_method g -> Guard_method { g with fail = f g.fail }
+  | Const _ | Const_null | Load _ | Store _ | Dup | Pop | Swap | Binop _ | Neg
+  | Not | Cmp _ | New _ | Get_field _ | Put_field _ | Get_global _
+  | Put_global _ | Array_new | Array_get | Array_set | Array_len
+  | Call_static _ | Call_virtual _ | Call_direct _ | Return | Return_void
+  | Instance_of _ | Print_int | Nop ->
+      i
+
+let is_call = function
+  | Call_static _ | Call_virtual _ | Call_direct _ -> true
+  | Const _ | Const_null | Load _ | Store _ | Dup | Pop | Swap | Binop _ | Neg
+  | Not | Cmp _ | Jump _ | Jump_if _ | Jump_ifnot _ | New _ | Get_field _
+  | Put_field _ | Get_global _ | Put_global _ | Array_new | Array_get
+  | Array_set | Array_len | Return | Return_void | Instance_of _
+  | Guard_method _ | Print_int | Nop ->
+      false

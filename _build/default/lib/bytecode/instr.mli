@@ -1,0 +1,74 @@
+(** The bytecode instruction set.
+
+    A stack-machine IR in the style of JVM bytecode, reduced to what the
+    inlining study needs: integer arithmetic, locals, object fields, arrays,
+    globals, static and virtual calls, and intra-method control flow with
+    absolute jump targets.
+
+    The [Guard_method] instruction never appears in source (baseline) code;
+    it is inserted by the JIT to protect speculatively inlined virtual call
+    targets (a "method test" guard in Jikes RVM terminology). *)
+
+type binop = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Const of int
+  | Const_null
+  | Load of int  (** push local [i] *)
+  | Store of int  (** pop into local [i] *)
+  | Dup
+  | Pop
+  | Swap
+  | Binop of binop  (** pops b then a, pushes [a op b] *)
+  | Neg
+  | Not  (** logical negation: 0 becomes 1, anything else 0 *)
+  | Cmp of cmp  (** pops b then a, pushes 1 if [a cmp b] else 0 *)
+  | Jump of int  (** absolute target within the method body *)
+  | Jump_if of int  (** pop; jump if non-zero *)
+  | Jump_ifnot of int  (** pop; jump if zero *)
+  | New of Ids.Class_id.t  (** push a fresh object with zeroed fields *)
+  | Get_field of int  (** pop receiver, push field [i] *)
+  | Put_field of int  (** pop value then receiver, store field [i] *)
+  | Get_global of int
+  | Put_global of int
+  | Array_new  (** pop length, push fresh zeroed array *)
+  | Array_get  (** pop index then array, push element *)
+  | Array_set  (** pop value, index, array *)
+  | Array_len
+  | Call_static of Ids.Method_id.t
+      (** arguments on the stack, pushed left to right; pushes the result if
+          the target returns a value *)
+  | Call_virtual of Ids.Selector.t * int
+      (** [Call_virtual (sel, argc)]: stack holds receiver then [argc]
+          arguments; dispatches [sel] on the receiver's dynamic class *)
+  | Call_direct of Ids.Method_id.t
+      (** statically-bound instance call (constructors, JVM invokespecial):
+          stack holds receiver then the declared arguments *)
+  | Return  (** return the top of stack to the caller *)
+  | Return_void
+  | Instance_of of Ids.Class_id.t
+      (** pop; push 1 if the value is an object of the class or a subclass *)
+  | Guard_method of guard
+  | Print_int  (** pop and append to the VM's observable output *)
+  | Nop
+
+and guard = {
+  expected : Ids.Method_id.t;  (** speculated dispatch target *)
+  sel : Ids.Selector.t;
+  argc : int;  (** receiver sits [argc] slots below the stack top *)
+  fail : int;  (** absolute jump target when the speculation fails *)
+}
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val jump_targets : t -> int list
+(** Absolute branch targets of [i] (empty for non-branching instructions). *)
+
+val with_jump_targets : t -> f:(int -> int) -> t
+(** Rewrite the branch targets of an instruction with [f]; identity for
+    non-branching instructions. *)
+
+val is_call : t -> bool

@@ -1,0 +1,31 @@
+type kind = Static | Instance
+
+type t = {
+  id : Ids.Method_id.t;
+  owner : Ids.Class_id.t;
+  name : string;
+  selector : Ids.Selector.t;
+  kind : kind;
+  arity : int;
+  returns : bool;
+  body : Instr.t array;
+  max_locals : int;
+  mutable max_stack : int;
+}
+
+let param_slots m =
+  match m.kind with Static -> m.arity | Instance -> m.arity + 1
+
+let is_instance m = match m.kind with Instance -> true | Static -> false
+let is_parameterless m = m.arity = 0
+let size_units m = Array.length m.body
+
+let pp fmt m =
+  Format.fprintf fmt "%s/%d%s%s" m.name m.arity
+    (match m.kind with Static -> " [static]" | Instance -> "")
+    (if m.returns then "" else " [void]")
+
+let pp_body fmt m =
+  Format.fprintf fmt "@[<v>";
+  Array.iteri (fun i ins -> Format.fprintf fmt "%3d: %a@," i Instr.pp ins) m.body;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,35 @@
+(** Methods of the bytecode IR.
+
+    An instance method receives its receiver in local 0 and its declared
+    parameters in locals 1..arity; a static method receives its parameters
+    in locals 0..arity-1. [max_stack] is computed by the verifier when the
+    program is sealed. *)
+
+type kind = Static | Instance
+
+type t = {
+  id : Ids.Method_id.t;
+  owner : Ids.Class_id.t;
+  name : string;  (** unqualified name, e.g. ["get"] *)
+  selector : Ids.Selector.t;
+  kind : kind;
+  arity : int;  (** declared parameters, excluding the receiver *)
+  returns : bool;  (** whether the method pushes a result for its caller *)
+  body : Instr.t array;
+  max_locals : int;
+  mutable max_stack : int;
+}
+
+val param_slots : t -> int
+(** Number of locals consumed by parameters, including the receiver. *)
+
+val is_instance : t -> bool
+val is_parameterless : t -> bool
+(** True when the method declares no parameters besides the receiver. *)
+
+val size_units : t -> int
+(** Size of the method body in instruction units (the unit of all code-size
+    estimates in this system). *)
+
+val pp : Format.formatter -> t -> unit
+val pp_body : Format.formatter -> t -> unit

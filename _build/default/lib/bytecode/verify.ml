@@ -1,0 +1,164 @@
+exception Error of string
+
+let error m pc fmt =
+  Format.kasprintf
+    (fun msg ->
+      raise
+        (Error (Printf.sprintf "verify: %s at pc %d: %s" m.Meth.name pc msg)))
+    fmt
+
+(* (pops, pushes) of an instruction, resolving call signatures against the
+   program. *)
+let effect_of p m pc instr =
+  match (instr : Instr.t) with
+  | Const _ | Const_null | Get_global _ | New _ -> (0, 1)
+  | Load i ->
+      if i < 0 || i >= m.Meth.max_locals then
+        error m pc "load of local %d outside max_locals %d" i m.max_locals;
+      (0, 1)
+  | Store i ->
+      if i < 0 || i >= m.Meth.max_locals then
+        error m pc "store to local %d outside max_locals %d" i m.max_locals;
+      (1, 0)
+  | Dup -> (1, 2)
+  | Pop | Put_global _ | Print_int -> (1, 0)
+  | Swap -> (2, 2)
+  | Binop _ | Cmp _ -> (2, 1)
+  | Neg | Not | Array_new | Array_len | Get_field _ | Instance_of _ -> (1, 1)
+  | Jump _ | Nop | Return_void | Guard_method _ -> (0, 0)
+  | Jump_if _ | Jump_ifnot _ -> (1, 0)
+  | Put_field _ -> (2, 0)
+  | Array_get -> (2, 1)
+  | Array_set -> (3, 0)
+  | Return -> (1, 0)
+  | Call_static mid ->
+      let callee = Program.meth p mid in
+      (match callee.Meth.kind with
+      | Meth.Static -> ()
+      | Meth.Instance ->
+          error m pc "call_static targets instance method %s" callee.name);
+      (callee.arity, if callee.returns then 1 else 0)
+  | Call_direct mid ->
+      let callee = Program.meth p mid in
+      (match callee.Meth.kind with
+      | Meth.Instance -> ()
+      | Meth.Static ->
+          error m pc "call_direct targets static method %s" callee.name);
+      (callee.arity + 1, if callee.returns then 1 else 0)
+  | Call_virtual (sel, argc) -> (
+      match Program.implementations p sel with
+      | [] ->
+          error m pc "virtual call on selector %s with no implementation"
+            (Program.selector_name p sel)
+      | (first :: _ as impls) ->
+          let first_m = Program.meth p first in
+          List.iter
+            (fun mid ->
+              let callee = Program.meth p mid in
+              (match callee.Meth.kind with
+              | Meth.Instance -> ()
+              | Meth.Static ->
+                  error m pc "virtual call reaches static method %s"
+                    callee.name);
+              if callee.arity <> argc then
+                error m pc "virtual call arity %d but %s expects %d" argc
+                  callee.name callee.arity;
+              if Bool.not (Bool.equal callee.returns first_m.Meth.returns)
+              then
+                error m pc
+                  "virtual call targets disagree on returning a value (%s)"
+                  callee.name)
+            impls;
+          (argc + 1, if first_m.Meth.returns then 1 else 0))
+
+let check_guard p m pc (g : Instr.guard) =
+  let callee = Program.meth p g.Instr.expected in
+  if callee.Meth.arity <> g.argc then
+    error m pc "guard arity %d but expected target %s has arity %d" g.argc
+      callee.name callee.arity
+
+let meth p m =
+  let body = m.Meth.body in
+  let len = Array.length body in
+  if len = 0 then error m 0 "empty body";
+  (* Range-check every branch target up front, including targets in
+     unreachable code: downstream transformations (the inline expander)
+     index per-pc tables by them. *)
+  Array.iteri
+    (fun pc instr ->
+      List.iter
+        (fun target ->
+          if target < 0 || target >= len then
+            error m pc "branch target %d outside body of length %d" target len)
+        (Instr.jump_targets instr))
+    body;
+  let depth_in = Array.make len (-1) in
+  let max_depth = ref 0 in
+  let worklist = Queue.create () in
+  let propagate pc depth =
+    if pc < 0 || pc >= len then error m pc "jump target out of range";
+    if depth_in.(pc) = -1 then begin
+      depth_in.(pc) <- depth;
+      Queue.add pc worklist
+    end
+    else if depth_in.(pc) <> depth then
+      error m pc "inconsistent stack depth at join: %d vs %d" depth_in.(pc)
+        depth
+  in
+  propagate 0 0;
+  while not (Queue.is_empty worklist) do
+    let pc = Queue.pop worklist in
+    let depth = depth_in.(pc) in
+    let instr = body.(pc) in
+    let pops, pushes = effect_of p m pc instr in
+    if depth < pops then
+      error m pc "stack underflow: depth %d, instruction pops %d" depth pops;
+    let depth' = depth - pops + pushes in
+    if depth' > !max_depth then max_depth := depth';
+    (match instr with
+    | Instr.Guard_method g ->
+        check_guard p m pc g;
+        if depth < g.argc + 1 then
+          error m pc "guard peeks below the stack (depth %d, argc %d)" depth
+            g.argc
+    | Instr.Return ->
+        if depth <> 1 then
+          error m pc "return with stack depth %d (must be exactly 1)" depth;
+        if not m.Meth.returns then error m pc "return in a void method"
+    | Instr.Return_void ->
+        if depth <> 0 then
+          error m pc "return_void with stack depth %d (must be 0)" depth;
+        if m.Meth.returns then
+          error m pc "return_void in a value-returning method"
+    | Instr.Const _ | Instr.Const_null | Instr.Load _ | Instr.Store _
+    | Instr.Dup | Instr.Pop | Instr.Swap | Instr.Binop _ | Instr.Neg
+    | Instr.Not | Instr.Cmp _ | Instr.Jump _ | Instr.Jump_if _
+    | Instr.Jump_ifnot _ | Instr.New _ | Instr.Get_field _
+    | Instr.Put_field _ | Instr.Get_global _ | Instr.Put_global _
+    | Instr.Array_new | Instr.Array_get | Instr.Array_set | Instr.Array_len
+    | Instr.Call_static _ | Instr.Call_virtual _ | Instr.Call_direct _
+    | Instr.Instance_of _ | Instr.Print_int | Instr.Nop ->
+        ());
+    let falls_through =
+      match instr with
+      | Instr.Jump _ | Instr.Return | Instr.Return_void -> false
+      | Instr.Const _ | Instr.Const_null | Instr.Load _ | Instr.Store _
+      | Instr.Dup | Instr.Pop | Instr.Swap | Instr.Binop _ | Instr.Neg
+      | Instr.Not | Instr.Cmp _ | Instr.Jump_if _ | Instr.Jump_ifnot _
+      | Instr.New _ | Instr.Get_field _ | Instr.Put_field _
+      | Instr.Get_global _ | Instr.Put_global _ | Instr.Array_new
+      | Instr.Array_get | Instr.Array_set | Instr.Array_len
+      | Instr.Call_static _ | Instr.Call_virtual _ | Instr.Call_direct _
+      | Instr.Instance_of _ | Instr.Guard_method _ | Instr.Print_int
+      | Instr.Nop ->
+          true
+    in
+    if falls_through then begin
+      if pc + 1 >= len then error m pc "execution falls off the end of body";
+      propagate (pc + 1) depth'
+    end;
+    List.iter (fun target -> propagate target depth') (Instr.jump_targets instr)
+  done;
+  m.Meth.max_stack <- !max_depth
+
+let program p = Array.iter (meth p) (Program.methods p)

@@ -1,0 +1,24 @@
+(** Bytecode verifier.
+
+    Checks the structural well-formedness that the interpreter and the JIT
+    inliner rely on, and computes each method's [max_stack]:
+
+    - jump targets stay within the method body;
+    - locals stay within [max_locals];
+    - operand-stack depth is consistent at every join point and never
+      negative;
+    - [Return] executes with exactly the result on the stack and
+      [Return_void] with an empty stack (this is what makes rewriting
+      returns into jumps during inline expansion sound);
+    - call arities and result kinds agree with callee signatures, including
+      agreement across every CHA target of a virtual call;
+    - execution cannot fall off the end of the body. *)
+
+exception Error of string
+(** Raised with a message naming the offending method and pc. *)
+
+val meth : Program.t -> Meth.t -> unit
+(** Verify one method and set its [max_stack]. Raises {!Error}. *)
+
+val program : Program.t -> unit
+(** Verify every method of a sealed program. Raises {!Error}. *)

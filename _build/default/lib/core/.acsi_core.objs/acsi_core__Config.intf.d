@@ -1,0 +1,1 @@
+lib/core/config.mli: Acsi_aos Acsi_policy Acsi_vm

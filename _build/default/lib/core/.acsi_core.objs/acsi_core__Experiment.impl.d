@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Acsi_bytecode Acsi_policy Config Float List Metrics Option Policy Printf Runtime String

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Acsi_bytecode Acsi_policy Config Metrics Policy

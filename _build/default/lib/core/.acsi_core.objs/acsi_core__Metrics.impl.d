@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Accounting Acsi_aos Acsi_bytecode Acsi_jit Acsi_policy Acsi_profile Acsi_vm Array Db Format List Registry System

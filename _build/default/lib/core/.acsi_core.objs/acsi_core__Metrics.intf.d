@@ -1,0 +1,1 @@
+lib/core/metrics.mli: Accounting Acsi_aos Acsi_vm Format System

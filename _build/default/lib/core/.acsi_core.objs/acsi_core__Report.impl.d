@@ -1,0 +1,1 @@
+lib/core/report.ml: Accounting Acsi_aos Acsi_policy Char Experiment Format List Metrics Option Policy Printf

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Acsi_aos Acsi_vm Config Metrics

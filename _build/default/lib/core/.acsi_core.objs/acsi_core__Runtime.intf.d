@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Acsi_aos Acsi_bytecode Acsi_profile Acsi_vm Config Metrics

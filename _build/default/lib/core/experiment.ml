@@ -1,0 +1,120 @@
+open Acsi_policy
+
+type bench = { name : string; program : Acsi_bytecode.Program.t }
+
+type point = { bench : string; policy : Policy.t; metrics : Metrics.t }
+
+type sweep = {
+  bench_names : string list;
+  baselines : (string * Metrics.t) list;
+  points : point list;
+}
+
+let run_sweep ?(progress = fun _ -> ()) cfg ~benches ~policies =
+  let baselines =
+    List.map
+      (fun b ->
+        progress (Printf.sprintf "%s under cins" b.name);
+        let cfg = Config.with_policy cfg Policy.Context_insensitive in
+        (b.name, (Runtime.run cfg b.program).Runtime.metrics))
+      benches
+  in
+  let points =
+    List.concat_map
+      (fun policy ->
+        List.map
+          (fun b ->
+            progress
+              (Printf.sprintf "%s under %s" b.name (Policy.to_string policy));
+            let cfg = Config.with_policy cfg policy in
+            {
+              bench = b.name;
+              policy;
+              metrics = (Runtime.run cfg b.program).Runtime.metrics;
+            })
+          benches)
+      policies
+  in
+  { bench_names = List.map (fun b -> b.name) benches; baselines; points }
+
+let find sweep ~bench ~policy =
+  List.find_opt
+    (fun p -> String.equal p.bench bench && p.policy = policy)
+    sweep.points
+  |> Option.map (fun p -> p.metrics)
+
+let baseline sweep ~bench = List.assoc bench sweep.baselines
+
+let with_point sweep ~bench ~policy ~f =
+  match find sweep ~bench ~policy with
+  | None -> 0.0
+  | Some m -> f ~baseline:(baseline sweep ~bench) m
+
+let speedup_pct sweep ~bench ~policy =
+  with_point sweep ~bench ~policy ~f:Metrics.speedup_pct
+
+let code_size_pct sweep ~bench ~policy =
+  with_point sweep ~bench ~policy ~f:Metrics.code_size_change_pct
+
+let compile_time_pct sweep ~bench ~policy =
+  with_point sweep ~bench ~policy ~f:Metrics.compile_time_change_pct
+
+(* The paper's harMean bars aggregate ratios, not percentages: convert each
+   percent change to a ratio, take the harmonic mean, convert back. *)
+let harmonic_mean_pct value benches =
+  match benches with
+  | [] -> 0.0
+  | _ :: _ ->
+      let ratios =
+        List.map (fun b -> 1.0 +. (value b /. 100.0)) benches
+      in
+      let n = float_of_int (List.length ratios) in
+      let denom = List.fold_left (fun acc r -> acc +. (1.0 /. r)) 0.0 ratios in
+      100.0 *. ((n /. denom) -. 1.0)
+
+type summary = {
+  mean_speedup_pct : float;
+  min_speedup_pct : float;
+  max_speedup_pct : float;
+  mean_code_pct : float;
+  best_code_reduction_pct : float;
+  mean_compile_pct : float;
+  best_compile_reduction_pct : float;
+}
+
+let summarize sweep =
+  let speedups =
+    List.map
+      (fun p -> speedup_pct sweep ~bench:p.bench ~policy:p.policy)
+      sweep.points
+  in
+  let codes =
+    List.map
+      (fun p -> code_size_pct sweep ~bench:p.bench ~policy:p.policy)
+      sweep.points
+  in
+  let compiles =
+    List.map
+      (fun p -> compile_time_pct sweep ~bench:p.bench ~policy:p.policy)
+      sweep.points
+  in
+  let mean xs =
+    match xs with
+    | [] -> 0.0
+    | _ :: _ ->
+        let ratios = List.map (fun x -> 1.0 +. (x /. 100.0)) xs in
+        let n = float_of_int (List.length ratios) in
+        100.0
+        *. ((n /. List.fold_left (fun a r -> a +. (1.0 /. r)) 0.0 ratios) -. 1.0)
+  in
+  let min_l = List.fold_left Float.min infinity in
+  let max_l = List.fold_left Float.max neg_infinity in
+  {
+    mean_speedup_pct = mean speedups;
+    min_speedup_pct = min_l speedups;
+    max_speedup_pct = max_l speedups;
+    mean_code_pct = mean codes;
+    best_code_reduction_pct = min_l codes;
+    mean_compile_pct = mean compiles;
+    best_compile_reduction_pct = min_l compiles;
+  }

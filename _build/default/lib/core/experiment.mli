@@ -1,0 +1,49 @@
+(** Policy sweeps over benchmark suites: the machinery behind every table
+    and figure of the paper's evaluation (see DESIGN.md's per-experiment
+    index). *)
+
+open Acsi_policy
+
+type bench = { name : string; program : Acsi_bytecode.Program.t }
+
+type point = { bench : string; policy : Policy.t; metrics : Metrics.t }
+
+type sweep = {
+  bench_names : string list;
+  baselines : (string * Metrics.t) list;
+      (** context-insensitive metrics per benchmark *)
+  points : point list;
+}
+
+val run_sweep :
+  ?progress:(string -> unit) ->
+  Config.t ->
+  benches:bench list ->
+  policies:Policy.t list ->
+  sweep
+(** Runs every benchmark once under [Context_insensitive] (the baseline)
+    and once per policy; the same configuration is used throughout. *)
+
+val find : sweep -> bench:string -> policy:Policy.t -> Metrics.t option
+val baseline : sweep -> bench:string -> Metrics.t
+
+val speedup_pct : sweep -> bench:string -> policy:Policy.t -> float
+val code_size_pct : sweep -> bench:string -> policy:Policy.t -> float
+val compile_time_pct : sweep -> bench:string -> policy:Policy.t -> float
+
+val harmonic_mean_pct : (string -> float) -> string list -> float
+(** Harmonic mean of per-benchmark percent changes, computed on the
+    underlying ratios as the paper's harMean bars are. *)
+
+type summary = {
+  mean_speedup_pct : float;  (** harmonic mean over benches and policies *)
+  min_speedup_pct : float;
+  max_speedup_pct : float;
+  mean_code_pct : float;
+  best_code_reduction_pct : float;
+  mean_compile_pct : float;
+  best_compile_reduction_pct : float;
+}
+
+val summarize : sweep -> summary
+(** Aggregates over every policy point (the abstract's headline numbers). *)

@@ -1,0 +1,137 @@
+open Acsi_aos
+module Interp = Acsi_vm.Interp
+
+type t = {
+  policy : string;
+  total_cycles : int;
+  app_cycles : int;
+  aos_cycles : int;
+  component_cycles : (Accounting.component * int) list;
+  opt_code_bytes : int;
+  installed_opt_bytes : int;
+  baseline_code_bytes : int;
+  opt_compile_cycles : int;
+  opt_compilations : int;
+  opt_methods : int;
+  baseline_methods : int;
+  method_samples : int;
+  trace_samples : int;
+  dcg_size : int;
+  rule_count : int;
+  refusals : int;
+  instructions : int;
+  calls : int;
+  guard_hits : int;
+  guard_misses : int;
+  inline_total : int;
+  guard_sites : int;
+  output_checksum : int;
+  classes_loaded : int;
+  methods_compiled : int;
+  bytecodes_compiled : int;
+}
+
+let checksum output =
+  List.fold_left (fun acc v -> (acc * 31) + v + 17) 0 output land max_int
+
+let of_run vm sys =
+  let program = Interp.program vm in
+  let acct = System.accounting sys in
+  let registry = System.registry sys in
+  let inline_total = ref 0 in
+  let guard_sites = ref 0 in
+  Registry.iter registry ~f:(fun _ e ->
+      inline_total := !inline_total + e.Registry.stats.Acsi_jit.Expand.inline_count;
+      guard_sites := !guard_sites + e.Registry.stats.Acsi_jit.Expand.guard_count);
+  let total = Interp.cycles vm in
+  let aos_cycles = Accounting.total acct in
+  (* Table 1 reports dynamically compiled code: methods actually executed. *)
+  let methods_compiled = System.baseline_compiled_methods sys in
+  let bytecodes_compiled =
+    Array.fold_left
+      (fun acc (m : Acsi_bytecode.Meth.t) ->
+        if Interp.was_executed vm m.Acsi_bytecode.Meth.id then
+          acc + Acsi_bytecode.Meth.size_units m
+        else acc)
+      0
+      (Acsi_bytecode.Program.methods program)
+  in
+  {
+    policy = Acsi_policy.Policy.to_string (System.config sys).System.policy;
+    total_cycles = total;
+    app_cycles = total - aos_cycles;
+    aos_cycles;
+    component_cycles =
+      List.map (fun c -> (c, Accounting.get acct c)) Accounting.all_components;
+    opt_code_bytes = Registry.cumulative_bytes registry;
+    installed_opt_bytes = Registry.installed_bytes registry;
+    baseline_code_bytes = System.baseline_code_bytes sys;
+    opt_compile_cycles = Registry.cumulative_compile_cycles registry;
+    opt_compilations = Registry.opt_compilation_count registry;
+    opt_methods = Registry.opt_method_count registry;
+    baseline_methods = System.baseline_compiled_methods sys;
+    method_samples = System.method_samples_taken sys;
+    trace_samples = System.trace_samples_taken sys;
+    dcg_size = Acsi_profile.Dcg.size (System.dcg sys);
+    rule_count = Acsi_profile.Rules.rule_count (System.rules sys);
+    refusals = Db.refusal_count (System.db sys);
+    instructions = Interp.instructions_executed vm;
+    calls = Interp.calls_executed vm;
+    guard_hits = Interp.guard_hits vm;
+    guard_misses = Interp.guard_misses vm;
+    inline_total = !inline_total;
+    guard_sites = !guard_sites;
+    output_checksum = checksum (Interp.output vm);
+    classes_loaded = Acsi_bytecode.Program.class_count program;
+    methods_compiled;
+    bytecodes_compiled;
+  }
+
+let pct_change ~from_v to_v =
+  if from_v = 0 then 0.0
+  else 100.0 *. (float_of_int to_v -. float_of_int from_v) /. float_of_int from_v
+
+let speedup_pct ~baseline t =
+  if t.total_cycles = 0 then 0.0
+  else
+    100.0
+    *. ((float_of_int baseline.total_cycles /. float_of_int t.total_cycles)
+       -. 1.0)
+
+let code_size_change_pct ~baseline t =
+  pct_change ~from_v:baseline.opt_code_bytes t.opt_code_bytes
+
+let compile_time_change_pct ~baseline t =
+  pct_change ~from_v:baseline.opt_compile_cycles t.opt_compile_cycles
+
+let component_pct t c =
+  if t.total_cycles = 0 then 0.0
+  else
+    100.0
+    *. float_of_int (List.assoc c t.component_cycles)
+    /. float_of_int t.total_cycles
+
+let pp fmt t =
+  let f = Format.fprintf in
+  f fmt "@[<v>policy               %s@," t.policy;
+  f fmt "total cycles         %d@," t.total_cycles;
+  f fmt "  application        %d@," t.app_cycles;
+  f fmt "  AOS overhead       %d (%.3f%%)@," t.aos_cycles
+    (100.0 *. float_of_int t.aos_cycles /. float_of_int (max 1 t.total_cycles));
+  List.iter
+    (fun (c, cyc) ->
+      f fmt "    %-22s %d@," (Accounting.component_name c) cyc)
+    t.component_cycles;
+  f fmt "opt code bytes       %d (installed %d)@," t.opt_code_bytes
+    t.installed_opt_bytes;
+  f fmt "baseline code bytes  %d@," t.baseline_code_bytes;
+  f fmt "opt compile cycles   %d over %d compilations of %d methods@,"
+    t.opt_compile_cycles t.opt_compilations t.opt_methods;
+  f fmt "samples              %d method / %d trace@," t.method_samples
+    t.trace_samples;
+  f fmt "profile              %d traces, %d rules, %d refusals@," t.dcg_size
+    t.rule_count t.refusals;
+  f fmt "execution            %d instrs, %d calls@," t.instructions t.calls;
+  f fmt "guards               %d hits / %d misses (%d sites, %d inlines)@,"
+    t.guard_hits t.guard_misses t.guard_sites t.inline_total;
+  f fmt "output checksum      %d@]" t.output_checksum

@@ -1,0 +1,61 @@
+(** Metrics extracted from a completed run: everything the paper's
+    evaluation reports, plus enough detail to debug a policy. *)
+
+open Acsi_aos
+
+type t = {
+  policy : string;
+  (* time *)
+  total_cycles : int;  (** wall clock: application + all AOS components *)
+  app_cycles : int;
+  aos_cycles : int;
+  component_cycles : (Accounting.component * int) list;
+  (* code space *)
+  opt_code_bytes : int;
+      (** cumulative optimized machine code generated (Figure 5 metric) *)
+  installed_opt_bytes : int;
+  baseline_code_bytes : int;
+  (* compilation *)
+  opt_compile_cycles : int;
+  opt_compilations : int;
+  opt_methods : int;
+  baseline_methods : int;
+  (* profiling *)
+  method_samples : int;
+  trace_samples : int;
+  dcg_size : int;
+  rule_count : int;
+  refusals : int;
+  (* execution detail *)
+  instructions : int;
+  calls : int;
+  guard_hits : int;
+  guard_misses : int;
+  inline_total : int;
+  guard_sites : int;
+  output_checksum : int;
+  (* program shape (Table 1) *)
+  classes_loaded : int;
+  methods_compiled : int;
+  bytecodes_compiled : int;
+}
+
+val of_run : Acsi_vm.Interp.t -> System.t -> t
+
+val speedup_pct : baseline:t -> t -> float
+(** Wall-clock speedup of [t] over [baseline] as the paper plots it:
+    positive = faster, in percent. *)
+
+val code_size_change_pct : baseline:t -> t -> float
+(** Percent change in optimized code bytes (negative = smaller). *)
+
+val compile_time_change_pct : baseline:t -> t -> float
+
+val component_pct : t -> Accounting.component -> float
+(** Percent of total execution time spent in one AOS component
+    (Figure 6). *)
+
+val checksum : int list -> int
+(** Order-sensitive checksum of a VM output stream. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+module Interp = Acsi_vm.Interp
+
+type result = {
+  metrics : Metrics.t;
+  vm : Interp.t;
+  sys : Acsi_aos.System.t;
+}
+
+let run ?profile (cfg : Config.t) program =
+  let vm =
+    Interp.create ~cost:cfg.Config.cost ~sample_period:cfg.Config.sample_period
+      ~invoke_stride:cfg.Config.invoke_stride program
+  in
+  let sys = Acsi_aos.System.create ?profile cfg.Config.aos vm in
+  Interp.run ~cycle_limit:cfg.Config.cycle_limit vm;
+  { metrics = Metrics.of_run vm sys; vm; sys }
+
+let run_no_aos (cfg : Config.t) program =
+  let vm =
+    Interp.create ~cost:cfg.Config.cost ~sample_period:cfg.Config.sample_period
+      ~invoke_stride:cfg.Config.invoke_stride program
+  in
+  Interp.run ~cycle_limit:cfg.Config.cycle_limit vm;
+  vm

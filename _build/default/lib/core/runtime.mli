@@ -1,0 +1,18 @@
+(** Couples a program, the VM and the adaptive optimization system into a
+    single run. *)
+
+type result = {
+  metrics : Metrics.t;
+  vm : Acsi_vm.Interp.t;
+  sys : Acsi_aos.System.t;
+}
+
+val run :
+  ?profile:Acsi_profile.Dcg.t -> Config.t -> Acsi_bytecode.Program.t -> result
+(** Execute the program to completion under the adaptive system.
+    [profile] seeds the dynamic call graph with a previously collected
+    profile (offline profile-directed inlining). *)
+
+val run_no_aos : Config.t -> Acsi_bytecode.Program.t -> Acsi_vm.Interp.t
+(** Execute purely at baseline, no adaptive system (for semantics
+    comparisons in tests). *)

@@ -1,0 +1,1 @@
+lib/jit/expand.ml: Acsi_bytecode Acsi_profile Acsi_vm Array Code Codebuf Cost Ids Instr List Meth Oracle Peephole Program Size Verify

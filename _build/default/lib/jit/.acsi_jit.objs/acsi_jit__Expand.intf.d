@@ -1,0 +1,1 @@
+lib/jit/expand.mli: Acsi_bytecode Acsi_vm Meth Oracle Program

@@ -1,0 +1,1 @@
+lib/jit/oracle.ml: Acsi_bytecode Acsi_profile Array Ids Instr Lazy List Meth Program Rules Size Trace

@@ -1,0 +1,1 @@
+lib/jit/oracle.mli: Acsi_bytecode Acsi_profile Ids Instr Meth Program Rules Trace

@@ -1,0 +1,1 @@
+lib/jit/peephole.ml: Acsi_bytecode Acsi_vm Array Ids Instr List

@@ -1,0 +1,1 @@
+lib/jit/peephole.mli: Acsi_bytecode Acsi_vm Instr

@@ -1,0 +1,1 @@
+lib/jit/size.ml: Acsi_bytecode Array Instr Meth

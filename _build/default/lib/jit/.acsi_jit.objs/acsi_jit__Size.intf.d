@@ -1,0 +1,1 @@
+lib/jit/size.mli: Acsi_bytecode Instr Meth

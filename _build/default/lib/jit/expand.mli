@@ -1,0 +1,34 @@
+(** The optimizing compiler's inline expander.
+
+    Produces optimized code for a root method by recursively splicing
+    callee bodies into it under the oracle's direction:
+
+    - arguments are popped into a fresh block of locals (the inlinee's
+      frame, renumbered into the root frame);
+    - the inlinee's returns are rewired to a join label, leaving the
+      result on the operand stack exactly where a real call would;
+    - speculative targets of polymorphic virtual sites are protected by
+      method-test guards chained onto a fallback virtual call;
+    - every emitted instruction carries a source-map entry so the trace
+      listener can recover the source-level stack (paper §3.3).
+
+    The produced code is re-verified ({!Acsi_bytecode.Verify}), which both
+    computes its operand-stack bound and guarantees the transformation
+    preserved the bytecode invariants. *)
+
+open Acsi_bytecode
+
+type stats = {
+  expanded_units : int;  (** size of the optimized body in units *)
+  inline_count : int;  (** call sites inlined (counting each guarded target) *)
+  guard_count : int;
+  compile_cycles : int;  (** modeled optimizing-compilation time *)
+  code_bytes : int;  (** modeled machine-code size *)
+  inlined_edges : (int * int * int) list;
+      (** (source caller method, source pc, callee) for every inline
+          performed — consumed by the AI missing-edge organizer *)
+}
+
+val compile :
+  Program.t -> Acsi_vm.Cost.t -> Oracle.t -> root:Meth.t ->
+  Acsi_vm.Code.t * stats

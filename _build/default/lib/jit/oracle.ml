@@ -1,0 +1,188 @@
+open Acsi_bytecode
+open Acsi_profile
+
+type config = {
+  exact_match_only : bool;
+  max_inline_depth : int;
+  extended_inline_depth : int;
+  expansion_factor : int;
+  expansion_slack : int;
+  extended_expansion_factor : int;
+  max_guarded_targets : int;
+  peephole : bool;
+}
+
+let default_config =
+  {
+    exact_match_only = false;
+    max_inline_depth = 5;
+    extended_inline_depth = 7;
+    expansion_factor = 4;
+    expansion_slack = 60;
+    extended_expansion_factor = 6;
+    max_guarded_targets = 2;
+    peephole = true;
+  }
+
+type refusal_reason =
+  | Too_large
+  | Budget
+  | Depth
+  | Recursive
+  | Context_conflict
+
+let refusal_reason_to_string = function
+  | Too_large -> "too-large"
+  | Budget -> "budget"
+  | Depth -> "depth"
+  | Recursive -> "recursive"
+  | Context_conflict -> "context-conflict"
+
+type target = {
+  target : Ids.Method_id.t;
+  guarded : bool;
+}
+
+type decision = No_inline | Inline of target list
+
+type t = {
+  program : Program.t;
+  cfg : config;
+  mutable rules : Rules.t;
+  mutable on_refusal :
+    site:Trace.entry array -> callee:Ids.Method_id.t -> refusal_reason -> unit;
+}
+
+let create ?(config = default_config) program =
+  {
+    program;
+    cfg = config;
+    rules = Rules.empty;
+    on_refusal = (fun ~site:_ ~callee:_ _ -> ());
+  }
+
+let config t = t.cfg
+let set_rules t rules = t.rules <- rules
+let rules t = t.rules
+let set_on_refusal t f = t.on_refusal <- f
+
+(* Whether an inlined body of [est] units fits the expansion budget. *)
+let budget_ok t ~extended ~root ~expanded_units ~est =
+  let factor =
+    if extended then t.cfg.extended_expansion_factor else t.cfg.expansion_factor
+  in
+  expanded_units + est
+  <= (factor * Meth.size_units root) + t.cfg.expansion_slack
+
+(* Verdict for one concrete callee. [hot] means the profile recommends this
+   callee here; refusals of hot callees are reported. *)
+let consider t ~root ~site_chain ~chain_methods ~depth ~expanded_units ~hot
+    ~const_args (callee : Meth.t) =
+  let refuse reason =
+    if hot then t.on_refusal ~site:site_chain ~callee:callee.Meth.id reason;
+    None
+  in
+  if List.exists (Ids.Method_id.equal callee.Meth.id) chain_methods then
+    refuse Recursive
+  else
+    let est = Size.estimate callee ~const_args in
+    match Size.classify ~units:est with
+    | Size.Large -> refuse Too_large
+    | Size.Tiny ->
+        if depth >= t.cfg.extended_inline_depth then refuse Depth
+        else if
+          budget_ok t ~extended:true ~root ~expanded_units ~est
+        then Some callee.Meth.id
+        else refuse Budget
+    | Size.Small ->
+        if
+          depth < t.cfg.max_inline_depth
+          && budget_ok t ~extended:false ~root ~expanded_units ~est
+        then Some callee.Meth.id
+        else if
+          (* profile data lets small methods exceed the normal limits *)
+          hot
+          && depth < t.cfg.extended_inline_depth
+          && budget_ok t ~extended:true ~root ~expanded_units ~est
+        then Some callee.Meth.id
+        else if depth >= t.cfg.max_inline_depth then refuse Depth
+        else refuse Budget
+    | Size.Medium ->
+        if not hot then None
+        else if depth >= t.cfg.max_inline_depth then refuse Depth
+        else if budget_ok t ~extended:false ~root ~expanded_units ~est then
+          Some callee.Meth.id
+        else refuse Budget
+
+let decide t ~root ~site_chain ~chain_methods ~depth ~expanded_units ~call
+    ~const_args =
+  let candidates =
+    lazy (Rules.candidates ~exact:t.cfg.exact_match_only t.rules ~site_chain)
+  in
+  (* Rule callees killed by the partial-match intersection at a site in
+     the root method itself are recorded as refusals, so the missing-edge
+     organizer stops recommending recompilations the oracle will keep
+     rejecting. *)
+  (if Array.length site_chain = 1 then
+     let e0 = site_chain.(0) in
+     Rules.rules_at t.rules ~caller:e0.Trace.caller ~callsite:e0.Trace.callsite
+     |> List.iter (fun (r : Rules.rule) ->
+            let callee = r.Rules.trace.Trace.callee in
+            let surviving =
+              List.exists
+                (fun (c, _) -> Ids.Method_id.equal c callee)
+                (Lazy.force candidates)
+            in
+            if not surviving then
+              t.on_refusal ~site:site_chain ~callee Context_conflict));
+  let is_hot mid =
+    List.exists
+      (fun (c, _) -> Ids.Method_id.equal c mid)
+      (Lazy.force candidates)
+  in
+  let consider_one ~guarded mid =
+    let callee = Program.meth t.program mid in
+    match
+      consider t ~root ~site_chain ~chain_methods ~depth ~expanded_units
+        ~hot:(is_hot mid) ~const_args callee
+    with
+    | Some target -> Some { target; guarded }
+    | None -> None
+  in
+  match (call : Instr.t) with
+  | Instr.Call_static mid | Instr.Call_direct mid -> (
+      match consider_one ~guarded:false mid with
+      | Some target -> Inline [ target ]
+      | None -> No_inline)
+  | Instr.Call_virtual (sel, _argc) -> (
+      match Program.monomorphic_target t.program sel with
+      | Some mid -> (
+          (* CHA statically binds the call: no guard needed (closed world,
+             see DESIGN.md). *)
+          match consider_one ~guarded:false mid with
+          | Some target -> Inline [ target ]
+          | None -> No_inline)
+      | None ->
+          (* Polymorphic: guarded inlining of the profile's dominant
+             targets, most frequent first. *)
+          let impls = Program.implementations t.program sel in
+          let hot_targets =
+            Lazy.force candidates
+            |> List.filter (fun (mid, _) ->
+                   List.exists (Ids.Method_id.equal mid) impls)
+          in
+          let chosen =
+            List.filteri (fun i _ -> i < t.cfg.max_guarded_targets) hot_targets
+            |> List.filter_map (fun (mid, _) ->
+                   consider_one ~guarded:true mid)
+          in
+          (match chosen with [] -> No_inline | _ :: _ -> Inline chosen))
+  | Instr.Const _ | Instr.Const_null | Instr.Load _ | Instr.Store _
+  | Instr.Dup | Instr.Pop | Instr.Swap | Instr.Binop _ | Instr.Neg
+  | Instr.Not | Instr.Cmp _ | Instr.Jump _ | Instr.Jump_if _
+  | Instr.Jump_ifnot _ | Instr.New _ | Instr.Get_field _ | Instr.Put_field _
+  | Instr.Get_global _ | Instr.Put_global _ | Instr.Array_new
+  | Instr.Array_get | Instr.Array_set | Instr.Array_len | Instr.Return
+  | Instr.Return_void | Instr.Instance_of _ | Instr.Guard_method _
+  | Instr.Print_int | Instr.Nop ->
+      No_inline

@@ -1,0 +1,88 @@
+(** The Inlining Oracle (paper §3.1).
+
+    The optimizing compiler consults the oracle at every call site to learn
+    which callees, if any, to inline there. The oracle combines:
+
+    - static heuristics: size classes ({!Size}), inline depth and code
+      expansion budgets, class-hierarchy analysis for static binding;
+    - profile-directed rules: the hot traces exported by the adaptive
+      inlining organizer, matched against the compilation context with
+      partial matching (paper Eq. 3).
+
+    Profile data extends the static heuristics exactly the three ways the
+    paper lists: enabling guarded inlining at polymorphic virtual sites,
+    admitting medium-sized methods, and letting small methods exceed the
+    normal depth/expansion limits.
+
+    Refusals of profile-recommended inlines are reported through a callback
+    so the AOS database can stop the missing-edge organizer from
+    re-recommending them. *)
+
+open Acsi_bytecode
+open Acsi_profile
+
+type config = {
+  exact_match_only : bool;
+      (** ablation: disable Eq. 3 partial matching — a rule applies only
+          when its recorded context equals the compilation context *)
+  max_inline_depth : int;
+  extended_inline_depth : int;
+      (** allowed for profile-hot small callees (limits exceeded case) *)
+  expansion_factor : int;
+      (** expanded code may reach [factor * root_size + slack] units *)
+  expansion_slack : int;
+  extended_expansion_factor : int;
+  max_guarded_targets : int;  (** guarded inlinees per virtual site *)
+  peephole : bool;
+      (** run classical peephole optimization on expanded code (see
+          {!Peephole}); off = ablation *)
+}
+
+val default_config : config
+
+type refusal_reason =
+  | Too_large
+  | Budget
+  | Depth
+  | Recursive
+  | Context_conflict
+      (** the callee is hot at this site under some contexts, but the
+          applicable contexts disagree and the compilation context cannot
+          discriminate (empty partial-match intersection) *)
+
+val refusal_reason_to_string : refusal_reason -> string
+
+type target = {
+  target : Ids.Method_id.t;
+  guarded : bool;  (** true: protect with a method-test guard + fallback *)
+}
+
+type decision = No_inline | Inline of target list
+
+type t
+
+val create : ?config:config -> Program.t -> t
+
+val config : t -> config
+val set_rules : t -> Rules.t -> unit
+val rules : t -> Rules.t
+
+val set_on_refusal :
+  t ->
+  (site:Trace.entry array -> callee:Ids.Method_id.t -> refusal_reason -> unit) ->
+  unit
+
+val decide :
+  t ->
+  root:Meth.t ->
+  site_chain:Trace.entry array ->
+  chain_methods:Ids.Method_id.t list ->
+  depth:int ->
+  expanded_units:int ->
+  call:Instr.t ->
+  const_args:int ->
+  decision
+(** [site_chain] is the compilation context, innermost-first; entry 0 is
+    the call site itself. [chain_methods] are the methods already in the
+    current inline chain (recursion prevention); [depth] the current
+    inline depth; [expanded_units] the units emitted so far for [root]. *)

@@ -1,0 +1,242 @@
+open Acsi_bytecode
+
+(* Positions that control flow can enter other than by falling through:
+   rewrites must not merge instructions across these. *)
+let leaders instrs =
+  let n = Array.length instrs in
+  let is_leader = Array.make (n + 1) false in
+  is_leader.(0) <- true;
+  Array.iteri
+    (fun pc instr ->
+      List.iter
+        (fun t -> is_leader.(t) <- true)
+        (Instr.jump_targets instr);
+      match instr with
+      | Instr.Jump _ | Instr.Jump_if _ | Instr.Jump_ifnot _
+      | Instr.Guard_method _ | Instr.Return | Instr.Return_void ->
+          if pc + 1 <= n then is_leader.(pc + 1) <- true
+      | Instr.Const _ | Instr.Const_null | Instr.Load _ | Instr.Store _
+      | Instr.Dup | Instr.Pop | Instr.Swap | Instr.Binop _ | Instr.Neg
+      | Instr.Not | Instr.Cmp _ | Instr.New _ | Instr.Get_field _
+      | Instr.Put_field _ | Instr.Get_global _ | Instr.Put_global _
+      | Instr.Array_new | Instr.Array_get | Instr.Array_set
+      | Instr.Array_len | Instr.Call_static _ | Instr.Call_virtual _
+      | Instr.Call_direct _ | Instr.Instance_of _ | Instr.Print_int
+      | Instr.Nop ->
+          ())
+    instrs;
+  is_leader
+
+let fold_binop op a b =
+  match (op : Instr.binop) with
+  | Instr.Add -> Some (a + b)
+  | Instr.Sub -> Some (a - b)
+  | Instr.Mul -> Some (a * b)
+  | Instr.Div -> if b = 0 then None else Some (a / b)
+  | Instr.Rem -> if b = 0 then None else Some (a mod b)
+  | Instr.And -> Some (a land b)
+  | Instr.Or -> Some (a lor b)
+  | Instr.Xor -> Some (a lxor b)
+  | Instr.Shl -> Some (a lsl (b land 63))
+  | Instr.Shr -> Some (a asr (b land 63))
+
+let fold_cmp c a b =
+  let r =
+    match (c : Instr.cmp) with
+    | Instr.Eq -> a = b
+    | Instr.Ne -> a <> b
+    | Instr.Lt -> a < b
+    | Instr.Le -> a <= b
+    | Instr.Gt -> a > b
+    | Instr.Ge -> a >= b
+  in
+  if r then 1 else 0
+
+(* One local-rewrite pass. Instructions are replaced by [Nop]s in place
+   (position-preserving, so branch targets stay valid); compaction happens
+   separately. Returns whether anything changed. *)
+let rewrite_pass instrs =
+  let n = Array.length instrs in
+  let is_leader = leaders instrs in
+  let changed = ref false in
+  (* The previous one or two non-Nop instructions within the current basic
+     block, as (pc, instr). *)
+  let window : (int * Instr.t) list ref = ref [] in
+  let kill pc =
+    instrs.(pc) <- Instr.Nop;
+    changed := true
+  in
+  let replace pc instr =
+    instrs.(pc) <- instr;
+    changed := true
+  in
+  for pc = 0 to n - 1 do
+    if is_leader.(pc) then window := [];
+    (match (instrs.(pc), !window) with
+    | Instr.Nop, _ -> ()
+    (* constant folding *)
+    | Instr.Binop op, (p2, Instr.Const b) :: (p1, Instr.Const a) :: _ -> (
+        match fold_binop op a b with
+        | Some r ->
+            kill p1;
+            kill p2;
+            replace pc (Instr.Const r)
+        | None -> ())
+    | Instr.Cmp c, (p2, Instr.Const b) :: (p1, Instr.Const a) :: _ ->
+        kill p1;
+        kill p2;
+        replace pc (Instr.Const (fold_cmp c a b))
+    | Instr.Neg, (p1, Instr.Const a) :: _ ->
+        kill p1;
+        replace pc (Instr.Const (-a))
+    | Instr.Not, (p1, Instr.Const a) :: _ ->
+        kill p1;
+        replace pc (Instr.Const (if a = 0 then 1 else 0))
+    (* algebraic push/pop cleanups *)
+    | Instr.Pop, (p1, (Instr.Const _ | Instr.Const_null | Instr.Load _ | Instr.Get_global _)) :: _ ->
+        kill p1;
+        kill pc
+    | Instr.Pop, (p1, Instr.Dup) :: _ ->
+        kill p1;
+        kill pc
+    | Instr.Swap, (p1, Instr.Swap) :: _ ->
+        kill p1;
+        kill pc
+    (* branch simplification *)
+    | Instr.Jump_if t, (p1, Instr.Not) :: _ ->
+        kill p1;
+        replace pc (Instr.Jump_ifnot t)
+    | Instr.Jump_ifnot t, (p1, Instr.Not) :: _ ->
+        kill p1;
+        replace pc (Instr.Jump_if t)
+    | Instr.Jump_if t, (p1, Instr.Const a) :: _ ->
+        kill p1;
+        replace pc (if a <> 0 then Instr.Jump t else Instr.Nop)
+    | Instr.Jump_ifnot t, (p1, Instr.Const a) :: _ ->
+        kill p1;
+        replace pc (if a = 0 then Instr.Jump t else Instr.Nop)
+    (* jump threading: a jump whose target is an unconditional jump *)
+    | (Instr.Jump t | Instr.Jump_if t | Instr.Jump_ifnot t), _
+      when t < n
+           && (match instrs.(t) with
+              | Instr.Jump t' -> t' <> t
+              | _ -> false) -> (
+        match instrs.(t) with
+        | Instr.Jump t' ->
+            replace pc (Instr.with_jump_targets instrs.(pc) ~f:(fun _ -> t'))
+        | _ -> ())
+    (* jump to the immediately following instruction *)
+    | Instr.Jump t, _ when t = pc + 1 -> kill pc
+    | ( ( Instr.Const _ | Instr.Const_null | Instr.Load _ | Instr.Store _
+        | Instr.Dup | Instr.Pop | Instr.Swap | Instr.Binop _ | Instr.Neg
+        | Instr.Not | Instr.Cmp _ | Instr.Jump _ | Instr.Jump_if _
+        | Instr.Jump_ifnot _ | Instr.New _ | Instr.Get_field _
+        | Instr.Put_field _ | Instr.Get_global _ | Instr.Put_global _
+        | Instr.Array_new | Instr.Array_get | Instr.Array_set
+        | Instr.Array_len | Instr.Call_static _ | Instr.Call_virtual _
+        | Instr.Call_direct _ | Instr.Return | Instr.Return_void
+        | Instr.Instance_of _ | Instr.Guard_method _ | Instr.Print_int ),
+        _ ) ->
+        ());
+    (* Update the window with whatever now sits at pc, dropping entries a
+       rewrite invalidated (their slot no longer holds that instruction). *)
+    let survivors =
+      List.filter (fun (p, i) -> instrs.(p) = i && i <> Instr.Nop) !window
+    in
+    match instrs.(pc) with
+    | Instr.Nop -> window := survivors
+    | instr ->
+        window :=
+          (pc, instr) :: (match survivors with a :: _ -> [ a ] | [] -> [])
+  done;
+  !changed
+
+(* Reachability from pc 0 (guards and conditional jumps both continue and
+   branch). *)
+let reachable instrs =
+  let n = Array.length instrs in
+  let seen = Array.make n false in
+  let stack = ref [ 0 ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | pc :: rest ->
+        stack := rest;
+        if pc < n && not seen.(pc) then begin
+          seen.(pc) <- true;
+          List.iter
+            (fun t -> stack := t :: !stack)
+            (Instr.jump_targets instrs.(pc));
+          match instrs.(pc) with
+          | Instr.Jump _ | Instr.Return | Instr.Return_void -> ()
+          | Instr.Const _ | Instr.Const_null | Instr.Load _ | Instr.Store _
+          | Instr.Dup | Instr.Pop | Instr.Swap | Instr.Binop _ | Instr.Neg
+          | Instr.Not | Instr.Cmp _ | Instr.Jump_if _ | Instr.Jump_ifnot _
+          | Instr.New _ | Instr.Get_field _ | Instr.Put_field _
+          | Instr.Get_global _ | Instr.Put_global _ | Instr.Array_new
+          | Instr.Array_get | Instr.Array_set | Instr.Array_len
+          | Instr.Call_static _ | Instr.Call_virtual _ | Instr.Call_direct _
+          | Instr.Instance_of _ | Instr.Guard_method _ | Instr.Print_int
+          | Instr.Nop ->
+              stack := (pc + 1) :: !stack
+        end
+  done;
+  seen
+
+(* Drop Nops and unreachable instructions, remapping branch targets. A
+   branch target that itself dies remaps to the next surviving position. *)
+let compact instrs srcs =
+  let n = Array.length instrs in
+  let live = reachable instrs in
+  let keep = Array.init n (fun pc -> live.(pc) && instrs.(pc) <> Instr.Nop) in
+  let new_pos = Array.make (n + 1) 0 in
+  let count = ref 0 in
+  for pc = 0 to n - 1 do
+    new_pos.(pc) <- !count;
+    if keep.(pc) then incr count
+  done;
+  new_pos.(n) <- !count;
+  (* map a (possibly dead) target to the next surviving instruction *)
+  let remap t =
+    let rec next pc = if pc >= n || keep.(pc) then new_pos.(min pc n) else next (pc + 1) in
+    next t
+  in
+  let out = Array.make !count Instr.Nop in
+  let out_srcs =
+    Array.make !count
+      (match srcs with
+      | [||] -> { Acsi_vm.Code.src_meth = Ids.Method_id.of_int 0; src_pc = -1; parents = [] }
+      | _ -> srcs.(0))
+  in
+  for pc = 0 to n - 1 do
+    if keep.(pc) then begin
+      out.(new_pos.(pc)) <- Instr.with_jump_targets instrs.(pc) ~f:remap;
+      out_srcs.(new_pos.(pc)) <- srcs.(pc)
+    end
+  done;
+  (out, out_srcs)
+
+let max_passes = 8
+
+(* Alternate rewrite fixpoints with compaction: compaction itself exposes
+   new windows (e.g. a jump becomes jump-to-next only after the dead code
+   between them is dropped). *)
+let optimize (instrs, srcs) =
+  let rec round k instrs srcs =
+    let instrs = Array.copy instrs in
+    let srcs = Array.copy srcs in
+    let rec go j = if j < max_passes && rewrite_pass instrs then go (j + 1) in
+    go 0;
+    let before = Array.length instrs in
+    let instrs, srcs = compact instrs srcs in
+    if k < max_passes && Array.length instrs < before then
+      round (k + 1) instrs srcs
+    else (instrs, srcs)
+  in
+  round 0 instrs srcs
+
+let optimize_instrs instrs =
+  let dummy =
+    { Acsi_vm.Code.src_meth = Ids.Method_id.of_int 0; src_pc = -1; parents = [] }
+  in
+  fst (optimize (instrs, Array.make (Array.length instrs) dummy))

@@ -1,0 +1,28 @@
+(** Classical peephole optimization over (expanded) bytecode.
+
+    The paper's optimizing compiler runs a full classical-optimization
+    pipeline after inlining; its size estimates assume effects like
+    constant folding of inlined argument values (footnote 1). This pass
+    makes a representative slice of that real:
+
+    - constant folding of arithmetic, comparisons and unary operators;
+    - algebraic simplification of push/pop, dup/pop and swap/swap pairs;
+    - branch simplification: [Not] absorbed into conditional jumps,
+      constant conditions resolved, jump-to-next elided;
+    - jump threading through unconditional jump chains;
+    - unreachable-code elimination with target remapping.
+
+    Rewrites never cross basic-block leaders, so join-point stack shapes
+    are preserved; the result still verifies (the expander re-verifies).
+    Source-map annotations follow the surviving instructions. *)
+
+open Acsi_bytecode
+
+val optimize :
+  Instr.t array * Acsi_vm.Code.src_entry array ->
+  Instr.t array * Acsi_vm.Code.src_entry array
+(** Optimize to a fixed point (bounded passes). The input arrays must have
+    equal length; so do the output arrays. *)
+
+val optimize_instrs : Instr.t array -> Instr.t array
+(** [optimize] with dummy annotations; for tests and standalone use. *)

@@ -1,0 +1,1 @@
+lib/lang/compile.ml: Acsi_bytecode Array Ast Bool Codebuf Format Hashtbl Ids Instr List Meth Option Printf Program String Verify

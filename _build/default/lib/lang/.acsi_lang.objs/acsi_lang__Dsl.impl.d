@@ -1,0 +1,1 @@
+lib/lang/dsl.ml: Acsi_bytecode Ast Instr

@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Acsi_bytecode Array Ast Compile Format Instr Lexer List Option Printf

@@ -1,0 +1,76 @@
+(* The structured mini-language that workloads and examples are written in.
+
+   The language is a small Java-like subset: classes with single
+   inheritance, instance and static methods, integer arithmetic, arrays,
+   and virtual dispatch. It compiles to the bytecode IR (see Compile).
+
+   Field accesses on expressions other than [this] carry the static class
+   name of the receiver so the compiler can resolve the field slot without
+   a type checker; the named class only fixes the layout, dispatch stays
+   fully dynamic. *)
+
+type binop = Acsi_bytecode.Instr.binop
+type cmp = Acsi_bytecode.Instr.cmp
+
+type expr =
+  | Int of int
+  | Null
+  | Local of string
+  | Global of string
+  | This
+  | Neg of expr
+  | Not of expr
+  | Binop of binop * expr * expr
+  | Cmp of cmp * expr * expr
+  | And of expr * expr  (* short-circuit *)
+  | Or of expr * expr  (* short-circuit *)
+  | Cond of expr * expr * expr  (* conditional expression: c ? a : b *)
+  | Static_call of string * string * expr list  (* class, method, args *)
+  | Virtual_call of expr * string * expr list  (* receiver, selector, args *)
+  | Direct_call of expr * string * string * expr list
+      (* receiver, static class, method: statically-bound instance call *)
+  | New of string * expr list  (* runs the class's "init" constructor *)
+  | This_field of string
+  | Field of string * expr * string  (* static class, receiver, field *)
+  | Array_new of expr
+  | Array_get of expr * expr
+  | Array_len of expr
+  | Instance_of of expr * string
+
+type stmt =
+  | Let of string * expr
+      (* binds a fresh local on first use, reassigns afterwards *)
+  | Set_global of string * expr
+  | Set_this_field of string * expr
+  | Set_field of string * expr * string * expr  (* class, receiver, field, v *)
+  | Array_set of expr * expr * expr  (* array, index, value *)
+  | Expr of expr  (* evaluate for effect; result (if any) is dropped *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of string * expr * expr * stmt list
+      (* for v = lo; v < hi; v = v + 1 — hi is re-evaluated per iteration *)
+  | Return of expr option
+  | Print of expr
+
+type meth_kind = Static | Instance
+
+type meth_decl = {
+  md_name : string;
+  md_kind : meth_kind;
+  md_params : string list;
+  md_returns : bool;
+  md_body : stmt list;
+}
+
+type class_decl = {
+  cd_name : string;
+  cd_parent : string option;
+  cd_fields : string list;
+  cd_methods : meth_decl list;
+}
+
+type prog = {
+  pr_classes : class_decl list;
+  pr_globals : string list;
+  pr_main : stmt list;
+}

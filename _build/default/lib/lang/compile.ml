@@ -1,0 +1,512 @@
+open Acsi_bytecode
+
+exception Error of string
+
+let err fmt = Format.kasprintf (fun msg -> raise (Error msg)) fmt
+
+let emit_u buf instr = Codebuf.emit buf instr ()
+let branch_u buf instr label = Codebuf.emit_branch buf instr () label
+
+type class_info = {
+  ci_id : Ids.Class_id.t;
+  ci_decl : Ast.class_decl;
+  ci_layout : string array;  (* full field layout, inherited prefix first *)
+}
+
+type ctx = {
+  builder : Program.Builder.t;
+  class_infos : (string, class_info) Hashtbl.t;
+  statics : (string, Ids.Method_id.t * Ast.meth_decl) Hashtbl.t;
+      (* key "Class.method" *)
+  instances : (string, Ids.Method_id.t * Ast.meth_decl) Hashtbl.t;
+      (* key "Class.method", declared (not inherited) *)
+  selector_sigs : (string, bool) Hashtbl.t;  (* mangled selector -> returns *)
+  globals : (string, int) Hashtbl.t;
+}
+
+(* Selectors are overloaded by arity, Java-style: the interned dispatch
+   name is "name/arity". *)
+let mangle name arity = Printf.sprintf "%s/%d" name arity
+
+let class_info ctx name =
+  match Hashtbl.find_opt ctx.class_infos name with
+  | Some ci -> ci
+  | None -> err "unknown class %s" name
+
+let field_slot ctx cls field =
+  let ci = class_info ctx cls in
+  let layout = ci.ci_layout in
+  let rec find i =
+    if i >= Array.length layout then
+      err "class %s has no field %s" cls field
+    else if String.equal layout.(i) field then i
+    else find (i + 1)
+  in
+  find 0
+
+(* Find an instance method by name/arity on [cls] or the nearest
+   ancestor. *)
+let rec find_instance ctx cls name ~arity =
+  match Hashtbl.find_opt ctx.instances (cls ^ "." ^ mangle name arity) with
+  | Some found -> found
+  | None -> (
+      let ci = class_info ctx cls in
+      match ci.ci_decl.Ast.cd_parent with
+      | Some parent -> find_instance ctx parent name ~arity
+      | None -> err "class %s has no instance method %s/%d" cls name arity)
+
+let find_static ctx cls name ~arity =
+  match Hashtbl.find_opt ctx.statics (cls ^ "." ^ mangle name arity) with
+  | Some found -> found
+  | None -> err "class %s has no static method %s/%d" cls name arity
+
+let selector_sig ctx name ~arity =
+  match Hashtbl.find_opt ctx.selector_sigs (mangle name arity) with
+  | Some s -> s
+  | None -> err "no instance method anywhere is named %s/%d" name arity
+
+(* Per-method-body compilation state. *)
+type body_ctx = {
+  ctx : ctx;
+  em : unit Codebuf.t;
+  locals : (string, int) Hashtbl.t;
+  mutable next_slot : int;
+  owner : string option;  (* enclosing class for This/This_field *)
+  meth_name : string;  (* for error messages *)
+}
+
+let berr bc fmt =
+  Format.kasprintf
+    (fun msg -> err "in %s: %s" bc.meth_name msg)
+    fmt
+
+let local_slot bc name =
+  match Hashtbl.find_opt bc.locals name with
+  | Some slot -> slot
+  | None ->
+      let slot = bc.next_slot in
+      Hashtbl.add bc.locals name slot;
+      bc.next_slot <- slot + 1;
+      slot
+
+let bound_local bc name =
+  match Hashtbl.find_opt bc.locals name with
+  | Some slot -> slot
+  | None -> berr bc "unbound local %s" name
+
+let global_slot bc name =
+  match Hashtbl.find_opt bc.ctx.globals name with
+  | Some slot -> slot
+  | None -> berr bc "unknown global %s" name
+
+(* Compile an expression; returns whether a value was pushed. Void calls
+   push nothing and are only legal in statement position ([want_value]
+   false). All other expressions always push. *)
+let rec compile_expr bc ~want_value (e : Ast.expr) =
+  let emit = emit_u bc.em in
+  let push1 () = true in
+  match e with
+  | Ast.Int n ->
+      emit (Instr.Const n);
+      push1 ()
+  | Ast.Null ->
+      emit Instr.Const_null;
+      push1 ()
+  | Ast.Local name ->
+      emit (Instr.Load (bound_local bc name));
+      push1 ()
+  | Ast.Global name ->
+      emit (Instr.Get_global (global_slot bc name));
+      push1 ()
+  | Ast.This -> (
+      match bc.owner with
+      | Some _ ->
+          emit (Instr.Load 0);
+          push1 ()
+      | None -> berr bc "this outside an instance method")
+  | Ast.Neg e1 ->
+      ignore (compile_value bc e1);
+      emit Instr.Neg;
+      push1 ()
+  | Ast.Not e1 ->
+      ignore (compile_value bc e1);
+      emit Instr.Not;
+      push1 ()
+  | Ast.Binop (op, a, b) ->
+      ignore (compile_value bc a);
+      ignore (compile_value bc b);
+      emit (Instr.Binop op);
+      push1 ()
+  | Ast.Cmp (c, a, b) ->
+      ignore (compile_value bc a);
+      ignore (compile_value bc b);
+      emit (Instr.Cmp c);
+      push1 ()
+  | Ast.And (a, b) ->
+      let l_false = Codebuf.new_label bc.em in
+      let l_end = Codebuf.new_label bc.em in
+      ignore (compile_value bc a);
+      branch_u bc.em (Instr.Jump_ifnot 0) l_false;
+      ignore (compile_value bc b);
+      branch_u bc.em (Instr.Jump 0) l_end;
+      Codebuf.bind_label bc.em l_false;
+      emit (Instr.Const 0);
+      Codebuf.bind_label bc.em l_end;
+      push1 ()
+  | Ast.Or (a, b) ->
+      let l_true = Codebuf.new_label bc.em in
+      let l_end = Codebuf.new_label bc.em in
+      ignore (compile_value bc a);
+      branch_u bc.em (Instr.Jump_if 0) l_true;
+      ignore (compile_value bc b);
+      branch_u bc.em (Instr.Jump 0) l_end;
+      Codebuf.bind_label bc.em l_true;
+      emit (Instr.Const 1);
+      Codebuf.bind_label bc.em l_end;
+      push1 ()
+  | Ast.Cond (c, a, b) ->
+      let l_else = Codebuf.new_label bc.em in
+      let l_end = Codebuf.new_label bc.em in
+      ignore (compile_value bc c);
+      branch_u bc.em (Instr.Jump_ifnot 0) l_else;
+      ignore (compile_value bc a);
+      branch_u bc.em (Instr.Jump 0) l_end;
+      Codebuf.bind_label bc.em l_else;
+      ignore (compile_value bc b);
+      Codebuf.bind_label bc.em l_end;
+      push1 ()
+  | Ast.Static_call (cls, name, args) ->
+      let mid, decl = find_static bc.ctx cls name ~arity:(List.length args) in
+      ignore decl;
+      List.iter (fun a -> ignore (compile_value bc a)) args;
+      emit (Instr.Call_static mid);
+      if (not decl.Ast.md_returns) && want_value then
+        berr bc "void static call %s.%s used as a value" cls name;
+      decl.Ast.md_returns
+  | Ast.Virtual_call (recv, name, args) ->
+      let arity = List.length args in
+      let returns = selector_sig bc.ctx name ~arity in
+      ignore (compile_value bc recv);
+      List.iter (fun a -> ignore (compile_value bc a)) args;
+      let sel =
+        Program.Builder.intern_selector bc.ctx.builder (mangle name arity)
+      in
+      emit (Instr.Call_virtual (sel, arity));
+      if (not returns) && want_value then
+        berr bc "void virtual call %s used as a value" name;
+      returns
+  | Ast.Direct_call (recv, cls, name, args) ->
+      let mid, decl = find_instance bc.ctx cls name ~arity:(List.length args) in
+      ignore decl;
+      ignore (compile_value bc recv);
+      List.iter (fun a -> ignore (compile_value bc a)) args;
+      emit (Instr.Call_direct mid);
+      if (not decl.Ast.md_returns) && want_value then
+        berr bc "void direct call %s.%s used as a value" cls name;
+      decl.Ast.md_returns
+  | Ast.New (cls, args) ->
+      let ci = class_info bc.ctx cls in
+      emit (Instr.New ci.ci_id);
+      (try
+         let mid, decl =
+           find_instance bc.ctx cls "init" ~arity:(List.length args)
+         in
+         if decl.Ast.md_returns then
+           berr bc "constructor %s.init must not return a value" cls;
+         emit Instr.Dup;
+         List.iter (fun a -> ignore (compile_value bc a)) args;
+         emit (Instr.Call_direct mid)
+       with Error _ when args = [] -> ());
+      push1 ()
+  | Ast.This_field field -> (
+      match bc.owner with
+      | Some owner ->
+          emit (Instr.Load 0);
+          emit (Instr.Get_field (field_slot bc.ctx owner field));
+          push1 ()
+      | None -> berr bc "this.%s outside an instance method" field)
+  | Ast.Field (cls, recv, field) ->
+      ignore (compile_value bc recv);
+      emit (Instr.Get_field (field_slot bc.ctx cls field));
+      push1 ()
+  | Ast.Array_new len ->
+      ignore (compile_value bc len);
+      emit Instr.Array_new;
+      push1 ()
+  | Ast.Array_get (a, idx) ->
+      ignore (compile_value bc a);
+      ignore (compile_value bc idx);
+      emit Instr.Array_get;
+      push1 ()
+  | Ast.Array_len a ->
+      ignore (compile_value bc a);
+      emit Instr.Array_len;
+      push1 ()
+  | Ast.Instance_of (e1, cls) ->
+      ignore (compile_value bc e1);
+      emit (Instr.Instance_of (class_info bc.ctx cls).ci_id);
+      push1 ()
+
+and compile_value bc e =
+  let pushed = compile_expr bc ~want_value:true e in
+  assert pushed
+
+(* Whether a statement list statically ends every control path in a
+   return — used to suppress unreachable jumps after branches (which
+   would otherwise produce out-of-range targets at the end of a body). *)
+let rec stmts_terminate = function
+  | [] -> false
+  | [ last ] -> stmt_terminates last
+  | _ :: rest -> stmts_terminate rest
+
+and stmt_terminates = function
+  | Ast.Return _ -> true
+  | Ast.If (_, t, f) -> stmts_terminate t && stmts_terminate f
+  | Ast.Let _ | Ast.Set_global _ | Ast.Set_this_field _ | Ast.Set_field _
+  | Ast.Array_set _ | Ast.Expr _ | Ast.While _ | Ast.For _ | Ast.Print _ ->
+      false
+
+let rec compile_stmt bc ~returns (s : Ast.stmt) =
+  let emit = emit_u bc.em in
+  match s with
+  | Ast.Let (name, e) ->
+      compile_value bc e;
+      emit (Instr.Store (local_slot bc name))
+  | Ast.Set_global (name, e) ->
+      compile_value bc e;
+      emit (Instr.Put_global (global_slot bc name))
+  | Ast.Set_this_field (field, e) -> (
+      match bc.owner with
+      | Some owner ->
+          emit (Instr.Load 0);
+          compile_value bc e;
+          emit (Instr.Put_field (field_slot bc.ctx owner field))
+      | None -> berr bc "this.%s outside an instance method" field)
+  | Ast.Set_field (cls, recv, field, e) ->
+      compile_value bc recv;
+      compile_value bc e;
+      emit (Instr.Put_field (field_slot bc.ctx cls field))
+  | Ast.Array_set (a, idx, value) ->
+      compile_value bc a;
+      compile_value bc idx;
+      compile_value bc value;
+      emit Instr.Array_set
+  | Ast.Expr e -> if compile_expr bc ~want_value:false e then emit Instr.Pop
+  | Ast.If (c, t, f) ->
+      let l_else = Codebuf.new_label bc.em in
+      let l_end = Codebuf.new_label bc.em in
+      compile_value bc c;
+      branch_u bc.em (Instr.Jump_ifnot 0) l_else;
+      List.iter (compile_stmt bc ~returns) t;
+      if not (stmts_terminate t) then branch_u bc.em (Instr.Jump 0) l_end;
+      Codebuf.bind_label bc.em l_else;
+      List.iter (compile_stmt bc ~returns) f;
+      Codebuf.bind_label bc.em l_end
+  | Ast.While (c, body) ->
+      let l_head = Codebuf.new_label bc.em in
+      let l_end = Codebuf.new_label bc.em in
+      Codebuf.bind_label bc.em l_head;
+      compile_value bc c;
+      branch_u bc.em (Instr.Jump_ifnot 0) l_end;
+      List.iter (compile_stmt bc ~returns) body;
+      branch_u bc.em (Instr.Jump 0) l_head;
+      Codebuf.bind_label bc.em l_end
+  | Ast.For (name, lo, hi, body) ->
+      let slot = local_slot bc name in
+      compile_value bc lo;
+      emit (Instr.Store slot);
+      let l_head = Codebuf.new_label bc.em in
+      let l_end = Codebuf.new_label bc.em in
+      Codebuf.bind_label bc.em l_head;
+      emit (Instr.Load slot);
+      compile_value bc hi;
+      emit (Instr.Cmp Instr.Lt);
+      branch_u bc.em (Instr.Jump_ifnot 0) l_end;
+      List.iter (compile_stmt bc ~returns) body;
+      emit (Instr.Load slot);
+      emit (Instr.Const 1);
+      emit (Instr.Binop Instr.Add);
+      emit (Instr.Store slot);
+      branch_u bc.em (Instr.Jump 0) l_head;
+      Codebuf.bind_label bc.em l_end
+  | Ast.Return (Some e) ->
+      if not returns then berr bc "returning a value from a void method";
+      compile_value bc e;
+      emit Instr.Return
+  | Ast.Return None ->
+      if returns then berr bc "empty return in a value-returning method";
+      emit Instr.Return_void
+  | Ast.Print e ->
+      compile_value bc e;
+      emit Instr.Print_int
+
+let compile_body ctx ~owner ~meth_name ~kind ~params ~returns body =
+  let bc =
+    {
+      ctx;
+      em = Codebuf.create ~dummy:();
+      locals = Hashtbl.create 16;
+      next_slot = 0;
+      owner = (match kind with Ast.Instance -> Some owner | Ast.Static -> None);
+      meth_name = Printf.sprintf "%s.%s" owner meth_name;
+    }
+  in
+  (match kind with
+  | Ast.Instance ->
+      Hashtbl.add bc.locals "this" 0;
+      bc.next_slot <- 1
+  | Ast.Static -> ());
+  List.iter (fun p -> ignore (local_slot bc p)) params;
+  List.iter (compile_stmt bc ~returns) body;
+  (* Close every path in a void method; value-returning methods must end in
+     an explicit return on every path, which the verifier enforces. *)
+  if not returns then emit_u bc.em Instr.Return_void;
+  (fst (Codebuf.finish bc.em), max bc.next_slot 1)
+
+(* Sort class declarations so parents precede children. *)
+let topo_sort classes =
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Ast.class_decl) ->
+      if Hashtbl.mem by_name c.cd_name then
+        err "duplicate class %s" c.cd_name;
+      Hashtbl.add by_name c.cd_name c)
+    classes;
+  let visited = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec visit (c : Ast.class_decl) =
+    match Hashtbl.find_opt visited c.cd_name with
+    | Some `Done -> ()
+    | Some `Visiting -> err "inheritance cycle through %s" c.cd_name
+    | None ->
+        Hashtbl.add visited c.cd_name `Visiting;
+        (match c.cd_parent with
+        | Some parent -> (
+            match Hashtbl.find_opt by_name parent with
+            | Some p -> visit p
+            | None -> err "class %s extends unknown class %s" c.cd_name parent)
+        | None -> ());
+        Hashtbl.replace visited c.cd_name `Done;
+        order := c :: !order
+  in
+  List.iter visit classes;
+  List.rev !order
+
+let main_class_name = "$Main"
+
+let prog (p : Ast.prog) =
+  let builder = Program.Builder.create () in
+  let ctx =
+    {
+      builder;
+      class_infos = Hashtbl.create 32;
+      statics = Hashtbl.create 64;
+      instances = Hashtbl.create 64;
+      selector_sigs = Hashtbl.create 64;
+      globals = Hashtbl.create 16;
+    }
+  in
+  let main_decl =
+    {
+      Ast.cd_name = main_class_name;
+      cd_parent = None;
+      cd_fields = [];
+      cd_methods =
+        [
+          {
+            Ast.md_name = "main";
+            md_kind = Ast.Static;
+            md_params = [];
+            md_returns = false;
+            md_body = p.Ast.pr_main;
+          };
+        ];
+    }
+  in
+  let classes = topo_sort (p.Ast.pr_classes @ [ main_decl ]) in
+  (* Pass 1: declare classes, compute layouts. *)
+  List.iter
+    (fun (c : Ast.class_decl) ->
+      let parent_info =
+        Option.map (fun name -> class_info ctx name) c.cd_parent
+      in
+      let cid =
+        Program.Builder.declare_class builder ~name:c.cd_name
+          ~parent:(Option.map (fun ci -> ci.ci_id) parent_info)
+          ~fields:c.cd_fields
+      in
+      let inherited =
+        match parent_info with Some ci -> ci.ci_layout | None -> [||]
+      in
+      let layout = Array.append inherited (Array.of_list c.cd_fields) in
+      Hashtbl.add ctx.class_infos c.cd_name
+        { ci_id = cid; ci_decl = c; ci_layout = layout })
+    classes;
+  List.iter (fun name -> ignore (Program.Builder.declare_global builder name))
+    p.Ast.pr_globals;
+  List.iteri
+    (fun slot name -> Hashtbl.replace ctx.globals name slot)
+    p.Ast.pr_globals;
+  (* Pass 2: declare method signatures. *)
+  List.iter
+    (fun (c : Ast.class_decl) ->
+      let ci = class_info ctx c.cd_name in
+      List.iter
+        (fun (m : Ast.meth_decl) ->
+          let arity = List.length m.md_params in
+          let key = c.cd_name ^ "." ^ mangle m.md_name arity in
+          (match m.md_kind with
+          | Ast.Instance -> (
+              let sel_key = mangle m.md_name arity in
+              match Hashtbl.find_opt ctx.selector_sigs sel_key with
+              | Some r ->
+                  if Bool.not (Bool.equal r m.md_returns) then
+                    err
+                      "instance method %s: signature disagrees with an \
+                       earlier declaration of the same selector"
+                      key
+              | None -> Hashtbl.add ctx.selector_sigs sel_key m.md_returns)
+          | Ast.Static -> ());
+          let kind =
+            match m.md_kind with
+            | Ast.Static -> Meth.Static
+            | Ast.Instance -> Meth.Instance
+          in
+          let table =
+            match m.md_kind with
+            | Ast.Static -> ctx.statics
+            | Ast.Instance -> ctx.instances
+          in
+          if Hashtbl.mem table key then err "duplicate method %s" key;
+          let mid =
+            Program.Builder.declare_method builder ~owner:ci.ci_id
+              ~name:(mangle m.md_name arity) ~kind ~arity
+              ~returns:m.md_returns
+          in
+          Hashtbl.add table key (mid, m))
+        c.cd_methods)
+    classes;
+  (* Pass 3: compile bodies. *)
+  List.iter
+    (fun (c : Ast.class_decl) ->
+      List.iter
+        (fun (m : Ast.meth_decl) ->
+          let arity = List.length m.md_params in
+          let key = c.cd_name ^ "." ^ mangle m.md_name arity in
+          let mid, _ =
+            match m.md_kind with
+            | Ast.Static -> find_static ctx c.cd_name m.md_name ~arity
+            | Ast.Instance -> Hashtbl.find ctx.instances key
+          in
+          let body, max_locals =
+            compile_body ctx ~owner:c.cd_name ~meth_name:m.md_name
+              ~kind:m.md_kind ~params:m.md_params ~returns:m.md_returns
+              m.md_body
+          in
+          Program.Builder.set_body builder mid ~max_locals body)
+        c.cd_methods)
+    classes;
+  let main_id, _ = find_static ctx main_class_name "main" ~arity:0 in
+  let program = Program.Builder.seal builder ~main:main_id in
+  Verify.program program;
+  program

@@ -1,0 +1,20 @@
+(** Compiler from the mini-language {!Ast} to sealed, verified bytecode
+    programs.
+
+    Resolution rules:
+    - classes may be declared in any order; parents are sorted first;
+    - instance methods sharing a name (selector) must agree on arity and on
+      whether they return a value, program-wide — this stands in for the
+      type checker a real front end would have;
+    - a constructor is an instance method named ["init"] returning no
+      value; [New (c, args)] runs the nearest ["init"] up the hierarchy;
+    - the program entry point is a synthetic static method
+      ["$Main.main"] holding the program's toplevel statements. *)
+
+exception Error of string
+
+val prog : Ast.prog -> Acsi_bytecode.Program.t
+(** Compile, seal and verify a program. Raises {!Error} on any resolution
+    or arity problem, and {!Acsi_bytecode.Verify.Error} if the generated
+    code fails verification (which indicates a compiler bug — see the
+    property tests). *)

@@ -1,0 +1,86 @@
+(* Thin combinator layer over Ast for writing workloads compactly.
+
+   Naming follows the convention: expressions are short lower-case words
+   ([v], [g], [fld], [inv], ...), statements end in [_] only where the bare
+   name would collide with a keyword or an expression ([let_], [if_],
+   [while_], [for_]). *)
+
+open Acsi_bytecode
+
+let i n = Ast.Int n
+let null = Ast.Null
+let v name = Ast.Local name
+let g name = Ast.Global name
+let this = Ast.This
+let neg e = Ast.Neg e
+let not_ e = Ast.Not e
+let add a b = Ast.Binop (Instr.Add, a, b)
+let sub a b = Ast.Binop (Instr.Sub, a, b)
+let mul a b = Ast.Binop (Instr.Mul, a, b)
+let div a b = Ast.Binop (Instr.Div, a, b)
+let rem a b = Ast.Binop (Instr.Rem, a, b)
+let band a b = Ast.Binop (Instr.And, a, b)
+let bor a b = Ast.Binop (Instr.Or, a, b)
+let bxor a b = Ast.Binop (Instr.Xor, a, b)
+let shl a b = Ast.Binop (Instr.Shl, a, b)
+let shr a b = Ast.Binop (Instr.Shr, a, b)
+let eq a b = Ast.Cmp (Instr.Eq, a, b)
+let ne a b = Ast.Cmp (Instr.Ne, a, b)
+let lt a b = Ast.Cmp (Instr.Lt, a, b)
+let le a b = Ast.Cmp (Instr.Le, a, b)
+let gt a b = Ast.Cmp (Instr.Gt, a, b)
+let ge a b = Ast.Cmp (Instr.Ge, a, b)
+let and_ a b = Ast.And (a, b)
+let or_ a b = Ast.Or (a, b)
+let cond c a b = Ast.Cond (c, a, b)
+let call cls name args = Ast.Static_call (cls, name, args)
+let inv recv name args = Ast.Virtual_call (recv, name, args)
+let dcall recv cls name args = Ast.Direct_call (recv, cls, name, args)
+let new_ cls args = Ast.New (cls, args)
+let thisf name = Ast.This_field name
+let fld cls recv name = Ast.Field (cls, recv, name)
+let arr_new len = Ast.Array_new len
+let arr_get a idx = Ast.Array_get (a, idx)
+let arr_len a = Ast.Array_len a
+let instof e cls = Ast.Instance_of (e, cls)
+let let_ name e = Ast.Let (name, e)
+let setg name e = Ast.Set_global (name, e)
+let set_thisf name e = Ast.Set_this_field (name, e)
+let setf cls recv name e = Ast.Set_field (cls, recv, name, e)
+let arr_set a idx value = Ast.Array_set (a, idx, value)
+let expr e = Ast.Expr e
+let if_ c t e = Ast.If (c, t, e)
+let while_ c body = Ast.While (c, body)
+let for_ name lo hi body = Ast.For (name, lo, hi, body)
+let ret e = Ast.Return (Some e)
+let retv = Ast.Return None
+let print e = Ast.Print e
+
+let meth name params ~returns body =
+  {
+    Ast.md_name = name;
+    md_kind = Ast.Instance;
+    md_params = params;
+    md_returns = returns;
+    md_body = body;
+  }
+
+let static_meth name params ~returns body =
+  {
+    Ast.md_name = name;
+    md_kind = Ast.Static;
+    md_params = params;
+    md_returns = returns;
+    md_body = body;
+  }
+
+let cls ?parent name ~fields methods =
+  {
+    Ast.cd_name = name;
+    cd_parent = parent;
+    cd_fields = fields;
+    cd_methods = methods;
+  }
+
+let prog ?(globals = []) classes main =
+  { Ast.pr_classes = classes; pr_globals = globals; pr_main = main }

@@ -1,0 +1,110 @@
+type token =
+  | Int of int
+  | Ident of string
+  | Upper of string
+  | Kw of string
+  | Punct of string
+  | Eof
+
+type t = { token : token; line : int; col : int }
+
+exception Error of string
+
+let keywords =
+  [
+    "class"; "extends"; "field"; "def"; "static"; "global"; "main"; "var";
+    "if"; "else"; "while"; "for"; "in"; "return"; "print"; "new"; "null";
+    "this"; "is"; "and"; "or"; "not";
+  ]
+
+let token_to_string = function
+  | Int n -> string_of_int n
+  | Ident s | Upper s -> s
+  | Kw s -> Printf.sprintf "keyword %s" s
+  | Punct s -> Printf.sprintf "%S" s
+  | Eof -> "end of input"
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let col = ref 1 in
+  let pos = ref 0 in
+  let err fmt =
+    Format.kasprintf
+      (fun msg ->
+        raise (Error (Printf.sprintf "line %d, column %d: %s" !line !col msg)))
+      fmt
+  in
+  (* Token positions are where the token starts, not where it ends. *)
+  let start_line = ref 1 in
+  let start_col = ref 1 in
+  let mark () =
+    start_line := !line;
+    start_col := !col
+  in
+  let emit token =
+    tokens := { token; line = !start_line; col = !start_col } :: !tokens
+  in
+  let advance () =
+    (if !pos < n then
+       match src.[!pos] with
+       | '\n' ->
+           incr line;
+           col := 1
+       | _ -> incr col);
+    incr pos
+  in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  while !pos < n do
+    let c = src.[!pos] in
+    mark ();
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && peek 1 = Some '/' then
+      while !pos < n && src.[!pos] <> '\n' do
+        advance ()
+      done
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do
+        advance ()
+      done;
+      match int_of_string_opt (String.sub src start (!pos - start)) with
+      | Some v -> emit (Int v)
+      | None -> err "integer literal too large"
+    end
+    else if is_alpha c then begin
+      let start = !pos in
+      while !pos < n && is_alnum src.[!pos] do
+        advance ()
+      done;
+      let word = String.sub src start (!pos - start) in
+      if List.mem word keywords then emit (Kw word)
+      else if word.[0] >= 'A' && word.[0] <= 'Z' then emit (Upper word)
+      else emit (Ident word)
+    end
+    else begin
+      let two =
+        if !pos + 1 < n then Some (String.sub src !pos 2) else None
+      in
+      match two with
+      | Some (("==" | "!=" | "<=" | ">=" | "<<" | ">>" | "->" | "..") as p) ->
+          emit (Punct p);
+          advance ();
+          advance ()
+      | Some _ | None -> (
+          match c with
+          | '(' | ')' | '{' | '}' | '[' | ']' | ';' | ',' | '.' | '@' | '!'
+          | '=' | '<' | '>' | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^' ->
+              emit (Punct (String.make 1 c));
+              advance ()
+          | _ -> err "unexpected character %C" c)
+    end
+  done;
+  mark ();
+  emit Eof;
+  List.rev !tokens

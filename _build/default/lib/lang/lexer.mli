@@ -1,0 +1,26 @@
+(** Lexer for the textual mini-language (see {!Parser} for the grammar).
+
+    Tokens carry their source position for diagnostics. Comments run from
+    [//] to end of line; whitespace is insignificant. *)
+
+type token =
+  | Int of int
+  | Ident of string  (** lower-case initial: locals, methods, fields *)
+  | Upper of string  (** upper-case initial: class names *)
+  | Kw of string  (** keywords: class extends field def static global main
+                      var if else while for in return print new null this
+                      is and or not *)
+  | Punct of string
+      (** punctuation/operators: [( ) { } [ ] ; , . @ ! = == != < <= > >=
+          + - * / % & | ^ << >> -> ..] *)
+  | Eof
+
+type t = { token : token; line : int; col : int }
+
+exception Error of string
+(** Lexical error with position. *)
+
+val tokenize : string -> t list
+(** The token stream, ending in [Eof]. Raises {!Error}. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,444 @@
+open Acsi_bytecode
+
+exception Error of string
+
+type state = { tokens : Lexer.t array; mutable pos : int }
+
+let peek st = st.tokens.(st.pos).Lexer.token
+
+let err st fmt =
+  let t = st.tokens.(st.pos) in
+  Format.kasprintf
+    (fun msg ->
+      raise
+        (Error
+           (Printf.sprintf "line %d, column %d: %s (found %s)" t.Lexer.line
+              t.Lexer.col msg
+              (Lexer.token_to_string t.Lexer.token))))
+    fmt
+
+let advance st = st.pos <- st.pos + 1
+
+let accept st token =
+  if peek st = token then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect st token what =
+  if not (accept st token) then err st "expected %s" what
+
+let expect_ident st what =
+  match peek st with
+  | Lexer.Ident name ->
+      advance st;
+      name
+  | _ -> err st "expected %s" what
+
+let expect_upper st what =
+  match peek st with
+  | Lexer.Upper name ->
+      advance st;
+      name
+  | _ -> err st "expected %s" what
+
+(* --- expressions --- *)
+
+let binop_of = function
+  | "+" -> Some Instr.Add
+  | "-" -> Some Instr.Sub
+  | "*" -> Some Instr.Mul
+  | "/" -> Some Instr.Div
+  | "%" -> Some Instr.Rem
+  | "&" -> Some Instr.And
+  | "|" -> Some Instr.Or
+  | "^" -> Some Instr.Xor
+  | "<<" -> Some Instr.Shl
+  | ">>" -> Some Instr.Shr
+  | _ -> None
+
+let cmp_of = function
+  | "==" -> Some Instr.Eq
+  | "!=" -> Some Instr.Ne
+  | "<" -> Some Instr.Lt
+  | "<=" -> Some Instr.Le
+  | ">" -> Some Instr.Gt
+  | ">=" -> Some Instr.Ge
+  | _ -> None
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  if accept st (Lexer.Kw "or") then Ast.Or (left, parse_or st) else left
+
+and parse_and st =
+  let left = parse_bitor st in
+  if accept st (Lexer.Kw "and") then Ast.And (left, parse_and st) else left
+
+and parse_level st ~ops ~next =
+  let rec go left =
+    match peek st with
+    | Lexer.Punct p when List.mem p ops -> (
+        advance st;
+        match binop_of p with
+        | Some op -> go (Ast.Binop (op, left, next st))
+        | None -> err st "internal: unknown operator %s" p)
+    | _ -> left
+  in
+  go (next st)
+
+and parse_bitor st = parse_level st ~ops:[ "|" ] ~next:parse_bitxor
+and parse_bitxor st = parse_level st ~ops:[ "^" ] ~next:parse_bitand
+and parse_bitand st = parse_level st ~ops:[ "&" ] ~next:parse_cmp
+
+and parse_cmp st =
+  let left = parse_shift st in
+  match peek st with
+  | Lexer.Punct p when cmp_of p <> None -> (
+      advance st;
+      match cmp_of p with
+      | Some c -> Ast.Cmp (c, left, parse_shift st)
+      | None -> assert false)
+  | Lexer.Kw "is" ->
+      advance st;
+      Ast.Instance_of (left, expect_upper st "a class name after 'is'")
+  | _ -> left
+
+and parse_shift st = parse_level st ~ops:[ "<<"; ">>" ] ~next:parse_addsub
+and parse_addsub st = parse_level st ~ops:[ "+"; "-" ] ~next:parse_muldiv
+and parse_muldiv st = parse_level st ~ops:[ "*"; "/"; "%" ] ~next:parse_unary
+
+and parse_unary st =
+  if accept st (Lexer.Punct "-") then Ast.Neg (parse_unary st)
+  else if accept st (Lexer.Kw "not") then Ast.Not (parse_unary st)
+  else parse_postfix st
+
+and parse_args st =
+  expect st (Lexer.Punct "(") "'('";
+  if accept st (Lexer.Punct ")") then []
+  else
+    let rec go acc =
+      let acc = parse_expr st :: acc in
+      if accept st (Lexer.Punct ",") then go acc
+      else begin
+        expect st (Lexer.Punct ")") "')'";
+        List.rev acc
+      end
+    in
+    go []
+
+and parse_postfix st =
+  let rec go recv =
+    match peek st with
+    | Lexer.Punct "." -> (
+        advance st;
+        let name = expect_ident st "a method or field name after '.'" in
+        match peek st with
+        | Lexer.Punct "(" -> go (Ast.Virtual_call (recv, name, parse_args st))
+        | _ -> (
+            match recv with
+            | Ast.This -> go (Ast.This_field name)
+            | _ ->
+                err st
+                  "field access on a non-this object needs a class: e @ \
+                   Class.%s"
+                  name))
+    | Lexer.Punct "!" ->
+        advance st;
+        let cls = expect_upper st "a class name after '!'" in
+        expect st (Lexer.Punct ".") "'.'";
+        let name = expect_ident st "a method name" in
+        go (Ast.Direct_call (recv, cls, name, parse_args st))
+    | Lexer.Punct "@" ->
+        advance st;
+        let cls = expect_upper st "a class name after '@'" in
+        expect st (Lexer.Punct ".") "'.'";
+        let field = expect_ident st "a field name" in
+        go (Ast.Field (cls, recv, field))
+    | Lexer.Punct "[" ->
+        advance st;
+        let idx = parse_expr st in
+        expect st (Lexer.Punct "]") "']'";
+        go (Ast.Array_get (recv, idx))
+    | _ -> recv
+  in
+  go (parse_primary st)
+
+and parse_primary st =
+  match peek st with
+  | Lexer.Int n ->
+      advance st;
+      Ast.Int n
+  | Lexer.Kw "null" ->
+      advance st;
+      Ast.Null
+  | Lexer.Kw "this" ->
+      advance st;
+      Ast.This
+  | Lexer.Punct "(" ->
+      advance st;
+      let e = parse_expr st in
+      expect st (Lexer.Punct ")") "')'";
+      e
+  | Lexer.Kw "new" ->
+      advance st;
+      let cls = expect_upper st "a class name after 'new'" in
+      Ast.New (cls, parse_args st)
+  | Lexer.Ident "arr" when st.tokens.(st.pos + 1).Lexer.token = Lexer.Punct "(" ->
+      advance st;
+      expect st (Lexer.Punct "(") "'('";
+      let e = parse_expr st in
+      expect st (Lexer.Punct ")") "')'";
+      Ast.Array_new e
+  | Lexer.Ident "len" when st.tokens.(st.pos + 1).Lexer.token = Lexer.Punct "(" ->
+      advance st;
+      expect st (Lexer.Punct "(") "'('";
+      let e = parse_expr st in
+      expect st (Lexer.Punct ")") "')'";
+      Ast.Array_len e
+  | Lexer.Ident name ->
+      advance st;
+      Ast.Local name
+  | Lexer.Upper cls ->
+      advance st;
+      expect st (Lexer.Punct ".") "'.' (static call on a class)";
+      let name = expect_ident st "a method name" in
+      Ast.Static_call (cls, name, parse_args st)
+  | _ -> err st "expected an expression"
+
+(* --- statements --- *)
+
+let rec parse_block st =
+  expect st (Lexer.Punct "{") "'{'";
+  let rec go acc =
+    if accept st (Lexer.Punct "}") then List.rev acc
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+and parse_stmt st =
+  match peek st with
+  | Lexer.Kw "var" ->
+      advance st;
+      let name = expect_ident st "a variable name after 'var'" in
+      expect st (Lexer.Punct "=") "'='";
+      let e = parse_expr st in
+      expect st (Lexer.Punct ";") "';'";
+      Ast.Let (name, e)
+  | Lexer.Kw "if" ->
+      advance st;
+      expect st (Lexer.Punct "(") "'('";
+      let c = parse_expr st in
+      expect st (Lexer.Punct ")") "')'";
+      let then_ = parse_block st in
+      let else_ =
+        if accept st (Lexer.Kw "else") then
+          match peek st with
+          | Lexer.Kw "if" -> [ parse_stmt st ]
+          | _ -> parse_block st
+        else []
+      in
+      Ast.If (c, then_, else_)
+  | Lexer.Kw "while" ->
+      advance st;
+      expect st (Lexer.Punct "(") "'('";
+      let c = parse_expr st in
+      expect st (Lexer.Punct ")") "')'";
+      Ast.While (c, parse_block st)
+  | Lexer.Kw "for" ->
+      advance st;
+      let name = expect_ident st "a loop variable after 'for'" in
+      expect st (Lexer.Kw "in") "'in'";
+      let lo = parse_expr st in
+      expect st (Lexer.Punct "..") "'..'";
+      let hi = parse_expr st in
+      Ast.For (name, lo, hi, parse_block st)
+  | Lexer.Kw "return" ->
+      advance st;
+      if accept st (Lexer.Punct ";") then Ast.Return None
+      else begin
+        let e = parse_expr st in
+        expect st (Lexer.Punct ";") "';'";
+        Ast.Return (Some e)
+      end
+  | Lexer.Kw "print" ->
+      advance st;
+      let e = parse_expr st in
+      expect st (Lexer.Punct ";") "';'";
+      Ast.Print e
+  | _ -> (
+      let e = parse_expr st in
+      if accept st (Lexer.Punct "=") then begin
+        let rhs = parse_expr st in
+        expect st (Lexer.Punct ";") "';'";
+        match e with
+        | Ast.Local name -> Ast.Let (name, rhs)
+        | Ast.This_field f -> Ast.Set_this_field (f, rhs)
+        | Ast.Field (cls, recv, f) -> Ast.Set_field (cls, recv, f, rhs)
+        | Ast.Array_get (a, i) -> Ast.Array_set (a, i, rhs)
+        | _ -> err st "this expression cannot be assigned to"
+      end
+      else begin
+        expect st (Lexer.Punct ";") "';'";
+        Ast.Expr e
+      end)
+
+(* --- declarations --- *)
+
+let parse_member st =
+  match peek st with
+  | Lexer.Kw "field" ->
+      advance st;
+      let name = expect_ident st "a field name" in
+      expect st (Lexer.Punct ";") "';'";
+      `Field name
+  | Lexer.Kw "static" | Lexer.Kw "def" ->
+      let kind =
+        if accept st (Lexer.Kw "static") then Ast.Static else Ast.Instance
+      in
+      expect st (Lexer.Kw "def") "'def'";
+      let name = expect_ident st "a method name" in
+      expect st (Lexer.Punct "(") "'('";
+      let params =
+        if accept st (Lexer.Punct ")") then []
+        else
+          let rec go acc =
+            let acc = expect_ident st "a parameter name" :: acc in
+            if accept st (Lexer.Punct ",") then go acc
+            else begin
+              expect st (Lexer.Punct ")") "')'";
+              List.rev acc
+            end
+          in
+          go []
+      in
+      let returns =
+        if accept st (Lexer.Punct "->") then begin
+          (match peek st with
+          | Lexer.Ident "int" -> advance st
+          | _ -> err st "expected 'int' after '->'");
+          true
+        end
+        else false
+      in
+      `Method
+        {
+          Ast.md_name = name;
+          md_kind = kind;
+          md_params = params;
+          md_returns = returns;
+          md_body = parse_block st;
+        }
+  | _ -> err st "expected a field or method declaration"
+
+let parse_class st =
+  expect st (Lexer.Kw "class") "'class'";
+  let name = expect_upper st "a class name" in
+  let parent =
+    if accept st (Lexer.Kw "extends") then
+      Some (expect_upper st "a parent class name")
+    else None
+  in
+  expect st (Lexer.Punct "{") "'{'";
+  let rec go fields methods =
+    if accept st (Lexer.Punct "}") then
+      {
+        Ast.cd_name = name;
+        cd_parent = parent;
+        cd_fields = List.rev fields;
+        cd_methods = List.rev methods;
+      }
+    else
+      match parse_member st with
+      | `Field f -> go (f :: fields) methods
+      | `Method m -> go fields (m :: methods)
+  in
+  go [] []
+
+(* Globals are declared at top level; occurrences parse as locals and are
+   rewritten here. *)
+let rec resolve_expr globals (e : Ast.expr) =
+  let r = resolve_expr globals in
+  match e with
+  | Ast.Local name when List.mem name globals -> Ast.Global name
+  | Ast.Int _ | Ast.Null | Ast.Local _ | Ast.Global _ | Ast.This -> e
+  | Ast.Neg a -> Ast.Neg (r a)
+  | Ast.Not a -> Ast.Not (r a)
+  | Ast.Binop (op, a, b) -> Ast.Binop (op, r a, r b)
+  | Ast.Cmp (c, a, b) -> Ast.Cmp (c, r a, r b)
+  | Ast.And (a, b) -> Ast.And (r a, r b)
+  | Ast.Or (a, b) -> Ast.Or (r a, r b)
+  | Ast.Cond (c, a, b) -> Ast.Cond (r c, r a, r b)
+  | Ast.Static_call (cls, m, args) -> Ast.Static_call (cls, m, List.map r args)
+  | Ast.Virtual_call (recv, m, args) ->
+      Ast.Virtual_call (r recv, m, List.map r args)
+  | Ast.Direct_call (recv, cls, m, args) ->
+      Ast.Direct_call (r recv, cls, m, List.map r args)
+  | Ast.New (cls, args) -> Ast.New (cls, List.map r args)
+  | Ast.This_field _ -> e
+  | Ast.Field (cls, recv, f) -> Ast.Field (cls, r recv, f)
+  | Ast.Array_new a -> Ast.Array_new (r a)
+  | Ast.Array_get (a, i) -> Ast.Array_get (r a, r i)
+  | Ast.Array_len a -> Ast.Array_len (r a)
+  | Ast.Instance_of (a, cls) -> Ast.Instance_of (r a, cls)
+
+let rec resolve_stmt globals (s : Ast.stmt) =
+  let re = resolve_expr globals in
+  let rs = List.map (resolve_stmt globals) in
+  match s with
+  | Ast.Let (name, e) when List.mem name globals -> Ast.Set_global (name, re e)
+  | Ast.Let (name, e) -> Ast.Let (name, re e)
+  | Ast.Set_global (name, e) -> Ast.Set_global (name, re e)
+  | Ast.Set_this_field (f, e) -> Ast.Set_this_field (f, re e)
+  | Ast.Set_field (cls, recv, f, e) -> Ast.Set_field (cls, re recv, f, re e)
+  | Ast.Array_set (a, i, v) -> Ast.Array_set (re a, re i, re v)
+  | Ast.Expr e -> Ast.Expr (re e)
+  | Ast.If (c, t, f) -> Ast.If (re c, rs t, rs f)
+  | Ast.While (c, body) -> Ast.While (re c, rs body)
+  | Ast.For (name, lo, hi, body) -> Ast.For (name, re lo, re hi, rs body)
+  | Ast.Return e -> Ast.Return (Option.map re e)
+  | Ast.Print e -> Ast.Print (re e)
+
+let resolve_class globals (c : Ast.class_decl) =
+  {
+    c with
+    Ast.cd_methods =
+      List.map
+        (fun m ->
+          { m with Ast.md_body = List.map (resolve_stmt globals) m.Ast.md_body })
+        c.Ast.cd_methods;
+  }
+
+let program src =
+  let st = { tokens = Array.of_list (Lexer.tokenize src); pos = 0 } in
+  let rec go classes globals main =
+    match peek st with
+    | Lexer.Eof -> (
+        match main with
+        | None -> err st "the program has no 'main' block"
+        | Some body ->
+            let globals = List.rev globals in
+            {
+              Ast.pr_classes =
+                List.rev_map (resolve_class globals) classes;
+              pr_globals = globals;
+              pr_main = List.map (resolve_stmt globals) body;
+            })
+    | Lexer.Kw "global" ->
+        advance st;
+        let name = expect_ident st "a global name" in
+        expect st (Lexer.Punct ";") "';'";
+        go classes (name :: globals) main
+    | Lexer.Kw "class" -> go (parse_class st :: classes) globals main
+    | Lexer.Kw "main" -> (
+        advance st;
+        match main with
+        | Some _ -> err st "duplicate 'main' block"
+        | None -> go classes globals (Some (parse_block st)))
+    | _ -> err st "expected 'global', 'class' or 'main'"
+  in
+  go [] [] None
+
+let compile src = Compile.prog (program src)

@@ -1,0 +1,44 @@
+(** Recursive-descent parser for the textual mini-language.
+
+    Grammar sketch (see the repository's [examples/programs/] for real
+    input):
+
+    {v
+    program   := topdecl*
+    topdecl   := "global" ident ";"
+               | "class" Upper ("extends" Upper)? "{" member* "}"
+               | "main" block
+    member    := "field" ident ";"
+               | "static"? "def" ident "(" params ")" ("->" "int")? block
+    stmt      := "var" ident "=" expr ";"
+               | "if" "(" expr ")" block ("else" block)?
+               | "while" "(" expr ")" block
+               | "for" ident "in" expr ".." expr block
+               | "return" expr? ";"  |  "print" expr ";"
+               | lvalue "=" expr ";"  |  expr ";"
+    expr      := usual precedence: or, and, "|", "^", "&", comparisons /
+                 "is" Upper, shifts, + -, * / %, unary - / "not", postfix
+    postfix   := "." m "(" args ")"          virtual call
+               | "!" Upper "." m "(" args ")"  statically-bound call
+               | "@" Upper "." f             typed field access
+               | "[" expr "]"                array indexing
+    primary   := int | "null" | "this" | ident | "(" expr ")"
+               | "new" Upper "(" args ")"
+               | "arr" "(" expr ")" | "len" "(" expr ")"   (builtins)
+               | Upper "." m "(" args ")"    static call
+    v}
+
+    [this.f] reads an own field; a field of another object needs the
+    typed form [e @ Class.f] (the language is untyped, so the class name
+    fixes the field layout). A method marked [-> int] returns a value;
+    otherwise it is void. Names introduced by [global] are resolved as
+    globals wherever they appear. *)
+
+exception Error of string
+(** Syntax error with line/column. *)
+
+val program : string -> Ast.prog
+(** Parse source text. Raises {!Error} (or {!Lexer.Error}). *)
+
+val compile : string -> Acsi_bytecode.Program.t
+(** [program] followed by {!Compile.prog}. *)

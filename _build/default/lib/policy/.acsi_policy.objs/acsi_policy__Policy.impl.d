@@ -1,0 +1,1 @@
+lib/policy/policy.ml: Acsi_bytecode Acsi_jit List Meth Printf Scanf String

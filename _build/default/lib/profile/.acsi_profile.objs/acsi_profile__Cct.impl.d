@@ -1,0 +1,1 @@
+lib/profile/cct.ml: Acsi_bytecode Array Dcg Float Hashtbl Ids List Option Trace

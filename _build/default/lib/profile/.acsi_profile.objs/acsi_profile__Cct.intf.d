@@ -1,0 +1,1 @@
+lib/profile/cct.mli: Dcg Trace

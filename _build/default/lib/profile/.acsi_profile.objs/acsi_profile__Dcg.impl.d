@@ -1,0 +1,1 @@
+lib/profile/dcg.ml: Acsi_bytecode Array Float Hashtbl Ids List Option Trace

@@ -1,0 +1,1 @@
+lib/profile/dcg.mli: Acsi_bytecode Ids Trace

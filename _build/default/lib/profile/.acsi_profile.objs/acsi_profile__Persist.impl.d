@@ -1,0 +1,1 @@
+lib/profile/persist.ml: Acsi_bytecode Array Buffer Dcg Float Fun Ids List Printf String Trace

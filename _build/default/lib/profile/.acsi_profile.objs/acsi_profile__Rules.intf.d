@@ -1,0 +1,1 @@
+lib/profile/rules.mli: Acsi_bytecode Ids Trace

@@ -1,0 +1,1 @@
+lib/profile/trace.ml: Acsi_bytecode Array Format Hashtbl Ids Int

@@ -1,0 +1,1 @@
+lib/profile/trace.mli: Acsi_bytecode Format Hashtbl Ids

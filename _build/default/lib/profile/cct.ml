@@ -1,0 +1,118 @@
+open Acsi_bytecode
+
+(* A node's key in its parent's child table: the call edge that leads to
+   it. The synthetic root's children are keyed by the outermost recorded
+   caller of each trace; below that, edges are (caller, callsite) pairs
+   and the node represents the called method. *)
+type node = {
+  mutable weight : float;  (* samples whose trace ends exactly here *)
+  children : (int * int, node) Hashtbl.t;
+}
+
+type t = {
+  root : node;
+  mutable total : float;
+}
+
+let make_node () = { weight = 0.0; children = Hashtbl.create 4 }
+let create () = { root = make_node (); total = 0.0 }
+
+(* The path of a trace from outermost to innermost: the outermost caller
+   enters from the root, then each (caller, callsite) edge downward, with
+   the callee last. Encoded as edge keys. *)
+let path_of (trace : Trace.t) =
+  let chain = trace.Trace.chain in
+  let n = Array.length chain in
+  let outermost = chain.(n - 1) in
+  let acc = ref [ ((outermost.Trace.caller :> int), -1) ] in
+  for i = n - 1 downto 1 do
+    (* edge from chain.(i).caller into chain.(i-1).caller at callsite
+       chain.(i).callsite *)
+    acc :=
+      ((chain.(i - 1).Trace.caller :> int), chain.(i).Trace.callsite) :: !acc
+  done;
+  acc := ((trace.Trace.callee :> int), chain.(0).Trace.callsite) :: !acc;
+  List.rev !acc
+
+let add_trace ?(weight = 1.0) t trace =
+  let rec descend node = function
+    | [] -> node.weight <- node.weight +. weight
+    | key :: rest ->
+        let child =
+          match Hashtbl.find_opt node.children key with
+          | Some c -> c
+          | None ->
+              let c = make_node () in
+              Hashtbl.add node.children key c;
+              c
+        in
+        descend child rest
+  in
+  descend t.root (path_of trace);
+  t.total <- t.total +. weight
+
+let of_dcg dcg =
+  let t = create () in
+  Dcg.iter dcg ~f:(fun trace w -> add_trace ~weight:w t trace);
+  t
+
+let total_weight t = t.total
+
+let node_count t =
+  let rec count node =
+    Hashtbl.fold (fun _ child acc -> acc + count child) node.children 1
+  in
+  count t.root - 1
+
+let max_depth t =
+  let rec depth node =
+    Hashtbl.fold (fun _ child acc -> max acc (1 + depth child)) node.children 0
+  in
+  depth t.root
+
+let weight_of t trace =
+  let rec descend node = function
+    | [] -> node.weight
+    | key :: rest -> (
+        match Hashtbl.find_opt node.children key with
+        | Some child -> descend child rest
+        | None -> 0.0)
+  in
+  descend t.root (path_of trace)
+
+(* Rebuild a trace from a root-to-leaf path of (method, callsite) keys.
+   The path mirrors [path_of]: outermost caller first (callsite -1), then
+   successive callees with the callsite in their caller. *)
+let trace_of_path path =
+  match List.rev path with
+  | (callee, innermost_cs) :: rest_rev ->
+      let rec chain acc cs = function
+        | [] -> acc
+        | (m, parent_cs) :: rest ->
+            chain
+              ({ Trace.caller = Ids.Method_id.of_int m; callsite = cs } :: acc)
+              parent_cs rest
+      in
+      let entries = List.rev (chain [] innermost_cs rest_rev) in
+      Option.map
+        (fun chain -> { Trace.callee = Ids.Method_id.of_int callee; chain })
+        (match entries with
+        | [] -> None
+        | _ :: _ -> Some (Array.of_list entries))
+  | [] -> None
+
+let to_hot_traces t ~threshold =
+  if t.total <= 0.0 then []
+  else
+    let cut = threshold *. t.total in
+    let acc = ref [] in
+    let rec walk node path =
+      if node.weight > cut then begin
+        match trace_of_path (List.rev path) with
+        | Some trace -> acc := (trace, node.weight) :: !acc
+        | None -> ()
+      end;
+      Hashtbl.iter (fun key child -> walk child (key :: path)) node.children
+    in
+    Hashtbl.iter (fun key child -> walk child [ key ]) t.root.children;
+    List.sort (fun (_, a) (_, b) -> Float.compare b a) !acc

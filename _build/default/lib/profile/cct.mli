@@ -1,0 +1,40 @@
+(** A (partial) calling-context tree, after Ammons/Ball/Larus and the
+    sampled variant of Arnold & Sweeney — the "more sophisticated
+    representation of the profile data" the paper's §6 says the system
+    may move to.
+
+    Where the flat trace table stores every sampled trace separately, the
+    CCT shares common context prefixes: a node is a method reached through
+    the path of (caller, callsite) edges above it, and a sampled trace
+    adds weight to the node at the end of its path. Because online traces
+    are depth-bounded, the tree is rooted at each trace's outermost
+    recorded caller — a partial CCT.
+
+    The tree answers the same queries the rule builder needs
+    ({!to_hot_traces} reproduces {!Dcg.hot}'s contract), so the two
+    representations can be compared head to head; the bench harness
+    reports their sizes side by side. *)
+
+type t
+
+val create : unit -> t
+
+val add_trace : ?weight:float -> t -> Trace.t -> unit
+
+val of_dcg : Dcg.t -> t
+(** Build from an existing flat profile, preserving weights. *)
+
+val total_weight : t -> float
+
+val node_count : t -> int
+(** Interior + leaf nodes (excluding the synthetic root): the
+    representation-size figure to compare against {!Dcg.size}. *)
+
+val max_depth : t -> int
+
+val weight_of : t -> Trace.t -> float
+(** Weight accumulated at exactly this trace's path (0 if absent). *)
+
+val to_hot_traces : t -> threshold:float -> (Trace.t * float) list
+(** Paths holding more than [threshold] of the total weight, heaviest
+    first — interchangeable with [Dcg.hot] for rule building. *)

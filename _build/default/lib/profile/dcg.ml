@@ -1,0 +1,80 @@
+open Acsi_bytecode
+
+type t = {
+  table : float ref Trace.Table.t;
+  mutable total : float;
+}
+
+let create () = { table = Trace.Table.create 512; total = 0.0 }
+
+let add_sample t trace =
+  (match Trace.Table.find_opt t.table trace with
+  | Some w -> w := !w +. 1.0
+  | None -> Trace.Table.add t.table trace (ref 1.0));
+  t.total <- t.total +. 1.0
+
+let weight t trace =
+  match Trace.Table.find_opt t.table trace with
+  | Some w -> !w
+  | None -> 0.0
+
+let total_weight t = t.total
+let size t = Trace.Table.length t.table
+
+let decay t ~factor ~prune_below =
+  let doomed = ref [] in
+  Trace.Table.iter
+    (fun trace w ->
+      w := !w *. factor;
+      if !w < prune_below then doomed := trace :: !doomed)
+    t.table;
+  t.total <- t.total *. factor;
+  List.iter
+    (fun trace ->
+      (match Trace.Table.find_opt t.table trace with
+      | Some w -> t.total <- t.total -. !w
+      | None -> ());
+      Trace.Table.remove t.table trace)
+    !doomed;
+  if t.total < 0.0 then t.total <- 0.0
+
+let hot t ~threshold =
+  if t.total <= 0.0 then []
+  else
+    let cut = threshold *. t.total in
+    let acc = ref [] in
+    Trace.Table.iter
+      (fun trace w -> if !w > cut then acc := (trace, !w) :: !acc)
+      t.table;
+    List.sort (fun (_, a) (_, b) -> Float.compare b a) !acc
+
+let iter t ~f = Trace.Table.iter (fun trace w -> f trace !w) t.table
+
+let site_distribution t ~caller ~callsite =
+  let per_callee = Hashtbl.create 8 in
+  Trace.Table.iter
+    (fun trace w ->
+      let e = trace.Trace.chain.(0) in
+      if Ids.Method_id.equal e.Trace.caller caller && e.Trace.callsite = callsite
+      then
+        let key = (trace.Trace.callee :> int) in
+        let prev = Option.value (Hashtbl.find_opt per_callee key) ~default:0.0 in
+        Hashtbl.replace per_callee key (prev +. !w))
+    t.table;
+  Hashtbl.fold
+    (fun key w acc -> (Ids.Method_id.of_int key, w) :: acc)
+    per_callee []
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+
+let edge_weight t ~caller ~callsite ~callee =
+  let sum = ref 0.0 in
+  Trace.Table.iter
+    (fun trace w ->
+      let e = trace.Trace.chain.(0) in
+      if
+        Ids.Method_id.equal trace.Trace.callee callee
+        && Ids.Method_id.equal e.Trace.caller caller
+        && e.Trace.callsite = callsite
+      then sum := !sum +. !w)
+    t.table;
+  !sum

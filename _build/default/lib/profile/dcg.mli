@@ -1,0 +1,46 @@
+(** The profiled dynamic call graph.
+
+    Stores weighted call traces of arbitrary depth (a depth-1 trace is a
+    context-insensitive call edge). Following the paper's hybrid approach
+    (§3.3, "Partial Context Matches"), samples are *never* merged across
+    different depths at collection time — a trace and its sub-traces are
+    separate entries; only the oracle combines them through partial
+    matching at query time.
+
+    Weights are decayed periodically by the decay organizer so that hot-edge
+    detection favours recently sampled edges (program phase adaptation). *)
+
+open Acsi_bytecode
+
+type t
+
+val create : unit -> t
+
+val add_sample : t -> Trace.t -> unit
+(** Add one sample (weight 1.0). *)
+
+val weight : t -> Trace.t -> float
+(** 0 when the trace was never sampled. *)
+
+val total_weight : t -> float
+val size : t -> int
+
+val decay : t -> factor:float -> prune_below:float -> unit
+(** Multiply every weight (and the total) by [factor], dropping entries
+    whose weight falls below [prune_below]. *)
+
+val hot : t -> threshold:float -> (Trace.t * float) list
+(** Traces contributing more than [threshold] (a fraction, e.g. the
+    paper's 0.015) of the total profile weight, heaviest first. *)
+
+val iter : t -> f:(Trace.t -> float -> unit) -> unit
+
+val site_distribution :
+  t -> caller:Ids.Method_id.t -> callsite:int -> (Ids.Method_id.t * float) list
+(** Callee distribution of one call site, aggregated over every recorded
+    trace whose innermost entry is [(caller, callsite)], heaviest first.
+    Used by the adaptive-resolution policy to find polymorphic sites with
+    non-skewed distributions. *)
+
+val edge_weight : t -> caller:Ids.Method_id.t -> callsite:int -> callee:Ids.Method_id.t -> float
+(** Aggregated weight of a call edge over all trace depths. *)

@@ -1,0 +1,28 @@
+(** Textual serialization of profile data.
+
+    Lets a run's dynamic call graph be saved and fed to a later run,
+    reproducing the *offline* profile-directed inlining setups the paper
+    contrasts itself with (§6): the second run starts with a mature
+    profile instead of warming one up online.
+
+    The format is line-based and human-readable; method ids are the dense
+    ids of the (deterministically built) program, so a profile is only
+    meaningful for the program that produced it:
+
+    {v
+    acsi-profile 1
+    trace <callee> <weight> <caller>:<callsite> [<caller>:<callsite> ...]
+    v} *)
+
+exception Malformed of string
+
+val to_string : Dcg.t -> string
+
+val of_string : string -> Dcg.t
+(** Raises {!Malformed}. *)
+
+val save : string -> Dcg.t -> unit
+(** [save path dcg] writes the profile to a file. *)
+
+val load : string -> Dcg.t
+(** Raises {!Malformed} or [Sys_error]. *)

@@ -1,0 +1,99 @@
+open Acsi_bytecode
+
+type rule = { trace : Trace.t; weight : float }
+
+(* Indexed by the innermost chain entry (caller, callsite) — the component
+   Eq. 3 always requires to match (min(k, j) >= 1). *)
+type t = {
+  by_site : (int * int, rule list) Hashtbl.t;
+  count : int;
+}
+
+let empty = { by_site = Hashtbl.create 1; count = 0 }
+
+let site_key (e : Trace.entry) = ((e.Trace.caller :> int), e.Trace.callsite)
+
+let of_hot_traces hot =
+  let by_site = Hashtbl.create 64 in
+  List.iter
+    (fun (trace, weight) ->
+      let key = site_key trace.Trace.chain.(0) in
+      let prev = Option.value (Hashtbl.find_opt by_site key) ~default:[] in
+      Hashtbl.replace by_site key ({ trace; weight } :: prev))
+    hot;
+  { by_site; count = List.length hot }
+
+let rule_count t = t.count
+
+let rules_at t ~(caller : Ids.Method_id.t) ~callsite =
+  Option.value
+    (Hashtbl.find_opt t.by_site ((caller :> int), callsite))
+    ~default:[]
+
+(* Group applicable rules by identical context; a group's callee set is
+   every hot callee recorded under exactly that context. *)
+let candidates ?(exact = false) t ~site_chain =
+  if Array.length site_chain = 0 then []
+  else
+    let applicable =
+      rules_at t
+        ~caller:site_chain.(0).Trace.caller
+        ~callsite:site_chain.(0).Trace.callsite
+      |> List.filter (fun r ->
+             let chain = r.trace.Trace.chain in
+             if exact then
+               Array.length chain = Array.length site_chain
+               && Trace.context_matches ~rule_chain:chain ~site_chain
+             else Trace.context_matches ~rule_chain:chain ~site_chain)
+    in
+    match applicable with
+    | [] -> []
+    | _ :: _ ->
+        (* Group by context. Contexts are few per site; association lists
+           keep the code simple. *)
+        let groups = ref [] in
+        List.iter
+          (fun r ->
+            let chain = r.trace.Trace.chain in
+            let rec insert = function
+              | [] -> [ (chain, ref [ r ]) ]
+              | ((c, rs) as g) :: rest ->
+                  if
+                    Array.length c = Array.length chain
+                    && Trace.context_matches ~rule_chain:c ~site_chain:chain
+                  then begin
+                    rs := r :: !rs;
+                    g :: rest
+                  end
+                  else g :: insert rest
+            in
+            groups := insert !groups)
+          applicable;
+        (* Intersect the groups' callee sets; weight of a surviving callee
+           is its summed weight over all applicable rules. *)
+        let weight_of = Hashtbl.create 8 in
+        List.iter
+          (fun r ->
+            let key = (r.trace.Trace.callee :> int) in
+            let prev =
+              Option.value (Hashtbl.find_opt weight_of key) ~default:0.0
+            in
+            Hashtbl.replace weight_of key (prev +. r.weight))
+          applicable;
+        let in_group callee (_, rs) =
+          List.exists
+            (fun r -> Ids.Method_id.equal r.trace.Trace.callee callee)
+            !rs
+        in
+        let survivors =
+          Hashtbl.fold
+            (fun key w acc ->
+              let callee = Ids.Method_id.of_int key in
+              if List.for_all (in_group callee) !groups then
+                (callee, w) :: acc
+              else acc)
+            weight_of []
+        in
+        List.sort (fun (_, a) (_, b) -> Float.compare b a) survivors
+
+let iter t ~f = Hashtbl.iter (fun _ rs -> List.iter f rs) t.by_site

@@ -1,0 +1,78 @@
+open Acsi_bytecode
+
+type entry = { caller : Ids.Method_id.t; callsite : int }
+
+type t = {
+  callee : Ids.Method_id.t;
+  chain : entry array;
+}
+
+let make ~callee ~chain =
+  if chain = [] then invalid_arg "Trace.make: empty chain";
+  { callee; chain = Array.of_list chain }
+
+let depth t = Array.length t.chain
+let edge t = { t with chain = [| t.chain.(0) |] }
+
+let entry_equal a b =
+  Ids.Method_id.equal a.caller b.caller && a.callsite = b.callsite
+
+let equal a b =
+  Ids.Method_id.equal a.callee b.callee
+  && Array.length a.chain = Array.length b.chain
+  &&
+  let rec go i =
+    i >= Array.length a.chain
+    || (entry_equal a.chain.(i) b.chain.(i) && go (i + 1))
+  in
+  go 0
+
+let hash t =
+  let h = ref (Ids.Method_id.hash t.callee) in
+  Array.iter
+    (fun e ->
+      h := (!h * 31) + Ids.Method_id.hash e.caller;
+      h := (!h * 31) + e.callsite)
+    t.chain;
+  !h land max_int
+
+let compare a b =
+  let c = Ids.Method_id.compare a.callee b.callee in
+  if c <> 0 then c
+  else
+    let c = Int.compare (Array.length a.chain) (Array.length b.chain) in
+    if c <> 0 then c
+    else
+      let rec go i =
+        if i >= Array.length a.chain then 0
+        else
+          let ea = a.chain.(i) and eb = b.chain.(i) in
+          let c = Ids.Method_id.compare ea.caller eb.caller in
+          if c <> 0 then c
+          else
+            let c = Int.compare ea.callsite eb.callsite in
+            if c <> 0 then c else go (i + 1)
+      in
+      go 0
+
+let context_matches ~rule_chain ~site_chain =
+  let n = min (Array.length rule_chain) (Array.length site_chain) in
+  let rec go i =
+    i >= n || (entry_equal rule_chain.(i) site_chain.(i) && go (i + 1))
+  in
+  go 0
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>";
+  for i = Array.length t.chain - 1 downto 0 do
+    let e = t.chain.(i) in
+    Format.fprintf fmt "%a@%d => " Ids.Method_id.pp e.caller e.callsite
+  done;
+  Format.fprintf fmt "%a@]" Ids.Method_id.pp t.callee
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

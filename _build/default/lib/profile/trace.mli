@@ -1,0 +1,41 @@
+(** Context-sensitive call traces (paper Eq. 2).
+
+    A trace records that [callee] was observed running, reached through the
+    chain of call sites [chain], stored innermost-first: [chain.(0)] is the
+    immediate caller and its call-site pc, [chain.(1)] that caller's caller,
+    and so on. A chain of length 1 is a plain context-insensitive call edge
+    (paper Eq. 1). *)
+
+open Acsi_bytecode
+
+type entry = { caller : Ids.Method_id.t; callsite : int }
+
+type t = {
+  callee : Ids.Method_id.t;
+  chain : entry array;  (** innermost-first; length >= 1 *)
+}
+
+val make : callee:Ids.Method_id.t -> chain:entry list -> t
+(** Raises [Invalid_argument] on an empty chain. *)
+
+val depth : t -> int
+(** Number of call edges in the trace (the paper's context-sensitivity
+    level): [depth] of a plain edge is 1. *)
+
+val edge : t -> t
+(** The context-insensitive edge underlying this trace (chain truncated to
+    its innermost entry). *)
+
+val entry_equal : entry -> entry -> bool
+val equal : t -> t -> bool
+val hash : t -> int
+val compare : t -> t -> int
+
+val context_matches : rule_chain:entry array -> site_chain:entry array -> bool
+(** Paper Eq. 3: the chains agree on their first [min] entries
+    (innermost-first). Used by the oracle to decide whether a recorded
+    trace is applicable to a compilation context. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,1 @@
+lib/vm/code.ml: Acsi_bytecode Array Cost Format Ids Instr Meth

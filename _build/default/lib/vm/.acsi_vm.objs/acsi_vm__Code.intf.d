@@ -1,0 +1,1 @@
+lib/vm/code.mli: Acsi_bytecode Cost Format Ids Instr Meth

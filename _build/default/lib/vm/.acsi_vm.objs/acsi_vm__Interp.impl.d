@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Acsi_bytecode Array Clazz Code Cost Format Ids Instr List Meth Obj Program Value

@@ -1,0 +1,1 @@
+lib/vm/interp.mli: Acsi_bytecode Code Cost Ids Program

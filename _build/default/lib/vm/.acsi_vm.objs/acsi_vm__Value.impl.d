@@ -1,0 +1,1 @@
+lib/vm/value.ml: Acsi_bytecode Array Clazz Format Ids Program

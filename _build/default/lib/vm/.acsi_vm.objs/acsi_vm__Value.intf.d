@@ -1,0 +1,1 @@
+lib/vm/value.mli: Acsi_bytecode Format

@@ -1,0 +1,46 @@
+type t = {
+  baseline_instr : int;
+  opt_instr : int;
+  call : int;
+  opt_call : int;
+  virtual_dispatch : int;
+  guard : int;
+  alloc : int;
+  alloc_array_word : int;
+  baseline_compile_unit : int;
+  baseline_compile_fixed : int;
+  opt_compile_unit : int;
+  opt_compile_fixed : int;
+  baseline_bytes_per_unit : int;
+  opt_bytes_per_unit : int;
+  method_sample : int;
+  trace_sample_frame : int;
+  organizer_per_event : int;
+  ai_organizer_per_trace : int;
+  decay_per_trace : int;
+  controller_per_event : int;
+}
+
+let default =
+  {
+    baseline_instr = 10;
+    opt_instr = 2;
+    call = 40;
+    opt_call = 16;
+    virtual_dispatch = 10;
+    guard = 3;
+    alloc = 30;
+    alloc_array_word = 2;
+    baseline_compile_unit = 15;
+    baseline_compile_fixed = 300;
+    opt_compile_unit = 260;
+    opt_compile_fixed = 6_000;
+    baseline_bytes_per_unit = 6;
+    opt_bytes_per_unit = 12;
+    method_sample = 160;
+    trace_sample_frame = 45;
+    organizer_per_event = 35;
+    ai_organizer_per_trace = 22;
+    decay_per_trace = 6;
+    controller_per_event = 120;
+  }

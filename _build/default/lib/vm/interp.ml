@@ -1,0 +1,480 @@
+open Acsi_bytecode
+
+exception Runtime_error of string
+exception Cycle_limit_exceeded
+
+let rerr fmt = Format.kasprintf (fun msg -> raise (Runtime_error msg)) fmt
+
+type frame = {
+  mutable f_code : Code.t;
+  mutable f_pc : int;
+  mutable f_locals : Value.t array;
+  mutable f_stack : Value.t array;
+  mutable f_sp : int;
+}
+
+type t = {
+  program : Program.t;
+  cost : Cost.t;
+  mutable cycles : int;
+  globals : Value.t array;
+  code_table : Code.t array;
+  mutable frames : frame array;
+  mutable depth : int;  (* live frames in [frames] *)
+  mutable output_rev : int list;
+  mutable instr_count : int;
+  mutable call_count : int;
+  mutable guard_hits : int;
+  mutable guard_misses : int;
+  mutable osr_count : int;
+  executed : bool array;
+  invocations : int array;
+  (* hooks *)
+  mutable on_first_execution : Ids.Method_id.t -> unit;
+  mutable on_invoke : t -> Ids.Method_id.t -> unit;
+  mutable on_timer_sample : t -> unit;
+  sample_period : int;
+  mutable next_sample : int;
+  invoke_stride : int;
+  mutable invoke_countdown : int;
+}
+
+let max_call_depth = 200_000
+
+let create ?(cost = Cost.default) ?(sample_period = 100_000)
+    ?(invoke_stride = 2048) program =
+  let methods = Program.methods program in
+  {
+    program;
+    cost;
+    cycles = 0;
+    globals = Array.make (max 1 (Program.global_count program)) Value.zero;
+    code_table = Array.map (fun m -> Code.baseline cost m) methods;
+    frames = Array.make 0 (Obj.magic 0);
+    depth = 0;
+    output_rev = [];
+    instr_count = 0;
+    call_count = 0;
+    guard_hits = 0;
+    guard_misses = 0;
+    osr_count = 0;
+    executed = Array.make (Array.length methods) false;
+    invocations = Array.make (Array.length methods) 0;
+    on_first_execution = (fun _ -> ());
+    on_invoke = (fun _ _ -> ());
+    on_timer_sample = (fun _ -> ());
+    sample_period;
+    next_sample = sample_period;
+    invoke_stride;
+    invoke_countdown = invoke_stride;
+  }
+
+let program t = t.program
+let cost t = t.cost
+let cycles t = t.cycles
+let instructions_executed t = t.instr_count
+let calls_executed t = t.call_count
+let guard_hits t = t.guard_hits
+let guard_misses t = t.guard_misses
+let output t = List.rev t.output_rev
+let install_code t (mid : Ids.Method_id.t) code = t.code_table.((mid :> int)) <- code
+let code_of t (mid : Ids.Method_id.t) = t.code_table.((mid :> int))
+let was_executed t (mid : Ids.Method_id.t) = t.executed.((mid :> int))
+let set_on_first_execution t f = t.on_first_execution <- f
+let set_on_invoke t f = t.on_invoke <- f
+let set_on_timer_sample t f = t.on_timer_sample <- f
+let charge t cycles = t.cycles <- t.cycles + cycles
+let stack_depth t = t.depth
+let osr_count t = t.osr_count
+let invocation_count t (mid : Ids.Method_id.t) = t.invocations.((mid :> int))
+
+(* On-stack replacement of the innermost frame: if it is executing stale
+   code for [mid] at a root-level source pc that still exists in the
+   currently installed code, transfer the frame. Only the top frame is
+   eligible — outer frames are suspended at call sites whose replacement
+   code may have inlined the callee, which would resume into the middle of
+   an inline region with the wrong continuation. Root locals keep their
+   slots (the expander maps them identically); the operand stack carries
+   over because root-level source points have equal stack depth in both
+   codes (both verify against the same source). *)
+let osr t (mid : Ids.Method_id.t) =
+  if t.depth = 0 then false
+  else
+    let fr = t.frames.(t.depth - 1) in
+    let current = t.code_table.((mid :> int)) in
+    if
+      (not (Ids.Method_id.equal fr.f_code.Code.meth mid))
+      || fr.f_code == current
+    then false
+    else
+      let (src_m, src_pc), parents = Code.source_at fr.f_code ~pc:fr.f_pc in
+      if (not (Ids.Method_id.equal src_m mid)) || parents <> [] || src_pc < 0
+      then false
+      else
+        let target =
+          match current.Code.src with
+          | None -> if src_pc < Array.length current.Code.instrs then Some src_pc else None
+          | Some entries ->
+              let n = Array.length entries in
+              let rec find pc =
+                if pc >= n then None
+                else
+                  let e = entries.(pc) in
+                  if
+                    Ids.Method_id.equal e.Code.src_meth mid
+                    && e.Code.src_pc = src_pc
+                    && e.Code.parents = []
+                  then Some pc
+                  else find (pc + 1)
+              in
+              find 0
+        in
+        match target with
+        | None -> false
+        | Some pc' ->
+            if fr.f_sp > current.Code.max_stack then false
+            else begin
+              let locals = Array.make (max 1 current.Code.max_locals) Value.zero in
+              Array.blit fr.f_locals 0 locals 0
+                (min (Array.length fr.f_locals) (Array.length locals));
+              let stack = Array.make (max 1 current.Code.max_stack) Value.zero in
+              Array.blit fr.f_stack 0 stack 0 fr.f_sp;
+              fr.f_code <- current;
+              fr.f_pc <- pc';
+              fr.f_locals <- locals;
+              fr.f_stack <- stack;
+              t.osr_count <- t.osr_count + 1;
+              true
+            end
+
+let walk_source_stack t ~f =
+  let continue_ = ref true in
+  let i = ref (t.depth - 1) in
+  while !continue_ && !i >= 0 do
+    let fr = t.frames.(!i) in
+    let (m, pc), parents = Code.source_at fr.f_code ~pc:fr.f_pc in
+    continue_ := f m pc;
+    let rec parents_loop = function
+      | [] -> ()
+      | (caller, callsite) :: rest ->
+          if !continue_ then begin
+            continue_ := f caller callsite;
+            parents_loop rest
+          end
+    in
+    parents_loop parents;
+    decr i
+  done
+
+(* --- frame stack management --- *)
+
+let dummy_code program cost =
+  Code.baseline cost (Program.meth program (Program.main program))
+
+let push_frame t code =
+  (if t.depth = Array.length t.frames then begin
+     let cap = max 64 (2 * t.depth) in
+     let bigger =
+       Array.make cap
+         {
+           f_code = dummy_code t.program t.cost;
+           f_pc = 0;
+           f_locals = [||];
+           f_stack = [||];
+           f_sp = 0;
+         }
+     in
+     Array.blit t.frames 0 bigger 0 t.depth;
+     t.frames <- bigger
+   end);
+  if t.depth >= max_call_depth then rerr "call stack overflow";
+  let fr =
+    {
+      f_code = code;
+      f_pc = 0;
+      f_locals = Array.make (max 1 code.Code.max_locals) Value.zero;
+      f_stack = Array.make (max 1 code.Code.max_stack) Value.zero;
+      f_sp = 0;
+    }
+  in
+  t.frames.(t.depth) <- fr;
+  t.depth <- t.depth + 1;
+  fr
+
+(* --- helpers --- *)
+
+let as_int v =
+  match (v : Value.t) with
+  | Value.Int n -> n
+  | Value.Null | Value.Obj _ | Value.Arr _ ->
+      rerr "expected an integer, got %a" Value.pp v
+
+let as_obj v =
+  match (v : Value.t) with
+  | Value.Obj o -> o
+  | Value.Null -> rerr "null dereference"
+  | Value.Int _ | Value.Arr _ -> rerr "expected an object, got %a" Value.pp v
+
+let as_arr v =
+  match (v : Value.t) with
+  | Value.Arr a -> a
+  | Value.Null -> rerr "null array dereference"
+  | Value.Int _ | Value.Obj _ -> rerr "expected an array, got %a" Value.pp v
+
+let eval_binop op a b =
+  match (op : Instr.binop) with
+  | Instr.Add -> a + b
+  | Instr.Sub -> a - b
+  | Instr.Mul -> a * b
+  | Instr.Div -> if b = 0 then rerr "division by zero" else a / b
+  | Instr.Rem -> if b = 0 then rerr "remainder by zero" else a mod b
+  | Instr.And -> a land b
+  | Instr.Or -> a lor b
+  | Instr.Xor -> a lxor b
+  | Instr.Shl -> a lsl (b land 63)
+  | Instr.Shr -> a asr (b land 63)
+
+let eval_cmp c a b =
+  let r =
+    match (c : Instr.cmp) with
+    | Instr.Eq -> Value.equal_cmp a b
+    | Instr.Ne -> not (Value.equal_cmp a b)
+    | Instr.Lt -> as_int a < as_int b
+    | Instr.Le -> as_int a <= as_int b
+    | Instr.Gt -> as_int a > as_int b
+    | Instr.Ge -> as_int a >= as_int b
+  in
+  if r then 1 else 0
+
+(* --- execution --- *)
+
+let invoke t (mid : Ids.Method_id.t) =
+  t.call_count <- t.call_count + 1;
+  t.invocations.((mid :> int)) <- t.invocations.((mid :> int)) + 1;
+  if not t.executed.((mid :> int)) then begin
+    t.executed.((mid :> int)) <- true;
+    t.on_first_execution mid
+  end;
+  let code = t.code_table.((mid :> int)) in
+  (* Frame setup cost depends on the callee's prologue quality. *)
+  t.cycles <-
+    t.cycles
+    + (match code.Code.tier with
+      | Code.Baseline -> t.cost.Cost.call
+      | Code.Optimized -> t.cost.Cost.opt_call);
+  let callee = Program.meth t.program mid in
+  let fr = push_frame t code in
+  (* Pop arguments from the caller's stack into the callee's locals. *)
+  let caller = t.frames.(t.depth - 2) in
+  let nslots = Meth.param_slots callee in
+  for k = nslots - 1 downto 0 do
+    caller.f_sp <- caller.f_sp - 1;
+    fr.f_locals.(k) <- caller.f_stack.(caller.f_sp)
+  done;
+  t.invoke_countdown <- t.invoke_countdown - 1;
+  if t.invoke_countdown <= 0 then begin
+    t.invoke_countdown <- t.invoke_stride;
+    t.on_invoke t mid
+  end
+
+let dispatch_target t (recv : Value.t) sel =
+  let o = as_obj recv in
+  match Program.dispatch t.program o.Value.cls sel with
+  | Some mid -> mid
+  | None ->
+      rerr "no implementation of %s on class %s"
+        (Program.selector_name t.program sel)
+        (Program.clazz t.program o.Value.cls).Clazz.name
+
+let run ?(cycle_limit = max_int) t =
+  let main = Program.main t.program in
+  t.executed.((main :> int)) <- true;
+  t.on_first_execution main;
+  ignore (push_frame t t.code_table.((main :> int)));
+  t.call_count <- t.call_count + 1;
+  let base_cost = t.cost.Cost.baseline_instr in
+  let opt_cost = t.cost.Cost.opt_instr in
+  while t.depth > 0 do
+    (* The timer fires before the fetch: hooks may install code or
+       on-stack-replace the top frame, so nothing may be cached across
+       them. *)
+    if t.cycles >= t.next_sample then begin
+      t.next_sample <- t.next_sample + t.sample_period;
+      if t.cycles > cycle_limit then raise Cycle_limit_exceeded;
+      t.on_timer_sample t
+    end;
+    let fr = t.frames.(t.depth - 1) in
+    let instr = fr.f_code.Code.instrs.(fr.f_pc) in
+    t.instr_count <- t.instr_count + 1;
+    t.cycles <-
+      t.cycles
+      + (match fr.f_code.Code.tier with
+        | Code.Baseline -> base_cost
+        | Code.Optimized -> opt_cost);
+    let stack = fr.f_stack in
+    (match instr with
+    | Instr.Const n ->
+        stack.(fr.f_sp) <- Value.Int n;
+        fr.f_sp <- fr.f_sp + 1;
+        fr.f_pc <- fr.f_pc + 1
+    | Instr.Const_null ->
+        stack.(fr.f_sp) <- Value.Null;
+        fr.f_sp <- fr.f_sp + 1;
+        fr.f_pc <- fr.f_pc + 1
+    | Instr.Load i ->
+        stack.(fr.f_sp) <- fr.f_locals.(i);
+        fr.f_sp <- fr.f_sp + 1;
+        fr.f_pc <- fr.f_pc + 1
+    | Instr.Store i ->
+        fr.f_sp <- fr.f_sp - 1;
+        fr.f_locals.(i) <- stack.(fr.f_sp);
+        fr.f_pc <- fr.f_pc + 1
+    | Instr.Dup ->
+        stack.(fr.f_sp) <- stack.(fr.f_sp - 1);
+        fr.f_sp <- fr.f_sp + 1;
+        fr.f_pc <- fr.f_pc + 1
+    | Instr.Pop ->
+        fr.f_sp <- fr.f_sp - 1;
+        fr.f_pc <- fr.f_pc + 1
+    | Instr.Swap ->
+        let a = stack.(fr.f_sp - 1) in
+        stack.(fr.f_sp - 1) <- stack.(fr.f_sp - 2);
+        stack.(fr.f_sp - 2) <- a;
+        fr.f_pc <- fr.f_pc + 1
+    | Instr.Binop op ->
+        let b = as_int stack.(fr.f_sp - 1) in
+        let a = as_int stack.(fr.f_sp - 2) in
+        fr.f_sp <- fr.f_sp - 1;
+        stack.(fr.f_sp - 1) <- Value.Int (eval_binop op a b);
+        fr.f_pc <- fr.f_pc + 1
+    | Instr.Neg ->
+        stack.(fr.f_sp - 1) <- Value.Int (-as_int stack.(fr.f_sp - 1));
+        fr.f_pc <- fr.f_pc + 1
+    | Instr.Not ->
+        stack.(fr.f_sp - 1) <-
+          Value.Int (if Value.truthy stack.(fr.f_sp - 1) then 0 else 1);
+        fr.f_pc <- fr.f_pc + 1
+    | Instr.Cmp c ->
+        let b = stack.(fr.f_sp - 1) in
+        let a = stack.(fr.f_sp - 2) in
+        fr.f_sp <- fr.f_sp - 1;
+        stack.(fr.f_sp - 1) <- Value.Int (eval_cmp c a b);
+        fr.f_pc <- fr.f_pc + 1
+    | Instr.Jump target -> fr.f_pc <- target
+    | Instr.Jump_if target ->
+        fr.f_sp <- fr.f_sp - 1;
+        if Value.truthy stack.(fr.f_sp) then fr.f_pc <- target
+        else fr.f_pc <- fr.f_pc + 1
+    | Instr.Jump_ifnot target ->
+        fr.f_sp <- fr.f_sp - 1;
+        if Value.truthy stack.(fr.f_sp) then fr.f_pc <- fr.f_pc + 1
+        else fr.f_pc <- target
+    | Instr.New cid ->
+        t.cycles <- t.cycles + t.cost.Cost.alloc;
+        stack.(fr.f_sp) <- Value.alloc t.program cid;
+        fr.f_sp <- fr.f_sp + 1;
+        fr.f_pc <- fr.f_pc + 1
+    | Instr.Get_field i ->
+        let o = as_obj stack.(fr.f_sp - 1) in
+        stack.(fr.f_sp - 1) <- o.Value.fields.(i);
+        fr.f_pc <- fr.f_pc + 1
+    | Instr.Put_field i ->
+        let v = stack.(fr.f_sp - 1) in
+        let o = as_obj stack.(fr.f_sp - 2) in
+        fr.f_sp <- fr.f_sp - 2;
+        o.Value.fields.(i) <- v;
+        fr.f_pc <- fr.f_pc + 1
+    | Instr.Get_global i ->
+        stack.(fr.f_sp) <- t.globals.(i);
+        fr.f_sp <- fr.f_sp + 1;
+        fr.f_pc <- fr.f_pc + 1
+    | Instr.Put_global i ->
+        fr.f_sp <- fr.f_sp - 1;
+        t.globals.(i) <- stack.(fr.f_sp);
+        fr.f_pc <- fr.f_pc + 1
+    | Instr.Array_new ->
+        let n = as_int stack.(fr.f_sp - 1) in
+        if n < 0 then rerr "negative array size %d" n;
+        t.cycles <-
+          t.cycles + t.cost.Cost.alloc + (n * t.cost.Cost.alloc_array_word);
+        stack.(fr.f_sp - 1) <- Value.Arr (Array.make n Value.zero);
+        fr.f_pc <- fr.f_pc + 1
+    | Instr.Array_get ->
+        let i = as_int stack.(fr.f_sp - 1) in
+        let a = as_arr stack.(fr.f_sp - 2) in
+        if i < 0 || i >= Array.length a then
+          rerr "array index %d out of bounds (length %d)" i (Array.length a);
+        fr.f_sp <- fr.f_sp - 1;
+        stack.(fr.f_sp - 1) <- a.(i);
+        fr.f_pc <- fr.f_pc + 1
+    | Instr.Array_set ->
+        let v = stack.(fr.f_sp - 1) in
+        let i = as_int stack.(fr.f_sp - 2) in
+        let a = as_arr stack.(fr.f_sp - 3) in
+        if i < 0 || i >= Array.length a then
+          rerr "array index %d out of bounds (length %d)" i (Array.length a);
+        fr.f_sp <- fr.f_sp - 3;
+        a.(i) <- v;
+        fr.f_pc <- fr.f_pc + 1
+    | Instr.Array_len ->
+        let a = as_arr stack.(fr.f_sp - 1) in
+        stack.(fr.f_sp - 1) <- Value.Int (Array.length a);
+        fr.f_pc <- fr.f_pc + 1
+    | Instr.Call_static mid -> invoke t mid
+    | Instr.Call_direct mid -> invoke t mid
+    | Instr.Call_virtual (sel, argc) ->
+        t.cycles <- t.cycles + t.cost.Cost.virtual_dispatch;
+        let recv = stack.(fr.f_sp - 1 - argc) in
+        invoke t (dispatch_target t recv sel)
+    | Instr.Guard_method g ->
+        t.cycles <- t.cycles + t.cost.Cost.guard;
+        let recv = stack.(fr.f_sp - 1 - g.Instr.argc) in
+        let ok =
+          match recv with
+          | Value.Obj o -> (
+              match Program.dispatch t.program o.Value.cls g.Instr.sel with
+              | Some target -> Ids.Method_id.equal target g.Instr.expected
+              | None -> false)
+          | Value.Null | Value.Int _ | Value.Arr _ -> false
+        in
+        if ok then begin
+          t.guard_hits <- t.guard_hits + 1;
+          fr.f_pc <- fr.f_pc + 1
+        end
+        else begin
+          t.guard_misses <- t.guard_misses + 1;
+          fr.f_pc <- g.Instr.fail
+        end
+    | Instr.Return ->
+        let result = stack.(fr.f_sp - 1) in
+        t.depth <- t.depth - 1;
+        if t.depth > 0 then begin
+          let caller = t.frames.(t.depth - 1) in
+          caller.f_stack.(caller.f_sp) <- result;
+          caller.f_sp <- caller.f_sp + 1;
+          caller.f_pc <- caller.f_pc + 1
+        end
+    | Instr.Return_void ->
+        t.depth <- t.depth - 1;
+        if t.depth > 0 then begin
+          let caller = t.frames.(t.depth - 1) in
+          caller.f_pc <- caller.f_pc + 1
+        end
+    | Instr.Instance_of cid ->
+        let r =
+          match stack.(fr.f_sp - 1) with
+          | Value.Obj o ->
+              if Program.is_subclass t.program ~sub:o.Value.cls ~super:cid
+              then 1
+              else 0
+          | Value.Null | Value.Int _ | Value.Arr _ -> 0
+        in
+        stack.(fr.f_sp - 1) <- Value.Int r;
+        fr.f_pc <- fr.f_pc + 1
+    | Instr.Print_int ->
+        fr.f_sp <- fr.f_sp - 1;
+        t.output_rev <- as_int stack.(fr.f_sp) :: t.output_rev;
+        fr.f_pc <- fr.f_pc + 1
+    | Instr.Nop -> fr.f_pc <- fr.f_pc + 1);
+    ()
+  done

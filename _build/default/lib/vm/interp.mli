@@ -1,0 +1,97 @@
+(** The virtual machine interpreter.
+
+    Executes whatever code the code table currently holds for each method —
+    baseline bodies or JIT-produced optimized code — while advancing the
+    virtual cycle clock according to {!Cost}. New code can be installed at
+    any method boundary; frames already on the stack keep executing the
+    code they started in (there is no on-stack replacement, as in the
+    paper's system).
+
+    Hooks let the adaptive optimization system observe execution without
+    the interpreter knowing anything about it:
+    - [on_first_execution] fires the first time a method is invoked
+      (modeling lazy baseline compilation);
+    - [on_invoke] fires every [invoke_stride]-th method invocation, after
+      the callee frame is pushed — this models Jikes RVM's prologue
+      yieldpoint edge sampling, making edge samples proportional to
+      invocation frequency;
+    - [on_timer_sample] fires every [sample_period] virtual cycles,
+      modeling the 100 Hz timer tick that drives the method listener. *)
+
+open Acsi_bytecode
+
+exception Runtime_error of string
+(** Null dereference, out-of-bounds access, division by zero, missing
+    dispatch target, or call-stack overflow. *)
+
+exception Cycle_limit_exceeded
+
+type t
+
+val create :
+  ?cost:Cost.t ->
+  ?sample_period:int ->
+  ?invoke_stride:int ->
+  Program.t ->
+  t
+(** A fresh VM with every method's code table entry set to its baseline
+    compilation. [sample_period] defaults to 100_000 cycles;
+    [invoke_stride] to 2048 invocations. *)
+
+val program : t -> Program.t
+val cost : t -> Cost.t
+
+val cycles : t -> int
+(** Application cycles consumed so far (excluding AOS overhead, which the
+    AOS accounts for separately). *)
+
+val instructions_executed : t -> int
+val calls_executed : t -> int
+
+val invocation_count : t -> Ids.Method_id.t -> int
+(** Dynamic invocations of one method (inlined calls do not count). *)
+
+val guard_hits : t -> int
+val guard_misses : t -> int
+
+val osr_count : t -> int
+(** Successful on-stack replacements performed so far. *)
+
+val output : t -> int list
+(** Values printed by [Print_int], oldest first. The observable behaviour
+    used by the semantics-preservation tests. *)
+
+val install_code : t -> Ids.Method_id.t -> Code.t -> unit
+val code_of : t -> Ids.Method_id.t -> Code.t
+
+val was_executed : t -> Ids.Method_id.t -> bool
+(** Whether the method has ever been invoked (i.e. baseline-compiled). *)
+
+val set_on_first_execution : t -> (Ids.Method_id.t -> unit) -> unit
+val set_on_invoke : t -> (t -> Ids.Method_id.t -> unit) -> unit
+val set_on_timer_sample : t -> (t -> unit) -> unit
+
+val charge : t -> int -> unit
+(** Advance the virtual clock by externally-accounted cycles (the runtime
+    uses this to make AOS overhead visible to the timer). *)
+
+val osr : t -> Ids.Method_id.t -> bool
+(** Attempt on-stack replacement of the innermost frame onto the currently
+    installed code for [mid] (an extension over the paper's system, which
+    had none — recompiled code normally activates on the next invocation).
+    Only safe at an instruction boundary, i.e. from within a VM hook.
+    Returns whether a transfer happened. *)
+
+val walk_source_stack : t -> f:(Ids.Method_id.t -> int -> bool) -> unit
+(** Visit the source-level call stack innermost-first as
+    [(method, source pc)] pairs, expanding optimized frames through their
+    inline maps. The innermost pair is the currently executing method;
+    each subsequent pair is a caller with the pc of its call site. [f]
+    returns [false] to stop walking. *)
+
+val stack_depth : t -> int
+(** Physical frame count (for tests). *)
+
+val run : ?cycle_limit:int -> t -> unit
+(** Execute from the program's [main] until it returns. Raises
+    {!Cycle_limit_exceeded} if the clock passes [cycle_limit]. *)

@@ -1,0 +1,43 @@
+open Acsi_bytecode
+
+type t =
+  | Int of int
+  | Null
+  | Obj of obj
+  | Arr of t array
+
+and obj = {
+  cls : Ids.Class_id.t;
+  fields : t array;
+}
+
+let zero = Int 0
+
+let alloc program cid =
+  let cls = Program.clazz program cid in
+  Obj { cls = cid; fields = Array.make (Clazz.field_count cls) zero }
+
+let equal_cmp a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Null, Null -> true
+  | Obj x, Obj y -> x == y
+  | Arr x, Arr y -> x == y
+  | (Int _ | Null | Obj _ | Arr _), _ -> false
+
+let truthy = function
+  | Int 0 | Null -> false
+  | Int _ | Obj _ | Arr _ -> true
+
+let rec pp fmt = function
+  | Int n -> Format.fprintf fmt "%d" n
+  | Null -> Format.fprintf fmt "null"
+  | Obj o -> Format.fprintf fmt "obj<%a>" Ids.Class_id.pp o.cls
+  | Arr a ->
+      Format.fprintf fmt "[|";
+      Array.iteri
+        (fun i v ->
+          if i > 0 then Format.fprintf fmt "; ";
+          if i < 8 then pp fmt v else if i = 8 then Format.fprintf fmt "...")
+        a;
+      Format.fprintf fmt "|]"

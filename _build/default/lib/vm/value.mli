@@ -1,0 +1,34 @@
+(** Runtime values and heap objects.
+
+    The heap is managed by the host (OCaml) garbage collector; the paper's
+    semispace collector is out of scope (see DESIGN.md). *)
+
+type t =
+  | Int of int
+  | Null
+  | Obj of obj
+  | Arr of t array
+
+and obj = {
+  cls : Acsi_bytecode.Ids.Class_id.t;
+  fields : t array;
+}
+
+val zero : t
+(** Default value of fresh fields, globals, array slots, and locals:
+    [Int 0], matching Java's default for primitive slots. Code holding
+    references in arrays (e.g. the library HashMap) must null its slots
+    explicitly, as [Int 0] is not a valid dispatch receiver. *)
+
+val alloc : Acsi_bytecode.Program.t -> Acsi_bytecode.Ids.Class_id.t -> t
+(** Fresh object with all fields set to {!zero}. *)
+
+val equal_cmp : t -> t -> bool
+(** Reference equality on objects and arrays, structural on ints, and
+    [Null = Null]; mixed kinds are unequal. This is the semantics of the
+    [Cmp Eq] bytecode. *)
+
+val truthy : t -> bool
+(** [Int 0] and [Null] are false; everything else is true. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/javalib.ml: Acsi_lang

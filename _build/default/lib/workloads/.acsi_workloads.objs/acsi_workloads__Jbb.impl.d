@@ -1,0 +1,1 @@
+lib/workloads/jbb.ml: Acsi_lang

@@ -1,0 +1,1 @@
+lib/workloads/micro.ml: Acsi_lang Javalib List Printf

@@ -1,0 +1,1 @@
+lib/workloads/mpegaudio.ml: Acsi_lang

@@ -1,0 +1,1 @@
+lib/workloads/mtrt.ml: Acsi_lang

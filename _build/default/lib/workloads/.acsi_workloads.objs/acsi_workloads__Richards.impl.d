@@ -1,0 +1,1 @@
+lib/workloads/richards.ml: Acsi_lang

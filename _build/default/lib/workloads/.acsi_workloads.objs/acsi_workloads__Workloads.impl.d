@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Acsi_bytecode Acsi_lang Compress Db Jack Javac Javalib Jbb Jess List Mpegaudio Mtrt Richards String

@@ -1,0 +1,136 @@
+(* "compress"-shaped workload: block compression over patterned data.
+
+   Mirrors the SPECjvm98 201_compress profile: almost all time in a few
+   large static methods with tight array loops (never inlined — they are
+   Large), plus tiny bit-twiddling helpers that static heuristics inline.
+   Virtual dispatch is rare, so context sensitivity should have little
+   effect here — as in the paper, where compress barely moves. *)
+
+open Acsi_lang.Dsl
+
+let block = 512
+
+let classes =
+  [
+    cls "Compress" ~fields:[]
+      [
+        (* Tiny helpers: unconditional inline fodder. *)
+        static_meth "lowBits" [ "x"; "n" ] ~returns:true
+          [ ret (band (v "x") (sub (shl (i 1) (v "n")) (i 1))) ];
+        static_meth "mix" [ "h"; "x" ] ~returns:true
+          [ ret (band (add (mul (v "h") (i 131)) (v "x")) (i 1073741823)) ];
+        (* Large method: run-length + delta encoding. *)
+        static_meth "compress" [ "data"; "out" ] ~returns:true
+          [
+            let_ "n" (arr_len (v "data"));
+            let_ "o" (i 0);
+            let_ "k" (i 0);
+            while_ (lt (v "k") (v "n"))
+              [
+                let_ "x" (arr_get (v "data") (v "k"));
+                let_ "run" (i 1);
+                while_
+                  (and_
+                     (lt (add (v "k") (v "run")) (v "n"))
+                     (eq (arr_get (v "data") (add (v "k") (v "run"))) (v "x")))
+                  [ let_ "run" (add (v "run") (i 1)) ];
+                if_
+                  (gt (v "run") (i 2))
+                  [
+                    arr_set (v "out") (v "o") (neg (v "run"));
+                    arr_set (v "out") (add (v "o") (i 1)) (v "x");
+                    let_ "o" (add (v "o") (i 2));
+                    let_ "k" (add (v "k") (v "run"));
+                  ]
+                  [
+                    (* literal: stored raw; inputs are non-negative, so
+                       literals never collide with negative run markers *)
+                    arr_set (v "out") (v "o") (v "x");
+                    let_ "o" (add (v "o") (i 1));
+                    let_ "k" (add (v "k") (i 1));
+                  ];
+              ];
+            ret (v "o");
+          ];
+        (* Large method: the inverse transform. *)
+        static_meth "decompress" [ "enc"; "len"; "out" ] ~returns:true
+          [
+            let_ "o" (i 0);
+            let_ "k" (i 0);
+            while_ (lt (v "k") (v "len"))
+              [
+                let_ "x" (arr_get (v "enc") (v "k"));
+                if_
+                  (lt (v "x") (i 0))
+                  [
+                    let_ "run" (neg (v "x"));
+                    let_ "val" (arr_get (v "enc") (add (v "k") (i 1)));
+                    for_ "r" (i 0) (v "run")
+                      [ arr_set (v "out") (add (v "o") (v "r")) (v "val") ];
+                    let_ "o" (add (v "o") (v "run"));
+                    let_ "k" (add (v "k") (i 2));
+                  ]
+                  [
+                    arr_set (v "out") (v "o") (v "x");
+                    let_ "o" (add (v "o") (i 1));
+                    let_ "k" (add (v "k") (i 1));
+                  ];
+              ];
+            ret (v "o");
+          ];
+        (* Small method: rolling checksum over a block. *)
+        static_meth "checksum" [ "a"; "len" ] ~returns:true
+          [
+            let_ "h" (i 7);
+            for_ "k" (i 0) (v "len")
+              [
+                let_ "h"
+                  (call "Compress" "mix" [ v "h"; arr_get (v "a") (v "k") ]);
+              ];
+            ret (v "h");
+          ];
+        (* One full round-trip over a block; re-invoked per block. *)
+        static_meth "roundTrip" [ "rng"; "data"; "enc"; "dec" ] ~returns:true
+          [
+            let_ "n" (arr_len (v "data"));
+            for_ "k" (i 0) (v "n")
+              [
+                arr_set (v "data") (v "k")
+                  (add (band (v "k") (i 15)) (inv (v "rng") "below" [ i 3 ]));
+              ];
+            let_ "en" (call "Compress" "compress" [ v "data"; v "enc" ]);
+            let_ "m" (call "Compress" "decompress" [ v "enc"; v "en"; v "dec" ]);
+            let_ "bad" (i 0);
+            if_ (ne (v "m") (v "n")) [ let_ "bad" (i 1) ] [];
+            for_ "k" (i 0) (v "n")
+              [
+                if_
+                  (ne (arr_get (v "data") (v "k")) (arr_get (v "dec") (v "k")))
+                  [ let_ "bad" (add (v "bad") (i 1)) ]
+                  [];
+              ];
+            if_ (gt (v "bad") (i 0)) [ ret (neg (v "bad")) ] [];
+            ret (call "Compress" "checksum" [ v "dec"; v "m" ]);
+          ];
+      ];
+  ]
+
+let main ~scale =
+  [
+    let_ "rng" (new_ "Rng" [ i 98765 ]);
+    let_ "data" (arr_new (i block));
+    let_ "enc" (arr_new (i (2 * block)));
+    let_ "dec" (arr_new (i block));
+    let_ "total" (i 0);
+    let_ "errors" (i 0);
+    for_ "rep" (i 0) (i (6 * scale))
+      [
+        let_ "r"
+          (call "Compress" "roundTrip" [ v "rng"; v "data"; v "enc"; v "dec" ]);
+        if_ (lt (v "r") (i 0))
+          [ let_ "errors" (sub (v "errors") (v "r")) ]
+          [ let_ "total" (band (add (v "total") (v "r")) (i 1073741823)) ];
+      ];
+    print (v "total");
+    print (v "errors");
+  ]

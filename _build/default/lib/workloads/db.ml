@@ -1,0 +1,156 @@
+(* "db"-shaped workload: a memory-resident record store.
+
+   This is the benchmark built around the paper's Figure 1 situation: the
+   shared [HashMap.get]/[HashMap.put] methods are reached from distinct
+   call sites whose key classes differ (IntKey for the id index, PairKey
+   for the bucket cache). Context-insensitive profiles see a mixed
+   hashCode/equals distribution inside HashMap and either inline both
+   targets everywhere or neither; context-sensitive profiles discriminate
+   per site. Sorting through comparator objects adds further polymorphic
+   sites whose distribution is call-site-dependent. *)
+
+open Acsi_lang.Dsl
+
+let classes =
+  [
+    cls "Record" ~parent:"Obj" ~fields:[ "rid"; "age"; "salary" ]
+      [
+        meth "init" [ "rid"; "age"; "salary" ] ~returns:false
+          [
+            expr (dcall this "Obj" "init" []);
+            set_thisf "rid" (v "rid");
+            set_thisf "age" (v "age");
+            set_thisf "salary" (v "salary");
+          ];
+        meth "score" [] ~returns:true
+          [ ret (add (mul (thisf "age") (i 3)) (div (thisf "salary") (i 100))) ];
+      ];
+    cls "Database" ~fields:[ "records"; "byId"; "cache"; "probeHits" ]
+      [
+        meth "init" [ "records"; "byId"; "cache" ] ~returns:false
+          [
+            set_thisf "records" (v "records");
+            set_thisf "byId" (v "byId");
+            set_thisf "cache" (v "cache");
+            set_thisf "probeHits" (i 0);
+          ];
+        (* Call site A: HashMap.get with IntKey receivers only. *)
+        meth "lookupById" [ "rid" ] ~returns:true
+          [
+            let_ "k" (new_ "IntKey" [ v "rid" ]);
+            ret (inv (thisf "byId") "get" [ v "k" ]);
+          ];
+        (* Call site B: HashMap.get/put with PairKey receivers only. *)
+        meth "probeCache" [ "age"; "bucket" ] ~returns:true
+          [
+            let_ "k" (new_ "PairKey" [ v "age"; v "bucket" ]);
+            let_ "hit" (inv (thisf "cache") "get" [ v "k" ]);
+            if_ (eq (v "hit") null)
+              [ expr (inv (thisf "cache") "put" [ v "k"; i 1 ]) ]
+              [ set_thisf "probeHits" (add (thisf "probeHits") (i 1)) ];
+            ret (ne (v "hit") null);
+          ];
+      ];
+      (* One batch of operations; invoked repeatedly so the adaptive system
+       can recompile it and later batches run the optimized code (the role
+       the SPEC harness's repeated iterations play). *)
+    cls "Driver" ~fields:[]
+      [
+        static_meth "runBatch" [ "db"; "rng"; "ages"; "salaries"; "n" ]
+          ~returns:true
+          [
+            let_ "checksum" (i 0);
+            for_ "op" (i 0) (v "n")
+              [
+                let_ "what" (inv (v "rng") "below" [ i 400 ]);
+                if_
+                  (lt (v "what") (i 240))
+                  [
+                    let_ "r"
+                      (inv (v "db") "lookupById"
+                         [ inv (v "rng") "below" [ i 192 ] ]);
+                    if_ (ne (v "r") null)
+                      [
+                        let_ "checksum"
+                          (add (v "checksum") (inv (v "r") "score" []));
+                      ]
+                      [];
+                  ]
+                  [
+                    if_
+                      (lt (v "what") (i 399))
+                      [
+                        expr
+                          (inv (v "db") "probeCache"
+                             [
+                               add (i 20) (inv (v "rng") "below" [ i 50 ]);
+                               inv (v "rng") "below" [ i 40 ];
+                             ]);
+                      ]
+                      [
+                        let_ "m" (arr_len (v "ages"));
+                        for_ "k" (i 0) (v "m")
+                          [
+                            let_ "r"
+                              (inv (fld "Database" (v "db") "records") "at"
+                                 [ v "k" ]);
+                            arr_set (v "ages") (v "k")
+                              (fld "Record" (v "r") "age");
+                            arr_set (v "salaries") (v "k")
+                              (fld "Record" (v "r") "salary");
+                          ];
+                        expr
+                          (call "Util" "sortBy" [ v "ages"; new_ "AscCmp" [] ]);
+                        expr
+                          (call "Util" "sortBy"
+                             [ v "salaries"; new_ "DescCmp" [] ]);
+                        let_ "checksum"
+                          (add (v "checksum")
+                             (add
+                                (arr_get (v "ages") (i 0))
+                                (arr_get (v "salaries") (i 0))));
+                      ];
+                  ];
+              ];
+            ret (band (v "checksum") (i 1073741823));
+          ];
+      ];
+  ]
+
+let main ~scale =
+  let records = 192 in
+  let sorted = 24 in
+  [
+    let_ "rng" (new_ "Rng" [ i 777 ]);
+    let_ "records" (new_ "Vector" [ i records ]);
+    let_ "byId" (new_ "HashMap" [ i 512 ]);
+    let_ "cache" (new_ "HashMap" [ i 256 ]);
+    for_ "k" (i 0) (i records)
+      [
+        let_ "r"
+          (new_ "Record"
+             [
+               v "k";
+               add (i 20) (inv (v "rng") "below" [ i 50 ]);
+               add (i 20000) (inv (v "rng") "below" [ i 80000 ]);
+             ]);
+        expr (inv (v "records") "add" [ v "r" ]);
+        expr (inv (v "byId") "put" [ new_ "IntKey" [ v "k" ]; v "r" ]);
+      ];
+    let_ "db" (new_ "Database" [ v "records"; v "byId"; v "cache" ]);
+    let_ "ages" (arr_new (i sorted));
+    let_ "salaries" (arr_new (i sorted));
+    let_ "checksum" (i 0);
+    for_ "batch" (i 0) (i scale)
+      [
+        let_ "checksum"
+          (band
+             (add (v "checksum")
+                (call "Driver" "runBatch"
+                   [ v "db"; v "rng"; v "ages"; v "salaries"; i 250 ]))
+             (i 1073741823));
+      ];
+    print (v "checksum");
+    print (fld "Database" (v "db") "probeHits");
+    print (inv (v "cache") "count" []);
+  ]

@@ -1,0 +1,148 @@
+(* "jack"-shaped workload: a parser generator expanding a grammar.
+
+   Productions reference each other through a grammar table and expand
+   recursively via a virtual [expand] method, giving deep mutually
+   recursive call chains over a small class hierarchy. Like the real jack,
+   the driver performs 16 identical passes over the same input. *)
+
+open Acsi_lang.Dsl
+
+let passes = 16
+
+let classes =
+  [
+    (* The grammar table: productions are stored in a vector and call one
+       another through it. *)
+    cls "Grammar" ~fields:[ "prods" ]
+      [
+        meth "init" [ "prods" ] ~returns:false [ set_thisf "prods" (v "prods") ];
+        meth "prodAt" [ "idx" ] ~returns:true
+          [ ret (inv (thisf "prods") "at" [ v "idx" ]) ];
+      ];
+    cls "Prod" ~parent:"Obj" ~fields:[ "grammar"; "emitted" ]
+      [
+        (* Expands to a token count; [budget] bounds recursion. *)
+        meth "expand" [ "budget" ] ~returns:true [ ret (i 1) ];
+      ];
+    (* terminal: emits a fixed handful of tokens *)
+    cls "TermProd" ~parent:"Prod" ~fields:[ "width" ]
+      [
+        meth "init" [ "gram"; "width" ] ~returns:false
+          [
+            expr (dcall this "Obj" "init" []);
+            set_thisf "grammar" (v "gram");
+            set_thisf "width" (v "width");
+          ];
+        meth "expand" [ "budget" ] ~returns:true
+          [
+            set_thisf "emitted" (add (thisf "emitted") (thisf "width"));
+            ret (thisf "width");
+          ];
+      ];
+    (* sequence: expands two sub-productions *)
+    cls "SeqProd" ~parent:"Prod" ~fields:[ "first"; "second" ]
+      [
+        meth "init" [ "gram"; "first"; "second" ] ~returns:false
+          [
+            expr (dcall this "Obj" "init" []);
+            set_thisf "grammar" (v "gram");
+            set_thisf "first" (v "first");
+            set_thisf "second" (v "second");
+          ];
+        meth "expand" [ "budget" ] ~returns:true
+          [
+            if_ (le (v "budget") (i 0)) [ ret (i 1) ] [];
+            let_ "a"
+              (inv
+                 (inv (thisf "grammar") "prodAt" [ thisf "first" ])
+                 "expand"
+                 [ sub (v "budget") (i 1) ]);
+            let_ "b"
+              (inv
+                 (inv (thisf "grammar") "prodAt" [ thisf "second" ])
+                 "expand"
+                 [ sub (v "budget") (i 1) ]);
+            ret (add (v "a") (v "b"));
+          ];
+      ];
+    (* repetition: expands one sub-production several times *)
+    cls "RepProd" ~parent:"Prod" ~fields:[ "inner"; "times" ]
+      [
+        meth "init" [ "gram"; "inner"; "times" ] ~returns:false
+          [
+            expr (dcall this "Obj" "init" []);
+            set_thisf "grammar" (v "gram");
+            set_thisf "inner" (v "inner");
+            set_thisf "times" (v "times");
+          ];
+        meth "expand" [ "budget" ] ~returns:true
+          [
+            if_ (le (v "budget") (i 0)) [ ret (i 1) ] [];
+            let_ "total" (i 0);
+            for_ "k" (i 0) (thisf "times")
+              [
+                let_ "total"
+                  (add (v "total")
+                     (inv
+                        (inv (thisf "grammar") "prodAt" [ thisf "inner" ])
+                        "expand"
+                        [ sub (v "budget") (i 1) ]));
+              ];
+            ret (v "total");
+          ];
+      ];
+    (* alternation: picks a branch from a rotating counter *)
+    cls "AltProd" ~parent:"Prod" ~fields:[ "left"; "right"; "turn" ]
+      [
+        meth "init" [ "gram"; "left"; "right" ] ~returns:false
+          [
+            expr (dcall this "Obj" "init" []);
+            set_thisf "grammar" (v "gram");
+            set_thisf "left" (v "left");
+            set_thisf "right" (v "right");
+            set_thisf "turn" (i 0);
+          ];
+        meth "expand" [ "budget" ] ~returns:true
+          [
+            if_ (le (v "budget") (i 0)) [ ret (i 1) ] [];
+            set_thisf "turn" (add (thisf "turn") (i 1));
+            let_ "pick"
+              (cond
+                 (eq (band (thisf "turn") (i 3)) (i 0))
+                 (thisf "right")
+                 (thisf "left"));
+            ret
+              (inv
+                 (inv (thisf "grammar") "prodAt" [ v "pick" ])
+                 "expand"
+                 [ sub (v "budget") (i 1) ]);
+          ];
+      ];
+  ]
+
+let main ~scale =
+  [
+    let_ "prods" (new_ "Vector" [ i 16 ]);
+    let_ "gram" (new_ "Grammar" [ v "prods" ]);
+    (* prod 0,1: terminals; 2: seq(0,1); 3: rep(2 x3); 4: alt(3|0);
+       5: seq(4,3) — the start symbol. *)
+    expr (inv (v "prods") "add" [ new_ "TermProd" [ v "gram"; i 3 ] ]);
+    expr (inv (v "prods") "add" [ new_ "TermProd" [ v "gram"; i 5 ] ]);
+    expr (inv (v "prods") "add" [ new_ "SeqProd" [ v "gram"; i 0; i 1 ] ]);
+    expr (inv (v "prods") "add" [ new_ "RepProd" [ v "gram"; i 2; i 3 ] ]);
+    expr (inv (v "prods") "add" [ new_ "AltProd" [ v "gram"; i 3; i 0 ] ]);
+    expr (inv (v "prods") "add" [ new_ "SeqProd" [ v "gram"; i 4; i 3 ] ]);
+    let_ "tokens" (i 0);
+    for_ "run" (i 0) (i scale)
+      [
+        for_ "p" (i 0) (i passes)
+          [
+            let_ "start" (inv (v "gram") "prodAt" [ i 5 ]);
+            let_ "tokens"
+              (band
+                 (add (v "tokens") (inv (v "start") "expand" [ i 8 ]))
+                 (i 1073741823));
+          ];
+      ];
+    print (v "tokens");
+  ]

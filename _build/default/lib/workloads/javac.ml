@@ -1,0 +1,262 @@
+(* "javac"-shaped workload: a compiler front end in miniature.
+
+   A token generator emits random expression programs; a recursive-descent
+   parser builds AST objects; the tree is then evaluated and measured
+   through virtual [eval]/[count] methods. This gives the deepest call
+   stacks of the suite (parser recursion above tiny node methods), the
+   largest class count, and polymorphic sites whose distributions shift
+   with tree shape — the profile that made javac the most
+   context-sensitive SPECjvm98 member in the paper. *)
+
+open Acsi_lang.Dsl
+
+(* token codes *)
+let t_num = 0
+let t_var = 1
+let t_plus = 2
+let t_minus = 3
+let t_times = 4
+let t_lparen = 5
+let t_rparen = 6
+let t_end = 7
+
+let node_classes =
+  [
+    cls "Node" ~parent:"Obj" ~fields:[]
+      [
+        meth "eval" [ "env" ] ~returns:true [ ret (i 0) ];
+        meth "countNodes" [] ~returns:true [ ret (i 1) ];
+      ];
+    cls "NumN" ~parent:"Node" ~fields:[ "value" ]
+      [
+        meth "init" [ "value" ] ~returns:false
+          [ expr (dcall this "Obj" "init" []); set_thisf "value" (v "value") ];
+        meth "eval" [ "env" ] ~returns:true [ ret (thisf "value") ];
+      ];
+    cls "VarN" ~parent:"Node" ~fields:[ "slot" ]
+      [
+        meth "init" [ "slot" ] ~returns:false
+          [ expr (dcall this "Obj" "init" []); set_thisf "slot" (v "slot") ];
+        meth "eval" [ "env" ] ~returns:true
+          [ ret (arr_get (v "env") (thisf "slot")) ];
+      ];
+    cls "BinN" ~parent:"Node" ~fields:[ "left"; "right" ]
+      [
+        meth "init" [ "l"; "r" ] ~returns:false
+          [
+            expr (dcall this "Obj" "init" []);
+            set_thisf "left" (v "l");
+            set_thisf "right" (v "r");
+          ];
+        meth "countNodes" [] ~returns:true
+          [
+            ret
+              (add (i 1)
+                 (add
+                    (inv (thisf "left") "countNodes" [])
+                    (inv (thisf "right") "countNodes" [])));
+          ];
+      ];
+    cls "AddN" ~parent:"BinN" ~fields:[]
+      [
+        meth "eval" [ "env" ] ~returns:true
+          [
+            ret
+              (add
+                 (inv (thisf "left") "eval" [ v "env" ])
+                 (inv (thisf "right") "eval" [ v "env" ]));
+          ];
+      ];
+    cls "SubN" ~parent:"BinN" ~fields:[]
+      [
+        meth "eval" [ "env" ] ~returns:true
+          [
+            ret
+              (sub
+                 (inv (thisf "left") "eval" [ v "env" ])
+                 (inv (thisf "right") "eval" [ v "env" ]));
+          ];
+      ];
+    cls "MulN" ~parent:"BinN" ~fields:[]
+      [
+        meth "eval" [ "env" ] ~returns:true
+          [
+            ret
+              (band
+                 (mul
+                    (inv (thisf "left") "eval" [ v "env" ])
+                    (inv (thisf "right") "eval" [ v "env" ]))
+                 (i 16777215));
+          ];
+      ];
+    cls "NegN" ~parent:"Node" ~fields:[ "inner" ]
+      [
+        meth "init" [ "e" ] ~returns:false
+          [ expr (dcall this "Obj" "init" []); set_thisf "inner" (v "e") ];
+        meth "eval" [ "env" ] ~returns:true
+          [ ret (neg (inv (thisf "inner") "eval" [ v "env" ])) ];
+        meth "countNodes" [] ~returns:true
+          [ ret (add (i 1) (inv (thisf "inner") "countNodes" [])) ];
+      ];
+  ]
+
+let gen_class =
+  cls "TokenGen" ~fields:[]
+    [
+      (* Recursively emit a random expression; returns the new position. *)
+      static_meth "genExpr" [ "rng"; "toks"; "pos"; "depth" ] ~returns:true
+        [
+          if_
+            (or_ (le (v "depth") (i 0)) (eq (inv (v "rng") "below" [ i 3 ]) (i 0)))
+            [
+              (* leaf: NUM or VAR *)
+              if_
+                (eq (inv (v "rng") "below" [ i 2 ]) (i 0))
+                [
+                  arr_set (v "toks") (v "pos") (i t_num);
+                  arr_set (v "toks")
+                    (add (v "pos") (i 1))
+                    (inv (v "rng") "below" [ i 1000 ]);
+                  ret (add (v "pos") (i 2));
+                ]
+                [
+                  arr_set (v "toks") (v "pos") (i t_var);
+                  arr_set (v "toks")
+                    (add (v "pos") (i 1))
+                    (inv (v "rng") "below" [ i 8 ]);
+                  ret (add (v "pos") (i 2));
+                ];
+            ]
+            [
+              arr_set (v "toks") (v "pos") (i t_lparen);
+              let_ "p"
+                (call "TokenGen" "genExpr"
+                   [ v "rng"; v "toks"; add (v "pos") (i 1); sub (v "depth") (i 1) ]);
+              let_ "op" (inv (v "rng") "below" [ i 3 ]);
+              if_
+                (eq (v "op") (i 0))
+                [ arr_set (v "toks") (v "p") (i t_plus) ]
+                [
+                  if_
+                    (eq (v "op") (i 1))
+                    [ arr_set (v "toks") (v "p") (i t_minus) ]
+                    [ arr_set (v "toks") (v "p") (i t_times) ];
+                ];
+              let_ "p2"
+                (call "TokenGen" "genExpr"
+                   [ v "rng"; v "toks"; add (v "p") (i 1); sub (v "depth") (i 1) ]);
+              arr_set (v "toks") (v "p2") (i t_rparen);
+              ret (add (v "p2") (i 1));
+            ];
+        ];
+    ]
+
+let parser_class =
+  cls "Parser" ~fields:[ "toks"; "pos" ]
+    [
+      meth "init" [ "toks" ] ~returns:false
+        [ set_thisf "toks" (v "toks"); set_thisf "pos" (i 0) ];
+      meth "peek" [] ~returns:true
+        [ ret (arr_get (thisf "toks") (thisf "pos")) ];
+      meth "advance" [] ~returns:true
+        [
+          let_ "t" (arr_get (thisf "toks") (thisf "pos"));
+          set_thisf "pos" (add (thisf "pos") (i 1));
+          ret (v "t");
+        ];
+      meth "parseExpr" [] ~returns:true
+        [
+          let_ "t" (inv this "parseTerm" []);
+          while_
+            (or_
+               (eq (inv this "peek" []) (i t_plus))
+               (eq (inv this "peek" []) (i t_minus)))
+            [
+              let_ "op" (inv this "advance" []);
+              let_ "r" (inv this "parseTerm" []);
+              if_
+                (eq (v "op") (i t_plus))
+                [ let_ "t" (new_ "AddN" [ v "t"; v "r" ]) ]
+                [ let_ "t" (new_ "SubN" [ v "t"; v "r" ]) ];
+            ];
+          ret (v "t");
+        ];
+      meth "parseTerm" [] ~returns:true
+        [
+          let_ "f" (inv this "parseFactor" []);
+          while_ (eq (inv this "peek" []) (i t_times))
+            [
+              expr (inv this "advance" []);
+              let_ "f" (new_ "MulN" [ v "f"; inv this "parseFactor" [] ]);
+            ];
+          ret (v "f");
+        ];
+      meth "parseFactor" [] ~returns:true
+        [
+          let_ "t" (inv this "advance" []);
+          if_ (eq (v "t") (i t_num))
+            [ ret (new_ "NumN" [ inv this "advance" [] ]) ]
+            [];
+          if_ (eq (v "t") (i t_var))
+            [ ret (new_ "VarN" [ inv this "advance" [] ]) ]
+            [];
+          if_
+            (eq (v "t") (i t_lparen))
+            [
+              let_ "e" (inv this "parseExpr" []);
+              expr (inv this "advance" []);
+              (* consume the RPAREN *)
+              ret (v "e");
+            ]
+            [];
+          if_ (eq (v "t") (i t_minus))
+            [ ret (new_ "NegN" [ inv this "parseFactor" [] ]) ]
+            [];
+          (* Unexpected token: treat as zero (generator never produces it). *)
+          ret (new_ "NumN" [ i 0 ]);
+        ];
+    ]
+
+let driver_class =
+  cls "Driver" ~fields:[]
+    [
+      (* One generate/parse/evaluate cycle; re-invoked per program so the
+         optimized parser and evaluator actually run. *)
+      static_meth "compileAndRun" [ "rng"; "toks"; "env" ] ~returns:true
+        [
+          let_ "len" (call "TokenGen" "genExpr" [ v "rng"; v "toks"; i 0; i 6 ]);
+          arr_set (v "toks") (v "len") (i 7);
+          let_ "p" (new_ "Parser" [ v "toks" ]);
+          let_ "tree" (inv (v "p") "parseExpr" []);
+          let_ "acc" (inv (v "tree") "countNodes" []);
+          for_ "e" (i 0) (i 6)
+            [
+              for_ "k" (i 0) (i 8)
+                [ arr_set (v "env") (v "k") (inv (v "rng") "below" [ i 100 ]) ];
+              let_ "acc"
+                (band
+                   (add (v "acc") (inv (v "tree") "eval" [ v "env" ]))
+                   (i 1073741823));
+            ];
+          ret (v "acc");
+        ];
+    ]
+
+let classes = node_classes @ [ gen_class; parser_class; driver_class ]
+
+let main ~scale =
+  [
+    let_ "rng" (new_ "Rng" [ i 31337 ]);
+    let_ "toks" (arr_new (i 4096));
+    let_ "env" (arr_new (i 8));
+    let_ "sum" (i 0);
+    for_ "rep" (i 0) (i (4 * scale))
+      [
+        let_ "sum"
+          (band
+             (add (v "sum")
+                (call "Driver" "compileAndRun" [ v "rng"; v "toks"; v "env" ]))
+             (i 1073741823));
+      ];
+    print (v "sum");
+  ]

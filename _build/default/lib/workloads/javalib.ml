@@ -1,0 +1,258 @@
+(* A miniature "java.util"-flavoured class library shared by the
+   workloads, written in the mini-language.
+
+   Its purpose mirrors the role the real collection classes play in the
+   paper's motivation (Figure 1): library methods such as [HashMap.get]
+   and [Sorter.sort] are reached from many call sites with *different*
+   receiver/key class distributions per site, which is precisely the
+   situation where context-sensitive profiles beat context-insensitive
+   ones.
+
+   All arithmetic is plain 63-bit integers; object identity comes from a
+   global allocation counter seeded into every [Obj]. *)
+
+open Acsi_lang.Dsl
+
+let globals = [ "oidCounter" ]
+
+(* Root class: identity-based hash and equality. *)
+let obj_class =
+  cls "Obj" ~fields:[ "oid" ]
+    [
+      meth "init" [] ~returns:false
+        [
+          setg "oidCounter" (add (g "oidCounter") (i 1));
+          set_thisf "oid" (g "oidCounter");
+        ];
+      meth "hashCode" [] ~returns:true
+        [ ret (band (mul (thisf "oid") (i 2654435761)) (i 1073741823)) ];
+      meth "equals" [ "other" ] ~returns:true [ ret (eq this (v "other")) ];
+    ]
+
+(* Integer-valued key (the paper's MyKey). *)
+let int_key_class =
+  cls "IntKey" ~parent:"Obj" ~fields:[ "key" ]
+    [
+      meth "init" [ "k" ] ~returns:false
+        [
+          expr (dcall this "Obj" "init" []);
+          set_thisf "key" (v "k");
+        ];
+      meth "hashCode" [] ~returns:true [ ret (thisf "key") ];
+      meth "equals" [ "other" ] ~returns:true
+        [
+          ret
+            (and_
+               (instof (v "other") "IntKey")
+               (eq (fld "IntKey" (v "other") "key") (thisf "key")));
+        ];
+    ]
+
+(* A second key class with a different hash mix, so polymorphic hashCode /
+   equals sites arise whenever both key kinds flow into the same map. *)
+let pair_key_class =
+  cls "PairKey" ~parent:"Obj" ~fields:[ "a"; "b" ]
+    [
+      meth "init" [ "x"; "y" ] ~returns:false
+        [
+          expr (dcall this "Obj" "init" []);
+          set_thisf "a" (v "x");
+          set_thisf "b" (v "y");
+        ];
+      meth "hashCode" [] ~returns:true
+        [ ret (band (add (mul (thisf "a") (i 31)) (thisf "b")) (i 1073741823)) ];
+      meth "equals" [ "other" ] ~returns:true
+        [
+          ret
+            (and_
+               (instof (v "other") "PairKey")
+               (and_
+                  (eq (fld "PairKey" (v "other") "a") (thisf "a"))
+                  (eq (fld "PairKey" (v "other") "b") (thisf "b"))));
+        ];
+    ]
+
+let map_entry_class =
+  cls "MapEntry" ~fields:[ "key"; "value"; "next" ]
+    [
+      meth "init" [ "k"; "vv"; "n" ] ~returns:false
+        [
+          set_thisf "key" (v "k");
+          set_thisf "value" (v "vv");
+          set_thisf "next" (v "n");
+        ];
+    ]
+
+(* Chained hash map; get/put call hashCode and equals virtually, exactly
+   like the paper's simplified HashMap.get. *)
+let hash_map_class =
+  cls "HashMap" ~fields:[ "table"; "mask"; "size" ]
+    [
+      meth "init" [ "cap" ] ~returns:false
+        [
+          set_thisf "table" (arr_new (v "cap"));
+          (* fresh array slots default to 0; buckets hold references *)
+          for_ "k" (i 0) (v "cap")
+            [ arr_set (thisf "table") (v "k") null ];
+          set_thisf "mask" (sub (v "cap") (i 1));
+          set_thisf "size" (i 0);
+        ];
+      meth "get" [ "key" ] ~returns:true
+        [
+          let_ "idx" (band (inv (v "key") "hashCode" []) (thisf "mask"));
+          let_ "e" (arr_get (thisf "table") (v "idx"));
+          while_ (ne (v "e") null)
+            [
+              if_
+                (or_
+                   (eq (fld "MapEntry" (v "e") "key") (v "key"))
+                   (inv (v "key") "equals" [ fld "MapEntry" (v "e") "key" ]))
+                [ ret (fld "MapEntry" (v "e") "value") ]
+                [];
+              let_ "e" (fld "MapEntry" (v "e") "next");
+            ];
+          ret null;
+        ];
+      meth "put" [ "key"; "val" ] ~returns:false
+        [
+          let_ "idx" (band (inv (v "key") "hashCode" []) (thisf "mask"));
+          let_ "e" (arr_get (thisf "table") (v "idx"));
+          while_ (ne (v "e") null)
+            [
+              if_
+                (or_
+                   (eq (fld "MapEntry" (v "e") "key") (v "key"))
+                   (inv (v "key") "equals" [ fld "MapEntry" (v "e") "key" ]))
+                [ setf "MapEntry" (v "e") "value" (v "val"); retv ]
+                [];
+              let_ "e" (fld "MapEntry" (v "e") "next");
+            ];
+          arr_set (thisf "table") (v "idx")
+            (new_ "MapEntry"
+               [ v "key"; v "val"; arr_get (thisf "table") (v "idx") ]);
+          set_thisf "size" (add (thisf "size") (i 1));
+        ];
+      meth "count" [] ~returns:true [ ret (thisf "size") ];
+    ]
+
+(* Growable vector of values. *)
+let vector_class =
+  cls "Vector" ~fields:[ "data"; "length" ]
+    [
+      meth "init" [ "cap" ] ~returns:false
+        [
+          set_thisf "data" (arr_new (v "cap"));
+          set_thisf "length" (i 0);
+        ];
+      meth "add" [ "x" ] ~returns:false
+        [
+          if_
+            (eq (thisf "length") (arr_len (thisf "data")))
+            [
+              let_ "bigger" (arr_new (mul (arr_len (thisf "data")) (i 2)));
+              for_ "k" (i 0) (thisf "length")
+                [ arr_set (v "bigger") (v "k") (arr_get (thisf "data") (v "k")) ];
+              set_thisf "data" (v "bigger");
+            ]
+            [];
+          arr_set (thisf "data") (thisf "length") (v "x");
+          set_thisf "length" (add (thisf "length") (i 1));
+        ];
+      meth "at" [ "idx" ] ~returns:true [ ret (arr_get (thisf "data") (v "idx")) ];
+      meth "setAt" [ "idx"; "x" ] ~returns:false
+        [ arr_set (thisf "data") (v "idx") (v "x") ];
+      meth "size" [] ~returns:true [ ret (thisf "length") ];
+    ]
+
+(* Deterministic linear-congruential generator. *)
+let rng_class =
+  cls "Rng" ~fields:[ "seed" ]
+    [
+      meth "init" [ "s" ] ~returns:false
+        [ set_thisf "seed" (band (v "s") (i 1073741823)) ];
+      meth "next" [] ~returns:true
+        [
+          set_thisf "seed"
+            (band
+               (add (mul (thisf "seed") (i 1103515245)) (i 12345))
+               (i 1073741823));
+          ret (thisf "seed");
+        ];
+      meth "below" [ "bound" ] ~returns:true
+        [ ret (rem (inv this "next" []) (v "bound")) ];
+    ]
+
+(* Comparator hierarchy: a classic source of polymorphic virtual sites. *)
+let comparator_classes =
+  [
+    cls "Cmp" ~fields:[]
+      [ meth "compare" [ "x"; "y" ] ~returns:true [ ret (sub (v "x") (v "y")) ] ];
+    cls "AscCmp" ~parent:"Cmp" ~fields:[]
+      [ meth "compare" [ "x"; "y" ] ~returns:true [ ret (sub (v "x") (v "y")) ] ];
+    cls "DescCmp" ~parent:"Cmp" ~fields:[]
+      [ meth "compare" [ "x"; "y" ] ~returns:true [ ret (sub (v "y") (v "x")) ] ];
+    cls "ModCmp" ~parent:"Cmp" ~fields:[]
+      [
+        meth "compare" [ "x"; "y" ] ~returns:true
+          [ ret (sub (rem (v "x") (i 1024)) (rem (v "y") (i 1024))) ];
+      ];
+  ]
+
+(* Static helpers over int arrays, including an insertion sort driven by a
+   comparator object (so every sort call site is a polymorphic dispatch on
+   Cmp.compare). *)
+let util_class =
+  cls "Util" ~fields:[]
+    [
+      static_meth "fillRandom" [ "a"; "rng" ] ~returns:false
+        [
+          for_ "k" (i 0)
+            (arr_len (v "a"))
+            [ arr_set (v "a") (v "k") (inv (v "rng") "next" []) ];
+        ];
+      static_meth "sum" [ "a" ] ~returns:true
+        [
+          let_ "s" (i 0);
+          for_ "k" (i 0)
+            (arr_len (v "a"))
+            [ let_ "s" (add (v "s") (arr_get (v "a") (v "k"))) ];
+          ret (v "s");
+        ];
+      static_meth "sortBy" [ "a"; "cmp" ] ~returns:false
+        [
+          for_ "k" (i 1)
+            (arr_len (v "a"))
+            [
+              let_ "x" (arr_get (v "a") (v "k"));
+              let_ "j" (sub (v "k") (i 1));
+              while_
+                (and_
+                   (ge (v "j") (i 0))
+                   (gt (inv (v "cmp") "compare" [ arr_get (v "a") (v "j"); v "x" ]) (i 0)))
+                [
+                  arr_set (v "a") (add (v "j") (i 1)) (arr_get (v "a") (v "j"));
+                  let_ "j" (sub (v "j") (i 1));
+                ];
+              arr_set (v "a") (add (v "j") (i 1)) (v "x");
+            ];
+        ];
+      static_meth "minInt" [ "x"; "y" ] ~returns:true
+        [ if_ (lt (v "x") (v "y")) [ ret (v "x") ] [ ret (v "y") ] ];
+      static_meth "maxInt" [ "x"; "y" ] ~returns:true
+        [ if_ (gt (v "x") (v "y")) [ ret (v "x") ] [ ret (v "y") ] ];
+      static_meth "absInt" [ "x" ] ~returns:true
+        [ if_ (lt (v "x") (i 0)) [ ret (neg (v "x")) ] [ ret (v "x") ] ];
+    ]
+
+let classes =
+  [
+    obj_class;
+    int_key_class;
+    pair_key_class;
+    map_entry_class;
+    hash_map_class;
+    vector_class;
+    rng_class;
+    util_class;
+  ]
+  @ comparator_classes

@@ -1,0 +1,227 @@
+(* "SPECjbb2000"-shaped workload: warehouse transaction processing.
+
+   A TPC-C-flavoured mix of transaction objects is dispatched through a
+   virtual [process] method (NewOrder and Payment dominate), and the
+   warehouse state lives in HashMaps keyed by different key classes from
+   different transaction types — stacking the collection-class context
+   sensitivity of db on top of a skewed transaction dispatch. *)
+
+open Acsi_lang.Dsl
+
+let items = 128
+let customers = 64
+
+let classes =
+  [
+    cls "Item" ~parent:"Obj" ~fields:[ "price"; "stock" ]
+      [
+        meth "init" [ "price"; "stock" ] ~returns:false
+          [
+            expr (dcall this "Obj" "init" []);
+            set_thisf "price" (v "price");
+            set_thisf "stock" (v "stock");
+          ];
+      ];
+    cls "Customer" ~parent:"Obj" ~fields:[ "balance"; "paid" ]
+      [
+        meth "init" [ "balance" ] ~returns:false
+          [
+            expr (dcall this "Obj" "init" []);
+            set_thisf "balance" (v "balance");
+            set_thisf "paid" (i 0);
+          ];
+      ];
+    cls "Warehouse" ~fields:[ "items"; "custs"; "orders"; "delivered" ]
+      [
+        meth "init" [ "items"; "custs" ] ~returns:false
+          [
+            set_thisf "items" (v "items");
+            set_thisf "custs" (v "custs");
+            set_thisf "orders" (i 0);
+            set_thisf "delivered" (i 0);
+          ];
+        (* Item lookups use IntKey... *)
+        meth "findItem" [ "iid" ] ~returns:true
+          [ ret (inv (thisf "items") "get" [ new_ "IntKey" [ v "iid" ] ]) ];
+        (* ...customer lookups use PairKey (district, customer). *)
+        meth "findCustomer" [ "district"; "cid" ] ~returns:true
+          [
+            ret
+              (inv (thisf "custs") "get"
+                 [ new_ "PairKey" [ v "district"; v "cid" ] ]);
+          ];
+      ];
+    cls "Txn" ~parent:"Obj" ~fields:[ "arg1"; "arg2" ]
+      [
+        meth "init" [ "a"; "b" ] ~returns:false
+          [
+            expr (dcall this "Obj" "init" []);
+            set_thisf "arg1" (v "a");
+            set_thisf "arg2" (v "b");
+          ];
+        meth "process" [ "wh" ] ~returns:true [ ret (i 0) ];
+      ];
+    cls "NewOrderTxn" ~parent:"Txn" ~fields:[]
+      [
+        meth "process" [ "wh" ] ~returns:true
+          [
+            let_ "total" (i 0);
+            (* order 1-4 line items *)
+            let_ "lines" (add (i 1) (band (thisf "arg2") (i 3)));
+            for_ "l" (i 0) (v "lines")
+              [
+                let_ "it"
+                  (inv (v "wh") "findItem"
+                     [ rem (add (thisf "arg1") (mul (v "l") (i 17))) (i items) ]);
+                if_ (ne (v "it") null)
+                  [
+                    let_ "total" (add (v "total") (fld "Item" (v "it") "price"));
+                    setf "Item" (v "it") "stock"
+                      (sub (fld "Item" (v "it") "stock") (i 1));
+                  ]
+                  [];
+              ];
+            setf "Warehouse" (v "wh") "orders"
+              (add (fld "Warehouse" (v "wh") "orders") (i 1));
+            ret (v "total");
+          ];
+      ];
+    cls "PaymentTxn" ~parent:"Txn" ~fields:[]
+      [
+        meth "process" [ "wh" ] ~returns:true
+          [
+            let_ "c"
+              (inv (v "wh") "findCustomer"
+                 [ band (thisf "arg1") (i 7); rem (thisf "arg2") (i customers) ]);
+            if_ (eq (v "c") null) [ ret (i 0) ] [];
+            let_ "amount" (add (i 10) (band (thisf "arg1") (i 255)));
+            setf "Customer" (v "c") "balance"
+              (sub (fld "Customer" (v "c") "balance") (v "amount"));
+            setf "Customer" (v "c") "paid"
+              (add (fld "Customer" (v "c") "paid") (v "amount"));
+            ret (v "amount");
+          ];
+      ];
+    cls "OrderStatusTxn" ~parent:"Txn" ~fields:[]
+      [
+        meth "process" [ "wh" ] ~returns:true
+          [ ret (fld "Warehouse" (v "wh") "orders") ];
+      ];
+    cls "DeliveryTxn" ~parent:"Txn" ~fields:[]
+      [
+        meth "process" [ "wh" ] ~returns:true
+          [
+            let_ "batch"
+              (call "Util" "minInt"
+                 [
+                   i 10;
+                   sub
+                     (fld "Warehouse" (v "wh") "orders")
+                     (fld "Warehouse" (v "wh") "delivered");
+                 ]);
+            if_ (lt (v "batch") (i 0)) [ ret (i 0) ] [];
+            setf "Warehouse" (v "wh") "delivered"
+              (add (fld "Warehouse" (v "wh") "delivered") (v "batch"));
+            ret (v "batch");
+          ];
+      ];
+    cls "StockLevelTxn" ~parent:"Txn" ~fields:[]
+      [
+        meth "process" [ "wh" ] ~returns:true
+          [
+            let_ "low" (i 0);
+            for_ "k" (i 0) (i 20)
+              [
+                let_ "it"
+                  (inv (v "wh") "findItem"
+                     [ rem (add (thisf "arg1") (v "k")) (i items) ]);
+                if_
+                  (and_ (ne (v "it") null)
+                     (lt (fld "Item" (v "it") "stock") (i 10)))
+                  [ let_ "low" (add (v "low") (i 1)) ]
+                  [];
+              ];
+            ret (v "low");
+          ];
+      ];
+    cls "Driver" ~fields:[]
+      [
+        (* One transaction batch; re-invoked so optimized code is used. *)
+        static_meth "runMix" [ "wh"; "rng"; "n" ] ~returns:true
+          [
+            let_ "throughput" (i 0);
+            for_ "op" (i 0) (v "n")
+              [
+                let_ "mix" (inv (v "rng") "below" [ i 100 ]);
+                let_ "a" (inv (v "rng") "next" []);
+                let_ "b" (inv (v "rng") "next" []);
+                (* TPC-C-ish mix: 45% NewOrder, 43% Payment, 4% others. *)
+                let_ "txn"
+                  (cond
+                     (lt (v "mix") (i 45))
+                     (new_ "NewOrderTxn" [ v "a"; v "b" ])
+                     (cond
+                        (lt (v "mix") (i 88))
+                        (new_ "PaymentTxn" [ v "a"; v "b" ])
+                        (cond
+                           (lt (v "mix") (i 92))
+                           (new_ "OrderStatusTxn" [ v "a"; v "b" ])
+                           (cond
+                              (lt (v "mix") (i 96))
+                              (new_ "DeliveryTxn" [ v "a"; v "b" ])
+                              (new_ "StockLevelTxn" [ v "a"; v "b" ])))));
+                let_ "throughput"
+                  (band
+                     (add (v "throughput") (inv (v "txn") "process" [ v "wh" ]))
+                     (i 1073741823));
+              ];
+            ret (v "throughput");
+          ];
+      ];
+  ]
+
+let main ~scale =
+  [
+    let_ "rng" (new_ "Rng" [ i 1900 ]);
+    let_ "itemMap" (new_ "HashMap" [ i 256 ]);
+    for_ "k" (i 0) (i items)
+      [
+        expr
+          (inv (v "itemMap") "put"
+             [
+               new_ "IntKey" [ v "k" ];
+               new_ "Item"
+                 [
+                   add (i 100) (inv (v "rng") "below" [ i 900 ]);
+                   add (i 50) (inv (v "rng") "below" [ i 100 ]);
+                 ];
+             ]);
+      ];
+    let_ "custMap" (new_ "HashMap" [ i 256 ]);
+    for_ "d" (i 0) (i 8)
+      [
+        for_ "c" (i 0) (i (customers / 8))
+          [
+            expr
+              (inv (v "custMap") "put"
+                 [
+                   new_ "PairKey"
+                     [ v "d"; add (mul (v "d") (i (customers / 8))) (v "c") ];
+                   new_ "Customer" [ i 100000 ];
+                 ]);
+          ];
+      ];
+    let_ "wh" (new_ "Warehouse" [ v "itemMap"; v "custMap" ]);
+    let_ "throughput" (i 0);
+    for_ "batch" (i 0) (i scale)
+      [
+        let_ "throughput"
+          (band
+             (add (v "throughput")
+                (call "Driver" "runMix" [ v "wh"; v "rng"; i 160 ]))
+             (i 1073741823));
+      ];
+    print (v "throughput");
+    print (fld "Warehouse" (v "wh") "orders");
+    print (fld "Warehouse" (v "wh") "delivered");
+  ]

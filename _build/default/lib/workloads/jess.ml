@@ -1,0 +1,142 @@
+(* "jess"-shaped workload: a forward-chaining rule engine in miniature.
+
+   The hot loop dispatches [matches] and [fire] virtually across a rule
+   hierarchy whose population is skewed (most rules are RuleGT), so guarded
+   inlining of the dominant target pays off; the run is short relative to
+   the other benchmarks — as in the paper, where small changes show up as
+   larger swings on jess. *)
+
+open Acsi_lang.Dsl
+
+let classes =
+  [
+    cls "Fact" ~parent:"Obj" ~fields:[ "kind"; "slotA"; "slotB" ]
+      [
+        meth "init" [ "kind"; "a"; "b" ] ~returns:false
+          [
+            expr (dcall this "Obj" "init" []);
+            set_thisf "kind" (v "kind");
+            set_thisf "slotA" (v "a");
+            set_thisf "slotB" (v "b");
+          ];
+      ];
+    cls "Rule" ~parent:"Obj" ~fields:[ "threshold" ]
+      [
+        meth "init" [ "t" ] ~returns:false
+          [
+            expr (dcall this "Obj" "init" []);
+            set_thisf "threshold" (v "t");
+          ];
+        meth "matches" [ "f" ] ~returns:true [ ret (i 0) ];
+        meth "fire" [ "f" ] ~returns:false
+          [ setg "fired" (add (g "fired") (i 1)) ];
+      ];
+    cls "RuleGT" ~parent:"Rule" ~fields:[]
+      [
+        meth "matches" [ "f" ] ~returns:true
+          [ ret (gt (fld "Fact" (v "f") "slotA") (thisf "threshold")) ];
+      ];
+    cls "RuleLT" ~parent:"Rule" ~fields:[]
+      [
+        meth "matches" [ "f" ] ~returns:true
+          [ ret (lt (fld "Fact" (v "f") "slotB") (thisf "threshold")) ];
+      ];
+    cls "RuleEq" ~parent:"Rule" ~fields:[]
+      [
+        meth "matches" [ "f" ] ~returns:true
+          [ ret (eq (fld "Fact" (v "f") "kind") (rem (thisf "threshold") (i 4))) ];
+      ];
+    cls "RuleRange" ~parent:"Rule" ~fields:[]
+      [
+        meth "matches" [ "f" ] ~returns:true
+          [
+            let_ "a" (fld "Fact" (v "f") "slotA");
+            ret
+              (and_
+                 (ge (v "a") (thisf "threshold"))
+                 (lt (v "a") (add (thisf "threshold") (i 4096))));
+          ];
+        (* Firing a range rule also nudges the fact, creating phase drift. *)
+        meth "fire" [ "f" ] ~returns:false
+          [
+            setg "fired" (add (g "fired") (i 1));
+            setf "Fact" (v "f") "slotA"
+              (band (add (fld "Fact" (v "f") "slotA") (i 17)) (i 65535));
+          ];
+      ];
+    cls "RuleParity" ~parent:"Rule" ~fields:[]
+      [
+        meth "matches" [ "f" ] ~returns:true
+          [
+            ret
+              (eq
+                 (band (fld "Fact" (v "f") "slotB") (i 1))
+                 (band (thisf "threshold") (i 1)));
+          ];
+      ];
+    cls "Engine" ~fields:[ "rules"; "facts" ]
+      [
+        meth "init" [ "rules"; "facts" ] ~returns:false
+          [
+            set_thisf "rules" (v "rules");
+            set_thisf "facts" (v "facts");
+          ];
+        meth "pass" [] ~returns:true
+          [
+            let_ "hits" (i 0);
+            let_ "nf" (inv (thisf "facts") "size" []);
+            let_ "nr" (inv (thisf "rules") "size" []);
+            for_ "fi" (i 0) (v "nf")
+              [
+                let_ "f" (inv (thisf "facts") "at" [ v "fi" ]);
+                for_ "ri" (i 0) (v "nr")
+                  [
+                    let_ "r" (inv (thisf "rules") "at" [ v "ri" ]);
+                    if_
+                      (inv (v "r") "matches" [ v "f" ])
+                      [
+                        expr (inv (v "r") "fire" [ v "f" ]);
+                        let_ "hits" (add (v "hits") (i 1));
+                      ]
+                      [];
+                  ];
+              ];
+            ret (v "hits");
+          ];
+      ];
+  ]
+
+let globals = [ "fired" ]
+
+let main ~scale =
+  [
+    let_ "rng" (new_ "Rng" [ i 4242 ]);
+    let_ "rules" (new_ "Vector" [ i 16 ]);
+    (* Skewed rule population: RuleGT dominates the matches dispatch. *)
+    for_ "k" (i 0) (i 6)
+      [ expr (inv (v "rules") "add" [ new_ "RuleGT" [ mul (v "k") (i 9000) ] ]) ];
+    expr (inv (v "rules") "add" [ new_ "RuleLT" [ i 20000 ] ]);
+    expr (inv (v "rules") "add" [ new_ "RuleEq" [ i 2 ] ]);
+    expr (inv (v "rules") "add" [ new_ "RuleRange" [ i 30000 ] ]);
+    expr (inv (v "rules") "add" [ new_ "RuleParity" [ i 1 ] ]);
+    let_ "facts" (new_ "Vector" [ i 64 ]);
+    for_ "k" (i 0) (i 48)
+      [
+        expr
+          (inv (v "facts") "add"
+             [
+               new_ "Fact"
+                 [
+                   inv (v "rng") "below" [ i 4 ];
+                   inv (v "rng") "below" [ i 65536 ];
+                   inv (v "rng") "below" [ i 65536 ];
+                 ];
+             ]);
+      ];
+    let_ "engine" (new_ "Engine" [ v "rules"; v "facts" ]);
+    let_ "totalHits" (i 0);
+    for_ "p" (i 0) (i (2 * scale))
+      [ let_ "totalHits" (add (v "totalHits") (inv (v "engine") "pass" [])) ];
+    print (v "totalHits");
+    print (g "fired");
+  ]

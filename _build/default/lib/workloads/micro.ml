@@ -1,0 +1,218 @@
+open Acsi_lang.Dsl
+
+let build ?(globals = []) classes main =
+  Acsi_lang.Compile.prog
+    (prog
+       ~globals:(Javalib.globals @ globals)
+       (Javalib.classes @ classes)
+       main)
+
+let mono_loop ~scale =
+  let classes =
+    [
+      cls "Only" ~parent:"Obj" ~fields:[]
+        [ meth "tick" [ "x" ] ~returns:true [ ret (add (v "x") (i 1)) ] ];
+      cls "Driver" ~fields:[]
+        [
+          static_meth "batch" [ "o"; "n" ] ~returns:true
+            [
+              let_ "s" (i 0);
+              for_ "k" (i 0) (v "n") [ let_ "s" (inv (v "o") "tick" [ v "s" ]) ];
+              ret (v "s");
+            ];
+        ];
+    ]
+  in
+  build classes
+    [
+      let_ "o" (new_ "Only" []);
+      let_ "acc" (i 0);
+      for_ "b" (i 0) (i scale)
+        [
+          let_ "acc"
+            (band (add (v "acc") (call "Driver" "batch" [ v "o"; i 600 ]))
+               (i 1073741823));
+        ];
+      print (v "acc");
+    ]
+
+(* Shared scaffolding for the receiver-distribution micros: a Handler
+   hierarchy plus a driver that dispatches [step] on receivers drawn from
+   a vector. *)
+let handler_classes variants =
+  cls "Handler" ~parent:"Obj" ~fields:[]
+    [ meth "step" [ "x" ] ~returns:true [ ret (v "x") ] ]
+  :: List.map
+       (fun (name, factor) ->
+         cls name ~parent:"Handler" ~fields:[]
+           [
+             meth "step" [ "x" ] ~returns:true
+               [ ret (band (mul (v "x") (i factor)) (i 65535)) ];
+           ])
+       variants
+  @ [
+      cls "Driver" ~fields:[]
+        [
+          static_meth "batch" [ "pool"; "n" ] ~returns:true
+            [
+              let_ "s" (i 1);
+              let_ "m" (inv (v "pool") "size" []);
+              for_ "k" (i 0) (v "n")
+                [
+                  let_ "h" (inv (v "pool") "at" [ rem (v "k") (v "m") ]);
+                  let_ "s" (add (v "s") (inv (v "h") "step" [ v "k" ]));
+                ];
+              ret (band (v "s") (i 1073741823));
+            ];
+        ];
+    ]
+
+let pool_program ~scale ~variants ~pool_of =
+  build (handler_classes variants)
+    ([ let_ "pool" (new_ "Vector" [ i 16 ]) ]
+    @ pool_of
+    @ [
+        let_ "acc" (i 0);
+        for_ "b" (i 0) (i scale)
+          [
+            let_ "acc"
+              (band
+                 (add (v "acc") (call "Driver" "batch" [ v "pool"; i 400 ]))
+                 (i 1073741823));
+          ];
+        print (v "acc");
+      ])
+
+let add_n pool cls_name n =
+  List.init n (fun _ -> expr (inv (v pool) "add" [ new_ cls_name [] ]))
+
+let bimorphic ~scale =
+  pool_program ~scale
+    ~variants:[ ("Fast", 3); ("Rare", 5) ]
+    ~pool_of:(add_n "pool" "Fast" 9 @ add_n "pool" "Rare" 1)
+
+let megamorphic ~scale =
+  let variants = List.init 8 (fun k -> (Printf.sprintf "H%d" k, 3 + k)) in
+  pool_program ~scale ~variants
+    ~pool_of:
+      (List.concat_map (fun (name, _) -> add_n "pool" name 1) variants)
+
+(* Figure 1 in miniature: the same [combine] helper reached from two call
+   sites whose receiver class never varies per site. *)
+let context_split ~scale =
+  let classes =
+    [
+      cls "KeyA" ~parent:"Obj" ~fields:[]
+        [ meth "mix" [ "x" ] ~returns:true [ ret (add (v "x") (i 7)) ] ];
+      cls "KeyB" ~parent:"Obj" ~fields:[]
+        [ meth "mix" [ "x" ] ~returns:true [ ret (mul (v "x") (i 3)) ] ];
+      cls "Lib" ~fields:[]
+        [
+          (* the shared collection-class method *)
+          static_meth "combine" [ "key"; "x" ] ~returns:true
+            [ ret (band (inv (v "key") "mix" [ v "x" ]) (i 65535)) ];
+        ];
+      cls "Driver" ~fields:[]
+        [
+          static_meth "batch" [ "a"; "b"; "n" ] ~returns:true
+            [
+              let_ "s" (i 0);
+              for_ "k" (i 0) (v "n")
+                [
+                  (* site 1: always KeyA; site 2: always KeyB *)
+                  let_ "s" (add (v "s") (call "Lib" "combine" [ v "a"; v "k" ]));
+                  let_ "s" (add (v "s") (call "Lib" "combine" [ v "b"; v "k" ]));
+                ];
+              ret (band (v "s") (i 1073741823));
+            ];
+        ];
+    ]
+  in
+  build classes
+    [
+      let_ "a" (new_ "KeyA" []);
+      let_ "b" (new_ "KeyB" []);
+      let_ "acc" (i 0);
+      for_ "batch" (i 0) (i scale)
+        [
+          let_ "acc"
+            (band
+               (add (v "acc") (call "Driver" "batch" [ v "a"; v "b"; i 300 ]))
+               (i 1073741823));
+        ];
+      print (v "acc");
+    ]
+
+let deep_chain ~scale =
+  let level name callee =
+    static_meth name [ "x"; "y" ] ~returns:true
+      [ ret (call "Chain" callee [ add (v "x") (i 1); bxor (v "y") (v "x") ]) ]
+  in
+  let classes =
+    [
+      cls "Chain" ~fields:[]
+        [
+          static_meth "l0" [ "x"; "y" ] ~returns:true
+            [ ret (band (add (v "x") (v "y")) (i 65535)) ];
+          level "l1" "l0";
+          level "l2" "l1";
+          level "l3" "l2";
+          level "l4" "l3";
+          level "l5" "l4";
+          static_meth "batch" [ "n" ] ~returns:true
+            [
+              let_ "s" (i 0);
+              for_ "k" (i 0) (v "n")
+                [ let_ "s" (add (v "s") (call "Chain" "l5" [ v "k"; v "s" ])) ];
+              ret (band (v "s") (i 1073741823));
+            ];
+        ];
+    ]
+  in
+  build classes
+    [
+      let_ "acc" (i 0);
+      for_ "b" (i 0) (i scale)
+        [
+          let_ "acc"
+            (band (add (v "acc") (call "Chain" "batch" [ i 250 ]))
+               (i 1073741823));
+        ];
+      print (v "acc");
+    ]
+
+let phase_flip ~scale =
+  (* Two single-receiver pools, switched between halfway through. *)
+  build
+    (handler_classes [ ("Early", 3); ("Late", 5) ])
+    [
+      let_ "early" (new_ "Vector" [ i 4 ]);
+      expr (inv (v "early") "add" [ new_ "Early" [] ]);
+      let_ "late" (new_ "Vector" [ i 4 ]);
+      expr (inv (v "late") "add" [ new_ "Late" [] ]);
+      let_ "acc" (i 0);
+      for_ "b" (i 0) (i scale)
+        [
+          let_ "acc"
+            (band
+               (add (v "acc") (call "Driver" "batch" [ v "early"; i 400 ]))
+               (i 1073741823));
+        ];
+      for_ "b" (i 0) (i scale)
+        [
+          let_ "acc"
+            (band (add (v "acc") (call "Driver" "batch" [ v "late"; i 400 ]))
+               (i 1073741823));
+        ];
+      print (v "acc");
+    ]
+
+let all =
+  [
+    ("mono_loop", mono_loop);
+    ("bimorphic", bimorphic);
+    ("megamorphic", megamorphic);
+    ("context_split", context_split);
+    ("deep_chain", deep_chain);
+    ("phase_flip", phase_flip);
+  ]

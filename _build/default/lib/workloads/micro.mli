@@ -1,0 +1,35 @@
+(** Distilled single-effect microbenchmarks.
+
+    Where the main suite imitates SPEC programs, each micro workload
+    isolates one phenomenon the adaptive system must handle, so effects
+    that are mixed together in the big benchmarks can be studied (and
+    asserted on) in isolation:
+
+    - {!mono_loop}: a hot, CHA-monomorphic virtual call — inlined
+      guard-free by static binding, profile irrelevant;
+    - {!bimorphic}: one site, two receivers at a 90/10 split — classic
+      guarded inlining of the dominant target;
+    - {!megamorphic}: one site, eight receivers, uniform — inherently
+      polymorphic, the "give up" case for the §4.3 adaptive-resolution
+      policy;
+    - {!context_split}: the paper's Figure 1 in miniature — one shared
+      callee whose receiver class is fully determined by the call site;
+      context-insensitive profiles see 50/50, context-sensitive profiles
+      see two monomorphic contexts;
+    - {!deep_chain}: a six-deep parameter-passing call chain, stressing
+      the fixed-depth policies' trace collection;
+    - {!phase_flip}: a receiver distribution that inverts halfway through
+      the run — the decay organizer's reason to exist. *)
+
+open Acsi_bytecode
+
+val mono_loop : scale:int -> Program.t
+val bimorphic : scale:int -> Program.t
+val megamorphic : scale:int -> Program.t
+val context_split : scale:int -> Program.t
+val deep_chain : scale:int -> Program.t
+val phase_flip : scale:int -> Program.t
+
+val all : (string * (scale:int -> Program.t)) list
+(** Name/builder pairs, default-scale-free (callers pick the scale; 100 is
+    a sensible default giving runs of tens of millions of cycles). *)

@@ -1,0 +1,141 @@
+(* "mpegaudio"-shaped workload: fixed-point signal-processing kernels.
+
+   Time concentrates in medium-sized static methods (filter, windowing,
+   an 8-point transform) called from a per-frame driver — the profile
+   where profile-directed inlining of medium methods is the main lever,
+   with almost no virtual dispatch. *)
+
+open Acsi_lang.Dsl
+
+let frame = 256
+let taps = 16
+
+let classes =
+  [
+    cls "Dsp" ~fields:[]
+      [
+        (* Tiny: fixed-point multiply (Q10). *)
+        static_meth "fxmul" [ "a"; "b" ] ~returns:true
+          [ ret (shr (mul (v "a") (v "b")) (i 10)) ];
+        (* Medium: FIR filter over a frame. *)
+        static_meth "fir" [ "sig"; "coef"; "out" ] ~returns:false
+          [
+            let_ "n" (arr_len (v "sig"));
+            let_ "t" (arr_len (v "coef"));
+            for_ "k" (i 0) (v "n")
+              [
+                let_ "acc" (i 0);
+                let_ "lim" (call "Util" "minInt" [ add (v "k") (i 1); v "t" ]);
+                for_ "j" (i 0) (v "lim")
+                  [
+                    let_ "acc"
+                      (add (v "acc")
+                         (call "Dsp" "fxmul"
+                            [
+                              arr_get (v "sig") (sub (v "k") (v "j"));
+                              arr_get (v "coef") (v "j");
+                            ]));
+                  ];
+                arr_set (v "out") (v "k") (v "acc");
+              ];
+          ];
+        (* Medium: a butterfly transform over 8-sample blocks. *)
+        static_meth "xform8" [ "a"; "from" ] ~returns:false
+          [
+            for_ "s" (i 0) (i 3)
+              [
+                let_ "half" (shl (i 1) (v "s"));
+                let_ "k" (i 0);
+                while_ (lt (v "k") (i 8))
+                  [
+                    for_ "j" (i 0) (v "half")
+                      [
+                        let_ "i0" (add (v "from") (add (v "k") (v "j")));
+                        let_ "i1" (add (v "i0") (v "half"));
+                        let_ "x" (arr_get (v "a") (v "i0"));
+                        let_ "y" (arr_get (v "a") (v "i1"));
+                        arr_set (v "a") (v "i0") (add (v "x") (v "y"));
+                        arr_set (v "a") (v "i1") (sub (v "x") (v "y"));
+                      ];
+                    let_ "k" (add (v "k") (mul (v "half") (i 2)));
+                  ];
+              ];
+          ];
+        (* Small: triangular window. *)
+        static_meth "window" [ "a" ] ~returns:false
+          [
+            let_ "n" (arr_len (v "a"));
+            for_ "k" (i 0) (v "n")
+              [
+                let_ "w"
+                  (cond
+                     (lt (v "k") (div (v "n") (i 2)))
+                     (v "k")
+                     (sub (v "n") (v "k")));
+                arr_set (v "a") (v "k")
+                  (call "Dsp" "fxmul" [ arr_get (v "a") (v "k"); shl (v "w") (i 3) ]);
+              ];
+          ];
+        (* Tiny: saturating quantizer. *)
+        static_meth "quantize" [ "x" ] ~returns:true
+          [
+            if_ (gt (v "x") (i 32767)) [ ret (i 32767) ] [];
+            if_ (lt (v "x") (i (-32768))) [ ret (i (-32768)) ] [];
+            ret (band (v "x") (i (-4)));
+          ];
+        (* Small: frame energy via the quantizer. *)
+        static_meth "energy" [ "a" ] ~returns:true
+          [
+            let_ "e" (i 0);
+            for_ "k" (i 0)
+              (arr_len (v "a"))
+              [
+                let_ "q" (call "Dsp" "quantize" [ arr_get (v "a") (v "k") ]);
+                let_ "e"
+                  (band (add (v "e") (call "Util" "absInt" [ v "q" ]))
+                     (i 1073741823));
+              ];
+            ret (v "e");
+          ];
+        (* One frame decode; re-invoked per frame. *)
+        static_meth "processFrame" [ "rng"; "sigf"; "coef"; "out" ]
+          ~returns:true
+          [
+            let_ "n" (arr_len (v "sigf"));
+            for_ "k" (i 0) (v "n")
+              [
+                arr_set (v "sigf") (v "k")
+                  (sub (inv (v "rng") "below" [ i 2048 ]) (i 1024));
+              ];
+            expr (call "Dsp" "window" [ v "sigf" ]);
+            expr (call "Dsp" "fir" [ v "sigf"; v "coef"; v "out" ]);
+            let_ "b" (i 0);
+            while_ (lt (v "b") (v "n"))
+              [
+                expr (call "Dsp" "xform8" [ v "out"; v "b" ]);
+                let_ "b" (add (v "b") (i 8));
+              ];
+            ret (call "Dsp" "energy" [ v "out" ]);
+          ];
+      ];
+  ]
+
+let main ~scale =
+  [
+    let_ "rng" (new_ "Rng" [ i 555 ]);
+    let_ "sig" (arr_new (i frame));
+    let_ "out" (arr_new (i frame));
+    let_ "coef" (arr_new (i taps));
+    for_ "k" (i 0) (i taps)
+      [ arr_set (v "coef") (v "k") (sub (i 512) (mul (v "k") (i 28))) ];
+    let_ "acc" (i 0);
+    for_ "f" (i 0) (i (10 * scale))
+      [
+        let_ "acc"
+          (band
+             (add (v "acc")
+                (call "Dsp" "processFrame" [ v "rng"; v "sig"; v "coef"; v "out" ]))
+             (i 1073741823));
+      ];
+    print (v "acc");
+  ]

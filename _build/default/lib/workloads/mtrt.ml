@@ -1,0 +1,155 @@
+(* "mtrt"-shaped workload: a fixed-point ray caster with two interleaved
+   render "threads".
+
+   Shapes form a small hierarchy whose [hit] method is the hot polymorphic
+   site; the scene is sphere-dominated so guarded inlining of the dominant
+   target wins. Two logical threads render alternating rows through the
+   same code paths, like the two-thread raytracer in SPECjvm98. All
+   arithmetic is Q10 fixed point. *)
+
+open Acsi_lang.Dsl
+
+let width = 24
+let height = 24
+
+let classes =
+  [
+    cls "Shape" ~parent:"Obj" ~fields:[ "cx"; "cy"; "cz"; "shade" ]
+      [
+        (* Returns a hit parameter > 0, or 0 for a miss. *)
+        meth "hit" [ "ox"; "oy"; "dx"; "dy" ] ~returns:true [ ret (i 0) ];
+      ];
+    cls "Sphere" ~parent:"Shape" ~fields:[ "radius" ]
+      [
+        meth "init" [ "x"; "y"; "r"; "shade" ] ~returns:false
+          [
+            expr (dcall this "Obj" "init" []);
+            set_thisf "cx" (v "x");
+            set_thisf "cy" (v "y");
+            set_thisf "radius" (v "r");
+            set_thisf "shade" (v "shade");
+          ];
+        (* 2D circle test in ray parameter space (Q10). *)
+        meth "hit" [ "ox"; "oy"; "dx"; "dy" ] ~returns:true
+          [
+            let_ "px" (sub (thisf "cx") (v "ox"));
+            let_ "py" (sub (thisf "cy") (v "oy"));
+            let_ "tproj"
+              (shr (add (mul (v "px") (v "dx")) (mul (v "py") (v "dy"))) (i 10));
+            if_ (le (v "tproj") (i 0)) [ ret (i 0) ] [];
+            let_ "qx" (sub (v "px") (shr (mul (v "dx") (v "tproj")) (i 10)));
+            let_ "qy" (sub (v "py") (shr (mul (v "dy") (v "tproj")) (i 10)));
+            let_ "d2"
+              (add
+                 (shr (mul (v "qx") (v "qx")) (i 10))
+                 (shr (mul (v "qy") (v "qy")) (i 10)));
+            let_ "r2" (shr (mul (thisf "radius") (thisf "radius")) (i 10));
+            if_ (le (v "d2") (v "r2")) [ ret (v "tproj") ] [ ret (i 0) ];
+          ];
+      ];
+    cls "Wall" ~parent:"Shape" ~fields:[ "axis"; "level" ]
+      [
+        meth "init" [ "axis"; "level"; "shade" ] ~returns:false
+          [
+            expr (dcall this "Obj" "init" []);
+            set_thisf "axis" (v "axis");
+            set_thisf "level" (v "level");
+            set_thisf "shade" (v "shade");
+          ];
+        meth "hit" [ "ox"; "oy"; "dx"; "dy" ] ~returns:true
+          [
+            let_ "o" (cond (eq (thisf "axis") (i 0)) (v "ox") (v "oy"));
+            let_ "d" (cond (eq (thisf "axis") (i 0)) (v "dx") (v "dy"));
+            if_ (eq (v "d") (i 0)) [ ret (i 0) ] [];
+            let_ "t" (div (shl (sub (thisf "level") (v "o")) (i 10)) (v "d"));
+            if_ (gt (v "t") (i 0)) [ ret (v "t") ] [ ret (i 0) ];
+          ];
+      ];
+    cls "Scene" ~fields:[ "shapes" ]
+      [
+        meth "init" [ "shapes" ] ~returns:false
+          [ set_thisf "shapes" (v "shapes") ];
+        (* Small-medium: closest-hit loop over the shape list. *)
+        meth "trace" [ "ox"; "oy"; "dx"; "dy" ] ~returns:true
+          [
+            let_ "best" (i 1073741823);
+            let_ "shade" (i 0);
+            let_ "n" (inv (thisf "shapes") "size" []);
+            for_ "k" (i 0) (v "n")
+              [
+                let_ "s" (inv (thisf "shapes") "at" [ v "k" ]);
+                let_ "t" (inv (v "s") "hit" [ v "ox"; v "oy"; v "dx"; v "dy" ]);
+                if_
+                  (and_ (gt (v "t") (i 0)) (lt (v "t") (v "best")))
+                  [
+                    let_ "best" (v "t");
+                    let_ "shade" (fld "Shape" (v "s") "shade");
+                  ]
+                  [];
+              ];
+            ret (v "shade");
+          ];
+        (* Render one row for one logical thread. *)
+        meth "renderRow" [ "row"; "thread" ] ~returns:true
+          [
+            let_ "acc" (i 0);
+            for_ "col" (i 0) (i width)
+              [
+                let_ "dx" (sub (shl (v "col") (i 6)) (i 768));
+                let_ "dy" (sub (shl (v "row") (i 6)) (i 768));
+                let_ "shade"
+                  (inv this "trace"
+                     [
+                       add (i 100) (mul (v "thread") (i 37));
+                       i 100;
+                       add (v "dx") (i 1024);
+                       add (v "dy") (i 512);
+                     ]);
+                let_ "acc" (add (v "acc") (v "shade"));
+              ];
+            ret (v "acc");
+          ];
+      ];
+  ]
+
+let main ~scale =
+  [
+    let_ "rng" (new_ "Rng" [ i 2024 ]);
+    let_ "shapes" (new_ "Vector" [ i 16 ]);
+    (* Sphere-dominated scene: the hit dispatch is skewed. *)
+    for_ "k" (i 0) (i 7)
+      [
+        expr
+          (inv (v "shapes") "add"
+             [
+               new_ "Sphere"
+                 [
+                   inv (v "rng") "below" [ i 4096 ];
+                   inv (v "rng") "below" [ i 4096 ];
+                   add (i 256) (inv (v "rng") "below" [ i 512 ]);
+                   add (i 1) (v "k");
+                 ];
+             ]);
+      ];
+    expr (inv (v "shapes") "add" [ new_ "Wall" [ i 0; i 4096; i 9 ] ]);
+    let_ "scene" (new_ "Scene" [ v "shapes" ]);
+    let_ "image0" (i 0);
+    let_ "image1" (i 0);
+    for_ "pass" (i 0) (i scale)
+      [
+        (* Two interleaved logical threads, alternating rows. *)
+        for_ "row" (i 0) (i height)
+          [
+            let_ "image0"
+              (band
+                 (add (v "image0") (inv (v "scene") "renderRow" [ v "row"; i 0 ]))
+                 (i 1073741823));
+            let_ "image1"
+              (band
+                 (add (v "image1") (inv (v "scene") "renderRow" [ v "row"; i 1 ]))
+                 (i 1073741823));
+          ];
+      ];
+    print (v "image0");
+    print (v "image1");
+  ]

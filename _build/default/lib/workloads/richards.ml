@@ -1,0 +1,428 @@
+(* Richards: the classic operating-system-simulation benchmark (Martin
+   Richards' task scheduler, as circulated in the Smalltalk/Java/V8
+   versions), ported to the mini-language.
+
+   This is the "larger and more object-oriented programs" extension the
+   paper's §7 anticipates: scheduling walks a list of task control blocks
+   and dispatches [run] across a four-way task hierarchy, with packet
+   queues threaded through everything.
+
+   The port follows the V8 JavaScript version closely enough that its
+   known-good counters carry over: one scheduling round with an idle count
+   of 1000 must end with queueCount = 2322 and holdCount = 928 — an
+   independent cross-check that the whole VM substrate executes a
+   non-trivial object-oriented program correctly. *)
+
+open Acsi_lang.Dsl
+
+(* ids / kinds / states of the classic benchmark *)
+let id_idle = 0
+let id_worker = 1
+let id_handler_a = 2
+let id_handler_b = 3
+let id_device_a = 4
+let id_device_b = 5
+let kind_device = 0
+let kind_work = 1
+let data_size = 4
+let state_running = 0
+let state_runnable = 1
+let state_suspended = 2
+let state_suspended_runnable = 3
+let state_held = 4
+let idle_count = 1000
+let expected_queue_count = 2322
+let expected_hold_count = 928
+
+let packet_class =
+  cls "Packet" ~fields:[ "link"; "ident"; "kind"; "a1"; "a2" ]
+    [
+      meth "init" [ "link"; "ident"; "kind" ] ~returns:false
+        [
+          set_thisf "link" (v "link");
+          set_thisf "ident" (v "ident");
+          set_thisf "kind" (v "kind");
+          set_thisf "a1" (i 0);
+          set_thisf "a2" (arr_new (i data_size));
+        ];
+      (* append self to the end of [queue]; returns the new queue head *)
+      meth "addTo" [ "queue" ] ~returns:true
+        [
+          set_thisf "link" null;
+          if_ (eq (v "queue") null) [ ret this ] [];
+          let_ "peek" (v "queue");
+          let_ "next" (fld "Packet" (v "peek") "link");
+          while_ (ne (v "next") null)
+            [
+              let_ "peek" (v "next");
+              let_ "next" (fld "Packet" (v "peek") "link");
+            ];
+          setf "Packet" (v "peek") "link" this;
+          ret (v "queue");
+        ];
+    ]
+
+let tcb_class =
+  cls "Tcb" ~fields:[ "link"; "ident"; "priority"; "queue"; "state"; "task" ]
+    [
+      meth "init" [ "link"; "ident"; "priority"; "queue"; "task" ]
+        ~returns:false
+        [
+          set_thisf "link" (v "link");
+          set_thisf "ident" (v "ident");
+          set_thisf "priority" (v "priority");
+          set_thisf "queue" (v "queue");
+          set_thisf "task" (v "task");
+          if_ (eq (v "queue") null)
+            [ set_thisf "state" (i state_suspended) ]
+            [ set_thisf "state" (i state_suspended_runnable) ];
+        ];
+      meth "setRunning" [] ~returns:false
+        [ set_thisf "state" (i state_running) ];
+      meth "markAsNotHeld" [] ~returns:false
+        [ set_thisf "state" (band (thisf "state") (i (lnot state_held))) ];
+      meth "markAsHeld" [] ~returns:false
+        [ set_thisf "state" (bor (thisf "state") (i state_held)) ];
+      meth "isHeldOrSuspended" [] ~returns:true
+        [
+          ret
+            (or_
+               (ne (band (thisf "state") (i state_held)) (i 0))
+               (eq (thisf "state") (i state_suspended)));
+        ];
+      meth "markAsSuspended" [] ~returns:false
+        [ set_thisf "state" (bor (thisf "state") (i state_suspended)) ];
+      meth "markAsRunnable" [] ~returns:false
+        [ set_thisf "state" (bor (thisf "state") (i state_runnable)) ];
+      (* run one step: pop a pending packet if suspended-runnable, then
+         dispatch into the task object; returns the next Tcb. *)
+      meth "runStep" [] ~returns:true
+        [
+          let_ "packet" null;
+          if_
+            (eq (thisf "state") (i state_suspended_runnable))
+            [
+              let_ "packet" (thisf "queue");
+              set_thisf "queue" (fld "Packet" (v "packet") "link");
+              if_ (eq (thisf "queue") null)
+                [ set_thisf "state" (i state_running) ]
+                [ set_thisf "state" (i state_runnable) ];
+            ]
+            [];
+          ret (inv (thisf "task") "run" [ v "packet" ]);
+        ];
+      meth "checkPriorityAdd" [ "task"; "packet" ] ~returns:true
+        [
+          if_
+            (eq (thisf "queue") null)
+            [
+              set_thisf "queue" (v "packet");
+              expr (dcall this "Tcb" "markAsRunnable" []);
+              if_
+                (gt (thisf "priority") (fld "Tcb" (v "task") "priority"))
+                [ ret this ]
+                [];
+            ]
+            [
+              set_thisf "queue"
+                (inv (v "packet") "addTo" [ thisf "queue" ]);
+            ];
+          ret (v "task");
+        ];
+    ]
+
+let scheduler_class =
+  cls "Scheduler"
+    ~fields:
+      [ "queueCount"; "holdCount"; "blocks"; "list"; "currentTcb"; "currentId" ]
+    [
+      meth "init" [] ~returns:false
+        [
+          set_thisf "queueCount" (i 0);
+          set_thisf "holdCount" (i 0);
+          set_thisf "blocks" (arr_new (i 6));
+          for_ "k" (i 0) (i 6) [ arr_set (thisf "blocks") (v "k") null ];
+          set_thisf "list" null;
+        ];
+      meth "addTask" [ "ident"; "priority"; "queue"; "task" ] ~returns:false
+        [
+          let_ "tcb"
+            (new_ "Tcb"
+               [ thisf "list"; v "ident"; v "priority"; v "queue"; v "task" ]);
+          arr_set (thisf "blocks") (v "ident") (v "tcb");
+          set_thisf "list" (v "tcb");
+        ];
+      meth "addRunningTask" [ "ident"; "priority"; "queue"; "task" ]
+        ~returns:false
+        [
+          expr (dcall this "Scheduler" "addTask"
+                  [ v "ident"; v "priority"; v "queue"; v "task" ]);
+          expr (dcall (thisf "list") "Tcb" "setRunning" []);
+        ];
+      meth "schedule" [] ~returns:false
+        [
+          set_thisf "currentTcb" (thisf "list");
+          while_
+            (ne (thisf "currentTcb") null)
+            [
+              if_
+                (inv (thisf "currentTcb") "isHeldOrSuspended" [])
+                [
+                  set_thisf "currentTcb"
+                    (fld "Tcb" (thisf "currentTcb") "link");
+                ]
+                [
+                  set_thisf "currentId"
+                    (fld "Tcb" (thisf "currentTcb") "ident");
+                  set_thisf "currentTcb"
+                    (inv (thisf "currentTcb") "runStep" []);
+                ];
+            ];
+        ];
+      meth "release" [ "ident" ] ~returns:true
+        [
+          let_ "tcb" (arr_get (thisf "blocks") (v "ident"));
+          if_ (eq (v "tcb") null) [ ret null ] [];
+          expr (dcall (v "tcb") "Tcb" "markAsNotHeld" []);
+          if_
+            (gt (fld "Tcb" (v "tcb") "priority")
+               (fld "Tcb" (thisf "currentTcb") "priority"))
+            [ ret (v "tcb") ]
+            [ ret (thisf "currentTcb") ];
+        ];
+      meth "holdCurrent" [] ~returns:true
+        [
+          set_thisf "holdCount" (add (thisf "holdCount") (i 1));
+          expr (dcall (thisf "currentTcb") "Tcb" "markAsHeld" []);
+          ret (fld "Tcb" (thisf "currentTcb") "link");
+        ];
+      meth "suspendCurrent" [] ~returns:true
+        [
+          expr (dcall (thisf "currentTcb") "Tcb" "markAsSuspended" []);
+          ret (thisf "currentTcb");
+        ];
+      meth "queuePacket" [ "packet" ] ~returns:true
+        [
+          let_ "tcb"
+            (arr_get (thisf "blocks") (fld "Packet" (v "packet") "ident"));
+          if_ (eq (v "tcb") null) [ ret null ] [];
+          set_thisf "queueCount" (add (thisf "queueCount") (i 1));
+          setf "Packet" (v "packet") "link" null;
+          setf "Packet" (v "packet") "ident" (thisf "currentId");
+          ret
+            (inv (v "tcb") "checkPriorityAdd"
+               [ thisf "currentTcb"; v "packet" ]);
+        ];
+    ]
+
+(* The four task flavours; [run] takes the popped packet (or null) and
+   returns the next Tcb to schedule. *)
+let task_classes =
+  [
+    cls "Task" ~fields:[ "sched" ]
+      [ meth "run" [ "packet" ] ~returns:true [ ret null ] ];
+    cls "IdleTask" ~parent:"Task" ~fields:[ "seed"; "count" ]
+      [
+        meth "init" [ "sched"; "seed"; "count" ] ~returns:false
+          [
+            set_thisf "sched" (v "sched");
+            set_thisf "seed" (v "seed");
+            set_thisf "count" (v "count");
+          ];
+        meth "run" [ "packet" ] ~returns:true
+          [
+            set_thisf "count" (sub (thisf "count") (i 1));
+            if_ (eq (thisf "count") (i 0))
+              [ ret (inv (thisf "sched") "holdCurrent" []) ]
+              [];
+            if_
+              (eq (band (thisf "seed") (i 1)) (i 0))
+              [
+                set_thisf "seed" (shr (thisf "seed") (i 1));
+                ret (inv (thisf "sched") "release" [ i id_device_a ]);
+              ]
+              [
+                set_thisf "seed"
+                  (bxor (shr (thisf "seed") (i 1)) (i 0xD008));
+                ret (inv (thisf "sched") "release" [ i id_device_b ]);
+              ];
+          ];
+      ];
+    cls "DeviceTask" ~parent:"Task" ~fields:[ "pending" ]
+      [
+        meth "init" [ "sched" ] ~returns:false
+          [
+            set_thisf "sched" (v "sched");
+            set_thisf "pending" null;
+          ];
+        meth "run" [ "packet" ] ~returns:true
+          [
+            if_
+              (eq (v "packet") null)
+              [
+                if_ (eq (thisf "pending") null)
+                  [ ret (inv (thisf "sched") "suspendCurrent" []) ]
+                  [];
+                let_ "p" (thisf "pending");
+                set_thisf "pending" null;
+                ret (inv (thisf "sched") "queuePacket" [ v "p" ]);
+              ]
+              [
+                set_thisf "pending" (v "packet");
+                ret (inv (thisf "sched") "holdCurrent" []);
+              ];
+          ];
+      ];
+    cls "WorkerTask" ~parent:"Task" ~fields:[ "handler"; "counter" ]
+      [
+        meth "init" [ "sched"; "handler"; "counter" ] ~returns:false
+          [
+            set_thisf "sched" (v "sched");
+            set_thisf "handler" (v "handler");
+            set_thisf "counter" (v "counter");
+          ];
+        meth "run" [ "packet" ] ~returns:true
+          [
+            if_ (eq (v "packet") null)
+              [ ret (inv (thisf "sched") "suspendCurrent" []) ]
+              [];
+            set_thisf "handler"
+              (sub (i (id_handler_a + id_handler_b)) (thisf "handler"));
+            setf "Packet" (v "packet") "ident" (thisf "handler");
+            setf "Packet" (v "packet") "a1" (i 0);
+            for_ "k" (i 0) (i data_size)
+              [
+                set_thisf "counter" (add (thisf "counter") (i 1));
+                if_ (gt (thisf "counter") (i 26))
+                  [ set_thisf "counter" (i 1) ]
+                  [];
+                arr_set (fld "Packet" (v "packet") "a2") (v "k")
+                  (thisf "counter");
+              ];
+            ret (inv (thisf "sched") "queuePacket" [ v "packet" ]);
+          ];
+      ];
+    cls "HandlerTask" ~parent:"Task" ~fields:[ "workQ"; "deviceQ" ]
+      [
+        meth "init" [ "sched" ] ~returns:false
+          [
+            set_thisf "sched" (v "sched");
+            set_thisf "workQ" null;
+            set_thisf "deviceQ" null;
+          ];
+        meth "run" [ "packet" ] ~returns:true
+          [
+            if_
+              (ne (v "packet") null)
+              [
+                if_
+                  (eq (fld "Packet" (v "packet") "kind") (i kind_work))
+                  [
+                    set_thisf "workQ"
+                      (inv (v "packet") "addTo" [ thisf "workQ" ]);
+                  ]
+                  [
+                    set_thisf "deviceQ"
+                      (inv (v "packet") "addTo" [ thisf "deviceQ" ]);
+                  ];
+              ]
+              [];
+            if_
+              (ne (thisf "workQ") null)
+              [
+                let_ "count" (fld "Packet" (thisf "workQ") "a1");
+                if_
+                  (lt (v "count") (i data_size))
+                  [
+                    if_
+                      (ne (thisf "deviceQ") null)
+                      [
+                        let_ "devp" (thisf "deviceQ");
+                        set_thisf "deviceQ" (fld "Packet" (v "devp") "link");
+                        setf "Packet" (v "devp") "a1"
+                          (arr_get (fld "Packet" (thisf "workQ") "a2")
+                             (v "count"));
+                        setf "Packet" (thisf "workQ") "a1"
+                          (add (v "count") (i 1));
+                        ret (inv (thisf "sched") "queuePacket" [ v "devp" ]);
+                      ]
+                      [];
+                  ]
+                  [
+                    let_ "workp" (thisf "workQ");
+                    set_thisf "workQ" (fld "Packet" (v "workp") "link");
+                    ret (inv (thisf "sched") "queuePacket" [ v "workp" ]);
+                  ];
+              ]
+              [];
+            ret (inv (thisf "sched") "suspendCurrent" []);
+          ];
+      ];
+  ]
+
+(* One full scheduling round; returns 1 when the counters match the
+   canonical implementation's expected values. *)
+let driver_class =
+  cls "Richards" ~fields:[]
+    [
+      static_meth "round" [] ~returns:true
+        [
+          let_ "sched" (new_ "Scheduler" []);
+          expr
+            (inv (v "sched") "addRunningTask"
+               [
+                 i id_idle; i 0; null;
+                 new_ "IdleTask" [ v "sched"; i 1; i idle_count ];
+               ]);
+          let_ "wq" (new_ "Packet" [ null; i id_worker; i kind_work ]);
+          let_ "wq" (new_ "Packet" [ v "wq"; i id_worker; i kind_work ]);
+          expr
+            (inv (v "sched") "addTask"
+               [
+                 i id_worker; i 1000; v "wq";
+                 new_ "WorkerTask" [ v "sched"; i id_handler_a; i 0 ];
+               ]);
+          let_ "qa" (new_ "Packet" [ null; i id_device_a; i kind_device ]);
+          let_ "qa" (new_ "Packet" [ v "qa"; i id_device_a; i kind_device ]);
+          let_ "qa" (new_ "Packet" [ v "qa"; i id_device_a; i kind_device ]);
+          expr
+            (inv (v "sched") "addTask"
+               [
+                 i id_handler_a; i 2000; v "qa";
+                 new_ "HandlerTask" [ v "sched" ];
+               ]);
+          let_ "qb" (new_ "Packet" [ null; i id_device_b; i kind_device ]);
+          let_ "qb" (new_ "Packet" [ v "qb"; i id_device_b; i kind_device ]);
+          let_ "qb" (new_ "Packet" [ v "qb"; i id_device_b; i kind_device ]);
+          expr
+            (inv (v "sched") "addTask"
+               [
+                 i id_handler_b; i 3000; v "qb";
+                 new_ "HandlerTask" [ v "sched" ];
+               ]);
+          expr
+            (inv (v "sched") "addTask"
+               [ i id_device_a; i 4000; null; new_ "DeviceTask" [ v "sched" ] ]);
+          expr
+            (inv (v "sched") "addTask"
+               [ i id_device_b; i 5000; null; new_ "DeviceTask" [ v "sched" ] ]);
+          expr (inv (v "sched") "schedule" []);
+          ret
+            (and_
+               (eq (fld "Scheduler" (v "sched") "queueCount")
+                  (i expected_queue_count))
+               (eq (fld "Scheduler" (v "sched") "holdCount")
+                  (i expected_hold_count)));
+        ];
+    ]
+
+let classes =
+  [ packet_class; tcb_class; scheduler_class ] @ task_classes @ [ driver_class ]
+
+let main ~scale =
+  [
+    let_ "ok" (i 0);
+    for_ "round" (i 0) (i scale)
+      [ let_ "ok" (add (v "ok") (call "Richards" "round" [])) ];
+    print (v "ok");
+  ]

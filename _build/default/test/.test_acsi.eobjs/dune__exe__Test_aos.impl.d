@@ -1,0 +1,1 @@
+test/test_aos.ml: Accounting Acsi_aos Acsi_bytecode Acsi_jit Acsi_lang Acsi_policy Acsi_profile Acsi_vm Alcotest Array Db Flags Hot_methods Ids List Policy Program Registry System Trace_listener

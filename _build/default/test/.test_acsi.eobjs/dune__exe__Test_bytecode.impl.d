@@ -1,0 +1,1 @@
+test/test_bytecode.ml: Acsi_bytecode Alcotest Array Clazz Codebuf Ids Instr List Meth Printf Program String Verify

@@ -1,0 +1,1 @@
+test/test_cct.ml: Acsi_aos Acsi_bytecode Acsi_core Acsi_policy Acsi_profile Acsi_workloads Alcotest Cct Dcg Float Ids List Rules Trace

@@ -1,0 +1,1 @@
+test/test_code.ml: Acsi_bytecode Acsi_jit Acsi_lang Acsi_vm Alcotest Array Code Compile Cost Dsl Format Ids Instr List Meth Program String

@@ -1,0 +1,1 @@
+test/test_core.ml: Acsi_aos Acsi_core Acsi_lang Acsi_policy Acsi_vm Alcotest Buffer Config Experiment Float Format List Metrics Policy Report Runtime String

@@ -1,0 +1,1 @@
+test/test_expand_edge.ml: Acsi_bytecode Acsi_jit Acsi_lang Acsi_profile Acsi_vm Alcotest Array Compile Dsl Expand Instr List Meth Oracle Printf Program Rules Trace

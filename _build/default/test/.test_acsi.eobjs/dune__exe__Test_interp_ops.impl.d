@@ -1,0 +1,1 @@
+test/test_interp_ops.ml: Acsi_bytecode Acsi_jit Acsi_lang Acsi_vm Alcotest Array Cost Instr Interp List Meth Printf Program Verify

@@ -1,0 +1,1 @@
+test/test_jit.ml: Acsi_bytecode Acsi_jit Acsi_lang Acsi_profile Acsi_vm Alcotest Array Code Compile Cost Dsl Expand Ids Instr Interp List Meth Oracle Program Rules Size Trace

@@ -1,0 +1,1 @@
+test/test_lang.ml: Acsi_lang Acsi_vm Alcotest Compile Dsl Printf String

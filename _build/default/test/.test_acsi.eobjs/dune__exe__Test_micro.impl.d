@@ -1,0 +1,1 @@
+test/test_micro.ml: Acsi_aos Acsi_bytecode Acsi_core Acsi_policy Acsi_vm Acsi_workloads Alcotest Array Config Hashtbl List Metrics Policy Runtime

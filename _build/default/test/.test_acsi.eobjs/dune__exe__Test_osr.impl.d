@@ -1,0 +1,1 @@
+test/test_osr.ml: Acsi_aos Acsi_bytecode Acsi_core Acsi_jit Acsi_lang Acsi_policy Acsi_vm Acsi_workloads Alcotest Config List Metrics Policy Program Runtime

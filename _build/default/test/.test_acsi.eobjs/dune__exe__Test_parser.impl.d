@@ -1,0 +1,1 @@
+test/test_parser.ml: Acsi_core Acsi_lang Acsi_policy Acsi_vm Alcotest List Printf String

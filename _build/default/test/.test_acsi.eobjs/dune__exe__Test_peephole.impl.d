@@ -1,0 +1,1 @@
+test/test_peephole.ml: Acsi_bytecode Acsi_jit Acsi_lang Acsi_vm Alcotest Array Expand Instr List Meth Oracle Peephole Program Verify

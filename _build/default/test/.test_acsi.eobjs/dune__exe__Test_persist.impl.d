@@ -1,0 +1,1 @@
+test/test_persist.ml: Acsi_aos Acsi_bytecode Acsi_core Acsi_policy Acsi_profile Acsi_vm Acsi_workloads Alcotest Config Dcg Filename Fun Ids List Metrics Persist Runtime Sys Trace

@@ -1,0 +1,1 @@
+test/test_policy.ml: Acsi_bytecode Acsi_lang Acsi_policy Alcotest List Policy Program

@@ -1,0 +1,1 @@
+test/test_profile.ml: Acsi_bytecode Acsi_profile Alcotest Array Dcg Float Gen Ids List QCheck QCheck_alcotest Rules Trace

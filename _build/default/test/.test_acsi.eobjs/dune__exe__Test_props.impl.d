@@ -1,0 +1,1 @@
+test/test_props.ml: Acsi_bytecode Acsi_core Acsi_jit Acsi_lang Acsi_policy Acsi_profile Acsi_vm Array Ast Compile Config Dsl Instr List Meth Metrics Printf Program QCheck QCheck_alcotest Runtime

@@ -1,0 +1,1 @@
+test/test_richards.ml: Acsi_core Acsi_policy Acsi_vm Acsi_workloads Alcotest Config List Metrics Policy Runtime

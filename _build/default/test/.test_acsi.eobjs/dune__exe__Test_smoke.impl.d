@@ -1,0 +1,1 @@
+test/test_smoke.ml: Acsi_bytecode Acsi_jit Acsi_lang Acsi_profile Acsi_vm Alcotest Array Code Compile Cost Dsl Expand Instr Interp List Meth Oracle Program Rules Trace

@@ -1,0 +1,1 @@
+test/test_vm.ml: Acsi_bytecode Acsi_lang Acsi_vm Alcotest Ast Code Compile Cost Dsl Ids Instr Interp List Meth Printf Program String Value

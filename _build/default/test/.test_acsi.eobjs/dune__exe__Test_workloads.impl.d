@@ -1,0 +1,1 @@
+test/test_workloads.ml: Acsi_core Acsi_policy Acsi_vm Acsi_workloads Alcotest Config Lazy List Metrics Printf Runtime String

@@ -1,0 +1,25 @@
+let () =
+  Alcotest.run "acsi"
+    [
+      ("bytecode", Test_bytecode.suite);
+      ("lang", Test_lang.suite);
+      ("parser", Test_parser.suite);
+      ("vm", Test_vm.suite);
+      ("interp-ops", Test_interp_ops.suite);
+      ("code", Test_code.suite);
+      ("profile", Test_profile.suite);
+      ("persist", Test_persist.suite);
+      ("cct", Test_cct.suite);
+      ("jit", Test_jit.suite);
+      ("expand-edge", Test_expand_edge.suite);
+      ("policy", Test_policy.suite);
+      ("peephole", Test_peephole.suite);
+      ("osr", Test_osr.suite);
+      ("aos", Test_aos.suite);
+      ("smoke", Test_smoke.suite);
+      ("core", Test_core.suite);
+      ("props", Test_props.suite);
+      ("workloads", Test_workloads.suite);
+      ("micro", Test_micro.suite);
+      ("richards", Test_richards.suite);
+    ]

@@ -1,0 +1,120 @@
+(* Tests for the calling-context tree: structural sharing, query
+   equivalence with the flat profile, and round-tripping of hot traces. *)
+
+open Acsi_bytecode
+open Acsi_profile
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mid n = Ids.Method_id.of_int n
+
+let trace callee chain =
+  Trace.make ~callee:(mid callee)
+    ~chain:(List.map (fun (c, s) -> { Trace.caller = mid c; callsite = s }) chain)
+
+let test_weights_accumulate () =
+  let cct = Cct.create () in
+  let t = trace 9 [ (1, 2); (3, 4) ] in
+  Cct.add_trace cct t;
+  Cct.add_trace cct t;
+  Cct.add_trace ~weight:3.5 cct t;
+  check_bool "weight" true (Cct.weight_of cct t = 5.5);
+  check_bool "total" true (Cct.total_weight cct = 5.5);
+  check_bool "absent path" true (Cct.weight_of cct (trace 9 [ (1, 7) ]) = 0.0)
+
+let test_prefix_sharing () =
+  let cct = Cct.create () in
+  (* Two traces sharing caller context, one deeper: the shared prefix must
+     be stored once. *)
+  Cct.add_trace cct (trace 9 [ (1, 2); (3, 4) ]);
+  Cct.add_trace cct (trace 8 [ (1, 3); (3, 4) ]);
+  (* paths: root -> 3 -> 1 -> {9, 8}: 4 nodes *)
+  check_int "nodes shared" 4 (Cct.node_count cct);
+  check_int "depth" 3 (Cct.max_depth cct)
+
+let test_distinct_callsites_distinct_nodes () =
+  let cct = Cct.create () in
+  Cct.add_trace cct (trace 9 [ (1, 2) ]);
+  Cct.add_trace cct (trace 9 [ (1, 5) ]);
+  (* root -> 1 -> 9@2 and 9@5: three nodes *)
+  check_int "separate leaves per callsite" 3 (Cct.node_count cct)
+
+let test_hot_traces_roundtrip () =
+  let cct = Cct.create () in
+  let hot_t = trace 9 [ (1, 2); (3, 4) ] in
+  let cold_t = trace 8 [ (1, 6) ] in
+  Cct.add_trace ~weight:99.0 cct hot_t;
+  Cct.add_trace ~weight:1.0 cct cold_t;
+  match Cct.to_hot_traces cct ~threshold:0.015 with
+  | [ (t, w) ] ->
+      check_bool "hot trace survives the round trip" true (Trace.equal t hot_t);
+      check_bool "weight" true (w = 99.0)
+  | other -> Alcotest.failf "expected one hot trace, got %d" (List.length other)
+
+let test_equivalence_with_dcg () =
+  (* Same sample stream into both representations: hot sets must agree. *)
+  let dcg = Dcg.create () in
+  let samples =
+    [
+      (trace 9 [ (1, 2); (3, 4) ], 40);
+      (trace 9 [ (1, 2); (5, 6) ], 30);
+      (trace 8 [ (1, 2) ], 25);
+      (trace 7 [ (2, 0) ], 1);
+    ]
+  in
+  List.iter
+    (fun (t, n) ->
+      for _ = 1 to n do
+        Dcg.add_sample dcg t
+      done)
+    samples;
+  let cct = Cct.of_dcg dcg in
+  check_bool "totals agree" true
+    (Cct.total_weight cct = Dcg.total_weight dcg);
+  let normalize l =
+    List.map (fun (t, w) -> (t, w)) l
+    |> List.sort (fun (a, _) (b, _) -> Trace.compare a b)
+  in
+  let dcg_hot = normalize (Dcg.hot dcg ~threshold:0.015) in
+  let cct_hot = normalize (Cct.to_hot_traces cct ~threshold:0.015) in
+  check_int "same number of hot traces" (List.length dcg_hot)
+    (List.length cct_hot);
+  List.iter2
+    (fun (t1, w1) (t2, w2) ->
+      check_bool "same trace" true (Trace.equal t1 t2);
+      check_bool "same weight" true (Float.abs (w1 -. w2) < 1e-9))
+    dcg_hot cct_hot
+
+let test_compaction_on_real_profile () =
+  (* On a real workload profile, the CCT must not be larger than the flat
+     table (shared prefixes can only help). *)
+  let spec = Acsi_workloads.Workloads.find "javac" in
+  let program = spec.Acsi_workloads.Workloads.build ~scale:40 in
+  let result =
+    Acsi_core.Runtime.run
+      (Acsi_core.Config.default ~policy:(Acsi_policy.Policy.Fixed 4))
+      program
+  in
+  let dcg = Acsi_aos.System.dcg result.Acsi_core.Runtime.sys in
+  let cct = Cct.of_dcg dcg in
+  check_bool "profile is non-trivial" true (Dcg.size dcg > 5);
+  check_bool "CCT no larger than flat + leaves" true
+    (Cct.node_count cct <= 3 * Dcg.size dcg);
+  check_bool "rules from CCT are buildable" true
+    (Rules.rule_count
+       (Rules.of_hot_traces (Cct.to_hot_traces cct ~threshold:0.015))
+    > 0)
+
+let suite =
+  [
+    Alcotest.test_case "weights accumulate" `Quick test_weights_accumulate;
+    Alcotest.test_case "prefix sharing" `Quick test_prefix_sharing;
+    Alcotest.test_case "distinct callsites" `Quick
+      test_distinct_callsites_distinct_nodes;
+    Alcotest.test_case "hot traces round trip" `Quick test_hot_traces_roundtrip;
+    Alcotest.test_case "equivalence with flat profile" `Quick
+      test_equivalence_with_dcg;
+    Alcotest.test_case "compaction on a real profile" `Quick
+      test_compaction_on_real_profile;
+  ]

@@ -1,0 +1,87 @@
+(* Tests for the executable-code representation: baseline construction,
+   source-map queries, and the source-level view of optimized frames. *)
+
+open Acsi_bytecode
+open Acsi_vm
+open Acsi_lang
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let program () =
+  let open Dsl in
+  Compile.prog
+    (prog
+       [
+         cls "C" ~fields:[]
+           [
+             static_meth "inner" [ "x" ] ~returns:true [ ret (add (v "x") (i 1)) ];
+             static_meth "outer" [ "x" ] ~returns:true
+               [ ret (mul (call "C" "inner" [ v "x" ]) (i 2)) ];
+           ];
+       ]
+       [ print (call "C" "outer" [ i 5 ]) ])
+
+let test_baseline_identity_map () =
+  let p = program () in
+  let m = Program.find_method p ~cls:"C" ~name:"outer" in
+  let code = Code.baseline Cost.default m in
+  check_bool "baseline tier" true (code.Code.tier = Code.Baseline);
+  check_int "body shared" (Array.length m.Meth.body)
+    (Array.length code.Code.instrs);
+  check_int "bytes model"
+    (Array.length m.Meth.body * Cost.default.Cost.baseline_bytes_per_unit)
+    code.Code.code_bytes;
+  (* identity source map *)
+  let (src_m, src_pc), parents = Code.source_at code ~pc:3 in
+  check_bool "own method" true (Ids.Method_id.equal src_m m.Meth.id);
+  check_int "same pc" 3 src_pc;
+  check_int "no parents" 0 (List.length parents)
+
+let test_optimized_source_map_attribution () =
+  let p = program () in
+  let outer = Program.find_method p ~cls:"C" ~name:"outer" in
+  let inner = Program.find_method p ~cls:"C" ~name:"inner" in
+  let oracle = Acsi_jit.Oracle.create p in
+  let code, stats = Acsi_jit.Expand.compile p Cost.default oracle ~root:outer in
+  check_bool "inner inlined" true (stats.Acsi_jit.Expand.inline_count > 0);
+  (* every pc resolves; at least one resolves into inner with outer as its
+     inline parent, and its parent callsite is a call instr in outer *)
+  let found = ref false in
+  Array.iteri
+    (fun pc _ ->
+      let (src_m, _), parents = Code.source_at code ~pc in
+      match parents with
+      | [ (parent, callsite) ] when Ids.Method_id.equal src_m inner.Meth.id ->
+          check_bool "parent is outer" true
+            (Ids.Method_id.equal parent outer.Meth.id);
+          check_bool "callsite is a call in outer" true
+            (Instr.is_call outer.Meth.body.(callsite));
+          found := true
+      | _ -> ())
+    code.Code.instrs;
+  check_bool "inlined instructions attributed" true !found
+
+let test_pp_smoke () =
+  let p = program () in
+  let m = Program.find_method p ~cls:"C" ~name:"outer" in
+  let rendered = Format.asprintf "%a" Code.pp (Code.baseline Cost.default m) in
+  check_bool "disassembly mentions the call" true
+    (String.length rendered > 0
+    &&
+    let contains sub =
+      let n = String.length rendered and k = String.length sub in
+      let rec go i =
+        i + k <= n && (String.equal (String.sub rendered i k) sub || go (i + 1))
+      in
+      go 0
+    in
+    contains "call_static" && contains "[base]")
+
+let suite =
+  [
+    Alcotest.test_case "baseline identity map" `Quick test_baseline_identity_map;
+    Alcotest.test_case "optimized source attribution" `Quick
+      test_optimized_source_map_attribution;
+    Alcotest.test_case "disassembly rendering" `Quick test_pp_smoke;
+  ]

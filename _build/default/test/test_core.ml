@@ -1,0 +1,152 @@
+(* Unit tests for the core facade: configuration, metrics arithmetic,
+   experiment sweeps, and report rendering. *)
+
+open Acsi_core
+open Acsi_policy
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-6))
+
+let small_program () =
+  let open Acsi_lang.Dsl in
+  Acsi_lang.Compile.prog
+    (prog
+       [
+         cls "S" ~fields:[]
+           [ static_meth "inc" [ "x" ] ~returns:true [ ret (add (v "x") (i 1)) ] ];
+       ]
+       [
+         let_ "s" (i 0);
+         for_ "k" (i 0) (i 150000) [ let_ "s" (call "S" "inc" [ v "s" ]) ];
+         print (v "s");
+       ])
+
+let test_config_with_policy () =
+  let cfg = Config.default ~policy:Policy.Context_insensitive in
+  let cfg' = Config.with_policy cfg (Policy.Fixed 4) in
+  check_bool "policy replaced" true
+    (cfg'.Config.aos.Acsi_aos.System.policy = Policy.Fixed 4);
+  check_int "other fields preserved" cfg.Config.sample_period
+    cfg'.Config.sample_period
+
+let test_checksum () =
+  check_bool "order sensitive" true
+    (Metrics.checksum [ 1; 2 ] <> Metrics.checksum [ 2; 1 ]);
+  check_int "deterministic" (Metrics.checksum [ 5; 6; 7 ])
+    (Metrics.checksum [ 5; 6; 7 ]);
+  check_int "empty" 0 (Metrics.checksum [])
+
+let run policy =
+  (Runtime.run (Config.default ~policy) (small_program ())).Runtime.metrics
+
+let test_metrics_of_run () =
+  let m = run Policy.Context_insensitive in
+  check_bool "total = app + aos" true
+    (m.Metrics.total_cycles = m.Metrics.app_cycles + m.Metrics.aos_cycles);
+  check_bool "components sum to aos" true
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 m.Metrics.component_cycles
+    = m.Metrics.aos_cycles);
+  check_bool "instructions counted" true (m.Metrics.instructions > 0);
+  check_int "classes" 2 m.Metrics.classes_loaded;
+  (* main + S.inc were executed *)
+  check_int "methods compiled" 2 m.Metrics.methods_compiled
+
+let test_metrics_percentages () =
+  let base = run Policy.Context_insensitive in
+  check_float "self speedup is zero" 0.0 (Metrics.speedup_pct ~baseline:base base);
+  check_float "self code change is zero" 0.0
+    (Metrics.code_size_change_pct ~baseline:base base);
+  let doubled = { base with Metrics.total_cycles = base.Metrics.total_cycles * 2 } in
+  check_float "half speed" (-50.0) (Metrics.speedup_pct ~baseline:base doubled);
+  let halved = { base with Metrics.opt_code_bytes = base.Metrics.opt_code_bytes / 2 } in
+  check_bool "code shrank" true
+    (Metrics.code_size_change_pct ~baseline:base halved < -49.0)
+
+let test_component_pct_sums_to_overhead () =
+  let m = run (Policy.Fixed 3) in
+  let sum =
+    List.fold_left
+      (fun acc (c, _) -> acc +. Metrics.component_pct m c)
+      0.0 m.Metrics.component_cycles
+  in
+  let overhead_pct =
+    100.0 *. float_of_int m.Metrics.aos_cycles /. float_of_int m.Metrics.total_cycles
+  in
+  check_bool "component percentages sum to overhead" true
+    (Float.abs (sum -. overhead_pct) < 1e-6)
+
+let test_harmonic_mean () =
+  (* hm of identical values is the value *)
+  check_float "constant" 10.0
+    (Experiment.harmonic_mean_pct (fun _ -> 10.0) [ "a"; "b"; "c" ]);
+  check_float "empty" 0.0 (Experiment.harmonic_mean_pct (fun _ -> 10.0) []);
+  (* hm of ratios 1.25 and 0.8 is below the arithmetic mean of +25/-20 *)
+  let v = function "a" -> 25.0 | _ -> -20.0 in
+  check_bool "pulls toward the slow one" true
+    (Experiment.harmonic_mean_pct v [ "a"; "b" ] < 2.5)
+
+let test_sweep_and_report () =
+  let benches = [ { Experiment.name = "tiny"; program = small_program () } ] in
+  let cfg = Config.default ~policy:Policy.Context_insensitive in
+  let sweep =
+    Experiment.run_sweep cfg ~benches ~policies:[ Policy.Fixed 2; Policy.Fixed 3 ]
+  in
+  check_bool "baseline recorded" true
+    ((Experiment.baseline sweep ~bench:"tiny").Metrics.total_cycles > 0);
+  check_bool "point found" true
+    (Experiment.find sweep ~bench:"tiny" ~policy:(Policy.Fixed 2) <> None);
+  check_bool "missing point" true
+    (Experiment.find sweep ~bench:"tiny" ~policy:(Policy.Fixed 5) = None);
+  let render f =
+    let buf = Buffer.create 256 in
+    let fmt = Format.formatter_of_buffer buf in
+    f fmt sweep;
+    Format.pp_print_flush fmt ();
+    Buffer.contents buf
+  in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "table1 mentions the bench" true (contains (render Report.table1) "tiny");
+  check_bool "fig4 mentions harMean" true (contains (render Report.figure4) "harMean");
+  check_bool "fig5 mentions code size" true (contains (render Report.figure5) "code size");
+  check_bool "fig6 mentions components" true
+    (contains (render Report.figure6) "CompilationThread");
+  check_bool "summary mentions paper" true (contains (render Report.summary) "paper")
+
+let test_run_no_aos_matches_run_output () =
+  let program = small_program () in
+  let cfg = Config.default ~policy:(Policy.Fixed 3) in
+  let plain = Runtime.run_no_aos cfg program in
+  let adaptive = Runtime.run cfg program in
+  Alcotest.(check (list int))
+    "same observable output"
+    (Acsi_vm.Interp.output plain)
+    (Acsi_vm.Interp.output adaptive.Runtime.vm)
+
+let test_summarize_bounds () =
+  let benches = [ { Experiment.name = "tiny"; program = small_program () } ] in
+  let cfg = Config.default ~policy:Policy.Context_insensitive in
+  let sweep = Experiment.run_sweep cfg ~benches ~policies:[ Policy.Fixed 2 ] in
+  let s = Experiment.summarize sweep in
+  check_bool "min <= mean <= max" true
+    (s.Experiment.min_speedup_pct <= s.Experiment.mean_speedup_pct
+    && s.Experiment.mean_speedup_pct <= s.Experiment.max_speedup_pct)
+
+let suite =
+  [
+    Alcotest.test_case "config with_policy" `Quick test_config_with_policy;
+    Alcotest.test_case "output checksum" `Quick test_checksum;
+    Alcotest.test_case "metrics of a run" `Quick test_metrics_of_run;
+    Alcotest.test_case "metrics percentages" `Quick test_metrics_percentages;
+    Alcotest.test_case "component pct sums" `Quick
+      test_component_pct_sums_to_overhead;
+    Alcotest.test_case "harmonic mean" `Quick test_harmonic_mean;
+    Alcotest.test_case "sweep and reports" `Quick test_sweep_and_report;
+    Alcotest.test_case "AOS preserves output via runtime" `Quick
+      test_run_no_aos_matches_run_output;
+    Alcotest.test_case "summary bounds" `Quick test_summarize_bounds;
+  ]

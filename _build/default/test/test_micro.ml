@@ -1,0 +1,131 @@
+(* Behavioural assertions on the micro workloads: each isolates one
+   phenomenon, so we can assert on the phenomenon itself rather than just
+   on output preservation. *)
+
+open Acsi_core
+open Acsi_policy
+module Micro = Acsi_workloads.Micro
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let run ?(policy = Policy.Fixed 2) program =
+  Runtime.run (Config.default ~policy) program
+
+let test_all_run_and_preserve_output () =
+  List.iter
+    (fun (name, build) ->
+      let program = build ~scale:30 in
+      let baseline = Runtime.run_no_aos (Config.default ~policy:(Policy.Fixed 2)) program in
+      List.iter
+        (fun policy ->
+          let result = run ~policy program in
+          Alcotest.(check (list int))
+            (name ^ " output under " ^ Policy.to_string policy)
+            (Acsi_vm.Interp.output baseline)
+            (Acsi_vm.Interp.output result.Runtime.vm))
+        [ Policy.Context_insensitive; Policy.Fixed 3; Policy.Adaptive_resolving 4 ])
+    Micro.all
+
+(* Monomorphic dispatch: CHA binds it statically; once the driver is
+   optimized, the tick call is inlined guard-free — no guards at all. *)
+let test_mono_loop_guard_free () =
+  let result = run (Micro.mono_loop ~scale:100) in
+  let m = result.Runtime.metrics in
+  check_bool "optimized something" true (m.Metrics.opt_methods > 0);
+  check_int "no guards needed" 0 m.Metrics.guard_sites
+
+(* Bimorphic 90/10: guarded inlining with the dominant target first; the
+   common case hits, the rare case misses into the chain/fallback. *)
+let test_bimorphic_guard_profile () =
+  let result = run (Micro.bimorphic ~scale:500) in
+  let m = result.Runtime.metrics in
+  check_bool "guards were planted" true (m.Metrics.guard_sites > 0);
+  check_bool "guards mostly hit" true
+    (m.Metrics.guard_hits > 4 * max 1 m.Metrics.guard_misses)
+
+(* Figure 1 in miniature: context-insensitive profiling sees a 50/50 mix
+   at the shared site and pays guard misses; fixed(2) discriminates per
+   context and eliminates misses entirely. *)
+let test_context_split_discrimination () =
+  let program = Micro.context_split ~scale:150 in
+  let cins = run ~policy:Policy.Context_insensitive program in
+  let cs = run ~policy:(Policy.Fixed 2) program in
+  check_bool "cins pays guard misses" true
+    (cins.Runtime.metrics.Metrics.guard_misses > 0);
+  check_int "context sensitivity removes every miss" 0
+    cs.Runtime.metrics.Metrics.guard_misses;
+  check_bool "and produces less code" true
+    (cs.Runtime.metrics.Metrics.opt_code_bytes
+    < cins.Runtime.metrics.Metrics.opt_code_bytes)
+
+(* Megamorphic: with eight equally likely receivers nothing crosses the
+   1.5% dominance needed to be worth guarding strongly; misses remain
+   under any policy, and the adaptive-resolution policy eventually gives
+   the site up. *)
+let test_megamorphic_gives_up () =
+  let program = Micro.megamorphic ~scale:150 in
+  let result = run ~policy:(Policy.Adaptive_resolving 4) program in
+  let flagged, _, given_up =
+    Acsi_aos.Flags.counts (Acsi_aos.System.flags result.Runtime.sys)
+  in
+  check_bool "the site was flagged or abandoned" true (given_up + flagged > 0)
+
+(* Deep chain: fixed(n) actually collects depth-n traces. *)
+let test_deep_chain_depths () =
+  let program = Micro.deep_chain ~scale:100 in
+  let result = run ~policy:(Policy.Fixed 5) program in
+  let st = Acsi_aos.System.trace_stats result.Runtime.sys in
+  check_bool "depth-5 traces collected" true
+    (st.Acsi_aos.Trace_listener.depth_histogram.(5) > 0)
+
+(* Phase flip: with decay enabled (default), the second phase's handler
+   ends up inlined somewhere. *)
+let test_phase_flip_adapts () =
+  let program = Micro.phase_flip ~scale:800 in
+  let cfg = Config.default ~policy:(Policy.Fixed 2) in
+  let cfg =
+    {
+      cfg with
+      Config.aos =
+        {
+          cfg.Config.aos with
+          Acsi_aos.System.decay_factor = 0.5;
+          decay_period = 1;
+          ai_period = 2;
+          refusal_ttl = 4;
+          max_opt_versions = 8;
+        };
+    }
+  in
+  let result = Runtime.run cfg program in
+  let program_of = Acsi_vm.Interp.program result.Runtime.vm in
+  let late_step =
+    Acsi_bytecode.Program.find_method program_of ~cls:"Late" ~name:"step"
+  in
+  let late_inlined = ref false in
+  Acsi_aos.Registry.iter
+    (Acsi_aos.System.registry result.Runtime.sys)
+    ~f:(fun _ e ->
+      if
+        Hashtbl.mem e.Acsi_aos.Registry.inlined_methods
+          (late_step.Acsi_bytecode.Meth.id :> int)
+      then late_inlined := true);
+  check_bool "the late-phase handler got inlined" true !late_inlined
+
+let suite =
+  [
+    Alcotest.test_case "all micros run, output preserved" `Quick
+      test_all_run_and_preserve_output;
+    Alcotest.test_case "mono loop is guard-free" `Quick
+      test_mono_loop_guard_free;
+    Alcotest.test_case "bimorphic guards mostly hit" `Quick
+      test_bimorphic_guard_profile;
+    Alcotest.test_case "context split discriminates" `Quick
+      test_context_split_discrimination;
+    Alcotest.test_case "megamorphic site abandoned" `Quick
+      test_megamorphic_gives_up;
+    Alcotest.test_case "deep chain trace depths" `Quick test_deep_chain_depths;
+    Alcotest.test_case "phase flip adapts with decay" `Quick
+      test_phase_flip_adapts;
+  ]

@@ -1,0 +1,155 @@
+(* Unit tests for the context-sensitivity policies: depth bounds, naming,
+   and the early-termination predicates of paper §4. *)
+
+open Acsi_bytecode
+open Acsi_policy
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A program giving one method of each flavour the predicates inspect. *)
+let fixture () =
+  let open Acsi_lang.Dsl in
+  let filler n = List.init n (fun k -> let_ "t" (add (i k) (i 1))) in
+  Acsi_lang.Compile.prog
+    (prog
+       [
+         cls "F" ~fields:[]
+           [
+             meth "inst_with_params" [ "x" ] ~returns:true [ ret (v "x") ];
+             meth "inst_paramless" [] ~returns:true [ ret (i 1) ];
+             static_meth "static_with_params" [ "x" ] ~returns:true
+               [ ret (v "x") ];
+             static_meth "static_paramless" [] ~returns:true [ ret (i 2) ];
+             static_meth "static_large" [ "x" ] ~returns:true
+               (filler 40 @ [ ret (v "x") ]);
+           ];
+       ]
+       [ print (i 0) ])
+
+let meth program name = Program.find_method program ~cls:"F" ~name
+
+let test_max_depth () =
+  check_int "cins" 1 (Policy.max_depth Policy.Context_insensitive);
+  check_int "fixed" 4 (Policy.max_depth (Policy.Fixed 4));
+  check_int "clamped" 1 (Policy.max_depth (Policy.Fixed 0));
+  check_int "hybrid" 3 (Policy.max_depth (Policy.Hybrid_param_large 3))
+
+let test_names_roundtrip () =
+  List.iter
+    (fun p ->
+      match Policy.of_string (Policy.to_string p) with
+      | Some q -> check_bool (Policy.to_string p) true (p = q)
+      | None -> Alcotest.failf "failed to parse %s" (Policy.to_string p))
+    (Policy.Context_insensitive :: Policy.Adaptive_resolving 4
+    :: Policy.paper_sweep)
+
+let test_of_string_bare_names () =
+  check_bool "bare fixed" true (Policy.of_string "fixed" = Some (Policy.Fixed 5));
+  check_bool "bare cins" true
+    (Policy.of_string "cins" = Some Policy.Context_insensitive);
+  check_bool "unknown" true (Policy.of_string "zorp" = None)
+
+let test_paper_sweep_shape () =
+  check_int "6 families x 4 maxes" 24 (List.length Policy.paper_sweep)
+
+let should_extend program p ~callee ~last_caller ~chain_len =
+  Policy.should_extend p program ~callee:(meth program callee)
+    ~last_caller:(meth program last_caller) ~chain_len
+
+let test_cins_never_extends () =
+  let program = fixture () in
+  check_bool "cins" false
+    (should_extend program Policy.Context_insensitive
+       ~callee:"inst_with_params" ~last_caller:"inst_with_params" ~chain_len:1)
+
+let test_fixed_extends_to_max () =
+  let program = fixture () in
+  let ext = should_extend program (Policy.Fixed 3) ~callee:"inst_with_params"
+      ~last_caller:"inst_with_params" in
+  check_bool "below max" true (ext ~chain_len:2);
+  check_bool "at max" false (ext ~chain_len:3)
+
+let test_parameterless_stops () =
+  let program = fixture () in
+  let p = Policy.Parameterless 5 in
+  (* A parameterless callee needs no context beyond the plain edge. *)
+  check_bool "parameterless callee stops" false
+    (should_extend program p ~callee:"inst_paramless"
+       ~last_caller:"inst_with_params" ~chain_len:1);
+  (* A parameterless caller stops the walk above it. *)
+  check_bool "parameterless caller stops" false
+    (should_extend program p ~callee:"inst_with_params"
+       ~last_caller:"static_paramless" ~chain_len:2);
+  check_bool "parameters keep it going" true
+    (should_extend program p ~callee:"inst_with_params"
+       ~last_caller:"static_with_params" ~chain_len:2)
+
+let test_class_methods_stops () =
+  let program = fixture () in
+  let p = Policy.Class_methods 5 in
+  check_bool "instance caller stops" false
+    (should_extend program p ~callee:"static_with_params"
+       ~last_caller:"inst_with_params" ~chain_len:2);
+  check_bool "static caller continues" true
+    (should_extend program p ~callee:"static_with_params"
+       ~last_caller:"static_with_params" ~chain_len:2)
+
+let test_large_methods_stops () =
+  let program = fixture () in
+  let p = Policy.Large_methods 5 in
+  check_bool "large caller stops" false
+    (should_extend program p ~callee:"static_with_params"
+       ~last_caller:"static_large" ~chain_len:2);
+  check_bool "small caller continues" true
+    (should_extend program p ~callee:"static_with_params"
+       ~last_caller:"static_with_params" ~chain_len:2)
+
+let test_hybrids_combine () =
+  let program = fixture () in
+  (* Hybrid 1 stops when EITHER parameterless or class-method fires. *)
+  check_bool "hybrid1 stops on instance caller" false
+    (should_extend program (Policy.Hybrid_param_class 5)
+       ~callee:"static_with_params" ~last_caller:"inst_with_params"
+       ~chain_len:2);
+  check_bool "hybrid1 stops on parameterless" false
+    (should_extend program (Policy.Hybrid_param_class 5)
+       ~callee:"static_with_params" ~last_caller:"static_paramless"
+       ~chain_len:2);
+  check_bool "hybrid2 stops on large" false
+    (should_extend program (Policy.Hybrid_param_large 5)
+       ~callee:"static_with_params" ~last_caller:"static_large" ~chain_len:2);
+  check_bool "hybrid2 continues otherwise" true
+    (should_extend program (Policy.Hybrid_param_large 5)
+       ~callee:"static_with_params" ~last_caller:"static_with_params"
+       ~chain_len:2)
+
+let test_adaptive_resolving_flag () =
+  let program = fixture () in
+  check_bool "is_adaptive" true
+    (Policy.is_adaptive_resolving (Policy.Adaptive_resolving 3));
+  check_bool "others are not" true
+    (not (Policy.is_adaptive_resolving (Policy.Fixed 3)));
+  (* The predicate itself never extends — deepening is flag-driven. *)
+  check_bool "predicate says no" false
+    (should_extend program (Policy.Adaptive_resolving 5)
+       ~callee:"inst_with_params" ~last_caller:"inst_with_params" ~chain_len:1)
+
+let suite =
+  [
+    Alcotest.test_case "max depth" `Quick test_max_depth;
+    Alcotest.test_case "name round trip" `Quick test_names_roundtrip;
+    Alcotest.test_case "of_string bare names" `Quick test_of_string_bare_names;
+    Alcotest.test_case "paper sweep shape" `Quick test_paper_sweep_shape;
+    Alcotest.test_case "cins never extends" `Quick test_cins_never_extends;
+    Alcotest.test_case "fixed extends to max" `Quick test_fixed_extends_to_max;
+    Alcotest.test_case "parameterless early termination" `Quick
+      test_parameterless_stops;
+    Alcotest.test_case "class-methods early termination" `Quick
+      test_class_methods_stops;
+    Alcotest.test_case "large-methods early termination" `Quick
+      test_large_methods_stops;
+    Alcotest.test_case "hybrids combine rules" `Quick test_hybrids_combine;
+    Alcotest.test_case "adaptive resolving flag" `Quick
+      test_adaptive_resolving_flag;
+  ]

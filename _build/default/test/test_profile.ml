@@ -1,0 +1,288 @@
+(* Unit + property tests for the profile structures: traces, the dynamic
+   call graph, and the partial-matching rule queries. *)
+
+open Acsi_bytecode
+open Acsi_profile
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mid n = Ids.Method_id.of_int n
+let entry caller callsite = { Trace.caller = mid caller; callsite }
+
+let trace callee chain =
+  Trace.make ~callee:(mid callee) ~chain:(List.map (fun (c, s) -> entry c s) chain)
+
+(* --- Trace --- *)
+
+let test_trace_make_empty_chain () =
+  Alcotest.check_raises "empty chain" (Invalid_argument "Trace.make: empty chain")
+    (fun () -> ignore (Trace.make ~callee:(mid 0) ~chain:[]))
+
+let test_trace_depth_and_edge () =
+  let t = trace 9 [ (1, 2); (3, 4); (5, 6) ] in
+  check_int "depth" 3 (Trace.depth t);
+  let e = Trace.edge t in
+  check_int "edge depth" 1 (Trace.depth e);
+  check_bool "edge keeps innermost" true
+    (Trace.entry_equal e.Trace.chain.(0) (entry 1 2))
+
+let test_trace_equality () =
+  let a = trace 9 [ (1, 2); (3, 4) ] in
+  let b = trace 9 [ (1, 2); (3, 4) ] in
+  let c = trace 9 [ (1, 2); (3, 5) ] in
+  let d = trace 8 [ (1, 2); (3, 4) ] in
+  check_bool "equal" true (Trace.equal a b);
+  check_int "hash agrees" (Trace.hash a) (Trace.hash b);
+  check_bool "callsite differs" false (Trace.equal a c);
+  check_bool "callee differs" false (Trace.equal a d);
+  check_int "compare self" 0 (Trace.compare a b)
+
+let test_context_matches () =
+  let rule = [| entry 1 2; entry 3 4; entry 5 6 |] in
+  check_bool "site shorter: prefix matches" true
+    (Trace.context_matches ~rule_chain:rule ~site_chain:[| entry 1 2 |]);
+  check_bool "site longer: prefix matches" true
+    (Trace.context_matches ~rule_chain:[| entry 1 2 |]
+       ~site_chain:[| entry 1 2; entry 9 9 |]);
+  check_bool "mismatch at 0" false
+    (Trace.context_matches ~rule_chain:rule ~site_chain:[| entry 1 3 |]);
+  check_bool "mismatch at 1" false
+    (Trace.context_matches ~rule_chain:rule
+       ~site_chain:[| entry 1 2; entry 3 5 |])
+
+(* qcheck: Eq. 3 matching is reflexive, and prefix-truncation preserves it. *)
+let arbitrary_chain =
+  QCheck.(
+    list_of_size Gen.(1 -- 5)
+      (pair (int_bound 30) (int_bound 10))
+    |> map (fun pairs ->
+           Array.of_list (List.map (fun (c, s) -> entry c s) pairs)))
+
+let prop_matching_reflexive =
+  QCheck.Test.make ~name:"context_matches is reflexive" ~count:200
+    arbitrary_chain (fun chain ->
+      QCheck.assume (Array.length chain > 0);
+      Trace.context_matches ~rule_chain:chain ~site_chain:chain)
+
+let prop_matching_prefix =
+  QCheck.Test.make ~name:"truncating a matching site still matches" ~count:200
+    QCheck.(pair arbitrary_chain small_nat)
+    (fun (chain, cut) ->
+      QCheck.assume (Array.length chain > 0);
+      let cut = 1 + (cut mod Array.length chain) in
+      let prefix = Array.sub chain 0 cut in
+      Trace.context_matches ~rule_chain:chain ~site_chain:prefix)
+
+let prop_hash_consistent =
+  QCheck.Test.make ~name:"equal traces hash equally" ~count:200
+    QCheck.(pair arbitrary_chain (int_bound 20))
+    (fun (chain, callee) ->
+      QCheck.assume (Array.length chain > 0);
+      let t1 = { Trace.callee = mid callee; chain } in
+      let t2 = { Trace.callee = mid callee; chain = Array.copy chain } in
+      Trace.equal t1 t2 && Trace.hash t1 = Trace.hash t2)
+
+(* --- Dcg --- *)
+
+let test_dcg_accumulation () =
+  let dcg = Dcg.create () in
+  let t1 = trace 9 [ (1, 2) ] in
+  let t2 = trace 9 [ (1, 2); (3, 4) ] in
+  Dcg.add_sample dcg t1;
+  Dcg.add_sample dcg t1;
+  Dcg.add_sample dcg t2;
+  check_bool "weight t1" true (Dcg.weight dcg t1 = 2.0);
+  check_bool "weight t2" true (Dcg.weight dcg t2 = 1.0);
+  check_bool "different depths are separate entries" true
+    (Dcg.weight dcg t1 <> Dcg.weight dcg t2);
+  check_bool "total" true (Dcg.total_weight dcg = 3.0);
+  check_int "size" 2 (Dcg.size dcg)
+
+let test_dcg_decay_and_prune () =
+  let dcg = Dcg.create () in
+  let t1 = trace 9 [ (1, 2) ] in
+  let t2 = trace 8 [ (1, 3) ] in
+  for _ = 1 to 100 do
+    Dcg.add_sample dcg t1
+  done;
+  Dcg.add_sample dcg t2;
+  Dcg.decay dcg ~factor:0.5 ~prune_below:1.0;
+  check_bool "t1 halved" true (Dcg.weight dcg t1 = 50.0);
+  check_bool "t2 pruned" true (Dcg.weight dcg t2 = 0.0);
+  check_int "size after prune" 1 (Dcg.size dcg)
+
+let test_dcg_hot_threshold () =
+  let dcg = Dcg.create () in
+  let hot_t = trace 9 [ (1, 2) ] in
+  let cold_t = trace 8 [ (1, 3) ] in
+  for _ = 1 to 99 do
+    Dcg.add_sample dcg hot_t
+  done;
+  Dcg.add_sample dcg cold_t;
+  let hot = Dcg.hot dcg ~threshold:0.015 in
+  check_int "one hot trace" 1 (List.length hot);
+  (match hot with
+  | [ (t, w) ] ->
+      check_bool "the hot one" true (Trace.equal t hot_t);
+      check_bool "weight" true (w = 99.0)
+  | _ -> Alcotest.fail "unexpected");
+  check_int "lower threshold admits both" 2
+    (List.length (Dcg.hot dcg ~threshold:0.005))
+
+let test_dcg_site_distribution () =
+  let dcg = Dcg.create () in
+  (* Same call site reached with two callees, one through deep context. *)
+  for _ = 1 to 3 do
+    Dcg.add_sample dcg (trace 10 [ (1, 2) ])
+  done;
+  Dcg.add_sample dcg (trace 11 [ (1, 2); (5, 6) ]);
+  Dcg.add_sample dcg (trace 11 [ (1, 9) ]);
+  match Dcg.site_distribution dcg ~caller:(mid 1) ~callsite:2 with
+  | [ (first, w1); (second, w2) ] ->
+      check_bool "heaviest first" true (Ids.Method_id.equal first (mid 10));
+      check_bool "w1" true (w1 = 3.0);
+      check_bool "second" true (Ids.Method_id.equal second (mid 11));
+      check_bool "w2 aggregates depths" true (w2 = 1.0)
+  | other -> Alcotest.failf "unexpected distribution size %d" (List.length other)
+
+let test_dcg_edge_weight () =
+  let dcg = Dcg.create () in
+  Dcg.add_sample dcg (trace 10 [ (1, 2) ]);
+  Dcg.add_sample dcg (trace 10 [ (1, 2); (5, 6) ]);
+  Dcg.add_sample dcg (trace 10 [ (1, 3) ]);
+  check_bool "edge weight sums depths" true
+    (Dcg.edge_weight dcg ~caller:(mid 1) ~callsite:2 ~callee:(mid 10) = 2.0)
+
+(* qcheck: decay by factor f scales total weight by f (before pruning). *)
+let prop_decay_scales_total =
+  QCheck.Test.make ~name:"decay scales total weight" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 30) (pair (int_bound 5) (int_bound 5)))
+    (fun samples ->
+      let dcg = Dcg.create () in
+      List.iter
+        (fun (callee, site) -> Dcg.add_sample dcg (trace callee [ (0, site) ]))
+        samples;
+      let before = Dcg.total_weight dcg in
+      Dcg.decay dcg ~factor:0.5 ~prune_below:0.0;
+      Float.abs (Dcg.total_weight dcg -. (before *. 0.5)) < 1e-9)
+
+(* --- Rules --- *)
+
+let candidates_names rules site_chain =
+  Rules.candidates rules ~site_chain
+  |> List.map (fun ((m : Ids.Method_id.t), _) -> (m :> int))
+  |> List.sort compare
+
+let test_rules_exact_context () =
+  let rules =
+    Rules.of_hot_traces
+      [ (trace 10 [ (1, 2); (3, 4) ], 5.0); (trace 11 [ (1, 2); (3, 7) ], 4.0) ]
+  in
+  check_int "count" 2 (Rules.rule_count rules);
+  (* Full context picks out exactly the matching rule's callee. *)
+  Alcotest.(check (list int)) "ctx A" [ 10 ]
+    (candidates_names rules [| entry 1 2; entry 3 4 |]);
+  Alcotest.(check (list int)) "ctx B" [ 11 ]
+    (candidates_names rules [| entry 1 2; entry 3 7 |])
+
+let test_rules_conflicting_contexts_intersect_empty () =
+  let rules =
+    Rules.of_hot_traces
+      [ (trace 10 [ (1, 2); (3, 4) ], 5.0); (trace 11 [ (1, 2); (3, 7) ], 4.0) ]
+  in
+  (* Compiling with only the innermost entry: both rules applicable, the
+     contexts disagree, the intersection is empty (paper §3.3). *)
+  Alcotest.(check (list int)) "conflict kills candidates" []
+    (candidates_names rules [| entry 1 2 |])
+
+let test_rules_agreeing_contexts_survive () =
+  let rules =
+    Rules.of_hot_traces
+      [ (trace 10 [ (1, 2); (3, 4) ], 5.0); (trace 10 [ (1, 2); (3, 7) ], 4.0) ]
+  in
+  (* Same callee hot under every applicable context: survives with the
+     summed weight. *)
+  match Rules.candidates rules ~site_chain:[| entry 1 2 |] with
+  | [ (m, w) ] ->
+      check_int "callee" 10 (m :> int);
+      check_bool "weights summed" true (w = 9.0)
+  | other -> Alcotest.failf "unexpected candidate count %d" (List.length other)
+
+let test_rules_polymorphic_same_context () =
+  let rules =
+    Rules.of_hot_traces
+      [ (trace 10 [ (1, 2) ], 6.0); (trace 11 [ (1, 2) ], 3.0) ]
+  in
+  (* One context group containing two callees: both are candidates,
+     heaviest first (the context-insensitive guarded-inlining case). *)
+  match Rules.candidates rules ~site_chain:[| entry 1 2 |] with
+  | [ (m1, w1); (m2, _) ] ->
+      check_int "heaviest first" 10 (m1 :> int);
+      check_bool "weight" true (w1 = 6.0);
+      check_int "second" 11 (m2 :> int)
+  | other -> Alcotest.failf "unexpected candidate count %d" (List.length other)
+
+let test_rules_deeper_site_than_rule () =
+  let rules = Rules.of_hot_traces [ (trace 10 [ (1, 2) ], 5.0) ] in
+  (* The compile context has more (irrelevant) context than the rule:
+     partial matching still applies it. *)
+  Alcotest.(check (list int)) "applies" [ 10 ]
+    (candidates_names rules [| entry 1 2; entry 8 8; entry 9 9 |])
+
+let test_rules_exact_match_ablation () =
+  let rules =
+    Rules.of_hot_traces [ (trace 10 [ (1, 2); (3, 4) ], 5.0) ]
+  in
+  check_int "partial matching applies the deep rule" 1
+    (List.length (Rules.candidates rules ~site_chain:[| entry 1 2 |]));
+  check_int "exact-match ablation does not" 0
+    (List.length
+       (Rules.candidates ~exact:true rules ~site_chain:[| entry 1 2 |]));
+  check_int "exact-match with full context does" 1
+    (List.length
+       (Rules.candidates ~exact:true rules
+          ~site_chain:[| entry 1 2; entry 3 4 |]))
+
+let test_rules_wrong_site () =
+  let rules = Rules.of_hot_traces [ (trace 10 [ (1, 2) ], 5.0) ] in
+  Alcotest.(check (list int)) "different callsite" []
+    (candidates_names rules [| entry 1 3 |]);
+  Alcotest.(check (list int)) "different caller" []
+    (candidates_names rules [| entry 2 2 |])
+
+let qcheck_suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_matching_reflexive;
+      prop_matching_prefix;
+      prop_hash_consistent;
+      prop_decay_scales_total;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "trace: empty chain rejected" `Quick
+      test_trace_make_empty_chain;
+    Alcotest.test_case "trace: depth and edge" `Quick test_trace_depth_and_edge;
+    Alcotest.test_case "trace: equality and hash" `Quick test_trace_equality;
+    Alcotest.test_case "trace: Eq.3 matching" `Quick test_context_matches;
+    Alcotest.test_case "dcg: accumulation" `Quick test_dcg_accumulation;
+    Alcotest.test_case "dcg: decay and prune" `Quick test_dcg_decay_and_prune;
+    Alcotest.test_case "dcg: hot threshold" `Quick test_dcg_hot_threshold;
+    Alcotest.test_case "dcg: site distribution" `Quick test_dcg_site_distribution;
+    Alcotest.test_case "dcg: edge weight" `Quick test_dcg_edge_weight;
+    Alcotest.test_case "rules: exact contexts" `Quick test_rules_exact_context;
+    Alcotest.test_case "rules: conflicting contexts" `Quick
+      test_rules_conflicting_contexts_intersect_empty;
+    Alcotest.test_case "rules: agreeing contexts" `Quick
+      test_rules_agreeing_contexts_survive;
+    Alcotest.test_case "rules: polymorphic one context" `Quick
+      test_rules_polymorphic_same_context;
+    Alcotest.test_case "rules: site deeper than rule" `Quick
+      test_rules_deeper_site_than_rule;
+    Alcotest.test_case "rules: exact-match ablation" `Quick
+      test_rules_exact_match_ablation;
+    Alcotest.test_case "rules: wrong site" `Quick test_rules_wrong_site;
+  ]
+  @ qcheck_suite

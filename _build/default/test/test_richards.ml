@@ -1,0 +1,53 @@
+(* Richards: the whole-VM cross-validation oracle. The workload reports
+   how many scheduling rounds ended with exactly the canonical
+   implementation's counters (queueCount = 2322, holdCount = 928 at idle
+   count 1000); any interpreter, front-end, inliner or peephole defect
+   that perturbs semantics shows up as a mismatch. *)
+
+open Acsi_core
+open Acsi_policy
+
+let check_bool = Alcotest.(check bool)
+
+let rounds_ok vm =
+  match Acsi_vm.Interp.output vm with
+  | [ ok ] -> ok
+  | other -> Alcotest.failf "unexpected output arity %d" (List.length other)
+
+let test_baseline_matches_canonical () =
+  let program = (Acsi_workloads.Workloads.find "richards").build ~scale:2 in
+  let vm = Runtime.run_no_aos (Config.default ~policy:Policy.Context_insensitive) program in
+  Alcotest.(check int) "both rounds canonical" 2 (rounds_ok vm)
+
+let test_adaptive_system_matches_canonical () =
+  let program = (Acsi_workloads.Workloads.find "richards").build ~scale:6 in
+  List.iter
+    (fun policy ->
+      let result = Runtime.run (Config.default ~policy) program in
+      Alcotest.(check int)
+        ("canonical under " ^ Policy.to_string policy)
+        6
+        (rounds_ok result.Runtime.vm);
+      check_bool "something was optimized" true
+        (result.Runtime.metrics.Metrics.opt_methods > 0))
+    [ Policy.Context_insensitive; Policy.Fixed 3; Policy.Hybrid_param_large 4 ]
+
+let test_task_dispatch_is_polymorphic () =
+  (* The task hierarchy's [run] is the hot megamorphic site: under a CS
+     policy some of its targets get guard-inlined. *)
+  let program = (Acsi_workloads.Workloads.find "richards").build ~scale:10 in
+  let result = Runtime.run (Config.default ~policy:(Policy.Fixed 2)) program in
+  check_bool "guards planted on task dispatch" true
+    (result.Runtime.metrics.Metrics.guard_sites > 0);
+  check_bool "guards executed" true
+    (result.Runtime.metrics.Metrics.guard_hits > 0)
+
+let suite =
+  [
+    Alcotest.test_case "baseline matches canonical counters" `Quick
+      test_baseline_matches_canonical;
+    Alcotest.test_case "adaptive system matches canonical counters" `Quick
+      test_adaptive_system_matches_canonical;
+    Alcotest.test_case "task dispatch exercises guards" `Quick
+      test_task_dispatch_is_polymorphic;
+  ]

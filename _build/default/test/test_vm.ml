@@ -1,0 +1,287 @@
+(* Unit tests for the VM: values, cost accounting, runtime errors, guard
+   semantics, hooks, code installation, and source-level stack walking. *)
+
+open Acsi_bytecode
+open Acsi_vm
+open Acsi_lang
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let compile ?(classes = []) ?(globals = []) main =
+  Compile.prog (Dsl.prog ~globals classes main)
+
+let expect_runtime_error program fragment =
+  let vm = Interp.create program in
+  match Interp.run vm with
+  | () -> Alcotest.failf "expected a runtime error mentioning %S" fragment
+  | exception Interp.Runtime_error msg ->
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i =
+          i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1))
+        in
+        go 0
+      in
+      check_bool (Printf.sprintf "%S mentions %S" msg fragment) true
+        (contains msg fragment)
+
+(* --- values --- *)
+
+let test_value_equal_cmp () =
+  let o1 = Value.Obj { Value.cls = Ids.Class_id.of_int 0; fields = [||] } in
+  let o2 = Value.Obj { Value.cls = Ids.Class_id.of_int 0; fields = [||] } in
+  check_bool "ints" true (Value.equal_cmp (Value.Int 3) (Value.Int 3));
+  check_bool "nulls" true (Value.equal_cmp Value.Null Value.Null);
+  check_bool "same obj" true (Value.equal_cmp o1 o1);
+  check_bool "distinct objs" false (Value.equal_cmp o1 o2);
+  check_bool "mixed" false (Value.equal_cmp (Value.Int 0) Value.Null)
+
+let test_value_truthy () =
+  check_bool "zero" false (Value.truthy (Value.Int 0));
+  check_bool "null" false (Value.truthy Value.Null);
+  check_bool "nonzero" true (Value.truthy (Value.Int (-2)));
+  check_bool "array" true (Value.truthy (Value.Arr [||]))
+
+(* --- runtime errors --- *)
+
+let test_division_by_zero () =
+  Dsl.(
+    expect_runtime_error
+      (compile [ print (div (i 1) (i 0)) ])
+      "division by zero")
+
+let test_null_dereference () =
+  let classes = Dsl.[ cls "A" ~fields:[ "x" ] [] ] in
+  Dsl.(
+    expect_runtime_error
+      (compile ~classes [ let_ "a" Ast.Null; print (fld "A" (v "a") "x") ])
+      "null dereference")
+
+let test_array_bounds () =
+  Dsl.(
+    expect_runtime_error
+      (compile [ let_ "a" (arr_new (i 2)); print (arr_get (v "a") (i 5)) ])
+      "out of bounds")
+
+let test_negative_array_size () =
+  Dsl.(
+    expect_runtime_error
+      (compile [ let_ "a" (arr_new (i (-3))); print (arr_len (v "a")) ])
+      "negative array size")
+
+let test_int_receiver () =
+  let classes =
+    Dsl.[ cls "A" ~fields:[] [ meth "f" [] ~returns:true [ ret (i 1) ] ] ]
+  in
+  Dsl.(
+    expect_runtime_error
+      (compile ~classes [ let_ "x" (i 5); print (inv (v "x") "f" []) ])
+      "expected an object")
+
+(* --- determinism and accounting --- *)
+
+let simple_program () =
+  Dsl.(
+    compile
+      ~classes:
+        [
+          cls "A" ~fields:[]
+            [ static_meth "twice" [ "x" ] ~returns:true [ ret (mul (v "x") (i 2)) ] ];
+        ]
+      [
+        let_ "s" (i 0);
+        for_ "k" (i 0) (i 100) [ let_ "s" (add (v "s") (call "A" "twice" [ v "k" ])) ];
+        print (v "s");
+      ])
+
+let test_cycle_determinism () =
+  let run () =
+    let vm = Interp.create (simple_program ()) in
+    Interp.run vm;
+    (Interp.cycles vm, Interp.instructions_executed vm, Interp.calls_executed vm)
+  in
+  check_bool "two runs agree" true (run () = run ())
+
+let test_costs_move_the_clock () =
+  let vm = Interp.create (simple_program ()) in
+  Interp.run vm;
+  check_bool "cycles exceed instructions x baseline cost" true
+    (Interp.cycles vm
+    >= Interp.instructions_executed vm * Cost.default.Cost.baseline_instr)
+
+let test_charge_advances_clock () =
+  let vm = Interp.create (simple_program ()) in
+  Interp.charge vm 12345;
+  check_int "charged" 12345 (Interp.cycles vm)
+
+let test_cycle_limit () =
+  let program =
+    Dsl.(
+      compile
+        [
+          let_ "k" (i 0);
+          while_ (ge (v "k") (i 0)) [ let_ "k" (add (v "k") (i 1)) ];
+        ])
+  in
+  let vm = Interp.create program in
+  match Interp.run ~cycle_limit:500_000 vm with
+  | () -> Alcotest.fail "expected cycle limit"
+  | exception Interp.Cycle_limit_exceeded -> ()
+
+(* --- hooks --- *)
+
+let test_first_execution_hook () =
+  let program = simple_program () in
+  let vm = Interp.create program in
+  let firsts = ref 0 in
+  Interp.set_on_first_execution vm (fun _ -> incr firsts);
+  Interp.run vm;
+  (* main + A.twice *)
+  check_int "two methods ran" 2 !firsts;
+  check_bool "was_executed" true
+    (Interp.was_executed vm
+       (Program.find_method program ~cls:"A" ~name:"twice").Meth.id)
+
+let test_invoke_stride_hook () =
+  let program = simple_program () in
+  let vm = Interp.create ~invoke_stride:10 program in
+  let hits = ref 0 in
+  Interp.set_on_invoke vm (fun _ _ -> incr hits);
+  Interp.run vm;
+  (* 101 invocations (100 calls + main), stride 10 *)
+  check_int "stride samples" 10 !hits
+
+let test_timer_hook () =
+  let program = simple_program () in
+  let vm = Interp.create ~sample_period:1_000 program in
+  let samples = ref 0 in
+  Interp.set_on_timer_sample vm (fun _ -> incr samples);
+  Interp.run vm;
+  check_bool "samples proportional to cycles" true
+    (abs ((Interp.cycles vm / 1_000) - !samples) <= 1)
+
+(* --- guards (hand-assembled code) --- *)
+
+(* Two classes implementing [pick]: A.pick = 10, B.pick = 20. A hand-built
+   optimized body for a static method guards on A's implementation with a
+   fallback virtual call, so we can exercise both guard outcomes. *)
+let guard_program () =
+  let open Dsl in
+  let classes =
+    [
+      cls "A" ~fields:[] [ meth "pick" [] ~returns:true [ ret (i 10) ] ];
+      cls "B" ~parent:"A" ~fields:[] [ meth "pick" [] ~returns:true [ ret (i 20) ] ];
+      cls "D" ~fields:[]
+        [
+          static_meth "dispatch" [ "o" ] ~returns:true
+            [ ret (inv (v "o") "pick" []) ];
+        ];
+    ]
+  in
+  compile ~classes
+    [
+      print (call "D" "dispatch" [ new_ "A" [] ]);
+      print (call "D" "dispatch" [ new_ "B" [] ]);
+    ]
+
+let test_guard_hit_and_miss () =
+  let program = guard_program () in
+  let dispatch = Program.find_method program ~cls:"D" ~name:"dispatch" in
+  let pick_a = Program.find_method program ~cls:"A" ~name:"pick" in
+  let sel = pick_a.Meth.selector in
+  (* Optimized dispatch body: guard for A.pick, inline [Const 10], fall
+     back to the virtual call. Receiver arrives in local 0. *)
+  let instrs =
+    [|
+      Instr.Load 0;
+      Instr.Guard_method { Instr.expected = pick_a.Meth.id; sel; argc = 0; fail = 5 };
+      Instr.Pop;  (* discard the receiver the guard peeked at *)
+      Instr.Const 10;
+      Instr.Return;
+      Instr.Call_virtual (sel, 0);
+      Instr.Return;
+    |]
+  in
+  let code =
+    {
+      Code.meth = dispatch.Meth.id;
+      tier = Code.Optimized;
+      instrs;
+      max_locals = 1;
+      max_stack = 2;
+      src = None;
+      code_bytes = 0;
+    }
+  in
+  let vm = Interp.create program in
+  Interp.install_code vm dispatch.Meth.id code;
+  Interp.run vm;
+  Alcotest.(check (list int)) "behaviour preserved" [ 10; 20 ] (Interp.output vm);
+  check_int "one hit" 1 (Interp.guard_hits vm);
+  check_int "one miss" 1 (Interp.guard_misses vm)
+
+let test_install_code_affects_next_invocation () =
+  let program = guard_program () in
+  let vm = Interp.create program in
+  let tier_seen = ref [] in
+  let dispatch = Program.find_method program ~cls:"D" ~name:"dispatch" in
+  Interp.set_on_invoke vm (fun vm mid ->
+      if Ids.Method_id.equal mid dispatch.Meth.id then
+        tier_seen := (Interp.code_of vm mid).Code.tier :: !tier_seen);
+  Interp.run vm;
+  check_bool "baseline code by default" true
+    ((Interp.code_of vm dispatch.Meth.id).Code.tier = Code.Baseline)
+
+(* --- source stack walking --- *)
+
+let test_walk_source_stack_baseline () =
+  let open Dsl in
+  let classes =
+    [
+      cls "W" ~fields:[]
+        [
+          static_meth "inner" [] ~returns:true [ ret (i 1) ];
+          static_meth "outer" [] ~returns:true [ ret (call "W" "inner" []) ];
+        ];
+    ]
+  in
+  let program = compile ~classes [ print (call "W" "outer" []) ] in
+  let inner = Program.find_method program ~cls:"W" ~name:"inner" in
+  let vm = Interp.create ~invoke_stride:1 program in
+  let seen = ref [] in
+  Interp.set_on_invoke vm (fun vm mid ->
+      if Ids.Method_id.equal mid inner.Meth.id then begin
+        let frames = ref [] in
+        Interp.walk_source_stack vm ~f:(fun m _pc ->
+            frames := (Program.meth program m).Meth.name :: !frames;
+            true);
+        seen := List.rev !frames
+      end);
+  Interp.run vm;
+  Alcotest.(check (list string))
+    "stack is inner, outer, main"
+    [ "inner/0"; "outer/0"; "main/0" ]
+    !seen
+
+let suite =
+  [
+    Alcotest.test_case "value equal_cmp" `Quick test_value_equal_cmp;
+    Alcotest.test_case "value truthy" `Quick test_value_truthy;
+    Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+    Alcotest.test_case "null dereference" `Quick test_null_dereference;
+    Alcotest.test_case "array bounds" `Quick test_array_bounds;
+    Alcotest.test_case "negative array size" `Quick test_negative_array_size;
+    Alcotest.test_case "dispatch on integer" `Quick test_int_receiver;
+    Alcotest.test_case "deterministic cycles" `Quick test_cycle_determinism;
+    Alcotest.test_case "costs move the clock" `Quick test_costs_move_the_clock;
+    Alcotest.test_case "charge advances clock" `Quick test_charge_advances_clock;
+    Alcotest.test_case "cycle limit" `Quick test_cycle_limit;
+    Alcotest.test_case "first-execution hook" `Quick test_first_execution_hook;
+    Alcotest.test_case "invoke stride hook" `Quick test_invoke_stride_hook;
+    Alcotest.test_case "timer hook" `Quick test_timer_hook;
+    Alcotest.test_case "guard hit and miss" `Quick test_guard_hit_and_miss;
+    Alcotest.test_case "installed code tier" `Quick
+      test_install_code_affects_next_invocation;
+    Alcotest.test_case "source stack walk" `Quick test_walk_source_stack_baseline;
+  ]
