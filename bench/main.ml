@@ -6,9 +6,13 @@
      dune exec bench/main.exe -- --fig4       one artifact only
      dune exec bench/main.exe -- --ablations  design-choice ablations
      dune exec bench/main.exe -- --micro      bechamel microbenchmarks
+     dune exec bench/main.exe -- --jobs 8     domain-parallel driver
+     dune exec bench/main.exe -- --json       write BENCH_results.json
 
    Everything is deterministic: identical invocations print identical
-   numbers. *)
+   numbers, whatever --jobs is — cells fan out across domains but are
+   collected and printed in serial order. Only wall-clock (recorded in
+   BENCH_results.json) depends on the parallelism. *)
 
 open Acsi_core
 module Policy = Acsi_policy.Policy
@@ -24,6 +28,8 @@ type mode = {
   mutable ablations : bool;
   mutable micro : bool;
   mutable scale_factor : float;
+  mutable jobs : int;
+  mutable json : bool;
 }
 
 let parse_args () =
@@ -38,6 +44,8 @@ let parse_args () =
       ablations = false;
       micro = false;
       scale_factor = 1.0;
+      jobs = Parallel.available_cores ();
+      json = false;
     }
   in
   let any = ref false in
@@ -81,6 +89,16 @@ let parse_args () =
     | "--scale-factor" :: f :: rest ->
         m.scale_factor <- float_of_string f;
         go rest
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some v -> m.jobs <- max 1 v
+        | None ->
+            Format.eprintf "invalid --jobs value %s@." n;
+            exit 2);
+        go rest
+    | "--json" :: rest ->
+        m.json <- true;
+        go rest
     | arg :: _ ->
         Format.eprintf "unknown argument %s@." arg;
         exit 2
@@ -95,7 +113,8 @@ let parse_args () =
     m.fig6 <- true;
     m.term_stats <- true;
     m.summary <- true;
-    m.ablations <- true
+    m.ablations <- true;
+    m.json <- true
   end;
   m
 
@@ -103,6 +122,50 @@ let hr title =
   Format.printf "@.%s@.%s@.@." title (String.make (String.length title) '=')
 
 (* --- the main sweep, shared by table1/fig4/fig5/fig6/summary --- *)
+
+(* Runs are deterministic, so a default-config (benchmark, policy) cell
+   the sweep already executed would reproduce byte-identical results if
+   re-run. The ablation and representation sections re-visit a handful of
+   such cells; this cache lets them reuse the sweep's results instead.
+   Only the cells those sections actually re-visit are retained. *)
+let run_cache : (string * string, Runtime.result) Hashtbl.t = Hashtbl.create 16
+let run_cache_mutex = Mutex.create ()
+
+let cache_worthy bench policy =
+  match policy with
+  | Policy.Fixed 5 -> true (* the termination-stats section, every bench *)
+  | Policy.Context_insensitive | Policy.Fixed (3 | 4) -> (
+      (* the ablation / representation sections *)
+      match bench with "db" | "javac" | "jbb" -> true | _ -> false)
+  | _ -> false
+
+let remember ~bench ~policy result =
+  if cache_worthy bench policy then begin
+    Mutex.lock run_cache_mutex;
+    Hashtbl.replace run_cache (bench, Policy.to_string policy) result;
+    Mutex.unlock run_cache_mutex
+  end
+
+(* Default-config run of [program] under [policy], served from the cache
+   when the sweep already ran this cell. The sweep collects termination
+   stats (see [sweep] below); that only fills counters on the trace
+   listener, so a cached result is interchangeable with a fresh
+   default-config run for everything the consuming sections read
+   (metrics, profiles). [cfg] overrides the fallback configuration for
+   callers that need those counters populated on a cache miss. *)
+let cached_run ?cfg bench policy program =
+  Mutex.lock run_cache_mutex;
+  let hit = Hashtbl.find_opt run_cache (bench, Policy.to_string policy) in
+  Mutex.unlock run_cache_mutex;
+  match hit with
+  | Some r -> r
+  | None ->
+      let cfg =
+        match cfg with Some c -> c | None -> Config.default ~policy
+      in
+      let r = Runtime.run cfg program in
+      remember ~bench ~policy r;
+      r
 
 let the_sweep = ref None
 
@@ -116,10 +179,25 @@ let sweep mode =
           (Workloads.build_all ~scale_factor:mode.scale_factor ())
       in
       let cfg = Config.default ~policy:Policy.Context_insensitive in
+      (* Termination-stat collection only increments counters on the
+         trace listener — no virtual-time or decision effect — so every
+         figure is unchanged, and the fixed(max=5) cells double as the
+         termination-stats section's runs. *)
+      let cfg =
+        {
+          cfg with
+          Config.aos =
+            {
+              cfg.Config.aos with
+              Acsi_aos.System.collect_termination_stats = true;
+            };
+        }
+      in
       let s =
         Experiment.run_sweep
           ~progress:(fun msg -> Format.eprintf "  [sweep] %s@." msg)
-          cfg ~benches ~policies:Policy.paper_sweep
+          ~jobs:mode.jobs ~cell_hook:remember cfg ~benches
+          ~policies:Policy.paper_sweep
       in
       the_sweep := Some s;
       s
@@ -135,30 +213,35 @@ let term_stats mode =
      method within 2 edges; ~50%% need 4+ edges to reach a large method.@.@.";
   Format.printf "%-10s %10s %14s %12s %12s %12s@." "bench" "samples"
     "callee-p-less" "p-less<=5" "class<=2" "large>=4";
-  List.iter
-    (fun (name, program) ->
-      let cfg = Config.default ~policy:(Policy.Fixed 5) in
-      let cfg =
-        {
-          cfg with
-          Config.aos =
-            {
-              cfg.Config.aos with
-              Acsi_aos.System.collect_termination_stats = true;
-            };
-        }
-      in
-      let result = Runtime.run cfg program in
-      let st = Acsi_aos.System.trace_stats result.Runtime.sys in
-      let n = max 1 st.Acsi_aos.Trace_listener.samples in
-      let pct x = 100.0 *. float_of_int x /. float_of_int n in
-      Format.printf "%-10s %10d %13.1f%% %11.1f%% %11.1f%% %11.1f%%@." name
-        st.Acsi_aos.Trace_listener.samples
-        (pct st.Acsi_aos.Trace_listener.callee_parameterless)
-        (pct st.Acsi_aos.Trace_listener.param_stop_within_5)
-        (pct st.Acsi_aos.Trace_listener.class_stop_within_2)
-        (pct st.Acsi_aos.Trace_listener.large_needs_4))
-    (Workloads.build_all ~scale_factor:mode.scale_factor ())
+  (* One cell per benchmark; each returns its formatted row, printed in
+     benchmark order below regardless of which domain ran it. *)
+  let rows =
+    Parallel.map ~jobs:mode.jobs
+      (fun (name, program) ->
+        let cfg = Config.default ~policy:(Policy.Fixed 5) in
+        let cfg =
+          {
+            cfg with
+            Config.aos =
+              {
+                cfg.Config.aos with
+                Acsi_aos.System.collect_termination_stats = true;
+              };
+          }
+        in
+        let result = cached_run ~cfg name (Policy.Fixed 5) program in
+        let st = Acsi_aos.System.trace_stats result.Runtime.sys in
+        let n = max 1 st.Acsi_aos.Trace_listener.samples in
+        let pct x = 100.0 *. float_of_int x /. float_of_int n in
+        Format.asprintf "%-10s %10d %13.1f%% %11.1f%% %11.1f%% %11.1f%%@." name
+          st.Acsi_aos.Trace_listener.samples
+          (pct st.Acsi_aos.Trace_listener.callee_parameterless)
+          (pct st.Acsi_aos.Trace_listener.param_stop_within_5)
+          (pct st.Acsi_aos.Trace_listener.class_stop_within_2)
+          (pct st.Acsi_aos.Trace_listener.large_needs_4))
+      (Workloads.build_all ~scale_factor:mode.scale_factor ())
+  in
+  List.iter print_string rows
 
 (* --- ablations of the design choices DESIGN.md calls out --- *)
 
@@ -183,18 +266,29 @@ let ablations mode =
     in
     (Runtime.run { cfg with Config.aos } program).Runtime.metrics
   in
-  let show name base m =
-    Format.printf
+  let show fmt name base m =
+    Format.fprintf fmt
       "  %-32s speedup %+7.2f%%  code %+8.2f%%  compile %+8.2f%%@." name
       (Metrics.speedup_pct ~baseline:base m)
       (Metrics.code_size_change_pct ~baseline:base m)
       (Metrics.compile_time_change_pct ~baseline:base m)
   in
-  List.iter
-    (fun (name, program) ->
-      Format.printf "@.%s (deltas vs context-insensitive baseline):@." name;
-      let base = run program Policy.Context_insensitive in
-      show "fixed(3), full system" base (run program (Policy.Fixed 3));
+  (* Each benchmark's block is many serial runs (every row shares the
+     block's baseline), so the blocks themselves are the parallel unit:
+     one domain per benchmark, output buffered and printed in order. *)
+  let blocks =
+    Parallel.map ~jobs:mode.jobs
+      (fun (name, program) ->
+        let buf = Buffer.create 1024 in
+        let fmt = Format.formatter_of_buffer buf in
+        let show = show fmt in
+        Format.fprintf fmt "@.%s (deltas vs context-insensitive baseline):@."
+          name;
+      let base =
+        (cached_run name Policy.Context_insensitive program).Runtime.metrics
+      in
+      show "fixed(3), full system" base
+        (cached_run name (Policy.Fixed 3) program).Runtime.metrics;
       show "fixed(3), exact-match oracle" base
         (run
            ~tweak_oracle:(fun c ->
@@ -232,63 +326,120 @@ let ablations mode =
       (* Offline profile-directed inlining: seed the run with the profile a
          previous identical run collected (see Acsi_profile.Persist). *)
       let cfg = Config.default ~policy:(Policy.Fixed 3) in
-      let collect = Runtime.run cfg program in
+      let collect = cached_run name (Policy.Fixed 3) program in
       let profile =
         Acsi_profile.Persist.of_string
           (Acsi_profile.Persist.to_string
              (Acsi_aos.System.dcg collect.Runtime.sys))
       in
       show "fixed(3), offline-seeded profile" base
-        (Runtime.run ~profile cfg program).Runtime.metrics)
-    programs;
+        (Runtime.run ~profile cfg program).Runtime.metrics;
+        Format.pp_print_flush fmt ();
+        Buffer.contents buf)
+      programs
+  in
+  List.iter print_string blocks;
   (* Representation comparison (paper section 6's future work): the flat
      trace table vs the calling-context tree on each benchmark's final
      profile. *)
   Format.printf
     "@.Profile representation sizes under fixed(max=4), flat trace-table entries vs CCT nodes:@.";
-  List.iter
-    (fun (name, program) ->
-      let result = Runtime.run (Config.default ~policy:(Policy.Fixed 4)) program in
-      let dcg = Acsi_aos.System.dcg result.Runtime.sys in
-      let cct = Acsi_profile.Cct.of_dcg dcg in
-      Format.printf "  %-10s flat=%4d entries   cct=%4d nodes (depth %d)@."
-        name
-        (Acsi_profile.Dcg.size dcg)
-        (Acsi_profile.Cct.node_count cct)
-        (Acsi_profile.Cct.max_depth cct))
-    programs
+  let rows =
+    Parallel.map ~jobs:mode.jobs
+      (fun (name, program) ->
+        let result = cached_run name (Policy.Fixed 4) program in
+        let dcg = Acsi_aos.System.dcg result.Runtime.sys in
+        let cct = Acsi_profile.Cct.of_dcg dcg in
+        Format.asprintf "  %-10s flat=%4d entries   cct=%4d nodes (depth %d)@."
+          name
+          (Acsi_profile.Dcg.size dcg)
+          (Acsi_profile.Cct.node_count cct)
+          (Acsi_profile.Cct.max_depth cct))
+      programs
+  in
+  List.iter print_string rows
 
 (* --- extension: the §7 "more object-oriented programs" suite --- *)
 
 let extended mode =
   hr "Extension: larger object-oriented programs (paper section 7)";
-  List.iter
-    (fun (spec : Workloads.spec) ->
-      let scale =
-        max 1
-          (int_of_float
-             (mode.scale_factor *. float_of_int spec.Workloads.default_scale))
-      in
-      let program = spec.Workloads.build ~scale in
-      let base =
-        (Runtime.run (Config.default ~policy:Policy.Context_insensitive)
-           program)
-          .Runtime.metrics
-      in
-      Format.printf "%s (%s):@." spec.Workloads.name spec.Workloads.description;
-      List.iter
-        (fun policy ->
-          let m = (Runtime.run (Config.default ~policy) program).Runtime.metrics in
-          Format.printf
-            "  %-18s speedup %+7.2f%%  code %+8.2f%%  compile %+8.2f%%               guards %d/%d@."
-            (Policy.to_string policy)
-            (Metrics.speedup_pct ~baseline:base m)
-            (Metrics.code_size_change_pct ~baseline:base m)
-            (Metrics.compile_time_change_pct ~baseline:base m)
-            m.Metrics.guard_hits m.Metrics.guard_misses)
-        Policy.
-          [ Fixed 2; Fixed 4; Parameterless 4; Hybrid_param_large 4 ])
-    Workloads.extended
+  (* Same shape as the ablations: one domain per program, buffered. *)
+  let blocks =
+    Parallel.map ~jobs:mode.jobs
+      (fun (spec : Workloads.spec) ->
+        let buf = Buffer.create 1024 in
+        let fmt = Format.formatter_of_buffer buf in
+        let scale =
+          max 1
+            (int_of_float
+               (mode.scale_factor *. float_of_int spec.Workloads.default_scale))
+        in
+        let program = spec.Workloads.build ~scale in
+        let base =
+          (Runtime.run (Config.default ~policy:Policy.Context_insensitive)
+             program)
+            .Runtime.metrics
+        in
+        Format.fprintf fmt "%s (%s):@." spec.Workloads.name
+          spec.Workloads.description;
+        List.iter
+          (fun policy ->
+            let m =
+              (Runtime.run (Config.default ~policy) program).Runtime.metrics
+            in
+            Format.fprintf fmt
+              "  %-18s speedup %+7.2f%%  code %+8.2f%%  compile %+8.2f%%               guards %d/%d@."
+              (Policy.to_string policy)
+              (Metrics.speedup_pct ~baseline:base m)
+              (Metrics.code_size_change_pct ~baseline:base m)
+              (Metrics.compile_time_change_pct ~baseline:base m)
+              m.Metrics.guard_hits m.Metrics.guard_misses)
+          Policy.[ Fixed 2; Fixed 4; Parameterless 4; Hybrid_param_large 4 ];
+        Format.pp_print_flush fmt ();
+        Buffer.contents buf)
+      Workloads.extended
+  in
+  List.iter print_string blocks
+
+(* --- machine-readable results: per-cell wall-clock + virtual cycles --- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' | '\\' -> Buffer.add_char buf '\\'; Buffer.add_char buf c
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Wall-clock is the only non-deterministic number the harness produces,
+   so it goes to a side file instead of stdout (which stays byte-stable
+   run to run). The virtual cycles per cell are repeated here so a
+   results file is self-contained for plotting/regression scripts. *)
+let write_json mode (s : Experiment.sweep) =
+  let path = "BENCH_results.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"jobs\": %d,\n  \"scale_factor\": %g,\n  \"wall_total_s\": %.6f,\n  \"cells\": [\n"
+    mode.jobs mode.scale_factor s.Experiment.wall_total_s;
+  let last = List.length s.Experiment.timings - 1 in
+  List.iteri
+    (fun i (t : Experiment.timing) ->
+      Printf.fprintf oc
+        "    {\"bench\": \"%s\", \"policy\": \"%s\", \"wall_s\": %.6f, \"total_cycles\": %d}%s\n"
+        (json_escape t.Experiment.t_bench)
+        (json_escape t.Experiment.t_policy)
+        t.Experiment.t_wall_s t.Experiment.t_cycles
+        (if i = last then "" else ","))
+    s.Experiment.timings;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Format.eprintf "  [json] wrote %s (%d cells, sweep wall %.2fs, jobs %d)@."
+    path (List.length s.Experiment.timings) s.Experiment.wall_total_s mode.jobs
 
 (* --- bechamel microbenchmarks: one Test.make per table/figure kernel --- *)
 
@@ -406,4 +557,7 @@ let () =
     extended mode
   end;
   if mode.micro then micro ();
+  (match !the_sweep with
+  | Some s when mode.json -> write_json mode s
+  | Some _ | None -> ());
   Format.printf "@.done.@."

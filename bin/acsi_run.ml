@@ -41,7 +41,7 @@ let disassemble program vm pattern =
     (Acsi_bytecode.Program.methods program)
 
 let run_one ~bench ~file ~policy_str ~scale ~compare_baseline
-    ~show_compilations ~disasm =
+    ~show_compilations ~disasm ~jobs =
   match Acsi_policy.Policy.of_string policy_str with
   | None ->
       Format.eprintf
@@ -65,7 +65,20 @@ let run_one ~bench ~file ~policy_str ~scale ~compare_baseline
             | Some path -> Acsi_lang.Parser.compile (read_file path)
             | None -> spec.Acsi_workloads.Workloads.build ~scale
           in
-          let result = Runtime.run (Config.default ~policy) program in
+          (* With --jobs > 1 the baseline of --compare runs on a second
+             domain concurrently with the measured run; both runs are
+             deterministic, so the printed numbers do not depend on it. *)
+          let result, baseline_result =
+            if compare_baseline && jobs > 1 then
+              match
+                Parallel.map ~jobs
+                  (fun policy -> Runtime.run (Config.default ~policy) program)
+                  [ policy; Acsi_policy.Policy.Context_insensitive ]
+              with
+              | [ r; b ] -> (r, Some b)
+              | _ -> assert false
+            else (Runtime.run (Config.default ~policy) program, None)
+          in
           (match file with
           | Some path -> Format.printf "%s:@.%a@." path Metrics.pp result.Runtime.metrics
           | None ->
@@ -92,9 +105,13 @@ let run_one ~bench ~file ~policy_str ~scale ~compare_baseline
           | None -> ());
           (if compare_baseline then
              let base =
-               Runtime.run
-                 (Config.default ~policy:Acsi_policy.Policy.Context_insensitive)
-                 program
+               match baseline_result with
+               | Some base -> base
+               | None ->
+                   Runtime.run
+                     (Config.default
+                        ~policy:Acsi_policy.Policy.Context_insensitive)
+                     program
              in
              let bm = base.Runtime.metrics in
              let m = result.Runtime.metrics in
@@ -155,6 +172,14 @@ let verbose_arg =
     & info [ "v"; "verbose" ]
         ~doc:"Log adaptive-system events (compilations, rule rebuilds).")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Domains to use; with --compare, 2+ runs the baseline \
+           concurrently with the measured run.")
+
 let file_arg =
   Arg.(
     value
@@ -169,12 +194,12 @@ let setup_logs verbose =
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
 
 let main list_only verbose bench file policy scale compare_baseline
-    show_compilations disasm =
+    show_compilations disasm jobs =
   setup_logs verbose;
   if list_only then list_benchmarks ()
   else
     run_one ~bench ~file ~policy_str:policy ~scale ~compare_baseline
-      ~show_compilations ~disasm
+      ~show_compilations ~disasm ~jobs
 
 let cmd =
   let doc =
@@ -184,6 +209,6 @@ let cmd =
     (Cmd.info "acsi-run" ~doc)
     Term.(
       const main $ list_arg $ verbose_arg $ bench_arg $ file_arg $ policy_arg
-      $ scale_arg $ compare_arg $ compilations_arg $ disasm_arg)
+      $ scale_arg $ compare_arg $ compilations_arg $ disasm_arg $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

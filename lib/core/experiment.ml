@@ -4,38 +4,78 @@ type bench = { name : string; program : Acsi_bytecode.Program.t }
 
 type point = { bench : string; policy : Policy.t; metrics : Metrics.t }
 
+type timing = {
+  t_bench : string;
+  t_policy : string;  (* "cins" for the baseline cells *)
+  t_wall_s : float;
+  t_cycles : int;
+}
+
 type sweep = {
   bench_names : string list;
   baselines : (string * Metrics.t) list;
   points : point list;
+  timings : timing list;
+  wall_total_s : float;
 }
 
-let run_sweep ?(progress = fun _ -> ()) cfg ~benches ~policies =
-  let baselines =
-    List.map
-      (fun b ->
-        progress (Printf.sprintf "%s under cins" b.name);
-        let cfg = Config.with_policy cfg Policy.Context_insensitive in
-        (b.name, (Runtime.run cfg b.program).Runtime.metrics))
-      benches
+(* One cell per (benchmark, policy) pair, baselines included; all cells
+   are independent (a run shares no mutable state with any other), so
+   they fan out across domains. Results are collected by cell index, so
+   [baselines] and [points] come back in exactly the order the serial
+   driver produced them. *)
+type cell = Base of bench | Cell of bench * Policy.t
+
+let run_sweep ?(progress = fun _ -> ()) ?(jobs = 1)
+    ?(cell_hook = fun ~bench:_ ~policy:_ _ -> ()) cfg ~benches ~policies =
+  let cells =
+    List.map (fun b -> Base b) benches
+    @ List.concat_map
+        (fun policy -> List.map (fun b -> Cell (b, policy)) benches)
+        policies
   in
-  let points =
-    List.concat_map
-      (fun policy ->
-        List.map
-          (fun b ->
-            progress
-              (Printf.sprintf "%s under %s" b.name (Policy.to_string policy));
-            let cfg = Config.with_policy cfg policy in
-            {
-              bench = b.name;
-              policy;
-              metrics = (Runtime.run cfg b.program).Runtime.metrics;
-            })
-          benches)
-      policies
+  let progress_mutex = Mutex.create () in
+  let t0 = Unix.gettimeofday () in
+  let run_cell cell =
+    let b, policy, label =
+      match cell with
+      | Base b -> (b, Policy.Context_insensitive, "cins")
+      | Cell (b, policy) -> (b, policy, Policy.to_string policy)
+    in
+    Mutex.lock progress_mutex;
+    progress (Printf.sprintf "%s under %s" b.name label);
+    Mutex.unlock progress_mutex;
+    let cfg = Config.with_policy cfg policy in
+    let c0 = Unix.gettimeofday () in
+    let result = Runtime.run cfg b.program in
+    let wall = Unix.gettimeofday () -. c0 in
+    cell_hook ~bench:b.name ~policy result;
+    let metrics = result.Runtime.metrics in
+    ( metrics,
+      {
+        t_bench = b.name;
+        t_policy = label;
+        t_wall_s = wall;
+        t_cycles = metrics.Metrics.total_cycles;
+      } )
   in
-  { bench_names = List.map (fun b -> b.name) benches; baselines; points }
+  let results = Parallel.map ~jobs run_cell cells in
+  let baselines, points =
+    List.fold_left2
+      (fun (baselines, points) cell (metrics, _) ->
+        match cell with
+        | Base b -> ((b.name, metrics) :: baselines, points)
+        | Cell (b, policy) ->
+            (baselines, { bench = b.name; policy; metrics } :: points))
+      ([], []) cells results
+  in
+  {
+    bench_names = List.map (fun b -> b.name) benches;
+    baselines = List.rev baselines;
+    points = List.rev points;
+    timings = List.map snd results;
+    wall_total_s = Unix.gettimeofday () -. t0;
+  }
 
 let find sweep ~bench ~policy =
   List.find_opt

@@ -8,21 +8,48 @@ type bench = { name : string; program : Acsi_bytecode.Program.t }
 
 type point = { bench : string; policy : Policy.t; metrics : Metrics.t }
 
+type timing = {
+  t_bench : string;
+  t_policy : string;  (** ["cins"] for the baseline cells *)
+  t_wall_s : float;  (** host wall-clock of this cell's run *)
+  t_cycles : int;  (** the run's virtual cycles (deterministic) *)
+}
+
 type sweep = {
   bench_names : string list;
   baselines : (string * Metrics.t) list;
       (** context-insensitive metrics per benchmark *)
   points : point list;
+  timings : timing list;
+      (** one per cell, in cell order: every baseline, then every
+          (policy, benchmark) point *)
+  wall_total_s : float;
 }
 
 val run_sweep :
   ?progress:(string -> unit) ->
+  ?jobs:int ->
+  ?cell_hook:(bench:string -> policy:Policy.t -> Runtime.result -> unit) ->
   Config.t ->
   benches:bench list ->
   policies:Policy.t list ->
   sweep
 (** Runs every benchmark once under [Context_insensitive] (the baseline)
-    and once per policy; the same configuration is used throughout. *)
+    and once per policy; the same configuration is used throughout.
+
+    [jobs] (default 1) fans the independent (benchmark, policy) cells
+    across that many domains ({!Parallel.map}); results are collected by
+    cell index, so the sweep — all metrics, orderings, virtual cycles —
+    is identical for every [jobs] value. Only wall-clock ([timings],
+    [wall_total_s]) and the interleaving of [progress] callbacks (called
+    under a mutex, from worker domains) vary.
+
+    [cell_hook] is invoked once per cell, from the worker domain that ran
+    it, with the cell's full {!Runtime.result} (baseline cells pass
+    [Policy.Context_insensitive]). Since runs are deterministic, a driver
+    can retain these results and skip re-running identical
+    (benchmark, policy) cells later; the hook must be thread-safe when
+    [jobs > 1]. *)
 
 val find : sweep -> bench:string -> policy:Policy.t -> Metrics.t option
 val baseline : sweep -> bench:string -> Metrics.t

@@ -1,0 +1,38 @@
+(* A small fork-join pool over OCaml 5 domains. Work items are claimed
+   from a shared atomic counter; results land in a slot array indexed by
+   the item's position, so the output order is the input order no matter
+   which domain ran what. Exceptions are captured per item and re-raised
+   in the caller, earliest item first. *)
+
+let available_cores () = Domain.recommended_domain_count ()
+
+let map ~jobs f items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let jobs = max 1 (min jobs n) in
+  if jobs = 1 then Array.to_list (Array.map f items)
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <-
+            Some (match f items.(i) with v -> Ok v | exception e -> Error e);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise e
+           | None -> assert false)
+         results)
+  end

@@ -1,0 +1,17 @@
+(** Deterministic fork-join parallelism for the bench drivers.
+
+    [map ~jobs f items] applies [f] to every item on a pool of [jobs]
+    domains (the calling domain included) and returns the results in the
+    input order, regardless of scheduling. [jobs <= 1] degrades to a
+    plain sequential [List.map], so a serial run takes the exact code
+    path of the pre-parallel driver.
+
+    [f] must be safe to run concurrently with itself on different items;
+    the simulator qualifies ({!Runtime.run} shares nothing mutable across
+    runs). If one or more applications raise, the exception of the
+    earliest item is re-raised after the pool drains. *)
+
+val available_cores : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list

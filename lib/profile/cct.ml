@@ -95,7 +95,7 @@ let trace_of_path path =
       in
       let entries = List.rev (chain [] innermost_cs rest_rev) in
       Option.map
-        (fun chain -> { Trace.callee = Ids.Method_id.of_int callee; chain })
+        (fun chain -> Trace.of_chain ~callee:(Ids.Method_id.of_int callee) ~chain)
         (match entries with
         | [] -> None
         | _ :: _ -> Some (Array.of_list entries))

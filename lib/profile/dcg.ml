@@ -1,16 +1,41 @@
 open Acsi_bytecode
 
+(* Alongside the main trace table, an incremental secondary index keyed on
+   the innermost (caller, callsite) of each trace. Buckets share the
+   weight refs of the main table, so decay of a weight is visible through
+   the index for free; only insertion and pruning maintain it. Per-site
+   queries ([site_distribution], [edge_weight]) then touch exactly the
+   traces recorded at that site instead of scanning the whole table. *)
+
 type t = {
   table : float ref Trace.Table.t;
+  sites : (int * int, float ref Trace.Table.t) Hashtbl.t;
   mutable total : float;
 }
 
-let create () = { table = Trace.Table.create 512; total = 0.0 }
+let site_key (trace : Trace.t) =
+  let e = trace.Trace.chain.(0) in
+  ((e.Trace.caller :> int), e.Trace.callsite)
+
+let create () =
+  { table = Trace.Table.create 512; sites = Hashtbl.create 256; total = 0.0 }
 
 let add_sample t trace =
   (match Trace.Table.find_opt t.table trace with
   | Some w -> w := !w +. 1.0
-  | None -> Trace.Table.add t.table trace (ref 1.0));
+  | None ->
+      let w = ref 1.0 in
+      Trace.Table.add t.table trace w;
+      let key = site_key trace in
+      let bucket =
+        match Hashtbl.find_opt t.sites key with
+        | Some b -> b
+        | None ->
+            let b = Trace.Table.create 8 in
+            Hashtbl.add t.sites key b;
+            b
+      in
+      Trace.Table.add bucket trace w);
   t.total <- t.total +. 1.0
 
 let weight t trace =
@@ -22,19 +47,26 @@ let total_weight t = t.total
 let size t = Trace.Table.length t.table
 
 let decay t ~factor ~prune_below =
+  (* Doomed weights are carried out of the scan so pruning needs no
+     re-probe; the total is reduced entry by entry, in the same order the
+     entries are removed. *)
   let doomed = ref [] in
   Trace.Table.iter
     (fun trace w ->
       w := !w *. factor;
-      if !w < prune_below then doomed := trace :: !doomed)
+      if !w < prune_below then doomed := (trace, w) :: !doomed)
     t.table;
   t.total <- t.total *. factor;
   List.iter
-    (fun trace ->
-      (match Trace.Table.find_opt t.table trace with
-      | Some w -> t.total <- t.total -. !w
-      | None -> ());
-      Trace.Table.remove t.table trace)
+    (fun ((trace : Trace.t), w) ->
+      t.total <- t.total -. !w;
+      Trace.Table.remove t.table trace;
+      let key = site_key trace in
+      match Hashtbl.find_opt t.sites key with
+      | Some bucket ->
+          Trace.Table.remove bucket trace;
+          if Trace.Table.length bucket = 0 then Hashtbl.remove t.sites key
+      | None -> ())
     !doomed;
   if t.total < 0.0 then t.total <- 0.0
 
@@ -50,31 +82,39 @@ let hot t ~threshold =
 
 let iter t ~f = Trace.Table.iter (fun trace w -> f trace !w) t.table
 
-let site_distribution t ~caller ~callsite =
-  let per_callee = Hashtbl.create 8 in
-  Trace.Table.iter
-    (fun trace w ->
-      let e = trace.Trace.chain.(0) in
-      if Ids.Method_id.equal e.Trace.caller caller && e.Trace.callsite = callsite
-      then
-        let key = (trace.Trace.callee :> int) in
-        let prev = Option.value (Hashtbl.find_opt per_callee key) ~default:0.0 in
-        Hashtbl.replace per_callee key (prev +. !w))
-    t.table;
-  Hashtbl.fold
-    (fun key w acc -> (Ids.Method_id.of_int key, w) :: acc)
-    per_callee []
-  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+let site_entry_count t ~(caller : Ids.Method_id.t) ~callsite =
+  match Hashtbl.find_opt t.sites ((caller :> int), callsite) with
+  | Some bucket -> Trace.Table.length bucket
+  | None -> 0
 
-let edge_weight t ~caller ~callsite ~callee =
-  let sum = ref 0.0 in
-  Trace.Table.iter
-    (fun trace w ->
-      let e = trace.Trace.chain.(0) in
-      if
-        Ids.Method_id.equal trace.Trace.callee callee
-        && Ids.Method_id.equal e.Trace.caller caller
-        && e.Trace.callsite = callsite
-      then sum := !sum +. !w)
-    t.table;
-  !sum
+let site_count t = Hashtbl.length t.sites
+
+let site_distribution t ~(caller : Ids.Method_id.t) ~callsite =
+  match Hashtbl.find_opt t.sites ((caller :> int), callsite) with
+  | None -> []
+  | Some bucket ->
+      let per_callee = Hashtbl.create 8 in
+      Trace.Table.iter
+        (fun (trace : Trace.t) w ->
+          let key = (trace.Trace.callee :> int) in
+          let prev =
+            Option.value (Hashtbl.find_opt per_callee key) ~default:0.0
+          in
+          Hashtbl.replace per_callee key (prev +. !w))
+        bucket;
+      Hashtbl.fold
+        (fun key w acc -> (Ids.Method_id.of_int key, w) :: acc)
+        per_callee []
+      |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+
+let edge_weight t ~(caller : Ids.Method_id.t) ~callsite ~callee =
+  match Hashtbl.find_opt t.sites ((caller :> int), callsite) with
+  | None -> 0.0
+  | Some bucket ->
+      let sum = ref 0.0 in
+      Trace.Table.iter
+        (fun (trace : Trace.t) w ->
+          if Ids.Method_id.equal trace.Trace.callee callee then
+            sum := !sum +. !w)
+        bucket;
+      !sum

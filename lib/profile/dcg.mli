@@ -40,7 +40,18 @@ val site_distribution :
 (** Callee distribution of one call site, aggregated over every recorded
     trace whose innermost entry is [(caller, callsite)], heaviest first.
     Used by the adaptive-resolution policy to find polymorphic sites with
-    non-skewed distributions. *)
+    non-skewed distributions. Served from an incremental per-site index:
+    cost is proportional to the traces recorded at the site, not to the
+    size of the whole graph. *)
 
 val edge_weight : t -> caller:Ids.Method_id.t -> callsite:int -> callee:Ids.Method_id.t -> float
-(** Aggregated weight of a call edge over all trace depths. *)
+(** Aggregated weight of a call edge over all trace depths. Served from
+    the per-site index, like {!site_distribution}. *)
+
+val site_entry_count : t -> caller:Ids.Method_id.t -> callsite:int -> int
+(** Number of distinct traces currently indexed under the site
+    [(caller, callsite)] — 0 once every trace of the site has been pruned
+    (the index drops empty sites). For tests/inspection. *)
+
+val site_count : t -> int
+(** Number of distinct call sites with at least one live trace. *)

@@ -49,10 +49,9 @@ let of_string s =
             match (int_of_string_opt callee, float_of_string_opt weight) with
             | Some callee, Some weight when callee >= 0 && weight >= 0.0 ->
                 let trace =
-                  {
-                    Trace.callee = Ids.Method_id.of_int callee;
-                    chain = Array.of_list (List.map parse_entry chain);
-                  }
+                  Trace.of_chain
+                    ~callee:(Ids.Method_id.of_int callee)
+                    ~chain:(Array.of_list (List.map parse_entry chain))
                 in
                 (* weights replay as whole samples; the sub-sample
                    fraction lost to rounding is below profiling noise *)

@@ -5,14 +5,33 @@ type entry = { caller : Ids.Method_id.t; callsite : int }
 type t = {
   callee : Ids.Method_id.t;
   chain : entry array;
+  h : int;  (* structural hash, cached: traces are hashed far more often
+               than they are built (every DCG probe rehashes the key) *)
 }
+
+let compute_hash callee chain =
+  let h = ref (Ids.Method_id.hash callee) in
+  Array.iter
+    (fun e ->
+      h := (!h * 31) + Ids.Method_id.hash e.caller;
+      h := (!h * 31) + e.callsite)
+    chain;
+  !h land max_int
+
+let of_chain ~callee ~chain =
+  if Array.length chain = 0 then invalid_arg "Trace.of_chain: empty chain";
+  { callee; chain; h = compute_hash callee chain }
 
 let make ~callee ~chain =
   if chain = [] then invalid_arg "Trace.make: empty chain";
-  { callee; chain = Array.of_list chain }
+  let chain = Array.of_list chain in
+  { callee; chain; h = compute_hash callee chain }
 
 let depth t = Array.length t.chain
-let edge t = { t with chain = [| t.chain.(0) |] }
+
+let edge t =
+  let chain = [| t.chain.(0) |] in
+  { t with chain; h = compute_hash t.callee chain }
 
 let entry_equal a b =
   Ids.Method_id.equal a.caller b.caller && a.callsite = b.callsite
@@ -27,14 +46,7 @@ let equal a b =
   in
   go 0
 
-let hash t =
-  let h = ref (Ids.Method_id.hash t.callee) in
-  Array.iter
-    (fun e ->
-      h := (!h * 31) + Ids.Method_id.hash e.caller;
-      h := (!h * 31) + e.callsite)
-    t.chain;
-  !h land max_int
+let hash t = t.h
 
 let compare a b =
   let c = Ids.Method_id.compare a.callee b.callee in

@@ -10,13 +10,20 @@ open Acsi_bytecode
 
 type entry = { caller : Ids.Method_id.t; callsite : int }
 
-type t = {
+type t = private {
   callee : Ids.Method_id.t;
   chain : entry array;  (** innermost-first; length >= 1 *)
+  h : int;
+      (** cached structural hash; private construction keeps it
+          consistent with [callee]/[chain] *)
 }
 
 val make : callee:Ids.Method_id.t -> chain:entry list -> t
 (** Raises [Invalid_argument] on an empty chain. *)
+
+val of_chain : callee:Ids.Method_id.t -> chain:entry array -> t
+(** Like {!make} from an already-built chain array (not copied; treat it
+    as owned by the trace). Raises [Invalid_argument] on an empty chain. *)
 
 val depth : t -> int
 (** Number of call edges in the trace (the paper's context-sensitivity

@@ -7,6 +7,7 @@ let rerr fmt = Format.kasprintf (fun msg -> raise (Runtime_error msg)) fmt
 
 type frame = {
   mutable f_code : Code.t;
+  mutable f_dcode : Dcode.t;
   mutable f_pc : int;
   mutable f_locals : Value.t array;
   mutable f_stack : Value.t array;
@@ -16,9 +17,11 @@ type frame = {
 type t = {
   program : Program.t;
   cost : Cost.t;
+  fuse : bool;
   mutable cycles : int;
   globals : Value.t array;
   code_table : Code.t array;
+  dcode_table : Dcode.t array;
   mutable frames : frame array;
   mutable depth : int;  (* live frames in [frames] *)
   mutable output_rev : int list;
@@ -42,14 +45,17 @@ type t = {
 let max_call_depth = 200_000
 
 let create ?(cost = Cost.default) ?(sample_period = 100_000)
-    ?(invoke_stride = 2048) program =
+    ?(invoke_stride = 2048) ?(fuse = true) program =
   let methods = Program.methods program in
+  let code_table = Array.map (fun m -> Code.baseline cost m) methods in
   {
     program;
     cost;
+    fuse;
     cycles = 0;
     globals = Array.make (max 1 (Program.global_count program)) Value.zero;
-    code_table = Array.map (fun m -> Code.baseline cost m) methods;
+    code_table;
+    dcode_table = Array.map (fun c -> Dcode.of_code ~fuse cost c) code_table;
     frames = Array.make 0 (Obj.magic 0);
     depth = 0;
     output_rev = [];
@@ -77,8 +83,13 @@ let calls_executed t = t.call_count
 let guard_hits t = t.guard_hits
 let guard_misses t = t.guard_misses
 let output t = List.rev t.output_rev
-let install_code t (mid : Ids.Method_id.t) code = t.code_table.((mid :> int)) <- code
+
+let install_code t (mid : Ids.Method_id.t) code =
+  t.code_table.((mid :> int)) <- code;
+  t.dcode_table.((mid :> int)) <- Dcode.of_code ~fuse:t.fuse t.cost code
+
 let code_of t (mid : Ids.Method_id.t) = t.code_table.((mid :> int))
+let decoded_of t (mid : Ids.Method_id.t) = t.dcode_table.((mid :> int))
 let was_executed t (mid : Ids.Method_id.t) = t.executed.((mid :> int))
 let set_on_first_execution t f = t.on_first_execution <- f
 let set_on_invoke t f = t.on_invoke <- f
@@ -140,6 +151,7 @@ let osr t (mid : Ids.Method_id.t) =
               let stack = Array.make (max 1 current.Code.max_stack) Value.zero in
               Array.blit fr.f_stack 0 stack 0 fr.f_sp;
               fr.f_code <- current;
+              fr.f_dcode <- t.dcode_table.((mid :> int));
               fr.f_pc <- pc';
               fr.f_locals <- locals;
               fr.f_stack <- stack;
@@ -168,16 +180,19 @@ let walk_source_stack t ~f =
 
 (* --- frame stack management --- *)
 
-let dummy_code program cost =
-  Code.baseline cost (Program.meth program (Program.main program))
-
-let push_frame t code =
+(* Frames are freshly allocated per call on purpose: records and operand
+   arrays born in the minor heap keep locals/stack stores on the cheap
+   minor-to-minor write path and die young. (Reusing popped frames was
+   tried and measured slower — long-lived frames get promoted, and every
+   pointer store into them then pays the remembered-set barrier.) *)
+let push_frame t code dcode =
   (if t.depth = Array.length t.frames then begin
      let cap = max 64 (2 * t.depth) in
      let bigger =
        Array.make cap
          {
-           f_code = dummy_code t.program t.cost;
+           f_code = code;
+           f_dcode = dcode;
            f_pc = 0;
            f_locals = [||];
            f_stack = [||];
@@ -191,6 +206,7 @@ let push_frame t code =
   let fr =
     {
       f_code = code;
+      f_dcode = dcode;
       f_pc = 0;
       f_locals = Array.make (max 1 code.Code.max_locals) Value.zero;
       f_stack = Array.make (max 1 code.Code.max_stack) Value.zero;
@@ -203,25 +219,25 @@ let push_frame t code =
 
 (* --- helpers --- *)
 
-let as_int v =
+let[@inline] as_int v =
   match (v : Value.t) with
   | Value.Int n -> n
   | Value.Null | Value.Obj _ | Value.Arr _ ->
       rerr "expected an integer, got %a" Value.pp v
 
-let as_obj v =
+let[@inline] as_obj v =
   match (v : Value.t) with
   | Value.Obj o -> o
   | Value.Null -> rerr "null dereference"
   | Value.Int _ | Value.Arr _ -> rerr "expected an object, got %a" Value.pp v
 
-let as_arr v =
+let[@inline] as_arr v =
   match (v : Value.t) with
   | Value.Arr a -> a
   | Value.Null -> rerr "null array dereference"
   | Value.Int _ | Value.Obj _ -> rerr "expected an array, got %a" Value.pp v
 
-let eval_binop op a b =
+let[@inline] eval_binop op a b =
   match (op : Instr.binop) with
   | Instr.Add -> a + b
   | Instr.Sub -> a - b
@@ -234,7 +250,7 @@ let eval_binop op a b =
   | Instr.Shl -> a lsl (b land 63)
   | Instr.Shr -> a asr (b land 63)
 
-let eval_cmp c a b =
+let[@inline] eval_cmp c a b =
   let r =
     match (c : Instr.cmp) with
     | Instr.Eq -> Value.equal_cmp a b
@@ -263,7 +279,7 @@ let invoke t (mid : Ids.Method_id.t) =
       | Code.Baseline -> t.cost.Cost.call
       | Code.Optimized -> t.cost.Cost.opt_call);
   let callee = Program.meth t.program mid in
-  let fr = push_frame t code in
+  let fr = push_frame t code t.dcode_table.((mid :> int)) in
   (* Pop arguments from the caller's stack into the callee's locals. *)
   let caller = t.frames.(t.depth - 2) in
   let nslots = Meth.param_slots callee in
@@ -286,18 +302,738 @@ let dispatch_target t (recv : Value.t) sel =
         (Program.selector_name t.program sel)
         (Program.clazz t.program o.Value.cls).Clazz.name
 
+(* Execute up to [budget] source instructions of the top frame without
+   re-checking the virtual timer. The budget is computed so that the
+   skipped checks are provably no-ops (see [run]); any instruction whose
+   charge exceeds the frame's per-dispatch cost ends the window, because
+   only the uniform per-dispatch cost was accounted for when the budget
+   was sized.
+
+   [pc] and [sp] live in locals (function arguments of a tail-recursive
+   loop) and are flushed back to the frame at every window exit and before
+   anything that can observe or mutate the frame (calls, returns, guards,
+   allocations — all of which also end the window). Operand-stack and
+   locals accesses use unsafe reads/writes: every executed [Code.t] has
+   passed the bytecode verifier (the front end and the inline expander
+   both verify), which bounds them by [max_stack]/[max_locals]. *)
+(* Window accounting: [remaining] is the number of virtual cycles until
+   the next timer check ([t.next_sample - t.cycles], kept in a register),
+   and [ninstr] counts source instructions executed in the current frame
+   since the last settlement. Counters are settled in one step ("flush")
+   whenever an instruction charges anything beyond the frame's uniform
+   per-dispatch cost, or when the window ends — each of the [ninstr]
+   deferred instructions charged exactly [icost], so the clock can be
+   reconstructed exactly. Nothing observes the clock mid-window (hooks
+   only fire between windows), except an escaping [Runtime_error] — which
+   aborts the run, so the lag is unobservable; [run_reference] keeps exact
+   per-instruction accounting on that path. *)
+let[@inline] flush t icost ninstr =
+  t.instr_count <- t.instr_count + ninstr;
+  t.cycles <- t.cycles + (ninstr * icost)
+
+(* The window loop is a top-level function — every piece of hot state
+   (decoded stream, per-dispatch cost, operand stack, locals) rides in the
+   argument registers of the tail call instead of a per-window closure
+   environment. Calls, returns, guards and allocations settle the
+   counters, apply their extra charges, and *continue* in the (possibly
+   new) top frame as long as the timer is not due, so the loop only
+   returns to the driver when a sample must actually be considered. *)
+let rec step t fr ops icost stack locals pc sp remaining ninstr =
+  if remaining <= 0 then begin
+    flush t icost ninstr;
+    fr.f_pc <- pc;
+    fr.f_sp <- sp
+  end
+  else begin
+    match Array.unsafe_get ops pc with
+    | Dcode.Const v ->
+        Array.unsafe_set stack sp v;
+        step t fr ops icost stack locals (pc + 1) (sp + 1) (remaining - icost)
+          (ninstr + 1)
+    | Dcode.Load i ->
+        Array.unsafe_set stack sp (Array.unsafe_get locals i);
+        step t fr ops icost stack locals (pc + 1) (sp + 1) (remaining - icost)
+          (ninstr + 1)
+    | Dcode.Store i ->
+        let sp = sp - 1 in
+        Array.unsafe_set locals i (Array.unsafe_get stack sp);
+        step t fr ops icost stack locals (pc + 1) sp (remaining - icost)
+          (ninstr + 1)
+    | Dcode.Dup ->
+        Array.unsafe_set stack sp (Array.unsafe_get stack (sp - 1));
+        step t fr ops icost stack locals (pc + 1) (sp + 1) (remaining - icost)
+          (ninstr + 1)
+    | Dcode.Pop ->
+        step t fr ops icost stack locals (pc + 1) (sp - 1) (remaining - icost)
+          (ninstr + 1)
+    | Dcode.Swap ->
+        let a = Array.unsafe_get stack (sp - 1) in
+        Array.unsafe_set stack (sp - 1) (Array.unsafe_get stack (sp - 2));
+        Array.unsafe_set stack (sp - 2) a;
+        step t fr ops icost stack locals (pc + 1) sp (remaining - icost)
+          (ninstr + 1)
+    | Dcode.Binop op ->
+        let b = as_int (Array.unsafe_get stack (sp - 1)) in
+        let a = as_int (Array.unsafe_get stack (sp - 2)) in
+        let sp = sp - 1 in
+        Array.unsafe_set stack (sp - 1) (Value.of_int (eval_binop op a b));
+        step t fr ops icost stack locals (pc + 1) sp (remaining - icost)
+          (ninstr + 1)
+    | Dcode.Neg ->
+        Array.unsafe_set stack (sp - 1)
+          (Value.of_int (-as_int (Array.unsafe_get stack (sp - 1))));
+        step t fr ops icost stack locals (pc + 1) sp (remaining - icost)
+          (ninstr + 1)
+    | Dcode.Not ->
+        Array.unsafe_set stack (sp - 1)
+          (Value.of_bool (not (Value.truthy (Array.unsafe_get stack (sp - 1)))));
+        step t fr ops icost stack locals (pc + 1) sp (remaining - icost)
+          (ninstr + 1)
+    | Dcode.Cmp c ->
+        let b = Array.unsafe_get stack (sp - 1) in
+        let a = Array.unsafe_get stack (sp - 2) in
+        let sp = sp - 1 in
+        Array.unsafe_set stack (sp - 1) (Value.of_int (eval_cmp c a b));
+        step t fr ops icost stack locals (pc + 1) sp (remaining - icost)
+          (ninstr + 1)
+    | Dcode.Jump target ->
+        step t fr ops icost stack locals target sp (remaining - icost)
+          (ninstr + 1)
+    | Dcode.Jump_if target ->
+        let sp = sp - 1 in
+        if Value.truthy (Array.unsafe_get stack sp) then
+          step t fr ops icost stack locals target sp (remaining - icost)
+            (ninstr + 1)
+        else
+          step t fr ops icost stack locals (pc + 1) sp (remaining - icost)
+            (ninstr + 1)
+    | Dcode.Jump_ifnot target ->
+        let sp = sp - 1 in
+        if Value.truthy (Array.unsafe_get stack sp) then
+          step t fr ops icost stack locals (pc + 1) sp (remaining - icost)
+            (ninstr + 1)
+        else
+          step t fr ops icost stack locals target sp (remaining - icost)
+            (ninstr + 1)
+    | Dcode.New cid ->
+        flush t icost (ninstr + 1);
+        t.cycles <- t.cycles + t.cost.Cost.alloc;
+        Array.unsafe_set stack sp (Value.alloc t.program cid);
+        step t fr ops icost stack locals (pc + 1) (sp + 1)
+          (t.next_sample - t.cycles) 0
+    | Dcode.Get_field i ->
+        let o = as_obj (Array.unsafe_get stack (sp - 1)) in
+        Array.unsafe_set stack (sp - 1) o.Value.fields.(i);
+        step t fr ops icost stack locals (pc + 1) sp (remaining - icost)
+          (ninstr + 1)
+    | Dcode.Put_field i ->
+        let v = Array.unsafe_get stack (sp - 1) in
+        let o = as_obj (Array.unsafe_get stack (sp - 2)) in
+        o.Value.fields.(i) <- v;
+        step t fr ops icost stack locals (pc + 1) (sp - 2) (remaining - icost)
+          (ninstr + 1)
+    | Dcode.Get_global i ->
+        Array.unsafe_set stack sp t.globals.(i);
+        step t fr ops icost stack locals (pc + 1) (sp + 1) (remaining - icost)
+          (ninstr + 1)
+    | Dcode.Put_global i ->
+        let sp = sp - 1 in
+        t.globals.(i) <- Array.unsafe_get stack sp;
+        step t fr ops icost stack locals (pc + 1) sp (remaining - icost)
+          (ninstr + 1)
+    | Dcode.Array_new ->
+        let n = as_int (Array.unsafe_get stack (sp - 1)) in
+        if n < 0 then rerr "negative array size %d" n;
+        flush t icost (ninstr + 1);
+        t.cycles <-
+          t.cycles + t.cost.Cost.alloc + (n * t.cost.Cost.alloc_array_word);
+        Array.unsafe_set stack (sp - 1) (Value.Arr (Array.make n Value.zero));
+        step t fr ops icost stack locals (pc + 1) sp
+          (t.next_sample - t.cycles) 0
+    | Dcode.Array_get ->
+        let i = as_int (Array.unsafe_get stack (sp - 1)) in
+        let a = as_arr (Array.unsafe_get stack (sp - 2)) in
+        if i < 0 || i >= Array.length a then
+          rerr "array index %d out of bounds (length %d)" i (Array.length a);
+        let sp = sp - 1 in
+        Array.unsafe_set stack (sp - 1) (Array.unsafe_get a i);
+        step t fr ops icost stack locals (pc + 1) sp (remaining - icost)
+          (ninstr + 1)
+    | Dcode.Array_set ->
+        let v = Array.unsafe_get stack (sp - 1) in
+        let i = as_int (Array.unsafe_get stack (sp - 2)) in
+        let a = as_arr (Array.unsafe_get stack (sp - 3)) in
+        if i < 0 || i >= Array.length a then
+          rerr "array index %d out of bounds (length %d)" i (Array.length a);
+        Array.unsafe_set a i v;
+        step t fr ops icost stack locals (pc + 1) (sp - 3) (remaining - icost)
+          (ninstr + 1)
+    | Dcode.Array_len ->
+        let a = as_arr (Array.unsafe_get stack (sp - 1)) in
+        Array.unsafe_set stack (sp - 1) (Value.of_int (Array.length a));
+        step t fr ops icost stack locals (pc + 1) sp (remaining - icost)
+          (ninstr + 1)
+    | Dcode.Call mid ->
+        flush t icost (ninstr + 1);
+        fr.f_pc <- pc;
+        fr.f_sp <- sp;
+        invoke t mid;
+        continue_window t
+    | Dcode.Call_virtual (sel, argc) ->
+        flush t icost (ninstr + 1);
+        t.cycles <- t.cycles + t.cost.Cost.virtual_dispatch;
+        fr.f_pc <- pc;
+        fr.f_sp <- sp;
+        let recv = Array.unsafe_get stack (sp - 1 - argc) in
+        invoke t (dispatch_target t recv sel);
+        continue_window t
+    | Dcode.Guard g ->
+        flush t icost (ninstr + 1);
+        t.cycles <- t.cycles + t.cost.Cost.guard;
+        let recv = Array.unsafe_get stack (sp - 1 - g.Instr.argc) in
+        let ok =
+          match recv with
+          | Value.Obj o -> (
+              match Program.dispatch t.program o.Value.cls g.Instr.sel with
+              | Some target -> Ids.Method_id.equal target g.Instr.expected
+              | None -> false)
+          | Value.Null | Value.Int _ | Value.Arr _ -> false
+        in
+        let pc =
+          if ok then begin
+            t.guard_hits <- t.guard_hits + 1;
+            pc + 1
+          end
+          else begin
+            t.guard_misses <- t.guard_misses + 1;
+            g.Instr.fail
+          end
+        in
+        step t fr ops icost stack locals pc sp (t.next_sample - t.cycles) 0
+    | Dcode.Return ->
+        flush t icost (ninstr + 1);
+        let result = Array.unsafe_get stack (sp - 1) in
+        t.depth <- t.depth - 1;
+        if t.depth > 0 then begin
+          let caller = t.frames.(t.depth - 1) in
+          caller.f_stack.(caller.f_sp) <- result;
+          caller.f_sp <- caller.f_sp + 1;
+          caller.f_pc <- caller.f_pc + 1;
+          continue_window t
+        end
+    | Dcode.Return_void ->
+        flush t icost (ninstr + 1);
+        t.depth <- t.depth - 1;
+        if t.depth > 0 then begin
+          let caller = t.frames.(t.depth - 1) in
+          caller.f_pc <- caller.f_pc + 1;
+          continue_window t
+        end
+    | Dcode.Instance_of cid ->
+        let r =
+          match Array.unsafe_get stack (sp - 1) with
+          | Value.Obj o ->
+              Program.is_subclass t.program ~sub:o.Value.cls ~super:cid
+          | Value.Null | Value.Int _ | Value.Arr _ -> false
+        in
+        Array.unsafe_set stack (sp - 1) (Value.of_bool r);
+        step t fr ops icost stack locals (pc + 1) sp (remaining - icost)
+          (ninstr + 1)
+    | Dcode.Print_int ->
+        let sp = sp - 1 in
+        t.output_rev <- as_int (Array.unsafe_get stack sp) :: t.output_rev;
+        step t fr ops icost stack locals (pc + 1) sp (remaining - icost)
+          (ninstr + 1)
+    | Dcode.Nop ->
+        step t fr ops icost stack locals (pc + 1) sp (remaining - icost)
+          (ninstr + 1)
+    (* --- superinstructions; a fused fast path runs only when the timer
+       cannot become due before its last component
+       ([remaining > (width - 1) * icost]); otherwise it falls back to its
+       first component, so timer events land on exactly the same
+       instruction boundaries as under naive decoding --- *)
+    | Dcode.Load2_binop (i, j, op) ->
+        if remaining > 2 * icost then begin
+          let b = as_int (Array.unsafe_get locals j) in
+          let a = as_int (Array.unsafe_get locals i) in
+          Array.unsafe_set stack sp (Value.of_int (eval_binop op a b));
+          step t fr ops icost stack locals (pc + 3) (sp + 1)
+            (remaining - (3 * icost))
+            (ninstr + 3)
+        end
+        else begin
+          Array.unsafe_set stack sp (Array.unsafe_get locals i);
+          step t fr ops icost stack locals (pc + 1) (sp + 1)
+            (remaining - icost) (ninstr + 1)
+        end
+    | Dcode.Load_const_binop (i, n, op) ->
+        if remaining > 2 * icost then begin
+          let a = as_int (Array.unsafe_get locals i) in
+          Array.unsafe_set stack sp (Value.of_int (eval_binop op a n));
+          step t fr ops icost stack locals (pc + 3) (sp + 1)
+            (remaining - (3 * icost))
+            (ninstr + 3)
+        end
+        else begin
+          Array.unsafe_set stack sp (Array.unsafe_get locals i);
+          step t fr ops icost stack locals (pc + 1) (sp + 1)
+            (remaining - icost) (ninstr + 1)
+        end
+    | Dcode.Load2_binop_store (i, j, op, d) ->
+        if remaining > 3 * icost then begin
+          let b = as_int (Array.unsafe_get locals j) in
+          let a = as_int (Array.unsafe_get locals i) in
+          Array.unsafe_set locals d (Value.of_int (eval_binop op a b));
+          step t fr ops icost stack locals (pc + 4) sp
+            (remaining - (4 * icost))
+            (ninstr + 4)
+        end
+        else begin
+          Array.unsafe_set stack sp (Array.unsafe_get locals i);
+          step t fr ops icost stack locals (pc + 1) (sp + 1)
+            (remaining - icost) (ninstr + 1)
+        end
+    | Dcode.Load_const_binop_store (i, n, op, d) ->
+        if remaining > 3 * icost then begin
+          let a = as_int (Array.unsafe_get locals i) in
+          Array.unsafe_set locals d (Value.of_int (eval_binop op a n));
+          step t fr ops icost stack locals (pc + 4) sp
+            (remaining - (4 * icost))
+            (ninstr + 4)
+        end
+        else begin
+          Array.unsafe_set stack sp (Array.unsafe_get locals i);
+          step t fr ops icost stack locals (pc + 1) (sp + 1)
+            (remaining - icost) (ninstr + 1)
+        end
+    | Dcode.Load_getfield_store (i, f, d) ->
+        if remaining > 2 * icost then begin
+          let o = as_obj (Array.unsafe_get locals i) in
+          Array.unsafe_set locals d o.Value.fields.(f);
+          step t fr ops icost stack locals (pc + 3) sp
+            (remaining - (3 * icost))
+            (ninstr + 3)
+        end
+        else begin
+          Array.unsafe_set stack sp (Array.unsafe_get locals i);
+          step t fr ops icost stack locals (pc + 1) (sp + 1)
+            (remaining - icost) (ninstr + 1)
+        end
+    | Dcode.Load2_cmp_jumpifnot (i, j, c, target) ->
+        if remaining > 3 * icost then begin
+          let r =
+            eval_cmp c (Array.unsafe_get locals i) (Array.unsafe_get locals j)
+          in
+          if r <> 0 then
+            step t fr ops icost stack locals (pc + 4) sp
+              (remaining - (4 * icost))
+              (ninstr + 4)
+          else
+            step t fr ops icost stack locals target sp
+              (remaining - (4 * icost))
+              (ninstr + 4)
+        end
+        else begin
+          Array.unsafe_set stack sp (Array.unsafe_get locals i);
+          step t fr ops icost stack locals (pc + 1) (sp + 1)
+            (remaining - icost) (ninstr + 1)
+        end
+    | Dcode.Load_const_cmp_jumpifnot (i, v, c, target) ->
+        if remaining > 3 * icost then begin
+          let r = eval_cmp c (Array.unsafe_get locals i) v in
+          if r <> 0 then
+            step t fr ops icost stack locals (pc + 4) sp
+              (remaining - (4 * icost))
+              (ninstr + 4)
+          else
+            step t fr ops icost stack locals target sp
+              (remaining - (4 * icost))
+              (ninstr + 4)
+        end
+        else begin
+          Array.unsafe_set stack sp (Array.unsafe_get locals i);
+          step t fr ops icost stack locals (pc + 1) (sp + 1)
+            (remaining - icost) (ninstr + 1)
+        end
+    | Dcode.Load_store (i, j) ->
+        if remaining > icost then begin
+          Array.unsafe_set locals j (Array.unsafe_get locals i);
+          step t fr ops icost stack locals (pc + 2) sp
+            (remaining - (2 * icost))
+            (ninstr + 2)
+        end
+        else begin
+          Array.unsafe_set stack sp (Array.unsafe_get locals i);
+          step t fr ops icost stack locals (pc + 1) (sp + 1)
+            (remaining - icost) (ninstr + 1)
+        end
+    | Dcode.Const_store (v, j) ->
+        if remaining > icost then begin
+          Array.unsafe_set locals j v;
+          step t fr ops icost stack locals (pc + 2) sp
+            (remaining - (2 * icost))
+            (ninstr + 2)
+        end
+        else begin
+          Array.unsafe_set stack sp v;
+          step t fr ops icost stack locals (pc + 1) (sp + 1)
+            (remaining - icost) (ninstr + 1)
+        end
+    | Dcode.Load_getfield (i, f) ->
+        if remaining > icost then begin
+          let o = as_obj (Array.unsafe_get locals i) in
+          Array.unsafe_set stack sp o.Value.fields.(f);
+          step t fr ops icost stack locals (pc + 2) (sp + 1)
+            (remaining - (2 * icost))
+            (ninstr + 2)
+        end
+        else begin
+          Array.unsafe_set stack sp (Array.unsafe_get locals i);
+          step t fr ops icost stack locals (pc + 1) (sp + 1)
+            (remaining - icost) (ninstr + 1)
+        end
+    | Dcode.Load2 (i, j) ->
+        if remaining > icost then begin
+          Array.unsafe_set stack sp (Array.unsafe_get locals i);
+          Array.unsafe_set stack (sp + 1) (Array.unsafe_get locals j);
+          step t fr ops icost stack locals (pc + 2) (sp + 2)
+            (remaining - (2 * icost))
+            (ninstr + 2)
+        end
+        else begin
+          Array.unsafe_set stack sp (Array.unsafe_get locals i);
+          step t fr ops icost stack locals (pc + 1) (sp + 1)
+            (remaining - icost) (ninstr + 1)
+        end
+    | Dcode.Cmp_jumpifnot (c, target) ->
+        let b = Array.unsafe_get stack (sp - 1) in
+        let a = Array.unsafe_get stack (sp - 2) in
+        if remaining > icost then begin
+          let sp = sp - 2 in
+          if eval_cmp c a b <> 0 then
+            step t fr ops icost stack locals (pc + 2) sp
+              (remaining - (2 * icost))
+              (ninstr + 2)
+          else
+            step t fr ops icost stack locals target sp
+              (remaining - (2 * icost))
+              (ninstr + 2)
+        end
+        else begin
+          let sp = sp - 1 in
+          Array.unsafe_set stack (sp - 1) (Value.of_int (eval_cmp c a b));
+          step t fr ops icost stack locals (pc + 1) sp (remaining - icost)
+            (ninstr + 1)
+        end
+    | Dcode.Cmp_jumpif (c, target) ->
+        let b = Array.unsafe_get stack (sp - 1) in
+        let a = Array.unsafe_get stack (sp - 2) in
+        if remaining > icost then begin
+          let sp = sp - 2 in
+          if eval_cmp c a b <> 0 then
+            step t fr ops icost stack locals target sp
+              (remaining - (2 * icost))
+              (ninstr + 2)
+          else
+            step t fr ops icost stack locals (pc + 2) sp
+              (remaining - (2 * icost))
+              (ninstr + 2)
+        end
+        else begin
+          let sp = sp - 1 in
+          Array.unsafe_set stack (sp - 1) (Value.of_int (eval_cmp c a b));
+          step t fr ops icost stack locals (pc + 1) sp (remaining - icost)
+            (ninstr + 1)
+        end
+    | Dcode.Binop_store (op, j) ->
+        let b = as_int (Array.unsafe_get stack (sp - 1)) in
+        let a = as_int (Array.unsafe_get stack (sp - 2)) in
+        if remaining > icost then begin
+          Array.unsafe_set locals j (Value.of_int (eval_binop op a b));
+          step t fr ops icost stack locals (pc + 2) (sp - 2)
+            (remaining - (2 * icost))
+            (ninstr + 2)
+        end
+        else begin
+          let sp = sp - 1 in
+          Array.unsafe_set stack (sp - 1) (Value.of_int (eval_binop op a b));
+          step t fr ops icost stack locals (pc + 1) sp (remaining - icost)
+            (ninstr + 1)
+        end
+    | Dcode.Const_binop (n, op) ->
+        if remaining > icost then begin
+          (* the constant is the top operand [b]; it is an [Int] by
+             construction, so only [a] needs the dynamic check *)
+          let a = as_int (Array.unsafe_get stack (sp - 1)) in
+          Array.unsafe_set stack (sp - 1) (Value.of_int (eval_binop op a n));
+          step t fr ops icost stack locals (pc + 2) sp
+            (remaining - (2 * icost))
+            (ninstr + 2)
+        end
+        else begin
+          Array.unsafe_set stack sp (Value.of_int n);
+          step t fr ops icost stack locals (pc + 1) (sp + 1)
+            (remaining - icost) (ninstr + 1)
+        end
+    | Dcode.Store_load (i, j) ->
+        if remaining > icost then begin
+          Array.unsafe_set locals i (Array.unsafe_get stack (sp - 1));
+          Array.unsafe_set stack (sp - 1) (Array.unsafe_get locals j);
+          step t fr ops icost stack locals (pc + 2) sp
+            (remaining - (2 * icost))
+            (ninstr + 2)
+        end
+        else begin
+          let sp = sp - 1 in
+          Array.unsafe_set locals i (Array.unsafe_get stack sp);
+          step t fr ops icost stack locals (pc + 1) sp (remaining - icost)
+            (ninstr + 1)
+        end
+    | Dcode.Store_store (i, j) ->
+        if remaining > icost then begin
+          Array.unsafe_set locals i (Array.unsafe_get stack (sp - 1));
+          Array.unsafe_set locals j (Array.unsafe_get stack (sp - 2));
+          step t fr ops icost stack locals (pc + 2) (sp - 2)
+            (remaining - (2 * icost))
+            (ninstr + 2)
+        end
+        else begin
+          let sp = sp - 1 in
+          Array.unsafe_set locals i (Array.unsafe_get stack sp);
+          step t fr ops icost stack locals (pc + 1) sp (remaining - icost)
+            (ninstr + 1)
+        end
+    | Dcode.Store_jump (i, target) ->
+        if remaining > icost then begin
+          Array.unsafe_set locals i (Array.unsafe_get stack (sp - 1));
+          step t fr ops icost stack locals target (sp - 1)
+            (remaining - (2 * icost))
+            (ninstr + 2)
+        end
+        else begin
+          let sp = sp - 1 in
+          Array.unsafe_set locals i (Array.unsafe_get stack sp);
+          step t fr ops icost stack locals (pc + 1) sp (remaining - icost)
+            (ninstr + 1)
+        end
+    | Dcode.Getfield_load (f, j) ->
+        let o = as_obj (Array.unsafe_get stack (sp - 1)) in
+        if remaining > icost then begin
+          Array.unsafe_set stack (sp - 1) o.Value.fields.(f);
+          Array.unsafe_set stack sp (Array.unsafe_get locals j);
+          step t fr ops icost stack locals (pc + 2) (sp + 1)
+            (remaining - (2 * icost))
+            (ninstr + 2)
+        end
+        else begin
+          Array.unsafe_set stack (sp - 1) o.Value.fields.(f);
+          step t fr ops icost stack locals (pc + 1) sp (remaining - icost)
+            (ninstr + 1)
+        end
+    | Dcode.Load_binop (i, op) ->
+        if remaining > icost then begin
+          (* the loaded local is the top operand [b] of the binop *)
+          let b = as_int (Array.unsafe_get locals i) in
+          let a = as_int (Array.unsafe_get stack (sp - 1)) in
+          Array.unsafe_set stack (sp - 1) (Value.of_int (eval_binop op a b));
+          step t fr ops icost stack locals (pc + 2) sp
+            (remaining - (2 * icost))
+            (ninstr + 2)
+        end
+        else begin
+          Array.unsafe_set stack sp (Array.unsafe_get locals i);
+          step t fr ops icost stack locals (pc + 1) (sp + 1)
+            (remaining - icost) (ninstr + 1)
+        end
+    | Dcode.Load_cmp (i, c) ->
+        if remaining > icost then begin
+          let b = Array.unsafe_get locals i in
+          let a = Array.unsafe_get stack (sp - 1) in
+          Array.unsafe_set stack (sp - 1) (Value.of_int (eval_cmp c a b));
+          step t fr ops icost stack locals (pc + 2) sp
+            (remaining - (2 * icost))
+            (ninstr + 2)
+        end
+        else begin
+          Array.unsafe_set stack sp (Array.unsafe_get locals i);
+          step t fr ops icost stack locals (pc + 1) (sp + 1)
+            (remaining - icost) (ninstr + 1)
+        end
+    | Dcode.Load_arrayget i ->
+        if remaining > icost then begin
+          let idx = as_int (Array.unsafe_get locals i) in
+          let a = as_arr (Array.unsafe_get stack (sp - 1)) in
+          if idx < 0 || idx >= Array.length a then
+            rerr "array index %d out of bounds (length %d)" idx
+              (Array.length a);
+          Array.unsafe_set stack (sp - 1) (Array.unsafe_get a idx);
+          step t fr ops icost stack locals (pc + 2) sp
+            (remaining - (2 * icost))
+            (ninstr + 2)
+        end
+        else begin
+          Array.unsafe_set stack sp (Array.unsafe_get locals i);
+          step t fr ops icost stack locals (pc + 1) (sp + 1)
+            (remaining - icost) (ninstr + 1)
+        end
+    | Dcode.Binop_const (op, v) ->
+        let b = as_int (Array.unsafe_get stack (sp - 1)) in
+        let a = as_int (Array.unsafe_get stack (sp - 2)) in
+        if remaining > icost then begin
+          Array.unsafe_set stack (sp - 2) (Value.of_int (eval_binop op a b));
+          Array.unsafe_set stack (sp - 1) v;
+          step t fr ops icost stack locals (pc + 2) sp
+            (remaining - (2 * icost))
+            (ninstr + 2)
+        end
+        else begin
+          let sp = sp - 1 in
+          Array.unsafe_set stack (sp - 1) (Value.of_int (eval_binop op a b));
+          step t fr ops icost stack locals (pc + 1) sp (remaining - icost)
+            (ninstr + 1)
+        end
+    | Dcode.Binop_binop (op1, op2) ->
+        let b = as_int (Array.unsafe_get stack (sp - 1)) in
+        let a = as_int (Array.unsafe_get stack (sp - 2)) in
+        if remaining > icost then begin
+          (* the first result is the (always-Int) top operand of the
+             second binop, so it never needs boxing *)
+          let r1 = eval_binop op1 a b in
+          let a2 = as_int (Array.unsafe_get stack (sp - 3)) in
+          Array.unsafe_set stack (sp - 3)
+            (Value.of_int (eval_binop op2 a2 r1));
+          step t fr ops icost stack locals (pc + 2) (sp - 2)
+            (remaining - (2 * icost))
+            (ninstr + 2)
+        end
+        else begin
+          let sp = sp - 1 in
+          Array.unsafe_set stack (sp - 1) (Value.of_int (eval_binop op1 a b));
+          step t fr ops icost stack locals (pc + 1) sp (remaining - icost)
+            (ninstr + 1)
+        end
+    | Dcode.Const_cmp (v, c) ->
+        if remaining > icost then begin
+          let a = Array.unsafe_get stack (sp - 1) in
+          Array.unsafe_set stack (sp - 1) (Value.of_int (eval_cmp c a v));
+          step t fr ops icost stack locals (pc + 2) sp
+            (remaining - (2 * icost))
+            (ninstr + 2)
+        end
+        else begin
+          Array.unsafe_set stack sp v;
+          step t fr ops icost stack locals (pc + 1) (sp + 1)
+            (remaining - icost) (ninstr + 1)
+        end
+    | Dcode.Arrayget_store j ->
+        let idx = as_int (Array.unsafe_get stack (sp - 1)) in
+        let a = as_arr (Array.unsafe_get stack (sp - 2)) in
+        if idx < 0 || idx >= Array.length a then
+          rerr "array index %d out of bounds (length %d)" idx (Array.length a);
+        if remaining > icost then begin
+          Array.unsafe_set locals j (Array.unsafe_get a idx);
+          step t fr ops icost stack locals (pc + 2) (sp - 2)
+            (remaining - (2 * icost))
+            (ninstr + 2)
+        end
+        else begin
+          let sp = sp - 1 in
+          Array.unsafe_set stack (sp - 1) (Array.unsafe_get a idx);
+          step t fr ops icost stack locals (pc + 1) sp (remaining - icost)
+            (ninstr + 1)
+        end
+    | Dcode.Load_jumpifnot (i, target) ->
+        if remaining > icost then begin
+          if Value.truthy (Array.unsafe_get locals i) then
+            step t fr ops icost stack locals (pc + 2) sp
+              (remaining - (2 * icost))
+              (ninstr + 2)
+          else
+            step t fr ops icost stack locals target sp
+              (remaining - (2 * icost))
+              (ninstr + 2)
+        end
+        else begin
+          Array.unsafe_set stack sp (Array.unsafe_get locals i);
+          step t fr ops icost stack locals (pc + 1) (sp + 1)
+            (remaining - icost) (ninstr + 1)
+        end
+  end
+
+(* Resume execution after a frame switch (call or return): as long as the
+   timer is not due, keep interpreting the new top frame in the same
+   window instead of bouncing through the driver loop. *)
+and continue_window t =
+  if t.depth > 0 then begin
+    let remaining = t.next_sample - t.cycles in
+    if remaining > 0 then begin
+      let fr = t.frames.(t.depth - 1) in
+      let dc = fr.f_dcode in
+      step t fr dc.Dcode.ops dc.Dcode.icost fr.f_stack fr.f_locals fr.f_pc
+        fr.f_sp remaining 0
+    end
+  end
+
+let exec_window t fr remaining =
+  let dc = fr.f_dcode in
+  step t fr dc.Dcode.ops dc.Dcode.icost fr.f_stack fr.f_locals fr.f_pc
+    fr.f_sp remaining 0
+
+(* The driver. The naive interpreter compares [cycles >= next_sample]
+   before every instruction; here the check runs once per *window*, whose
+   size (in source instructions) is chosen so every skipped check is
+   provably false: within a window each instruction charges exactly the
+   frame's per-dispatch cost [icost], so after [k] instructions the clock
+   has advanced exactly [k * icost], and
+   [ceil((next_sample - cycles) / icost)] instructions fit before the
+   clock can reach [next_sample]. Instructions with additional charges
+   (calls, returns across tiers, allocations, guards) end the window
+   early, restoring the check before the next instruction — i.e. hooks
+   fire at bit-identical cycle counts, in bit-identical VM states, as
+   under the naive loop. *)
 let run ?(cycle_limit = max_int) t =
   let main = Program.main t.program in
   t.executed.((main :> int)) <- true;
   t.on_first_execution main;
-  ignore (push_frame t t.code_table.((main :> int)));
+  ignore
+    (push_frame t
+       t.code_table.((main :> int))
+       t.dcode_table.((main :> int)));
+  t.call_count <- t.call_count + 1;
+  while t.depth > 0 do
+    (* The timer fires before the fetch: hooks may install code or
+       on-stack-replace the top frame, so nothing is cached across
+       them. *)
+    if t.cycles >= t.next_sample then begin
+      t.next_sample <- t.next_sample + t.sample_period;
+      if t.cycles > cycle_limit then raise Cycle_limit_exceeded;
+      t.on_timer_sample t
+    end;
+    let fr = t.frames.(t.depth - 1) in
+    let gap = t.next_sample - t.cycles in
+    (* Even when the clock already passed [next_sample] again (an AOS
+       hook can charge more than a whole period), the naive loop still
+       executes one instruction between consecutive checks — a 1-cycle
+       window admits exactly one instruction, every charge being >= 1. *)
+    exec_window t fr (if gap <= 0 then 1 else gap)
+  done
+
+(* The naive instruction-at-a-time loop, kept verbatim as the executable
+   specification of the interpreter: [run] must be observationally
+   identical (cycles, output, counters, hook timing). The differential
+   property tests in the test suite run both on random programs. *)
+let run_reference ?(cycle_limit = max_int) t =
+  let main = Program.main t.program in
+  t.executed.((main :> int)) <- true;
+  t.on_first_execution main;
+  ignore
+    (push_frame t
+       t.code_table.((main :> int))
+       t.dcode_table.((main :> int)));
   t.call_count <- t.call_count + 1;
   let base_cost = t.cost.Cost.baseline_instr in
   let opt_cost = t.cost.Cost.opt_instr in
   while t.depth > 0 do
-    (* The timer fires before the fetch: hooks may install code or
-       on-stack-replace the top frame, so nothing may be cached across
-       them. *)
     if t.cycles >= t.next_sample then begin
       t.next_sample <- t.next_sample + t.sample_period;
       if t.cycles > cycle_limit then raise Cycle_limit_exceeded;

@@ -2,10 +2,17 @@
 
     Executes whatever code the code table currently holds for each method —
     baseline bodies or JIT-produced optimized code — while advancing the
-    virtual cycle clock according to {!Cost}. New code can be installed at
-    any method boundary; frames already on the stack keep executing the
-    code they started in (there is no on-stack replacement, as in the
-    paper's system).
+    virtual cycle clock according to {!Cost}. New code activates on the
+    next invocation of the method; frames already on the stack keep
+    executing the code they started in, unless the AOS explicitly
+    transfers the innermost frame with {!osr}.
+
+    Internally each installed [Code.t] is pre-decoded ({!Dcode}) and the
+    timer check is batched over windows of provably event-free
+    instructions; both are exact-equivalence transformations — cycle
+    counts, hook firing points, counters and output are bit-identical to
+    the naive instruction-at-a-time loop, which is kept as
+    {!run_reference} and differentially tested against {!run}.
 
     Hooks let the adaptive optimization system observe execution without
     the interpreter knowing anything about it:
@@ -32,11 +39,14 @@ val create :
   ?cost:Cost.t ->
   ?sample_period:int ->
   ?invoke_stride:int ->
+  ?fuse:bool ->
   Program.t ->
   t
 (** A fresh VM with every method's code table entry set to its baseline
     compilation. [sample_period] defaults to 100_000 cycles;
-    [invoke_stride] to 2048 invocations. *)
+    [invoke_stride] to 2048 invocations. [fuse] (default [true]) controls
+    the superinstruction pass of the pre-decoder; results are identical
+    either way (used by the differential tests). *)
 
 val program : t -> Program.t
 val cost : t -> Cost.t
@@ -63,6 +73,9 @@ val output : t -> int list
 
 val install_code : t -> Ids.Method_id.t -> Code.t -> unit
 val code_of : t -> Ids.Method_id.t -> Code.t
+
+val decoded_of : t -> Ids.Method_id.t -> Dcode.t
+(** The pre-decoded form currently installed for [mid] (for tests). *)
 
 val was_executed : t -> Ids.Method_id.t -> bool
 (** Whether the method has ever been invoked (i.e. baseline-compiled). *)
@@ -95,3 +108,9 @@ val stack_depth : t -> int
 val run : ?cycle_limit:int -> t -> unit
 (** Execute from the program's [main] until it returns. Raises
     {!Cycle_limit_exceeded} if the clock passes [cycle_limit]. *)
+
+val run_reference : ?cycle_limit:int -> t -> unit
+(** The naive instruction-at-a-time interpreter loop, kept as the
+    executable specification of {!run}: on any program and hook
+    configuration both produce bit-identical cycles, counters, output and
+    hook timing. Roughly 2-3x slower; exists for differential testing. *)

@@ -12,12 +12,27 @@ and obj = {
 }
 
 let zero = Int 0
+let one = Int 1
+
+(* Shared immutable cells for common integers, so that the interpreter's
+   constant pushes and arithmetic results do not allocate. [Int] values
+   are compared structurally ({!equal_cmp}), never by identity, so sharing
+   is unobservable. *)
+let small_lo = -128
+let small_hi = 1024
+let small = Array.init (small_hi - small_lo) (fun i -> Int (i + small_lo))
+
+let[@inline] of_int n =
+  if n >= small_lo && n < small_hi then Array.unsafe_get small (n - small_lo)
+  else Int n
+
+let[@inline] of_bool b = if b then one else zero
 
 let alloc program cid =
   let cls = Program.clazz program cid in
   Obj { cls = cid; fields = Array.make (Clazz.field_count cls) zero }
 
-let equal_cmp a b =
+let[@inline] equal_cmp a b =
   match (a, b) with
   | Int x, Int y -> x = y
   | Null, Null -> true
@@ -25,7 +40,7 @@ let equal_cmp a b =
   | Arr x, Arr y -> x == y
   | (Int _ | Null | Obj _ | Arr _), _ -> false
 
-let truthy = function
+let[@inline] truthy = function
   | Int 0 | Null -> false
   | Int _ | Obj _ | Arr _ -> true
 

@@ -20,6 +20,17 @@ val zero : t
     references in arrays (e.g. the library HashMap) must null its slots
     explicitly, as [Int 0] is not a valid dispatch receiver. *)
 
+val one : t
+(** Shared [Int 1]. *)
+
+val of_int : int -> t
+(** [Int n], drawn from a shared cache of small-integer cells when
+    possible so hot interpreter paths avoid allocation. Semantically
+    indistinguishable from [Int n]: integers compare structurally. *)
+
+val of_bool : bool -> t
+(** [one] / [zero]. *)
+
 val alloc : Acsi_bytecode.Program.t -> Acsi_bytecode.Ids.Class_id.t -> t
 (** Fresh object with all fields set to {!zero}. *)
 

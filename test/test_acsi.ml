@@ -19,6 +19,7 @@ let () =
       ("smoke", Test_smoke.suite);
       ("core", Test_core.suite);
       ("props", Test_props.suite);
+      ("speed", Test_speed.suite);
       ("workloads", Test_workloads.suite);
       ("micro", Test_micro.suite);
       ("richards", Test_richards.suite);

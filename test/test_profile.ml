@@ -79,8 +79,8 @@ let prop_hash_consistent =
     QCheck.(pair arbitrary_chain (int_bound 20))
     (fun (chain, callee) ->
       QCheck.assume (Array.length chain > 0);
-      let t1 = { Trace.callee = mid callee; chain } in
-      let t2 = { Trace.callee = mid callee; chain = Array.copy chain } in
+      let t1 = Trace.of_chain ~callee:(mid callee) ~chain in
+      let t2 = Trace.of_chain ~callee:(mid callee) ~chain:(Array.copy chain) in
       Trace.equal t1 t2 && Trace.hash t1 = Trace.hash t2)
 
 (* --- Dcg --- *)

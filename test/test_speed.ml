@@ -1,0 +1,233 @@
+(* Tests for the simulator speed overhaul: the pre-decoded, batched
+   interpreter against the naive reference loop (bit-identical clocks,
+   counters, output, and hook firing points), sweep determinism across
+   domain counts, and the DCG per-site index. *)
+
+open Acsi_bytecode
+open Acsi_core
+module Interp = Acsi_vm.Interp
+module Dcode = Acsi_vm.Dcode
+module Dcg = Acsi_profile.Dcg
+module Trace = Acsi_profile.Trace
+module Workloads = Acsi_workloads.Workloads
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let mid = Ids.Method_id.of_int
+
+let trace callee chain =
+  Trace.make ~callee:(mid callee)
+    ~chain:
+      (List.map (fun (c, s) -> { Trace.caller = mid c; callsite = s }) chain)
+
+(* --- determinism regressions --- *)
+
+(* The same workload run twice produces identical metrics, output, and
+   profile mass: nothing in the VM or AOS depends on wall-clock, address
+   hashing, or other ambient state. *)
+let test_run_twice () =
+  let program = (Workloads.find "db").Workloads.build ~scale:1 in
+  let run () =
+    Runtime.run (Config.default ~policy:(Acsi_policy.Policy.Fixed 3)) program
+  in
+  let a = run () in
+  let b = run () in
+  check_bool "metrics identical" true (a.Runtime.metrics = b.Runtime.metrics);
+  check_bool "output identical" true
+    (Interp.output a.Runtime.vm = Interp.output b.Runtime.vm);
+  check_bool "profile mass identical" true
+    (Dcg.total_weight (Acsi_aos.System.dcg a.Runtime.sys)
+    = Dcg.total_weight (Acsi_aos.System.dcg b.Runtime.sys))
+
+(* A sweep fanned across 4 domains is the same sweep as the serial one —
+   the cells are independent and collected by index. *)
+let test_sweep_jobs () =
+  let benches =
+    List.map
+      (fun name ->
+        {
+          Experiment.name;
+          program = (Workloads.find name).Workloads.build ~scale:1;
+        })
+      [ "db"; "jess" ]
+  in
+  let policies =
+    Acsi_policy.Policy.[ Fixed 2; Parameterless 3 ]
+  in
+  let cfg = Config.default ~policy:Acsi_policy.Policy.Context_insensitive in
+  let s1 = Experiment.run_sweep ~jobs:1 cfg ~benches ~policies in
+  let s4 = Experiment.run_sweep ~jobs:4 cfg ~benches ~policies in
+  check_bool "bench names" true
+    (s1.Experiment.bench_names = s4.Experiment.bench_names);
+  check_bool "baselines" true
+    (s1.Experiment.baselines = s4.Experiment.baselines);
+  check_bool "points" true (s1.Experiment.points = s4.Experiment.points);
+  check_bool "cell cycles" true
+    (List.map (fun t -> t.Experiment.t_cycles) s1.Experiment.timings
+    = List.map (fun t -> t.Experiment.t_cycles) s4.Experiment.timings)
+
+(* --- DCG site index --- *)
+
+let test_site_index () =
+  let dcg = Dcg.create () in
+  let t1 = trace 10 [ (1, 2) ] in
+  let t2 = trace 11 [ (1, 2) ] in
+  let t3 = trace 10 [ (1, 2); (3, 4) ] in
+  let t4 = trace 12 [ (5, 6) ] in
+  for _ = 1 to 4 do
+    Dcg.add_sample dcg t1
+  done;
+  Dcg.add_sample dcg t2;
+  Dcg.add_sample dcg t3;
+  Dcg.add_sample dcg t3;
+  Dcg.add_sample dcg t4;
+  check_int "two live sites" 2 (Dcg.site_count dcg);
+  check_int "three traces at (1,2)" 3
+    (Dcg.site_entry_count dcg ~caller:(mid 1) ~callsite:2);
+  check_bool "edge weight sums depths" true
+    (Dcg.edge_weight dcg ~caller:(mid 1) ~callsite:2 ~callee:(mid 10) = 6.0);
+  (match Dcg.site_distribution dcg ~caller:(mid 1) ~callsite:2 with
+  | [ (c10, 6.0); (c11, 1.0) ] ->
+      check_bool "distribution callees" true
+        (Ids.Method_id.equal c10 (mid 10) && Ids.Method_id.equal c11 (mid 11))
+  | other ->
+      Alcotest.failf "unexpected distribution (%d entries)" (List.length other));
+  (* Decay prunes t2 (1.0 -> 0.5) and t4; the index must follow: the
+     (5,6) site empties out and is dropped, (1,2) keeps two traces. *)
+  Dcg.decay dcg ~factor:0.5 ~prune_below:0.6;
+  check_int "pruned trace leaves site" 2
+    (Dcg.site_entry_count dcg ~caller:(mid 1) ~callsite:2);
+  check_int "empty site dropped" 0
+    (Dcg.site_entry_count dcg ~caller:(mid 5) ~callsite:6);
+  check_int "one live site" 1 (Dcg.site_count dcg);
+  check_bool "post-decay edge weight" true
+    (Dcg.edge_weight dcg ~caller:(mid 1) ~callsite:2 ~callee:(mid 10) = 3.0);
+  check_bool "post-decay total" true (Dcg.total_weight dcg = 3.0);
+  (* Prune everything. *)
+  Dcg.decay dcg ~factor:0.1 ~prune_below:1.0;
+  check_int "all sites dropped" 0 (Dcg.site_count dcg);
+  check_int "table empty" 0 (Dcg.size dcg);
+  check_bool "total ~ 0" true (Float.abs (Dcg.total_weight dcg) < 1e-9)
+
+(* The cached trace hash is the documented structural formula, and stays
+   consistent through [edge] (which rebuilds the chain). *)
+let test_trace_hash () =
+  let manual callee chain =
+    let h = ref (Ids.Method_id.hash (mid callee)) in
+    List.iter
+      (fun (c, s) ->
+        h := (!h * 31) + Ids.Method_id.hash (mid c);
+        h := (!h * 31) + s)
+      chain;
+    !h land max_int
+  in
+  let t = trace 7 [ (1, 2); (3, 4) ] in
+  check_int "hash is the structural formula" (manual 7 [ (1, 2); (3, 4) ])
+    (Trace.hash t);
+  check_int "edge recomputes the cache" (manual 7 [ (1, 2) ])
+    (Trace.hash (Trace.edge t));
+  check_int "edge hash equals a fresh depth-1 trace"
+    (Trace.hash (trace 7 [ (1, 2) ]))
+    (Trace.hash (Trace.edge t))
+
+(* --- pre-decoded interpreter --- *)
+
+(* The decoder keeps the stream 1:1 with source pcs and actually fuses
+   something on real workloads; [~fuse:false] fuses nothing. *)
+let test_decoder_shape () =
+  let program = (Workloads.find "db").Workloads.build ~scale:1 in
+  let vm = Interp.create program in
+  let vm_nofuse = Interp.create ~fuse:false program in
+  let total_fused = ref 0 in
+  Array.iter
+    (fun (m : Meth.t) ->
+      let id = m.Meth.id in
+      let code = Interp.code_of vm id in
+      let dc = Interp.decoded_of vm id in
+      check_int
+        (Printf.sprintf "stream 1:1 for %s" m.Meth.name)
+        (Array.length code.Acsi_vm.Code.instrs)
+        (Array.length dc.Dcode.ops);
+      total_fused := !total_fused + Dcode.fused_count dc;
+      check_int
+        (Printf.sprintf "no fusion when disabled for %s" m.Meth.name)
+        0
+        (Dcode.fused_count (Interp.decoded_of vm_nofuse id)))
+    (Program.methods program);
+  check_bool "superinstructions selected somewhere" true (!total_fused > 0)
+
+(* Differential property: on random programs, the batched interpreter
+   (with and without superinstructions) is indistinguishable from the
+   naive reference loop — cycles, instruction/call/guard counters,
+   output, and the exact cycle count at every timer and invoke hook
+   firing. The sample period is chosen co-prime to the instruction costs
+   so windows end both on event boundaries and mid-instruction. *)
+let prop_decoded_matches_reference =
+  QCheck.Test.make ~name:"pre-decoded interpreter matches naive reference"
+    ~count:40 Test_props.arbitrary_program (fun ast ->
+      let program = Acsi_lang.Compile.prog ast in
+      let exec ~fuse ~reference =
+        let vm =
+          Interp.create ~sample_period:997 ~invoke_stride:16 ~fuse program
+        in
+        let timer_fires = ref [] in
+        let invoke_fires = ref [] in
+        let first_execs = ref [] in
+        Interp.set_on_timer_sample vm (fun vm ->
+            timer_fires := Interp.cycles vm :: !timer_fires);
+        Interp.set_on_invoke vm (fun vm m ->
+            invoke_fires := (Interp.cycles vm, (m :> int)) :: !invoke_fires);
+        Interp.set_on_first_execution vm (fun m ->
+            first_execs := (m :> int) :: !first_execs);
+        if reference then Interp.run_reference vm else Interp.run vm;
+        ( Interp.cycles vm,
+          Interp.instructions_executed vm,
+          Interp.calls_executed vm,
+          Interp.guard_hits vm,
+          Interp.guard_misses vm,
+          Interp.output vm,
+          !timer_fires,
+          !invoke_fires,
+          !first_execs )
+      in
+      let reference = exec ~fuse:true ~reference:true in
+      reference = exec ~fuse:true ~reference:false
+      && reference = exec ~fuse:false ~reference:false)
+
+(* Same property through the whole adaptive system: driving the AOS (code
+   installation, OSR, decay, recompilation) from the reference loop ends
+   in the same metrics and profile as the production loop. *)
+let prop_aos_matches_reference =
+  QCheck.Test.make ~name:"adaptive system agrees across interpreter loops"
+    ~count:15 Test_props.arbitrary_program (fun ast ->
+      let program = Acsi_lang.Compile.prog ast in
+      let cfg = Config.default ~policy:(Acsi_policy.Policy.Fixed 3) in
+      let cfg = { cfg with Config.sample_period = 5_000; invoke_stride = 16 } in
+      let exec ~reference =
+        let vm =
+          Interp.create ~cost:cfg.Config.cost
+            ~sample_period:cfg.Config.sample_period
+            ~invoke_stride:cfg.Config.invoke_stride program
+        in
+        let sys = Acsi_aos.System.create cfg.Config.aos vm in
+        (if reference then
+           Interp.run_reference ~cycle_limit:cfg.Config.cycle_limit vm
+         else Interp.run ~cycle_limit:cfg.Config.cycle_limit vm);
+        ( Metrics.of_run vm sys,
+          Interp.output vm,
+          Dcg.total_weight (Acsi_aos.System.dcg sys) )
+      in
+      exec ~reference:true = exec ~reference:false)
+
+let suite =
+  [
+    Alcotest.test_case "same run twice is identical" `Quick test_run_twice;
+    Alcotest.test_case "sweep: jobs 1 = jobs 4" `Slow test_sweep_jobs;
+    Alcotest.test_case "dcg: site index tracks decay/pruning" `Quick
+      test_site_index;
+    Alcotest.test_case "trace: cached hash" `Quick test_trace_hash;
+    Alcotest.test_case "dcode: 1:1 stream, fusion on/off" `Quick
+      test_decoder_shape;
+    QCheck_alcotest.to_alcotest prop_decoded_matches_reference;
+    QCheck_alcotest.to_alcotest prop_aos_matches_reference;
+  ]
