@@ -1,0 +1,154 @@
+(* Diff two BENCH_results.json files (or two runs of one trajectory
+   file): per-cell wall-clock deltas, sorted by magnitude, plus the
+   totals — one command to spot a performance regression after a change.
+
+     compare.exe OLD.json NEW.json [--all] [--old-run N] [--new-run N]
+
+   By default the *last* run of each file is compared (a results file is
+   a trajectory; see results.ml). Wall-clock deltas are informational —
+   the host is noisy — but a total_cycles mismatch between runs at the
+   same scale factor means the simulated execution itself changed, which
+   the determinism contract forbids; that exits non-zero. *)
+
+let usage =
+  "usage: compare.exe OLD.json NEW.json [--all] [--old-run N] [--new-run N]"
+
+let die fmt = Format.kasprintf (fun m -> prerr_endline m; exit 2) fmt
+
+type opts = {
+  mutable old_file : string option;
+  mutable new_file : string option;
+  mutable all : bool;
+  mutable old_run : int option;  (* index into the trajectory; default last *)
+  mutable new_run : int option;
+}
+
+let parse_args () =
+  let o =
+    { old_file = None; new_file = None; all = false; old_run = None; new_run = None }
+  in
+  let int_arg name v =
+    match int_of_string_opt v with
+    | Some i when i >= 0 -> i
+    | _ -> die "invalid %s value %s@.%s" name v usage
+  in
+  let rec go = function
+    | [] -> ()
+    | "--all" :: rest ->
+        o.all <- true;
+        go rest
+    | "--old-run" :: v :: rest ->
+        o.old_run <- Some (int_arg "--old-run" v);
+        go rest
+    | "--new-run" :: v :: rest ->
+        o.new_run <- Some (int_arg "--new-run" v);
+        go rest
+    | arg :: rest when o.old_file = None ->
+        o.old_file <- Some arg;
+        go rest
+    | arg :: rest when o.new_file = None ->
+        o.new_file <- Some arg;
+        go rest
+    | arg :: _ -> die "unexpected argument %s@.%s" arg usage
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  match (o.old_file, o.new_file) with
+  | Some a, Some b -> (o, a, b)
+  | _ -> die "two results files required@.%s" usage
+
+let load path idx =
+  let runs =
+    try Results.read_file path with
+    | Sys_error msg -> die "%s" msg
+    | Results.Parse_error msg -> die "%s: %s" path msg
+  in
+  let n = List.length runs in
+  if n = 0 then die "%s: no runs" path;
+  let i = match idx with Some i -> i | None -> n - 1 in
+  if i >= n then die "%s: run %d requested but only %d recorded" path i n;
+  (List.nth runs i, i, n)
+
+let () =
+  let o, old_path, new_path = parse_args () in
+  let old_run, old_i, old_n = load old_path o.old_run in
+  let new_run, new_i, new_n = load new_path o.new_run in
+  Printf.printf "old: %s (run %d/%d)  jobs %d  scale %g  wall_total %.2fs\n"
+    old_path old_i (old_n - 1) old_run.Results.jobs old_run.Results.scale_factor
+    old_run.Results.wall_total_s;
+  Printf.printf "new: %s (run %d/%d)  jobs %d  scale %g  wall_total %.2fs\n"
+    new_path new_i (new_n - 1) new_run.Results.jobs new_run.Results.scale_factor
+    new_run.Results.wall_total_s;
+  let same_scale =
+    old_run.Results.scale_factor = new_run.Results.scale_factor
+  in
+  if not same_scale then
+    print_endline
+      "note: scale factors differ — cycle counts are not comparable, only \
+       reporting wall-clock";
+  let old_cells = Hashtbl.create 64 in
+  List.iter
+    (fun (c : Results.cell) ->
+      Hashtbl.replace old_cells (c.Results.bench, c.Results.policy) c)
+    old_run.Results.cells;
+  let matched = ref [] in
+  let added = ref [] in
+  let cycle_mismatches = ref [] in
+  List.iter
+    (fun (c : Results.cell) ->
+      let key = (c.Results.bench, c.Results.policy) in
+      match Hashtbl.find_opt old_cells key with
+      | None -> added := key :: !added
+      | Some old_c ->
+          Hashtbl.remove old_cells key;
+          if same_scale && old_c.Results.total_cycles <> c.Results.total_cycles
+          then cycle_mismatches := (key, old_c, c) :: !cycle_mismatches;
+          matched := (key, old_c.Results.wall_s, c.Results.wall_s) :: !matched)
+    new_run.Results.cells;
+  let removed = Hashtbl.fold (fun key _ acc -> key :: acc) old_cells [] in
+  let deltas =
+    List.map (fun (key, o, n) -> (key, o, n, n -. o)) !matched
+    |> List.sort (fun (_, _, _, a) (_, _, _, b) ->
+           Float.compare (Float.abs b) (Float.abs a))
+  in
+  let shown = if o.all then deltas else
+    (let rec take k = function
+       | x :: rest when k > 0 -> x :: take (k - 1) rest
+       | _ -> []
+     in
+     take 15 deltas)
+  in
+  Printf.printf "\n%-10s %-22s %9s %9s %9s %8s\n" "bench" "policy" "old ms"
+    "new ms" "delta ms" "delta %";
+  List.iter
+    (fun ((bench, policy), o, n, d) ->
+      Printf.printf "%-10s %-22s %9.1f %9.1f %+9.1f %+7.1f%%\n" bench policy
+        (o *. 1e3) (n *. 1e3) (d *. 1e3)
+        (if o > 0.0 then d /. o *. 100.0 else 0.0))
+    shown;
+  if not o.all && List.length deltas > List.length shown then
+    Printf.printf "  ... %d more cells (--all to list)\n"
+      (List.length deltas - List.length shown);
+  let sum f = List.fold_left (fun acc (_, o, n, _) -> acc +. f o n) 0.0 deltas in
+  let old_sum = sum (fun o _ -> o) and new_sum = sum (fun _ n -> n) in
+  Printf.printf
+    "\ntotals over %d matched cells: %.2fs -> %.2fs (%+.2fs, %+.1f%%)\n"
+    (List.length deltas) old_sum new_sum (new_sum -. old_sum)
+    (if old_sum > 0.0 then (new_sum -. old_sum) /. old_sum *. 100.0 else 0.0);
+  List.iter
+    (fun (bench, policy) ->
+      Printf.printf "cell only in new run: %s/%s\n" bench policy)
+    (List.rev !added);
+  List.iter
+    (fun (bench, policy) ->
+      Printf.printf "cell only in old run: %s/%s\n" bench policy)
+    removed;
+  if !cycle_mismatches <> [] then begin
+    Printf.printf "\nDETERMINISM VIOLATION: total_cycles changed on %d cells:\n"
+      (List.length !cycle_mismatches);
+    List.iter
+      (fun ((bench, policy), (o : Results.cell), (n : Results.cell)) ->
+        Printf.printf "  %s/%s: %d -> %d\n" bench policy
+          o.Results.total_cycles n.Results.total_cycles)
+      (List.rev !cycle_mismatches);
+    exit 1
+  end

@@ -7,7 +7,9 @@
      dune exec bench/main.exe -- --ablations  design-choice ablations
      dune exec bench/main.exe -- --micro      bechamel microbenchmarks
      dune exec bench/main.exe -- --jobs 8     domain-parallel driver
-     dune exec bench/main.exe -- --json       write BENCH_results.json
+     dune exec bench/main.exe -- --json       append run to BENCH_results.json
+     dune exec bench/main.exe -- --json-out F append run to F instead
+     dune exec bench/compare.exe A.json B.json   diff two results files
 
    Everything is deterministic: identical invocations print identical
    numbers, whatever --jobs is — cells fan out across domains but are
@@ -30,6 +32,7 @@ type mode = {
   mutable scale_factor : float;
   mutable jobs : int;
   mutable json : bool;
+  mutable json_path : string;
 }
 
 let parse_args () =
@@ -46,6 +49,7 @@ let parse_args () =
       scale_factor = 1.0;
       jobs = Parallel.available_cores ();
       json = false;
+      json_path = "BENCH_results.json";
     }
   in
   let any = ref false in
@@ -87,7 +91,11 @@ let parse_args () =
         m.scale_factor <- 0.25;
         go rest
     | "--scale-factor" :: f :: rest ->
-        m.scale_factor <- float_of_string f;
+        (match float_of_string_opt f with
+        | Some v when v > 0.0 -> m.scale_factor <- v
+        | Some _ | None ->
+            Format.eprintf "invalid --scale-factor value %s@." f;
+            exit 2);
         go rest
     | "--jobs" :: n :: rest ->
         (match int_of_string_opt n with
@@ -98,6 +106,10 @@ let parse_args () =
         go rest
     | "--json" :: rest ->
         m.json <- true;
+        go rest
+    | "--json-out" :: p :: rest ->
+        m.json <- true;
+        m.json_path <- p;
         go rest
     | arg :: _ ->
         Format.eprintf "unknown argument %s@." arg;
@@ -403,43 +415,49 @@ let extended mode =
 
 (* --- machine-readable results: per-cell wall-clock + virtual cycles --- *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' | '\\' -> Buffer.add_char buf '\\'; Buffer.add_char buf c
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
 (* Wall-clock is the only non-deterministic number the harness produces,
    so it goes to a side file instead of stdout (which stays byte-stable
    run to run). The virtual cycles per cell are repeated here so a
-   results file is self-contained for plotting/regression scripts. *)
+   results file is self-contained for plotting/regression scripts. The
+   file is a trajectory — each invocation appends its run, so the
+   wall-clock history survives in one file and compare.exe can diff any
+   two points of it (see results.ml). *)
 let write_json mode (s : Experiment.sweep) =
-  let path = "BENCH_results.json" in
-  let oc = open_out path in
-  Printf.fprintf oc
-    "{\n  \"jobs\": %d,\n  \"scale_factor\": %g,\n  \"wall_total_s\": %.6f,\n  \"cells\": [\n"
-    mode.jobs mode.scale_factor s.Experiment.wall_total_s;
-  let last = List.length s.Experiment.timings - 1 in
-  List.iteri
-    (fun i (t : Experiment.timing) ->
-      Printf.fprintf oc
-        "    {\"bench\": \"%s\", \"policy\": \"%s\", \"wall_s\": %.6f, \"total_cycles\": %d}%s\n"
-        (json_escape t.Experiment.t_bench)
-        (json_escape t.Experiment.t_policy)
-        t.Experiment.t_wall_s t.Experiment.t_cycles
-        (if i = last then "" else ","))
-    s.Experiment.timings;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc;
-  Format.eprintf "  [json] wrote %s (%d cells, sweep wall %.2fs, jobs %d)@."
-    path (List.length s.Experiment.timings) s.Experiment.wall_total_s mode.jobs
+  let path = mode.json_path in
+  let run =
+    {
+      Results.jobs = mode.jobs;
+      scale_factor = mode.scale_factor;
+      wall_total_s = s.Experiment.wall_total_s;
+      cells =
+        List.map
+          (fun (t : Experiment.timing) ->
+            {
+              Results.bench = t.Experiment.t_bench;
+              policy = t.Experiment.t_policy;
+              wall_s = t.Experiment.t_wall_s;
+              total_cycles = t.Experiment.t_cycles;
+            })
+          s.Experiment.timings;
+    }
+  in
+  let prior =
+    if not (Sys.file_exists path) then []
+    else
+      try Results.read_file path
+      with Sys_error msg | Results.Parse_error msg ->
+        Format.eprintf
+          "  [json] warning: could not read existing %s (%s); starting a \
+           fresh trajectory@."
+          path msg;
+        []
+  in
+  Results.write_file path (prior @ [ run ]);
+  Format.eprintf
+    "  [json] appended run %d to %s (%d cells, sweep wall %.2fs, jobs %d)@."
+    (List.length prior) path
+    (List.length s.Experiment.timings)
+    s.Experiment.wall_total_s mode.jobs
 
 (* --- bechamel microbenchmarks: one Test.make per table/figure kernel --- *)
 

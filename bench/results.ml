@@ -1,0 +1,275 @@
+(* Reading and writing BENCH_results.json: the machine-readable side
+   channel of the bench driver. A results file holds a *trajectory* — a
+   list of runs, one appended per invocation — so the wall-clock history
+   of the repo is tracked in one committed file and [compare.exe] can
+   diff any two points of it. The parser is a minimal recursive-descent
+   JSON reader covering exactly what the writer emits (plus the PR 1
+   single-run format, accepted for backward compatibility). *)
+
+type cell = {
+  bench : string;
+  policy : string;
+  wall_s : float;
+  total_cycles : int;
+}
+
+type run = {
+  jobs : int;
+  scale_factor : float;
+  wall_total_s : float;
+  cells : cell list;
+}
+
+(* --- JSON values --- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg =
+    raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos))
+  in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let lit word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail "bad literal"
+  in
+  let number () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match s.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let string_ () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' ->
+          incr pos;
+          Buffer.contents buf
+      | '\\' ->
+          incr pos;
+          if !pos >= n then fail "unterminated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+              if !pos + 4 >= n then fail "bad unicode escape";
+              (match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+              | Some code when code < 0x80 -> Buffer.add_char buf (Char.chr code)
+              | Some _ -> Buffer.add_char buf '?' (* the writer never emits these *)
+              | None -> fail "bad unicode escape");
+              pos := !pos + 4
+          | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+          incr pos;
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          go ()
+    in
+    go ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> Str (string_ ())
+    | Some 't' -> lit "true" (Bool true)
+    | Some 'f' -> lit "false" (Bool false)
+    | Some 'n' -> lit "null" Null
+    | Some _ -> number ()
+    | None -> fail "unexpected end of input"
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then begin
+      incr pos;
+      Arr []
+    end
+    else
+      let rec items acc =
+        let v = value () in
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            incr pos;
+            items (v :: acc)
+        | Some ']' ->
+            incr pos;
+            Arr (List.rev (v :: acc))
+        | _ -> fail "expected ',' or ']'"
+      in
+      items []
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then begin
+      incr pos;
+      Obj []
+    end
+    else
+      let field () =
+        skip_ws ();
+        let k = string_ () in
+        skip_ws ();
+        expect ':';
+        let v = value () in
+        (k, v)
+      in
+      let rec fields acc =
+        let kv = field () in
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            incr pos;
+            fields (kv :: acc)
+        | Some '}' ->
+            incr pos;
+            Obj (List.rev (kv :: acc))
+        | _ -> fail "expected ',' or '}'"
+      in
+      fields []
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing input";
+  v
+
+(* --- results files --- *)
+
+let field name = function
+  | Obj kvs -> (
+      match List.assoc_opt name kvs with
+      | Some v -> v
+      | None -> raise (Parse_error (Printf.sprintf "missing field %S" name)))
+  | _ -> raise (Parse_error (Printf.sprintf "expected an object for %S" name))
+
+let num = function
+  | Num f -> f
+  | _ -> raise (Parse_error "expected a number")
+
+let str = function
+  | Str s -> s
+  | _ -> raise (Parse_error "expected a string")
+
+let cell_of_json j =
+  {
+    bench = str (field "bench" j);
+    policy = str (field "policy" j);
+    wall_s = num (field "wall_s" j);
+    total_cycles = int_of_float (num (field "total_cycles" j));
+  }
+
+let run_of_json j =
+  {
+    jobs = int_of_float (num (field "jobs" j));
+    scale_factor = num (field "scale_factor" j);
+    wall_total_s = num (field "wall_total_s" j);
+    cells =
+      (match field "cells" j with
+      | Arr cells -> List.map cell_of_json cells
+      | _ -> raise (Parse_error "expected an array of cells"));
+  }
+
+(* A trajectory file is {"runs": [...]}; a bare run object (the PR 1
+   format) reads as a one-run trajectory. *)
+let runs_of_json j =
+  match j with
+  | Obj kvs when List.mem_assoc "runs" kvs -> (
+      match List.assoc "runs" kvs with
+      | Arr runs -> List.map run_of_json runs
+      | _ -> raise (Parse_error "expected an array under \"runs\""))
+  | j -> [ run_of_json j ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  runs_of_json (parse contents)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' | '\\' ->
+          Buffer.add_char buf '\\';
+          Buffer.add_char buf c
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let output_run oc r ~last =
+  Printf.fprintf oc
+    "    {\n\
+    \      \"jobs\": %d,\n\
+    \      \"scale_factor\": %g,\n\
+    \      \"wall_total_s\": %.6f,\n\
+    \      \"cells\": [\n"
+    r.jobs r.scale_factor r.wall_total_s;
+  let last_cell = List.length r.cells - 1 in
+  List.iteri
+    (fun i c ->
+      Printf.fprintf oc
+        "        {\"bench\": \"%s\", \"policy\": \"%s\", \"wall_s\": %.6f, \
+         \"total_cycles\": %d}%s\n"
+        (json_escape c.bench) (json_escape c.policy) c.wall_s c.total_cycles
+        (if i = last_cell then "" else ","))
+    r.cells;
+  Printf.fprintf oc "      ]\n    }%s\n" (if last then "" else ",")
+
+let write_file path runs =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"runs\": [\n";
+  let last = List.length runs - 1 in
+  List.iteri (fun i r -> output_run oc r ~last:(i = last)) runs;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc

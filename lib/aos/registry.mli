@@ -40,7 +40,19 @@ val contains_method : t -> root:Ids.Method_id.t -> Ids.Method_id.t -> bool
     method's body — i.e. call sites of that method may live inside
     [root]'s code. *)
 
+val roots_containing : t -> Ids.Method_id.t -> Ids.Method_id.t list
+(** Every opt-compiled root [r] with [contains_method ~root:r mid], in
+    ascending method-id order (the order a scan over the registry visits
+    entries). Served from an inverted method->roots index maintained on
+    {!record}; cost is the size of the answer, not of the registry. *)
+
+val roots_containing_reference : t -> Ids.Method_id.t -> Ids.Method_id.t list
+(** Executable spec of {!roots_containing}: a linear scan over every
+    entry. For differential tests; must agree exactly. *)
+
 val opt_method_count : t -> int
+(** Methods with an entry; served from a maintained counter, O(1). *)
+
 val opt_compilation_count : t -> int
 
 val installed_bytes : t -> int

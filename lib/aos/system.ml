@@ -128,8 +128,35 @@ let dcg_organizer t =
 
 (* Adaptive resolution (§4.3): find hot polymorphic sites whose callee
    distribution is not skewed; flag them for deeper tracing unless some
-   sufficiently heavy deep context already resolves them. *)
-let update_flags t =
+   sufficiently heavy deep context already resolves them.
+
+   The decision for one site depends only on that site's callee and
+   deep-context weights, so the pass reads the DCG's incremental site
+   views: one bucket-local sum per aggregate instead of the flat-table
+   rebuild (and its contexts x contexts product) the reference spec
+   below performs. The decision list is order-independent — every site
+   yields at most one Resolve/Flag, and [Flags] state is per-site. *)
+let flag_decisions dcg ~skew_threshold ~min_context_share =
+  let acc = ref [] in
+  Dcg.iter_sites dcg ~f:(fun ~caller ~callsite view ->
+      if Dcg.view_callee_count view >= 2 then begin
+        let total = Dcg.view_total view in
+        let top = Dcg.view_top_callee_weight view in
+        let resolve =
+          top /. total >= skew_threshold
+          || (* Does some heavy deep context already discriminate? *)
+          Dcg.view_deep_exists view ~f:(fun ~total:ctotal ~top:ctop ->
+              ctotal >= min_context_share *. total
+              && ctop /. ctotal >= skew_threshold)
+        in
+        acc := (caller, callsite, resolve) :: !acc
+      end);
+  !acc
+
+(* The pre-view implementation, kept as the executable spec for the
+   differential tests: rebuild flat per-site / per-context aggregates
+   from the whole trace table, then scan them with nested folds. *)
+let flag_decisions_reference dcg ~skew_threshold ~min_context_share =
   let site_total : (int * int, float ref) Hashtbl.t = Hashtbl.create 32 in
   let site_callee : (int * int * int, float ref) Hashtbl.t =
     Hashtbl.create 32
@@ -145,7 +172,7 @@ let update_flags t =
     | Some r -> r := !r +. w
     | None -> Hashtbl.add tbl key (ref w)
   in
-  Dcg.iter t.dcg ~f:(fun trace w ->
+  Dcg.iter dcg ~f:(fun trace w ->
       let e0 = trace.Trace.chain.(0) in
       let site = ((e0.Trace.caller :> int), e0.Trace.callsite) in
       let callee = (trace.Trace.callee :> int) in
@@ -159,6 +186,7 @@ let update_flags t =
         bump ctx_total ctx w;
         bump ctx_callee (ctx, callee) w
       end);
+  let acc = ref [] in
   Hashtbl.iter
     (fun (caller_i, callsite) total ->
       let callees =
@@ -174,43 +202,90 @@ let update_flags t =
             List.fold_left (fun acc (_, w) -> Float.max acc w) 0.0 callees
           in
           let caller = Ids.Method_id.of_int caller_i in
-          if top /. !total >= t.cfg.skew_threshold then
-            Flags.resolve t.flags ~caller ~callsite
-          else begin
+          let resolve =
+            top /. !total >= skew_threshold
+            ||
             (* Does some heavy deep context already discriminate? *)
-            let resolved_by_context =
-              Hashtbl.fold
-                (fun ctx ctotal acc ->
-                  acc
-                  ||
-                  match ctx with
-                  | (c, s) :: _
-                    when c = caller_i && s = callsite
-                         && !ctotal >= t.cfg.min_context_share *. !total ->
-                      let ctop =
-                        Hashtbl.fold
-                          (fun (ctx', _) w acc ->
-                            if ctx' = ctx then Float.max acc !w else acc)
-                          ctx_callee 0.0
-                      in
-                      ctop /. !ctotal >= t.cfg.skew_threshold
-                  | _ -> false)
-                ctx_total false
-            in
-            if resolved_by_context then
-              Flags.resolve t.flags ~caller ~callsite
-            else
-              Flags.flag t.flags ~caller ~callsite
-                ~max_attempts:t.cfg.max_flag_attempts
-          end)
-    site_total
+            Hashtbl.fold
+              (fun ctx ctotal acc ->
+                acc
+                ||
+                match ctx with
+                | (c, s) :: _
+                  when c = caller_i && s = callsite
+                       && !ctotal >= min_context_share *. !total ->
+                    let ctop =
+                      Hashtbl.fold
+                        (fun (ctx', _) w acc ->
+                          if ctx' = ctx then Float.max acc !w else acc)
+                        ctx_callee 0.0
+                    in
+                    ctop /. !ctotal >= skew_threshold
+                | _ -> false)
+              ctx_total false
+          in
+          acc := (caller, callsite, resolve) :: !acc)
+    site_total;
+  !acc
+
+let update_flags t =
+  List.iter
+    (fun (caller, callsite, resolve) ->
+      if resolve then Flags.resolve t.flags ~caller ~callsite
+      else
+        Flags.flag t.flags ~caller ~callsite
+          ~max_attempts:t.cfg.max_flag_attempts)
+    (flag_decisions t.dcg ~skew_threshold:t.cfg.skew_threshold
+       ~min_context_share:t.cfg.min_context_share)
+
+(* The roots worth recompiling for one missing hot edge: every optimized
+   root whose current code contains the caller (so the call site lives in
+   its code), is stale w.r.t. the current rules, has version headroom,
+   and has not already inlined the edge. Ascending root order — the same
+   order the reference scan visits entries in. *)
+let recompile_candidates registry ~caller ~callsite ~callee ~rules_version
+    ~max_opt_versions =
+  List.filter
+    (fun root ->
+      match Registry.entry registry root with
+      | None -> false
+      | Some entry ->
+          entry.Registry.rule_stamp < rules_version
+          && entry.Registry.version < max_opt_versions
+          && not (Registry.has_inlined registry ~root ~caller ~callsite ~callee))
+    (Registry.roots_containing registry caller)
+
+(* Executable spec of [recompile_candidates]: the product-of-linear-scans
+   form (every registry entry probed for containment). For the
+   differential tests; must agree exactly, including order. *)
+let recompile_candidates_reference registry ~caller ~callsite ~callee
+    ~rules_version ~max_opt_versions =
+  let acc = ref [] in
+  Registry.iter registry ~f:(fun root entry ->
+      if
+        Registry.contains_method registry ~root caller
+        && entry.Registry.rule_stamp < rules_version
+        && entry.Registry.version < max_opt_versions
+        && not (Registry.has_inlined registry ~root ~caller ~callsite ~callee)
+      then acc := root :: !acc);
+  List.rev !acc
 
 (* The AI missing-edge organizer: hot edges that optimized code failed to
    inline (and that the compiler has not refused) trigger recompilation,
    up to the per-method version cap. The edge's call site lives in the
    direct caller's own code, but also in every optimized root that inlined
-   that caller — all of them are candidates. *)
+   that caller — all of them are candidates.
+
+   Virtual-time invariant: the organizer's cost model is one event per
+   rule plus one event per (rule, registry entry) pair — what the
+   reference scan charges as it walks every entry. The indexed scan
+   visits only the roots that contain the caller, but charges the
+   identical event count in one batched charge, so the clock (and every
+   printed number) is unchanged. *)
 let missing_edge_scan t =
+  let entry_events =
+    Registry.opt_method_count t.registry * t.cost.Cost.organizer_per_event
+  in
   Rules.iter t.rules ~f:(fun r ->
       charge t Accounting.Ai_organizer t.cost.Cost.organizer_per_event;
       let e0 = r.Rules.trace.Trace.chain.(0) in
@@ -229,23 +304,19 @@ let missing_edge_scan t =
         && not
              (Db.refused t.db ~caller ~callsite ~callee ~now:t.rules_version
                 ~ttl:t.cfg.refusal_ttl)
-      then
-        Registry.iter t.registry ~f:(fun root entry ->
-            charge t Accounting.Ai_organizer t.cost.Cost.organizer_per_event;
-            if
-              Registry.contains_method t.registry ~root caller
-              && entry.Registry.rule_stamp < t.rules_version
-              && entry.Registry.version < t.cfg.max_opt_versions
-              && not
-                   (Registry.has_inlined t.registry ~root ~caller ~callsite
-                      ~callee)
-            then begin
-              Log.debug (fun m ->
-                  m "missing edge %a@%d => %a: recompiling %a"
-                    Ids.Method_id.pp caller callsite Ids.Method_id.pp callee
-                    Ids.Method_id.pp root);
-              enqueue_compile t root
-            end))
+      then begin
+        charge t Accounting.Ai_organizer entry_events;
+        List.iter
+          (fun root ->
+            Log.debug (fun m ->
+                m "missing edge %a@%d => %a: recompiling %a" Ids.Method_id.pp
+                  caller callsite Ids.Method_id.pp callee Ids.Method_id.pp
+                  root);
+            enqueue_compile t root)
+          (recompile_candidates t.registry ~caller ~callsite ~callee
+             ~rules_version:t.rules_version
+             ~max_opt_versions:t.cfg.max_opt_versions)
+      end)
 
 (* Ablation: collapse hot traces to their underlying edges, merging the
    weights — the "merge partial matches at collection time" alternative
@@ -269,7 +340,7 @@ let ai_organizer t =
   Log.debug (fun m ->
       m "AI organizer: %d traces in DCG, %d hot -> rules v%d"
         (Dcg.size t.dcg) (List.length hot) (t.rules_version + 1));
-  t.rules <- Rules.of_hot_traces hot;
+  t.rules <- Rules.of_hot_traces ~version:(t.rules_version + 1) hot;
   t.rules_version <- t.rules_version + 1;
   Acsi_jit.Oracle.set_rules t.oracle t.rules;
   if Acsi_policy.Policy.is_adaptive_resolving t.cfg.policy then update_flags t;
@@ -404,7 +475,7 @@ let create ?profile cfg vm =
         Trace_listener.create
           ~collect_termination_stats:cfg.collect_termination_stats program
           ~policy:cfg.policy ~flags;
-      rules = Rules.empty;
+      rules = Rules.empty ();
       rules_version = 0;
       method_buffer = [];
       method_buffer_len = 0;

@@ -81,3 +81,50 @@ val baseline_code_bytes : t -> int
 val method_samples_taken : t -> int
 val trace_samples_taken : t -> int
 val epochs_run : t -> int
+
+(** {2 Organizer kernels and their executable specs}
+
+    The adaptive-resolution and missing-edge organizers run on indexed
+    data (DCG site views, the registry's inverted method->roots index).
+    The pre-index implementations are kept as reference specs; the
+    [test_brain] differential suite pins each optimized kernel to its
+    spec on generated inputs. *)
+
+val flag_decisions :
+  Dcg.t ->
+  skew_threshold:float ->
+  min_context_share:float ->
+  (Acsi_bytecode.Ids.Method_id.t * int * bool) list
+(** Adaptive-resolution verdicts, one per polymorphic site (>= 2 recorded
+    callees): [(caller, callsite, resolve)] where [resolve = true] means
+    the site's distribution is already skewed (directly or through a
+    sufficiently heavy deep context) and tracing can stop. Unordered. *)
+
+val flag_decisions_reference :
+  Dcg.t ->
+  skew_threshold:float ->
+  min_context_share:float ->
+  (Acsi_bytecode.Ids.Method_id.t * int * bool) list
+(** Spec for {!flag_decisions}: flat aggregate rebuild + nested folds. *)
+
+val recompile_candidates :
+  Registry.t ->
+  caller:Acsi_bytecode.Ids.Method_id.t ->
+  callsite:int ->
+  callee:Acsi_bytecode.Ids.Method_id.t ->
+  rules_version:int ->
+  max_opt_versions:int ->
+  Acsi_bytecode.Ids.Method_id.t list
+(** The missing-edge organizer's per-rule query: optimized roots that
+    contain [caller], are stale w.r.t. [rules_version], have version
+    headroom, and have not inlined the edge. Ascending root order. *)
+
+val recompile_candidates_reference :
+  Registry.t ->
+  caller:Acsi_bytecode.Ids.Method_id.t ->
+  callsite:int ->
+  callee:Acsi_bytecode.Ids.Method_id.t ->
+  rules_version:int ->
+  max_opt_versions:int ->
+  Acsi_bytecode.Ids.Method_id.t list
+(** Spec for {!recompile_candidates}: a scan over every registry entry. *)

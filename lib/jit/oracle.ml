@@ -57,7 +57,7 @@ let create ?(config = default_config) program =
   {
     program;
     cfg = config;
-    rules = Rules.empty;
+    rules = Rules.empty ();
     on_refusal = (fun ~site:_ ~callee:_ _ -> ());
   }
 

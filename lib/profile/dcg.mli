@@ -55,3 +55,47 @@ val site_entry_count : t -> caller:Ids.Method_id.t -> callsite:int -> int
 
 val site_count : t -> int
 (** Number of distinct call sites with at least one live trace. *)
+
+(** {2 Site views}
+
+    A view over everything recorded at one call site: per-callee weight
+    (aggregated over all trace depths) and per-deep-context weight (one
+    bucket per distinct chain of length >= 2). Views are maintained
+    incrementally on {!add_sample} and {!decay}-pruning and share the
+    main table's weight refs, so reading one never scans the whole graph;
+    weight sums are recomputed from the bucket at query time, so a view
+    cannot drift from the table. The adaptive-resolution organizer
+    ({!Acsi_aos.System}) is the main consumer. *)
+
+type site_view
+
+val iter_sites :
+  t -> f:(caller:Ids.Method_id.t -> callsite:int -> site_view -> unit) -> unit
+(** One call per live site, in no particular order. *)
+
+val site_view :
+  t -> caller:Ids.Method_id.t -> callsite:int -> site_view option
+
+val view_entry_count : site_view -> int
+(** Distinct traces at the site. *)
+
+val view_callee_count : site_view -> int
+(** Distinct callees recorded at the site (over all depths). *)
+
+val view_total : site_view -> float
+(** Total weight at the site (all depths). *)
+
+val view_callee_weights : site_view -> (Ids.Method_id.t * float) list
+(** Per-callee weight, aggregated over depths; unordered. *)
+
+val view_top_callee_weight : site_view -> float
+(** The heaviest callee's aggregated weight; 0 for an empty view. *)
+
+val view_deep_exists :
+  site_view -> f:(total:float -> top:float -> bool) -> bool
+(** Whether some deep context (chain length >= 2) rooted at this site
+    satisfies [f], given the context's total weight and its heaviest
+    single callee's weight. Short-circuits on the first hit. *)
+
+val view_deep_context_count : site_view -> int
+(** Distinct deep contexts (chains of length >= 2) rooted at the site. *)

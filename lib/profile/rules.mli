@@ -13,11 +13,20 @@ type rule = { trace : Trace.t; weight : float }
 
 type t
 
-val empty : t
+val empty : unit -> t
+(** A fresh, unshared empty rule set. Allocated per call: a rules value
+    carries a (mutable) memoization cache, and concurrently simulated
+    systems must never alias profile state. *)
 
-val of_hot_traces : (Trace.t * float) list -> t
+val of_hot_traces : ?version:int -> (Trace.t * float) list -> t
+(** [version] stamps the rules generation (the AI organizer's counter);
+    {!candidates} results are memoized per rules value, so a new version
+    — a new [of_hot_traces] — structurally invalidates every cached
+    query. *)
 
 val rule_count : t -> int
+
+val version : t -> int
 
 val rules_at : t -> caller:Ids.Method_id.t -> callsite:int -> rule list
 (** Every rule whose innermost chain entry is this call site. *)
@@ -34,6 +43,17 @@ val candidates :
     intersected.
 
     With [exact] (an ablation of the paper's partial matching), a rule is
-    applicable only when its context equals the site chain exactly. *)
+    applicable only when its context equals the site chain exactly.
+
+    Results are memoized on [(exact, site_chain)] within this rules
+    value: repeated compiles of the same root under the same rules hit
+    the cache instead of recomputing the partial-match intersection. *)
+
+val candidates_reference :
+  ?exact:bool -> t -> site_chain:Trace.entry array -> (Ids.Method_id.t * float) list
+(** The pre-index implementation of {!candidates} (list-scan groups, no
+    memoization), kept as the executable specification for differential
+    tests. Must agree with {!candidates} exactly, including result
+    order. *)
 
 val iter : t -> f:(rule -> unit) -> unit

@@ -9,9 +9,12 @@ type frame = {
   mutable f_code : Code.t;
   mutable f_dcode : Dcode.t;
   mutable f_pc : int;
-  mutable f_locals : Value.t array;
-  mutable f_stack : Value.t array;
-  mutable f_sp : int;
+  mutable f_regs : Value.t array;
+      (* locals in [0, f_base); operand stack grows from f_base up. One
+         allocation per call instead of two — [f_sp] is an absolute index
+         into [f_regs], so stack slot [i] lives at [f_base + i]. *)
+  mutable f_base : int;
+  mutable f_sp : int;  (* absolute; empty stack = f_base *)
 }
 
 type t = {
@@ -22,6 +25,7 @@ type t = {
   globals : Value.t array;
   code_table : Code.t array;
   dcode_table : Dcode.t array;
+  param_slots : int array;  (* per method, so [invoke] skips the Meth.t *)
   mutable frames : frame array;
   mutable depth : int;  (* live frames in [frames] *)
   mutable output_rev : int list;
@@ -56,6 +60,7 @@ let create ?(cost = Cost.default) ?(sample_period = 100_000)
     globals = Array.make (max 1 (Program.global_count program)) Value.zero;
     code_table;
     dcode_table = Array.map (fun c -> Dcode.of_code ~fuse cost c) code_table;
+    param_slots = Array.map Meth.param_slots methods;
     frames = Array.make 0 (Obj.magic 0);
     depth = 0;
     output_rev = [];
@@ -143,18 +148,21 @@ let osr t (mid : Ids.Method_id.t) =
         match target with
         | None -> false
         | Some pc' ->
-            if fr.f_sp > current.Code.max_stack then false
+            let sp_rel = fr.f_sp - fr.f_base in
+            if sp_rel > current.Code.max_stack then false
             else begin
-              let locals = Array.make (max 1 current.Code.max_locals) Value.zero in
-              Array.blit fr.f_locals 0 locals 0
-                (min (Array.length fr.f_locals) (Array.length locals));
-              let stack = Array.make (max 1 current.Code.max_stack) Value.zero in
-              Array.blit fr.f_stack 0 stack 0 fr.f_sp;
+              let base = current.Code.max_locals in
+              let regs =
+                Array.make (base + max 1 current.Code.max_stack) Value.zero
+              in
+              Array.blit fr.f_regs 0 regs 0 (min fr.f_base base);
+              Array.blit fr.f_regs fr.f_base regs base sp_rel;
               fr.f_code <- current;
               fr.f_dcode <- t.dcode_table.((mid :> int));
               fr.f_pc <- pc';
-              fr.f_locals <- locals;
-              fr.f_stack <- stack;
+              fr.f_regs <- regs;
+              fr.f_base <- base;
+              fr.f_sp <- base + sp_rel;
               t.osr_count <- t.osr_count + 1;
               true
             end
@@ -194,8 +202,8 @@ let push_frame t code dcode =
            f_code = code;
            f_dcode = dcode;
            f_pc = 0;
-           f_locals = [||];
-           f_stack = [||];
+           f_regs = [||];
+           f_base = 0;
            f_sp = 0;
          }
      in
@@ -203,14 +211,15 @@ let push_frame t code dcode =
      t.frames <- bigger
    end);
   if t.depth >= max_call_depth then rerr "call stack overflow";
+  let base = code.Code.max_locals in
   let fr =
     {
       f_code = code;
       f_dcode = dcode;
       f_pc = 0;
-      f_locals = Array.make (max 1 code.Code.max_locals) Value.zero;
-      f_stack = Array.make (max 1 code.Code.max_stack) Value.zero;
-      f_sp = 0;
+      f_regs = Array.make (base + max 1 code.Code.max_stack) Value.zero;
+      f_base = base;
+      f_sp = base;
     }
   in
   t.frames.(t.depth) <- fr;
@@ -278,14 +287,16 @@ let invoke t (mid : Ids.Method_id.t) =
     + (match code.Code.tier with
       | Code.Baseline -> t.cost.Cost.call
       | Code.Optimized -> t.cost.Cost.opt_call);
-  let callee = Program.meth t.program mid in
   let fr = push_frame t code t.dcode_table.((mid :> int)) in
-  (* Pop arguments from the caller's stack into the callee's locals. *)
+  (* Pop arguments from the caller's stack into the callee's locals.
+     Unsafe accesses are bounded by the verifier: a call site's arguments
+     are on the caller's operand stack ([f_sp >= f_base + nslots]) and
+     parameter slots fit the callee's locals ([nslots <= max_locals]). *)
   let caller = t.frames.(t.depth - 2) in
-  let nslots = Meth.param_slots callee in
+  let nslots = t.param_slots.((mid :> int)) in
   for k = nslots - 1 downto 0 do
     caller.f_sp <- caller.f_sp - 1;
-    fr.f_locals.(k) <- caller.f_stack.(caller.f_sp)
+    Array.unsafe_set fr.f_regs k (Array.unsafe_get caller.f_regs caller.f_sp)
   done;
   t.invoke_countdown <- t.invoke_countdown - 1;
   if t.invoke_countdown <= 0 then begin
@@ -516,7 +527,7 @@ let rec step t fr ops icost stack locals pc sp remaining ninstr =
         t.depth <- t.depth - 1;
         if t.depth > 0 then begin
           let caller = t.frames.(t.depth - 1) in
-          caller.f_stack.(caller.f_sp) <- result;
+          caller.f_regs.(caller.f_sp) <- result;
           caller.f_sp <- caller.f_sp + 1;
           caller.f_pc <- caller.f_pc + 1;
           continue_window t
@@ -969,14 +980,14 @@ and continue_window t =
     if remaining > 0 then begin
       let fr = t.frames.(t.depth - 1) in
       let dc = fr.f_dcode in
-      step t fr dc.Dcode.ops dc.Dcode.icost fr.f_stack fr.f_locals fr.f_pc
+      step t fr dc.Dcode.ops dc.Dcode.icost fr.f_regs fr.f_regs fr.f_pc
         fr.f_sp remaining 0
     end
   end
 
 let exec_window t fr remaining =
   let dc = fr.f_dcode in
-  step t fr dc.Dcode.ops dc.Dcode.icost fr.f_stack fr.f_locals fr.f_pc
+  step t fr dc.Dcode.ops dc.Dcode.icost fr.f_regs fr.f_regs fr.f_pc
     fr.f_sp remaining 0
 
 (* The driver. The naive interpreter compares [cycles >= next_sample]
@@ -1047,7 +1058,7 @@ let run_reference ?(cycle_limit = max_int) t =
       + (match fr.f_code.Code.tier with
         | Code.Baseline -> base_cost
         | Code.Optimized -> opt_cost);
-    let stack = fr.f_stack in
+    let stack = fr.f_regs in
     (match instr with
     | Instr.Const n ->
         stack.(fr.f_sp) <- Value.Int n;
@@ -1058,12 +1069,12 @@ let run_reference ?(cycle_limit = max_int) t =
         fr.f_sp <- fr.f_sp + 1;
         fr.f_pc <- fr.f_pc + 1
     | Instr.Load i ->
-        stack.(fr.f_sp) <- fr.f_locals.(i);
+        stack.(fr.f_sp) <- fr.f_regs.(i);
         fr.f_sp <- fr.f_sp + 1;
         fr.f_pc <- fr.f_pc + 1
     | Instr.Store i ->
         fr.f_sp <- fr.f_sp - 1;
-        fr.f_locals.(i) <- stack.(fr.f_sp);
+        fr.f_regs.(i) <- stack.(fr.f_sp);
         fr.f_pc <- fr.f_pc + 1
     | Instr.Dup ->
         stack.(fr.f_sp) <- stack.(fr.f_sp - 1);
@@ -1186,7 +1197,7 @@ let run_reference ?(cycle_limit = max_int) t =
         t.depth <- t.depth - 1;
         if t.depth > 0 then begin
           let caller = t.frames.(t.depth - 1) in
-          caller.f_stack.(caller.f_sp) <- result;
+          caller.f_regs.(caller.f_sp) <- result;
           caller.f_sp <- caller.f_sp + 1;
           caller.f_pc <- caller.f_pc + 1
         end

@@ -20,6 +20,7 @@ let () =
       ("core", Test_core.suite);
       ("props", Test_props.suite);
       ("speed", Test_speed.suite);
+      ("brain", Test_brain.suite);
       ("workloads", Test_workloads.suite);
       ("micro", Test_micro.suite);
       ("richards", Test_richards.suite);

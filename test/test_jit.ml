@@ -107,7 +107,8 @@ let fixture () =
 
 let find program name = Program.find_method program ~cls:"T" ~name
 
-let compile_with ?(rules = Rules.empty) program root =
+let compile_with ?rules program root =
+  let rules = match rules with Some r -> r | None -> Rules.empty () in
   let oracle = Oracle.create program in
   Oracle.set_rules oracle rules;
   Expand.compile program Cost.default oracle ~root
@@ -125,8 +126,9 @@ let preserves_output program root code =
 
 (* --- oracle --- *)
 
-let decide ?(rules = Rules.empty) ?(site = 0) ?(depth = 0)
+let decide ?rules ?(site = 0) ?(depth = 0)
     ?(expanded_units = 0) program root call =
+  let rules = match rules with Some r -> r | None -> Rules.empty () in
   let oracle = Oracle.create program in
   Oracle.set_rules oracle rules;
   Oracle.decide oracle ~root

@@ -66,7 +66,7 @@ let test_opt_preserves_semantics () =
     Interp.run vm;
     Alcotest.(check (list int)) label base_out (Interp.output vm)
   in
-  check_with Rules.empty "static-only inlining preserves output";
+  check_with (Rules.empty ()) "static-only inlining preserves output";
   (* Seed a profile that recommends both A.foo and B.foo at every site. *)
   let foo_a = Program.find_method program ~cls:"A" ~name:"foo" in
   let foo_b = Program.find_method program ~cls:"B" ~name:"foo" in
