@@ -40,8 +40,23 @@ let disassemble program vm pattern =
       end)
     (Acsi_bytecode.Program.methods program)
 
+(* Structural + typed verification of a whole program, with diagnostics
+   in the [method:pc: message] format. Returns whether it passed. *)
+let verify_program program =
+  match
+    Acsi_bytecode.Verify.program program;
+    Acsi_analysis.Typecheck.program program
+  with
+  | () -> true
+  | exception Acsi_bytecode.Verify.Error msg ->
+      Format.eprintf "%s@." msg;
+      false
+  | exception Acsi_analysis.Diag.Error d ->
+      Format.eprintf "%s@." (Acsi_analysis.Diag.to_string d);
+      false
+
 let run_one ~bench ~file ~policy_str ~scale ~compare_baseline
-    ~show_compilations ~disasm ~jobs =
+    ~show_compilations ~disasm ~jobs ~verify =
   match Acsi_policy.Policy.of_string policy_str with
   | None ->
       Format.eprintf
@@ -60,11 +75,22 @@ let run_one ~bench ~file ~policy_str ~scale ~compare_baseline
             | Some s -> s
             | None -> spec.Acsi_workloads.Workloads.default_scale
           in
-          let program =
+          match
             match file with
             | Some path -> Acsi_lang.Parser.compile (read_file path)
             | None -> spec.Acsi_workloads.Workloads.build ~scale
+          with
+          | exception Acsi_bytecode.Verify.Error msg ->
+              Format.eprintf "%s@." msg;
+              1
+          | program ->
+          (* Typed verification before execution: on by default for the
+             textual-language pipeline, opt-in for built-in benchmarks. *)
+          let verify_on =
+            match verify with Some b -> b | None -> Option.is_some file
           in
+          if verify_on && not (verify_program program) then 1
+          else
           (* With --jobs > 1 the baseline of --compare runs on a second
              domain concurrently with the measured run; both runs are
              deterministic, so the printed numbers do not depend on it. *)
@@ -189,26 +215,95 @@ let file_arg =
           "Run a textual mini-language program (.acsi) instead of a named \
            benchmark.")
 
+let verify_flag =
+  Arg.(
+    value
+    & vflag None
+        [
+          ( Some true,
+            info [ "verify" ]
+              ~doc:
+                "Run structural and typed verification over the whole \
+                 program before executing (default for --file)." );
+          ( Some false,
+            info [ "no-verify" ] ~doc:"Skip pre-run typed verification." );
+        ])
+
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
 
 let main list_only verbose bench file policy scale compare_baseline
-    show_compilations disasm jobs =
+    show_compilations disasm jobs verify =
   setup_logs verbose;
   if list_only then list_benchmarks ()
   else
     run_one ~bench ~file ~policy_str:policy ~scale ~compare_baseline
-      ~show_compilations ~disasm ~jobs
+      ~show_compilations ~disasm ~jobs ~verify
+
+(* `acsi-run lint [FILES]`: typed verification plus dead-code and
+   unused-local lints over the given .acsi programs, or over every
+   built-in workload when no file is given. *)
+let lint_targets files =
+  let findings = ref 0 and targets = ref 0 in
+  let lint_one label program =
+    incr targets;
+    let diags = Acsi_analysis.Lint.program program in
+    List.iter
+      (fun d ->
+        incr findings;
+        Format.printf "%s: %s@." label (Acsi_analysis.Diag.to_string d))
+      diags
+  in
+  let ok = ref true in
+  (match files with
+  | [] ->
+      List.iter
+        (fun (s : Acsi_workloads.Workloads.spec) ->
+          lint_one s.Acsi_workloads.Workloads.name
+            (s.Acsi_workloads.Workloads.build
+               ~scale:s.Acsi_workloads.Workloads.default_scale))
+        Acsi_workloads.Workloads.all
+  | files ->
+      List.iter
+        (fun path ->
+          match Acsi_lang.Parser.compile (read_file path) with
+          | exception Acsi_bytecode.Verify.Error msg ->
+              ok := false;
+              Format.printf "%s: %s@." path msg
+          | program -> lint_one path program)
+        files);
+  if !findings = 0 && !ok then begin
+    Format.printf "lint: %d target%s clean@." !targets
+      (if !targets = 1 then "" else "s");
+    0
+  end
+  else 1
+
+let lint_files_arg =
+  Arg.(
+    value & pos_all file []
+    & info [] ~docv:"FILE"
+        ~doc:
+          "Mini-language programs (.acsi) to lint; every built-in workload \
+           when omitted.")
+
+let run_cmd_term =
+  Term.(
+    const main $ list_arg $ verbose_arg $ bench_arg $ file_arg $ policy_arg
+    $ scale_arg $ compare_arg $ compilations_arg $ disasm_arg $ jobs_arg
+    $ verify_flag)
+
+let lint_cmd =
+  let doc =
+    "typed verification, dead-code and unused-local lints over programs"
+  in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const lint_targets $ lint_files_arg)
 
 let cmd =
   let doc =
     "run an adaptive-context-sensitive-inlining experiment on one benchmark"
   in
-  Cmd.v
-    (Cmd.info "acsi-run" ~doc)
-    Term.(
-      const main $ list_arg $ verbose_arg $ bench_arg $ file_arg $ policy_arg
-      $ scale_arg $ compare_arg $ compilations_arg $ disasm_arg $ jobs_arg)
+  Cmd.group ~default:run_cmd_term (Cmd.info "acsi-run" ~doc) [ lint_cmd ]
 
 let () = exit (Cmd.eval' cmd)

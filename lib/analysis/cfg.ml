@@ -1,0 +1,204 @@
+open Acsi_bytecode
+
+type block = {
+  first : int;
+  last : int;
+  succs : int list;
+  preds : int list;
+}
+
+type t = {
+  instrs : Instr.t array;
+  blocks : block array;
+  block_of : int array;
+  reachable : bool array;
+  rpo : int array;
+}
+
+let falls_through (instr : Instr.t) =
+  match instr with
+  | Instr.Jump _ | Instr.Return | Instr.Return_void -> false
+  | Instr.Const _ | Instr.Const_null | Instr.Load _ | Instr.Store _
+  | Instr.Dup | Instr.Pop | Instr.Swap | Instr.Binop _ | Instr.Neg
+  | Instr.Not | Instr.Cmp _ | Instr.Jump_if _ | Instr.Jump_ifnot _
+  | Instr.New _ | Instr.Get_field _ | Instr.Put_field _ | Instr.Get_global _
+  | Instr.Put_global _ | Instr.Array_new | Instr.Array_get | Instr.Array_set
+  | Instr.Array_len | Instr.Call_static _ | Instr.Call_virtual _
+  | Instr.Call_direct _ | Instr.Instance_of _ | Instr.Guard_method _
+  | Instr.Print_int | Instr.Nop ->
+      true
+
+(* A position is a block boundary after any instruction that branches or
+   terminates, even when it also falls through (guards, conditional
+   jumps): rewrites and transfer functions must not merge across it. *)
+let ends_block (instr : Instr.t) =
+  match instr with
+  | Instr.Jump _ | Instr.Jump_if _ | Instr.Jump_ifnot _
+  | Instr.Guard_method _ | Instr.Return | Instr.Return_void ->
+      true
+  | Instr.Const _ | Instr.Const_null | Instr.Load _ | Instr.Store _
+  | Instr.Dup | Instr.Pop | Instr.Swap | Instr.Binop _ | Instr.Neg
+  | Instr.Not | Instr.Cmp _ | Instr.New _ | Instr.Get_field _
+  | Instr.Put_field _ | Instr.Get_global _ | Instr.Put_global _
+  | Instr.Array_new | Instr.Array_get | Instr.Array_set | Instr.Array_len
+  | Instr.Call_static _ | Instr.Call_virtual _ | Instr.Call_direct _
+  | Instr.Instance_of _ | Instr.Print_int | Instr.Nop ->
+      false
+
+let leaders instrs =
+  let n = Array.length instrs in
+  let is_leader = Array.make n false in
+  if n > 0 then is_leader.(0) <- true;
+  Array.iteri
+    (fun pc instr ->
+      List.iter
+        (fun t -> if t >= 0 && t < n then is_leader.(t) <- true)
+        (Instr.jump_targets instr);
+      if ends_block instr && pc + 1 < n then is_leader.(pc + 1) <- true)
+    instrs;
+  is_leader
+
+let reachable_instrs instrs =
+  let n = Array.length instrs in
+  let seen = Array.make n false in
+  let stack = ref [ 0 ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | pc :: rest ->
+        stack := rest;
+        if pc >= 0 && pc < n && not seen.(pc) then begin
+          seen.(pc) <- true;
+          List.iter
+            (fun t -> stack := t :: !stack)
+            (Instr.jump_targets instrs.(pc));
+          if falls_through instrs.(pc) then stack := (pc + 1) :: !stack
+        end
+  done;
+  seen
+
+let make_nonempty instrs n =
+  let is_leader = leaders instrs in
+  let nblocks = Array.fold_left (fun acc l -> if l then acc + 1 else acc) 0 is_leader in
+  let block_of = Array.make n 0 in
+  let firsts = Array.make (max 1 nblocks) 0 in
+  let b = ref (-1) in
+  for pc = 0 to n - 1 do
+    if is_leader.(pc) then begin
+      incr b;
+      firsts.(!b) <- pc
+    end;
+    block_of.(pc) <- !b
+  done;
+  let last_of i = if i + 1 < nblocks then firsts.(i + 1) - 1 else n - 1 in
+  let succs_of i =
+    let last = last_of i in
+    let instr = instrs.(last) in
+    let targets =
+      List.filter_map
+        (fun t -> if t >= 0 && t < n then Some block_of.(t) else None)
+        (Instr.jump_targets instr)
+    in
+    let fall =
+      if falls_through instr && last + 1 < n then [ block_of.(last + 1) ]
+      else []
+    in
+    (* fall-through first; dedupe while keeping order *)
+    let rec dedupe seen = function
+      | [] -> []
+      | s :: rest ->
+          if List.mem s seen then dedupe seen rest
+          else s :: dedupe (s :: seen) rest
+    in
+    dedupe [] (fall @ targets)
+  in
+  let succs = Array.init (max 1 nblocks) succs_of in
+  let preds = Array.make (max 1 nblocks) [] in
+  Array.iteri
+    (fun i ss -> List.iter (fun s -> preds.(s) <- i :: preds.(s)) ss)
+    succs;
+  let blocks =
+    Array.init (max 1 nblocks) (fun i ->
+        {
+          first = firsts.(i);
+          last = last_of i;
+          succs = succs.(i);
+          preds = List.rev preds.(i);
+        })
+  in
+  (* Reachability and postorder over blocks from block 0. *)
+  let reachable = Array.make (max 1 nblocks) false in
+  let post = ref [] in
+  let rec dfs i =
+    if not reachable.(i) then begin
+      reachable.(i) <- true;
+      List.iter dfs blocks.(i).succs;
+      post := i :: !post
+    end
+  in
+  dfs 0;
+  let rpo = Array.of_list !post in
+  { instrs; blocks; block_of; reachable; rpo }
+
+let make instrs =
+  let n = Array.length instrs in
+  if n = 0 then
+    { instrs; blocks = [||]; block_of = [||]; reachable = [||]; rpo = [||] }
+  else make_nonempty instrs n
+
+(* Cooper–Harvey–Kennedy iterative dominators over the RPO. *)
+let dominators t =
+  let nb = Array.length t.blocks in
+  let idom = Array.make nb (-1) in
+  if Array.length t.rpo = 0 then idom
+  else begin
+    let rpo_index = Array.make nb (-1) in
+    Array.iteri (fun i b -> rpo_index.(b) <- i) t.rpo;
+    idom.(t.rpo.(0)) <- t.rpo.(0);
+    let rec intersect a b =
+      if a = b then a
+      else if rpo_index.(a) > rpo_index.(b) then intersect idom.(a) b
+      else intersect a idom.(b)
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iteri
+        (fun i b ->
+          if i > 0 then begin
+            let new_idom =
+              List.fold_left
+                (fun acc p ->
+                  if not t.reachable.(p) || idom.(p) = -1 then acc
+                  else match acc with None -> Some p | Some a -> Some (intersect p a))
+                None t.blocks.(b).preds
+            in
+            match new_idom with
+            | None -> ()
+            | Some d ->
+                if idom.(b) <> d then begin
+                  idom.(b) <- d;
+                  changed := true
+                end
+          end)
+        t.rpo
+    done;
+    idom
+  end
+
+let dominates t ~idom a b =
+  let n = Array.length t.instrs in
+  if a < 0 || b < 0 || a >= n || b >= n then false
+  else
+    let ba = t.block_of.(a) and bb = t.block_of.(b) in
+    if (not t.reachable.(ba)) || not t.reachable.(bb) then false
+    else if ba = bb then a <= b
+    else
+      (* does block [ba] dominate block [bb]? walk bb's idom chain *)
+      let rec walk x =
+        if x = ba then true
+        else if x = idom.(x) then false (* reached entry *)
+        else if idom.(x) = -1 then false
+        else walk idom.(x)
+      in
+      walk bb

@@ -1,0 +1,48 @@
+(** Control-flow graphs over [Instr.t] bodies.
+
+    One construction shared by every client that reasons about control
+    flow: the dataflow engine ({!Dataflow}), the peephole optimizer's
+    block boundaries and dead-code sweep, the lint driver's
+    unreachable-code report, and the JIT invariant checker's dominator
+    queries. Out-of-range branch targets are ignored here (the verifier
+    rejects them); a [Cfg] can therefore be built for malformed corpus
+    bodies without raising. *)
+
+open Acsi_bytecode
+
+type block = {
+  first : int;  (** pc of the block's first instruction *)
+  last : int;  (** pc of the block's last instruction (inclusive) *)
+  succs : int list;  (** successor block indexes *)
+  preds : int list;  (** predecessor block indexes *)
+}
+
+type t = {
+  instrs : Instr.t array;
+  blocks : block array;  (** in ascending pc order; block 0 holds pc 0 *)
+  block_of : int array;  (** pc -> block index *)
+  reachable : bool array;  (** per block, from block 0 *)
+  rpo : int array;  (** reachable blocks in reverse postorder *)
+}
+
+val falls_through : Instr.t -> bool
+(** Whether control can continue to [pc + 1] ([Jump], [Return] and
+    [Return_void] cannot; guards and conditional jumps can). *)
+
+val leaders : Instr.t array -> bool array
+(** Positions control flow can enter other than by falling through:
+    pc 0, every branch target, and every successor of a branch,
+    guard, or return. *)
+
+val reachable_instrs : Instr.t array -> bool array
+(** Per-instruction reachability from pc 0. *)
+
+val make : Instr.t array -> t
+
+val dominators : t -> int array
+(** Immediate dominators, per block: [idom.(0) = 0], [-1] for
+    unreachable blocks (Cooper–Harvey–Kennedy over the RPO). *)
+
+val dominates : t -> idom:int array -> int -> int -> bool
+(** [dominates t ~idom a b]: instruction at pc [a] dominates the one at
+    pc [b] (both must be reachable; false otherwise). *)

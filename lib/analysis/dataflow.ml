@@ -1,0 +1,88 @@
+open Acsi_bytecode
+
+exception Mismatch of string
+exception Join_error of { pc : int; message : string }
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val widen : t -> t -> t
+end
+
+module Forward (L : LATTICE) = struct
+  let run (cfg : Cfg.t) ~init ~transfer
+      ?(refine_edge = fun ~pc:_ _ ~target:_ ~fall:_ s -> s)
+      ?(widen_after = 64) () =
+    let n = Array.length cfg.Cfg.instrs in
+    let states = Array.make n None in
+    if n = 0 then states
+    else begin
+      let nb = Array.length cfg.Cfg.blocks in
+      let block_in = Array.make nb None in
+      let join_count = Array.make nb 0 in
+      let on_work = Array.make nb false in
+      let queue = Queue.create () in
+      block_in.(0) <- Some init;
+      Queue.add 0 queue;
+      on_work.(0) <- true;
+      while not (Queue.is_empty queue) do
+        let b = Queue.pop queue in
+        on_work.(b) <- false;
+        match block_in.(b) with
+        | None -> ()
+        | Some s0 ->
+            let blk = cfg.Cfg.blocks.(b) in
+            let s = ref s0 in
+            for pc = blk.Cfg.first to blk.Cfg.last do
+              states.(pc) <- Some !s;
+              s := transfer ~pc cfg.Cfg.instrs.(pc) !s
+            done;
+            let last = blk.Cfg.last in
+            let last_instr = cfg.Cfg.instrs.(last) in
+            let branch_targets = Instr.jump_targets last_instr in
+            let out = !s in
+            List.iter
+              (fun succ ->
+                let target = cfg.Cfg.blocks.(succ).Cfg.first in
+                (* A pure fall-through edge: reaches [last + 1] by
+                   falling and is not also a branch target of the same
+                   instruction (a guard whose fail is pc + 1 must not
+                   be narrowed). *)
+                let fall =
+                  target = last + 1
+                  && Cfg.falls_through last_instr
+                  && not (List.mem target branch_targets)
+                in
+                let refined = refine_edge ~pc:last last_instr ~target ~fall out in
+                let updated =
+                  match block_in.(succ) with
+                  | None -> Some refined
+                  | Some old ->
+                      let joined =
+                        try L.join old refined
+                        with Mismatch message ->
+                          raise (Join_error { pc = target; message })
+                      in
+                      let joined =
+                        if join_count.(succ) > widen_after then
+                          L.widen old joined
+                        else joined
+                      in
+                      if L.equal joined old then None else Some joined
+                in
+                match updated with
+                | None -> ()
+                | Some next ->
+                    block_in.(succ) <- Some next;
+                    join_count.(succ) <- join_count.(succ) + 1;
+                    if not on_work.(succ) then begin
+                      Queue.add succ queue;
+                      on_work.(succ) <- true
+                    end)
+              blk.Cfg.succs
+      done;
+      states
+    end
+end

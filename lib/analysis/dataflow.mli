@@ -1,0 +1,47 @@
+(** Generic forward dataflow engine over {!Cfg} block graphs.
+
+    A worklist fixpoint over basic blocks with a pluggable lattice. The
+    engine records the converged in-state of every reachable
+    instruction, which is what checkers want: they re-run the transfer
+    function once over the fixpoint and report definite errors there
+    (raising during propagation would be non-monotone — an early,
+    precise state can err where the converged one does not). *)
+
+open Acsi_bytecode
+
+exception Mismatch of string
+(** Raised by a lattice [join] when the two states have incompatible
+    shapes (e.g. different stack depths). The engine rethrows it as
+    {!Join_error} with the join point attached. *)
+
+exception Join_error of { pc : int; message : string }
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+
+  val join : t -> t -> t
+  (** May raise {!Mismatch}. *)
+
+  val widen : t -> t -> t
+  (** [widen old joined]; applied in place of the plain join once a
+      block has been re-joined more than [widen_after] times. Finite
+      lattices can return [joined] unchanged. *)
+end
+
+module Forward (L : LATTICE) : sig
+  val run :
+    Cfg.t ->
+    init:L.t ->
+    transfer:(pc:int -> Instr.t -> L.t -> L.t) ->
+    ?refine_edge:(pc:int -> Instr.t -> target:int -> fall:bool -> L.t -> L.t) ->
+    ?widen_after:int ->
+    unit ->
+    L.t option array
+  (** Converged in-state per pc; [None] for unreachable instructions.
+      [refine_edge] adjusts the out-state flowing along one edge —
+      [fall] is true only for a pure fall-through edge (not also a
+      branch target of the same instruction), which is where guard
+      narrowing is sound. *)
+end

@@ -1,0 +1,68 @@
+open Acsi_bytecode
+
+let unreachable_ranges body =
+  let n = Array.length body in
+  let live = Cfg.reachable_instrs body in
+  let ranges = ref [] in
+  let start = ref (-1) in
+  for pc = 0 to n - 1 do
+    if not live.(pc) then begin
+      if !start < 0 then start := pc
+    end
+    else if !start >= 0 then begin
+      ranges := (!start, pc - 1) :: !ranges;
+      start := -1
+    end
+  done;
+  if !start >= 0 then ranges := (!start, n - 1) :: !ranges;
+  List.rev !ranges
+
+(* The front end terminates every body with an epilogue return that an
+   explicit return on all paths strands; a trailing unreachable range
+   of nothing but returns is its signature, not dead user code. *)
+let is_epilogue body (first, last) =
+  last = Array.length body - 1
+  && (let all_returns = ref true in
+      for pc = first to last do
+        match body.(pc) with
+        | Instr.Return | Instr.Return_void -> ()
+        | _ -> all_returns := false
+      done;
+      !all_returns)
+
+let meth p (m : Meth.t) =
+  let body = m.Meth.body in
+  match (try Verify.meth p m; None with Verify.Error msg -> Some msg) with
+  | Some msg -> [ Diag.of_verify_error msg ]
+  | None ->
+      let diags = ref (Typecheck.meth_diags p m) in
+      let add ?pc fmt =
+        Format.kasprintf
+          (fun message ->
+            diags := !diags @ [ Diag.make ~meth:m.Meth.name ?pc message ])
+          fmt
+      in
+      List.iter
+        (fun (first, last) ->
+          if not (is_epilogue body (first, last)) then
+            if first = last then add ~pc:first "unreachable code"
+            else add ~pc:first "unreachable code (pcs %d-%d)" first last)
+        (unreachable_ranges body);
+      (* Local slots never read or written. Parameters land in the
+         leading slots, and slot 0 exists even in parameterless static
+         methods (the front end allocates at least one). *)
+      let used = Array.make (max 1 m.Meth.max_locals) false in
+      Array.iter
+        (fun instr ->
+          match instr with
+          | Instr.Load i | Instr.Store i ->
+              if i >= 0 && i < Array.length used then used.(i) <- true
+          | _ -> ())
+        body;
+      for i = max (Meth.param_slots m) 1 to m.Meth.max_locals - 1 do
+        if not used.(i) then add "local %d is never used" i
+      done;
+      !diags
+
+let program p =
+  Array.fold_left (fun acc m -> acc @ meth p m) [] (Program.methods p)

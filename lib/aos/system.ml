@@ -26,6 +26,7 @@ type config = {
   merge_rules_to_edges : bool;
   trace_on_timer : bool;
   enable_osr : bool;
+  verify_installed : bool;
   collect_termination_stats : bool;
 }
 
@@ -49,6 +50,7 @@ let default_config policy =
     merge_rules_to_edges = false;
     trace_on_timer = false;
     enable_osr = false;
+    verify_installed = true;
     collect_termination_stats = false;
   }
 
@@ -380,6 +382,14 @@ let compilation_thread t =
           stats.Acsi_jit.Expand.inline_count
           stats.Acsi_jit.Expand.guard_count);
     charge t Accounting.Compilation stats.Acsi_jit.Expand.compile_cycles;
+    (* Re-verify the JIT output (typed verification plus inline-map,
+       guard-domination and OSR invariants) before it can run. This
+       models a debug-build safety net, not AOS work the paper's system
+       performs, so it is deliberately NOT charged to the virtual
+       clock: enabling or disabling it must never perturb timer
+       samples, compilation decisions, or reported cycle counts. *)
+    if t.cfg.verify_installed then
+      Acsi_analysis.Jit_check.check_exn t.program code;
     Interp.install_code t.vm mid code;
     if t.cfg.enable_osr then ignore (Interp.osr t.vm mid);
     Registry.record t.registry mid stats ~rule_stamp:t.rules_version;

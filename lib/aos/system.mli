@@ -54,6 +54,12 @@ type config = {
       (** extension: on-stack-replace the innermost frame when its method
           gets (re)compiled; the paper's system activates new code only on
           the next invocation *)
+  verify_installed : bool;
+      (** re-verify every JIT-compiled body ({!Acsi_analysis.Jit_check})
+          before installing it: typed verification plus inline-map,
+          guard-domination and OSR invariants. A debug-build safety net,
+          so the work happens outside the virtual clock — toggling it
+          never changes cycle counts. Default [true]. *)
   collect_termination_stats : bool;
 }
 

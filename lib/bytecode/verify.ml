@@ -3,8 +3,7 @@ exception Error of string
 let error m pc fmt =
   Format.kasprintf
     (fun msg ->
-      raise
-        (Error (Printf.sprintf "verify: %s at pc %d: %s" m.Meth.name pc msg)))
+      raise (Error (Printf.sprintf "%s:%d: %s" m.Meth.name pc msg)))
     fmt
 
 (* (pops, pushes) of an instruction, resolving call signatures against the
@@ -25,7 +24,13 @@ let effect_of p m pc instr =
   | Swap -> (2, 2)
   | Binop _ | Cmp _ -> (2, 1)
   | Neg | Not | Array_new | Array_len | Get_field _ | Instance_of _ -> (1, 1)
-  | Jump _ | Nop | Return_void | Guard_method _ -> (0, 0)
+  | Jump _ | Nop | Return_void -> (0, 0)
+  | Guard_method g ->
+      let callee = Program.meth p g.Instr.expected in
+      if callee.Meth.arity <> g.argc then
+        error m pc "guard arity %d but expected target %s has arity %d"
+          g.argc callee.name callee.arity;
+      (0, 0)
   | Jump_if _ | Jump_ifnot _ -> (1, 0)
   | Put_field _ -> (2, 0)
   | Array_get -> (2, 1)
@@ -71,16 +76,15 @@ let effect_of p m pc instr =
             impls;
           (argc + 1, if first_m.Meth.returns then 1 else 0))
 
-let check_guard p m pc (g : Instr.guard) =
-  let callee = Program.meth p g.Instr.expected in
-  if callee.Meth.arity <> g.argc then
-    error m pc "guard arity %d but expected target %s has arity %d" g.argc
-      callee.name callee.arity
-
-let meth p m =
+let depth_map p m =
   let body = m.Meth.body in
   let len = Array.length body in
   if len = 0 then error m 0 "empty body";
+  (* The calling convention stores arguments (and the receiver, for
+     instance methods) into the leading locals before entry. *)
+  if Meth.param_slots m > m.Meth.max_locals then
+    error m 0 "%d parameter slots do not fit in max_locals %d"
+      (Meth.param_slots m) m.max_locals;
   (* Range-check every branch target up front, including targets in
      unreachable code: downstream transformations (the inline expander)
      index per-pc tables by them. *)
@@ -117,7 +121,6 @@ let meth p m =
     if depth' > !max_depth then max_depth := depth';
     (match instr with
     | Instr.Guard_method g ->
-        check_guard p m pc g;
         if depth < g.argc + 1 then
           error m pc "guard peeks below the stack (depth %d, argc %d)" depth
             g.argc
@@ -159,6 +162,12 @@ let meth p m =
     end;
     List.iter (fun target -> propagate target depth') (Instr.jump_targets instr)
   done;
-  m.Meth.max_stack <- !max_depth
+  (depth_in, !max_depth)
+
+let entry_depths p m = fst (depth_map p m)
+
+let meth p m =
+  let _, max_depth = depth_map p m in
+  m.Meth.max_stack <- max_depth
 
 let program p = Array.iter (meth p) (Program.methods p)

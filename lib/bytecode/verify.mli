@@ -12,13 +12,35 @@
       returns into jumps during inline expansion sound);
     - call arities and result kinds agree with callee signatures, including
       agreement across every CHA target of a virtual call;
+    - parameter slots fit within [max_locals] (the calling convention
+      stores arguments into the leading locals, so a method cannot
+      declare fewer locals than it has parameters);
     - execution cannot fall off the end of the body. *)
 
 exception Error of string
-(** Raised with a message naming the offending method and pc. *)
+(** Raised with a message formatted as [method:pc: message]. *)
+
+val effect_of : Program.t -> Meth.t -> int -> Instr.t -> int * int
+(** [(pops, pushes)] of one instruction, resolving call signatures
+    against the program and checking local indexes, call kinds/arities
+    and guard arities. This is the transfer-function table shared with
+    the typed verifier in [Acsi_analysis] — the depth verifier below
+    and the abstract interpreter both drive their stacks off it, so the
+    two can never disagree about an instruction's shape. Raises
+    {!Error}. *)
 
 val meth : Program.t -> Meth.t -> unit
 (** Verify one method and set its [max_stack]. Raises {!Error}. *)
+
+val entry_depths : Program.t -> Meth.t -> int array
+(** Per-pc operand-stack depth on entry to each instruction, [-1] for
+    unreachable code; runs the same verification worklist as {!meth}
+    (and raises {!Error} on the same inputs). The VM's on-stack
+    replacement uses this to refuse transfers onto a pc whose depth
+    differs from the suspended frame's — the peephole optimizer can
+    leave a source map entry on an instruction with a different entry
+    depth than the source pc had (constant folding keeps the
+    consumer's entry). *)
 
 val program : Program.t -> unit
 (** Verify every method of a sealed program. Raises {!Error}. *)

@@ -176,24 +176,6 @@ let compile program cost oracle ~root =
       Peephole.optimize (instrs, srcs)
     else (instrs, srcs)
   in
-  (* Re-verify the optimized body; this computes max_stack and checks the
-     transformation (inlining and peephole) kept every bytecode
-     invariant. *)
-  let wrapper =
-    {
-      Meth.id = root.Meth.id;
-      owner = root.Meth.owner;
-      name = root.Meth.name ^ "$opt";
-      selector = root.Meth.selector;
-      kind = root.Meth.kind;
-      arity = root.Meth.arity;
-      returns = root.Meth.returns;
-      body = instrs;
-      max_locals = st.next_local;
-      max_stack = 0;
-    }
-  in
-  Verify.meth program wrapper;
   let units = Array.length instrs in
   let code =
     {
@@ -201,11 +183,19 @@ let compile program cost oracle ~root =
       tier = Code.Optimized;
       instrs;
       max_locals = st.next_local;
-      max_stack = wrapper.Meth.max_stack;
+      max_stack = 0;
       src = Some srcs;
       code_bytes = units * cost.Cost.opt_bytes_per_unit;
     }
   in
+  (* Re-verify the optimized body; this computes max_stack and checks the
+     transformation (inlining and peephole) kept every bytecode
+     invariant. The AOS re-checks the full set of JIT invariants (typed
+     verification, guard domination, OSR compatibility) before
+     installing, via Acsi_analysis.Jit_check over this same wrapper. *)
+  let wrapper = Acsi_analysis.Jit_check.wrapper_of program code in
+  Verify.meth program wrapper;
+  let code = { code with Code.max_stack = wrapper.Meth.max_stack } in
   let stats =
     {
       expanded_units = units;

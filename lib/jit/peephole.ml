@@ -1,31 +1,9 @@
 open Acsi_bytecode
 
-(* Positions that control flow can enter other than by falling through:
-   rewrites must not merge instructions across these. *)
-let leaders instrs =
-  let n = Array.length instrs in
-  let is_leader = Array.make (n + 1) false in
-  is_leader.(0) <- true;
-  Array.iteri
-    (fun pc instr ->
-      List.iter
-        (fun t -> is_leader.(t) <- true)
-        (Instr.jump_targets instr);
-      match instr with
-      | Instr.Jump _ | Instr.Jump_if _ | Instr.Jump_ifnot _
-      | Instr.Guard_method _ | Instr.Return | Instr.Return_void ->
-          if pc + 1 <= n then is_leader.(pc + 1) <- true
-      | Instr.Const _ | Instr.Const_null | Instr.Load _ | Instr.Store _
-      | Instr.Dup | Instr.Pop | Instr.Swap | Instr.Binop _ | Instr.Neg
-      | Instr.Not | Instr.Cmp _ | Instr.New _ | Instr.Get_field _
-      | Instr.Put_field _ | Instr.Get_global _ | Instr.Put_global _
-      | Instr.Array_new | Instr.Array_get | Instr.Array_set
-      | Instr.Array_len | Instr.Call_static _ | Instr.Call_virtual _
-      | Instr.Call_direct _ | Instr.Instance_of _ | Instr.Print_int
-      | Instr.Nop ->
-          ())
-    instrs;
-  is_leader
+(* Block-boundary and reachability queries are shared with the static
+   analysis library so the optimizer and the checkers that re-verify
+   its output can never disagree about control flow. *)
+let leaders = Acsi_analysis.Cfg.leaders
 
 let fold_binop op a b =
   match (op : Instr.binop) with
@@ -153,35 +131,7 @@ let rewrite_pass instrs =
 
 (* Reachability from pc 0 (guards and conditional jumps both continue and
    branch). *)
-let reachable instrs =
-  let n = Array.length instrs in
-  let seen = Array.make n false in
-  let stack = ref [ 0 ] in
-  while !stack <> [] do
-    match !stack with
-    | [] -> ()
-    | pc :: rest ->
-        stack := rest;
-        if pc < n && not seen.(pc) then begin
-          seen.(pc) <- true;
-          List.iter
-            (fun t -> stack := t :: !stack)
-            (Instr.jump_targets instrs.(pc));
-          match instrs.(pc) with
-          | Instr.Jump _ | Instr.Return | Instr.Return_void -> ()
-          | Instr.Const _ | Instr.Const_null | Instr.Load _ | Instr.Store _
-          | Instr.Dup | Instr.Pop | Instr.Swap | Instr.Binop _ | Instr.Neg
-          | Instr.Not | Instr.Cmp _ | Instr.Jump_if _ | Instr.Jump_ifnot _
-          | Instr.New _ | Instr.Get_field _ | Instr.Put_field _
-          | Instr.Get_global _ | Instr.Put_global _ | Instr.Array_new
-          | Instr.Array_get | Instr.Array_set | Instr.Array_len
-          | Instr.Call_static _ | Instr.Call_virtual _ | Instr.Call_direct _
-          | Instr.Instance_of _ | Instr.Guard_method _ | Instr.Print_int
-          | Instr.Nop ->
-              stack := (pc + 1) :: !stack
-        end
-  done;
-  seen
+let reachable = Acsi_analysis.Cfg.reachable_instrs
 
 (* Drop Nops and unreachable instructions, remapping branch targets. A
    branch target that itself dies remaps to the next surviving position. *)

@@ -149,7 +149,27 @@ let osr t (mid : Ids.Method_id.t) =
         | None -> false
         | Some pc' ->
             let sp_rel = fr.f_sp - fr.f_base in
-            if sp_rel > current.Code.max_stack then false
+            (* The target pc must expect exactly the operand-stack depth
+               the suspended frame carries: the peephole optimizer can
+               leave a root-level source entry on an instruction whose
+               entry depth differs from the source pc's (constant
+               folding keeps the consumer's entry), and transferring
+               there would misalign the stack. *)
+            let depth_ok =
+              sp_rel <= current.Code.max_stack
+              &&
+              let root = Program.meth t.program mid in
+              let wrapper =
+                {
+                  root with
+                  Meth.body = current.Code.instrs;
+                  max_locals = current.Code.max_locals;
+                  max_stack = current.Code.max_stack;
+                }
+              in
+              (Verify.entry_depths t.program wrapper).(pc') = sp_rel
+            in
+            if not depth_ok then false
             else begin
               let base = current.Code.max_locals in
               let regs =

@@ -14,6 +14,7 @@ let () =
       ("expand-edge", Test_expand_edge.suite);
       ("policy", Test_policy.suite);
       ("peephole", Test_peephole.suite);
+      ("analysis", Test_analysis.suite);
       ("osr", Test_osr.suite);
       ("aos", Test_aos.suite);
       ("smoke", Test_smoke.suite);

@@ -1,0 +1,298 @@
+(* The static-analysis library: a malformed-bytecode corpus with one
+   body per error class, asserting the exact diagnostic each checker
+   emits, plus a property that everything the JIT actually installs
+   during adaptive runs re-verifies clean. *)
+
+open Acsi_bytecode
+open Acsi_analysis
+open Acsi_core
+module Policy = Acsi_policy.Policy
+module Micro = Acsi_workloads.Micro
+
+let check_diags = Alcotest.(check (list string))
+let diag_strings ds = List.map Diag.to_string ds
+
+(* A program with one class [T] and one static method [m] whose body
+   [mk_body] builds (given the class id), plus a trivial main. The body
+   is deliberately NOT verified here — each test drives the checker
+   under test itself. *)
+let prog_of ?(arity = 0) ?(returns = false) ?(max_locals = 2) mk_body =
+  let b = Program.Builder.create () in
+  let cls = Program.Builder.declare_class b ~name:"T" ~parent:None ~fields:[] in
+  let main =
+    Program.Builder.declare_method b ~owner:cls ~name:"main" ~kind:Meth.Static
+      ~arity:0 ~returns:false
+  in
+  Program.Builder.set_body b main ~max_locals:1 [| Instr.Return_void |];
+  let m =
+    Program.Builder.declare_method b ~owner:cls ~name:"m" ~kind:Meth.Static
+      ~arity ~returns
+  in
+  Program.Builder.set_body b m ~max_locals (mk_body cls);
+  let p = Program.Builder.seal b ~main in
+  (p, Program.meth p m)
+
+(* --- Typed verification ------------------------------------------- *)
+
+(* Int on one path, a fresh object on the other, joined into the same
+   local and then consumed by an int operation: the one definite error
+   the Conflict element exists to catch. *)
+let test_type_clash_at_join () =
+  let p, m =
+    prog_of (fun cls ->
+        [|
+          Instr.Const 0;
+          Instr.Jump_if 5;
+          Instr.Const 7;
+          Instr.Store 1;
+          Instr.Jump 7;
+          Instr.New cls;
+          Instr.Store 1;
+          Instr.Load 1;
+          Instr.Neg;
+          Instr.Pop;
+          Instr.Return_void;
+        |])
+  in
+  check_diags "diagnostics"
+    [ "m:8: neg expects an int but got a type clash at join (int vs reference)" ]
+    (diag_strings (Typecheck.meth_diags p m))
+
+(* --- Lint: unreachable code --------------------------------------- *)
+
+let test_unreachable_block () =
+  let p, m =
+    prog_of ~max_locals:1 (fun _ ->
+        [| Instr.Jump 2; Instr.Nop; Instr.Return_void |])
+  in
+  check_diags "single unreachable pc" [ "m:1: unreachable code" ]
+    (diag_strings (Lint.meth p m))
+
+let test_unreachable_range_and_epilogue () =
+  let p, m =
+    prog_of ~max_locals:1 (fun _ ->
+        [| Instr.Return_void; Instr.Const 1; Instr.Pop; Instr.Return_void |])
+  in
+  check_diags "trailing non-return range is reported"
+    [ "m:1: unreachable code (pcs 1-3)" ]
+    (diag_strings (Lint.meth p m));
+  (* ... but the front end's stranded all-returns epilogue is not. *)
+  let p, m =
+    prog_of ~max_locals:1 (fun _ -> [| Instr.Return_void; Instr.Return_void |])
+  in
+  check_diags "epilogue exempt" [] (diag_strings (Lint.meth p m))
+
+(* --- Structural verification: the parameter-slots bugfix ---------- *)
+
+let test_param_slots_exceed_locals () =
+  let p, m =
+    prog_of ~arity:3 ~max_locals:2 (fun _ ->
+        [| Instr.Pop; Instr.Return_void |])
+  in
+  match Verify.meth p m with
+  | () -> Alcotest.fail "expected Verify.Error"
+  | exception Verify.Error msg ->
+      Alcotest.(check string)
+        "diagnostic" "m:0: 3 parameter slots do not fit in max_locals 2" msg
+
+(* --- JIT-output invariants ---------------------------------------- *)
+
+(* Classes A and B <: A, both answering [tick] (so CHA cannot bind the
+   selector), and a static [root] whose body is supplied per test. *)
+let jit_fixture root_body =
+  let b = Program.Builder.create () in
+  let a = Program.Builder.declare_class b ~name:"A" ~parent:None ~fields:[] in
+  let bb =
+    Program.Builder.declare_class b ~name:"B" ~parent:(Some a) ~fields:[]
+  in
+  let sel = Program.Builder.intern_selector b "tick" in
+  let a_tick =
+    Program.Builder.declare_method b ~owner:a ~name:"tick" ~kind:Meth.Instance
+      ~arity:0 ~returns:false
+  in
+  Program.Builder.set_body b a_tick ~max_locals:1 [| Instr.Return_void |];
+  let b_tick =
+    Program.Builder.declare_method b ~owner:bb ~name:"tick" ~kind:Meth.Instance
+      ~arity:0 ~returns:false
+  in
+  Program.Builder.set_body b b_tick ~max_locals:1 [| Instr.Return_void |];
+  let root =
+    Program.Builder.declare_method b ~owner:a ~name:"root" ~kind:Meth.Static
+      ~arity:0 ~returns:false
+  in
+  Program.Builder.set_body b root ~max_locals:1 (root_body a sel a_tick);
+  let p = Program.Builder.seal b ~main:root in
+  (p, a, sel, a_tick, Program.meth p root)
+
+let entry ?(parents = []) src_meth src_pc =
+  { Acsi_vm.Code.src_meth; src_pc; parents }
+
+let mk_code mid instrs srcs =
+  {
+    Acsi_vm.Code.meth = mid;
+    tier = Acsi_vm.Code.Optimized;
+    instrs;
+    max_locals = 2;
+    max_stack = 4;
+    src = Some srcs;
+    code_bytes = 0;
+  }
+
+(* A devirtualized inline body reachable along a path that bypasses its
+   method guard: the region is flagged pc by pc. *)
+let test_guard_not_dominating () =
+  let p, a, sel, a_tick, root =
+    jit_fixture (fun a sel _ ->
+        [| Instr.New a; Instr.Call_virtual (sel, 0); Instr.Return_void |])
+  in
+  let rid = root.Meth.id in
+  let code =
+    mk_code rid
+      [|
+        Instr.New a;
+        Instr.Const 1;
+        Instr.Jump_if 5;
+        Instr.Guard_method { Instr.expected = a_tick; sel; argc = 0; fail = 7 };
+        Instr.Nop;
+        Instr.Store 1;
+        Instr.Jump 8;
+        Instr.Call_virtual (sel, 0);
+        Instr.Return_void;
+      |]
+      [|
+        entry rid 0;
+        entry rid (-1);
+        entry rid (-1);
+        entry rid 1;
+        entry rid (-1);
+        entry ~parents:[ (rid, 1) ] a_tick (-1);
+        entry ~parents:[ (rid, 1) ] a_tick 0;
+        entry rid 1;
+        entry rid 2;
+      |]
+  in
+  check_diags "diagnostics"
+    [
+      "root$opt:5: inline body for tick not dominated by its method guard";
+      "root$opt:6: inline body for tick not dominated by its method guard";
+    ]
+    (diag_strings (Jit_check.check p code))
+
+(* An inline-map entry pointing past the end of its source method. *)
+let test_stale_inline_map_pc () =
+  let p, _, _, _, root =
+    jit_fixture (fun a sel _ ->
+        [| Instr.New a; Instr.Call_virtual (sel, 0); Instr.Return_void |])
+  in
+  let rid = root.Meth.id in
+  let code =
+    mk_code rid
+      [| Instr.Nop; Instr.Return_void |]
+      [| entry rid 99; entry rid 2 |]
+  in
+  check_diags "diagnostics"
+    [ "root$opt:0: stale inline map: source pc 99 outside root (3 instrs)" ]
+    (diag_strings (Jit_check.check p code))
+
+(* A rewritten return whose jump lands back inside its own region. *)
+let test_return_into_own_region () =
+  let p, a, _, a_tick, root =
+    jit_fixture (fun a _ a_tick ->
+        [| Instr.New a; Instr.Call_direct a_tick; Instr.Return_void |])
+  in
+  let rid = root.Meth.id and tid = a_tick in
+  let code =
+    mk_code rid
+      [|
+        Instr.New a;
+        Instr.Store 1;
+        Instr.Nop;
+        Instr.Jump 2;
+        Instr.Return_void;
+      |]
+      [|
+        entry rid 0;
+        entry ~parents:[ (rid, 1) ] tid (-1);
+        entry ~parents:[ (rid, 1) ] tid 0;
+        entry ~parents:[ (rid, 1) ] tid 0;
+        entry rid 2;
+      |]
+  in
+  check_diags "diagnostics"
+    [
+      "root$opt:3: rewritten return of tick jumps into its own or a nested \
+       inline region";
+    ]
+    (diag_strings (Jit_check.check p code))
+
+(* An OSR-eligible entry (root-level, equal stack depth) whose carried
+   stack slot changed kind between source and optimized code. *)
+let test_osr_incompatible_stack () =
+  let p, _, _, _, root =
+    jit_fixture (fun a _ _ ->
+        [| Instr.New a; Instr.Pop; Instr.Return_void |])
+  in
+  let rid = root.Meth.id in
+  let code =
+    mk_code rid
+      [| Instr.Const 3; Instr.Pop; Instr.Return_void |]
+      [| entry rid 0; entry rid 1; entry rid 2 |]
+  in
+  check_diags "diagnostics"
+    [
+      "root$opt:1: OSR entry for source pc 1: stack slot 0 is int in \
+       optimized code but A at source";
+    ]
+    (diag_strings (Jit_check.check p code))
+
+(* --- Property: installed code re-verifies ------------------------- *)
+
+(* Whatever the adaptive system installs during a real run — inline
+   expansion, peephole rewriting, guards, source maps — must satisfy
+   every Jit_check invariant. Runs a random micro workload under a
+   random policy and re-checks each Optimized method post hoc. *)
+let prop_installed_code_reverifies =
+  let policies =
+    [ Policy.Fixed 2; Policy.Fixed 3; Policy.Adaptive_resolving 4 ]
+  in
+  QCheck.Test.make ~name:"every JIT-installed method re-verifies clean"
+    ~count:8
+    QCheck.(
+      pair
+        (int_bound (List.length Micro.all - 1))
+        (int_bound (List.length policies - 1)))
+    (fun (wi, pi) ->
+      let name, build = List.nth Micro.all wi in
+      let policy = List.nth policies pi in
+      let program = build ~scale:30 in
+      let result = Runtime.run (Config.default ~policy) program in
+      Array.for_all
+        (fun (m : Meth.t) ->
+          let code = Acsi_vm.Interp.code_of result.Runtime.vm m.Meth.id in
+          match code.Acsi_vm.Code.tier with
+          | Acsi_vm.Code.Baseline -> true
+          | Acsi_vm.Code.Optimized -> (
+              match Jit_check.check program code with
+              | [] -> true
+              | d :: _ ->
+                  QCheck.Test.fail_reportf "%s under %s: %s" name
+                    (Policy.to_string policy) (Diag.to_string d)))
+        (Program.methods program))
+
+let suite =
+  [
+    Alcotest.test_case "type clash at join" `Quick test_type_clash_at_join;
+    Alcotest.test_case "unreachable block" `Quick test_unreachable_block;
+    Alcotest.test_case "unreachable range + epilogue" `Quick
+      test_unreachable_range_and_epilogue;
+    Alcotest.test_case "param slots exceed locals" `Quick
+      test_param_slots_exceed_locals;
+    Alcotest.test_case "guard not dominating inline body" `Quick
+      test_guard_not_dominating;
+    Alcotest.test_case "stale inline-map pc" `Quick test_stale_inline_map_pc;
+    Alcotest.test_case "return into own region" `Quick
+      test_return_into_own_region;
+    Alcotest.test_case "OSR-incompatible stack slot" `Quick
+      test_osr_incompatible_stack;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_installed_code_reverifies ]
