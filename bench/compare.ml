@@ -142,13 +142,54 @@ let () =
     (fun (bench, policy) ->
       Printf.printf "cell only in old run: %s/%s\n" bench policy)
     removed;
-  if !cycle_mismatches <> [] then begin
-    Printf.printf "\nDETERMINISM VIOLATION: total_cycles changed on %d cells:\n"
-      (List.length !cycle_mismatches);
+  (* Server cells carry the same determinism contract: at equal scale,
+     matched (bench, policy) server cells must agree on cycles and the
+     latency percentiles. Runs recorded before server mode existed have
+     no server section, so nothing matches and nothing is checked. *)
+  let server_mismatches = ref [] in
+  if same_scale then begin
+    let old_scells = Hashtbl.create 8 in
     List.iter
-      (fun ((bench, policy), (o : Results.cell), (n : Results.cell)) ->
-        Printf.printf "  %s/%s: %d -> %d\n" bench policy
-          o.Results.total_cycles n.Results.total_cycles)
-      (List.rev !cycle_mismatches);
+      (fun (s : Results.scell) ->
+        Hashtbl.replace old_scells (s.Results.s_bench, s.Results.s_policy) s)
+      old_run.Results.server;
+    List.iter
+      (fun (s : Results.scell) ->
+        match
+          Hashtbl.find_opt old_scells (s.Results.s_bench, s.Results.s_policy)
+        with
+        | Some o
+          when o.Results.s_total_cycles <> s.Results.s_total_cycles
+               || o.Results.s_p50 <> s.Results.s_p50
+               || o.Results.s_p95 <> s.Results.s_p95
+               || o.Results.s_p99 <> s.Results.s_p99 ->
+            server_mismatches := (o, s) :: !server_mismatches
+        | Some _ | None -> ())
+      new_run.Results.server
+  end;
+  if !cycle_mismatches <> [] || !server_mismatches <> [] then begin
+    if !cycle_mismatches <> [] then begin
+      Printf.printf
+        "\nDETERMINISM VIOLATION: total_cycles changed on %d cells:\n"
+        (List.length !cycle_mismatches);
+      List.iter
+        (fun ((bench, policy), (o : Results.cell), (n : Results.cell)) ->
+          Printf.printf "  %s/%s: %d -> %d\n" bench policy
+            o.Results.total_cycles n.Results.total_cycles)
+        (List.rev !cycle_mismatches)
+    end;
+    if !server_mismatches <> [] then begin
+      Printf.printf
+        "\nDETERMINISM VIOLATION: server cells changed on %d cells:\n"
+        (List.length !server_mismatches);
+      List.iter
+        (fun ((o : Results.scell), (n : Results.scell)) ->
+          Printf.printf
+            "  %s/%s: cycles %d -> %d, p50/p95/p99 %d/%d/%d -> %d/%d/%d\n"
+            n.Results.s_bench n.Results.s_policy o.Results.s_total_cycles
+            n.Results.s_total_cycles o.Results.s_p50 o.Results.s_p95
+            o.Results.s_p99 n.Results.s_p50 n.Results.s_p95 n.Results.s_p99)
+        (List.rev !server_mismatches)
+    end;
     exit 1
   end

@@ -5,6 +5,7 @@
      dune exec bench/main.exe -- --quick      ~4x smaller workloads
      dune exec bench/main.exe -- --fig4       one artifact only
      dune exec bench/main.exe -- --ablations  design-choice ablations
+     dune exec bench/main.exe -- --serve      server-mode (virtual threads)
      dune exec bench/main.exe -- --micro      bechamel microbenchmarks
      dune exec bench/main.exe -- --jobs 8     domain-parallel driver
      dune exec bench/main.exe -- --json       append run to BENCH_results.json
@@ -28,6 +29,7 @@ type mode = {
   mutable term_stats : bool;
   mutable summary : bool;
   mutable ablations : bool;
+  mutable serve : bool;
   mutable micro : bool;
   mutable scale_factor : float;
   mutable jobs : int;
@@ -45,6 +47,7 @@ let parse_args () =
       term_stats = false;
       summary = false;
       ablations = false;
+      serve = false;
       micro = false;
       scale_factor = 1.0;
       jobs = Parallel.available_cores ();
@@ -81,6 +84,10 @@ let parse_args () =
         go rest
     | "--ablations" :: rest ->
         m.ablations <- true;
+        any := true;
+        go rest
+    | "--serve" :: rest ->
+        m.serve <- true;
         any := true;
         go rest
     | "--micro" :: rest ->
@@ -126,6 +133,7 @@ let parse_args () =
     m.term_stats <- true;
     m.summary <- true;
     m.ablations <- true;
+    m.serve <- true;
     m.json <- true
   end;
   m
@@ -413,6 +421,55 @@ let extended mode =
   in
   List.iter print_string blocks
 
+(* --- server mode: virtual-threaded request workloads --- *)
+
+(* Three benchmarks served as closed-loop request workloads over one
+   shared VM/AOS each, with the background compiler on. Every number
+   printed (and recorded to the results file) is deterministic: the
+   workloads are independent cells fanned out with Parallel.map and
+   collected in order, so --jobs does not change the output. *)
+let serve_mode mode =
+  hr "Server mode (virtual threads, background compilation)";
+  let policy = Policy.Fixed 3 in
+  let cells =
+    Parallel.map ~jobs:mode.jobs
+      (fun name ->
+        let spec = Workloads.find name in
+        let scale =
+          max 1
+            (int_of_float
+               (mode.scale_factor *. float_of_int spec.Workloads.default_scale))
+        in
+        let program = spec.Workloads.build ~scale in
+        let result =
+          Acsi_server.Server.run
+            ~mode:
+              (Acsi_server.Server.Closed
+                 { clients = 4; requests_per_client = 6; think = 50_000 })
+            ~name (Config.default ~policy) program
+        in
+        let s = result.Acsi_server.Server.summary in
+        let text =
+          Format.asprintf "%a@.@." Acsi_server.Server.pp_summary s
+        in
+        let cell =
+          {
+            Results.s_bench = name;
+            s_policy = s.Acsi_server.Server.sv_policy;
+            s_requests = s.Acsi_server.Server.sv_requests;
+            s_total_cycles = s.Acsi_server.Server.sv_total_cycles;
+            s_throughput_rpmc = s.Acsi_server.Server.sv_throughput_rpmc;
+            s_p50 = s.Acsi_server.Server.sv_p50;
+            s_p95 = s.Acsi_server.Server.sv_p95;
+            s_p99 = s.Acsi_server.Server.sv_p99;
+          }
+        in
+        (text, cell))
+      [ "db"; "jess"; "compress" ]
+  in
+  List.iter (fun (text, _) -> print_string text) cells;
+  List.map snd cells
+
 (* --- machine-readable results: per-cell wall-clock + virtual cycles --- *)
 
 (* Wall-clock is the only non-deterministic number the harness produces,
@@ -422,23 +479,30 @@ let extended mode =
    file is a trajectory — each invocation appends its run, so the
    wall-clock history survives in one file and compare.exe can diff any
    two points of it (see results.ml). *)
-let write_json mode (s : Experiment.sweep) =
+let write_json mode (s : Experiment.sweep option) server =
   let path = mode.json_path in
+  let wall_total_s, cells =
+    match s with
+    | None -> (0.0, [])
+    | Some s ->
+        ( s.Experiment.wall_total_s,
+          List.map
+            (fun (t : Experiment.timing) ->
+              {
+                Results.bench = t.Experiment.t_bench;
+                policy = t.Experiment.t_policy;
+                wall_s = t.Experiment.t_wall_s;
+                total_cycles = t.Experiment.t_cycles;
+              })
+            s.Experiment.timings )
+  in
   let run =
     {
       Results.jobs = mode.jobs;
       scale_factor = mode.scale_factor;
-      wall_total_s = s.Experiment.wall_total_s;
-      cells =
-        List.map
-          (fun (t : Experiment.timing) ->
-            {
-              Results.bench = t.Experiment.t_bench;
-              policy = t.Experiment.t_policy;
-              wall_s = t.Experiment.t_wall_s;
-              total_cycles = t.Experiment.t_cycles;
-            })
-          s.Experiment.timings;
+      wall_total_s;
+      cells;
+      server;
     }
   in
   let prior =
@@ -454,10 +518,10 @@ let write_json mode (s : Experiment.sweep) =
   in
   Results.write_file path (prior @ [ run ]);
   Format.eprintf
-    "  [json] appended run %d to %s (%d cells, sweep wall %.2fs, jobs %d)@."
-    (List.length prior) path
-    (List.length s.Experiment.timings)
-    s.Experiment.wall_total_s mode.jobs
+    "  [json] appended run %d to %s (%d cells, %d server cells, sweep wall \
+     %.2fs, jobs %d)@."
+    (List.length prior) path (List.length cells) (List.length server)
+    wall_total_s mode.jobs
 
 (* --- bechamel microbenchmarks: one Test.make per table/figure kernel --- *)
 
@@ -574,8 +638,8 @@ let () =
     ablations mode;
     extended mode
   end;
+  let server_cells = if mode.serve then serve_mode mode else [] in
   if mode.micro then micro ();
-  (match !the_sweep with
-  | Some s when mode.json -> write_json mode s
-  | Some _ | None -> ());
+  if mode.json && (Option.is_some !the_sweep || server_cells <> []) then
+    write_json mode !the_sweep server_cells;
   Format.printf "@.done.@."

@@ -13,11 +13,27 @@ type cell = {
   total_cycles : int;
 }
 
+(* One server-mode (virtual-threaded) cell: deterministic latency and
+   throughput figures from Acsi_server.Server. Everything here except
+   wall-clock is covered by the determinism contract. *)
+type scell = {
+  s_bench : string;
+  s_policy : string;
+  s_requests : int;
+  s_total_cycles : int;
+  s_throughput_rpmc : float;
+  s_p50 : int;
+  s_p95 : int;
+  s_p99 : int;
+}
+
 type run = {
   jobs : int;
   scale_factor : float;
   wall_total_s : float;
   cells : cell list;
+  server : scell list;
+      (* empty for runs recorded before server mode existed *)
 }
 
 (* --- JSON values --- *)
@@ -204,6 +220,18 @@ let cell_of_json j =
     total_cycles = int_of_float (num (field "total_cycles" j));
   }
 
+let scell_of_json j =
+  {
+    s_bench = str (field "bench" j);
+    s_policy = str (field "policy" j);
+    s_requests = int_of_float (num (field "requests" j));
+    s_total_cycles = int_of_float (num (field "total_cycles" j));
+    s_throughput_rpmc = num (field "throughput_rpmc" j);
+    s_p50 = int_of_float (num (field "p50" j));
+    s_p95 = int_of_float (num (field "p95" j));
+    s_p99 = int_of_float (num (field "p99" j));
+  }
+
 let run_of_json j =
   {
     jobs = int_of_float (num (field "jobs" j));
@@ -213,6 +241,16 @@ let run_of_json j =
       (match field "cells" j with
       | Arr cells -> List.map cell_of_json cells
       | _ -> raise (Parse_error "expected an array of cells"));
+    server =
+      (* Absent in files written before server mode existed. *)
+      (match j with
+      | Obj kvs -> (
+          match List.assoc_opt "server" kvs with
+          | None | Some Null -> []
+          | Some (Arr scells) -> List.map scell_of_json scells
+          | Some _ ->
+              raise (Parse_error "expected an array under \"server\""))
+      | _ -> []);
   }
 
 (* A trajectory file is {"runs": [...]}; a bare run object (the PR 1
@@ -264,7 +302,25 @@ let output_run oc r ~last =
         (json_escape c.bench) (json_escape c.policy) c.wall_s c.total_cycles
         (if i = last_cell then "" else ","))
     r.cells;
-  Printf.fprintf oc "      ]\n    }%s\n" (if last then "" else ",")
+  Printf.fprintf oc "      ]";
+  (* The server section is only written when present, so trajectories
+     without server-mode runs keep their exact prior shape. *)
+  if r.server <> [] then begin
+    Printf.fprintf oc ",\n      \"server\": [\n";
+    let last_s = List.length r.server - 1 in
+    List.iteri
+      (fun i s ->
+        Printf.fprintf oc
+          "        {\"bench\": \"%s\", \"policy\": \"%s\", \"requests\": %d, \
+           \"total_cycles\": %d, \"throughput_rpmc\": %.6f, \"p50\": %d, \
+           \"p95\": %d, \"p99\": %d}%s\n"
+          (json_escape s.s_bench) (json_escape s.s_policy) s.s_requests
+          s.s_total_cycles s.s_throughput_rpmc s.s_p50 s.s_p95 s.s_p99
+          (if i = last_s then "" else ","))
+      r.server;
+    Printf.fprintf oc "      ]"
+  end;
+  Printf.fprintf oc "\n    }%s\n" (if last then "" else ",")
 
 let write_file path runs =
   let oc = open_out path in

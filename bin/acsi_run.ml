@@ -280,6 +280,147 @@ let lint_targets files =
   end
   else 1
 
+(* `acsi-run serve`: server-mode execution — each benchmark's requests
+   run as virtual threads over one shared VM/AOS instance, with
+   background compilation, and the summary reports throughput and
+   latency percentiles. Deterministic: identical invocations print
+   identical summaries. *)
+let serve_benches ~benches ~policy_str ~scale ~requests ~clients ~think
+    ~open_period ~quantum ~switch_cost ~seed ~sync_compile ~show_windows =
+  match Acsi_policy.Policy.of_string policy_str with
+  | None ->
+      Format.eprintf "unknown policy %S@." policy_str;
+      2
+  | Some policy -> (
+      let exception Unknown_bench of string in
+      let names =
+        List.filter
+          (fun s -> String.length s > 0)
+          (String.split_on_char ',' benches)
+      in
+      match
+        List.map
+          (fun name ->
+            match Acsi_workloads.Workloads.find name with
+            | spec -> spec
+            | exception Not_found -> raise (Unknown_bench name))
+          names
+      with
+      | exception Unknown_bench name ->
+          Format.eprintf "unknown benchmark %S (use --list)@." name;
+          2
+      | specs ->
+          let first = ref true in
+          List.iter
+            (fun (spec : Acsi_workloads.Workloads.spec) ->
+              let scale =
+                match scale with
+                | Some s -> s
+                | None -> spec.Acsi_workloads.Workloads.default_scale
+              in
+              let program = spec.Acsi_workloads.Workloads.build ~scale in
+              let mode =
+                match open_period with
+                | Some period -> Acsi_server.Server.Open { period; requests }
+                | None ->
+                    Acsi_server.Server.Closed
+                      { clients; requests_per_client = requests; think }
+              in
+              let result =
+                Acsi_server.Server.run ~quantum ~switch_cost ~seed
+                  ~async_compile:(not sync_compile) ~mode
+                  ~name:spec.Acsi_workloads.Workloads.name
+                  (Config.default ~policy) program
+              in
+              if not !first then Format.printf "@.";
+              first := false;
+              Format.printf "%a@." Acsi_server.Server.pp_summary
+                result.Acsi_server.Server.summary;
+              if show_windows then
+                Format.printf "%a@." Acsi_server.Server.pp_windows
+                  result.Acsi_server.Server.windows)
+            specs;
+          0)
+
+let serve_bench_arg =
+  Arg.(
+    value
+    & opt string "db,jess,compress"
+    & info [ "b"; "bench" ] ~doc:"Comma-separated benchmark names to serve.")
+
+let requests_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "requests" ]
+        ~doc:
+          "Requests per client (closed loop) or total requests (open loop).")
+
+let clients_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "clients" ] ~doc:"Concurrent clients (closed loop).")
+
+let think_arg =
+  Arg.(
+    value & opt int 50_000
+    & info [ "think" ]
+        ~doc:"Client think time in cycles between requests (closed loop).")
+
+let open_period_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "open" ] ~docv:"PERIOD"
+        ~doc:
+          "Use an open-loop arrival schedule with the given mean \
+           inter-arrival period in cycles instead of the closed loop.")
+
+let quantum_arg =
+  Arg.(
+    value & opt int 25_000
+    & info [ "quantum" ] ~doc:"Scheduler quantum in cycles.")
+
+let switch_cost_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "switch-cost" ] ~doc:"Context-switch cost in cycles.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~doc:"Seed for the open-loop arrival schedule.")
+
+let sync_compile_arg =
+  Arg.(
+    value & flag
+    & info [ "sync-compile" ]
+        ~doc:
+          "Compile synchronously at the sample that requested it instead \
+           of on the background compiler thread.")
+
+let windows_arg =
+  Arg.(
+    value & flag
+    & info [ "windows" ] ~doc:"Also print the per-window warmup curve.")
+
+let serve_main verbose benches policy scale requests clients think open_period
+    quantum switch_cost seed sync_compile show_windows =
+  setup_logs verbose;
+  serve_benches ~benches ~policy_str:policy ~scale ~requests ~clients ~think
+    ~open_period ~quantum ~switch_cost ~seed ~sync_compile ~show_windows
+
+let serve_cmd =
+  let doc =
+    "serve a deterministic request workload over one shared VM and \
+     adaptive system, reporting throughput and latency percentiles"
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const serve_main $ verbose_arg $ serve_bench_arg $ policy_arg
+      $ scale_arg $ requests_arg $ clients_arg $ think_arg $ open_period_arg
+      $ quantum_arg $ switch_cost_arg $ seed_arg $ sync_compile_arg
+      $ windows_arg)
+
 let lint_files_arg =
   Arg.(
     value & pos_all file []
@@ -304,6 +445,7 @@ let cmd =
   let doc =
     "run an adaptive-context-sensitive-inlining experiment on one benchmark"
   in
-  Cmd.group ~default:run_cmd_term (Cmd.info "acsi-run" ~doc) [ lint_cmd ]
+  Cmd.group ~default:run_cmd_term (Cmd.info "acsi-run" ~doc)
+    [ lint_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval' cmd)

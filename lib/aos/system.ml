@@ -28,6 +28,7 @@ type config = {
   enable_osr : bool;
   verify_installed : bool;
   collect_termination_stats : bool;
+  async_compile : bool;
 }
 
 let default_config policy =
@@ -52,7 +53,23 @@ let default_config policy =
     enable_osr = false;
     verify_installed = true;
     collect_termination_stats = false;
+    async_compile = false;
   }
+
+(* One background compilation in flight: the code is already produced
+   (the compiler snapshots the rules when it starts the job), but it only
+   becomes installable once the virtual clock reaches [ic_finish] — the
+   point where the background compiler thread, running concurrently with
+   the mutators, would have completed it. *)
+type in_flight_compile = {
+  ic_meth : Ids.Method_id.t;
+  ic_code : Acsi_vm.Code.t;
+  ic_stats : Acsi_jit.Expand.stats;
+  ic_rule_stamp : int;  (** rules version the job was compiled against *)
+  ic_start : int;  (** cycle the background thread began the job *)
+  ic_finish : int;  (** cycle the job completes and may install *)
+  ic_instrs_at_start : int;  (** mutator instruction count at [ic_start] *)
+}
 
 type t = {
   cfg : config;
@@ -77,6 +94,13 @@ type t = {
   (* compilation queue *)
   compile_queue : Ids.Method_id.t Queue.t;
   pending : bool array;
+  (* asynchronous (background-thread) compilation: finished code waiting
+     for its virtual finish time, in finish order *)
+  in_flight : in_flight_compile Queue.t;
+  mutable compiler_busy_until : int;
+  mutable async_installs : int;
+  mutable max_queue_depth : int;
+  mutable overlap_instructions : int;
   (* counters *)
   mutable baseline_methods : int;
   mutable baseline_bytes : int;
@@ -99,6 +123,11 @@ let baseline_code_bytes t = t.baseline_bytes
 let method_samples_taken t = t.method_samples
 let trace_samples_taken t = t.trace_samples
 let epochs_run t = t.epochs
+let compile_queue_depth t = Queue.length t.compile_queue
+let max_compile_queue_depth t = t.max_queue_depth
+let in_flight_compiles t = Queue.length t.in_flight
+let async_installs t = t.async_installs
+let async_overlap_instructions t = t.overlap_instructions
 
 (* All AOS work is charged to both the component accounting (Figure 6) and
    the VM clock (total time includes the adaptive system). *)
@@ -109,7 +138,8 @@ let charge t component cycles =
 let enqueue_compile t (mid : Ids.Method_id.t) =
   if not t.pending.((mid :> int)) then begin
     t.pending.((mid :> int)) <- true;
-    Queue.add mid t.compile_queue
+    Queue.add mid t.compile_queue;
+    t.max_queue_depth <- max t.max_queue_depth (Queue.length t.compile_queue)
   end
 
 (* --- organizers --- *)
@@ -368,45 +398,107 @@ let controller t =
       | Some _ -> ())
     hot
 
+(* Produce optimized code for one queued method (shared by the stalling
+   and background compilation models). *)
+let compile_one t (mid : Ids.Method_id.t) =
+  t.pending.((mid :> int)) <- false;
+  let root = Program.meth t.program mid in
+  let code, stats = Acsi_jit.Expand.compile t.program t.cost t.oracle ~root in
+  Log.info (fun m ->
+      m "opt-compiled %s: %d units, %d inlines, %d guards" root.Meth.name
+        stats.Acsi_jit.Expand.expanded_units
+        stats.Acsi_jit.Expand.inline_count stats.Acsi_jit.Expand.guard_count);
+  (code, stats)
+
+(* Install freshly compiled code: verify, activate, optionally OSR the
+   innermost frame, and record the compilation. [rule_stamp] is the rules
+   version the code was built against — for background compilations that
+   can be older than the current version at install time.
+
+   The re-verification ({!Acsi_analysis.Jit_check}) models a debug-build
+   safety net, not AOS work the paper's system performs, so it is
+   deliberately NOT charged to the virtual clock: enabling or disabling
+   it must never perturb timer samples, compilation decisions, or
+   reported cycle counts. This holds for both compilation models —
+   code produced by the background compiler thread passes through the
+   same check before activation. *)
+let install_compiled t mid code stats ~rule_stamp =
+  if t.cfg.verify_installed then
+    Acsi_analysis.Jit_check.check_exn t.program code;
+  Interp.install_code t.vm mid code;
+  if t.cfg.enable_osr then ignore (Interp.osr t.vm mid);
+  Registry.record t.registry mid stats ~rule_stamp;
+  Db.record_compilation t.db
+    {
+      Db.ce_method = mid;
+      ce_version =
+        (match Registry.entry t.registry mid with
+        | Some e -> e.Registry.version
+        | None -> 0);
+      ce_units = stats.Acsi_jit.Expand.expanded_units;
+      ce_bytes = stats.Acsi_jit.Expand.code_bytes;
+      ce_cycles = stats.Acsi_jit.Expand.compile_cycles;
+      ce_inlines = stats.Acsi_jit.Expand.inline_count;
+      ce_guards = stats.Acsi_jit.Expand.guard_count;
+    }
+
+(* The stalling compilation model (the default, and the paper's
+   measurement configuration): compile cycles are charged to the shared
+   clock, so the requesting execution waits for the compiler. *)
 let compilation_thread t =
   while not (Queue.is_empty t.compile_queue) do
     let mid = Queue.pop t.compile_queue in
-    t.pending.((mid :> int)) <- false;
-    let root = Program.meth t.program mid in
-    let code, stats =
-      Acsi_jit.Expand.compile t.program t.cost t.oracle ~root
-    in
-    Log.info (fun m ->
-        m "opt-compiled %s: %d units, %d inlines, %d guards"
-          root.Meth.name stats.Acsi_jit.Expand.expanded_units
-          stats.Acsi_jit.Expand.inline_count
-          stats.Acsi_jit.Expand.guard_count);
+    let code, stats = compile_one t mid in
     charge t Accounting.Compilation stats.Acsi_jit.Expand.compile_cycles;
-    (* Re-verify the JIT output (typed verification plus inline-map,
-       guard-domination and OSR invariants) before it can run. This
-       models a debug-build safety net, not AOS work the paper's system
-       performs, so it is deliberately NOT charged to the virtual
-       clock: enabling or disabling it must never perturb timer
-       samples, compilation decisions, or reported cycle counts. *)
-    if t.cfg.verify_installed then
-      Acsi_analysis.Jit_check.check_exn t.program code;
-    Interp.install_code t.vm mid code;
-    if t.cfg.enable_osr then ignore (Interp.osr t.vm mid);
-    Registry.record t.registry mid stats ~rule_stamp:t.rules_version;
-    Db.record_compilation t.db
-      {
-        Db.ce_method = mid;
-        ce_version =
-          (match Registry.entry t.registry mid with
-          | Some e -> e.Registry.version
-          | None -> 0);
-        ce_units = stats.Acsi_jit.Expand.expanded_units;
-        ce_bytes = stats.Acsi_jit.Expand.code_bytes;
-        ce_cycles = stats.Acsi_jit.Expand.compile_cycles;
-        ce_inlines = stats.Acsi_jit.Expand.inline_count;
-        ce_guards = stats.Acsi_jit.Expand.guard_count;
-      }
+    install_compiled t mid code stats ~rule_stamp:t.rules_version
   done
+
+(* The background compilation model: the compiler runs on its own virtual
+   thread whose cycles overlap mutator execution. Each job starts when
+   the (serial) background thread is free, finishes [compile_cycles]
+   later on the shared clock, and is installed at the first yield point
+   at or after its finish time. Compile cycles are charged to the
+   Figure-6 component accounting but NOT to the shared clock — that is
+   the overlap. *)
+let start_async_compiles t =
+  while not (Queue.is_empty t.compile_queue) do
+    let mid = Queue.pop t.compile_queue in
+    let code, stats = compile_one t mid in
+    Accounting.charge t.accounting Accounting.Compilation
+      stats.Acsi_jit.Expand.compile_cycles;
+    let now = Interp.cycles t.vm in
+    let start = max now t.compiler_busy_until in
+    let finish = start + stats.Acsi_jit.Expand.compile_cycles in
+    t.compiler_busy_until <- finish;
+    Queue.add
+      {
+        ic_meth = mid;
+        ic_code = code;
+        ic_stats = stats;
+        ic_rule_stamp = t.rules_version;
+        ic_start = start;
+        ic_finish = finish;
+        ic_instrs_at_start = Interp.instructions_executed t.vm;
+      }
+      t.in_flight
+  done
+
+let poll_async_installs t =
+  let now = Interp.cycles t.vm in
+  let rec go () =
+    match Queue.peek_opt t.in_flight with
+    | Some ic when ic.ic_finish <= now ->
+        ignore (Queue.pop t.in_flight);
+        t.async_installs <- t.async_installs + 1;
+        t.overlap_instructions <-
+          t.overlap_instructions
+          + (Interp.instructions_executed t.vm - ic.ic_instrs_at_start);
+        install_compiled t ic.ic_meth ic.ic_code ic.ic_stats
+          ~rule_stamp:ic.ic_rule_stamp;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ()
 
 let run_epoch t =
   t.epochs <- t.epochs + 1;
@@ -415,7 +507,7 @@ let run_epoch t =
   if t.epochs mod t.cfg.ai_period = 0 then ai_organizer t;
   if t.epochs mod t.cfg.decay_period = 0 then decay_organizer t;
   controller t;
-  compilation_thread t
+  if t.cfg.async_compile then start_async_compiles t else compilation_thread t
 
 (* --- listeners (VM hooks) --- *)
 
@@ -429,6 +521,9 @@ let take_trace_sample t vm =
   | None -> ()
 
 let on_timer_sample t vm =
+  (* Background compilations whose finish time has passed install at this
+     yield point, before any new sampling or organizer work. *)
+  if t.cfg.async_compile then poll_async_installs t;
   charge t Accounting.Listeners t.cost.Cost.method_sample;
   if t.cfg.trace_on_timer then take_trace_sample t vm;
   (* The method listener records the currently executing (source) method. *)
@@ -493,6 +588,11 @@ let create ?profile cfg vm =
       trace_buffer_len = 0;
       compile_queue = Queue.create ();
       pending = Array.make (Program.method_count program) false;
+      in_flight = Queue.create ();
+      compiler_busy_until = 0;
+      async_installs = 0;
+      max_queue_depth = 0;
+      overlap_instructions = 0;
       baseline_methods = 0;
       baseline_bytes = 0;
       method_samples = 0;

@@ -61,6 +61,15 @@ type config = {
           so the work happens outside the virtual clock — toggling it
           never changes cycle counts. Default [true]. *)
   collect_termination_stats : bool;
+  async_compile : bool;
+      (** compile on a background virtual thread whose cycles overlap
+          mutator execution instead of stalling it: jobs start when the
+          (serial) background compiler is free, finish [compile_cycles]
+          later on the shared clock, and install at the first yield point
+          at or after their finish time ({!poll_async_installs}). Compile
+          cycles are charged to the Figure-6 component accounting but not
+          to the shared clock. Default [false] — the paper's measurement
+          configuration stalls, and all goldens are pinned to it. *)
 }
 
 val default_config : Acsi_policy.Policy.t -> config
@@ -87,6 +96,33 @@ val baseline_code_bytes : t -> int
 val method_samples_taken : t -> int
 val trace_samples_taken : t -> int
 val epochs_run : t -> int
+
+(** {2 Asynchronous compilation} *)
+
+val poll_async_installs : t -> unit
+(** Install every background compilation whose virtual finish time has
+    passed. Called automatically at each timer sample; schedulers may
+    also call it at thread switches so installs land at the earliest
+    yield point. No-op when nothing is ready (and in the stalling
+    model, where the in-flight queue is always empty). *)
+
+val compile_queue_depth : t -> int
+(** Recompilation requests currently queued to the compiler. *)
+
+val max_compile_queue_depth : t -> int
+(** High-water mark of the compile queue over the run. *)
+
+val in_flight_compiles : t -> int
+(** Background compilations finished by the compiler model but not yet
+    past their virtual finish time (always 0 in the stalling model). *)
+
+val async_installs : t -> int
+(** Code installations performed by the background compilation model. *)
+
+val async_overlap_instructions : t -> int
+(** Mutator instructions retired between background-compile job starts
+    and their installs, summed over all jobs: positive means mutator
+    execution demonstrably overlapped compilation. *)
 
 (** {2 Organizer kernels and their executable specs}
 

@@ -29,6 +29,9 @@ type t = {
   classes_loaded : int;
   methods_compiled : int;
   bytecodes_compiled : int;
+  osr_count : int;
+  async_installs : int;
+  max_compile_queue_depth : int;
 }
 
 let checksum output =
@@ -85,6 +88,64 @@ let of_run vm sys =
     classes_loaded = Acsi_bytecode.Program.class_count program;
     methods_compiled;
     bytecodes_compiled;
+    osr_count = Interp.osr_count vm;
+    async_installs = System.async_installs sys;
+    max_compile_queue_depth = System.max_compile_queue_depth sys;
+  }
+
+(* Snapshot/diff over the counters that keep advancing monotonically on a
+   shared VM + AOS instance. Server mode runs many requests against one
+   instance; attributing work to a request (or a warmup window) by reading
+   absolute counters would double-count everything that came before, so
+   consumers snapshot at window boundaries and report the diffs. *)
+type snapshot = {
+  s_cycles : int;
+  s_aos_cycles : int;
+  s_instructions : int;
+  s_calls : int;
+  s_guard_hits : int;
+  s_guard_misses : int;
+  s_osr : int;
+  s_method_samples : int;
+  s_trace_samples : int;
+  s_opt_compilations : int;
+  s_async_installs : int;
+  s_output_len : int;
+}
+
+let snapshot vm sys =
+  {
+    s_cycles = Interp.cycles vm;
+    s_aos_cycles = Accounting.total (System.accounting sys);
+    s_instructions = Interp.instructions_executed vm;
+    s_calls = Interp.calls_executed vm;
+    s_guard_hits = Interp.guard_hits vm;
+    s_guard_misses = Interp.guard_misses vm;
+    s_osr = Interp.osr_count vm;
+    s_method_samples = System.method_samples_taken sys;
+    s_trace_samples = System.trace_samples_taken sys;
+    s_opt_compilations =
+      Registry.opt_compilation_count (System.registry sys)
+      + System.in_flight_compiles sys;
+    s_async_installs = System.async_installs sys;
+    s_output_len = List.length (Interp.output vm);
+  }
+
+let diff ~before ~after =
+  {
+    s_cycles = after.s_cycles - before.s_cycles;
+    s_aos_cycles = after.s_aos_cycles - before.s_aos_cycles;
+    s_instructions = after.s_instructions - before.s_instructions;
+    s_calls = after.s_calls - before.s_calls;
+    s_guard_hits = after.s_guard_hits - before.s_guard_hits;
+    s_guard_misses = after.s_guard_misses - before.s_guard_misses;
+    s_osr = after.s_osr - before.s_osr;
+    s_method_samples = after.s_method_samples - before.s_method_samples;
+    s_trace_samples = after.s_trace_samples - before.s_trace_samples;
+    s_opt_compilations =
+      after.s_opt_compilations - before.s_opt_compilations;
+    s_async_installs = after.s_async_installs - before.s_async_installs;
+    s_output_len = after.s_output_len - before.s_output_len;
   }
 
 let pct_change ~from_v to_v =

@@ -38,9 +38,43 @@ type t = {
   classes_loaded : int;
   methods_compiled : int;
   bytecodes_compiled : int;
+  (* scheduler / server counters *)
+  osr_count : int;
+  async_installs : int;  (** background-model code installations *)
+  max_compile_queue_depth : int;
+      (** high-water mark of the AOS compile queue *)
 }
 
 val of_run : Acsi_vm.Interp.t -> System.t -> t
+
+(** {2 Snapshots}
+
+    Counters on a shared VM + AOS instance advance monotonically across
+    all the virtual threads and requests multiplexed onto it. To report
+    per-request or per-window numbers without double-counting, take a
+    {!snapshot} at each boundary and report {!diff}s. *)
+
+type snapshot = {
+  s_cycles : int;
+  s_aos_cycles : int;
+  s_instructions : int;
+  s_calls : int;
+  s_guard_hits : int;
+  s_guard_misses : int;
+  s_osr : int;
+  s_method_samples : int;
+  s_trace_samples : int;
+  s_opt_compilations : int;
+      (** optimizing compilations started (background jobs count from
+          job start, not install) *)
+  s_async_installs : int;
+  s_output_len : int;
+}
+
+val snapshot : Acsi_vm.Interp.t -> System.t -> snapshot
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Fieldwise [after - before]: the activity within the window. *)
 
 val speedup_pct : baseline:t -> t -> float
 (** Wall-clock speedup of [t] over [baseline] as the paper plots it:

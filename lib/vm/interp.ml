@@ -44,6 +44,12 @@ type t = {
   mutable next_sample : int;
   invoke_stride : int;
   mutable invoke_countdown : int;
+  mutable next_thread_id : int;
+  (* Windows never extend past this clock value: [max_int] outside a
+     threaded slice, the quantum boundary inside one ([resume]). Both
+     the driver loops and [continue_window]'s mid-window restarts clip
+     to it, so preemption can only land where a timer check could. *)
+  mutable window_end : int;
 }
 
 let max_call_depth = 200_000
@@ -78,6 +84,8 @@ let create ?(cost = Cost.default) ?(sample_period = 100_000)
     next_sample = sample_period;
     invoke_stride;
     invoke_countdown = invoke_stride;
+    next_thread_id = 0;
+    window_end = max_int;
   }
 
 let program t = t.program
@@ -996,7 +1004,10 @@ let rec step t fr ops icost stack locals pc sp remaining ninstr =
    window instead of bouncing through the driver loop. *)
 and continue_window t =
   if t.depth > 0 then begin
-    let remaining = t.next_sample - t.cycles in
+    let limit =
+      if t.window_end < t.next_sample then t.window_end else t.next_sample
+    in
+    let remaining = limit - t.cycles in
     if remaining > 0 then begin
       let fr = t.frames.(t.depth - 1) in
       let dc = fr.f_dcode in
@@ -1245,3 +1256,89 @@ let run_reference ?(cycle_limit = max_int) t =
     | Instr.Nop -> fr.f_pc <- fr.f_pc + 1);
     ()
   done
+
+(* --- virtual threads --- *)
+
+(* A virtual thread is a suspended call stack. The VM owns exactly one
+   *running* stack ([t.frames]/[t.depth]); [resume] swaps a thread's stack
+   in, interprets it for up to [quantum] cycles, and swaps it back out.
+   Suspension only ever happens at a cycle-budget window boundary, where
+   [step] has flushed [pc]/[sp] into the frame and settled the deferred
+   instruction/cycle counters — i.e. at exactly the points where the
+   single-threaded driver would consider a timer sample. Everything else
+   (clock, code tables, globals, heap, hooks, counters) is shared: threads
+   model Java threads of one JVM, not separate VMs.
+
+   Reentrancy: two suspended frames of the same method share nothing
+   mutable. Each [invoke] allocates a fresh frame with its own register
+   array; the decoded instruction stream ([Dcode.t]) is immutable after
+   construction and only ever *replaced* (never mutated) by
+   [install_code], and a frame keeps executing the [f_code]/[f_dcode] it
+   started with even after a replacement. The interleaving regression
+   tests pin this. *)
+type thread = {
+  th_id : int;
+  mutable th_frames : frame array;
+  mutable th_depth : int;
+  mutable th_started : bool;
+}
+
+type thread_status = Running | Done
+
+let spawn t =
+  let id = t.next_thread_id in
+  t.next_thread_id <- id + 1;
+  { th_id = id; th_frames = [||]; th_depth = 0; th_started = false }
+
+let thread_id th = th.th_id
+let thread_depth th = th.th_depth
+let thread_done th = th.th_started && th.th_depth = 0
+
+let resume ?(cycle_limit = max_int) t th ~quantum =
+  if quantum <= 0 then invalid_arg "Interp.resume: quantum must be positive";
+  (* Swap the thread's stack in. *)
+  t.frames <- th.th_frames;
+  t.depth <- th.th_depth;
+  if not th.th_started then begin
+    th.th_started <- true;
+    let main = Program.main t.program in
+    if not t.executed.((main :> int)) then begin
+      t.executed.((main :> int)) <- true;
+      t.on_first_execution main
+    end;
+    ignore
+      (push_frame t
+         t.code_table.((main :> int))
+         t.dcode_table.((main :> int)));
+    t.call_count <- t.call_count + 1
+  end;
+  let quantum_end =
+    if quantum >= max_int - t.cycles then max_int else t.cycles + quantum
+  in
+  (* Save the (possibly reallocated) stack back even if a runtime error or
+     the cycle limit escapes mid-slice, so the scheduler's view stays
+     consistent with the VM's. *)
+  t.window_end <- quantum_end;
+  Fun.protect
+    ~finally:(fun () ->
+      t.window_end <- max_int;
+      th.th_frames <- t.frames;
+      th.th_depth <- t.depth)
+    (fun () ->
+      (* Same driver loop as [run], with the window additionally clipped
+         at the quantum boundary: preemption can only happen where a
+         timer check could have happened, so threaded execution samples
+         at exactly the yield points single-threaded execution has. *)
+      while t.depth > 0 && t.cycles < quantum_end do
+        if t.cycles >= t.next_sample then begin
+          t.next_sample <- t.next_sample + t.sample_period;
+          if t.cycles > cycle_limit then raise Cycle_limit_exceeded;
+          t.on_timer_sample t
+        end;
+        if t.depth > 0 then begin
+          let fr = t.frames.(t.depth - 1) in
+          let gap = min t.next_sample quantum_end - t.cycles in
+          exec_window t fr (if gap <= 0 then 1 else gap)
+        end
+      done;
+      if t.depth = 0 then Done else Running)

@@ -114,3 +114,43 @@ val run_reference : ?cycle_limit:int -> t -> unit
     executable specification of {!run}: on any program and hook
     configuration both produce bit-identical cycles, counters, output and
     hook timing. Roughly 2-3x slower; exists for differential testing. *)
+
+(** {2 Virtual threads}
+
+    A virtual thread is a suspendable call stack running the program's
+    [main]. The VM multiplexes many of them over its single virtual
+    clock: {!resume} swaps a thread's stack in, interprets for up to a
+    quantum of cycles, and suspends it again at a cycle-budget window
+    boundary — the same yield points where the single-threaded driver
+    checks the timer, so sampling happens at thread switches exactly as
+    with Jikes RVM's yieldpoint-based quanta. Clock, code tables, heap,
+    globals, hooks and counters are shared across threads (one JVM, many
+    Java threads); only the call stack is per-thread. Frames of the same
+    method in different threads share no mutable state: each invocation
+    allocates a fresh frame, and decoded code is immutable. *)
+
+type thread
+
+type thread_status = Running | Done
+
+val spawn : t -> thread
+(** A fresh suspended thread poised to invoke the program's [main]. The
+    main frame is pushed (and [main]'s first-execution hook fired, if it
+    has never run) on the first {!resume}. *)
+
+val thread_id : thread -> int
+(** Spawn-order identifier, unique within this VM. *)
+
+val thread_depth : thread -> int
+(** Physical frame count at the last suspension (0 before the first
+    resume and after completion). *)
+
+val thread_done : thread -> bool
+(** Whether the thread has started and run [main] to completion. *)
+
+val resume : ?cycle_limit:int -> t -> thread -> quantum:int -> thread_status
+(** Execute the thread for at most [quantum] virtual cycles (timer hooks
+    included), then suspend it. Returns [Done] when [main] returned.
+    Raises [Invalid_argument] if [quantum <= 0], {!Cycle_limit_exceeded}
+    if the shared clock passes [cycle_limit]. Must not be called
+    re-entrantly (from within a VM hook). *)

@@ -18,6 +18,7 @@ let () =
       ("osr", Test_osr.suite);
       ("aos", Test_aos.suite);
       ("smoke", Test_smoke.suite);
+      ("server", Test_server.suite);
       ("core", Test_core.suite);
       ("props", Test_props.suite);
       ("speed", Test_speed.suite);

@@ -1,0 +1,281 @@
+(* Server mode: virtual threads over one shared VM, the round-robin
+   scheduler, background compilation, and the deterministic load
+   generator. Also the PR's reentrancy regression: two threads
+   interleaving inside the *same* method must not corrupt each other
+   (frames are per-invocation; window exits flush pc/sp, which is what
+   makes suspension at a quantum boundary safe). *)
+
+open Acsi_lang
+module Interp = Acsi_vm.Interp
+module System = Acsi_aos.System
+module Config = Acsi_core.Config
+module Metrics = Acsi_core.Metrics
+module Policy = Acsi_policy.Policy
+module Sched = Acsi_server.Sched
+module Load = Acsi_server.Load
+module Server = Acsi_server.Server
+module Workloads = Acsi_workloads.Workloads
+
+(* A self-contained program: every value it touches is a frame local or
+   an object it allocated itself, so N interleaved executions must each
+   print exactly 5050 no matter how they are scheduled. *)
+let counter_prog =
+  Dsl.(
+    prog
+      [
+        cls "W" ~fields:[ "acc" ]
+          [
+            meth "init" [ "start" ] ~returns:false
+              [ set_thisf "acc" (v "start") ];
+            meth "bump" [ "x" ] ~returns:true
+              [
+                set_thisf "acc" (add (thisf "acc") (v "x"));
+                ret (thisf "acc");
+              ];
+          ];
+      ]
+      [
+        let_ "w" (new_ "W" [ i 0 ]);
+        let_ "s" (i 0);
+        for_ "i" (i 0) (i 100)
+          [ let_ "s" (add (v "s") (inv (v "w") "bump" [ i 1 ])) ];
+        print (v "s");
+      ])
+
+let counter_program () = Compile.prog counter_prog
+
+(* --- satellite 1: interleaving two threads in the same method --- *)
+
+let test_interleaved_reentrancy () =
+  let program = counter_program () in
+  (* Reference: one plain (non-threaded) run. *)
+  let ref_vm = Interp.create program in
+  Interp.run ref_vm;
+  let expected = Interp.output ref_vm in
+  Alcotest.(check (list int)) "reference output" [ 5050 ] expected;
+  (* Two threads of the same program over one VM, with a quantum small
+     enough that both are routinely suspended mid-[bump]/mid-loop. *)
+  let vm = Interp.create program in
+  let sched = Sched.create ~quantum:97 ~switch_cost:3 vm in
+  let t1 = Sched.spawn sched in
+  let t2 = Sched.spawn sched in
+  let rec drain () =
+    match Sched.run_slice sched with Some _ -> drain () | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "both threads finished" 0 (Sched.live sched);
+  Alcotest.(check (list int))
+    "completion order is the spawn order"
+    [ t1; t2 ]
+    (List.map fst (Sched.completions sched));
+  (* Interleaving actually happened: each thread needed many slices. *)
+  Alcotest.(check bool)
+    "threads interleaved" true
+    (Sched.resumes sched ~tid:t1 > 5 && Sched.resumes sched ~tid:t2 > 5);
+  Alcotest.(check (list int))
+    "each interleaved execution computed 5050" [ 5050; 5050 ]
+    (Interp.output vm)
+
+let test_resume_rejects_bad_quantum () =
+  let program = counter_program () in
+  let vm = Interp.create program in
+  let th = Interp.spawn vm in
+  Alcotest.check_raises "quantum must be positive"
+    (Invalid_argument "Interp.resume: quantum must be positive") (fun () ->
+      ignore (Interp.resume vm th ~quantum:0))
+
+(* --- satellite 3: fairness under round-robin --- *)
+
+let test_fairness_no_starvation () =
+  let program = counter_program () in
+  let vm = Interp.create program in
+  let sched = Sched.create ~quantum:199 ~switch_cost:5 vm in
+  let tids = List.init 5 (fun _ -> Sched.spawn sched) in
+  let rec drain () =
+    match Sched.run_slice sched with Some _ -> drain () | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "all five threads completed" 5
+    (List.length (Sched.completions sched));
+  Alcotest.(check int) "max live" 5 (Sched.max_live sched);
+  (* Round-robin bound: between two resumes of one thread, at most every
+     other live thread runs once — nobody waits longer than the peak
+     number of live threads. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "no starvation (max gap %d <= %d)"
+       (Sched.max_resume_gap sched) (Sched.max_live sched))
+    true
+    (Sched.max_resume_gap sched <= Sched.max_live sched);
+  (* Identical threads must get near-identical service. *)
+  let resumes = List.map (fun tid -> Sched.resumes sched ~tid) tids in
+  let mn = List.fold_left min max_int resumes in
+  let mx = List.fold_left max 0 resumes in
+  Alcotest.(check bool)
+    (Printf.sprintf "balanced service (resumes %d..%d)" mn mx)
+    true
+    (mx - mn <= 2)
+
+(* --- satellite 2: metrics snapshot / diff --- *)
+
+let test_snapshot_diff () =
+  let program = counter_program () in
+  let vm = Interp.create program in
+  let sys = System.create (System.default_config (Policy.Fixed 3)) vm in
+  let s0 = Metrics.snapshot vm sys in
+  Interp.charge vm 123;
+  let s1 = Metrics.snapshot vm sys in
+  let d = Metrics.diff ~before:s0 ~after:s1 in
+  Alcotest.(check int) "cycles delta" 123 d.Metrics.s_cycles;
+  Alcotest.(check int) "no instructions" 0 d.Metrics.s_instructions;
+  Alcotest.(check int) "no calls" 0 d.Metrics.s_calls;
+  Alcotest.(check int) "no compilations" 0 d.Metrics.s_opt_compilations;
+  Alcotest.(check int) "no output" 0 d.Metrics.s_output_len
+
+(* --- the load generator --- *)
+
+let test_open_loop_arrivals () =
+  let a = Load.open_loop_arrivals ~seed:42 ~period:1000 ~n:200 in
+  let b = Load.open_loop_arrivals ~seed:42 ~period:1000 ~n:200 in
+  Alcotest.(check (array int)) "deterministic" a b;
+  let c = Load.open_loop_arrivals ~seed:43 ~period:1000 ~n:200 in
+  Alcotest.(check bool) "seed-sensitive" true (a <> c);
+  let prev = ref 0 in
+  Array.iter
+    (fun at ->
+      let gap = at - !prev in
+      Alcotest.(check bool)
+        (Printf.sprintf "gap %d within [501, 1500]" gap)
+        true
+        (gap >= 501 && gap <= 1500);
+      prev := at)
+    a
+
+let test_percentiles () =
+  let xs = Array.init 100 (fun i -> 100 - i) in
+  Alcotest.(check int) "p50" 50 (Load.percentile xs 50.0);
+  Alcotest.(check int) "p95" 95 (Load.percentile xs 95.0);
+  Alcotest.(check int) "p99" 99 (Load.percentile xs 99.0);
+  Alcotest.(check int) "p100" 100 (Load.percentile xs 100.0);
+  Alcotest.(check int) "empty" 0 (Load.percentile [||] 50.0);
+  Alcotest.(check (float 1e-9)) "mean" 50.5 (Load.mean xs)
+
+(* --- the server harness itself --- *)
+
+let serve_db ?(async_compile = true) () =
+  let program = (Workloads.find "db").Workloads.build ~scale:2 in
+  Server.run ~quantum:25_000 ~switch_cost:200 ~seed:5 ~async_compile
+    ~mode:
+      (Server.Closed { clients = 2; requests_per_client = 2; think = 10_000 })
+    ~name:"db"
+    (Config.default ~policy:(Policy.Fixed 3))
+    program
+
+(* Tentpole acceptance: background compilation overlaps mutator
+   progress — requests retire instructions while compiles are in
+   flight, and the finished code is installed at yield points. *)
+let test_async_compilation_overlaps () =
+  let r = serve_db () in
+  let s = r.Server.summary in
+  Alcotest.(check int) "all requests served" 4 s.Server.sv_requests;
+  Alcotest.(check bool)
+    "background compiles were installed" true
+    (s.Server.sv_async_installs > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "mutator advanced %d instructions during compiles"
+       s.Server.sv_overlap_instructions)
+    true
+    (s.Server.sv_overlap_instructions > 0);
+  (* The warmup-curve windows tile the run exactly. *)
+  let total = List.fold_left (fun a w -> a + w.Server.w_count) 0 r.Server.windows in
+  Alcotest.(check int) "windows tile the requests" s.Server.sv_requests total;
+  let installs =
+    List.fold_left
+      (fun a w -> a + w.Server.w_activity.Metrics.s_async_installs)
+      0 r.Server.windows
+  in
+  Alcotest.(check int)
+    "window install counts telescope to the total"
+    s.Server.sv_async_installs installs
+
+let test_sync_compile_still_works () =
+  let r = serve_db ~async_compile:false () in
+  let s = r.Server.summary in
+  Alcotest.(check int) "all requests served" 4 s.Server.sv_requests;
+  Alcotest.(check int) "no async installs in sync mode" 0
+    s.Server.sv_async_installs;
+  Alcotest.(check int) "no overlap in sync mode" 0
+    s.Server.sv_overlap_instructions;
+  Alcotest.(check bool) "still compiled" true (s.Server.sv_opt_compilations > 0)
+
+(* Verify-on-install runs on background-compiled code too, and stays
+   outside the virtual clock: disabling it must not move a single cycle
+   of an async serve. *)
+let test_async_verify_outside_clock () =
+  let serve ~verify_installed =
+    let program = (Workloads.find "db").Workloads.build ~scale:2 in
+    let cfg = Config.default ~policy:(Policy.Fixed 3) in
+    let cfg =
+      {
+        cfg with
+        Config.aos = { cfg.Config.aos with System.verify_installed };
+      }
+    in
+    (Server.run ~seed:5
+       ~mode:
+         (Server.Closed { clients = 2; requests_per_client = 2; think = 10_000 })
+       ~name:"db" cfg program)
+      .Server.summary
+  in
+  let on = serve ~verify_installed:true in
+  let off = serve ~verify_installed:false in
+  Alcotest.(check bool) "verification happened off the virtual clock" true
+    (on = off);
+  Alcotest.(check bool) "async installs were verified" true
+    (on.Server.sv_async_installs > 0)
+
+(* --- satellite 3: determinism of full server runs --- *)
+
+let test_serve_deterministic () =
+  let a = serve_db () and b = serve_db () in
+  Alcotest.(check bool) "summaries identical" true (a.Server.summary = b.Server.summary);
+  Alcotest.(check bool) "per-request records identical" true
+    (a.Server.requests = b.Server.requests)
+
+let test_serve_jobs_invariant () =
+  let serve_one name =
+    let program = (Workloads.find name).Workloads.build ~scale:2 in
+    (Server.run ~seed:11
+       ~mode:
+         (Server.Closed { clients = 2; requests_per_client = 2; think = 10_000 })
+       ~name
+       (Config.default ~policy:(Policy.Fixed 3))
+       program)
+      .Server.summary
+  in
+  let benches = [ "db"; "jess" ] in
+  let serial = Acsi_core.Parallel.map ~jobs:1 serve_one benches in
+  let parallel = Acsi_core.Parallel.map ~jobs:3 serve_one benches in
+  Alcotest.(check bool) "summaries independent of --jobs" true
+    (serial = parallel)
+
+let suite =
+  [
+    Alcotest.test_case "interleaved reentrancy (same method)" `Quick
+      test_interleaved_reentrancy;
+    Alcotest.test_case "resume rejects non-positive quantum" `Quick
+      test_resume_rejects_bad_quantum;
+    Alcotest.test_case "round-robin fairness" `Quick test_fairness_no_starvation;
+    Alcotest.test_case "metrics snapshot diff" `Quick test_snapshot_diff;
+    Alcotest.test_case "open-loop arrivals" `Quick test_open_loop_arrivals;
+    Alcotest.test_case "percentiles" `Quick test_percentiles;
+    Alcotest.test_case "async compilation overlaps mutator" `Slow
+      test_async_compilation_overlaps;
+    Alcotest.test_case "sync compilation path unchanged" `Slow
+      test_sync_compile_still_works;
+    Alcotest.test_case "async verify-on-install off the clock" `Slow
+      test_async_verify_outside_clock;
+    Alcotest.test_case "server runs are deterministic" `Slow
+      test_serve_deterministic;
+    Alcotest.test_case "server summaries invariant under --jobs" `Slow
+      test_serve_jobs_invariant;
+  ]
