@@ -167,7 +167,32 @@ let () =
         | Some _ | None -> ())
       new_run.Results.server
   end;
-  if !cycle_mismatches <> [] || !server_mismatches <> [] then begin
+  (* Traced component breakdowns carry the contract too: at equal scale,
+     matched (bench, policy) component cells must agree on every
+     component's cycle count — the per-component split is deterministic,
+     not just the totals. Runs recorded without --trace have no
+     components section, so nothing matches and nothing is checked. *)
+  let component_mismatches = ref [] in
+  if same_scale then begin
+    let old_ccells = Hashtbl.create 8 in
+    List.iter
+      (fun (c : Results.ccell) ->
+        Hashtbl.replace old_ccells (c.Results.c_bench, c.Results.c_policy) c)
+      old_run.Results.components;
+    List.iter
+      (fun (c : Results.ccell) ->
+        match
+          Hashtbl.find_opt old_ccells (c.Results.c_bench, c.Results.c_policy)
+        with
+        | Some o when o.Results.c_components <> c.Results.c_components ->
+            component_mismatches := (o, c) :: !component_mismatches
+        | Some _ | None -> ())
+      new_run.Results.components
+  end;
+  if
+    !cycle_mismatches <> [] || !server_mismatches <> []
+    || !component_mismatches <> []
+  then begin
     if !cycle_mismatches <> [] then begin
       Printf.printf
         "\nDETERMINISM VIOLATION: total_cycles changed on %d cells:\n"
@@ -190,6 +215,31 @@ let () =
             n.Results.s_total_cycles o.Results.s_p50 o.Results.s_p95
             o.Results.s_p99 n.Results.s_p50 n.Results.s_p95 n.Results.s_p99)
         (List.rev !server_mismatches)
+    end;
+    if !component_mismatches <> [] then begin
+      Printf.printf
+        "\nDETERMINISM VIOLATION: per-component breakdown changed on %d \
+         cells:\n"
+        (List.length !component_mismatches);
+      List.iter
+        (fun ((o : Results.ccell), (n : Results.ccell)) ->
+          Printf.printf "  %s/%s:\n" n.Results.c_bench n.Results.c_policy;
+          List.iter
+            (fun (nm, cycles) ->
+              let old_cycles =
+                match List.assoc_opt nm o.Results.c_components with
+                | Some v -> v
+                | None -> 0
+              in
+              if old_cycles <> cycles then
+                Printf.printf "    %s: %d -> %d\n" nm old_cycles cycles)
+            n.Results.c_components;
+          List.iter
+            (fun (nm, old_cycles) ->
+              if not (List.mem_assoc nm n.Results.c_components) then
+                Printf.printf "    %s: %d -> (absent)\n" nm old_cycles)
+            o.Results.c_components)
+        (List.rev !component_mismatches)
     end;
     exit 1
   end

@@ -6,6 +6,7 @@
      dune exec bench/main.exe -- --fig4       one artifact only
      dune exec bench/main.exe -- --ablations  design-choice ablations
      dune exec bench/main.exe -- --serve      server-mode (virtual threads)
+     dune exec bench/main.exe -- --trace      traced per-component sweep
      dune exec bench/main.exe -- --micro      bechamel microbenchmarks
      dune exec bench/main.exe -- --jobs 8     domain-parallel driver
      dune exec bench/main.exe -- --json       append run to BENCH_results.json
@@ -30,6 +31,7 @@ type mode = {
   mutable summary : bool;
   mutable ablations : bool;
   mutable serve : bool;
+  mutable trace : bool;
   mutable micro : bool;
   mutable scale_factor : float;
   mutable jobs : int;
@@ -48,6 +50,7 @@ let parse_args () =
       summary = false;
       ablations = false;
       serve = false;
+      trace = false;
       micro = false;
       scale_factor = 1.0;
       jobs = Parallel.available_cores ();
@@ -88,6 +91,10 @@ let parse_args () =
         go rest
     | "--serve" :: rest ->
         m.serve <- true;
+        any := true;
+        go rest
+    | "--trace" :: rest ->
+        m.trace <- true;
         any := true;
         go rest
     | "--micro" :: rest ->
@@ -134,6 +141,7 @@ let parse_args () =
     m.summary <- true;
     m.ablations <- true;
     m.serve <- true;
+    m.trace <- true;
     m.json <- true
   end;
   m
@@ -470,6 +478,90 @@ let serve_mode mode =
   List.iter (fun (text, _) -> print_string text) cells;
   List.map snd cells
 
+(* --- traced sweep: per-component overhead from tracer spans --- *)
+
+(* Figure-6 ground truth, measured the hard way: re-run a handful of
+   cells with the structured tracer on and reconcile each AOS
+   component's summed span durations against its Accounting total —
+   exact equality, or the harness aborts. The breakdowns are printed
+   and recorded to the results file ("components" section) so
+   compare.exe can flag any drift between two runs at the same scale.
+   Tracing is off-clock (no probe cost), so every cell's total_cycles
+   is identical to its untraced twin in the main sweep. *)
+let traced_components mode =
+  hr "Traced per-component overhead (tracer spans vs accounting)";
+  let benches = [ "db"; "javac"; "jbb" ] in
+  let policies =
+    Policy.[ Context_insensitive; Fixed 3; Hybrid_param_large 4 ]
+  in
+  let cells =
+    Parallel.map ~jobs:mode.jobs
+      (fun (bench, policy) ->
+        let spec = Workloads.find bench in
+        let scale =
+          max 1
+            (int_of_float
+               (mode.scale_factor *. float_of_int spec.Workloads.default_scale))
+        in
+        let program = spec.Workloads.build ~scale in
+        let cfg = Config.default ~policy in
+        let cfg =
+          {
+            cfg with
+            Config.aos =
+              {
+                cfg.Config.aos with
+                Acsi_aos.System.obs =
+                  {
+                    Acsi_obs.Control.off with
+                    Acsi_obs.Control.trace = true;
+                    capacity = 1 lsl 20;
+                  };
+              };
+          }
+        in
+        let result = Runtime.run cfg program in
+        let sys = result.Runtime.sys in
+        let tracer = Acsi_aos.System.tracer sys in
+        let totals = Acsi_obs.Export.track_totals tracer in
+        let acct = Acsi_aos.System.accounting sys in
+        let rows =
+          List.map
+            (fun c ->
+              let nm = Acsi_aos.Accounting.component_name c in
+              let acct_v = Acsi_aos.Accounting.get acct c in
+              let span_v =
+                match List.assoc_opt nm totals with Some v -> v | None -> 0
+              in
+              if span_v <> acct_v && Acsi_obs.Tracer.dropped tracer = 0
+              then begin
+                Format.eprintf
+                  "RECONCILIATION FAILURE: %s/%s %s spans=%d accounting=%d@."
+                  bench (Policy.to_string policy) nm span_v acct_v;
+                exit 1
+              end;
+              (nm, acct_v))
+            Acsi_aos.Accounting.all_components
+        in
+        let text =
+          Format.asprintf "%s / %s:@.%a@.@." bench (Policy.to_string policy)
+            (Acsi_obs.Export.pp_breakdown
+               ~total:result.Runtime.metrics.Metrics.total_cycles)
+            rows
+        in
+        ( text,
+          {
+            Results.c_bench = bench;
+            c_policy = Policy.to_string policy;
+            c_components = rows;
+          } ))
+      (List.concat_map
+         (fun b -> List.map (fun p -> (b, p)) policies)
+         benches)
+  in
+  List.iter (fun (text, _) -> print_string text) cells;
+  List.map snd cells
+
 (* --- machine-readable results: per-cell wall-clock + virtual cycles --- *)
 
 (* Wall-clock is the only non-deterministic number the harness produces,
@@ -479,7 +571,7 @@ let serve_mode mode =
    file is a trajectory — each invocation appends its run, so the
    wall-clock history survives in one file and compare.exe can diff any
    two points of it (see results.ml). *)
-let write_json mode (s : Experiment.sweep option) server =
+let write_json mode (s : Experiment.sweep option) server components =
   let path = mode.json_path in
   let wall_total_s, cells =
     match s with
@@ -503,6 +595,7 @@ let write_json mode (s : Experiment.sweep option) server =
       wall_total_s;
       cells;
       server;
+      components;
     }
   in
   let prior =
@@ -518,10 +611,10 @@ let write_json mode (s : Experiment.sweep option) server =
   in
   Results.write_file path (prior @ [ run ]);
   Format.eprintf
-    "  [json] appended run %d to %s (%d cells, %d server cells, sweep wall \
-     %.2fs, jobs %d)@."
+    "  [json] appended run %d to %s (%d cells, %d server cells, %d component \
+     cells, sweep wall %.2fs, jobs %d)@."
     (List.length prior) path (List.length cells) (List.length server)
-    wall_total_s mode.jobs
+    (List.length components) wall_total_s mode.jobs
 
 (* --- bechamel microbenchmarks: one Test.make per table/figure kernel --- *)
 
@@ -639,7 +732,11 @@ let () =
     extended mode
   end;
   let server_cells = if mode.serve then serve_mode mode else [] in
+  let component_cells = if mode.trace then traced_components mode else [] in
   if mode.micro then micro ();
-  if mode.json && (Option.is_some !the_sweep || server_cells <> []) then
-    write_json mode !the_sweep server_cells;
+  if
+    mode.json
+    && (Option.is_some !the_sweep || server_cells <> []
+       || component_cells <> [])
+  then write_json mode !the_sweep server_cells component_cells;
   Format.printf "@.done.@."

@@ -27,6 +27,16 @@ type scell = {
   s_p99 : int;
 }
 
+(* One traced-sweep cell: the per-AOS-component cycle breakdown measured
+   from tracer spans (reconciled against the accounting before being
+   recorded — see main.ml). Fully deterministic at a given scale. *)
+type ccell = {
+  c_bench : string;
+  c_policy : string;
+  c_components : (string * int) list;
+      (* component name -> cycles, in canonical Accounting order *)
+}
+
 type run = {
   jobs : int;
   scale_factor : float;
@@ -34,6 +44,8 @@ type run = {
   cells : cell list;
   server : scell list;
       (* empty for runs recorded before server mode existed *)
+  components : ccell list;
+      (* empty for runs recorded without --trace *)
 }
 
 (* --- JSON values --- *)
@@ -232,6 +244,16 @@ let scell_of_json j =
     s_p99 = int_of_float (num (field "p99" j));
   }
 
+let ccell_of_json j =
+  {
+    c_bench = str (field "bench" j);
+    c_policy = str (field "policy" j);
+    c_components =
+      (match field "components" j with
+      | Obj kvs -> List.map (fun (k, v) -> (k, int_of_float (num v))) kvs
+      | _ -> raise (Parse_error "expected an object of component cycles"));
+  }
+
 let run_of_json j =
   {
     jobs = int_of_float (num (field "jobs" j));
@@ -250,6 +272,16 @@ let run_of_json j =
           | Some (Arr scells) -> List.map scell_of_json scells
           | Some _ ->
               raise (Parse_error "expected an array under \"server\""))
+      | _ -> []);
+    components =
+      (* Absent in files written without a traced sweep. *)
+      (match j with
+      | Obj kvs -> (
+          match List.assoc_opt "components" kvs with
+          | None | Some Null -> []
+          | Some (Arr ccells) -> List.map ccell_of_json ccells
+          | Some _ ->
+              raise (Parse_error "expected an array under \"components\""))
       | _ -> []);
   }
 
@@ -318,6 +350,25 @@ let output_run oc r ~last =
           s.s_total_cycles s.s_throughput_rpmc s.s_p50 s.s_p95 s.s_p99
           (if i = last_s then "" else ","))
       r.server;
+    Printf.fprintf oc "      ]"
+  end;
+  (* Likewise only written when a traced sweep ran. *)
+  if r.components <> [] then begin
+    Printf.fprintf oc ",\n      \"components\": [\n";
+    let last_c = List.length r.components - 1 in
+    List.iteri
+      (fun i c ->
+        Printf.fprintf oc
+          "        {\"bench\": \"%s\", \"policy\": \"%s\", \"components\": {"
+          (json_escape c.c_bench) (json_escape c.c_policy);
+        List.iteri
+          (fun k (nm, cycles) ->
+            Printf.fprintf oc "%s\"%s\": %d"
+              (if k = 0 then "" else ", ")
+              (json_escape nm) cycles)
+          c.c_components;
+        Printf.fprintf oc "}}%s\n" (if i = last_c then "" else ","))
+      r.components;
     Printf.fprintf oc "      ]"
   end;
   Printf.fprintf oc "\n    }%s\n" (if last then "" else ",")

@@ -241,6 +241,265 @@ let main list_only verbose bench file policy scale compare_baseline
     run_one ~bench ~file ~policy_str:policy ~scale ~compare_baseline
       ~show_compilations ~disasm ~jobs ~verify
 
+(* --- trace / explain: the observability subcommands (lib/obs) --- *)
+
+(* Load the program a subcommand should run: a textual mini-language
+   file when given, a named built-in benchmark otherwise. Returns a
+   human-readable label along with the program. *)
+let load_program ~bench ~file ~scale =
+  match file with
+  | Some path -> (
+      match Acsi_lang.Parser.compile (read_file path) with
+      | exception Acsi_bytecode.Verify.Error msg ->
+          Format.eprintf "%s@." msg;
+          Error 1
+      | program -> Ok (path, program))
+  | None -> (
+      match Acsi_workloads.Workloads.find bench with
+      | exception Not_found ->
+          Format.eprintf "unknown benchmark %S (use --list)@." bench;
+          Error 2
+      | spec ->
+          let scale =
+            match scale with
+            | Some s -> s
+            | None -> spec.Acsi_workloads.Workloads.default_scale
+          in
+          Ok
+            ( Printf.sprintf "%s at scale %d" bench scale,
+              spec.Acsi_workloads.Workloads.build ~scale ))
+
+(* "Cls.name" display names for trace/explain output. *)
+let qualified_name program mid =
+  let m = Acsi_bytecode.Program.meth program mid in
+  let c = Acsi_bytecode.Program.clazz program m.Acsi_bytecode.Meth.owner in
+  c.Acsi_bytecode.Clazz.name ^ "." ^ m.Acsi_bytecode.Meth.name
+
+let run_with_obs ~policy ~obs program =
+  let cfg = Config.default ~policy in
+  Runtime.run
+    { cfg with Config.aos = { cfg.Config.aos with Acsi_aos.System.obs } }
+    program
+
+let write_buffer path buf =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf)
+
+(* `acsi-run trace`: run one workload with the structured tracer (and the
+   CCT profiler) enabled, write a Perfetto-loadable Chrome trace-event
+   file, and print the Figure-6-style per-component breakdown with its
+   reconciliation check: with no ring drops, every AOS component's summed
+   span durations must equal its Accounting total exactly. *)
+let trace_one ~bench ~file ~policy_str ~scale ~out ~jsonl ~flame ~min_pct
+    ~capacity ~probe_on_clock =
+  match Acsi_policy.Policy.of_string policy_str with
+  | None ->
+      Format.eprintf "unknown policy %S@." policy_str;
+      2
+  | Some policy -> (
+      match load_program ~bench ~file ~scale with
+      | Error code -> code
+      | Ok (label, program) ->
+          let obs =
+            {
+              Acsi_obs.Control.trace = true;
+              provenance = true;
+              cprof = true;
+              capacity;
+              probe_on_clock;
+            }
+          in
+          let result = run_with_obs ~policy ~obs program in
+          let sys = result.Runtime.sys in
+          let m = result.Runtime.metrics in
+          let tracer = Acsi_aos.System.tracer sys in
+          let buf = Buffer.create 65536 in
+          Acsi_obs.Export.to_chrome_json buf tracer;
+          write_buffer out buf;
+          (match jsonl with
+          | None -> ()
+          | Some path ->
+              Buffer.clear buf;
+              Acsi_obs.Export.to_jsonl buf tracer;
+              write_buffer path buf);
+          Format.printf "%s under %s:@." label
+            (Acsi_policy.Policy.to_string policy);
+          let totals = Acsi_obs.Export.track_totals tracer in
+          Format.printf "@.%a@."
+            (Acsi_obs.Export.pp_breakdown ~total:m.Metrics.total_cycles)
+            totals;
+          let inlined, refused =
+            match Acsi_aos.System.provenance sys with
+            | Some prov -> Acsi_obs.Provenance.outcome_counts prov
+            | None -> (0, 0)
+          in
+          let dropped = Acsi_obs.Tracer.dropped tracer in
+          Format.printf
+            "@.%d events recorded (%d dropped), %d inline decisions (%d \
+             inlined, %d refused)@."
+            (Acsi_obs.Tracer.length tracer)
+            dropped (inlined + refused) inlined refused;
+          (* The reconciliation contract (see Acsi_obs.Tracer): only
+             checkable when the ring kept every event. *)
+          let mismatches =
+            List.filter_map
+              (fun c ->
+                let nm = Acsi_aos.Accounting.component_name c in
+                let acct_v =
+                  Acsi_aos.Accounting.get (Acsi_aos.System.accounting sys) c
+                in
+                let span_v =
+                  match List.assoc_opt nm totals with Some v -> v | None -> 0
+                in
+                if acct_v <> span_v then Some (nm, acct_v, span_v) else None)
+              Acsi_aos.Accounting.all_components
+          in
+          (if dropped > 0 then
+             Format.printf
+               "reconciliation: skipped (%d events dropped; raise --capacity)@."
+               dropped
+           else if mismatches = [] then
+             Format.printf
+               "reconciliation: OK — every component's span total equals its \
+                accounting total@."
+           else
+             List.iter
+               (fun (nm, acct_v, span_v) ->
+                 Format.printf
+                   "reconciliation MISMATCH: %s accounting=%d spans=%d@." nm
+                   acct_v span_v)
+               mismatches);
+          (if flame then
+             match Acsi_aos.System.cprof sys with
+             | Some cp ->
+                 Format.printf "@.%a@."
+                   (Acsi_obs.Cprof.pp_flame
+                      ~name:(qualified_name program)
+                      ~min_pct)
+                   cp
+             | None -> ());
+          Format.printf "trace written to %s@." out;
+          if mismatches <> [] && dropped = 0 then 1 else 0)
+
+(* `acsi-run explain [METHOD[:PC]]`: run with the oracle's decision-
+   provenance sink installed and print every recorded inline decision —
+   optionally restricted to call sites in one method (matched by
+   unqualified or "Cls.name" qualified name), or to one call-site pc. *)
+let explain_one ~bench ~file ~policy_str ~scale ~query =
+  match Acsi_policy.Policy.of_string policy_str with
+  | None ->
+      Format.eprintf "unknown policy %S@." policy_str;
+      2
+  | Some policy -> (
+      match load_program ~bench ~file ~scale with
+      | Error code -> code
+      | Ok (label, program) -> (
+          let obs =
+            { Acsi_obs.Control.off with Acsi_obs.Control.provenance = true }
+          in
+          let result = run_with_obs ~policy ~obs program in
+          let sys = result.Runtime.sys in
+          match Acsi_aos.System.provenance sys with
+          | None ->
+              Format.eprintf "internal error: provenance store missing@.";
+              1
+          | Some prov -> (
+              let name = qualified_name program in
+              let selected =
+                match query with
+                | None -> Ok (Acsi_obs.Provenance.all prov)
+                | Some q -> (
+                    let meth_str, pc =
+                      match String.index_opt q ':' with
+                      | None -> (q, Ok None)
+                      | Some i ->
+                          let pc_str =
+                            String.sub q (i + 1) (String.length q - i - 1)
+                          in
+                          ( String.sub q 0 i,
+                            match int_of_string_opt pc_str with
+                            | Some pc when pc >= 0 -> Ok (Some pc)
+                            | Some _ | None -> Error pc_str )
+                    in
+                    match pc with
+                    | Error pc_str ->
+                        Format.eprintf "invalid pc %S in query %S@." pc_str q;
+                        Error 2
+                    | Ok pc -> (
+                        (* Method names carry an arity suffix ("get/1");
+                           accept queries with or without it, qualified
+                           by class or not. *)
+                        let unmangled s =
+                          match String.index_opt s '/' with
+                          | Some i -> String.sub s 0 i
+                          | None -> s
+                        in
+                        let callers =
+                          Array.to_list
+                            (Acsi_bytecode.Program.methods program)
+                          |> List.filter_map
+                               (fun (m : Acsi_bytecode.Meth.t) ->
+                                 let mid = m.Acsi_bytecode.Meth.id in
+                                 let forms =
+                                   [
+                                     m.Acsi_bytecode.Meth.name;
+                                     unmangled m.Acsi_bytecode.Meth.name;
+                                     name mid;
+                                     unmangled (name mid);
+                                   ]
+                                 in
+                                 if List.exists (String.equal meth_str) forms
+                                 then Some mid
+                                 else None)
+                        in
+                        match callers with
+                        | [] ->
+                            Format.eprintf
+                              "no method named %S (try a \"Cls.name\" \
+                               qualified name)@."
+                              meth_str;
+                            Error 2
+                        | callers ->
+                            Ok
+                              (List.concat_map
+                                 (fun caller ->
+                                   Acsi_obs.Provenance.at prov ~caller
+                                     ?callsite:pc ())
+                                 callers)))
+              in
+              match selected with
+              | Error code -> code
+              | Ok decisions ->
+                  let decisions =
+                    List.sort
+                      (fun (a : Acsi_obs.Provenance.decision) b ->
+                        compare a.Acsi_obs.Provenance.d_seq
+                          b.Acsi_obs.Provenance.d_seq)
+                      decisions
+                  in
+                  let total = Acsi_obs.Provenance.count prov in
+                  let inlined, refused =
+                    Acsi_obs.Provenance.outcome_counts prov
+                  in
+                  Format.printf "%s under %s:@.@." label
+                    (Acsi_policy.Policy.to_string policy);
+                  if decisions = [] then
+                    Format.printf "no recorded inline decisions match@."
+                  else
+                    List.iter
+                      (fun d ->
+                        Format.printf "%a@."
+                          (Acsi_obs.Provenance.pp_decision ~name)
+                          d)
+                      decisions;
+                  Format.printf
+                    "@.%d decisions shown of %d recorded (%d inlined, %d \
+                     refused)@."
+                    (List.length decisions) total inlined refused;
+                  0)))
+
 (* `acsi-run lint [FILES]`: typed verification plus dead-code and
    unused-local lints over the given .acsi programs, or over every
    built-in workload when no file is given. *)
@@ -441,11 +700,98 @@ let lint_cmd =
   in
   Cmd.v (Cmd.info "lint" ~doc) Term.(const lint_targets $ lint_files_arg)
 
+let trace_out_arg =
+  Arg.(
+    value & opt string "trace.json"
+    & info [ "o"; "out" ]
+        ~doc:"Chrome trace-event output file (Perfetto-loadable).")
+
+let trace_jsonl_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "jsonl" ] ~docv:"FILE"
+        ~doc:"Also write the event stream as line-per-event JSON.")
+
+let trace_flame_arg =
+  Arg.(
+    value & flag
+    & info [ "flame" ]
+        ~doc:
+          "Also print the CCT-derived virtual-cycle profile as a text \
+           flamegraph.")
+
+let trace_min_pct_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "min-pct" ]
+        ~doc:
+          "Prune flamegraph subtrees below this percent of the profile \
+           total.")
+
+let trace_capacity_arg =
+  Arg.(
+    value
+    & opt int (1 lsl 20)
+    & info [ "capacity" ]
+        ~doc:
+          "Tracer ring capacity in events; drops (oldest first) void the \
+           reconciliation check.")
+
+let trace_probe_arg =
+  Arg.(
+    value & flag
+    & info [ "probe-on-clock" ]
+        ~doc:
+          "Charge the cost model's per-event probe cost to the virtual \
+           clock, making the tracing overhead itself visible to the run.")
+
+let trace_main verbose bench file policy scale out jsonl flame min_pct
+    capacity probe_on_clock =
+  setup_logs verbose;
+  trace_one ~bench ~file ~policy_str:policy ~scale ~out ~jsonl ~flame
+    ~min_pct ~capacity ~probe_on_clock
+
+let trace_cmd =
+  let doc =
+    "run one workload with structured tracing on and export a \
+     Perfetto-loadable trace plus the per-component overhead breakdown"
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const trace_main $ verbose_arg $ bench_arg $ file_arg $ policy_arg
+      $ scale_arg $ trace_out_arg $ trace_jsonl_arg $ trace_flame_arg
+      $ trace_min_pct_arg $ trace_capacity_arg $ trace_probe_arg)
+
+let explain_query_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"METHOD[:PC]"
+        ~doc:
+          "Restrict to decisions whose innermost context entry is a call \
+           site in this method (unqualified or Cls.name), optionally at \
+           exactly the given bytecode pc. All decisions when omitted.")
+
+let explain_main verbose bench file policy scale query =
+  setup_logs verbose;
+  explain_one ~bench ~file ~policy_str:policy ~scale ~query
+
+let explain_cmd =
+  let doc =
+    "run one workload with decision provenance on and print why the \
+     oracle inlined (or refused) each context-sensitive candidate"
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(
+      const explain_main $ verbose_arg $ bench_arg $ file_arg $ policy_arg
+      $ scale_arg $ explain_query_arg)
+
 let cmd =
   let doc =
     "run an adaptive-context-sensitive-inlining experiment on one benchmark"
   in
   Cmd.group ~default:run_cmd_term (Cmd.info "acsi-run" ~doc)
-    [ lint_cmd; serve_cmd ]
+    [ lint_cmd; serve_cmd; trace_cmd; explain_cmd ]
 
 let () = exit (Cmd.eval' cmd)

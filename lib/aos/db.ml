@@ -29,5 +29,13 @@ let refused t ~caller ~callsite ~callee ~now ~ttl =
   | None -> false
 
 let refusal_count t = Hashtbl.length t.refusals
+
+let refusal_reasons t =
+  let count r =
+    Hashtbl.fold
+      (fun _ (_, reason) acc -> if reason = r then acc + 1 else acc)
+      t.refusals 0
+  in
+  List.map (fun r -> (r, count r)) Acsi_jit.Oracle.all_refusal_reasons
 let record_compilation t e = t.events_rev <- e :: t.events_rev
 let compilations t = List.rev t.events_rev

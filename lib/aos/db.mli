@@ -47,6 +47,12 @@ val refused :
 
 val refusal_count : t -> int
 
+val refusal_reasons : t -> (Acsi_jit.Oracle.refusal_reason * int) list
+(** Recorded refusals broken down by reason, one entry per reason in
+    {!Acsi_jit.Oracle.all_refusal_reasons} order (zero counts included).
+    An edge refused more than once counts once, under its latest
+    reason; the counts sum to {!refusal_count}. *)
+
 val record_compilation : t -> compilation_event -> unit
 val compilations : t -> compilation_event list
 (** Oldest first. *)

@@ -29,6 +29,7 @@ type config = {
   verify_installed : bool;
   collect_termination_stats : bool;
   async_compile : bool;
+  obs : Acsi_obs.Control.config;
 }
 
 let default_config policy =
@@ -54,6 +55,7 @@ let default_config policy =
     verify_installed = true;
     collect_termination_stats = false;
     async_compile = false;
+    obs = Acsi_obs.Control.off;
   }
 
 (* One background compilation in flight: the code is already produced
@@ -101,6 +103,8 @@ type t = {
   mutable async_installs : int;
   mutable max_queue_depth : int;
   mutable overlap_instructions : int;
+  mutable overlapped_aos_cycles : int;
+  obs : Acsi_obs.Control.t;
   (* counters *)
   mutable baseline_methods : int;
   mutable baseline_bytes : int;
@@ -128,10 +132,27 @@ let max_compile_queue_depth t = t.max_queue_depth
 let in_flight_compiles t = Queue.length t.in_flight
 let async_installs t = t.async_installs
 let async_overlap_instructions t = t.overlap_instructions
+let overlapped_aos_cycles t = t.overlapped_aos_cycles
+let obs t = t.obs
+let tracer t = t.obs.Acsi_obs.Control.tracer
+let provenance t = t.obs.Acsi_obs.Control.prov
+let cprof t = t.obs.Acsi_obs.Control.cprof
 
 (* All AOS work is charged to both the component accounting (Figure 6) and
-   the VM clock (total time includes the adaptive system). *)
-let charge t component cycles =
+   the VM clock (total time includes the adaptive system).
+
+   The tracer span mirrors the charge one-for-one: same component track,
+   same cycle count, stamped at the pre-charge clock — so with tracing on
+   and no ring drops, summed span durations per track reconcile exactly
+   with the Accounting totals ([Acsi_obs.Export.track_totals]). [ev]
+   names the span after the work being charged. *)
+let charge ?(ev = "aos") t component cycles =
+  (let tr = t.obs.Acsi_obs.Control.tracer in
+   if Acsi_obs.Tracer.enabled tr then
+     let t0 = Interp.cycles t.vm in
+     Acsi_obs.Tracer.span tr
+       ~track:(Accounting.component_name component)
+       ~name:ev ~t0 ~t1:(t0 + cycles));
   Accounting.charge t.accounting component cycles;
   Interp.charge t.vm cycles
 
@@ -139,20 +160,24 @@ let enqueue_compile t (mid : Ids.Method_id.t) =
   if not t.pending.((mid :> int)) then begin
     t.pending.((mid :> int)) <- true;
     Queue.add mid t.compile_queue;
-    t.max_queue_depth <- max t.max_queue_depth (Queue.length t.compile_queue)
+    t.max_queue_depth <- max t.max_queue_depth (Queue.length t.compile_queue);
+    Acsi_obs.Tracer.counter (tracer t)
+      ~track:(Accounting.component_name Accounting.Compilation)
+      ~name:"queue-depth" ~t:(Interp.cycles t.vm)
+      ~value:(Queue.length t.compile_queue)
   end
 
 (* --- organizers --- *)
 
 let method_organizer t =
-  charge t Accounting.Method_organizer
+  charge ~ev:"drain-method-buffer" t Accounting.Method_organizer
     (t.method_buffer_len * t.cost.Cost.organizer_per_event);
   List.iter (Hot_methods.add_sample t.hot_methods) t.method_buffer;
   t.method_buffer <- [];
   t.method_buffer_len <- 0
 
 let dcg_organizer t =
-  charge t Accounting.Ai_organizer
+  charge ~ev:"drain-trace-buffer" t Accounting.Ai_organizer
     (t.trace_buffer_len * t.cost.Cost.organizer_per_event);
   List.iter (Dcg.add_sample t.dcg) t.trace_buffer;
   t.trace_buffer <- [];
@@ -319,7 +344,8 @@ let missing_edge_scan t =
     Registry.opt_method_count t.registry * t.cost.Cost.organizer_per_event
   in
   Rules.iter t.rules ~f:(fun r ->
-      charge t Accounting.Ai_organizer t.cost.Cost.organizer_per_event;
+      charge ~ev:"missing-edge-scan" t Accounting.Ai_organizer
+        t.cost.Cost.organizer_per_event;
       let e0 = r.Rules.trace.Trace.chain.(0) in
       let caller = e0.Trace.caller in
       let callsite = e0.Trace.callsite in
@@ -337,7 +363,7 @@ let missing_edge_scan t =
              (Db.refused t.db ~caller ~callsite ~callee ~now:t.rules_version
                 ~ttl:t.cfg.refusal_ttl)
       then begin
-        charge t Accounting.Ai_organizer entry_events;
+        charge ~ev:"missing-edge-scan" t Accounting.Ai_organizer entry_events;
         List.iter
           (fun root ->
             Log.debug (fun m ->
@@ -365,13 +391,27 @@ let merge_to_edges hot =
   Trace.Table.fold (fun trace w acc -> (trace, !w) :: acc) table []
 
 let ai_organizer t =
-  charge t Accounting.Ai_organizer
+  charge ~ev:"rebuild-rules" t Accounting.Ai_organizer
     (Dcg.size t.dcg * t.cost.Cost.ai_organizer_per_trace);
   let hot = Dcg.hot t.dcg ~threshold:t.cfg.hot_edge_threshold in
   let hot = if t.cfg.merge_rules_to_edges then merge_to_edges hot else hot in
   Log.debug (fun m ->
       m "AI organizer: %d traces in DCG, %d hot -> rules v%d"
         (Dcg.size t.dcg) (List.length hot) (t.rules_version + 1));
+  (let tr = tracer t in
+   if Acsi_obs.Tracer.enabled tr then begin
+     let track = Accounting.component_name Accounting.Ai_organizer in
+     let now = Interp.cycles t.vm in
+     Acsi_obs.Tracer.counter tr ~track ~name:"dcg-size" ~t:now
+       ~value:(Dcg.size t.dcg);
+     Acsi_obs.Tracer.instant tr ~track ~name:"rules-rebuild" ~t:now
+       ~args:
+         [
+           ("version", string_of_int (t.rules_version + 1));
+           ("hot_traces", string_of_int (List.length hot));
+         ]
+       ()
+   end);
   t.rules <- Rules.of_hot_traces ~version:(t.rules_version + 1) hot;
   t.rules_version <- t.rules_version + 1;
   Acsi_jit.Oracle.set_rules t.oracle t.rules;
@@ -379,7 +419,7 @@ let ai_organizer t =
   missing_edge_scan t
 
 let decay_organizer t =
-  charge t Accounting.Decay_organizer
+  charge ~ev:"decay" t Accounting.Decay_organizer
     (Dcg.size t.dcg * t.cost.Cost.decay_per_trace);
   Dcg.decay t.dcg ~factor:t.cfg.decay_factor
     ~prune_below:t.cfg.dcg_prune_below;
@@ -392,7 +432,8 @@ let controller t =
   in
   List.iter
     (fun (mid, _samples) ->
-      charge t Accounting.Controller t.cost.Cost.controller_per_event;
+      charge ~ev:"plan-recompile" t Accounting.Controller
+        t.cost.Cost.controller_per_event;
       match Registry.entry t.registry mid with
       | None -> enqueue_compile t mid
       | Some _ -> ())
@@ -449,7 +490,8 @@ let compilation_thread t =
   while not (Queue.is_empty t.compile_queue) do
     let mid = Queue.pop t.compile_queue in
     let code, stats = compile_one t mid in
-    charge t Accounting.Compilation stats.Acsi_jit.Expand.compile_cycles;
+    charge ~ev:"opt-compile" t Accounting.Compilation
+      stats.Acsi_jit.Expand.compile_cycles;
     install_compiled t mid code stats ~rule_stamp:t.rules_version
   done
 
@@ -466,10 +508,20 @@ let start_async_compiles t =
     let code, stats = compile_one t mid in
     Accounting.charge t.accounting Accounting.Compilation
       stats.Acsi_jit.Expand.compile_cycles;
+    (* Charged to the Figure-6 accounting but not to the shared clock:
+       these are the overlapped cycles the async model hides. *)
+    t.overlapped_aos_cycles <-
+      t.overlapped_aos_cycles + stats.Acsi_jit.Expand.compile_cycles;
     let now = Interp.cycles t.vm in
     let start = max now t.compiler_busy_until in
     let finish = start + stats.Acsi_jit.Expand.compile_cycles in
     t.compiler_busy_until <- finish;
+    (* The span covers the background thread's own busy interval
+       [start, finish) — exactly [compile_cycles] long, so the
+       Compilation track still reconciles with its Accounting total. *)
+    Acsi_obs.Tracer.span (tracer t)
+      ~track:(Accounting.component_name Accounting.Compilation)
+      ~name:"opt-compile-async" ~t0:start ~t1:finish;
     Queue.add
       {
         ic_meth = mid;
@@ -490,6 +542,16 @@ let poll_async_installs t =
     | Some ic when ic.ic_finish <= now ->
         ignore (Queue.pop t.in_flight);
         t.async_installs <- t.async_installs + 1;
+        Acsi_obs.Tracer.instant (tracer t)
+          ~track:(Accounting.component_name Accounting.Compilation)
+          ~name:"install-async" ~t:now
+          ~args:
+            [
+              ( "method",
+                (Program.meth t.program ic.ic_meth).Meth.name );
+              ("finished_at", string_of_int ic.ic_finish);
+            ]
+          ();
         t.overlap_instructions <-
           t.overlap_instructions
           + (Interp.instructions_executed t.vm - ic.ic_instrs_at_start);
@@ -514,7 +576,8 @@ let run_epoch t =
 let take_trace_sample t vm =
   match Trace_listener.sample t.listener vm with
   | Some (trace, walked) ->
-      charge t Accounting.Listeners (walked * t.cost.Cost.trace_sample_frame);
+      charge ~ev:"trace-sample" t Accounting.Listeners
+        (walked * t.cost.Cost.trace_sample_frame);
       t.trace_buffer <- trace :: t.trace_buffer;
       t.trace_buffer_len <- t.trace_buffer_len + 1;
       t.trace_samples <- t.trace_samples + 1
@@ -524,8 +587,20 @@ let on_timer_sample t vm =
   (* Background compilations whose finish time has passed install at this
      yield point, before any new sampling or organizer work. *)
   if t.cfg.async_compile then poll_async_installs t;
-  charge t Accounting.Listeners t.cost.Cost.method_sample;
+  charge ~ev:"method-sample" t Accounting.Listeners t.cost.Cost.method_sample;
   if t.cfg.trace_on_timer then take_trace_sample t vm;
+  (* CCT profile: attribute this sample's period to the full source-level
+     calling context. Pure observation — walks the stack but charges
+     nothing, so enabling it never moves the clock. *)
+  (match t.obs.Acsi_obs.Control.cprof with
+  | Some cp ->
+      let rev = ref [] in
+      Interp.walk_source_stack vm ~f:(fun mid pc ->
+          rev := (mid, pc) :: !rev;
+          true);
+      Acsi_obs.Cprof.add_sample cp ~stack:(List.rev !rev)
+        ~weight:(Interp.sample_period vm)
+  | None -> ());
   (* The method listener records the currently executing (source) method. *)
   let current = ref None in
   Interp.walk_source_stack vm ~f:(fun mid _pc ->
@@ -549,7 +624,7 @@ let on_invoke t vm _callee =
 let on_first_execution t mid =
   let m = Program.meth t.program mid in
   let units = Meth.size_units m in
-  charge t Accounting.Compilation
+  charge ~ev:"baseline-compile" t Accounting.Compilation
     (t.cost.Cost.baseline_compile_fixed
     + (units * t.cost.Cost.baseline_compile_unit));
   t.baseline_methods <- t.baseline_methods + 1;
@@ -562,6 +637,12 @@ let create ?profile cfg vm =
   let dcg = match profile with Some d -> d | None -> Dcg.create () in
   let oracle =
     Acsi_jit.Oracle.create ~config:cfg.oracle_config program
+  in
+  let obs =
+    Acsi_obs.Control.create cfg.obs
+      ~probe:(Interp.cost vm).Cost.probe
+      ~charge:(fun c -> Interp.charge vm c)
+      ~now:(fun () -> Interp.cycles vm)
   in
   let t =
     {
@@ -593,6 +674,8 @@ let create ?profile cfg vm =
       async_installs = 0;
       max_queue_depth = 0;
       overlap_instructions = 0;
+      overlapped_aos_cycles = 0;
+      obs;
       baseline_methods = 0;
       baseline_bytes = 0;
       method_samples = 0;
@@ -605,6 +688,11 @@ let create ?profile cfg vm =
       let e0 = site.(0) in
       Db.record_refusal t.db ~caller:e0.Trace.caller
         ~callsite:e0.Trace.callsite ~callee ~stamp:t.rules_version reason);
+  (match obs.Acsi_obs.Control.prov with
+  | Some prov ->
+      Acsi_jit.Oracle.set_on_decision oracle (fun info ->
+          Acsi_obs.Provenance.add prov info)
+  | None -> ());
   Interp.set_on_first_execution vm (on_first_execution t);
   Interp.set_on_timer_sample vm (on_timer_sample t);
   Interp.set_on_invoke vm (on_invoke t);

@@ -70,6 +70,12 @@ type config = {
           cycles are charged to the Figure-6 component accounting but not
           to the shared clock. Default [false] — the paper's measurement
           configuration stalls, and all goldens are pinned to it. *)
+  obs : Acsi_obs.Control.config;
+      (** observability: structured tracing, inline-decision provenance
+          and the CCT profile ({!Acsi_obs}). Defaults to
+          {!Acsi_obs.Control.off}; with everything off the system's
+          behaviour — every cycle count and every printed number — is
+          byte-identical to a build without the subsystem. *)
 }
 
 val default_config : Acsi_policy.Policy.t -> config
@@ -123,6 +129,25 @@ val async_overlap_instructions : t -> int
 (** Mutator instructions retired between background-compile job starts
     and their installs, summed over all jobs: positive means mutator
     execution demonstrably overlapped compilation. *)
+
+val overlapped_aos_cycles : t -> int
+(** AOS cycles charged to the per-component accounting but NOT to the
+    shared virtual clock: exactly the background-compilation cycles the
+    async model overlaps with mutator execution (always 0 in the
+    stalling model). The accounting identity every run satisfies is
+    [app_cycles = total_cycles - (aos_total - overlapped_aos_cycles)] —
+    subtracting the raw accounting total from the clock would double
+    count work the clock never saw. *)
+
+(** {2 Observability} *)
+
+val obs : t -> Acsi_obs.Control.t
+(** The run's observability bundle (tracer + provenance + CCT profile),
+    as configured by {!config.obs}. *)
+
+val tracer : t -> Acsi_obs.Tracer.t
+val provenance : t -> Acsi_obs.Provenance.t option
+val cprof : t -> Acsi_obs.Cprof.t option
 
 (** {2 Organizer kernels and their executable specs}
 

@@ -19,6 +19,7 @@ type t = {
   dcg_size : int;
   rule_count : int;
   refusals : int;
+  refusals_by_reason : (string * int) list;
   instructions : int;
   calls : int;
   guard_hits : int;
@@ -32,6 +33,7 @@ type t = {
   osr_count : int;
   async_installs : int;
   max_compile_queue_depth : int;
+  overlapped_aos_cycles : int;
 }
 
 let checksum output =
@@ -48,6 +50,14 @@ let of_run vm sys =
       guard_sites := !guard_sites + e.Registry.stats.Acsi_jit.Expand.guard_count);
   let total = Interp.cycles vm in
   let aos_cycles = Accounting.total acct in
+  (* Async-compile accounting: background compile cycles are charged to
+     the component accounting but never reach the shared clock — they
+     overlap mutator execution. Subtracting the raw accounting total
+     from the clock would deduct work the clock never saw and
+     under-report application time, so the overlapped share is added
+     back: [app = total - (aos - overlapped)]. In the stalling model
+     [overlapped = 0] and this reduces to [total - aos]. *)
+  let overlapped_aos_cycles = System.overlapped_aos_cycles sys in
   (* Table 1 reports dynamically compiled code: methods actually executed. *)
   let methods_compiled = System.baseline_compiled_methods sys in
   let bytecodes_compiled =
@@ -62,7 +72,7 @@ let of_run vm sys =
   {
     policy = Acsi_policy.Policy.to_string (System.config sys).System.policy;
     total_cycles = total;
-    app_cycles = total - aos_cycles;
+    app_cycles = total - (aos_cycles - overlapped_aos_cycles);
     aos_cycles;
     component_cycles =
       List.map (fun c -> (c, Accounting.get acct c)) Accounting.all_components;
@@ -78,6 +88,10 @@ let of_run vm sys =
     dcg_size = Acsi_profile.Dcg.size (System.dcg sys);
     rule_count = Acsi_profile.Rules.rule_count (System.rules sys);
     refusals = Db.refusal_count (System.db sys);
+    refusals_by_reason =
+      List.map
+        (fun (r, n) -> (Acsi_jit.Oracle.refusal_reason_to_string r, n))
+        (Db.refusal_reasons (System.db sys));
     instructions = Interp.instructions_executed vm;
     calls = Interp.calls_executed vm;
     guard_hits = Interp.guard_hits vm;
@@ -91,6 +105,7 @@ let of_run vm sys =
     osr_count = Interp.osr_count vm;
     async_installs = System.async_installs sys;
     max_compile_queue_depth = System.max_compile_queue_depth sys;
+    overlapped_aos_cycles;
   }
 
 (* Snapshot/diff over the counters that keep advancing monotonically on a
@@ -192,6 +207,12 @@ let pp fmt t =
     t.trace_samples;
   f fmt "profile              %d traces, %d rules, %d refusals@," t.dcg_size
     t.rule_count t.refusals;
+  List.iter
+    (fun (reason, n) -> if n > 0 then f fmt "  refused %-12s %d@," reason n)
+    t.refusals_by_reason;
+  if t.overlapped_aos_cycles > 0 then
+    f fmt "overlapped AOS       %d cycles (background compiles)@,"
+      t.overlapped_aos_cycles;
   f fmt "execution            %d instrs, %d calls@," t.instructions t.calls;
   f fmt "guards               %d hits / %d misses (%d sites, %d inlines)@,"
     t.guard_hits t.guard_misses t.guard_sites t.inline_total;

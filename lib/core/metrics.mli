@@ -26,6 +26,10 @@ type t = {
   dcg_size : int;
   rule_count : int;
   refusals : int;
+  refusals_by_reason : (string * int) list;
+      (** {!refusals} broken down by {!Acsi_jit.Oracle.refusal_reason}
+          taxonomy string, in canonical reason order, zero counts
+          included; sums to [refusals] *)
   (* execution detail *)
   instructions : int;
   calls : int;
@@ -43,6 +47,13 @@ type t = {
   async_installs : int;  (** background-model code installations *)
   max_compile_queue_depth : int;
       (** high-water mark of the AOS compile queue *)
+  overlapped_aos_cycles : int;
+      (** AOS cycles charged to the component accounting but not to the
+          shared clock: background-compile work overlapped with mutator
+          execution. The accounting identity is
+          [app_cycles = total_cycles - (aos_cycles -
+          overlapped_aos_cycles)]; in the stalling model it is 0 and
+          [total = app + aos] holds exactly. *)
 }
 
 val of_run : Acsi_vm.Interp.t -> System.t -> t

@@ -17,6 +17,10 @@ val figure6 : Format.formatter -> Experiment.sweep -> unit
 (** Percent of execution time per AOS component, averaged over
     benchmarks, for cins and each policy x depth (paper Figure 6). *)
 
+val refusal_breakdown : Format.formatter -> Experiment.sweep -> unit
+(** Recorded inline refusals by taxonomy reason (rows) per policy column,
+    summed over the sweep's benchmarks — why the oracle said no. *)
+
 val summary : Format.formatter -> Experiment.sweep -> unit
 (** The abstract's headline numbers, paper vs measured. *)
 

@@ -38,6 +38,9 @@ let refusal_reason_to_string = function
   | Recursive -> "recursive"
   | Context_conflict -> "context-conflict"
 
+let all_refusal_reasons =
+  [ Too_large; Budget; Depth; Recursive; Context_conflict ]
+
 type target = {
   target : Ids.Method_id.t;
   guarded : bool;
@@ -51,6 +54,7 @@ type t = {
   mutable rules : Rules.t;
   mutable on_refusal :
     site:Trace.entry array -> callee:Ids.Method_id.t -> refusal_reason -> unit;
+  mutable on_decision : (Acsi_obs.Provenance.info -> unit) option;
 }
 
 let create ?(config = default_config) program =
@@ -59,12 +63,14 @@ let create ?(config = default_config) program =
     cfg = config;
     rules = Rules.empty ();
     on_refusal = (fun ~site:_ ~callee:_ _ -> ());
+    on_decision = None;
   }
 
 let config t = t.cfg
 let set_rules t rules = t.rules <- rules
 let rules t = t.rules
 let set_on_refusal t f = t.on_refusal <- f
+let set_on_decision t f = t.on_decision <- Some f
 
 (* Whether an inlined body of [est] units fits the expansion budget. *)
 let budget_ok t ~extended ~root ~expanded_units ~est =
@@ -74,13 +80,74 @@ let budget_ok t ~extended ~root ~expanded_units ~est =
   expanded_units + est
   <= (factor * Meth.size_units root) + t.cfg.expansion_slack
 
+(* --- decision provenance --------------------------------------------- *)
+
+(* Eq.-3 evidence for [mid] under [site_chain]: (max match depth, summed
+   weight, deepest — ties heaviest — applicable rule). Pure reads of the
+   memoized rule index; never runs unless a decision sink is installed. *)
+let match_evidence t ~site_chain mid =
+  Rules.applicable ~exact:t.cfg.exact_match_only t.rules ~site_chain
+  |> List.filter (fun (r : Rules.rule) ->
+         Ids.Method_id.equal r.Rules.trace.Trace.callee mid)
+  |> List.fold_left
+       (fun (depth, weight, best) (r : Rules.rule) ->
+         let d =
+           min
+             (Array.length r.Rules.trace.Trace.chain)
+             (Array.length site_chain)
+         in
+         let best =
+           match best with
+           | Some (bd, bw, _) when bd > d || (bd = d && bw >= r.Rules.weight)
+             ->
+               best
+           | _ -> Some (d, r.Rules.weight, r.Rules.trace)
+         in
+         (max depth d, weight +. r.Rules.weight, best))
+       (0, 0.0, None)
+
+let emit_decision t ~root ~site_chain ~depth ~expanded_units ~const_args
+    ~callee ~outcome =
+  match t.on_decision with
+  | None -> ()
+  | Some sink ->
+      let base = Meth.size_units root in
+      let est, (md, mw, best) =
+        match callee with
+        | Some mid ->
+            ( Size.estimate (Program.meth t.program mid) ~const_args,
+              match_evidence t ~site_chain mid )
+        | None -> (0, (0, 0.0, None))
+      in
+      sink
+        {
+          Acsi_obs.Provenance.i_root = root.Meth.id;
+          i_context = Array.copy site_chain;
+          i_callee = callee;
+          i_outcome = outcome;
+          i_match_depth = md;
+          i_match_weight = mw;
+          i_matched_rule =
+            (match best with Some (_, _, tr) -> Some tr | None -> None);
+          i_inline_depth = depth;
+          i_expanded_units = expanded_units;
+          i_est = est;
+          i_budget_limit =
+            (t.cfg.expansion_factor * base) + t.cfg.expansion_slack;
+          i_budget_ext_limit =
+            (t.cfg.extended_expansion_factor * base) + t.cfg.expansion_slack;
+        }
+
 (* Verdict for one concrete callee. [hot] means the profile recommends this
-   callee here; refusals of hot callees are reported. *)
+   callee here; refusals of hot callees are reported. Returns the refusal
+   reason (as its taxonomy string) so the decision sink can record it;
+   ["not-hot"] marks the silent medium-size rejection the reporting
+   callback never sees. *)
 let consider t ~root ~site_chain ~chain_methods ~depth ~expanded_units ~hot
     ~const_args (callee : Meth.t) =
   let refuse reason =
     if hot then t.on_refusal ~site:site_chain ~callee:callee.Meth.id reason;
-    None
+    Error (refusal_reason_to_string reason)
   in
   if List.exists (Ids.Method_id.equal callee.Meth.id) chain_methods then
     refuse Recursive
@@ -92,30 +159,34 @@ let consider t ~root ~site_chain ~chain_methods ~depth ~expanded_units ~hot
         if depth >= t.cfg.extended_inline_depth then refuse Depth
         else if
           budget_ok t ~extended:true ~root ~expanded_units ~est
-        then Some callee.Meth.id
+        then Ok callee.Meth.id
         else refuse Budget
     | Size.Small ->
         if
           depth < t.cfg.max_inline_depth
           && budget_ok t ~extended:false ~root ~expanded_units ~est
-        then Some callee.Meth.id
+        then Ok callee.Meth.id
         else if
           (* profile data lets small methods exceed the normal limits *)
           hot
           && depth < t.cfg.extended_inline_depth
           && budget_ok t ~extended:true ~root ~expanded_units ~est
-        then Some callee.Meth.id
+        then Ok callee.Meth.id
         else if depth >= t.cfg.max_inline_depth then refuse Depth
         else refuse Budget
     | Size.Medium ->
-        if not hot then None
+        if not hot then Error "not-hot"
         else if depth >= t.cfg.max_inline_depth then refuse Depth
         else if budget_ok t ~extended:false ~root ~expanded_units ~est then
-          Some callee.Meth.id
+          Ok callee.Meth.id
         else refuse Budget
 
 let decide t ~root ~site_chain ~chain_methods ~depth ~expanded_units ~call
     ~const_args =
+  let emit ~callee ~outcome =
+    emit_decision t ~root ~site_chain ~depth ~expanded_units ~const_args
+      ~callee ~outcome
+  in
   let candidates =
     lazy (Rules.candidates ~exact:t.cfg.exact_match_only t.rules ~site_chain)
   in
@@ -133,8 +204,13 @@ let decide t ~root ~site_chain ~chain_methods ~depth ~expanded_units ~call
                 (fun (c, _) -> Ids.Method_id.equal c callee)
                 (Lazy.force candidates)
             in
-            if not surviving then
-              t.on_refusal ~site:site_chain ~callee Context_conflict));
+            if not surviving then begin
+              t.on_refusal ~site:site_chain ~callee Context_conflict;
+              emit ~callee:(Some callee)
+                ~outcome:
+                  (Acsi_obs.Provenance.Refused
+                     (refusal_reason_to_string Context_conflict))
+            end));
   let is_hot mid =
     List.exists
       (fun (c, _) -> Ids.Method_id.equal c mid)
@@ -146,8 +222,13 @@ let decide t ~root ~site_chain ~chain_methods ~depth ~expanded_units ~call
       consider t ~root ~site_chain ~chain_methods ~depth ~expanded_units
         ~hot:(is_hot mid) ~const_args callee
     with
-    | Some target -> Some { target; guarded }
-    | None -> None
+    | Ok target ->
+        emit ~callee:(Some mid)
+          ~outcome:(Acsi_obs.Provenance.Inlined { guarded });
+        Some { target; guarded }
+    | Error reason ->
+        emit ~callee:(Some mid) ~outcome:(Acsi_obs.Provenance.Refused reason);
+        None
   in
   match (call : Instr.t) with
   | Instr.Call_static mid | Instr.Call_direct mid -> (
@@ -171,6 +252,27 @@ let decide t ~root ~site_chain ~chain_methods ~depth ~expanded_units ~call
             |> List.filter (fun (mid, _) ->
                    List.exists (Ids.Method_id.equal mid) impls)
           in
+          if Option.is_some t.on_decision then begin
+            (* Targets past the guard limit are refused without being
+               considered; a site whose rules all died in the
+               partial-match intersection gets one callee-less record. *)
+            List.filteri
+              (fun i _ -> i >= t.cfg.max_guarded_targets)
+              hot_targets
+            |> List.iter (fun (mid, _) ->
+                   emit ~callee:(Some mid)
+                     ~outcome:(Acsi_obs.Provenance.Refused "guard-limit"));
+            if
+              hot_targets = []
+              && Array.length site_chain > 0
+              && Rules.rules_at t.rules
+                   ~caller:site_chain.(0).Trace.caller
+                   ~callsite:site_chain.(0).Trace.callsite
+                 <> []
+            then
+              emit ~callee:None
+                ~outcome:(Acsi_obs.Provenance.Refused "no-match")
+          end;
           let chosen =
             List.filteri (fun i _ -> i < t.cfg.max_guarded_targets) hot_targets
             |> List.filter_map (fun (mid, _) ->

@@ -52,6 +52,10 @@ type refusal_reason =
 
 val refusal_reason_to_string : refusal_reason -> string
 
+val all_refusal_reasons : refusal_reason list
+(** Every reason, in declaration order — the canonical order for
+    per-reason breakdowns. *)
+
 type target = {
   target : Ids.Method_id.t;
   guarded : bool;  (** true: protect with a method-test guard + fallback *)
@@ -71,6 +75,17 @@ val set_on_refusal :
   t ->
   (site:Trace.entry array -> callee:Ids.Method_id.t -> refusal_reason -> unit) ->
   unit
+
+val set_on_decision : t -> (Acsi_obs.Provenance.info -> unit) -> unit
+(** Install a decision-provenance sink: one record per callee the oracle
+    considers (inlined or refused, with the Eq. 3 match evidence and
+    budget state behind the verdict), plus records the refusal callback
+    never sees — ["not-hot"] medium callees, ["guard-limit"] hot targets
+    past [max_guarded_targets], and a callee-less ["no-match"] when a
+    polymorphic site has rules but none survive partial matching.
+    Building records is pure (reads the memoized rule index only) and
+    skipped entirely when no sink is installed, so installing one never
+    changes a decision. *)
 
 val decide :
   t ->

@@ -1,0 +1,91 @@
+open Acsi_bytecode
+
+type node = {
+  n_meth : int;
+  n_site : int;  (* call-site pc in the parent; -1 at tree roots *)
+  mutable n_self : int;
+  n_children : (int * int, node) Hashtbl.t;
+}
+
+type t = {
+  roots : (int * int, node) Hashtbl.t;
+  mutable samples : int;
+  mutable total : int;
+}
+
+let create () = { roots = Hashtbl.create 16; samples = 0; total = 0 }
+
+let child tbl ~meth ~site =
+  let key = (meth, site) in
+  match Hashtbl.find_opt tbl key with
+  | Some n -> n
+  | None ->
+      let n =
+        { n_meth = meth; n_site = site; n_self = 0; n_children = Hashtbl.create 4 }
+      in
+      Hashtbl.add tbl key n;
+      n
+
+let add_sample t ~stack ~weight =
+  match List.rev stack with
+  | [] -> ()
+  | outermost_first ->
+      t.samples <- t.samples + 1;
+      t.total <- t.total + weight;
+      (* Walking outermost-first, each element's node is keyed by its
+         method and the call-site pc recorded on the PREVIOUS (parent)
+         element — that pc is the site in the parent that calls it. The
+         innermost element's own pc (the currently executing
+         instruction) keys nothing. *)
+      let rec go tbl parent_site = function
+        | [] -> ()
+        | ((meth : Ids.Method_id.t), pc) :: rest ->
+            let n = child tbl ~meth:(meth :> int) ~site:parent_site in
+            if rest = [] then n.n_self <- n.n_self + weight
+            else go n.n_children pc rest
+      in
+      go t.roots (-1) outermost_first
+
+let samples t = t.samples
+let total_weight t = t.total
+
+let node_count t =
+  let rec count tbl =
+    Hashtbl.fold (fun _ n acc -> acc + 1 + count n.n_children) tbl 0
+  in
+  count t.roots
+
+let rec node_total n =
+  Hashtbl.fold (fun _ c acc -> acc + node_total c) n.n_children n.n_self
+
+let sorted_children tbl =
+  Hashtbl.fold (fun _ n acc -> (node_total n, n) :: acc) tbl []
+  |> List.sort (fun (ta, a) (tb, b) ->
+         match compare tb ta with
+         | 0 -> (
+             match compare a.n_meth b.n_meth with
+             | 0 -> compare a.n_site b.n_site
+             | c -> c)
+         | c -> c)
+
+let pp_flame ~name ?(min_pct = 0.0) fmt t =
+  let grand = max 1 t.total in
+  let pct v = 100.0 *. float_of_int v /. float_of_int grand in
+  Format.fprintf fmt "@[<v>%7s %12s %12s  %s@," "total%" "total" "self"
+    "calling context";
+  let rec render depth (total, n) =
+    if pct total >= min_pct then begin
+      let label =
+        if n.n_site < 0 then name (Ids.Method_id.of_int n.n_meth)
+        else
+          Printf.sprintf "%s@%d" (name (Ids.Method_id.of_int n.n_meth)) n.n_site
+      in
+      Format.fprintf fmt "%6.2f%% %12d %12d  %s%s@," (pct total) total n.n_self
+        (String.make (2 * depth) ' ')
+        label;
+      List.iter (render (depth + 1)) (sorted_children n.n_children)
+    end
+  in
+  List.iter (render 0) (sorted_children t.roots);
+  Format.fprintf fmt "%d samples, %d cycles attributed, %d context nodes@]"
+    t.samples t.total (node_count t)

@@ -1,0 +1,39 @@
+(** A calling-context-tree profile of virtual cycles, built from the
+    timer samples' source stacks (after Ammons/Ball/Larus; the sampled
+    partial-CCT variant the paper's §6 points at).
+
+    Every timer sample walks the source-level call stack — optimized
+    frames expanded through their inline maps — and adds the sample
+    period's worth of virtual cycles to the node at the end of the path,
+    so a node's [self] weight estimates cycles spent exactly in that
+    method under that context, and its total (self + descendants)
+    estimates inclusive cycles. {!pp_flame} renders the tree as a text
+    flamegraph, heaviest subtree first. *)
+
+open Acsi_bytecode
+
+type t
+
+val create : unit -> t
+
+val add_sample : t -> stack:(Ids.Method_id.t * int) list -> weight:int -> unit
+(** [stack] is innermost-first, as produced by
+    [Acsi_vm.Interp.walk_source_stack]: the head is the executing method
+    (its pc is ignored), each later pair a caller with the pc of its
+    call site. Empty stacks are ignored. *)
+
+val samples : t -> int
+val total_weight : t -> int
+val node_count : t -> int
+
+val pp_flame :
+  name:(Ids.Method_id.t -> string) ->
+  ?min_pct:float ->
+  Format.formatter ->
+  t ->
+  unit
+(** Text flamegraph: one line per context node with total and self
+    cycles and percent of the profile total; children indented under
+    parents, heaviest total first (ties by method id, then call-site pc
+    — fully deterministic). Subtrees below [min_pct] percent of the
+    total (default 0.0: everything) are pruned. *)

@@ -1,0 +1,152 @@
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let add_jstr b s =
+  Buffer.add_char b '"';
+  json_escape b s;
+  Buffer.add_char b '"'
+
+(* Track -> tid, assigned in first-seen order so output is independent
+   of hash-table iteration order. *)
+let track_ids tracer =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  let next = ref 0 in
+  let see track =
+    if not (Hashtbl.mem tbl track) then begin
+      incr next;
+      Hashtbl.add tbl track !next;
+      order := track :: !order
+    end
+  in
+  Tracer.iter tracer ~f:(fun e ->
+      match e with
+      | Tracer.Span { track; _ } | Tracer.Counter { track; _ }
+      | Tracer.Instant { track; _ } ->
+          see track);
+  (tbl, List.rev !order)
+
+let to_chrome_json b tracer =
+  let tids, order = track_ids tracer in
+  let tid track = Hashtbl.find tids track in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_string b ",\n";
+    ()
+  in
+  List.iter
+    (fun track ->
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":"
+           (tid track));
+      add_jstr b track;
+      Buffer.add_string b "}}")
+    order;
+  Tracer.iter tracer ~f:(fun e ->
+      sep ();
+      match e with
+      | Tracer.Span { track; name; t0; t1 } ->
+          Buffer.add_string b
+            (Printf.sprintf "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%d,\"dur\":%d,\"name\":"
+               (tid track) t0 (t1 - t0));
+          add_jstr b name;
+          Buffer.add_string b "}"
+      | Tracer.Counter { track; name; t; value } ->
+          Buffer.add_string b
+            (Printf.sprintf "{\"ph\":\"C\",\"pid\":1,\"tid\":%d,\"ts\":%d,\"name\":"
+               (tid track) t);
+          add_jstr b name;
+          Buffer.add_string b
+            (Printf.sprintf ",\"args\":{\"value\":%d}}" value)
+      | Tracer.Instant { track; name; t; args } ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"ts\":%d,\"s\":\"t\",\"name\":"
+               (tid track) t);
+          add_jstr b name;
+          Buffer.add_string b ",\"args\":{";
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then Buffer.add_char b ',';
+              add_jstr b k;
+              Buffer.add_char b ':';
+              add_jstr b v)
+            args;
+          Buffer.add_string b "}}");
+  Buffer.add_string b "]}\n"
+
+let to_jsonl b tracer =
+  Tracer.iter tracer ~f:(fun e ->
+      (match e with
+      | Tracer.Span { track; name; t0; t1 } ->
+          Buffer.add_string b "{\"ev\":\"span\",\"track\":";
+          add_jstr b track;
+          Buffer.add_string b ",\"name\":";
+          add_jstr b name;
+          Buffer.add_string b
+            (Printf.sprintf ",\"t0\":%d,\"t1\":%d,\"dur\":%d}" t0 t1 (t1 - t0))
+      | Tracer.Counter { track; name; t; value } ->
+          Buffer.add_string b "{\"ev\":\"counter\",\"track\":";
+          add_jstr b track;
+          Buffer.add_string b ",\"name\":";
+          add_jstr b name;
+          Buffer.add_string b (Printf.sprintf ",\"t\":%d,\"value\":%d}" t value)
+      | Tracer.Instant { track; name; t; args } ->
+          Buffer.add_string b "{\"ev\":\"instant\",\"track\":";
+          add_jstr b track;
+          Buffer.add_string b ",\"name\":";
+          add_jstr b name;
+          Buffer.add_string b (Printf.sprintf ",\"t\":%d,\"args\":{" t);
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then Buffer.add_char b ',';
+              add_jstr b k;
+              Buffer.add_char b ':';
+              add_jstr b v)
+            args;
+          Buffer.add_string b "}}");
+      Buffer.add_char b '\n')
+
+let track_totals tracer =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  Tracer.iter tracer ~f:(fun e ->
+      match e with
+      | Tracer.Span { track; t0; t1; _ } ->
+          (match Hashtbl.find_opt tbl track with
+          | Some acc -> Hashtbl.replace tbl track (acc + (t1 - t0))
+          | None ->
+              Hashtbl.add tbl track (t1 - t0);
+              order := track :: !order)
+      | Tracer.Counter _ | Tracer.Instant _ -> ());
+  List.rev_map (fun track -> (track, Hashtbl.find tbl track)) !order
+  |> List.rev
+
+let pp_breakdown ~total fmt rows =
+  let pct v =
+    if total <= 0 then 0.0 else 100.0 *. float_of_int v /. float_of_int total
+  in
+  let width =
+    List.fold_left (fun acc (nm, _) -> max acc (String.length nm)) 9 rows
+  in
+  Format.fprintf fmt "@[<v>%-*s %14s %8s@," width "component" "cycles" "total%";
+  List.iter
+    (fun (nm, v) ->
+      Format.fprintf fmt "%-*s %14d %7.3f%%@," width nm v (pct v))
+    rows;
+  let sum = List.fold_left (fun acc (_, v) -> acc + v) 0 rows in
+  Format.fprintf fmt "%-*s %14d %7.3f%%@]" width "(overhead)" sum (pct sum)

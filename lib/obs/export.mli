@@ -1,0 +1,33 @@
+(** Renderers for a {!Tracer} buffer: Chrome trace-event JSON (load in
+    Perfetto / [chrome://tracing]), a line-per-event JSONL log, and the
+    Figure-6-style per-component overhead breakdown.
+
+    All output is deterministic: events render in buffer (emission)
+    order and Perfetto thread ids are assigned to tracks in first-seen
+    order. Timestamps are virtual cycles (the exporter reports them as
+    microseconds because the trace-event format demands a unit; 1 cycle
+    = 1 "us"). *)
+
+val to_chrome_json : Buffer.t -> Tracer.t -> unit
+(** A complete [{"traceEvents": [...]}] document: one ["M"] thread-name
+    metadata event per track, then ["X"] complete events for spans,
+    ["C"] counter events and ["i"] instant events in emission order.
+    All events share [pid 1]; each track gets its own [tid]. *)
+
+val to_jsonl : Buffer.t -> Tracer.t -> unit
+(** One self-describing JSON object per line, in emission order:
+    [{"ev":"span","track":...,"name":...,"t0":...,"t1":...,"dur":...}],
+    [{"ev":"counter",...,"t":...,"value":...}],
+    [{"ev":"instant",...,"t":...,"args":{...}}]. *)
+
+val track_totals : Tracer.t -> (string * int) list
+(** Summed span durations per track, tracks in first-seen order.
+    Counters and instants contribute nothing. When the buffer has not
+    dropped events, a track instrumented from [Accounting.charge]
+    reconciles exactly with its [Accounting] total. *)
+
+val pp_breakdown :
+  total:int -> Format.formatter -> (string * int) list -> unit
+(** Figure-6-style table: one line per (component, cycles) row with its
+    percentage of [total] (the run's total virtual cycles), then the
+    summed overhead and percentage. *)

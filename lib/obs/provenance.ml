@@ -1,0 +1,87 @@
+open Acsi_bytecode
+open Acsi_profile
+
+type outcome = Inlined of { guarded : bool } | Refused of string
+
+type info = {
+  i_root : Ids.Method_id.t;
+  i_context : Trace.entry array;
+  i_callee : Ids.Method_id.t option;
+  i_outcome : outcome;
+  i_match_depth : int;
+  i_match_weight : float;
+  i_matched_rule : Trace.t option;
+  i_inline_depth : int;
+  i_expanded_units : int;
+  i_est : int;
+  i_budget_limit : int;
+  i_budget_ext_limit : int;
+}
+
+type decision = { d_seq : int; d_cycle : int; d_info : info }
+
+type t = {
+  now : unit -> int;
+  mutable rev : decision list;
+  mutable count : int;
+}
+
+let create ?(now = fun () -> 0) () = { now; rev = []; count = 0 }
+
+let add t info =
+  t.rev <- { d_seq = t.count; d_cycle = t.now (); d_info = info } :: t.rev;
+  t.count <- t.count + 1
+
+let count t = t.count
+let all t = List.rev t.rev
+
+let at t ~(caller : Ids.Method_id.t) ?callsite () =
+  List.filter
+    (fun d ->
+      let e0 = d.d_info.i_context.(0) in
+      Ids.Method_id.equal e0.Trace.caller caller
+      && match callsite with None -> true | Some pc -> e0.Trace.callsite = pc)
+    (all t)
+
+let outcome_counts t =
+  List.fold_left
+    (fun (i, r) d ->
+      match d.d_info.i_outcome with
+      | Inlined _ -> (i + 1, r)
+      | Refused _ -> (i, r + 1))
+    (0, 0) t.rev
+
+let pp_context ~name fmt (ctx : Trace.entry array) =
+  Array.iteri
+    (fun i (e : Trace.entry) ->
+      if i > 0 then Format.fprintf fmt " < ";
+      Format.fprintf fmt "%s:%d" (name e.Trace.caller) e.Trace.callsite)
+    ctx
+
+let pp_decision ~name fmt d =
+  let i = d.d_info in
+  let callee =
+    match i.i_callee with Some mid -> name mid | None -> "<no candidate>"
+  in
+  let verdict =
+    match i.i_outcome with
+    | Inlined { guarded = true } -> "INLINED (guarded)"
+    | Inlined { guarded = false } -> "INLINED"
+    | Refused reason -> "refused: " ^ reason
+  in
+  Format.fprintf fmt "@[<v 2>#%d @@%d cycles  %a -> %s  %s@," d.d_seq d.d_cycle
+    (pp_context ~name) i.i_context callee verdict;
+  (match (i.i_matched_rule, i.i_match_depth) with
+  | Some rule, depth ->
+      Format.fprintf fmt
+        "matched rule %a (Eq.3 match depth %d of %d, weight %.2f)@," Trace.pp
+        rule depth
+        (Array.length i.i_context)
+        i.i_match_weight
+  | None, _ ->
+      Format.fprintf fmt "no profile rule matched (static heuristics only)@,");
+  Format.fprintf fmt
+    "budget: est %d units, expanded %d, limit %d (extended %d), inline depth \
+     %d, root %s@]"
+    i.i_est i.i_expanded_units i.i_budget_limit i.i_budget_ext_limit
+    i.i_inline_depth (name i.i_root)

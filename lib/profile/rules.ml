@@ -70,6 +70,8 @@ let rules_at t ~(caller : Ids.Method_id.t) ~callsite =
     ~default:[]
 
 let applicable_rules ~exact t ~site_chain =
+  if Array.length site_chain = 0 then []
+  else
   rules_at t
     ~caller:site_chain.(0).Trace.caller
     ~callsite:site_chain.(0).Trace.callsite
@@ -79,6 +81,9 @@ let applicable_rules ~exact t ~site_chain =
            Array.length chain = Array.length site_chain
            && Trace.context_matches ~rule_chain:chain ~site_chain
          else Trace.context_matches ~rule_chain:chain ~site_chain)
+
+let applicable ?(exact = false) t ~site_chain =
+  applicable_rules ~exact t ~site_chain
 
 (* Shared tail of both implementations: the per-callee weights are summed
    in [applicable] order and folded out of the same table, so the

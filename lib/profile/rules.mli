@@ -31,6 +31,14 @@ val version : t -> int
 val rules_at : t -> caller:Ids.Method_id.t -> callsite:int -> rule list
 (** Every rule whose innermost chain entry is this call site. *)
 
+val applicable :
+  ?exact:bool -> t -> site_chain:Trace.entry array -> rule list
+(** Every rule applicable to the compilation context under Eq. 3 partial
+    matching: the rule's chain and [site_chain] agree on their first
+    [min] entries (all entries, with [exact]). The raw evidence behind
+    {!candidates} — exposed for decision provenance, which reports each
+    candidate's match depth and summed weight. *)
+
 val candidates :
   ?exact:bool -> t -> site_chain:Trace.entry array -> (Ids.Method_id.t * float) list
 (** The oracle query (paper §3.3). [site_chain] is the compilation context,

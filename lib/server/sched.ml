@@ -13,6 +13,7 @@ type t = {
   switch_cost : int;
   cycle_limit : int;
   on_switch : unit -> unit;
+  tracer : Acsi_obs.Tracer.t;
   ready : entry Queue.t;
   resumes_by_tid : (int, int) Hashtbl.t;
   mutable live : int;
@@ -25,7 +26,7 @@ type t = {
 }
 
 let create ?(quantum = 25_000) ?(switch_cost = 200) ?(cycle_limit = max_int)
-    ?(on_switch = fun () -> ()) vm =
+    ?(on_switch = fun () -> ()) ?(tracer = Acsi_obs.Tracer.null) vm =
   if quantum <= 0 then invalid_arg "Sched.create: quantum must be positive";
   if switch_cost < 0 then
     invalid_arg "Sched.create: switch_cost must be non-negative";
@@ -35,6 +36,7 @@ let create ?(quantum = 25_000) ?(switch_cost = 200) ?(cycle_limit = max_int)
     switch_cost;
     cycle_limit;
     on_switch;
+    tracer;
     ready = Queue.create ();
     resumes_by_tid = Hashtbl.create 64;
     live = 0;
@@ -81,10 +83,19 @@ let run_slice t =
       t.on_switch ();
       e.e_resumes <- e.e_resumes + 1;
       Hashtbl.replace t.resumes_by_tid e.e_tid e.e_resumes;
+      let t0 = Interp.cycles t.vm in
       let status =
         Interp.resume ~cycle_limit:t.cycle_limit t.vm e.e_thread
           ~quantum:t.quantum
       in
+      (* One span per slice on the thread's own track: the interval the
+         thread occupied the shared clock (including AOS work charged
+         while it ran). Not an Accounting track, so reconciliation of
+         the component tracks is untouched. *)
+      if Acsi_obs.Tracer.enabled t.tracer then
+        Acsi_obs.Tracer.span t.tracer
+          ~track:(Printf.sprintf "vthread-%d" e.e_tid)
+          ~name:"slice" ~t0 ~t1:(Interp.cycles t.vm);
       t.slices <- t.slices + 1;
       (match status with
       | Interp.Running ->

@@ -15,6 +15,7 @@ val create :
   ?switch_cost:int ->
   ?cycle_limit:int ->
   ?on_switch:(unit -> unit) ->
+  ?tracer:Acsi_obs.Tracer.t ->
   Acsi_vm.Interp.t ->
   t
 (** [quantum] (default 25_000) is the per-slice cycle budget.
@@ -23,7 +24,8 @@ val create :
     context-switch tax). [on_switch] runs at the start of every slice,
     after the switch charge and before the thread resumes — the server
     uses it to install finished background compilations at thread-switch
-    yield points. *)
+    yield points. [tracer] (default {!Acsi_obs.Tracer.null}) receives one
+    span per slice on a per-thread [vthread-N] track. *)
 
 val spawn : t -> int
 (** Register a fresh thread running the program's [main]; returns its

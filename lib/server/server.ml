@@ -87,10 +87,11 @@ let run ?(quantum = 25_000) ?(switch_cost = 200) ?(seed = 1)
   in
   let aos = { cfg.Config.aos with System.async_compile } in
   let sys = System.create aos vm in
+  let tracer = System.tracer sys in
   let sched =
     Sched.create ~quantum ~switch_cost ~cycle_limit:cfg.Config.cycle_limit
       ~on_switch:(fun () -> System.poll_async_installs sys)
-      vm
+      ~tracer vm
   in
   (* Initial arrival schedule. *)
   let pending =
@@ -124,6 +125,16 @@ let run ?(quantum = 25_000) ?(switch_cost = 200) ?(seed = 1)
       | (at, client) :: rest when at <= now ->
           let tid = Sched.spawn sched in
           Hashtbl.replace by_tid tid (!next_rid, at, client);
+          if Acsi_obs.Tracer.enabled tracer then
+            Acsi_obs.Tracer.instant tracer ~track:"requests" ~name:"admit"
+              ~t:now
+              ~args:
+                [
+                  ("rid", string_of_int !next_rid);
+                  ("tid", string_of_int tid);
+                  ("arrival", string_of_int at);
+                ]
+              ();
           incr next_rid;
           go rest
       | rest -> rest
@@ -148,6 +159,15 @@ let run ?(quantum = 25_000) ?(switch_cost = 200) ?(seed = 1)
       }
       :: !completed_rev;
     incr completed_count;
+    if Acsi_obs.Tracer.enabled tracer then
+      Acsi_obs.Tracer.instant tracer ~track:"requests" ~name:"finish"
+        ~t:finish
+        ~args:
+          [
+            ("rid", string_of_int rid);
+            ("latency", string_of_int (finish - arrival));
+          ]
+        ();
     if !completed_count mod win = 0 || !completed_count = n_total then
       snaps := (!completed_count, Metrics.snapshot vm sys) :: !snaps;
     (* Closed loop: the client thinks, then issues its next request. *)

@@ -19,6 +19,7 @@ type t = {
   ai_organizer_per_trace : int;
   decay_per_trace : int;
   controller_per_event : int;
+  probe : int;
 }
 
 let default =
@@ -43,4 +44,5 @@ let default =
     ai_organizer_per_trace = 22;
     decay_per_trace = 6;
     controller_per_event = 120;
+    probe = 8;
   }

@@ -41,6 +41,13 @@ type t = {
   ai_organizer_per_trace : int;  (** AI organizer cost per live trace *)
   decay_per_trace : int;  (** decay organizer cost per live trace *)
   controller_per_event : int;  (** controller cost per organizer event *)
+  probe : int;
+      (** cost of one software tracing probe (an observability event
+          record). Charged to the virtual clock only when the run opts
+          into an on-clock probe model
+          ([Acsi_obs.Control.probe_on_clock]); never charged to the
+          per-component accounting, so tracing's own cost is visible in
+          total time without perturbing the Figure-6 breakdown. *)
 }
 
 val default : t

@@ -90,6 +90,7 @@ let create ?(cost = Cost.default) ?(sample_period = 100_000)
 
 let program t = t.program
 let cost t = t.cost
+let sample_period t = t.sample_period
 let cycles t = t.cycles
 let instructions_executed t = t.instr_count
 let calls_executed t = t.call_count

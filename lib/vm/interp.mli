@@ -51,6 +51,10 @@ val create :
 val program : t -> Program.t
 val cost : t -> Cost.t
 
+val sample_period : t -> int
+(** The timer-sample period this VM was created with: the virtual-cycle
+    weight each timer sample represents (used by sampled profiles). *)
+
 val cycles : t -> int
 (** Application cycles consumed so far (excluding AOS overhead, which the
     AOS accounts for separately). *)

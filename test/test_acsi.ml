@@ -17,6 +17,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("osr", Test_osr.suite);
       ("aos", Test_aos.suite);
+      ("obs", Test_obs.suite);
       ("smoke", Test_smoke.suite);
       ("server", Test_server.suite);
       ("core", Test_core.suite);

@@ -1,0 +1,377 @@
+(* Observability (lib/obs): the event tracer's ring and probe-cost
+   model, the reconciliation contract between tracer spans and the AOS
+   accounting (sync, async and probe-on-clock runs), decision
+   provenance completeness against the refusal database and the
+   registry, the CCT profile's sample accounting, exporter determinism
+   (including across parallel domains), and the zero-perturbation
+   guarantee: a fully-instrumented run reports byte-identical metrics
+   to an untraced one. *)
+
+open Acsi_core
+module Policy = Acsi_policy.Policy
+module System = Acsi_aos.System
+module Accounting = Acsi_aos.Accounting
+module Db = Acsi_aos.Db
+module Interp = Acsi_vm.Interp
+module Sched = Acsi_server.Sched
+module Workloads = Acsi_workloads.Workloads
+module Control = Acsi_obs.Control
+module Tracer = Acsi_obs.Tracer
+module Export = Acsi_obs.Export
+module Provenance = Acsi_obs.Provenance
+module Cprof = Acsi_obs.Cprof
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let obs_all =
+  {
+    Control.trace = true;
+    provenance = true;
+    cprof = true;
+    capacity = 1 lsl 20;
+    probe_on_clock = false;
+  }
+
+let db ~scale = (Workloads.find "db").Workloads.build ~scale
+
+let run_with ?(policy = Policy.Fixed 3) ~obs program =
+  let cfg = Config.default ~policy in
+  Runtime.run
+    { cfg with Config.aos = { cfg.Config.aos with System.obs } }
+    program
+
+(* --- the tracer ring --- *)
+
+let test_ring_and_drops () =
+  let tr = Tracer.create ~capacity:4 () in
+  check_bool "enabled" true (Tracer.enabled tr);
+  check_bool "null disabled" false (Tracer.enabled Tracer.null);
+  for k = 1 to 6 do
+    Tracer.span tr ~track:"t" ~name:(string_of_int k) ~t0:0 ~t1:k
+  done;
+  check_int "capacity bounds length" 4 (Tracer.length tr);
+  check_int "oldest two dropped" 2 (Tracer.dropped tr);
+  let names = ref [] in
+  Tracer.iter tr ~f:(fun e ->
+      match e with
+      | Tracer.Span { name; _ } -> names := name :: !names
+      | _ -> ());
+  Alcotest.(check (list string))
+    "oldest-first survivors" [ "3"; "4"; "5"; "6" ]
+    (List.rev !names);
+  (* Zero-duration spans are skipped entirely. *)
+  Tracer.span tr ~track:"t" ~name:"zero" ~t0:7 ~t1:7;
+  check_int "zero-duration span skipped" 4 (Tracer.length tr);
+  (* The null tracer records nothing and never fails. *)
+  Tracer.span Tracer.null ~track:"t" ~name:"x" ~t0:0 ~t1:1;
+  check_int "null holds nothing" 0 (Tracer.length Tracer.null)
+
+let test_probe_charges_clock () =
+  let charged = ref 0 in
+  let tr =
+    Tracer.create ~probe:5 ~charge:(fun c -> charged := !charged + c)
+      ~capacity:16 ()
+  in
+  Tracer.span tr ~track:"t" ~name:"a" ~t0:0 ~t1:1;
+  Tracer.counter tr ~track:"t" ~name:"c" ~t:1 ~value:9;
+  Tracer.instant tr ~track:"t" ~name:"i" ~t:2 ();
+  check_int "5 cycles per recorded event" 15 !charged;
+  (* A skipped (zero-duration) span must not charge either. *)
+  Tracer.span tr ~track:"t" ~name:"z" ~t0:3 ~t1:3;
+  check_int "no probe cost for skipped events" 15 !charged
+
+(* --- zero perturbation: tracing must not move a single cycle --- *)
+
+let test_metrics_unchanged_when_traced () =
+  let program = db ~scale:2 in
+  let plain = (run_with ~obs:Control.off program).Runtime.metrics in
+  let traced = (run_with ~obs:obs_all program).Runtime.metrics in
+  check_bool "fully-instrumented run reports identical metrics" true
+    (plain = traced)
+
+(* --- reconciliation: span totals = accounting totals, exactly --- *)
+
+let check_reconciled label sys =
+  let tracer = System.tracer sys in
+  check_int (label ^ ": no ring drops") 0 (Tracer.dropped tracer);
+  let totals = Export.track_totals tracer in
+  let acct = System.accounting sys in
+  List.iter
+    (fun c ->
+      let nm = Accounting.component_name c in
+      let span_v =
+        match List.assoc_opt nm totals with Some v -> v | None -> 0
+      in
+      check_int
+        (Printf.sprintf "%s: %s spans = accounting" label nm)
+        (Accounting.get acct c) span_v)
+    Accounting.all_components
+
+let test_reconciliation_sync () =
+  let result = run_with ~obs:obs_all (db ~scale:4) in
+  check_reconciled "sync" result.Runtime.sys;
+  (* Component tracks together cover the whole AOS overhead. *)
+  let totals = Export.track_totals (System.tracer result.Runtime.sys) in
+  let component_names = List.map Accounting.component_name Accounting.all_components in
+  let component_sum =
+    List.fold_left
+      (fun acc (nm, v) ->
+        if List.mem nm component_names then acc + v else acc)
+      0 totals
+  in
+  check_int "component tracks sum to the AOS total"
+    result.Runtime.metrics.Metrics.aos_cycles component_sum
+
+(* A threaded, background-compiling run, instrumented: the async
+   compile spans on the CompilationThread track must keep the
+   reconciliation exact, and the overlapped share must make the
+   accounting identity non-trivial (total <> app + aos). *)
+let async_run () =
+  let program = db ~scale:2 in
+  let cfg = Config.default ~policy:(Policy.Fixed 3) in
+  let vm =
+    Interp.create ~cost:cfg.Config.cost
+      ~sample_period:cfg.Config.sample_period
+      ~invoke_stride:cfg.Config.invoke_stride program
+  in
+  let aos =
+    { cfg.Config.aos with System.async_compile = true; obs = obs_all }
+  in
+  let sys = System.create aos vm in
+  let sched =
+    Sched.create ~quantum:25_000 ~switch_cost:200
+      ~cycle_limit:cfg.Config.cycle_limit
+      ~on_switch:(fun () -> System.poll_async_installs sys)
+      ~tracer:(System.tracer sys) vm
+  in
+  let t1 = Sched.spawn sched in
+  let t2 = Sched.spawn sched in
+  ignore (t1, t2);
+  let rec drain () =
+    match Sched.run_slice sched with Some _ -> drain () | None -> ()
+  in
+  drain ();
+  System.poll_async_installs sys;
+  (vm, sys)
+
+let test_reconciliation_async () =
+  let vm, sys = async_run () in
+  check_reconciled "async" sys;
+  let m = Metrics.of_run vm sys in
+  check_bool "background compiles installed" true (m.Metrics.async_installs > 0);
+  check_bool "overlapped AOS cycles recorded" true
+    (m.Metrics.overlapped_aos_cycles > 0);
+  check_bool "overlap bounded by the AOS total" true
+    (m.Metrics.overlapped_aos_cycles <= m.Metrics.aos_cycles);
+  (* The async-accounting identity (the double-count fix): application
+     time deducts only the AOS work the clock actually saw. *)
+  check_int "app = total - (aos - overlapped)"
+    (m.Metrics.total_cycles
+    - (m.Metrics.aos_cycles - m.Metrics.overlapped_aos_cycles))
+    m.Metrics.app_cycles;
+  check_bool "identity is non-trivial (total <> app + aos)" true
+    (m.Metrics.total_cycles <> m.Metrics.app_cycles + m.Metrics.aos_cycles);
+  (* Scheduler slices land on per-thread tracks, outside the components. *)
+  let totals = Export.track_totals (System.tracer sys) in
+  check_bool "vthread tracks present" true
+    (List.exists (fun (nm, _) -> nm = "vthread-0") totals)
+
+let test_sync_run_has_no_overlap () =
+  let m = (run_with ~obs:Control.off (db ~scale:2)).Runtime.metrics in
+  check_int "stalling model: overlapped = 0" 0 m.Metrics.overlapped_aos_cycles;
+  check_int "total = app + aos"
+    m.Metrics.total_cycles
+    (m.Metrics.app_cycles + m.Metrics.aos_cycles)
+
+(* --- the probe-cost model --- *)
+
+let test_probe_on_clock () =
+  let program = db ~scale:2 in
+  let free = run_with ~obs:obs_all program in
+  let paid =
+    run_with ~obs:{ obs_all with Control.probe_on_clock = true } program
+  in
+  check_bool "paid probes slow the run down" true
+    (paid.Runtime.metrics.Metrics.total_cycles
+    > free.Runtime.metrics.Metrics.total_cycles);
+  (* Probe cycles go to the clock only, never to a component, so the
+     reconciliation contract survives the perturbed run too. *)
+  check_reconciled "probe-on-clock" paid.Runtime.sys
+
+(* --- decision provenance --- *)
+
+let prov_of sys =
+  match System.provenance sys with
+  | Some prov -> prov
+  | None -> Alcotest.fail "provenance store missing"
+
+let test_provenance_completeness () =
+  let result = run_with ~obs:obs_all (db ~scale:4) in
+  let sys = result.Runtime.sys in
+  let prov = prov_of sys in
+  let inlined, refused = Provenance.outcome_counts prov in
+  check_int "outcomes partition the decisions"
+    (Provenance.count prov)
+    (inlined + refused);
+  check_bool "decisions were recorded" true (Provenance.count prov > 0);
+  (* Every inline the registry's installed code carries was decided
+     through the oracle, hence recorded (recompiled-away versions only
+     add more decisions). *)
+  let m = result.Runtime.metrics in
+  check_bool "registry inlines all have decisions" true
+    (m.Metrics.inline_total > 0 && inlined >= m.Metrics.inline_total);
+  (* Every refusal edge the database holds was refused at least once
+     with the same taxonomy reason. *)
+  let refused_with reason =
+    List.length
+      (List.filter
+         (fun (d : Provenance.decision) ->
+           match d.Provenance.d_info.Provenance.i_outcome with
+           | Provenance.Refused r -> String.equal r reason
+           | Provenance.Inlined _ -> false)
+         (Provenance.all prov))
+  in
+  List.iter
+    (fun (reason, n) ->
+      let reason = Acsi_jit.Oracle.refusal_reason_to_string reason in
+      check_bool
+        (Printf.sprintf "db reason %s backed by >= %d decisions" reason n)
+        true
+        (refused_with reason >= n))
+    (Db.refusal_reasons (System.db sys));
+  (* Sequence numbers are the emission order, densely. *)
+  List.iteri
+    (fun i (d : Provenance.decision) -> check_int "dense d_seq" i d.Provenance.d_seq)
+    (Provenance.all prov)
+
+let test_provenance_at_query () =
+  let result = run_with ~obs:obs_all (db ~scale:4) in
+  let prov = prov_of result.Runtime.sys in
+  let all = Provenance.all prov in
+  let some_caller =
+    match all with
+    | d :: _ -> d.Provenance.d_info.Provenance.i_context.(0).Acsi_profile.Trace.caller
+    | [] -> Alcotest.fail "no decisions"
+  in
+  let manual ?pc () =
+    List.filter
+      (fun (d : Provenance.decision) ->
+        let e = d.Provenance.d_info.Provenance.i_context.(0) in
+        e.Acsi_profile.Trace.caller = some_caller
+        && match pc with None -> true | Some pc -> e.Acsi_profile.Trace.callsite = pc)
+      all
+  in
+  let got = Provenance.at prov ~caller:some_caller () in
+  check_int "at ~caller matches a manual filter"
+    (List.length (manual ())) (List.length got);
+  check_bool "at ~caller is non-empty" true (got <> []);
+  let pc =
+    (List.hd got).Provenance.d_info.Provenance.i_context.(0)
+      .Acsi_profile.Trace.callsite
+  in
+  check_int "at ~caller ~callsite matches too"
+    (List.length (manual ~pc ()))
+    (List.length (Provenance.at prov ~caller:some_caller ~callsite:pc ()))
+
+(* --- the CCT profile --- *)
+
+let test_cprof_accounting () =
+  let result = run_with ~obs:obs_all (db ~scale:4) in
+  let cp =
+    match System.cprof result.Runtime.sys with
+    | Some cp -> cp
+    | None -> Alcotest.fail "cprof missing"
+  in
+  check_bool "samples taken" true (Cprof.samples cp > 0);
+  check_int "every sample attributes one period of cycles"
+    (Cprof.samples cp * Interp.sample_period result.Runtime.vm)
+    (Cprof.total_weight cp);
+  check_bool "context nodes exist" true (Cprof.node_count cp > 0);
+  let render r =
+    Format.asprintf "%a"
+      (Cprof.pp_flame
+         ~name:(fun mid ->
+           (Acsi_bytecode.Program.meth (Interp.program r.Runtime.vm) mid)
+             .Acsi_bytecode.Meth.name)
+         ?min_pct:None)
+      cp
+  in
+  (* Two renders of the same tree are identical (sorted children, no
+     hash-order leak). *)
+  Alcotest.(check string) "flamegraph renders deterministically"
+    (render result) (render result)
+
+(* --- exporters --- *)
+
+let chrome_of sys =
+  let buf = Buffer.create 4096 in
+  Export.to_chrome_json buf (System.tracer sys);
+  Buffer.contents buf
+
+let test_export_shapes () =
+  let result = run_with ~obs:obs_all (db ~scale:2) in
+  let tracer = System.tracer result.Runtime.sys in
+  let chrome = chrome_of result.Runtime.sys in
+  check_bool "chrome document shape" true
+    (String.length chrome > 2
+    && String.sub chrome 0 16 = "{\"traceEvents\":["
+    && String.sub chrome (String.length chrome - 3) 3 = "]}\n");
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i =
+      i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1))
+    in
+    go 0
+  in
+  check_bool "thread-name metadata present" true
+    (contains chrome "\"thread_name\"");
+  check_bool "component track named" true (contains chrome "CompilationThread");
+  let buf = Buffer.create 4096 in
+  Export.to_jsonl buf tracer;
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+  in
+  check_int "one JSONL line per event" (Tracer.length tracer)
+    (List.length lines)
+
+(* Identical traced runs produce byte-identical exports, whether they
+   execute serially or fanned out across domains (the --jobs contract,
+   extended to the event stream). *)
+let test_export_determinism_across_domains () =
+  let serial = chrome_of (run_with ~obs:obs_all (db ~scale:2)).Runtime.sys in
+  let parallel =
+    Parallel.map ~jobs:4
+      (fun () -> chrome_of (run_with ~obs:obs_all (db ~scale:2)).Runtime.sys)
+      [ (); (); (); () ]
+  in
+  List.iteri
+    (fun i t ->
+      Alcotest.(check string)
+        (Printf.sprintf "domain %d matches the serial export" i)
+        serial t)
+    parallel
+
+let suite =
+  [
+    Alcotest.test_case "ring capacity and drops" `Quick test_ring_and_drops;
+    Alcotest.test_case "probe charges the clock" `Quick
+      test_probe_charges_clock;
+    Alcotest.test_case "tracing does not perturb metrics" `Quick
+      test_metrics_unchanged_when_traced;
+    Alcotest.test_case "reconciliation (sync)" `Quick
+      test_reconciliation_sync;
+    Alcotest.test_case "reconciliation (async server)" `Quick
+      test_reconciliation_async;
+    Alcotest.test_case "sync runs have no overlap" `Quick
+      test_sync_run_has_no_overlap;
+    Alcotest.test_case "probe-on-clock cost model" `Quick test_probe_on_clock;
+    Alcotest.test_case "provenance completeness" `Quick
+      test_provenance_completeness;
+    Alcotest.test_case "provenance queries" `Quick test_provenance_at_query;
+    Alcotest.test_case "cprof sample accounting" `Quick test_cprof_accounting;
+    Alcotest.test_case "export shapes" `Quick test_export_shapes;
+    Alcotest.test_case "export determinism across domains" `Quick
+      test_export_determinism_across_domains;
+  ]
