@@ -3,15 +3,26 @@
    totals — one command to spot a performance regression after a change.
 
      compare.exe OLD.json NEW.json [--all] [--old-run N] [--new-run N]
+                 [--allow-cross-tier]
 
    By default the *last* run of each file is compared (a results file is
    a trajectory; see results.ml). Wall-clock deltas are informational —
    the host is noisy — but a total_cycles mismatch between runs at the
    same scale factor means the simulated execution itself changed, which
-   the determinism contract forbids; that exits non-zero. *)
+   the determinism contract forbids; that exits non-zero.
+
+   Runs carry the execution tier they ran on ("interp" or "closure").
+   Comparing wall-clock across tiers at the same scale answers a
+   different question than a regression check — the delta is the tier
+   speedup, not a change in the code under test — so by default such a
+   comparison is refused; --allow-cross-tier runs it anyway (the cycle
+   identity between tiers still holds and is still enforced). When both
+   runs recorded a host-time calibration section, the per-tier
+   ns-per-virtual-cycle drift is reported informationally. *)
 
 let usage =
-  "usage: compare.exe OLD.json NEW.json [--all] [--old-run N] [--new-run N]"
+  "usage: compare.exe OLD.json NEW.json [--all] [--old-run N] [--new-run N] \
+   [--allow-cross-tier]"
 
 let die fmt = Format.kasprintf (fun m -> prerr_endline m; exit 2) fmt
 
@@ -21,11 +32,19 @@ type opts = {
   mutable all : bool;
   mutable old_run : int option;  (* index into the trajectory; default last *)
   mutable new_run : int option;
+  mutable allow_cross_tier : bool;
 }
 
 let parse_args () =
   let o =
-    { old_file = None; new_file = None; all = false; old_run = None; new_run = None }
+    {
+      old_file = None;
+      new_file = None;
+      all = false;
+      old_run = None;
+      new_run = None;
+      allow_cross_tier = false;
+    }
   in
   let int_arg name v =
     match int_of_string_opt v with
@@ -36,6 +55,9 @@ let parse_args () =
     | [] -> ()
     | "--all" :: rest ->
         o.all <- true;
+        go rest
+    | "--allow-cross-tier" :: rest ->
+        o.allow_cross_tier <- true;
         go rest
     | "--old-run" :: v :: rest ->
         o.old_run <- Some (int_arg "--old-run" v);
@@ -72,12 +94,14 @@ let () =
   let o, old_path, new_path = parse_args () in
   let old_run, old_i, old_n = load old_path o.old_run in
   let new_run, new_i, new_n = load new_path o.new_run in
-  Printf.printf "old: %s (run %d/%d)  jobs %d  scale %g  wall_total %.2fs\n"
+  Printf.printf
+    "old: %s (run %d/%d)  jobs %d  scale %g  tier %s  wall_total %.2fs\n"
     old_path old_i (old_n - 1) old_run.Results.jobs old_run.Results.scale_factor
-    old_run.Results.wall_total_s;
-  Printf.printf "new: %s (run %d/%d)  jobs %d  scale %g  wall_total %.2fs\n"
+    old_run.Results.tier old_run.Results.wall_total_s;
+  Printf.printf
+    "new: %s (run %d/%d)  jobs %d  scale %g  tier %s  wall_total %.2fs\n"
     new_path new_i (new_n - 1) new_run.Results.jobs new_run.Results.scale_factor
-    new_run.Results.wall_total_s;
+    new_run.Results.tier new_run.Results.wall_total_s;
   let same_scale =
     old_run.Results.scale_factor = new_run.Results.scale_factor
   in
@@ -85,6 +109,50 @@ let () =
     print_endline
       "note: scale factors differ — cycle counts are not comparable, only \
        reporting wall-clock";
+  (* A wall-clock diff across execution tiers at equal scale measures the
+     tier speedup, not a regression in the code under test — almost never
+     what a comparison is for, so refuse unless explicitly overridden.
+     (Cycle identity across tiers is part of the determinism contract and
+     is still enforced below when the comparison proceeds.) *)
+  if
+    same_scale
+    && old_run.Results.tier <> new_run.Results.tier
+    && not o.allow_cross_tier
+  then
+    die
+      "refusing to compare runs from different execution tiers (%s vs %s) at \
+       equal scale: the wall-clock delta would measure the tier, not the \
+       change under test. Pass --allow-cross-tier to compare anyway."
+      old_run.Results.tier new_run.Results.tier;
+  (* Cost-model drift: when both runs measured host time per charged
+     virtual cycle, report how much each tier's measured cost moved.
+     Informational only — the host is noisy — but a large drift means
+     wall-clock comparisons against older trajectory points are suspect. *)
+  (match (old_run.Results.calibration, new_run.Results.calibration) with
+  | [], _ | _, [] -> ()
+  | old_cal, new_cal ->
+      Printf.printf "\ncalibration drift (host ns per charged virtual cycle):\n";
+      List.iter
+        (fun (nk : Results.calib) ->
+          let ns (k : Results.calib) =
+            if k.Results.k_cycles = 0 then 0.0
+            else k.Results.k_host_s *. 1e9 /. float_of_int k.Results.k_cycles
+          in
+          match
+            List.find_opt
+              (fun (ok : Results.calib) ->
+                ok.Results.k_tier = nk.Results.k_tier)
+              old_cal
+          with
+          | Some ok ->
+              let o_ns = ns ok and n_ns = ns nk in
+              Printf.printf "  %-8s %8.2f -> %8.2f ns/cycle (%+.1f%%)\n"
+                nk.Results.k_tier o_ns n_ns
+                (if o_ns > 0.0 then (n_ns -. o_ns) /. o_ns *. 100.0 else 0.0)
+          | None ->
+              Printf.printf "  %-8s (new)  %8.2f ns/cycle\n" nk.Results.k_tier
+                (ns nk))
+        new_cal);
   let old_cells = Hashtbl.create 64 in
   List.iter
     (fun (c : Results.cell) ->

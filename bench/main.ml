@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- --trace      traced per-component sweep
      dune exec bench/main.exe -- --micro      bechamel microbenchmarks
      dune exec bench/main.exe -- --jobs 8     domain-parallel driver
+     dune exec bench/main.exe -- --no-native-tier   interpreter tier only
      dune exec bench/main.exe -- --json       append run to BENCH_results.json
      dune exec bench/main.exe -- --json-out F append run to F instead
      dune exec bench/compare.exe A.json B.json   diff two results files
@@ -38,6 +39,25 @@ type mode = {
   mutable json : bool;
   mutable json_path : string;
 }
+
+(* Execution-tier selection for every run the harness performs.
+   --no-native-tier keeps all methods on the interpreter tier; the
+   printed numbers are byte-identical either way (the closure tier is a
+   host-speed change only — test_tier pins this), so the flag exists to
+   measure the host-time difference and to let compare.exe label runs
+   with the tier they executed on. *)
+let native_tier = ref true
+
+let tier_name () = if !native_tier then "closure" else "interp"
+
+let config ~policy =
+  let cfg = Config.default ~policy in
+  if !native_tier then cfg
+  else
+    {
+      cfg with
+      Config.aos = { cfg.Config.aos with Acsi_aos.System.native_tier = false };
+    }
 
 let parse_args () =
   let m =
@@ -118,6 +138,12 @@ let parse_args () =
             Format.eprintf "invalid --jobs value %s@." n;
             exit 2);
         go rest
+    | "--native-tier" :: rest ->
+        native_tier := true;
+        go rest
+    | "--no-native-tier" :: rest ->
+        native_tier := false;
+        go rest
     | "--json" :: rest ->
         m.json <- true;
         go rest
@@ -189,7 +215,7 @@ let cached_run ?cfg bench policy program =
   | Some r -> r
   | None ->
       let cfg =
-        match cfg with Some c -> c | None -> Config.default ~policy
+        match cfg with Some c -> c | None -> config ~policy
       in
       let r = Runtime.run cfg program in
       remember ~bench ~policy r;
@@ -206,7 +232,7 @@ let sweep mode =
           (fun (name, program) -> { Experiment.name; program })
           (Workloads.build_all ~scale_factor:mode.scale_factor ())
       in
-      let cfg = Config.default ~policy:Policy.Context_insensitive in
+      let cfg = config ~policy:Policy.Context_insensitive in
       (* Termination-stat collection only increments counters on the
          trace listener — no virtual-time or decision effect — so every
          figure is unchanged, and the fixed(max=5) cells double as the
@@ -246,7 +272,7 @@ let term_stats mode =
   let rows =
     Parallel.map ~jobs:mode.jobs
       (fun (name, program) ->
-        let cfg = Config.default ~policy:(Policy.Fixed 5) in
+        let cfg = config ~policy:(Policy.Fixed 5) in
         let cfg =
           {
             cfg with
@@ -283,7 +309,7 @@ let ablations mode =
   in
   let run ?(tweak_aos = fun c -> c) ?(tweak_oracle = fun c -> c) program
       policy =
-    let cfg = Config.default ~policy in
+    let cfg = config ~policy in
     let aos = tweak_aos cfg.Config.aos in
     let aos =
       {
@@ -353,7 +379,7 @@ let ablations mode =
            program (Policy.Fixed 3));
       (* Offline profile-directed inlining: seed the run with the profile a
          previous identical run collected (see Acsi_profile.Persist). *)
-      let cfg = Config.default ~policy:(Policy.Fixed 3) in
+      let cfg = config ~policy:(Policy.Fixed 3) in
       let collect = cached_run name (Policy.Fixed 3) program in
       let profile =
         Acsi_profile.Persist.of_string
@@ -404,7 +430,7 @@ let extended mode =
         in
         let program = spec.Workloads.build ~scale in
         let base =
-          (Runtime.run (Config.default ~policy:Policy.Context_insensitive)
+          (Runtime.run (config ~policy:Policy.Context_insensitive)
              program)
             .Runtime.metrics
         in
@@ -413,7 +439,7 @@ let extended mode =
         List.iter
           (fun policy ->
             let m =
-              (Runtime.run (Config.default ~policy) program).Runtime.metrics
+              (Runtime.run (config ~policy) program).Runtime.metrics
             in
             Format.fprintf fmt
               "  %-18s speedup %+7.2f%%  code %+8.2f%%  compile %+8.2f%%               guards %d/%d@."
@@ -454,7 +480,7 @@ let serve_mode mode =
             ~mode:
               (Acsi_server.Server.Closed
                  { clients = 4; requests_per_client = 6; think = 50_000 })
-            ~name (Config.default ~policy) program
+            ~name (config ~policy) program
         in
         let s = result.Acsi_server.Server.summary in
         let text =
@@ -504,7 +530,7 @@ let traced_components mode =
                (mode.scale_factor *. float_of_int spec.Workloads.default_scale))
         in
         let program = spec.Workloads.build ~scale in
-        let cfg = Config.default ~policy in
+        let cfg = config ~policy in
         let cfg =
           {
             cfg with
@@ -520,7 +546,7 @@ let traced_components mode =
               };
           }
         in
-        let result = Runtime.run cfg program in
+        let result = Runtime.run ~calibrate:true cfg program in
         let sys = result.Runtime.sys in
         let tracer = Acsi_aos.System.tracer sys in
         let totals = Acsi_obs.Export.track_totals tracer in
@@ -554,13 +580,52 @@ let traced_components mode =
             Results.c_bench = bench;
             c_policy = Policy.to_string policy;
             c_components = rows;
-          } ))
+          },
+          Acsi_vm.Interp.calibration result.Runtime.vm ))
       (List.concat_map
          (fun b -> List.map (fun p -> (b, p)) policies)
          benches)
   in
-  List.iter (fun (text, _) -> print_string text) cells;
-  List.map snd cells
+  List.iter (fun (text, _, _) -> print_string text) cells;
+  (* Host-time calibration, aggregated over the traced cells: how many
+     nanoseconds of host time one charged virtual cycle costs on each
+     execution tier. This is the measured (not assumed) cost model the
+     closure tier's speedup claim rests on. Host time is
+     nondeterministic, so the table goes to stderr with the other
+     diagnostics — stdout stays byte-stable — and to the results file's
+     "calibration" section for compare.exe to track drift. *)
+  let buckets = Hashtbl.create 4 in
+  List.iter
+    (fun (_, _, cal) ->
+      List.iter
+        (fun (tier, cycles, host_s) ->
+          let c0, s0 =
+            match Hashtbl.find_opt buckets tier with
+            | Some (c, s) -> (c, s)
+            | None -> (0, 0.0)
+          in
+          Hashtbl.replace buckets tier (c0 + cycles, s0 +. host_s))
+        cal)
+    cells;
+  let calibration =
+    List.filter_map
+      (fun tier ->
+        match Hashtbl.find_opt buckets tier with
+        | Some (cycles, host_s) when cycles > 0 ->
+            Some { Results.k_tier = tier; k_cycles = cycles; k_host_s = host_s }
+        | Some _ | None -> None)
+      [ "interp"; "closure"; "system" ]
+  in
+  Format.eprintf
+    "  [calibration] host ns per charged virtual cycle, over %d traced cells:@."
+    (List.length cells);
+  List.iter
+    (fun (k : Results.calib) ->
+      Format.eprintf "  [calibration]   %-8s %12d cycles  %8.3fs  %8.2f ns/cycle@."
+        k.Results.k_tier k.Results.k_cycles k.Results.k_host_s
+        (k.Results.k_host_s *. 1e9 /. float_of_int k.Results.k_cycles))
+    calibration;
+  (List.map (fun (_, c, _) -> c) cells, calibration)
 
 (* --- machine-readable results: per-cell wall-clock + virtual cycles --- *)
 
@@ -571,7 +636,8 @@ let traced_components mode =
    file is a trajectory — each invocation appends its run, so the
    wall-clock history survives in one file and compare.exe can diff any
    two points of it (see results.ml). *)
-let write_json mode (s : Experiment.sweep option) server components =
+let write_json mode (s : Experiment.sweep option) server components calibration
+    =
   let path = mode.json_path in
   let wall_total_s, cells =
     match s with
@@ -593,9 +659,11 @@ let write_json mode (s : Experiment.sweep option) server components =
       Results.jobs = mode.jobs;
       scale_factor = mode.scale_factor;
       wall_total_s;
+      tier = tier_name ();
       cells;
       server;
       components;
+      calibration;
     }
   in
   let prior =
@@ -634,7 +702,7 @@ let micro () =
   let fig4_kernel =
     Test.make ~name:"fig4/adaptive-run"
       (Staged.stage (fun () ->
-           ignore (Runtime.run (Config.default ~policy:(Policy.Fixed 3)) jess)))
+           ignore (Runtime.run (config ~policy:(Policy.Fixed 3)) jess)))
   in
   (* Figure 5 kernel: inline expansion + code-size accounting. *)
   let oracle = Acsi_jit.Oracle.create program in
@@ -732,11 +800,13 @@ let () =
     extended mode
   end;
   let server_cells = if mode.serve then serve_mode mode else [] in
-  let component_cells = if mode.trace then traced_components mode else [] in
+  let component_cells, calibration =
+    if mode.trace then traced_components mode else ([], [])
+  in
   if mode.micro then micro ();
   if
     mode.json
     && (Option.is_some !the_sweep || server_cells <> []
        || component_cells <> [])
-  then write_json mode !the_sweep server_cells component_cells;
+  then write_json mode !the_sweep server_cells component_cells calibration;
   Format.printf "@.done.@."

@@ -37,14 +37,31 @@ type ccell = {
       (* component name -> cycles, in canonical Accounting order *)
 }
 
+(* Host-time calibration for one execution-tier bucket: how many virtual
+   cycles were charged by that tier's windows and how much host time they
+   took. ns-per-virtual-cycle is derived, not stored. Host seconds are
+   informational (the host is noisy) — only the bench's --trace mode
+   records these. *)
+type calib = {
+  k_tier : string; (* "interp" | "closure" | "system" *)
+  k_cycles : int;
+  k_host_s : float;
+}
+
 type run = {
   jobs : int;
   scale_factor : float;
   wall_total_s : float;
+  tier : string;
+      (* execution tier the sweep ran on: "closure" (the default
+         second tier) or "interp" (--no-native-tier); absent in files
+         written before the tier existed, which reads as "interp" *)
   cells : cell list;
   server : scell list;
       (* empty for runs recorded before server mode existed *)
   components : ccell list;
+      (* empty for runs recorded without --trace *)
+  calibration : calib list;
       (* empty for runs recorded without --trace *)
 }
 
@@ -254,11 +271,27 @@ let ccell_of_json j =
       | _ -> raise (Parse_error "expected an object of component cycles"));
   }
 
+let calib_of_json j =
+  {
+    k_tier = str (field "tier" j);
+    k_cycles = int_of_float (num (field "cycles" j));
+    k_host_s = num (field "host_s" j);
+  }
+
 let run_of_json j =
   {
     jobs = int_of_float (num (field "jobs" j));
     scale_factor = num (field "scale_factor" j);
     wall_total_s = num (field "wall_total_s" j);
+    tier =
+      (* Absent in files written before the closure tier existed: those
+         runs executed on the interpreter. *)
+      (match j with
+      | Obj kvs -> (
+          match List.assoc_opt "tier" kvs with
+          | None | Some Null -> "interp"
+          | Some v -> str v)
+      | _ -> "interp");
     cells =
       (match field "cells" j with
       | Arr cells -> List.map cell_of_json cells
@@ -282,6 +315,16 @@ let run_of_json j =
           | Some (Arr ccells) -> List.map ccell_of_json ccells
           | Some _ ->
               raise (Parse_error "expected an array under \"components\""))
+      | _ -> []);
+    calibration =
+      (* Absent in files written without a traced sweep. *)
+      (match j with
+      | Obj kvs -> (
+          match List.assoc_opt "calibration" kvs with
+          | None | Some Null -> []
+          | Some (Arr cs) -> List.map calib_of_json cs
+          | Some _ ->
+              raise (Parse_error "expected an array under \"calibration\""))
       | _ -> []);
   }
 
@@ -323,8 +366,9 @@ let output_run oc r ~last =
     \      \"jobs\": %d,\n\
     \      \"scale_factor\": %g,\n\
     \      \"wall_total_s\": %.6f,\n\
+    \      \"tier\": \"%s\",\n\
     \      \"cells\": [\n"
-    r.jobs r.scale_factor r.wall_total_s;
+    r.jobs r.scale_factor r.wall_total_s (json_escape r.tier);
   let last_cell = List.length r.cells - 1 in
   List.iteri
     (fun i c ->
@@ -369,6 +413,19 @@ let output_run oc r ~last =
           c.c_components;
         Printf.fprintf oc "}}%s\n" (if i = last_c then "" else ","))
       r.components;
+    Printf.fprintf oc "      ]"
+  end;
+  (* Likewise only written when --trace measured host time per tier. *)
+  if r.calibration <> [] then begin
+    Printf.fprintf oc ",\n      \"calibration\": [\n";
+    let last_k = List.length r.calibration - 1 in
+    List.iteri
+      (fun i k ->
+        Printf.fprintf oc
+          "        {\"tier\": \"%s\", \"cycles\": %d, \"host_s\": %.6f}%s\n"
+          (json_escape k.k_tier) k.k_cycles k.k_host_s
+          (if i = last_k then "" else ","))
+      r.calibration;
     Printf.fprintf oc "      ]"
   end;
   Printf.fprintf oc "\n    }%s\n" (if last then "" else ",")

@@ -55,8 +55,20 @@ let verify_program program =
       Format.eprintf "%s@." (Acsi_analysis.Diag.to_string d);
       false
 
+(* --native-tier / --no-native-tier: [None] keeps the config default
+   (tier on). Purely a host-speed knob — metrics and output are
+   bit-identical either way, which `--no-native-tier` exists to check. *)
+let apply_tier tier (cfg : Config.t) =
+  match tier with
+  | None -> cfg
+  | Some b ->
+      {
+        cfg with
+        Config.aos = { cfg.Config.aos with Acsi_aos.System.native_tier = b };
+      }
+
 let run_one ~bench ~file ~policy_str ~scale ~compare_baseline
-    ~show_compilations ~disasm ~jobs ~verify =
+    ~show_compilations ~disasm ~jobs ~verify ~tier =
   match Acsi_policy.Policy.of_string policy_str with
   | None ->
       Format.eprintf
@@ -98,12 +110,16 @@ let run_one ~bench ~file ~policy_str ~scale ~compare_baseline
             if compare_baseline && jobs > 1 then
               match
                 Parallel.map ~jobs
-                  (fun policy -> Runtime.run (Config.default ~policy) program)
+                  (fun policy ->
+                    Runtime.run (apply_tier tier (Config.default ~policy))
+                      program)
                   [ policy; Acsi_policy.Policy.Context_insensitive ]
               with
               | [ r; b ] -> (r, Some b)
               | _ -> assert false
-            else (Runtime.run (Config.default ~policy) program, None)
+            else
+              (Runtime.run (apply_tier tier (Config.default ~policy)) program,
+               None)
           in
           (match file with
           | Some path -> Format.printf "%s:@.%a@." path Metrics.pp result.Runtime.metrics
@@ -135,8 +151,9 @@ let run_one ~bench ~file ~policy_str ~scale ~compare_baseline
                | Some base -> base
                | None ->
                    Runtime.run
-                     (Config.default
-                        ~policy:Acsi_policy.Policy.Context_insensitive)
+                     (apply_tier tier
+                        (Config.default
+                           ~policy:Acsi_policy.Policy.Context_insensitive))
                      program
              in
              let bm = base.Runtime.metrics in
@@ -229,17 +246,34 @@ let verify_flag =
             info [ "no-verify" ] ~doc:"Skip pre-run typed verification." );
         ])
 
+let tier_flag =
+  Arg.(
+    value
+    & vflag None
+        [
+          ( Some true,
+            info [ "native-tier" ]
+              ~doc:
+                "Execute optimized methods on the closure-compiled second \
+                 tier (the default)." );
+          ( Some false,
+            info [ "no-native-tier" ]
+              ~doc:
+                "Interpreter tier only; metrics and output are identical, \
+                 only host time changes." );
+        ])
+
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
 
 let main list_only verbose bench file policy scale compare_baseline
-    show_compilations disasm jobs verify =
+    show_compilations disasm jobs verify tier =
   setup_logs verbose;
   if list_only then list_benchmarks ()
   else
     run_one ~bench ~file ~policy_str:policy ~scale ~compare_baseline
-      ~show_compilations ~disasm ~jobs ~verify
+      ~show_compilations ~disasm ~jobs ~verify ~tier
 
 (* --- trace / explain: the observability subcommands (lib/obs) --- *)
 
@@ -275,8 +309,8 @@ let qualified_name program mid =
   let c = Acsi_bytecode.Program.clazz program m.Acsi_bytecode.Meth.owner in
   c.Acsi_bytecode.Clazz.name ^ "." ^ m.Acsi_bytecode.Meth.name
 
-let run_with_obs ~policy ~obs program =
-  let cfg = Config.default ~policy in
+let run_with_obs ~policy ~obs ~tier program =
+  let cfg = apply_tier tier (Config.default ~policy) in
   Runtime.run
     { cfg with Config.aos = { cfg.Config.aos with Acsi_aos.System.obs } }
     program
@@ -293,7 +327,7 @@ let write_buffer path buf =
    reconciliation check: with no ring drops, every AOS component's summed
    span durations must equal its Accounting total exactly. *)
 let trace_one ~bench ~file ~policy_str ~scale ~out ~jsonl ~flame ~min_pct
-    ~capacity ~probe_on_clock =
+    ~capacity ~probe_on_clock ~tier =
   match Acsi_policy.Policy.of_string policy_str with
   | None ->
       Format.eprintf "unknown policy %S@." policy_str;
@@ -311,7 +345,7 @@ let trace_one ~bench ~file ~policy_str ~scale ~out ~jsonl ~flame ~min_pct
               probe_on_clock;
             }
           in
-          let result = run_with_obs ~policy ~obs program in
+          let result = run_with_obs ~policy ~obs ~tier program in
           let sys = result.Runtime.sys in
           let m = result.Runtime.metrics in
           let tracer = Acsi_aos.System.tracer sys in
@@ -387,7 +421,7 @@ let trace_one ~bench ~file ~policy_str ~scale ~out ~jsonl ~flame ~min_pct
    provenance sink installed and print every recorded inline decision —
    optionally restricted to call sites in one method (matched by
    unqualified or "Cls.name" qualified name), or to one call-site pc. *)
-let explain_one ~bench ~file ~policy_str ~scale ~query =
+let explain_one ~bench ~file ~policy_str ~scale ~query ~tier =
   match Acsi_policy.Policy.of_string policy_str with
   | None ->
       Format.eprintf "unknown policy %S@." policy_str;
@@ -399,7 +433,7 @@ let explain_one ~bench ~file ~policy_str ~scale ~query =
           let obs =
             { Acsi_obs.Control.off with Acsi_obs.Control.provenance = true }
           in
-          let result = run_with_obs ~policy ~obs program in
+          let result = run_with_obs ~policy ~obs ~tier program in
           let sys = result.Runtime.sys in
           match Acsi_aos.System.provenance sys with
           | None ->
@@ -498,6 +532,29 @@ let explain_one ~bench ~file ~policy_str ~scale ~query =
                     "@.%d decisions shown of %d recorded (%d inlined, %d \
                      refused)@."
                     (List.length decisions) total inlined refused;
+                  (* The orthogonal decision axis: what happened when each
+                     installed optimized method was promoted to (or kept
+                     off) the closure execution tier. Only shown for
+                     whole-program queries — tier decisions are
+                     per-method, not per-call-site. *)
+                  (if query = None && Acsi_obs.Provenance.tier_count prov > 0
+                   then begin
+                     Format.printf "@.Execution-tier decisions:@.";
+                     List.iter
+                       (fun td ->
+                         Format.printf "%a@."
+                           (Acsi_obs.Provenance.pp_tier_decision ~name)
+                           td)
+                       (Acsi_obs.Provenance.tier_all prov);
+                     let compiled, rejected, fell_back =
+                       Acsi_obs.Provenance.tier_outcome_counts prov
+                     in
+                     Format.printf
+                       "%d tier decisions (%d compiled, %d rejected, %d fell \
+                        back)@."
+                       (Acsi_obs.Provenance.tier_count prov)
+                       compiled rejected fell_back
+                   end);
                   0)))
 
 (* `acsi-run lint [FILES]`: typed verification plus dead-code and
@@ -692,7 +749,7 @@ let run_cmd_term =
   Term.(
     const main $ list_arg $ verbose_arg $ bench_arg $ file_arg $ policy_arg
     $ scale_arg $ compare_arg $ compilations_arg $ disasm_arg $ jobs_arg
-    $ verify_flag)
+    $ verify_flag $ tier_flag)
 
 let lint_cmd =
   let doc =
@@ -747,10 +804,10 @@ let trace_probe_arg =
            clock, making the tracing overhead itself visible to the run.")
 
 let trace_main verbose bench file policy scale out jsonl flame min_pct
-    capacity probe_on_clock =
+    capacity probe_on_clock tier =
   setup_logs verbose;
   trace_one ~bench ~file ~policy_str:policy ~scale ~out ~jsonl ~flame
-    ~min_pct ~capacity ~probe_on_clock
+    ~min_pct ~capacity ~probe_on_clock ~tier
 
 let trace_cmd =
   let doc =
@@ -761,7 +818,7 @@ let trace_cmd =
     Term.(
       const trace_main $ verbose_arg $ bench_arg $ file_arg $ policy_arg
       $ scale_arg $ trace_out_arg $ trace_jsonl_arg $ trace_flame_arg
-      $ trace_min_pct_arg $ trace_capacity_arg $ trace_probe_arg)
+      $ trace_min_pct_arg $ trace_capacity_arg $ trace_probe_arg $ tier_flag)
 
 let explain_query_arg =
   Arg.(
@@ -773,9 +830,9 @@ let explain_query_arg =
            site in this method (unqualified or Cls.name), optionally at \
            exactly the given bytecode pc. All decisions when omitted.")
 
-let explain_main verbose bench file policy scale query =
+let explain_main verbose bench file policy scale query tier =
   setup_logs verbose;
-  explain_one ~bench ~file ~policy_str:policy ~scale ~query
+  explain_one ~bench ~file ~policy_str:policy ~scale ~query ~tier
 
 let explain_cmd =
   let doc =
@@ -785,7 +842,7 @@ let explain_cmd =
   Cmd.v (Cmd.info "explain" ~doc)
     Term.(
       const explain_main $ verbose_arg $ bench_arg $ file_arg $ policy_arg
-      $ scale_arg $ explain_query_arg)
+      $ scale_arg $ explain_query_arg $ tier_flag)
 
 let cmd =
   let doc =

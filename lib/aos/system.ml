@@ -27,6 +27,11 @@ type config = {
   trace_on_timer : bool;
   enable_osr : bool;
   verify_installed : bool;
+  native_tier : bool;
+      (** compile [Jit_check]-clean optimized methods onto the closure
+          execution tier ({!Acsi_vm.Tier}); purely a host-speed change —
+          virtual cycles, output and all decisions are bit-identical
+          either way *)
   collect_termination_stats : bool;
   async_compile : bool;
   obs : Acsi_obs.Control.config;
@@ -53,6 +58,7 @@ let default_config policy =
     trace_on_timer = false;
     enable_osr = false;
     verify_installed = true;
+    native_tier = true;
     collect_termination_stats = false;
     async_compile = false;
     obs = Acsi_obs.Control.off;
@@ -467,6 +473,44 @@ let install_compiled t mid code stats ~rule_stamp =
   if t.cfg.verify_installed then
     Acsi_analysis.Jit_check.check_exn t.program code;
   Interp.install_code t.vm mid code;
+  (* Closure-tier promotion, gated on {!Acsi_analysis.Jit_check}: the
+     tier's closures inherit the interpreter's verifier-bounded unsafe
+     accesses, so code must re-verify to be promoted — a rejected method
+     simply stays on the interpreter tier. When [verify_installed] is on,
+     the [check_exn] above already is that gate (install would have
+     aborted on a finding); otherwise the gate runs here, demoted from
+     exception to tier refusal. Like the re-verification, tier compilation
+     is host-side work the modeled system doesn't perform: no virtual
+     cycles are charged, so the flag can never perturb timer samples or
+     reported totals. *)
+  (if t.cfg.native_tier then
+     let record outcome =
+       match t.obs.Acsi_obs.Control.prov with
+       | Some prov -> Acsi_obs.Provenance.add_tier prov mid outcome
+       | None -> ()
+     in
+     let gate =
+       if t.cfg.verify_installed then []
+       else Acsi_analysis.Jit_check.check t.program code
+     in
+     match gate with
+     | d :: _ ->
+         Log.info (fun m ->
+             m "closure tier rejected %s: %s"
+               (Program.meth t.program mid).Meth.name
+               (Acsi_analysis.Diag.to_string d));
+         record
+           (Acsi_obs.Provenance.Tier_rejected (Acsi_analysis.Diag.to_string d))
+     | [] -> (
+         match Acsi_vm.Tier.install t.vm mid code with
+         | () -> record Acsi_obs.Provenance.Tier_compiled
+         | exception exn ->
+             Log.warn (fun m ->
+                 m "closure tier failed on %s, staying on interpreter: %s"
+                   (Program.meth t.program mid).Meth.name
+                   (Printexc.to_string exn));
+             record
+               (Acsi_obs.Provenance.Tier_fell_back (Printexc.to_string exn))));
   if t.cfg.enable_osr then ignore (Interp.osr t.vm mid);
   Registry.record t.registry mid stats ~rule_stamp;
   Db.record_compilation t.db
@@ -629,7 +673,32 @@ let on_first_execution t mid =
     + (units * t.cost.Cost.baseline_compile_unit));
   t.baseline_methods <- t.baseline_methods + 1;
   t.baseline_bytes <-
-    t.baseline_bytes + (units * t.cost.Cost.baseline_bytes_per_unit)
+    t.baseline_bytes + (units * t.cost.Cost.baseline_bytes_per_unit);
+  (* Lazy baseline compilation also targets the closure tier: the gate
+     here is the verification pass {!Acsi_vm.Tier.compile} runs internally
+     (its [Verify.entry_depths] worklist raises on anything the full
+     verifier would reject), so an unverifiable body silently stays on
+     the interpreter tier and fails dynamically exactly as before. The
+     hook fires before the frame is pushed, so even the first invocation
+     runs on the closures. Host-side work only — no virtual charge beyond
+     the baseline-compile cost above, which is tier-independent. *)
+  if t.cfg.native_tier then
+    match Acsi_vm.Tier.install t.vm mid (Interp.code_of t.vm mid) with
+    | () -> (
+        match t.obs.Acsi_obs.Control.prov with
+        | Some prov ->
+            Acsi_obs.Provenance.add_tier prov mid
+              Acsi_obs.Provenance.Tier_compiled
+        | None -> ())
+    | exception exn -> (
+        Log.debug (fun f ->
+            f "closure tier skipped baseline %s: %s" m.Meth.name
+              (Printexc.to_string exn));
+        match t.obs.Acsi_obs.Control.prov with
+        | Some prov ->
+            Acsi_obs.Provenance.add_tier prov mid
+              (Acsi_obs.Provenance.Tier_fell_back (Printexc.to_string exn))
+        | None -> ())
 
 let create ?profile cfg vm =
   let program = Interp.program vm in

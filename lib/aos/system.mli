@@ -60,6 +60,14 @@ type config = {
           guard-domination and OSR invariants. A debug-build safety net,
           so the work happens outside the virtual clock — toggling it
           never changes cycle counts. Default [true]. *)
+  native_tier : bool;
+      (** second execution tier: compile each installed optimized method
+          into closure/threaded code ({!Acsi_vm.Tier}), gated on the same
+          {!Acsi_analysis.Jit_check} verification — a method that fails
+          the gate stays on the interpreter tier (recorded in provenance
+          as the tier-decision axis). Purely a host-speed change: virtual
+          cycles, stdout, and every adaptive decision are bit-identical
+          with the flag on or off. Default [true]. *)
   collect_termination_stats : bool;
   async_compile : bool;
       (** compile on a background virtual thread whose cycles overlap

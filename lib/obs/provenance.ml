@@ -20,20 +20,57 @@ type info = {
 
 type decision = { d_seq : int; d_cycle : int; d_info : info }
 
+type tier_outcome =
+  | Tier_compiled
+  | Tier_rejected of string
+  | Tier_fell_back of string
+
+type tier_decision = {
+  td_seq : int;
+  td_cycle : int;
+  td_meth : Ids.Method_id.t;
+  td_outcome : tier_outcome;
+}
+
 type t = {
   now : unit -> int;
   mutable rev : decision list;
   mutable count : int;
+  mutable tier_rev : tier_decision list;
+  mutable tier_count : int;
 }
 
-let create ?(now = fun () -> 0) () = { now; rev = []; count = 0 }
+let create ?(now = fun () -> 0) () =
+  { now; rev = []; count = 0; tier_rev = []; tier_count = 0 }
 
 let add t info =
   t.rev <- { d_seq = t.count; d_cycle = t.now (); d_info = info } :: t.rev;
   t.count <- t.count + 1
 
+let add_tier t meth outcome =
+  t.tier_rev <-
+    {
+      td_seq = t.tier_count;
+      td_cycle = t.now ();
+      td_meth = meth;
+      td_outcome = outcome;
+    }
+    :: t.tier_rev;
+  t.tier_count <- t.tier_count + 1
+
 let count t = t.count
 let all t = List.rev t.rev
+let tier_count t = t.tier_count
+let tier_all t = List.rev t.tier_rev
+
+let tier_outcome_counts t =
+  List.fold_left
+    (fun (c, r, f) d ->
+      match d.td_outcome with
+      | Tier_compiled -> (c + 1, r, f)
+      | Tier_rejected _ -> (c, r + 1, f)
+      | Tier_fell_back _ -> (c, r, f + 1))
+    (0, 0, 0) t.tier_rev
 
 let at t ~(caller : Ids.Method_id.t) ?callsite () =
   List.filter
@@ -85,3 +122,13 @@ let pp_decision ~name fmt d =
      %d, root %s@]"
     i.i_est i.i_expanded_units i.i_budget_limit i.i_budget_ext_limit
     i.i_inline_depth (name i.i_root)
+
+let pp_tier_decision ~name fmt d =
+  let verdict =
+    match d.td_outcome with
+    | Tier_compiled -> "closure-tier COMPILED"
+    | Tier_rejected why -> "closure-tier rejected: " ^ why
+    | Tier_fell_back why -> "closure-tier fell back: " ^ why
+  in
+  Format.fprintf fmt "tier #%d @@%d cycles  %s  %s" d.td_seq d.td_cycle
+    (name d.td_meth) verdict

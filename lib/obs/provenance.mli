@@ -57,6 +57,28 @@ type decision = private {
   d_info : info;
 }
 
+(** {2 Execution-tier decisions}
+
+    A second reason axis, orthogonal to inlining: what happened when the
+    AOS tried to move a freshly installed optimized method onto the
+    closure execution tier. *)
+
+type tier_outcome =
+  | Tier_compiled  (** closure-tier code installed *)
+  | Tier_rejected of string
+      (** the [Jit_check] install gate refused the code (first
+          diagnostic); the method stays on the interpreter tier *)
+  | Tier_fell_back of string
+      (** the tier compiler itself failed; the method stays on the
+          interpreter tier *)
+
+type tier_decision = private {
+  td_seq : int;  (** 0-based emission order, separate from inline seq *)
+  td_cycle : int;  (** virtual cycle at the decision *)
+  td_meth : Ids.Method_id.t;
+  td_outcome : tier_outcome;
+}
+
 type t
 
 val create : ?now:(unit -> int) -> unit -> t
@@ -65,9 +87,18 @@ val create : ?now:(unit -> int) -> unit -> t
 
 val add : t -> info -> unit
 
+val add_tier : t -> Ids.Method_id.t -> tier_outcome -> unit
+
 val count : t -> int
 val all : t -> decision list
 (** Emission order. *)
+
+val tier_count : t -> int
+val tier_all : t -> tier_decision list
+(** Emission order. *)
+
+val tier_outcome_counts : t -> int * int * int
+(** [(compiled, rejected, fell_back)]. *)
 
 val at : t -> caller:Ids.Method_id.t -> ?callsite:int -> unit -> decision list
 (** Decisions whose innermost context entry is a call site in [caller]
@@ -83,3 +114,10 @@ val pp_decision :
   unit
 (** One multi-line, human-readable record; [name] resolves method ids
     (e.g. via [Program.meth]). *)
+
+val pp_tier_decision :
+  name:(Ids.Method_id.t -> string) ->
+  Format.formatter ->
+  tier_decision ->
+  unit
+(** One-line record for an execution-tier decision. *)

@@ -8,6 +8,9 @@ let rerr fmt = Format.kasprintf (fun msg -> raise (Runtime_error msg)) fmt
 type frame = {
   mutable f_code : Code.t;
   mutable f_dcode : Dcode.t;
+  mutable f_ncode : nfn array;
+      (* closure-tier entry points, one per source pc ([Tier]); [[||]]
+         means the frame executes on the interpreter tier *)
   mutable f_pc : int;
   mutable f_regs : Value.t array;
       (* locals in [0, f_base); operand stack grows from f_base up. One
@@ -17,7 +20,7 @@ type frame = {
   mutable f_sp : int;  (* absolute; empty stack = f_base *)
 }
 
-type t = {
+and t = {
   program : Program.t;
   cost : Cost.t;
   fuse : bool;
@@ -50,7 +53,51 @@ type t = {
      the driver loops and [continue_window]'s mid-window restarts clip
      to it, so preemption can only land where a timer check could. *)
   mutable window_end : int;
+  (* Closure-tier ("native") code, parallel to [code_table]: entry
+     closures per source pc, and the operand-stack entry depth the tier
+     compiler assumed for each pc (checked on OSR transfer). An empty
+     array means the method runs on the interpreter tier. *)
+  native_table : nfn array array;
+  native_depths : int array array;
+  (* Per-tier host-time calibration: wall seconds and virtual cycles
+     attributed per bucket (0 = interpreter-tier windows, 1 = closure-
+     tier windows, 2 = timer hooks / AOS). Sampled at window granularity
+     in the driver loops, so a window spanning a cross-tier call is
+     attributed to the tier it entered on. Host time is nondeterministic
+     by nature; nothing virtual ever reads these. *)
+  mutable calibrate : bool;
+  cal_cycles : int array;
+  cal_host_s : float array;
+  wst : wst;
 }
+
+(* A closure-tier entry point executes its frame from the pc the closure
+   was compiled for, reading the execution state out of the VM's one
+   [wst] record (populated by [exec_window]/[continue_window] just
+   before dispatch). Closures take the record instead of six arguments
+   because OCaml applies an unknown single-argument closure directly,
+   while six arguments go through the [caml_apply6] shuffling stub on
+   every link of every effect chain — measurably slower on the chains'
+   hot path. *)
+and nfn = wst -> unit
+
+(* The closure tier's execution state, threaded through [nfn] chains by
+   mutation. One record per VM: a window is entered, run and left before
+   the driver dispatches the next one, and re-entrant dispatches (calls,
+   returns, OSR restarts inside a window) each re-populate the fields
+   before jumping, so no two live uses overlap. [w_rem] is the virtual
+   cycles until the next timer check; [w_nin] the instructions executed
+   but not yet settled (see [flush]). *)
+and wst = {
+  w_t : t;
+  mutable w_fr : frame;
+  mutable w_regs : Value.t array;
+  mutable w_sp : int;  (* absolute, like [f_sp] *)
+  mutable w_rem : int;
+  mutable w_nin : int;
+}
+
+let cal_buckets = [| "interp"; "closure"; "system" |]
 
 let max_call_depth = 200_000
 
@@ -58,8 +105,11 @@ let create ?(cost = Cost.default) ?(sample_period = 100_000)
     ?(invoke_stride = 2048) ?(fuse = true) program =
   let methods = Program.methods program in
   let code_table = Array.map (fun m -> Code.baseline cost m) methods in
-  {
-    program;
+  (* [w_fr] is populated by the window dispatchers before any closure
+     can read it; until then it holds an unboxed dummy. *)
+  let rec t =
+    {
+      program;
     cost;
     fuse;
     cycles = 0;
@@ -86,7 +136,24 @@ let create ?(cost = Cost.default) ?(sample_period = 100_000)
     invoke_countdown = invoke_stride;
     next_thread_id = 0;
     window_end = max_int;
+    native_table = Array.make (Array.length methods) [||];
+    native_depths = Array.make (Array.length methods) [||];
+    calibrate = false;
+    cal_cycles = Array.make (Array.length cal_buckets) 0;
+    cal_host_s = Array.make (Array.length cal_buckets) 0.0;
+    wst;
   }
+  and wst =
+    {
+      w_t = t;
+      w_fr = (Obj.magic 0 : frame);
+      w_regs = [||];
+      w_sp = 0;
+      w_rem = 0;
+      w_nin = 0;
+    }
+  in
+  t
 
 let program t = t.program
 let cost t = t.cost
@@ -100,7 +167,19 @@ let output t = List.rev t.output_rev
 
 let install_code t (mid : Ids.Method_id.t) code =
   t.code_table.((mid :> int)) <- code;
-  t.dcode_table.((mid :> int)) <- Dcode.of_code ~fuse:t.fuse t.cost code
+  t.dcode_table.((mid :> int)) <- Dcode.of_code ~fuse:t.fuse t.cost code;
+  (* Any previously compiled closure tier targeted the replaced code. *)
+  t.native_table.((mid :> int)) <- [||];
+  t.native_depths.((mid :> int)) <- [||]
+
+let install_native t (mid : Ids.Method_id.t) ~fns ~entry_depths =
+  if Array.length fns <> Array.length t.code_table.((mid :> int)).Code.instrs
+  then invalid_arg "Interp.install_native: entry count mismatch";
+  t.native_table.((mid :> int)) <- fns;
+  t.native_depths.((mid :> int)) <- entry_depths
+
+let native_installed t (mid : Ids.Method_id.t) =
+  Array.length t.native_table.((mid :> int)) > 0
 
 let code_of t (mid : Ids.Method_id.t) = t.code_table.((mid :> int))
 let decoded_of t (mid : Ids.Method_id.t) = t.dcode_table.((mid :> int))
@@ -110,6 +189,15 @@ let set_on_invoke t f = t.on_invoke <- f
 let set_on_timer_sample t f = t.on_timer_sample <- f
 let charge t cycles = t.cycles <- t.cycles + cycles
 let stack_depth t = t.depth
+let set_calibrate t on = t.calibrate <- on
+
+let calibration t =
+  Array.to_list
+    (Array.mapi
+       (fun i name -> (name, t.cal_cycles.(i), t.cal_host_s.(i)))
+       cal_buckets)
+
+let now_s = Unix.gettimeofday
 let osr_count t = t.osr_count
 let invocation_count t (mid : Ids.Method_id.t) = t.invocations.((mid :> int))
 
@@ -180,6 +268,22 @@ let osr t (mid : Ids.Method_id.t) =
             in
             if not depth_ok then false
             else begin
+              (* When the target runs on the closure tier, the transfer
+                 additionally lands on a compiled entry point: the entry
+                 depth the tier compiler derived for [pc'] at install
+                 time must agree with the depth the interpreter-side
+                 verifier just derived — the frame layout (one array,
+                 locals below [max_locals], stack above) is shared
+                 between tiers only under that agreement. *)
+              let nc = t.native_table.((mid :> int)) in
+              if Array.length nc > 0 then begin
+                let nd = t.native_depths.((mid :> int)) in
+                if pc' >= Array.length nd || nd.(pc') <> sp_rel then
+                  rerr
+                    "osr: closure-tier entry depth mismatch at pc %d \
+                     (interpreter expects %d)"
+                    pc' sp_rel
+              end;
               let base = current.Code.max_locals in
               let regs =
                 Array.make (base + max 1 current.Code.max_stack) Value.zero
@@ -188,6 +292,7 @@ let osr t (mid : Ids.Method_id.t) =
               Array.blit fr.f_regs fr.f_base regs base sp_rel;
               fr.f_code <- current;
               fr.f_dcode <- t.dcode_table.((mid :> int));
+              fr.f_ncode <- nc;
               fr.f_pc <- pc';
               fr.f_regs <- regs;
               fr.f_base <- base;
@@ -222,7 +327,7 @@ let walk_source_stack t ~f =
    minor-to-minor write path and die young. (Reusing popped frames was
    tried and measured slower — long-lived frames get promoted, and every
    pointer store into them then pays the remembered-set barrier.) *)
-let push_frame t code dcode =
+let push_frame t code dcode ncode =
   (if t.depth = Array.length t.frames then begin
      let cap = max 64 (2 * t.depth) in
      let bigger =
@@ -230,6 +335,7 @@ let push_frame t code dcode =
          {
            f_code = code;
            f_dcode = dcode;
+           f_ncode = [||];
            f_pc = 0;
            f_regs = [||];
            f_base = 0;
@@ -245,6 +351,7 @@ let push_frame t code dcode =
     {
       f_code = code;
       f_dcode = dcode;
+      f_ncode = ncode;
       f_pc = 0;
       f_regs = Array.make (base + max 1 code.Code.max_stack) Value.zero;
       f_base = base;
@@ -316,7 +423,11 @@ let invoke t (mid : Ids.Method_id.t) =
     + (match code.Code.tier with
       | Code.Baseline -> t.cost.Cost.call
       | Code.Optimized -> t.cost.Cost.opt_call);
-  let fr = push_frame t code t.dcode_table.((mid :> int)) in
+  let fr =
+    push_frame t code
+      t.dcode_table.((mid :> int))
+      t.native_table.((mid :> int))
+  in
   (* Pop arguments from the caller's stack into the callee's locals.
      Unsafe accesses are bounded by the verifier: a call site's arguments
      are on the caller's operand stack ([f_sp >= f_base + nslots]) and
@@ -1011,16 +1122,38 @@ and continue_window t =
     let remaining = limit - t.cycles in
     if remaining > 0 then begin
       let fr = t.frames.(t.depth - 1) in
-      let dc = fr.f_dcode in
-      step t fr dc.Dcode.ops dc.Dcode.icost fr.f_regs fr.f_regs fr.f_pc
-        fr.f_sp remaining 0
+      let nc = fr.f_ncode in
+      if Array.length nc = 0 then
+        let dc = fr.f_dcode in
+        step t fr dc.Dcode.ops dc.Dcode.icost fr.f_regs fr.f_regs fr.f_pc
+          fr.f_sp remaining 0
+      else begin
+        let st = t.wst in
+        st.w_fr <- fr;
+        st.w_regs <- fr.f_regs;
+        st.w_sp <- fr.f_sp;
+        st.w_rem <- remaining;
+        st.w_nin <- 0;
+        (Array.unsafe_get nc fr.f_pc) st
+      end
     end
   end
 
 let exec_window t fr remaining =
-  let dc = fr.f_dcode in
-  step t fr dc.Dcode.ops dc.Dcode.icost fr.f_regs fr.f_regs fr.f_pc
-    fr.f_sp remaining 0
+  let nc = fr.f_ncode in
+  if Array.length nc = 0 then
+    let dc = fr.f_dcode in
+    step t fr dc.Dcode.ops dc.Dcode.icost fr.f_regs fr.f_regs fr.f_pc
+      fr.f_sp remaining 0
+  else begin
+    let st = t.wst in
+    st.w_fr <- fr;
+    st.w_regs <- fr.f_regs;
+    st.w_sp <- fr.f_sp;
+    st.w_rem <- remaining;
+    st.w_nin <- 0;
+    (Array.unsafe_get nc fr.f_pc) st
+  end
 
 (* The driver. The naive interpreter compares [cycles >= next_sample]
    before every instruction; here the check runs once per *window*, whose
@@ -1034,6 +1167,26 @@ let exec_window t fr remaining =
    early, restoring the check before the next instruction — i.e. hooks
    fire at bit-identical cycle counts, in bit-identical VM states, as
    under the naive loop. *)
+(* Calibrated variants of the two driver-loop steps: same calls in the
+   same order, additionally attributing the wall-time and virtual-cycle
+   deltas to a bucket. Kept out of line so the uncalibrated loops stay
+   branch-free beyond one flag test per window. *)
+let timer_hook t =
+  if t.calibrate then begin
+    let c0 = t.cycles and h0 = now_s () in
+    t.on_timer_sample t;
+    t.cal_cycles.(2) <- t.cal_cycles.(2) + (t.cycles - c0);
+    t.cal_host_s.(2) <- t.cal_host_s.(2) +. (now_s () -. h0)
+  end
+  else t.on_timer_sample t
+
+let exec_window_calibrated t fr budget =
+  let b = if Array.length fr.f_ncode = 0 then 0 else 1 in
+  let c0 = t.cycles and h0 = now_s () in
+  exec_window t fr budget;
+  t.cal_cycles.(b) <- t.cal_cycles.(b) + (t.cycles - c0);
+  t.cal_host_s.(b) <- t.cal_host_s.(b) +. (now_s () -. h0)
+
 let run ?(cycle_limit = max_int) t =
   let main = Program.main t.program in
   t.executed.((main :> int)) <- true;
@@ -1041,7 +1194,8 @@ let run ?(cycle_limit = max_int) t =
   ignore
     (push_frame t
        t.code_table.((main :> int))
-       t.dcode_table.((main :> int)));
+       t.dcode_table.((main :> int))
+       t.native_table.((main :> int)));
   t.call_count <- t.call_count + 1;
   while t.depth > 0 do
     (* The timer fires before the fetch: hooks may install code or
@@ -1050,7 +1204,7 @@ let run ?(cycle_limit = max_int) t =
     if t.cycles >= t.next_sample then begin
       t.next_sample <- t.next_sample + t.sample_period;
       if t.cycles > cycle_limit then raise Cycle_limit_exceeded;
-      t.on_timer_sample t
+      timer_hook t
     end;
     let fr = t.frames.(t.depth - 1) in
     let gap = t.next_sample - t.cycles in
@@ -1058,7 +1212,9 @@ let run ?(cycle_limit = max_int) t =
        hook can charge more than a whole period), the naive loop still
        executes one instruction between consecutive checks — a 1-cycle
        window admits exactly one instruction, every charge being >= 1. *)
-    exec_window t fr (if gap <= 0 then 1 else gap)
+    let budget = if gap <= 0 then 1 else gap in
+    if t.calibrate then exec_window_calibrated t fr budget
+    else exec_window t fr budget
   done
 
 (* The naive instruction-at-a-time loop, kept verbatim as the executable
@@ -1072,7 +1228,8 @@ let run_reference ?(cycle_limit = max_int) t =
   ignore
     (push_frame t
        t.code_table.((main :> int))
-       t.dcode_table.((main :> int)));
+       t.dcode_table.((main :> int))
+       t.native_table.((main :> int)));
   t.call_count <- t.call_count + 1;
   let base_cost = t.cost.Cost.baseline_instr in
   let opt_cost = t.cost.Cost.opt_instr in
@@ -1310,7 +1467,8 @@ let resume ?(cycle_limit = max_int) t th ~quantum =
     ignore
       (push_frame t
          t.code_table.((main :> int))
-         t.dcode_table.((main :> int)));
+         t.dcode_table.((main :> int))
+         t.native_table.((main :> int)));
     t.call_count <- t.call_count + 1
   end;
   let quantum_end =
@@ -1334,12 +1492,14 @@ let resume ?(cycle_limit = max_int) t th ~quantum =
         if t.cycles >= t.next_sample then begin
           t.next_sample <- t.next_sample + t.sample_period;
           if t.cycles > cycle_limit then raise Cycle_limit_exceeded;
-          t.on_timer_sample t
+          timer_hook t
         end;
         if t.depth > 0 then begin
           let fr = t.frames.(t.depth - 1) in
           let gap = min t.next_sample quantum_end - t.cycles in
-          exec_window t fr (if gap <= 0 then 1 else gap)
+          let budget = if gap <= 0 then 1 else gap in
+          if t.calibrate then exec_window_calibrated t fr budget
+          else exec_window t fr budget
         end
       done;
       if t.depth = 0 then Done else Running)

@@ -33,7 +33,85 @@ exception Runtime_error of string
 
 exception Cycle_limit_exceeded
 
-type t
+(** {2 Representation}
+
+    The frame and VM records are exposed (rather than abstract) for one
+    consumer: the closure-tier compiler {!Tier}, which compiles decoded
+    bytecode into chains of closures that manipulate VM state directly at
+    interpreter speed. Treat them as read-only outside [Acsi_vm]; all
+    invariants are documented on the implementation. *)
+
+type frame = {
+  mutable f_code : Code.t;
+  mutable f_dcode : Dcode.t;
+  mutable f_ncode : nfn array;
+      (** closure-tier entry points, one per source pc; [[||]] means the
+          frame executes on the interpreter tier *)
+  mutable f_pc : int;
+  mutable f_regs : Value.t array;
+      (** locals in [0, f_base); operand stack grows from [f_base] up *)
+  mutable f_base : int;
+  mutable f_sp : int;  (** absolute index into [f_regs] *)
+}
+
+and t = {
+  program : Program.t;
+  cost : Cost.t;
+  fuse : bool;
+  mutable cycles : int;
+  globals : Value.t array;
+  code_table : Code.t array;
+  dcode_table : Dcode.t array;
+  param_slots : int array;
+  mutable frames : frame array;
+  mutable depth : int;
+  mutable output_rev : int list;
+  mutable instr_count : int;
+  mutable call_count : int;
+  mutable guard_hits : int;
+  mutable guard_misses : int;
+  mutable osr_count : int;
+  executed : bool array;
+  invocations : int array;
+  mutable on_first_execution : Ids.Method_id.t -> unit;
+  mutable on_invoke : t -> Ids.Method_id.t -> unit;
+  mutable on_timer_sample : t -> unit;
+  sample_period : int;
+  mutable next_sample : int;
+  invoke_stride : int;
+  mutable invoke_countdown : int;
+  mutable next_thread_id : int;
+  mutable window_end : int;
+  native_table : nfn array array;
+  native_depths : int array array;
+  mutable calibrate : bool;
+  cal_cycles : int array;
+  cal_host_s : float array;
+  wst : wst;
+}
+
+and nfn = wst -> unit
+(** A closure-tier entry point: resumes its frame at the pc the closure
+    was compiled for, reading the execution state out of the VM's one
+    {!wst} record. Single-argument closures apply directly in native
+    code; the previous six-argument form paid the [caml_apply6] stub on
+    every link of every effect chain. *)
+
+and wst = {
+  w_t : t;
+  mutable w_fr : frame;  (** the executing frame *)
+  mutable w_regs : Value.t array;  (** [w_fr.f_regs] *)
+  mutable w_sp : int;  (** absolute, like [f_sp] *)
+  mutable w_rem : int;  (** virtual cycles until the next timer check *)
+  mutable w_nin : int;
+      (** instructions executed but not yet settled (see {!flush}) *)
+}
+(** The closure tier's execution state, threaded through [nfn] chains by
+    mutation instead of arguments. One record per VM ([t.wst]): windows
+    are entered and left one at a time, and re-entrant dispatches
+    (calls, returns, OSR restarts) re-populate the fields before
+    jumping, so no two live uses overlap. Populated by the window
+    dispatchers; nothing outside [Acsi_vm] should write it. *)
 
 val create :
   ?cost:Cost.t ->
@@ -76,6 +154,33 @@ val output : t -> int list
     used by the semantics-preservation tests. *)
 
 val install_code : t -> Ids.Method_id.t -> Code.t -> unit
+(** Also discards any closure-tier code compiled for the replaced
+    [Code.t]; re-install with {!install_native} after recompiling. *)
+
+val install_native : t ->
+  Ids.Method_id.t -> fns:nfn array -> entry_depths:int array -> unit
+(** Activate closure-tier entry points for the *currently installed*
+    code of [mid] (one per source pc; [entry_depths.(pc)] is the
+    operand-stack depth the compiler derived for entering at [pc] —
+    cross-checked on OSR transfers). New invocations dispatch through
+    the closures; live frames keep their tier. Raises [Invalid_argument]
+    if [fns] does not cover the installed code 1:1. *)
+
+val native_installed : t -> Ids.Method_id.t -> bool
+
+val set_calibrate : t -> bool -> unit
+(** Enable per-tier host-time sampling in the driver loops (off by
+    default; costs two clock reads per window when on). *)
+
+val calibration : t -> (string * int * float) list
+(** [(bucket, virtual_cycles, host_seconds)] accumulated while
+    calibration was on, for buckets ["interp"] (interpreter-tier
+    windows), ["closure"] (closure-tier windows) and ["system"] (timer
+    hooks, i.e. AOS work). Attribution is per window: a window that
+    crosses tiers through a call is attributed to the tier it entered
+    on. Host seconds are wall time — nondeterministic; nothing on the
+    virtual side reads them. *)
+
 val code_of : t -> Ids.Method_id.t -> Code.t
 
 val decoded_of : t -> Ids.Method_id.t -> Dcode.t
@@ -158,3 +263,50 @@ val resume : ?cycle_limit:int -> t -> thread -> quantum:int -> thread_status
     Raises [Invalid_argument] if [quantum <= 0], {!Cycle_limit_exceeded}
     if the shared clock passes [cycle_limit]. Must not be called
     re-entrantly (from within a VM hook). *)
+
+(** {2 Execution internals, exposed for the closure tier ({!Tier})}
+
+    The tier compiler emits closures that replicate [step]'s observable
+    behaviour exactly; they reuse these helpers so settlement rules,
+    error messages, and cross-tier transfers have a single definition.
+    Not a stable public API. *)
+
+val rerr : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Runtime_error} with a formatted message. *)
+
+val as_int : Value.t -> int
+val as_obj : Value.t -> Value.obj
+val as_arr : Value.t -> Value.t array
+val eval_binop : Instr.binop -> int -> int -> int
+val eval_cmp : Instr.cmp -> Value.t -> Value.t -> int
+
+val flush : t -> int -> int -> unit
+(** [flush t icost ninstr] settles [ninstr] deferred instructions, each
+    of which charged exactly [icost]. *)
+
+val invoke : t -> Ids.Method_id.t -> unit
+(** Push a callee frame, move arguments, charge the call cost, fire the
+    invocation hooks — exactly the interpreter's call sequence. *)
+
+val dispatch_target : t -> Value.t -> Ids.Selector.t -> Ids.Method_id.t
+
+val step :
+  t ->
+  frame ->
+  Dcode.op array ->
+  int ->
+  Value.t array ->
+  Value.t array ->
+  int ->
+  int ->
+  int ->
+  int ->
+  unit
+(** [step t fr ops icost stack locals pc sp remaining ninstr]: the
+    interpreter's window loop. The closure tier delegates to it near
+    window ends (when a prepaid block no longer fits), inheriting the
+    exact window-boundary behaviour by construction. *)
+
+val continue_window : t -> unit
+(** Resume the (possibly new) top frame inside the current window,
+    dispatching on its tier. *)

@@ -1,0 +1,34 @@
+(** The closure ("native") second execution tier.
+
+    Compiles a method's installed {!Code.t} — via its pre-decoded,
+    superinstruction-fused {!Dcode} form — into direct-threaded chains of
+    OCaml closures, the technique of the OCamlJIT line of work: one entry
+    closure per source pc, straight-line runs linked by directly captured
+    successor closures, control transfers re-entering through the target's
+    entry closure. Frames, operand layout, the virtual clock, hooks and
+    preemption windows are all shared with {!Interp}; the tier is an exact
+    host-speed re-encoding of the interpreter's observable semantics.
+    Window accounting is *prepaid* per straight-line run using the same
+    inequality the interpreter's own fused fast paths use, and any run
+    that no longer fits the window is handed back to {!Interp.step}, so
+    cycle counts, hook firing points, counters and output stay
+    bit-identical across tiers (enforced by the differential tests).
+
+    Installation is gated by the AOS ({!Acsi_aos}): only methods whose
+    optimized code passes [Jit_check] are compiled to this tier, so the
+    unsafe array accesses the closures share with the interpreter remain
+    bounded by the verifier's guarantees. *)
+
+open Acsi_bytecode
+
+val compile : Interp.t -> Code.t -> Interp.nfn array * int array
+(** [compile t code] builds the closure-tier entry points for [code] (one
+    per source pc) plus the operand-stack entry depth per pc (from
+    {!Verify.entry_depths}, used to cross-check OSR transfers onto
+    compiled entry points). Does not install anything. *)
+
+val install : Interp.t -> Ids.Method_id.t -> Code.t -> unit
+(** Compile [code] — which must be what {!Interp.install_code} most
+    recently installed for [mid] — and activate it via
+    {!Interp.install_native}. New invocations of [mid] then run on the
+    closure tier; frames already live keep their current tier. *)

@@ -27,4 +27,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("micro", Test_micro.suite);
       ("richards", Test_richards.suite);
+      ("tier", Test_tier.suite);
     ]

@@ -1,0 +1,248 @@
+(* The closure ("native") execution tier is required to be an exact
+   host-speed re-encoding of the interpreter: every test here runs the
+   same program with the tier on and off and demands byte-identical
+   observable state — output, cycle counts, every metric — plus the
+   negative half of the contract: code the install gate rejects stays on
+   the interpreter tier, and preemption boundaries land identically no
+   matter which tier a frame runs on. *)
+
+open Acsi_lang
+module Interp = Acsi_vm.Interp
+module Tier = Acsi_vm.Tier
+module Code = Acsi_vm.Code
+module System = Acsi_aos.System
+module Config = Acsi_core.Config
+module Runtime = Acsi_core.Runtime
+module Metrics = Acsi_core.Metrics
+module Policy = Acsi_policy.Policy
+module Workloads = Acsi_workloads.Workloads
+module Provenance = Acsi_obs.Provenance
+
+let small_scale = 0.12
+
+let programs = lazy (Workloads.build_all ~scale_factor:small_scale ())
+
+let with_tier on (cfg : Config.t) =
+  { cfg with Config.aos = { cfg.Config.aos with System.native_tier = on } }
+
+(* Aggressive sampling so even small runs go through the full adaptive
+   pipeline (optimizing compiles, hence tier installs). *)
+let aggressive (cfg : Config.t) =
+  { cfg with Config.sample_period = 5_000; invoke_stride = 16 }
+
+(* --- satellite: differential equality over the whole benchmark suite --- *)
+
+(* Output AND the full metrics record (cycles, code space, samples,
+   refusal taxonomy, ...): the tier may differ from the interpreter in
+   host time only. *)
+let test_workloads_differential () =
+  List.iter
+    (fun (name, program) ->
+      List.iter
+        (fun policy ->
+          let cfg = Config.default ~policy in
+          let on = Runtime.run (with_tier true cfg) program in
+          let off = Runtime.run (with_tier false cfg) program in
+          let label what =
+            Printf.sprintf "%s under %s: %s" name (Policy.to_string policy)
+              what
+          in
+          Alcotest.(check (list int))
+            (label "output") (Interp.output off.Runtime.vm)
+            (Interp.output on.Runtime.vm);
+          Alcotest.(check int)
+            (label "total_cycles")
+            off.Runtime.metrics.Metrics.total_cycles
+            on.Runtime.metrics.Metrics.total_cycles;
+          Alcotest.(check bool)
+            (label "full metrics record") true
+            (off.Runtime.metrics = on.Runtime.metrics))
+        [ Policy.Context_insensitive; Policy.Fixed 3 ])
+    (Lazy.force programs)
+
+(* --- satellite: differential over the random-program corpus --- *)
+
+let prop_tier_differential =
+  QCheck.Test.make ~name:"closure tier preserves output and cycles"
+    ~count:20 Test_props.arbitrary_program (fun ast ->
+      let program = Compile.prog ast in
+      let cfg =
+        aggressive (Config.default ~policy:(Policy.Hybrid_param_large 5))
+      in
+      let on = Runtime.run (with_tier true cfg) program in
+      let off = Runtime.run (with_tier false cfg) program in
+      Interp.output on.Runtime.vm = Interp.output off.Runtime.vm
+      && on.Runtime.metrics = off.Runtime.metrics)
+
+(* --- satellite: the install gate rejects malformed code --- *)
+
+let counter_prog =
+  Dsl.(
+    prog
+      [
+        cls "W" ~fields:[ "acc" ]
+          [
+            meth "init" [ "start" ] ~returns:false
+              [ set_thisf "acc" (v "start") ];
+            meth "bump" [ "x" ] ~returns:true
+              [
+                set_thisf "acc" (add (thisf "acc") (v "x"));
+                ret (thisf "acc");
+              ];
+          ];
+      ]
+      [
+        let_ "w" (new_ "W" [ i 0 ]);
+        let_ "s" (i 0);
+        for_ "i" (i 0) (i 2000)
+          [ let_ "s" (add (v "s") (inv (v "w") "bump" [ i 1 ])) ];
+        print (v "s");
+      ])
+
+let test_malformed_code_rejected () =
+  let program = Compile.prog counter_prog in
+  let vm = Interp.create program in
+  let main = Acsi_bytecode.Program.main program in
+  let good = Interp.code_of vm main in
+  (* An operand-stack underflow: pops from the empty entry stack. The
+     source map marks both instructions as JIT-synthesized — [Jit_check]
+     trusts unmapped (baseline) code, so the map is what routes this
+     through full re-verification, exactly as for real optimized code. *)
+  let bad =
+    {
+      good with
+      Code.tier = Code.Optimized;
+      Code.instrs = [| Acsi_bytecode.Instr.Pop; Acsi_bytecode.Instr.Return_void |];
+      Code.src =
+        Some
+          (Array.make 2
+             { Code.src_meth = main; Code.src_pc = -1; Code.parents = [] });
+    }
+  in
+  Alcotest.(check bool)
+    "Jit_check rejects the code" true
+    (Acsi_analysis.Jit_check.check program bad <> []);
+  (* The tier compiler's own verification pass refuses it as well (the
+     gate the AOS relies on when [verify_installed] is off)... *)
+  (match Tier.install vm main bad with
+  | () -> Alcotest.fail "tier compiled stack-underflowing code"
+  | exception _ -> ());
+  (* ...and the method stays on the interpreter tier. *)
+  Alcotest.(check bool)
+    "no closure code installed" false
+    (Interp.native_installed vm main)
+
+(* --- satellite: tier decisions recorded in provenance --- *)
+
+let test_provenance_records_tier_decisions () =
+  let _, program =
+    List.find (fun (n, _) -> String.equal n "db") (Lazy.force programs)
+  in
+  let cfg = Config.default ~policy:(Policy.Fixed 3) in
+  let cfg =
+    {
+      cfg with
+      Config.aos =
+        {
+          cfg.Config.aos with
+          System.obs =
+            {
+              Acsi_obs.Control.off with
+              Acsi_obs.Control.provenance = true;
+            };
+        };
+    }
+  in
+  let result = Runtime.run cfg program in
+  match System.provenance result.Runtime.sys with
+  | None -> Alcotest.fail "provenance store missing"
+  | Some prov ->
+      let compiled, rejected, fell_back =
+        Provenance.tier_outcome_counts prov
+      in
+      Alcotest.(check bool)
+        "tier decisions recorded" true
+        (Provenance.tier_count prov > 0);
+      Alcotest.(check int)
+        "decision total is consistent" (Provenance.tier_count prov)
+        (compiled + rejected + fell_back);
+      Alcotest.(check bool)
+        "verified workload code all compiled" true
+        (compiled > 0 && rejected = 0 && fell_back = 0)
+
+(* --- satellite: preemption across tiers --- *)
+
+(* Virtual threads suspend at cycle-budget window boundaries. With the
+   tier on, those boundaries fall inside closure-compiled frames; the
+   suspension points (and hence the whole interleaving) must be
+   cycle-identical to the interpreter-tier run. *)
+let threaded_run ~tier_on program =
+  let vm = Interp.create ~sample_period:5_000 ~invoke_stride:16 program in
+  let aos =
+    {
+      (System.default_config (Policy.Fixed 3)) with
+      System.native_tier = tier_on;
+    }
+  in
+  let _sys = System.create aos vm in
+  let th1 = Interp.spawn vm in
+  let th2 = Interp.spawn vm in
+  let resumes = ref 0 in
+  let rec drive () =
+    let s1 = Interp.resume vm th1 ~quantum:997 in
+    let s2 = Interp.resume vm th2 ~quantum:997 in
+    incr resumes;
+    if s1 = Interp.Running || s2 = Interp.Running then drive ()
+  in
+  drive ();
+  (Interp.output vm, Interp.cycles vm, !resumes, Interp.native_installed vm
+                                                   (Acsi_bytecode.Program.main
+                                                      program))
+
+let test_preemption_across_tiers () =
+  let program = Compile.prog counter_prog in
+  let out_on, cycles_on, resumes_on, tiered = threaded_run ~tier_on:true program in
+  let out_off, cycles_off, resumes_off, _ = threaded_run ~tier_on:false program in
+  Alcotest.(check bool) "closure tier engaged" true tiered;
+  Alcotest.(check bool)
+    "suspensions landed mid-run" true (resumes_on > 5);
+  Alcotest.(check (list int)) "interleaved output" out_off out_on;
+  Alcotest.(check int) "final cycles" cycles_off cycles_on;
+  Alcotest.(check int) "resume count" resumes_off resumes_on
+
+(* --- satellite: determinism across concurrent domains --- *)
+
+(* The baseline compile cache is shared across VMs and domains (the
+   bench's --jobs mode); concurrent runs must neither interfere nor
+   drift from a serial run. *)
+let test_cross_domain_determinism () =
+  let _, program =
+    List.find (fun (n, _) -> String.equal n "jess") (Lazy.force programs)
+  in
+  let cfg = with_tier true (Config.default ~policy:(Policy.Fixed 3)) in
+  let run () =
+    let r = Runtime.run cfg program in
+    (Interp.output r.Runtime.vm, r.Runtime.metrics)
+  in
+  let serial = run () in
+  let d1 = Domain.spawn run in
+  let d2 = Domain.spawn run in
+  let r1 = Domain.join d1 in
+  let r2 = Domain.join d2 in
+  Alcotest.(check bool) "domain 1 matches serial" true (r1 = serial);
+  Alcotest.(check bool) "domain 2 matches serial" true (r2 = serial)
+
+let suite =
+  [
+    Alcotest.test_case "workload differential, tier on vs off" `Quick
+      test_workloads_differential;
+    QCheck_alcotest.to_alcotest prop_tier_differential;
+    Alcotest.test_case "install gate rejects malformed code" `Quick
+      test_malformed_code_rejected;
+    Alcotest.test_case "tier decisions recorded in provenance" `Quick
+      test_provenance_records_tier_decisions;
+    Alcotest.test_case "preemption across tiers" `Quick
+      test_preemption_across_tiers;
+    Alcotest.test_case "cross-domain determinism" `Quick
+      test_cross_domain_determinism;
+  ]
