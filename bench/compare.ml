@@ -153,6 +153,33 @@ let () =
               Printf.printf "  %-8s (new)  %8.2f ns/cycle\n" nk.Results.k_tier
                 (ns nk))
         new_cal);
+  (* Charge-constant sanity verdicts (bench --trace): a verdict flip
+     between runs means the measured host cost of a charged system cycle
+     moved across the consistency band relative to app execution — the
+     Cost constants (or the host) changed character. Informational, like
+     all host-time figures, but worth a loud note. *)
+  (match
+     (old_run.Results.calibration_check, new_run.Results.calibration_check)
+   with
+  | None, None -> ()
+  | None, Some n ->
+      Printf.printf
+        "\ncalibration check (new): ratio %.2f, verdict %s (no old verdict)\n"
+        n.Results.v_ratio n.Results.v_verdict
+  | Some o, None ->
+      Printf.printf
+        "\ncalibration check: old run had verdict %s, new run recorded none\n"
+        o.Results.v_verdict
+  | Some o, Some n ->
+      Printf.printf "\ncalibration check: ratio %.2f -> %.2f, verdict %s -> %s\n"
+        o.Results.v_ratio n.Results.v_ratio o.Results.v_verdict
+        n.Results.v_verdict;
+      if o.Results.v_verdict <> n.Results.v_verdict then
+        Printf.printf
+          "  WARNING: charge-constant verdict flipped (%s -> %s) — the \
+           system charge constants have drifted relative to measured host \
+           cost\n"
+          o.Results.v_verdict n.Results.v_verdict);
   let old_cells = Hashtbl.create 64 in
   List.iter
     (fun (c : Results.cell) ->
@@ -235,6 +262,41 @@ let () =
         | Some _ | None -> ())
       new_run.Results.server
   end;
+  (* Sharded-server cells carry the determinism contract in full: for a
+     given (bench, policy, shards, pool, pool_policy, sessions, period)
+     configuration at equal scale, the makespan, latency percentiles and
+     steal count are all pure functions of the configuration — byte-
+     identical across --jobs — so any drift is a violation. Runs
+     recorded before the sharded server existed have no shards section,
+     so nothing matches and nothing is checked. *)
+  let shard_mismatches = ref [] in
+  if same_scale then begin
+    let old_hcells = Hashtbl.create 8 in
+    let hkey (h : Results.hcell) =
+      ( h.Results.sh_bench,
+        h.Results.sh_policy,
+        h.Results.sh_shards,
+        h.Results.sh_pool,
+        h.Results.sh_pool_policy,
+        h.Results.sh_sessions,
+        h.Results.sh_period )
+    in
+    List.iter
+      (fun (h : Results.hcell) -> Hashtbl.replace old_hcells (hkey h) h)
+      old_run.Results.shards;
+    List.iter
+      (fun (h : Results.hcell) ->
+        match Hashtbl.find_opt old_hcells (hkey h) with
+        | Some o
+          when o.Results.sh_makespan <> h.Results.sh_makespan
+               || o.Results.sh_p50 <> h.Results.sh_p50
+               || o.Results.sh_p95 <> h.Results.sh_p95
+               || o.Results.sh_p99 <> h.Results.sh_p99
+               || o.Results.sh_steals <> h.Results.sh_steals ->
+            shard_mismatches := (o, h) :: !shard_mismatches
+        | Some _ | None -> ())
+      new_run.Results.shards
+  end;
   (* Traced component breakdowns carry the contract too: at equal scale,
      matched (bench, policy) component cells must agree on every
      component's cycle count — the per-component split is deterministic,
@@ -259,6 +321,7 @@ let () =
   end;
   if
     !cycle_mismatches <> [] || !server_mismatches <> []
+    || !shard_mismatches <> []
     || !component_mismatches <> []
   then begin
     if !cycle_mismatches <> [] then begin
@@ -283,6 +346,22 @@ let () =
             n.Results.s_total_cycles o.Results.s_p50 o.Results.s_p95
             o.Results.s_p99 n.Results.s_p50 n.Results.s_p95 n.Results.s_p99)
         (List.rev !server_mismatches)
+    end;
+    if !shard_mismatches <> [] then begin
+      Printf.printf
+        "\nDETERMINISM VIOLATION: sharded-server cells changed on %d cells:\n"
+        (List.length !shard_mismatches);
+      List.iter
+        (fun ((o : Results.hcell), (n : Results.hcell)) ->
+          Printf.printf
+            "  %s/%s shards=%d pool=%d/%s: makespan %d -> %d, p50/p95/p99 \
+             %d/%d/%d -> %d/%d/%d, steals %d -> %d\n"
+            n.Results.sh_bench n.Results.sh_policy n.Results.sh_shards
+            n.Results.sh_pool n.Results.sh_pool_policy o.Results.sh_makespan
+            n.Results.sh_makespan o.Results.sh_p50 o.Results.sh_p95
+            o.Results.sh_p99 n.Results.sh_p50 n.Results.sh_p95 n.Results.sh_p99
+            o.Results.sh_steals n.Results.sh_steals)
+        (List.rev !shard_mismatches)
     end;
     if !component_mismatches <> [] then begin
       Printf.printf

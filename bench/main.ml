@@ -6,6 +6,8 @@
      dune exec bench/main.exe -- --fig4       one artifact only
      dune exec bench/main.exe -- --ablations  design-choice ablations
      dune exec bench/main.exe -- --serve      server-mode (virtual threads)
+     dune exec bench/main.exe -- --serve --shards 1,4   sharded-server cells
+     dune exec bench/main.exe -- --sessions N sessions per sharded cell
      dune exec bench/main.exe -- --trace      traced per-component sweep
      dune exec bench/main.exe -- --micro      bechamel microbenchmarks
      dune exec bench/main.exe -- --jobs 8     domain-parallel driver
@@ -34,6 +36,10 @@ type mode = {
   mutable serve : bool;
   mutable trace : bool;
   mutable micro : bool;
+  mutable shards : int list;
+      (* shard counts for the sharded-server section (--serve) *)
+  mutable sessions : int;
+      (* open-loop sessions per sharded cell, before scale_factor *)
   mutable scale_factor : float;
   mutable jobs : int;
   mutable json : bool;
@@ -72,6 +78,8 @@ let parse_args () =
       serve = false;
       trace = false;
       micro = false;
+      shards = [ 1; 2; 4 ];
+      sessions = 1_000_000;
       scale_factor = 1.0;
       jobs = Parallel.available_cores ();
       json = false;
@@ -120,6 +128,28 @@ let parse_args () =
     | "--micro" :: rest ->
         m.micro <- true;
         any := true;
+        go rest
+    | "--shards" :: v :: rest ->
+        (* Comma-separated shard counts for the --serve sharded
+           section, e.g. --shards 4 or --shards 1,8. *)
+        let parts = String.split_on_char ',' v in
+        let parsed = List.filter_map int_of_string_opt parts in
+        if
+          List.length parsed = List.length parts
+          && parsed <> []
+          && List.for_all (fun n -> n >= 1 && n <= 64) parsed
+        then m.shards <- parsed
+        else begin
+          Format.eprintf "invalid --shards value %s@." v;
+          exit 2
+        end;
+        go rest
+    | "--sessions" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some n when n >= 1 -> m.sessions <- n
+        | Some _ | None ->
+            Format.eprintf "invalid --sessions value %s@." v;
+            exit 2);
         go rest
     | "--quick" :: rest ->
         m.scale_factor <- 0.25;
@@ -504,6 +534,62 @@ let serve_mode mode =
   List.iter (fun (text, _) -> print_string text) cells;
   List.map snd cells
 
+(* --- sharded server: N virtual processors, work stealing --- *)
+
+(* The session workload served open-loop across 1, 2 and 4 virtual
+   processors (override the list with --shards, the load with
+   --sessions). Cells run serially at top level: Acsi_server.Shards
+   parallelises *inside* a cell — disjoint shards fan out across host
+   domains between virtual-time barriers — and its figures are
+   --jobs-independent by construction, so stdout stays byte-stable.
+
+   The arrival period is fixed where one shard saturates (~3x
+   overloaded: queueing delay dominates p50) while four shards keep up
+   (p50 is approximately the bare service time). The throughput ratio
+   and that latency contrast between the cells are the scaling story;
+   every recorded figure lands in the results file's "shards" section,
+   where compare.exe holds it to the determinism contract. *)
+let shard_mode mode =
+  hr "Sharded server (virtual processors, work stealing, compiler pool)";
+  let policy = Policy.Fixed 3 in
+  let spec = Workloads.find "session" in
+  (* Scale 1 on purpose (not the spec's default_scale): the shortest
+     session maximises sessions per host-second, and millions of tiny
+     sessions are exactly the load the sharded tier exists for. *)
+  let program = spec.Workloads.build ~scale:1 in
+  let sessions =
+    max 1000 (int_of_float (mode.scale_factor *. float_of_int mode.sessions))
+  in
+  let period = 450 in
+  List.map
+    (fun shards ->
+      let result =
+        Acsi_server.Shards.run ~jobs:mode.jobs ~pool:2
+          ~pool_policy:Acsi_aos.System.Hot_first ~shards ~sessions ~period
+          ~name:spec.Workloads.name (config ~policy) program
+      in
+      let s = result.Acsi_server.Shards.summary in
+      Format.printf "%a@.@." Acsi_server.Shards.pp_summary s;
+      {
+        Results.sh_bench = s.Acsi_server.Shards.sh_workload;
+        sh_policy = s.Acsi_server.Shards.sh_policy;
+        sh_shards = s.Acsi_server.Shards.sh_shards;
+        sh_pool = s.Acsi_server.Shards.sh_pool;
+        sh_pool_policy = s.Acsi_server.Shards.sh_pool_policy;
+        sh_sessions = s.Acsi_server.Shards.sh_sessions;
+        sh_period = s.Acsi_server.Shards.sh_period;
+        sh_makespan = s.Acsi_server.Shards.sh_makespan;
+        sh_throughput_spmc = s.Acsi_server.Shards.sh_throughput_spmc;
+        sh_p50 = s.Acsi_server.Shards.sh_p50;
+        sh_p95 = s.Acsi_server.Shards.sh_p95;
+        sh_p99 = s.Acsi_server.Shards.sh_p99;
+        sh_steals = s.Acsi_server.Shards.sh_steals;
+        sh_fairness = s.Acsi_server.Shards.sh_fairness;
+        sh_published = s.Acsi_server.Shards.sh_published;
+        sh_adopted = s.Acsi_server.Shards.sh_adopted;
+      })
+    mode.shards
+
 (* --- traced sweep: per-component overhead from tracer spans --- *)
 
 (* Figure-6 ground truth, measured the hard way: re-run a handful of
@@ -625,7 +711,50 @@ let traced_components mode =
         k.Results.k_tier k.Results.k_cycles k.Results.k_host_s
         (k.Results.k_host_s *. 1e9 /. float_of_int k.Results.k_cycles))
     calibration;
-  (List.map (fun (_, c, _) -> c) cells, calibration)
+  (* Charge-constant sanity check: Cost prices system work (compilation,
+     organizer, tracing) in the same virtual currency as application
+     bytecodes, so a charged system cycle should cost roughly the same
+     host time as a charged app cycle. [0.5, 2.0] is generous — the two
+     buckets run different host code — but catches order-of-magnitude
+     drift, e.g. a new system component charging one cycle for
+     milliseconds of work. Verdict is recorded in the results file;
+     compare.exe flags a verdict flip between runs.
+
+     On the closure tier the steady verdict is "undercharged" — app
+     cycles execute as compiled OCaml closures (a few ns each) while
+     system cycles cover organizer/compiler data-structure work priced
+     by the paper's constants, and tracing host time is deliberately
+     off-clock — so the check's value is the *stability* of the verdict
+     and ratio, not the verdict being green. *)
+  let ns tier =
+    match Hashtbl.find_opt buckets tier with
+    | Some (cycles, host_s) when cycles > 0 ->
+        Some (host_s *. 1e9 /. float_of_int cycles)
+    | Some _ | None -> None
+  in
+  let check =
+    match (ns (tier_name ()), ns "system") with
+    | Some app_ns, Some system_ns when app_ns > 0.0 ->
+        let ratio = system_ns /. app_ns in
+        let verdict =
+          if ratio > 2.0 then "undercharged"
+          else if ratio < 0.5 then "overcharged"
+          else "consistent"
+        in
+        Format.eprintf
+          "  [calibration] system-charge sanity: system %.2f ns/cycle vs %s \
+           %.2f ns/cycle — ratio %.2f, verdict: %s@."
+          system_ns (tier_name ()) app_ns ratio verdict;
+        Some
+          {
+            Results.v_app_ns = app_ns;
+            v_system_ns = system_ns;
+            v_ratio = ratio;
+            v_verdict = verdict;
+          }
+    | _ -> None
+  in
+  (List.map (fun (_, c, _) -> c) cells, calibration, check)
 
 (* --- machine-readable results: per-cell wall-clock + virtual cycles --- *)
 
@@ -636,8 +765,8 @@ let traced_components mode =
    file is a trajectory — each invocation appends its run, so the
    wall-clock history survives in one file and compare.exe can diff any
    two points of it (see results.ml). *)
-let write_json mode (s : Experiment.sweep option) server components calibration
-    =
+let write_json mode (s : Experiment.sweep option) server shards components
+    calibration calibration_check =
   let path = mode.json_path in
   let wall_total_s, cells =
     match s with
@@ -662,8 +791,10 @@ let write_json mode (s : Experiment.sweep option) server components calibration
       tier = tier_name ();
       cells;
       server;
+      shards;
       components;
       calibration;
+      calibration_check;
     }
   in
   let prior =
@@ -679,10 +810,10 @@ let write_json mode (s : Experiment.sweep option) server components calibration
   in
   Results.write_file path (prior @ [ run ]);
   Format.eprintf
-    "  [json] appended run %d to %s (%d cells, %d server cells, %d component \
-     cells, sweep wall %.2fs, jobs %d)@."
+    "  [json] appended run %d to %s (%d cells, %d server cells, %d shard \
+     cells, %d component cells, sweep wall %.2fs, jobs %d)@."
     (List.length prior) path (List.length cells) (List.length server)
-    (List.length components) wall_total_s mode.jobs
+    (List.length shards) (List.length components) wall_total_s mode.jobs
 
 (* --- bechamel microbenchmarks: one Test.make per table/figure kernel --- *)
 
@@ -800,13 +931,16 @@ let () =
     extended mode
   end;
   let server_cells = if mode.serve then serve_mode mode else [] in
-  let component_cells, calibration =
-    if mode.trace then traced_components mode else ([], [])
+  let shard_cells = if mode.serve then shard_mode mode else [] in
+  let component_cells, calibration, calibration_check =
+    if mode.trace then traced_components mode else ([], [], None)
   in
   if mode.micro then micro ();
   if
     mode.json
-    && (Option.is_some !the_sweep || server_cells <> []
+    && (Option.is_some !the_sweep || server_cells <> [] || shard_cells <> []
        || component_cells <> [])
-  then write_json mode !the_sweep server_cells component_cells calibration;
+  then
+    write_json mode !the_sweep server_cells shard_cells component_cells
+      calibration calibration_check;
   Format.printf "@.done.@."

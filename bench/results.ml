@@ -48,6 +48,45 @@ type calib = {
   k_host_s : float;
 }
 
+(* One sharded-server cell: the multi-processor serving figures from
+   Acsi_server.Shards. Everything here is deterministic for a given
+   (workload, shards, pool, sessions, period, scale) — byte-identical
+   across --jobs — so compare.exe treats a mismatch as a determinism
+   violation, like server cells. *)
+type hcell = {
+  sh_bench : string;
+  sh_policy : string;
+  sh_shards : int;
+  sh_pool : int;
+  sh_pool_policy : string;
+  sh_sessions : int;
+  sh_period : int;
+  sh_makespan : int;
+  sh_throughput_spmc : float;
+  sh_p50 : int;
+  sh_p95 : int;
+  sh_p99 : int;
+  sh_steals : int;
+  sh_fairness : float;
+  sh_published : int;
+  sh_adopted : int;
+}
+
+(* Calibration sanity-check verdict (bench --trace): the measured host
+   ns-per-charged-virtual-cycle of the system bucket divided by the app
+   execution tier's. The charge constants in Acsi_vm.Cost price system
+   work (compilation, organizer, tracing) in the same virtual currency
+   as application bytecodes; if a charged system cycle costs wildly
+   more (or less) host time than a charged app cycle, the constants
+   have drifted from reality. Verdict: "consistent" when the ratio is
+   within [0.5, 2.0], "undercharged" above, "overcharged" below. *)
+type calcheck = {
+  v_app_ns : float; (* host ns per charged cycle, app execution tier *)
+  v_system_ns : float; (* host ns per charged cycle, system bucket *)
+  v_ratio : float; (* v_system_ns /. v_app_ns *)
+  v_verdict : string; (* "consistent" | "undercharged" | "overcharged" *)
+}
+
 type run = {
   jobs : int;
   scale_factor : float;
@@ -59,10 +98,14 @@ type run = {
   cells : cell list;
   server : scell list;
       (* empty for runs recorded before server mode existed *)
+  shards : hcell list;
+      (* empty for runs recorded before the sharded server existed *)
   components : ccell list;
       (* empty for runs recorded without --trace *)
   calibration : calib list;
       (* empty for runs recorded without --trace *)
+  calibration_check : calcheck option;
+      (* None for runs recorded without --trace *)
 }
 
 (* --- JSON values --- *)
@@ -271,6 +314,34 @@ let ccell_of_json j =
       | _ -> raise (Parse_error "expected an object of component cycles"));
   }
 
+let hcell_of_json j =
+  {
+    sh_bench = str (field "bench" j);
+    sh_policy = str (field "policy" j);
+    sh_shards = int_of_float (num (field "shards" j));
+    sh_pool = int_of_float (num (field "pool" j));
+    sh_pool_policy = str (field "pool_policy" j);
+    sh_sessions = int_of_float (num (field "sessions" j));
+    sh_period = int_of_float (num (field "period" j));
+    sh_makespan = int_of_float (num (field "makespan" j));
+    sh_throughput_spmc = num (field "throughput_spmc" j);
+    sh_p50 = int_of_float (num (field "p50" j));
+    sh_p95 = int_of_float (num (field "p95" j));
+    sh_p99 = int_of_float (num (field "p99" j));
+    sh_steals = int_of_float (num (field "steals" j));
+    sh_fairness = num (field "fairness" j);
+    sh_published = int_of_float (num (field "published" j));
+    sh_adopted = int_of_float (num (field "adopted" j));
+  }
+
+let calcheck_of_json j =
+  {
+    v_app_ns = num (field "app_ns" j);
+    v_system_ns = num (field "system_ns" j);
+    v_ratio = num (field "ratio" j);
+    v_verdict = str (field "verdict" j);
+  }
+
 let calib_of_json j =
   {
     k_tier = str (field "tier" j);
@@ -306,6 +377,16 @@ let run_of_json j =
           | Some _ ->
               raise (Parse_error "expected an array under \"server\""))
       | _ -> []);
+    shards =
+      (* Absent in files written before the sharded server existed. *)
+      (match j with
+      | Obj kvs -> (
+          match List.assoc_opt "shards" kvs with
+          | None | Some Null -> []
+          | Some (Arr hcells) -> List.map hcell_of_json hcells
+          | Some _ ->
+              raise (Parse_error "expected an array under \"shards\""))
+      | _ -> []);
     components =
       (* Absent in files written without a traced sweep. *)
       (match j with
@@ -326,6 +407,15 @@ let run_of_json j =
           | Some _ ->
               raise (Parse_error "expected an array under \"calibration\""))
       | _ -> []);
+    calibration_check =
+      (* Absent in files written without a traced sweep (or before the
+         sanity check existed). *)
+      (match j with
+      | Obj kvs -> (
+          match List.assoc_opt "calibration_check" kvs with
+          | None | Some Null -> None
+          | Some v -> Some (calcheck_of_json v))
+      | _ -> None);
   }
 
 (* A trajectory file is {"runs": [...]}; a bare run object (the PR 1
@@ -396,6 +486,29 @@ let output_run oc r ~last =
       r.server;
     Printf.fprintf oc "      ]"
   end;
+  (* The shards section is likewise only written when the sharded
+     server ran (bench --serve on a repo with lib/server/shards). *)
+  if r.shards <> [] then begin
+    Printf.fprintf oc ",\n      \"shards\": [\n";
+    let last_h = List.length r.shards - 1 in
+    List.iteri
+      (fun i h ->
+        Printf.fprintf oc
+          "        {\"bench\": \"%s\", \"policy\": \"%s\", \"shards\": %d, \
+           \"pool\": %d, \"pool_policy\": \"%s\", \"sessions\": %d, \
+           \"period\": %d, \"makespan\": %d, \"throughput_spmc\": %.6f, \
+           \"p50\": %d, \"p95\": %d, \"p99\": %d, \"steals\": %d, \
+           \"fairness\": %.6f, \"published\": %d, \"adopted\": %d}%s\n"
+          (json_escape h.sh_bench) (json_escape h.sh_policy) h.sh_shards
+          h.sh_pool
+          (json_escape h.sh_pool_policy)
+          h.sh_sessions h.sh_period h.sh_makespan h.sh_throughput_spmc h.sh_p50
+          h.sh_p95 h.sh_p99 h.sh_steals h.sh_fairness h.sh_published
+          h.sh_adopted
+          (if i = last_h then "" else ","))
+      r.shards;
+    Printf.fprintf oc "      ]"
+  end;
   (* Likewise only written when a traced sweep ran. *)
   if r.components <> [] then begin
     Printf.fprintf oc ",\n      \"components\": [\n";
@@ -428,6 +541,15 @@ let output_run oc r ~last =
       r.calibration;
     Printf.fprintf oc "      ]"
   end;
+  (* Likewise only written when --trace computed the sanity verdict. *)
+  (match r.calibration_check with
+  | None -> ()
+  | Some v ->
+      Printf.fprintf oc
+        ",\n\
+        \      \"calibration_check\": {\"app_ns\": %.6f, \"system_ns\": \
+         %.6f, \"ratio\": %.6f, \"verdict\": \"%s\"}"
+        v.v_app_ns v.v_system_ns v.v_ratio (json_escape v.v_verdict));
   Printf.fprintf oc "\n    }%s\n" (if last then "" else ",")
 
 let write_file path runs =

@@ -345,6 +345,10 @@ let trace_one ~bench ~file ~policy_str ~scale ~out ~jsonl ~flame ~min_pct
               probe_on_clock;
             }
           in
+          (* Reset the process-global tier-cache counters so the line
+             below reports exactly this run's traffic (deterministic:
+             one VM, no concurrent sweeps in this process). *)
+          Metrics.reset_tier_cache_stats ();
           let result = run_with_obs ~policy ~obs ~tier program in
           let sys = result.Runtime.sys in
           let m = result.Runtime.metrics in
@@ -375,6 +379,11 @@ let trace_one ~bench ~file ~policy_str ~scale ~out ~jsonl ~flame ~min_pct
              inlined, %d refused)@."
             (Acsi_obs.Tracer.length tracer)
             dropped (inlined + refused) inlined refused;
+          let cs = Metrics.tier_cache_stats () in
+          Format.printf
+            "tier cache: %d hits, %d misses, %d evictions (shared \
+             baseline-compile MRU)@."
+            cs.Metrics.hits cs.Metrics.misses cs.Metrics.evictions;
           (* The reconciliation contract (see Acsi_obs.Tracer): only
              checkable when the ring kept every event. *)
           let mismatches =
@@ -602,11 +611,66 @@ let lint_targets files =
    latency percentiles. Deterministic: identical invocations print
    identical summaries. *)
 let serve_benches ~benches ~policy_str ~scale ~requests ~clients ~think
-    ~open_period ~quantum ~switch_cost ~seed ~sync_compile ~show_windows =
+    ~open_period ~quantum ~switch_cost ~seed ~sync_compile ~show_windows
+    ~shards ~pool ~pool_policy_str ~barrier ~jobs =
   match Acsi_policy.Policy.of_string policy_str with
   | None ->
       Format.eprintf "unknown policy %S@." policy_str;
       2
+  | Some policy when shards > 0 -> (
+      (* Sharded serving: N virtual processors with work stealing, a
+         publish-once code cache and per-shard compiler pools.
+         [--requests] is the total session count; arrivals are always
+         open-loop ([--open], default period 2400). *)
+      match Acsi_aos.System.queue_policy_of_string pool_policy_str with
+      | None ->
+          Format.eprintf "unknown pool policy %S (fifo|hot|deadline)@."
+            pool_policy_str;
+          2
+      | Some pool_policy -> (
+          let exception Unknown_bench of string in
+          let names =
+            List.filter
+              (fun s -> String.length s > 0)
+              (String.split_on_char ',' benches)
+          in
+          match
+            List.map
+              (fun name ->
+                match Acsi_workloads.Workloads.find name with
+                | spec -> spec
+                | exception Not_found -> raise (Unknown_bench name))
+              names
+          with
+          | exception Unknown_bench name ->
+              Format.eprintf "unknown benchmark %S (use --list)@." name;
+              2
+          | specs ->
+              let first = ref true in
+              List.iter
+                (fun (spec : Acsi_workloads.Workloads.spec) ->
+                  let scale =
+                    match scale with
+                    | Some s -> s
+                    | None -> spec.Acsi_workloads.Workloads.default_scale
+                  in
+                  let program = spec.Acsi_workloads.Workloads.build ~scale in
+                  let period = Option.value open_period ~default:2400 in
+                  let result =
+                    Acsi_server.Shards.run ~quantum ~switch_cost ~seed ~jobs
+                      ~barrier ~pool ~pool_policy ~shards ~sessions:requests
+                      ~period ~name:spec.Acsi_workloads.Workloads.name
+                      (Config.default ~policy) program
+                  in
+                  if not !first then Format.printf "@.";
+                  first := false;
+                  Format.printf "%a@." Acsi_server.Shards.pp_summary
+                    result.Acsi_server.Shards.summary;
+                  if show_windows then
+                    Format.printf "%a@." Acsi_server.Shards.pp_shards
+                      result.Acsi_server.Shards.shard_stats)
+                specs;
+              0))
   | Some policy -> (
       let exception Unknown_bench of string in
       let names =
@@ -717,13 +781,57 @@ let sync_compile_arg =
 let windows_arg =
   Arg.(
     value & flag
-    & info [ "windows" ] ~doc:"Also print the per-window warmup curve.")
+    & info [ "windows" ]
+        ~doc:
+          "Also print the per-window warmup curve (or, with --shards, the \
+           per-shard breakdown).")
+
+let shards_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "shards" ]
+        ~doc:
+          "Serve across N sharded virtual processors (per-shard run \
+           queues, deterministic work stealing, publish-once code cache). \
+           0 (default) keeps the single-VM server. With shards, \
+           --requests is the total session count and arrivals are always \
+           open-loop.")
+
+let pool_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "pool" ]
+        ~doc:"Background compiler threads per shard (sharded mode).")
+
+let pool_policy_arg =
+  Arg.(
+    value & opt string "fifo"
+    & info [ "pool-policy" ]
+        ~doc:"Compiler-pool queue policy: fifo, hot or deadline.")
+
+let barrier_arg =
+  Arg.(
+    value & opt int 2_000_000
+    & info [ "barrier" ]
+        ~doc:
+          "Virtual cycles between cross-shard barriers (DCG merge, code \
+           publication, work stealing).")
+
+let serve_jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ]
+        ~doc:
+          "Host domains running shards in parallel within a round \
+           (sharded mode); never affects results.")
 
 let serve_main verbose benches policy scale requests clients think open_period
-    quantum switch_cost seed sync_compile show_windows =
+    quantum switch_cost seed sync_compile show_windows shards pool
+    pool_policy_str barrier jobs =
   setup_logs verbose;
   serve_benches ~benches ~policy_str:policy ~scale ~requests ~clients ~think
     ~open_period ~quantum ~switch_cost ~seed ~sync_compile ~show_windows
+    ~shards ~pool ~pool_policy_str ~barrier ~jobs
 
 let serve_cmd =
   let doc =
@@ -735,7 +843,8 @@ let serve_cmd =
       const serve_main $ verbose_arg $ serve_bench_arg $ policy_arg
       $ scale_arg $ requests_arg $ clients_arg $ think_arg $ open_period_arg
       $ quantum_arg $ switch_cost_arg $ seed_arg $ sync_compile_arg
-      $ windows_arg)
+      $ windows_arg $ shards_arg $ pool_arg $ pool_policy_arg $ barrier_arg
+      $ serve_jobs_arg)
 
 let lint_files_arg =
   Arg.(

@@ -7,6 +7,27 @@ let log_src = Logs.Src.create "acsi.aos" ~doc:"adaptive optimization system"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(* Ordering discipline of the background compiler pool's shared queue.
+   [Fifo] preserves enqueue order (with a pool of 1 this is byte-identical
+   to the original serial background thread). [Hot_first] reorders each
+   drain batch by current method hotness, so the methods burning the most
+   cycles reach a free compiler first. [Deadline] is earliest-deadline-
+   first where a job's deadline is its enqueue time plus slack
+   proportional to the method's size — small methods overtake big ones
+   enqueued slightly earlier. *)
+type compile_queue_policy = Fifo | Hot_first | Deadline
+
+let queue_policy_name = function
+  | Fifo -> "fifo"
+  | Hot_first -> "hot"
+  | Deadline -> "deadline"
+
+let queue_policy_of_string = function
+  | "fifo" -> Some Fifo
+  | "hot" | "hot-first" -> Some Hot_first
+  | "deadline" -> Some Deadline
+  | _ -> None
+
 type config = {
   policy : Acsi_policy.Policy.t;
   hot_edge_threshold : float;
@@ -34,6 +55,11 @@ type config = {
           either way *)
   collect_termination_stats : bool;
   async_compile : bool;
+  compiler_pool : int;
+      (** number of background compiler threads sharing the compile
+          queue (async model only); 1 reproduces the serial background
+          thread exactly *)
+  compile_queue_policy : compile_queue_policy;
   obs : Acsi_obs.Control.config;
 }
 
@@ -61,6 +87,8 @@ let default_config policy =
     native_tier = true;
     collect_termination_stats = false;
     async_compile = false;
+    compiler_pool = 1;
+    compile_queue_policy = Fifo;
     obs = Acsi_obs.Control.off;
   }
 
@@ -74,9 +102,10 @@ type in_flight_compile = {
   ic_code : Acsi_vm.Code.t;
   ic_stats : Acsi_jit.Expand.stats;
   ic_rule_stamp : int;  (** rules version the job was compiled against *)
-  ic_start : int;  (** cycle the background thread began the job *)
+  ic_start : int;  (** cycle a pool compiler began the job *)
   ic_finish : int;  (** cycle the job completes and may install *)
   ic_instrs_at_start : int;  (** mutator instruction count at [ic_start] *)
+  ic_seq : int;  (** job submission order, install tie-break *)
 }
 
 type t = {
@@ -99,14 +128,18 @@ type t = {
   mutable method_buffer_len : int;
   mutable trace_buffer : Trace.t list;
   mutable trace_buffer_len : int;
-  (* compilation queue *)
-  compile_queue : Ids.Method_id.t Queue.t;
+  (* compilation queue: method plus its enqueue cycle (deadline input) *)
+  compile_queue : (Ids.Method_id.t * int) Queue.t;
   pending : bool array;
-  (* asynchronous (background-thread) compilation: finished code waiting
-     for its virtual finish time, in finish order *)
-  in_flight : in_flight_compile Queue.t;
-  mutable compiler_busy_until : int;
+  (* asynchronous (pool) compilation: finished code waiting for its
+     virtual finish time, kept sorted by (finish, submission seq) — with
+     more than one compiler, jobs submitted later can finish earlier *)
+  mutable in_flight : in_flight_compile list;
+  mutable in_flight_seq : int;
+  (* per-compiler busy-until timelines; length = max 1 compiler_pool *)
+  compilers : int array;
   mutable async_installs : int;
+  mutable adopted_installs : int;
   mutable max_queue_depth : int;
   mutable overlap_instructions : int;
   mutable overlapped_aos_cycles : int;
@@ -135,8 +168,10 @@ let trace_samples_taken t = t.trace_samples
 let epochs_run t = t.epochs
 let compile_queue_depth t = Queue.length t.compile_queue
 let max_compile_queue_depth t = t.max_queue_depth
-let in_flight_compiles t = Queue.length t.in_flight
+let in_flight_compiles t = List.length t.in_flight
 let async_installs t = t.async_installs
+let adopted_installs t = t.adopted_installs
+let compiler_pool_size t = Array.length t.compilers
 let async_overlap_instructions t = t.overlap_instructions
 let overlapped_aos_cycles t = t.overlapped_aos_cycles
 let obs t = t.obs
@@ -165,7 +200,7 @@ let charge ?(ev = "aos") t component cycles =
 let enqueue_compile t (mid : Ids.Method_id.t) =
   if not t.pending.((mid :> int)) then begin
     t.pending.((mid :> int)) <- true;
-    Queue.add mid t.compile_queue;
+    Queue.add (mid, Interp.cycles t.vm) t.compile_queue;
     t.max_queue_depth <- max t.max_queue_depth (Queue.length t.compile_queue);
     Acsi_obs.Tracer.counter (tracer t)
       ~track:(Accounting.component_name Accounting.Compilation)
@@ -532,12 +567,35 @@ let install_compiled t mid code stats ~rule_stamp =
    clock, so the requesting execution waits for the compiler. *)
 let compilation_thread t =
   while not (Queue.is_empty t.compile_queue) do
-    let mid = Queue.pop t.compile_queue in
+    let mid, _ = Queue.pop t.compile_queue in
     let code, stats = compile_one t mid in
     charge ~ev:"opt-compile" t Accounting.Compilation
       stats.Acsi_jit.Expand.compile_cycles;
     install_compiled t mid code stats ~rule_stamp:t.rules_version
   done
+
+(* Drain the compile queue into a batch ordered by the configured queue
+   policy. All orderings are stable over the FIFO enqueue order, so
+   [Fifo] is the identity and ties never depend on hash or allocation
+   order. *)
+let policy_order t jobs =
+  match t.cfg.compile_queue_policy with
+  | Fifo -> jobs
+  | Hot_first ->
+      List.stable_sort
+        (fun (a, _) (b, _) ->
+          Float.compare
+            (Hot_methods.samples t.hot_methods b)
+            (Hot_methods.samples t.hot_methods a))
+        jobs
+  | Deadline ->
+      let deadline (mid, enq) =
+        let units = Meth.size_units (Program.meth t.program mid) in
+        enq + (units * t.cost.Cost.baseline_compile_unit)
+      in
+      List.stable_sort
+        (fun a b -> compare (deadline a) (deadline b))
+        jobs
 
 (* The background compilation model: the compiler runs on its own virtual
    thread whose cycles overlap mutator execution. Each job starts when
@@ -547,44 +605,68 @@ let compilation_thread t =
    Figure-6 component accounting but NOT to the shared clock — that is
    the overlap. *)
 let start_async_compiles t =
+  let jobs = ref [] in
   while not (Queue.is_empty t.compile_queue) do
-    let mid = Queue.pop t.compile_queue in
-    let code, stats = compile_one t mid in
-    Accounting.charge t.accounting Accounting.Compilation
-      stats.Acsi_jit.Expand.compile_cycles;
-    (* Charged to the Figure-6 accounting but not to the shared clock:
-       these are the overlapped cycles the async model hides. *)
-    t.overlapped_aos_cycles <-
-      t.overlapped_aos_cycles + stats.Acsi_jit.Expand.compile_cycles;
-    let now = Interp.cycles t.vm in
-    let start = max now t.compiler_busy_until in
-    let finish = start + stats.Acsi_jit.Expand.compile_cycles in
-    t.compiler_busy_until <- finish;
-    (* The span covers the background thread's own busy interval
-       [start, finish) — exactly [compile_cycles] long, so the
-       Compilation track still reconciles with its Accounting total. *)
-    Acsi_obs.Tracer.span (tracer t)
-      ~track:(Accounting.component_name Accounting.Compilation)
-      ~name:"opt-compile-async" ~t0:start ~t1:finish;
-    Queue.add
-      {
-        ic_meth = mid;
-        ic_code = code;
-        ic_stats = stats;
-        ic_rule_stamp = t.rules_version;
-        ic_start = start;
-        ic_finish = finish;
-        ic_instrs_at_start = Interp.instructions_executed t.vm;
-      }
-      t.in_flight
-  done
+    jobs := Queue.pop t.compile_queue :: !jobs
+  done;
+  List.iter
+    (fun (mid, _enq) ->
+      let code, stats = compile_one t mid in
+      Accounting.charge t.accounting Accounting.Compilation
+        stats.Acsi_jit.Expand.compile_cycles;
+      (* Charged to the Figure-6 accounting but not to the shared clock:
+         these are the overlapped cycles the async model hides. *)
+      t.overlapped_aos_cycles <-
+        t.overlapped_aos_cycles + stats.Acsi_jit.Expand.compile_cycles;
+      let now = Interp.cycles t.vm in
+      (* Earliest-free compiler of the pool takes the job; ties go to the
+         lowest index, so the assignment is a pure function of the
+         timelines. *)
+      let k = ref 0 in
+      Array.iteri (fun i busy -> if busy < t.compilers.(!k) then k := i)
+        t.compilers;
+      let start = max now t.compilers.(!k) in
+      let finish = start + stats.Acsi_jit.Expand.compile_cycles in
+      t.compilers.(!k) <- finish;
+      (* The span covers the pool compiler's own busy interval
+         [start, finish) — exactly [compile_cycles] long, so the
+         Compilation track still reconciles with its Accounting total. *)
+      Acsi_obs.Tracer.span (tracer t)
+        ~track:(Accounting.component_name Accounting.Compilation)
+        ~name:"opt-compile-async" ~t0:start ~t1:finish;
+      let seq = t.in_flight_seq in
+      t.in_flight_seq <- seq + 1;
+      let ic =
+        {
+          ic_meth = mid;
+          ic_code = code;
+          ic_stats = stats;
+          ic_rule_stamp = t.rules_version;
+          ic_start = start;
+          ic_finish = finish;
+          ic_instrs_at_start = Interp.instructions_executed t.vm;
+          ic_seq = seq;
+        }
+      in
+      (* Sorted insert by (finish, seq): the install poll pops from the
+         head, and with one FIFO compiler this degenerates to the plain
+         append of the serial model. *)
+      let before, after =
+        List.partition
+          (fun o ->
+            o.ic_finish < ic.ic_finish
+            || (o.ic_finish = ic.ic_finish && o.ic_seq < ic.ic_seq))
+          t.in_flight
+      in
+      t.in_flight <- before @ (ic :: after))
+    (policy_order t (List.rev !jobs))
 
 let poll_async_installs t =
   let now = Interp.cycles t.vm in
   let rec go () =
-    match Queue.peek_opt t.in_flight with
-    | Some ic when ic.ic_finish <= now ->
-        ignore (Queue.pop t.in_flight);
+    match t.in_flight with
+    | ic :: rest when ic.ic_finish <= now ->
+        t.in_flight <- rest;
         t.async_installs <- t.async_installs + 1;
         Acsi_obs.Tracer.instant (tracer t)
           ~track:(Accounting.component_name Accounting.Compilation)
@@ -602,9 +684,41 @@ let poll_async_installs t =
         install_compiled t ic.ic_meth ic.ic_code ic.ic_stats
           ~rule_stamp:ic.ic_rule_stamp;
         go ()
-    | Some _ | None -> ()
+    | _ -> ()
   in
   go ()
+
+(* Cross-shard adoption: install optimized code that was compiled (and
+   published) by another shard's AOS. The adopter pays no compile cycles
+   — that is the point of the publish-once code cache — but the install
+   still passes through the same [Jit_check] gate as local installs.
+   When the publisher also shipped its closure-tier compilation
+   ([native]), the tier closures are reused directly: they are
+   VM-independent (runtime state flows through the [wst] record), so
+   re-verifying + re-compiling them per shard would be pure waste. *)
+let adopt_compiled t mid code stats ~rule_stamp ~native =
+  if t.cfg.verify_installed then
+    Acsi_analysis.Jit_check.check_exn t.program code;
+  Interp.install_code t.vm mid code;
+  (match native with
+  | Some (fns, entry_depths) when t.cfg.native_tier ->
+      Interp.install_native t.vm mid ~fns ~entry_depths
+  | _ ->
+      if t.cfg.native_tier then
+        let gate =
+          if t.cfg.verify_installed then []
+          else Acsi_analysis.Jit_check.check t.program code
+        in
+        (match gate with
+        | [] -> ( try Acsi_vm.Tier.install t.vm mid code with _ -> ())
+        | _ :: _ -> ()));
+  Registry.record t.registry mid stats ~rule_stamp;
+  t.adopted_installs <- t.adopted_installs + 1;
+  Db.record_adoption t.db ~meth:mid
+    ~version:
+      (match Registry.entry t.registry mid with
+      | Some e -> e.Registry.version
+      | None -> 0)
 
 let run_epoch t =
   t.epochs <- t.epochs + 1;
@@ -738,9 +852,11 @@ let create ?profile cfg vm =
       trace_buffer_len = 0;
       compile_queue = Queue.create ();
       pending = Array.make (Program.method_count program) false;
-      in_flight = Queue.create ();
-      compiler_busy_until = 0;
+      in_flight = [];
+      in_flight_seq = 0;
+      compilers = Array.make (max 1 cfg.compiler_pool) 0;
       async_installs = 0;
+      adopted_installs = 0;
       max_queue_depth = 0;
       overlap_instructions = 0;
       overlapped_aos_cycles = 0;

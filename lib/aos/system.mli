@@ -19,6 +19,17 @@
 
 open Acsi_profile
 
+type compile_queue_policy =
+  | Fifo  (** enqueue order; with a pool of 1, the serial model exactly *)
+  | Hot_first  (** hottest method (current sample weight) first *)
+  | Deadline
+      (** earliest-deadline-first, deadline = enqueue cycle + slack
+          proportional to method size: small methods overtake large ones
+          enqueued slightly earlier *)
+
+val queue_policy_name : compile_queue_policy -> string
+val queue_policy_of_string : string -> compile_queue_policy option
+
 type config = {
   policy : Acsi_policy.Policy.t;
   hot_edge_threshold : float;
@@ -78,6 +89,16 @@ type config = {
           cycles are charged to the Figure-6 component accounting but not
           to the shared clock. Default [false] — the paper's measurement
           configuration stalls, and all goldens are pinned to it. *)
+  compiler_pool : int;
+      (** background compiler threads sharing the compile queue (async
+          model only). Each has its own busy-until timeline; a drained
+          job goes to the earliest-free compiler (ties to the lowest
+          index). Default [1] — byte-identical to the serial background
+          thread. *)
+  compile_queue_policy : compile_queue_policy;
+      (** ordering of each drained compile batch before pool assignment;
+          every ordering is stable over FIFO enqueue order. Default
+          {!Fifo}. *)
   obs : Acsi_obs.Control.config;
       (** observability: structured tracing, inline-decision provenance
           and the CCT profile ({!Acsi_obs}). Defaults to
@@ -132,6 +153,28 @@ val in_flight_compiles : t -> int
 
 val async_installs : t -> int
 (** Code installations performed by the background compilation model. *)
+
+val compiler_pool_size : t -> int
+
+val adopt_compiled :
+  t ->
+  Acsi_bytecode.Ids.Method_id.t ->
+  Acsi_vm.Code.t ->
+  Acsi_jit.Expand.stats ->
+  rule_stamp:int ->
+  native:(Acsi_vm.Interp.nfn array * int array) option ->
+  unit
+(** Install optimized code compiled by another AOS instance (a shard's
+    publish-once code-cache hit): the adopter pays no compile cycles,
+    but the install still passes the {!config.verify_installed}
+    [Jit_check] gate. [native], when provided and {!config.native_tier}
+    is on, reuses the publisher's closure-tier compilation — closures
+    are VM-independent, runtime state flows through the interpreter's
+    window-state record. Recorded in the {!Db} adoption log and in
+    {!adopted_installs}. *)
+
+val adopted_installs : t -> int
+(** Cross-shard adoptions performed via {!adopt_compiled}. *)
 
 val async_overlap_instructions : t -> int
 (** Mutator instructions retired between background-compile job starts

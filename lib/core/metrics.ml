@@ -217,3 +217,12 @@ let pp fmt t =
   f fmt "guards               %d hits / %d misses (%d sites, %d inlines)@,"
     t.guard_hits t.guard_misses t.guard_sites t.inline_total;
   f fmt "output checksum      %d@]" t.output_checksum
+
+type cache_stats = Acsi_vm.Tier.cache_stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+let tier_cache_stats () = Acsi_vm.Tier.cache_stats ()
+let reset_tier_cache_stats () = Acsi_vm.Tier.reset_cache_stats ()

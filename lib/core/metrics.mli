@@ -103,4 +103,22 @@ val component_pct : t -> Accounting.component -> float
 val checksum : int list -> int
 (** Order-sensitive checksum of a VM output stream. *)
 
+(** {2 Tier cache statistics}
+
+    Traffic counters of the process-global MRU baseline-compile cache
+    ({!Acsi_vm.Tier}). Deliberately *not* part of {!t}: the counters are
+    shared across every VM in the process and their hit/miss split
+    depends on domain interleaving under parallel sweeps, so folding
+    them into per-run metrics would break the determinism contract.
+    Single-run tools ([acsi-run trace]) report them directly. *)
+
+type cache_stats = Acsi_vm.Tier.cache_stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+val tier_cache_stats : unit -> cache_stats
+val reset_tier_cache_stats : unit -> unit
+
 val pp : Format.formatter -> t -> unit

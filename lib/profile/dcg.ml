@@ -99,6 +99,20 @@ let add_sample t trace =
       index_insert t trace w);
   t.total <- t.total +. 1.0
 
+let add_weight t trace w0 =
+  if w0 > 0.0 then begin
+    (match Trace.Table.find_opt t.table trace with
+    | Some w -> w := !w +. w0
+    | None ->
+        let w = ref w0 in
+        Trace.Table.add t.table trace w;
+        index_insert t trace w);
+    t.total <- t.total +. w0
+  end
+
+let merge ~into src =
+  Trace.Table.iter (fun trace w -> add_weight into trace !w) src.table
+
 let weight t trace =
   match Trace.Table.find_opt t.table trace with
   | Some w -> !w

@@ -19,6 +19,18 @@ val create : unit -> t
 val add_sample : t -> Trace.t -> unit
 (** Add one sample (weight 1.0). *)
 
+val add_weight : t -> Trace.t -> float -> unit
+(** Add [w] (> 0, else a no-op) to one trace's weight, inserting the
+    trace — and indexing its site — when new. [add_sample t tr] is
+    [add_weight t tr 1.0]. *)
+
+val merge : into:t -> t -> unit
+(** Fold every trace of the source graph into [into], adding weights
+    trace by trace. Totals are additive: afterwards [into]'s total has
+    grown by exactly the source's total. The source is not modified.
+    This is the organizer-side flush of per-shard DCGs into the global
+    view (the paper's per-virtual-processor sample buffers). *)
+
 val weight : t -> Trace.t -> float
 (** 0 when the trace was never sampled. *)
 

@@ -1,0 +1,537 @@
+module Interp = Acsi_vm.Interp
+module Tier = Acsi_vm.Tier
+module System = Acsi_aos.System
+module Registry = Acsi_aos.Registry
+module Dcg = Acsi_profile.Dcg
+module Config = Acsi_core.Config
+module Metrics = Acsi_core.Metrics
+module Parallel = Acsi_core.Parallel
+
+type shard_stat = {
+  h_id : int;
+  h_served : int;
+  h_cycles : int;
+  h_busy_last : int;
+  h_slices : int;
+  h_switches : int;
+  h_max_live : int;
+  h_max_resume_gap : int;
+  h_steals_in : int;
+  h_steals_out : int;
+  h_opt_compilations : int;
+  h_adopted : int;
+  h_dcg_size : int;
+}
+
+type summary = {
+  sh_workload : string;
+  sh_policy : string;
+  sh_shards : int;
+  sh_sessions : int;
+  sh_period : int;
+  sh_pool : int;
+  sh_pool_policy : string;
+  sh_rounds : int;
+  sh_makespan : int;
+  sh_sum_cycles : int;
+  sh_throughput_spmc : float;
+  sh_mean_latency : float;
+  sh_p50 : int;
+  sh_p95 : int;
+  sh_p99 : int;
+  sh_max_latency : int;
+  sh_steals : int;
+  sh_fairness : float;
+  sh_published : int;
+  sh_adopted : int;
+  sh_merged_dcg_size : int;
+  sh_merged_dcg_weight : float;
+  sh_output_checksum : int;
+}
+
+type result = {
+  summary : summary;
+  shard_stats : shard_stat list;
+  publications : (Acsi_bytecode.Ids.Method_id.t * int) list;
+  merged_dcg : Dcg.t;
+  systems : System.t list;
+}
+
+(* One virtual processor. [sd_home] is the shard's slice of the global
+   arrival schedule (ascending arrival; [sd_head] marks the next
+   unadmitted entry) and [sd_stolen] holds sessions stolen from other
+   shards at barriers. Sessions are (arrival, rid) tuples until
+   admission spawns a virtual thread for them — which is what keeps a
+   million-session backlog cheap. *)
+type shard = {
+  sd_id : int;
+  sd_vm : Interp.t;
+  sd_sys : System.t;
+  sd_sched : Sched.t;
+  sd_home : (int * int) array;
+  mutable sd_head : int;
+  sd_stolen : (int * int) Queue.t;
+  sd_by_tid : (int, int * int) Hashtbl.t;
+  mutable sd_latencies_rev : int list;
+  mutable sd_served : int;
+  mutable sd_steals_in : int;
+  mutable sd_steals_out : int;
+  mutable sd_busy_last : int;
+  sd_pub_seen : int array;
+}
+
+(* A publish-once code-cache entry. [p_native] carries the publisher's
+   closure-tier compilation: tier closures are VM-independent (runtime
+   state flows through the interpreter's window-state record), so
+   adopters install them directly instead of re-compiling. *)
+type publication = {
+  p_mid : Acsi_bytecode.Ids.Method_id.t;
+  p_origin : int;
+  p_code : Acsi_vm.Code.t;
+  p_stats : Acsi_jit.Expand.stats;
+  p_rule_stamp : int;
+  p_native : (Interp.nfn array * int array) option;
+}
+
+let admit max_live sd =
+  let now = Interp.cycles sd.sd_vm in
+  let n_home = Array.length sd.sd_home in
+  let rec go () =
+    if Sched.live sd.sd_sched < max_live then begin
+      let home_at =
+        if sd.sd_head < n_home then fst sd.sd_home.(sd.sd_head) else max_int
+      in
+      let stolen_at =
+        match Queue.peek_opt sd.sd_stolen with
+        | Some (at, _) -> at
+        | None -> max_int
+      in
+      if min home_at stolen_at <= now then begin
+        let at, rid =
+          if stolen_at <= home_at then Queue.pop sd.sd_stolen
+          else begin
+            let e = sd.sd_home.(sd.sd_head) in
+            sd.sd_head <- sd.sd_head + 1;
+            e
+          end
+        in
+        let tid = Sched.spawn sd.sd_sched in
+        Hashtbl.replace sd.sd_by_tid tid (rid, at);
+        go ()
+      end
+    end
+  in
+  go ()
+
+let finish_one sd tid =
+  let finish = Interp.cycles sd.sd_vm in
+  let _rid, arrival =
+    match Hashtbl.find_opt sd.sd_by_tid tid with
+    | Some x -> x
+    | None -> assert false
+  in
+  Hashtbl.remove sd.sd_by_tid tid;
+  sd.sd_latencies_rev <- (finish - arrival) :: sd.sd_latencies_rev;
+  sd.sd_served <- sd.sd_served + 1;
+  sd.sd_busy_last <- finish
+
+(* Earliest arrival the shard still has queued (home or stolen). *)
+let next_arrival sd =
+  let home_at =
+    if sd.sd_head < Array.length sd.sd_home then fst sd.sd_home.(sd.sd_head)
+    else max_int
+  in
+  let stolen_at =
+    match Queue.peek_opt sd.sd_stolen with
+    | Some (at, _) -> at
+    | None -> max_int
+  in
+  min home_at stolen_at
+
+(* Run one shard up to the round's virtual-time limit. Touches only the
+   shard's own state, so shards run on concurrent host domains; the
+   spawn/join edges of [Parallel.map] order these mutations against the
+   serial barrier work. An idle shard advances its clock to the next
+   arrival (or the limit) — the processor waiting, exactly as in
+   {!Server}. *)
+let run_round max_live limit sd =
+  let vm = sd.sd_vm in
+  let rec loop () =
+    admit max_live sd;
+    if Interp.cycles vm < limit then
+      match Sched.run_slice sd.sd_sched with
+      | Some (tid, Interp.Done) ->
+          finish_one sd tid;
+          loop ()
+      | Some (_, Interp.Running) -> loop ()
+      | None ->
+          let now = Interp.cycles vm in
+          let target = min limit (max now (next_arrival sd)) in
+          if target > now then Interp.charge vm (target - now);
+          if target < limit then loop ()
+  in
+  loop ()
+
+(* Due backlog: sessions whose arrival has passed but that are not yet
+   admitted, plus live threads. Only the un-admitted part is movable. *)
+let due_home sd =
+  let now = Interp.cycles sd.sd_vm in
+  let n = Array.length sd.sd_home in
+  (* First index with arrival > now, binary search over the sorted
+     suffix starting at sd_head. *)
+  let lo = ref sd.sd_head and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst sd.sd_home.(mid) <= now then lo := mid + 1 else hi := mid
+  done;
+  !lo - sd.sd_head
+
+let movable sd = due_home sd + Queue.length sd.sd_stolen
+
+(* Deterministic work stealing at a barrier: greedily move the oldest
+   due session from the most-backlogged shard to the least-backlogged
+   one until the spread is <= 1. Victim/thief scans rotate by a
+   splitmix hash of (seed, round) so tie-breaks do not systematically
+   favour low shard ids. Stolen sessions keep their arrival, so
+   latencies still measure from the original arrival. *)
+let steal_pass shards ~seed ~round =
+  let n = Array.length shards in
+  if n > 1 then begin
+    let offset =
+      Load.next_rand (seed + ((round + 1) * 0x9E3779B9)) mod n
+    in
+    let offset = if offset < 0 then -offset else offset in
+    let backlog = Array.map (fun sd -> movable sd + Sched.live sd.sd_sched) shards in
+    let mov = Array.map movable shards in
+    let continue_ = ref true in
+    while !continue_ do
+      let victim = ref (-1) and thief = ref (-1) in
+      for k = 0 to n - 1 do
+        let i = (offset + k) mod n in
+        if mov.(i) > 0 && (!victim < 0 || backlog.(i) > backlog.(!victim))
+        then victim := i;
+        if !thief < 0 || backlog.(i) < backlog.(!thief) then thief := i
+      done;
+      if
+        !victim >= 0 && !thief >= 0 && !victim <> !thief
+        && backlog.(!victim) >= backlog.(!thief) + 2
+      then begin
+        let v = shards.(!victim) and t = shards.(!thief) in
+        let session =
+          (* Oldest due session first: compare the two queue heads. *)
+          let home_at =
+            if v.sd_head < Array.length v.sd_home then
+              fst v.sd_home.(v.sd_head)
+            else max_int
+          in
+          match Queue.peek_opt v.sd_stolen with
+          | Some (at, _) when at <= home_at -> Queue.pop v.sd_stolen
+          | _ ->
+              let e = v.sd_home.(v.sd_head) in
+              v.sd_head <- v.sd_head + 1;
+              e
+        in
+        Queue.add session t.sd_stolen;
+        v.sd_steals_out <- v.sd_steals_out + 1;
+        t.sd_steals_in <- t.sd_steals_in + 1;
+        backlog.(!victim) <- backlog.(!victim) - 1;
+        mov.(!victim) <- mov.(!victim) - 1;
+        backlog.(!thief) <- backlog.(!thief) + 1;
+        mov.(!thief) <- mov.(!thief) + 1
+      end
+      else continue_ := false
+    done
+  end
+
+(* Publish-once code cache. After each round, every shard's registry is
+   scanned (in shard-id order, methods ascending) for versions not seen
+   at the previous barrier; the first shard to have compiled a method
+   publishes its code, stats and — when the tier took it — its closure
+   compilation. Later compiles of an already-published method stay
+   local. *)
+let collect_publications published shards pubs_rev =
+  Array.iter
+    (fun sd ->
+      let reg = System.registry sd.sd_sys in
+      let fresh = ref [] in
+      Registry.iter reg ~f:(fun mid entry ->
+          if entry.Registry.version > sd.sd_pub_seen.((mid :> int)) then
+            fresh := (mid, entry) :: !fresh);
+      let fresh =
+        List.sort (fun ((a : Acsi_bytecode.Ids.Method_id.t), _) (b, _) ->
+            compare (a :> int) (b :> int))
+          !fresh
+      in
+      List.iter
+        (fun ((mid : Acsi_bytecode.Ids.Method_id.t), entry) ->
+          sd.sd_pub_seen.((mid :> int)) <- entry.Registry.version;
+          if not (Hashtbl.mem published (mid :> int)) then begin
+            let code = Interp.code_of sd.sd_vm mid in
+            let native =
+              if Interp.native_installed sd.sd_vm mid then
+                match Tier.compile sd.sd_vm code with
+                | r -> Some r
+                | exception _ -> None
+              else None
+            in
+            let p =
+              {
+                p_mid = mid;
+                p_origin = sd.sd_id;
+                p_code = code;
+                p_stats = entry.Registry.stats;
+                p_rule_stamp = entry.Registry.rule_stamp;
+                p_native = native;
+              }
+            in
+            Hashtbl.add published (mid :> int) p;
+            pubs_rev := p :: !pubs_rev
+          end)
+        fresh)
+    shards
+
+(* Adopt published code on every shard that has executed the method but
+   never opt-compiled it. Runs every barrier, so a shard that first
+   touches a method later still adopts at the next barrier. *)
+let adopt_published published shards =
+  let pubs =
+    Hashtbl.fold (fun _ p acc -> p :: acc) published []
+    |> List.sort (fun a b -> compare (a.p_mid :> int) (b.p_mid :> int))
+  in
+  Array.iter
+    (fun sd ->
+      List.iter
+        (fun p ->
+          if
+            sd.sd_id <> p.p_origin
+            && Registry.entry (System.registry sd.sd_sys) p.p_mid = None
+            && Interp.was_executed sd.sd_vm p.p_mid
+          then begin
+            System.adopt_compiled sd.sd_sys p.p_mid p.p_code p.p_stats
+              ~rule_stamp:p.p_rule_stamp ~native:p.p_native;
+            sd.sd_pub_seen.((p.p_mid :> int)) <-
+              (match Registry.entry (System.registry sd.sd_sys) p.p_mid with
+              | Some e -> e.Registry.version
+              | None -> 0)
+          end)
+        pubs)
+    shards
+
+let run ?(quantum = 25_000) ?(switch_cost = 200) ?(seed = 1) ?(jobs = 1)
+    ?(barrier = 2_000_000) ?(max_live = 64) ?(hot_shard_weight = 2)
+    ?(pool = 1) ?(pool_policy = System.Fifo) ~shards:n_shards ~sessions
+    ~period ~name (cfg : Config.t) program =
+  if n_shards <= 0 then invalid_arg "Shards.run: shards must be positive";
+  if sessions <= 0 then invalid_arg "Shards.run: no sessions";
+  let barrier = max quantum barrier in
+  (* Global open-loop arrival schedule, then a deliberately skewed
+     home-shard hash: shard 0 draws [hot_shard_weight] shares, every
+     other shard one — a front-end router with a hot shard, the
+     imbalance work stealing exists to fix. *)
+  let arrivals = Load.open_loop_arrivals ~seed ~period ~n:sessions in
+  let weight = max 1 hot_shard_weight in
+  let total_shares = weight + (n_shards - 1) in
+  let home = Array.make sessions 0 in
+  let st = ref (Load.next_rand (seed lxor 0x2545F4914F6CDD1D)) in
+  for rid = 0 to sessions - 1 do
+    st := Load.next_rand !st;
+    (if n_shards > 1 then
+       let pick = !st mod total_shares in
+       home.(rid) <-
+         (if pick < weight then 0 else 1 + ((pick - weight) mod (n_shards - 1))))
+  done;
+  let n_methods = Acsi_bytecode.Program.method_count program in
+  let mk_shard id =
+    let vm =
+      Interp.create ~cost:cfg.Config.cost
+        ~sample_period:cfg.Config.sample_period
+        ~invoke_stride:cfg.Config.invoke_stride program
+    in
+    let aos =
+      {
+        cfg.Config.aos with
+        System.async_compile = true;
+        compiler_pool = pool;
+        compile_queue_policy = pool_policy;
+      }
+    in
+    let sys = System.create aos vm in
+    let sched =
+      (* Sharded runs outlive the single-run default cycle budget by
+         design (millions of sessions), so the per-resume limit is
+         effectively unbounded; the barrier loop is the budget. *)
+      Sched.create ~quantum ~switch_cost ~cycle_limit:max_int
+        ~on_switch:(fun () -> System.poll_async_installs sys)
+        vm
+    in
+    let mine = ref [] in
+    for rid = sessions - 1 downto 0 do
+      if home.(rid) = id then mine := (arrivals.(rid), rid) :: !mine
+    done;
+    {
+      sd_id = id;
+      sd_vm = vm;
+      sd_sys = sys;
+      sd_sched = sched;
+      sd_home = Array.of_list !mine;
+      sd_head = 0;
+      sd_stolen = Queue.create ();
+      sd_by_tid = Hashtbl.create 64;
+      sd_latencies_rev = [];
+      sd_served = 0;
+      sd_steals_in = 0;
+      sd_steals_out = 0;
+      sd_busy_last = 0;
+      sd_pub_seen = Array.make n_methods 0;
+    }
+  in
+  let shards = Array.init n_shards mk_shard in
+  let published : (int, publication) Hashtbl.t = Hashtbl.create 64 in
+  let pubs_rev = ref [] in
+  let total_served () =
+    Array.fold_left (fun acc sd -> acc + sd.sd_served) 0 shards
+  in
+  let round = ref 0 in
+  while total_served () < sessions do
+    let limit = (!round + 1) * barrier in
+    ignore
+      (Parallel.map ~jobs:(min jobs n_shards)
+         (fun sd ->
+           run_round max_live limit sd;
+           ())
+         (Array.to_list shards));
+    (* Serial barrier, shard-id order: publications, adoptions, steals.
+       (The global DCG view is rebuilt once at the end — merging is
+       associative over barriers, and organizers read shard-local DCGs
+       during rounds.) *)
+    collect_publications published shards pubs_rev;
+    adopt_published published shards;
+    steal_pass shards ~seed ~round:!round;
+    incr round
+  done;
+  let merged_dcg = Dcg.create () in
+  Array.iter (fun sd -> Dcg.merge ~into:merged_dcg (System.dcg sd.sd_sys)) shards;
+  let latencies =
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun sd -> Array.of_list (List.rev sd.sd_latencies_rev))
+            shards))
+  in
+  let makespan = Array.fold_left (fun acc sd -> max acc sd.sd_busy_last) 0 shards in
+  let sum_cycles =
+    Array.fold_left (fun acc sd -> acc + Interp.cycles sd.sd_vm) 0 shards
+  in
+  let served_min =
+    Array.fold_left (fun acc sd -> min acc sd.sd_served) max_int shards
+  in
+  let served_max =
+    Array.fold_left (fun acc sd -> max acc sd.sd_served) 0 shards
+  in
+  let checksum =
+    Array.fold_left
+      (fun acc sd ->
+        (acc * 31) + Metrics.checksum (Interp.output sd.sd_vm) + 17)
+      0 shards
+    land max_int
+  in
+  let publications =
+    List.rev_map (fun p -> (p.p_mid, p.p_origin)) !pubs_rev
+  in
+  let adopted =
+    Array.fold_left (fun acc sd -> acc + System.adopted_installs sd.sd_sys) 0
+      shards
+  in
+  let shard_stats =
+    Array.to_list
+      (Array.map
+         (fun sd ->
+           {
+             h_id = sd.sd_id;
+             h_served = sd.sd_served;
+             h_cycles = Interp.cycles sd.sd_vm;
+             h_busy_last = sd.sd_busy_last;
+             h_slices = Sched.slices sd.sd_sched;
+             h_switches = Sched.switches sd.sd_sched;
+             h_max_live = Sched.max_live sd.sd_sched;
+             h_max_resume_gap = Sched.max_resume_gap sd.sd_sched;
+             h_steals_in = sd.sd_steals_in;
+             h_steals_out = sd.sd_steals_out;
+             h_opt_compilations =
+               Registry.opt_compilation_count (System.registry sd.sd_sys);
+             h_adopted = System.adopted_installs sd.sd_sys;
+             h_dcg_size = Dcg.size (System.dcg sd.sd_sys);
+           })
+         shards)
+  in
+  let summary =
+    {
+      sh_workload = name;
+      sh_policy = Acsi_policy.Policy.to_string cfg.Config.aos.System.policy;
+      sh_shards = n_shards;
+      sh_sessions = sessions;
+      sh_period = period;
+      sh_pool = max 1 pool;
+      sh_pool_policy = System.queue_policy_name pool_policy;
+      sh_rounds = !round;
+      sh_makespan = makespan;
+      sh_sum_cycles = sum_cycles;
+      sh_throughput_spmc =
+        float_of_int sessions *. 1_000_000.0 /. float_of_int (max 1 makespan);
+      sh_mean_latency = Load.mean latencies;
+      sh_p50 = Load.percentile latencies 50.0;
+      sh_p95 = Load.percentile latencies 95.0;
+      sh_p99 = Load.percentile latencies 99.0;
+      sh_max_latency = Array.fold_left max 0 latencies;
+      sh_steals =
+        Array.fold_left (fun acc sd -> acc + sd.sd_steals_in) 0 shards;
+      sh_fairness =
+        float_of_int served_max /. float_of_int (max 1 served_min);
+      sh_published = List.length publications;
+      sh_adopted = adopted;
+      sh_merged_dcg_size = Dcg.size merged_dcg;
+      sh_merged_dcg_weight = Dcg.total_weight merged_dcg;
+      sh_output_checksum = checksum;
+    }
+  in
+  {
+    summary;
+    shard_stats;
+    publications;
+    merged_dcg;
+    systems = Array.to_list (Array.map (fun sd -> sd.sd_sys) shards);
+  }
+
+let pp_summary fmt s =
+  let f = Format.fprintf in
+  f fmt "@[<v>workload             %s (%d sessions, period %d)@,"
+    s.sh_workload s.sh_sessions s.sh_period;
+  f fmt "policy               %s@," s.sh_policy;
+  f fmt "shards               %d (pool %d, %s queue)@," s.sh_shards s.sh_pool
+    s.sh_pool_policy;
+  f fmt "rounds               %d barriers@," s.sh_rounds;
+  f fmt "makespan             %d cycles (sum over shards %d)@," s.sh_makespan
+    s.sh_sum_cycles;
+  f fmt "throughput           %.3f sessions/Mcycle@," s.sh_throughput_spmc;
+  f fmt "latency              mean %.0f  p50 %d  p95 %d  p99 %d  max %d@,"
+    s.sh_mean_latency s.sh_p50 s.sh_p95 s.sh_p99 s.sh_max_latency;
+  f fmt "stealing             %d sessions moved@," s.sh_steals;
+  f fmt "fairness             %.3f max/min served per shard@," s.sh_fairness;
+  f fmt "code cache           %d published, %d adopted@," s.sh_published
+    s.sh_adopted;
+  f fmt "merged dcg           %d traces, total weight %.1f@,"
+    s.sh_merged_dcg_size s.sh_merged_dcg_weight;
+  f fmt "output checksum      %d@]" s.sh_output_checksum
+
+let pp_shards fmt stats =
+  Format.fprintf fmt "@[<v>%-6s %9s %12s %8s %8s %9s %9s %5s %9s %8s@,"
+    "shard" "served" "cycles" "in" "out" "compiles" "adopted" "gap"
+    "max-live" "dcg";
+  List.iter
+    (fun h ->
+      Format.fprintf fmt "%-6d %9d %12d %8d %8d %9d %9d %5d %9d %8d@," h.h_id
+        h.h_served h.h_cycles h.h_steals_in h.h_steals_out
+        h.h_opt_compilations h.h_adopted h.h_max_resume_gap h.h_max_live
+        h.h_dcg_size)
+    stats;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,123 @@
+(** Sharded multi-processor serving: N virtual processors, one OCaml
+    domain each.
+
+    Each shard is a complete virtual processor — its own VM, adaptive
+    optimization system, round-robin {!Sched} and virtual clock — and
+    the shards execute in parallel on host domains between *virtual-time
+    barriers*: every round, each shard runs until its clock reaches the
+    round's limit, then all cross-shard interaction happens serially in
+    shard-id order:
+
+    - the per-shard DCGs are merged into the organizer's global view
+      ({!Acsi_profile.Dcg.merge} — the paper's per-virtual-processor
+      sample buffers, §4.1);
+    - newly opt-compiled methods are *published once* to a shared code
+      cache; other shards on which the method is live adopt the
+      publisher's code — including its closure-tier compilation — via
+      {!Acsi_aos.System.adopt_compiled}, paying no compile cycles;
+    - unstarted sessions are rebalanced by deterministic work stealing
+      (victim/thief selection rotates by a splitmix hash of the round,
+      oldest due session moves first).
+
+    Mid-execution virtual threads never migrate (their frames point into
+    one VM's tables); the steal unit is a not-yet-admitted session, as
+    in real work-stealing servers where a connection is bound to a
+    worker at accept time.
+
+    Determinism: every schedule decision is a function of (seed, shards,
+    barrier, …) on virtual clocks only, and host parallelism is confined
+    to the intra-round execution of disjoint shards, so a run's entire
+    result — cycle counts, percentiles, steal counts, checksum — is
+    byte-reproducible for a given configuration regardless of [~jobs]. *)
+
+module System = Acsi_aos.System
+
+type shard_stat = {
+  h_id : int;
+  h_served : int;
+  h_cycles : int;  (** shard clock at end of run (incl. idle waits) *)
+  h_busy_last : int;  (** clock at the shard's last session completion *)
+  h_slices : int;
+  h_switches : int;
+  h_max_live : int;
+  h_max_resume_gap : int;  (** per-shard scheduler fairness witness *)
+  h_steals_in : int;
+  h_steals_out : int;
+  h_opt_compilations : int;
+  h_adopted : int;
+  h_dcg_size : int;
+}
+
+type summary = {
+  sh_workload : string;
+  sh_policy : string;
+  sh_shards : int;
+  sh_sessions : int;
+  sh_period : int;
+  sh_pool : int;
+  sh_pool_policy : string;
+  sh_rounds : int;
+  sh_makespan : int;
+      (** max over shards of the last session-completion cycle *)
+  sh_sum_cycles : int;  (** sum of final shard clocks *)
+  sh_throughput_spmc : float;  (** sessions per million makespan cycles *)
+  sh_mean_latency : float;
+  sh_p50 : int;
+  sh_p95 : int;
+  sh_p99 : int;
+  sh_max_latency : int;
+  sh_steals : int;
+  sh_fairness : float;
+      (** served-session balance witness: max/min served per shard *)
+  sh_published : int;  (** methods published to the shared code cache *)
+  sh_adopted : int;  (** cross-shard adoptions of published code *)
+  sh_merged_dcg_size : int;
+  sh_merged_dcg_weight : float;
+  sh_output_checksum : int;
+}
+
+type result = {
+  summary : summary;
+  shard_stats : shard_stat list;
+  publications : (Acsi_bytecode.Ids.Method_id.t * int) list;
+      (** (method, origin shard), publication order *)
+  merged_dcg : Acsi_profile.Dcg.t;
+      (** the organizer's global view after the final barrier *)
+  systems : System.t list;  (** per-shard AOS handles, for inspection *)
+}
+
+val run :
+  ?quantum:int ->
+  ?switch_cost:int ->
+  ?seed:int ->
+  ?jobs:int ->
+  ?barrier:int ->
+  ?max_live:int ->
+  ?hot_shard_weight:int ->
+  ?pool:int ->
+  ?pool_policy:System.compile_queue_policy ->
+  shards:int ->
+  sessions:int ->
+  period:int ->
+  name:string ->
+  Acsi_core.Config.t ->
+  Acsi_bytecode.Program.t ->
+  result
+(** Serve [sessions] open-loop arrivals (mean inter-arrival [period])
+    of the program's [main] across [shards] virtual processors.
+
+    [jobs] (default 1) caps the host domains running shards in parallel
+    within a round; it never affects results. [barrier] (default
+    2_000_000) is the virtual-cycle round length between cross-shard
+    barriers. [max_live] (default 64) caps concurrently admitted
+    sessions per shard (admission control; pending sessions stay queued
+    as cheap tuples, which is what makes million-session backlogs
+    affordable). [hot_shard_weight] (default 2) over-weights shard 0 in
+    the home-shard hash — a deliberately skewed front-end router — so
+    work stealing has an imbalance to fix; 1 distributes uniformly.
+    [pool]/[pool_policy] configure each shard's background compiler
+    pool ({!System.config.compiler_pool}). Compilation is always
+    asynchronous in sharded mode. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+val pp_shards : Format.formatter -> shard_stat list -> unit

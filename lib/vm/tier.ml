@@ -800,6 +800,32 @@ let shared : shared_code list ref = ref []
 let shared_max = 32
 let shared_mutex = Mutex.create ()
 
+(* Process-global cache traffic counters, guarded by [shared_mutex]. A
+   hit is a method whose closures were found compiled; a miss compiles
+   them (and populates the cache); an eviction drops a whole
+   (program, cost, fuse) entry off the MRU tail. Reads outside the
+   mutex see a consistent-enough snapshot for reporting. *)
+type cache_stats = { hits : int; misses : int; evictions : int }
+
+let cache_hits = ref 0
+let cache_misses = ref 0
+let cache_evictions = ref 0
+
+let cache_stats () =
+  Mutex.lock shared_mutex;
+  let s =
+    { hits = !cache_hits; misses = !cache_misses; evictions = !cache_evictions }
+  in
+  Mutex.unlock shared_mutex;
+  s
+
+let reset_cache_stats () =
+  Mutex.lock shared_mutex;
+  cache_hits := 0;
+  cache_misses := 0;
+  cache_evictions := 0;
+  Mutex.unlock shared_mutex
+
 let compile_baseline_cached t (mid : Ids.Method_id.t) (code : Code.t) =
   Mutex.lock shared_mutex;
   let entry =
@@ -821,10 +847,15 @@ let compile_baseline_cached t (mid : Ids.Method_id.t) (code : Code.t) =
             sc_methods = Array.make (Program.method_count t.program) None;
           }
         in
+        cache_evictions :=
+          !cache_evictions + max 0 (List.length !shared - (shared_max - 1));
         shared := e :: List.filteri (fun i _ -> i < shared_max - 1) !shared;
         e
   in
   let cached = entry.sc_methods.((mid :> int)) in
+  (match cached with
+  | Some _ -> incr cache_hits
+  | None -> incr cache_misses);
   Mutex.unlock shared_mutex;
   match cached with
   | Some r -> r

@@ -1,0 +1,76 @@
+(* "session"-shaped workload: one short server request.
+
+   Unlike the SPEC-shaped suite — whose [main] is a long self-contained
+   run — this main models a single user session of a few thousand
+   cycles: decode a handful of operations, dispatch each through a
+   polymorphic endpoint hierarchy, fold a reply checksum. The sharded
+   server drives millions of these as independent virtual threads, so
+   per-session cost must stay small while still exercising the
+   machinery the paper cares about: the two [handle] targets share the
+   [Endpoint.clamp] helper, giving the context-sensitive profile a
+   Figure-1-style site to discriminate, and the dispatch loop is hot
+   enough (across sessions on one VM) for the AOS to optimize. *)
+
+open Acsi_lang.Dsl
+
+let classes =
+  [
+    cls "Endpoint" ~parent:"Obj" ~fields:[ "bias" ]
+      [
+        meth "init" [ "bias" ] ~returns:false
+          [
+            expr (dcall this "Obj" "init" []);
+            set_thisf "bias" (v "bias");
+          ];
+        (* Shared helper: reached from both subclasses' [handle], so a
+           context-insensitive profile sees a mixed caller mix here. *)
+        meth "clamp" [ "x" ] ~returns:true
+          [
+            if_ (lt (v "x") (i 0)) [ ret (i 0) ] [];
+            if_ (gt (v "x") (i 4095)) [ ret (i 4095) ] [];
+            ret (v "x");
+          ];
+        meth "handle" [ "x" ] ~returns:true [ ret (v "x") ];
+      ];
+    cls "ReadEndpoint" ~parent:"Endpoint" ~fields:[]
+      [
+        meth "init" [ "bias" ] ~returns:false
+          [ expr (dcall this "Endpoint" "init" [ v "bias" ]) ];
+        meth "handle" [ "x" ] ~returns:true
+          [
+            ret
+              (inv this "clamp"
+                 [ add (mul (v "x") (i 3)) (thisf "bias") ]);
+          ];
+      ];
+    cls "WriteEndpoint" ~parent:"Endpoint" ~fields:[]
+      [
+        meth "init" [ "bias" ] ~returns:false
+          [ expr (dcall this "Endpoint" "init" [ v "bias" ]) ];
+        meth "handle" [ "x" ] ~returns:true
+          [
+            ret
+              (inv this "clamp"
+                 [ sub (mul (v "x") (i 5)) (thisf "bias") ]);
+          ];
+      ];
+  ]
+
+(* [scale] is the number of operations in the session; the default keeps
+   one session at a few thousand virtual cycles. *)
+let main ~scale =
+  [
+    let_ "rng" (new_ "Rng" [ i 9291 ]);
+    let_ "rd" (new_ "ReadEndpoint" [ i 17 ]);
+    let_ "wr" (new_ "WriteEndpoint" [ i 5 ]);
+    let_ "acc" (i 0);
+    for_ "op" (i 0) (i (8 * scale))
+      [
+        let_ "x" (inv (v "rng") "below" [ i 4096 ]);
+        if_
+          (lt (band (v "x") (i 7)) (i 5))
+          [ let_ "acc" (add (v "acc") (inv (v "rd") "handle" [ v "x" ])) ]
+          [ let_ "acc" (add (v "acc") (inv (v "wr") "handle" [ v "x" ])) ];
+      ];
+    print (band (v "acc") (i 1073741823));
+  ]

@@ -70,6 +70,12 @@ let all =
 let extended =
   [
     {
+      name = "session";
+      description = "one short server request (sharded-server unit of load)";
+      default_scale = 4;
+      build = (fun ~scale -> build_prog Session.classes (Session.main ~scale));
+    };
+    {
       name = "richards";
       description = "classic OO task-scheduler benchmark (paper §7 extension)";
       default_scale = 12;

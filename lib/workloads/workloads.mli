@@ -18,9 +18,11 @@ val all : spec list
 
 val extended : spec list
 (** Extension workloads beyond the paper's suite (its §7 anticipates
-    "larger and more object-oriented programs"): currently the classic
-    Richards scheduler benchmark, cross-validated against the canonical
-    implementation's expected counters. *)
+    "larger and more object-oriented programs"): the classic Richards
+    scheduler benchmark, cross-validated against the canonical
+    implementation's expected counters, and [session] — one short
+    polymorphic server request, the unit of load the sharded server
+    multiplies into millions. *)
 
 val find : string -> spec
 (** Looks in {!all} and then {!extended}. Raises [Not_found]. *)

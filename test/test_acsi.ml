@@ -28,4 +28,5 @@ let () =
       ("micro", Test_micro.suite);
       ("richards", Test_richards.suite);
       ("tier", Test_tier.suite);
+      ("shards", Test_shards.suite);
     ]

@@ -1,0 +1,250 @@
+(* The sharded multi-processor server (Acsi_server.Shards): determinism
+   across the host-parallelism axis, work-stealing conservation and
+   fairness, the publish-once shared code cache, DCG merging into the
+   organizer's global view, and the compiler-pool queue policies.
+
+   Loads are kept small (a few thousand sessions) — every property here
+   is scale-free; the bench's @shard-smoke golden and the shards section
+   of BENCH_results.json pin the big-run numbers. *)
+
+module System = Acsi_aos.System
+module Config = Acsi_core.Config
+module Policy = Acsi_policy.Policy
+module Shards = Acsi_server.Shards
+module Workloads = Acsi_workloads.Workloads
+module Dcg = Acsi_profile.Dcg
+module Trace = Acsi_profile.Trace
+
+let program = lazy ((Workloads.find "session").Workloads.build ~scale:1)
+
+let run ?(seed = 11) ?(jobs = 1) ?(pool = 1) ?(pool_policy = System.Fifo)
+    ?(sessions = 3000) ?(period = 600) ~shards () =
+  Shards.run ~seed ~jobs ~pool ~pool_policy ~barrier:100_000 ~shards ~sessions
+    ~period ~name:"session"
+    (Config.default ~policy:(Policy.Fixed 3))
+    (Lazy.force program)
+
+(* --- determinism: the jobs x shards matrix --- *)
+
+(* The whole point of the bulk-synchronous design: host parallelism is
+   confined to disjoint shards between barriers, so every figure the run
+   produces — makespan, percentiles, steal count, per-shard stats, the
+   output checksum — is a pure function of (seed, shards, load), however
+   many domains executed it, and however many times. *)
+let test_jobs_determinism () =
+  List.iter
+    (fun shards ->
+      let a = run ~shards ~jobs:1 () in
+      let b = run ~shards ~jobs:2 () in
+      let c = run ~shards ~jobs:4 () in
+      let again = run ~shards ~jobs:1 () in
+      List.iter
+        (fun (label, (other : Shards.result)) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "shards=%d summary identical (%s)" shards label)
+            true
+            (a.Shards.summary = other.Shards.summary);
+          Alcotest.(check bool)
+            (Printf.sprintf "shards=%d per-shard stats identical (%s)" shards
+               label)
+            true
+            (a.Shards.shard_stats = other.Shards.shard_stats);
+          Alcotest.(check bool)
+            (Printf.sprintf "shards=%d publication log identical (%s)" shards
+               label)
+            true
+            (a.Shards.publications = other.Shards.publications))
+        [ ("jobs 2", b); ("jobs 4", c); ("repeat", again) ])
+    [ 1; 2; 3; 4 ]
+
+(* Different seeds must actually produce different schedules — otherwise
+   the determinism checks above are vacuous. *)
+let test_seed_sensitivity () =
+  let a = run ~shards:2 ~seed:11 () in
+  let b = run ~shards:2 ~seed:12 () in
+  Alcotest.(check bool)
+    "different seeds, different runs" false
+    (a.Shards.summary = b.Shards.summary)
+
+(* --- work stealing: conservation, fairness, scaling --- *)
+
+let test_steal_conservation_and_fairness () =
+  let r = run ~shards:4 ~sessions:4000 () in
+  let s = r.Shards.summary in
+  let stats = r.Shards.shard_stats in
+  (* Every admitted session completes: served sums to the offered load. *)
+  Alcotest.(check int) "all sessions served" s.Shards.sh_sessions
+    (List.fold_left (fun acc h -> acc + h.Shards.h_served) 0 stats);
+  (* Steals are a permutation of work, not a source or sink of it. *)
+  let sum f = List.fold_left (fun acc h -> acc + f h) 0 stats in
+  Alcotest.(check int)
+    "steals in = steals out"
+    (sum (fun h -> h.Shards.h_steals_out))
+    (sum (fun h -> h.Shards.h_steals_in));
+  Alcotest.(check int)
+    "summary counts each moved session once" s.Shards.sh_steals
+    (sum (fun h -> h.Shards.h_steals_in));
+  Alcotest.(check bool) "stealing happened" true (s.Shards.sh_steals > 0);
+  (* The home-shard hash over-weights shard 0 by 2x; stealing must keep
+     the served split well inside that skew. (Only *due* sessions move,
+     so perfect balance is not expected under overload.) *)
+  Alcotest.(check bool)
+    (Printf.sprintf "served fairness %.3f within bound" s.Shards.sh_fairness)
+    true
+    (s.Shards.sh_fairness < 2.0);
+  (* Per-shard scheduler fairness carries over from the server tier: no
+     runnable thread inside a shard waits longer than one full rotation
+     of its run queue. *)
+  List.iter
+    (fun h ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d resume gap %d <= max-live %d" h.Shards.h_id
+           h.Shards.h_max_resume_gap h.Shards.h_max_live)
+        true
+        (h.Shards.h_max_resume_gap <= h.Shards.h_max_live))
+    stats
+
+(* Under a saturating load, more virtual processors must serve it in
+   proportionally less virtual time. The bench pins the big-run ratio
+   (>= 2.5x at 4 shards); here a generous floor guards the mechanism. *)
+let test_throughput_scales () =
+  let t shards =
+    (run ~shards ~sessions:4000 ()).Shards.summary.Shards.sh_throughput_spmc
+  in
+  let t1 = t 1 and t4 = t 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "4 shards scale throughput (%.1f -> %.1f)" t1 t4)
+    true
+    (t4 > 2.0 *. t1)
+
+(* --- the publish-once shared code cache --- *)
+
+let test_publish_once_and_adoption () =
+  let r = run ~shards:4 ~sessions:4000 () in
+  let s = r.Shards.summary in
+  let mids = List.map fst r.Shards.publications in
+  let distinct = List.sort_uniq compare mids in
+  (* First publication wins forever: a method appears at most once in
+     the publication log, whatever later recompilations shards do. *)
+  Alcotest.(check int)
+    "no method published twice"
+    (List.length distinct) (List.length mids);
+  Alcotest.(check int)
+    "summary counts the log" (List.length mids) s.Shards.sh_published;
+  Alcotest.(check bool) "methods were published" true (s.Shards.sh_published > 0);
+  (* Cross-shard reuse actually happened, and the summary count is the
+     sum of what each shard's AOS adopted. *)
+  Alcotest.(check bool) "code was adopted" true (s.Shards.sh_adopted > 0);
+  Alcotest.(check int)
+    "adoption count is the sum over shards" s.Shards.sh_adopted
+    (List.fold_left
+       (fun acc sys -> acc + System.adopted_installs sys)
+       0 r.Shards.systems);
+  (* An adopting shard paid no compile cycles for adopted methods: the
+     origin shard is recorded, and it is never the adopter itself (a
+     shard cannot adopt its own publication). *)
+  List.iter
+    (fun (_, origin) ->
+      Alcotest.(check bool) "origin shard is valid" true
+        (origin >= 0 && origin < s.Shards.sh_shards))
+    r.Shards.publications
+
+(* --- DCG merge: the organizer's global view --- *)
+
+let test_merged_dcg_preserves_weight () =
+  let r = run ~shards:3 ~sessions:3000 () in
+  let shard_total =
+    List.fold_left
+      (fun acc sys -> acc +. Dcg.total_weight (System.dcg sys))
+      0.0 r.Shards.systems
+  in
+  let merged = Dcg.total_weight r.Shards.merged_dcg in
+  Alcotest.(check bool)
+    (Printf.sprintf "merged total %.6f = sum of shard totals %.6f" merged
+       shard_total)
+    true
+    (Float.abs (merged -. shard_total) < 1e-6);
+  (* The global view covers every trace any shard saw. *)
+  let covers = ref true in
+  List.iter
+    (fun sys ->
+      Dcg.iter (System.dcg sys) ~f:(fun trace _ ->
+          if Dcg.weight r.Shards.merged_dcg trace = 0.0 then covers := false))
+    r.Shards.systems;
+  Alcotest.(check bool) "every shard trace is in the merged view" true !covers
+
+(* Unit-level: merge adds weights trace by trace and totals are
+   additive, including on overlap. *)
+let test_dcg_merge_unit () =
+  let p = Lazy.force program in
+  let mid =
+    (Acsi_bytecode.Program.find_method p ~cls:"ReadEndpoint" ~name:"handle")
+      .Acsi_bytecode.Meth.id
+  in
+  let mid2 =
+    (Acsi_bytecode.Program.find_method p ~cls:"WriteEndpoint" ~name:"handle")
+      .Acsi_bytecode.Meth.id
+  in
+  let entry = { Trace.caller = mid; callsite = 1 } in
+  let t_shared = Trace.make ~callee:mid ~chain:[ entry ] in
+  let t_only_a = Trace.make ~callee:mid2 ~chain:[ entry ] in
+  let t_only_b = Trace.make ~callee:mid2 ~chain:[ entry; entry ] in
+  let a = Dcg.create () and b = Dcg.create () in
+  Dcg.add_weight a t_shared 2.0;
+  Dcg.add_weight a t_only_a 1.5;
+  Dcg.add_weight b t_shared 3.0;
+  Dcg.add_weight b t_only_b 0.5;
+  Dcg.merge ~into:a b;
+  Alcotest.(check (float 1e-9)) "overlap adds" 5.0 (Dcg.weight a t_shared);
+  Alcotest.(check (float 1e-9)) "a-only kept" 1.5 (Dcg.weight a t_only_a);
+  Alcotest.(check (float 1e-9)) "b-only inserted" 0.5 (Dcg.weight a t_only_b);
+  Alcotest.(check (float 1e-9)) "total additive" 7.0 (Dcg.total_weight a);
+  Alcotest.(check int) "size" 3 (Dcg.size a);
+  (* The source is read-only under merge. *)
+  Alcotest.(check (float 1e-9)) "source untouched" 3.5 (Dcg.total_weight b)
+
+(* --- compiler pool queue policies --- *)
+
+(* Each policy is itself deterministic, serves the full load, and the
+   policies genuinely reorder compilation (hot-first differs from FIFO
+   on a pool that queues). A pool of 1 under FIFO is the serial
+   background-compiler model exactly — pinned by the serve-smoke golden
+   staying byte-identical. *)
+let test_pool_policies () =
+  let once policy = run ~shards:2 ~sessions:4000 ~pool:2 ~pool_policy:policy () in
+  List.iter
+    (fun policy ->
+      let a = once policy and b = once policy in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s deterministic" (System.queue_policy_name policy))
+        true
+        (a.Shards.summary = b.Shards.summary);
+      Alcotest.(check int)
+        (Printf.sprintf "%s serves everything"
+           (System.queue_policy_name policy))
+        4000
+        a.Shards.summary.Shards.sh_sessions)
+    [ System.Fifo; System.Hot_first; System.Deadline ];
+  Alcotest.(check bool)
+    "policy axis round-trips through names" true
+    (List.for_all
+       (fun p -> System.queue_policy_of_string (System.queue_policy_name p) = Some p)
+       [ System.Fifo; System.Hot_first; System.Deadline ])
+
+let suite =
+  [
+    Alcotest.test_case "jobs x shards determinism matrix" `Slow
+      test_jobs_determinism;
+    Alcotest.test_case "seed changes the schedule" `Quick
+      test_seed_sensitivity;
+    Alcotest.test_case "steal conservation and fairness" `Quick
+      test_steal_conservation_and_fairness;
+    Alcotest.test_case "throughput scales with shards" `Quick
+      test_throughput_scales;
+    Alcotest.test_case "publish-once cache and adoption" `Quick
+      test_publish_once_and_adoption;
+    Alcotest.test_case "merged DCG preserves weight" `Quick
+      test_merged_dcg_preserves_weight;
+    Alcotest.test_case "Dcg.merge unit semantics" `Quick test_dcg_merge_unit;
+    Alcotest.test_case "compiler pool queue policies" `Quick test_pool_policies;
+  ]

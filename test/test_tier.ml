@@ -232,10 +232,141 @@ let test_cross_domain_determinism () =
   Alcotest.(check bool) "domain 1 matches serial" true (r1 = serial);
   Alcotest.(check bool) "domain 2 matches serial" true (r2 = serial)
 
+(* --- satellite: the fused superinstruction table, as coverage --- *)
+
+module Dcode = Acsi_vm.Dcode
+module Cost = Acsi_vm.Cost
+module Instr = Acsi_bytecode.Instr
+module Ids = Acsi_bytecode.Ids
+
+(* One row per superinstruction in Dcode's fuse table: the shortest
+   source sequence that must fuse slot 0 into exactly that op. If a
+   pattern is dropped, or longest-match priority changes, the row
+   fails; if a new superinstruction is added without a row here, the
+   count check fails. *)
+let fusion_rows =
+  let open Instr in
+  [
+    ("load2", [ Load 0; Load 1 ]);
+    ("load2_binop", [ Load 0; Load 1; Binop Add ]);
+    ("load2_binop_store", [ Load 0; Load 1; Binop Add; Store 2 ]);
+    ("load2_cmp_jumpifnot", [ Load 0; Load 1; Cmp Lt; Jump_ifnot 0 ]);
+    ("load_const_binop", [ Load 0; Const 3; Binop Add ]);
+    ("load_const_binop_store", [ Load 0; Const 3; Binop Add; Store 1 ]);
+    ("load_const_cmp_jumpifnot", [ Load 0; Const 3; Cmp Lt; Jump_ifnot 0 ]);
+    ("load_store", [ Load 0; Store 1 ]);
+    ("load_getfield", [ Load 0; Get_field 0 ]);
+    ("load_getfield_store", [ Load 0; Get_field 0; Store 1 ]);
+    ("load_jumpifnot", [ Load 0; Jump_ifnot 0 ]);
+    ("load_binop", [ Load 0; Binop Add ]);
+    ("load_cmp", [ Load 0; Cmp Eq ]);
+    ("load_arrayget", [ Load 0; Array_get ]);
+    ("store_load", [ Store 0; Load 1 ]);
+    ("store_store", [ Store 0; Store 1 ]);
+    ("store_jump", [ Store 0; Jump 0 ]);
+    ("getfield_load", [ Get_field 0; Load 0 ]);
+    ("const_store", [ Const 3; Store 0 ]);
+    ("const_binop", [ Const 3; Binop Add ]);
+    ("const_cmp", [ Const 3; Cmp Eq ]);
+    ("cmp_jumpifnot", [ Cmp Lt; Jump_ifnot 0 ]);
+    ("cmp_jumpif", [ Cmp Lt; Jump_if 0 ]);
+    ("binop_store", [ Binop Add; Store 0 ]);
+    ("binop_const", [ Binop Add; Const 3 ]);
+    ("binop_binop", [ Binop Add; Binop Sub ]);
+    ("arrayget_store", [ Array_get; Store 0 ]);
+  ]
+
+let fused_kind = function
+  | Dcode.Load2 _ -> Some "load2"
+  | Dcode.Load2_binop _ -> Some "load2_binop"
+  | Dcode.Load2_binop_store _ -> Some "load2_binop_store"
+  | Dcode.Load2_cmp_jumpifnot _ -> Some "load2_cmp_jumpifnot"
+  | Dcode.Load_const_binop _ -> Some "load_const_binop"
+  | Dcode.Load_const_binop_store _ -> Some "load_const_binop_store"
+  | Dcode.Load_const_cmp_jumpifnot _ -> Some "load_const_cmp_jumpifnot"
+  | Dcode.Load_store _ -> Some "load_store"
+  | Dcode.Load_getfield _ -> Some "load_getfield"
+  | Dcode.Load_getfield_store _ -> Some "load_getfield_store"
+  | Dcode.Load_jumpifnot _ -> Some "load_jumpifnot"
+  | Dcode.Load_binop _ -> Some "load_binop"
+  | Dcode.Load_cmp _ -> Some "load_cmp"
+  | Dcode.Load_arrayget _ -> Some "load_arrayget"
+  | Dcode.Store_load _ -> Some "store_load"
+  | Dcode.Store_store _ -> Some "store_store"
+  | Dcode.Store_jump _ -> Some "store_jump"
+  | Dcode.Getfield_load _ -> Some "getfield_load"
+  | Dcode.Const_store _ -> Some "const_store"
+  | Dcode.Const_binop _ -> Some "const_binop"
+  | Dcode.Const_cmp _ -> Some "const_cmp"
+  | Dcode.Cmp_jumpifnot _ -> Some "cmp_jumpifnot"
+  | Dcode.Cmp_jumpif _ -> Some "cmp_jumpif"
+  | Dcode.Binop_store _ -> Some "binop_store"
+  | Dcode.Binop_const _ -> Some "binop_const"
+  | Dcode.Binop_binop _ -> Some "binop_binop"
+  | Dcode.Arrayget_store _ -> Some "arrayget_store"
+  | _ -> None
+
+let test_fusion_coverage () =
+  Alcotest.(check int) "every superinstruction has a row" 27
+    (List.length fusion_rows);
+  List.iter
+    (fun (name, instrs) ->
+      let code =
+        {
+          Code.meth = Ids.Method_id.of_int 0;
+          tier = Code.Baseline;
+          instrs = Array.of_list (instrs @ [ Instr.Return_void ]);
+          max_locals = 8;
+          max_stack = 8;
+          src = None;
+          code_bytes = 0;
+        }
+      in
+      let dc = Dcode.of_code Cost.default code in
+      let op = dc.Dcode.ops.(0) in
+      Alcotest.(check (option string))
+        (Printf.sprintf "slot 0 fuses to %s" name)
+        (Some name) (fused_kind op);
+      Alcotest.(check int)
+        (Printf.sprintf "%s covers its components" name)
+        (List.length instrs) (Dcode.width op);
+      (* Fusion never crosses the off switch. *)
+      Alcotest.(check (option string))
+        (Printf.sprintf "%s not fused with fuse:false" name)
+        None
+        (fused_kind (Dcode.of_code ~fuse:false Cost.default code).Dcode.ops.(0)))
+    fusion_rows
+
+(* Cost neutrality across the corpus: disabling fusion must change
+   neither the observable output nor a single virtual cycle — fused ops
+   charge exactly [width * icost] and fire hooks at the same counts, so
+   the only difference is host dispatch overhead. *)
+let test_fusion_cost_neutral () =
+  List.iter
+    (fun (name, program) ->
+      let run fuse =
+        let vm = Interp.create ~fuse program in
+        Interp.run vm;
+        (Interp.output vm, Interp.cycles vm)
+      in
+      let out_on, cyc_on = run true in
+      let out_off, cyc_off = run false in
+      Alcotest.(check (list int))
+        (Printf.sprintf "%s: output identical" name)
+        out_off out_on;
+      Alcotest.(check int)
+        (Printf.sprintf "%s: cycle total identical" name)
+        cyc_off cyc_on)
+    (Lazy.force programs)
+
 let suite =
   [
     Alcotest.test_case "workload differential, tier on vs off" `Quick
       test_workloads_differential;
+    Alcotest.test_case "fused superinstruction coverage" `Quick
+      test_fusion_coverage;
+    Alcotest.test_case "fusion is cost-neutral" `Quick
+      test_fusion_cost_neutral;
     QCheck_alcotest.to_alcotest prop_tier_differential;
     Alcotest.test_case "install gate rejects malformed code" `Quick
       test_malformed_code_rejected;
