@@ -3,7 +3,7 @@
    totals — one command to spot a performance regression after a change.
 
      compare.exe OLD.json NEW.json [--all] [--old-run N] [--new-run N]
-                 [--allow-cross-tier]
+                 [--allow-cross-tier] [--allow-cross-seed]
 
    By default the *last* run of each file is compared (a results file is
    a trajectory; see results.ml). Wall-clock deltas are informational —
@@ -18,7 +18,17 @@
    comparison is refused; --allow-cross-tier runs it anyway (the cycle
    identity between tiers still holds and is still enforced). When both
    runs recorded a host-time calibration section, the per-tier
-   ns-per-virtual-cycle drift is reported informationally. *)
+   ns-per-virtual-cycle drift is reported informationally.
+
+   Runs are also stamped with whether the static pre-warm oracle was on
+   (--static-seed). Unlike the tier, seeding is a measured behaviour
+   change — cycle counts legitimately differ — so comparing across the
+   stamp at equal scale would report the oracle's effect as a
+   regression; refused unless --allow-cross-seed (which also waives the
+   cycle-identity check, since the identity does not hold across the
+   seed). When both runs carry a "static" warmup-ablation section, the
+   per-workload warmup-requests deltas are diffed like every other
+   deterministic cell. *)
 
 let usage =
   "usage: compare.exe OLD.json NEW.json [--all] [--old-run N] [--new-run N] \
@@ -33,6 +43,7 @@ type opts = {
   mutable old_run : int option;  (* index into the trajectory; default last *)
   mutable new_run : int option;
   mutable allow_cross_tier : bool;
+  mutable allow_cross_seed : bool;
 }
 
 let parse_args () =
@@ -44,6 +55,7 @@ let parse_args () =
       old_run = None;
       new_run = None;
       allow_cross_tier = false;
+      allow_cross_seed = false;
     }
   in
   let int_arg name v =
@@ -58,6 +70,9 @@ let parse_args () =
         go rest
     | "--allow-cross-tier" :: rest ->
         o.allow_cross_tier <- true;
+        go rest
+    | "--allow-cross-seed" :: rest ->
+        o.allow_cross_seed <- true;
         go rest
     | "--old-run" :: v :: rest ->
         o.old_run <- Some (int_arg "--old-run" v);
@@ -94,14 +109,17 @@ let () =
   let o, old_path, new_path = parse_args () in
   let old_run, old_i, old_n = load old_path o.old_run in
   let new_run, new_i, new_n = load new_path o.new_run in
+  let seed_label r =
+    if r.Results.static_seed then "seeded" else "reactive"
+  in
   Printf.printf
-    "old: %s (run %d/%d)  jobs %d  scale %g  tier %s  wall_total %.2fs\n"
+    "old: %s (run %d/%d)  jobs %d  scale %g  tier %s  %s  wall_total %.2fs\n"
     old_path old_i (old_n - 1) old_run.Results.jobs old_run.Results.scale_factor
-    old_run.Results.tier old_run.Results.wall_total_s;
+    old_run.Results.tier (seed_label old_run) old_run.Results.wall_total_s;
   Printf.printf
-    "new: %s (run %d/%d)  jobs %d  scale %g  tier %s  wall_total %.2fs\n"
+    "new: %s (run %d/%d)  jobs %d  scale %g  tier %s  %s  wall_total %.2fs\n"
     new_path new_i (new_n - 1) new_run.Results.jobs new_run.Results.scale_factor
-    new_run.Results.tier new_run.Results.wall_total_s;
+    new_run.Results.tier (seed_label new_run) new_run.Results.wall_total_s;
   let same_scale =
     old_run.Results.scale_factor = new_run.Results.scale_factor
   in
@@ -124,6 +142,23 @@ let () =
        equal scale: the wall-clock delta would measure the tier, not the \
        change under test. Pass --allow-cross-tier to compare anyway."
       old_run.Results.tier new_run.Results.tier;
+  (* The static-seed stamp cuts deeper than the tier: a seeded run's
+     cycle counts legitimately differ from a reactive run's, so at
+     equal scale the determinism check below would report the oracle's
+     intended effect as a violation. Refuse, and when overridden, skip
+     the cycle checks rather than fail them. *)
+  let cross_seed =
+    old_run.Results.static_seed <> new_run.Results.static_seed
+  in
+  if same_scale && cross_seed && not o.allow_cross_seed then
+    die
+      "refusing to compare a %s run against a %s run at equal scale: the \
+       static pre-warm oracle changes cycle counts by design, so the diff \
+       would measure the oracle, not the change under test. Pass \
+       --allow-cross-seed to compare anyway (cycle-identity checks are \
+       then skipped)."
+      (seed_label old_run) (seed_label new_run);
+  let check_cycles = same_scale && not cross_seed in
   (* Cost-model drift: when both runs measured host time per charged
      virtual cycle, report how much each tier's measured cost moved.
      Informational only — the host is noisy — but a large drift means
@@ -195,7 +230,7 @@ let () =
       | None -> added := key :: !added
       | Some old_c ->
           Hashtbl.remove old_cells key;
-          if same_scale && old_c.Results.total_cycles <> c.Results.total_cycles
+          if check_cycles && old_c.Results.total_cycles <> c.Results.total_cycles
           then cycle_mismatches := (key, old_c, c) :: !cycle_mismatches;
           matched := (key, old_c.Results.wall_s, c.Results.wall_s) :: !matched)
     new_run.Results.cells;
@@ -242,7 +277,7 @@ let () =
      latency percentiles. Runs recorded before server mode existed have
      no server section, so nothing matches and nothing is checked. *)
   let server_mismatches = ref [] in
-  if same_scale then begin
+  if check_cycles then begin
     let old_scells = Hashtbl.create 8 in
     List.iter
       (fun (s : Results.scell) ->
@@ -270,7 +305,7 @@ let () =
      recorded before the sharded server existed have no shards section,
      so nothing matches and nothing is checked. *)
   let shard_mismatches = ref [] in
-  if same_scale then begin
+  if check_cycles then begin
     let old_hcells = Hashtbl.create 8 in
     let hkey (h : Results.hcell) =
       ( h.Results.sh_bench,
@@ -297,13 +332,55 @@ let () =
         | Some _ | None -> ())
       new_run.Results.shards
   end;
+  (* Static warmup-ablation cells: report the per-workload
+     warmup-requests movement between the two runs, and hold the cells
+     to the determinism contract at equal scale. The section is
+     self-contained (each cell embeds its own off/on halves, both run
+     with an explicit seed setting), so it is comparable even across
+     the global seed stamp. *)
+  let static_mismatches = ref [] in
+  (match (old_run.Results.static, new_run.Results.static) with
+  | [], _ | _, [] -> ()
+  | old_static, new_static ->
+      Printf.printf
+        "\nstatic-oracle warmup ablation (requests to steady state, \
+         off -> on):\n";
+      List.iter
+        (fun (n : Results.pcell) ->
+          match
+            List.find_opt
+              (fun (p : Results.pcell) ->
+                p.Results.p_bench = n.Results.p_bench
+                && p.Results.p_policy = n.Results.p_policy)
+              old_static
+          with
+          | Some old_p ->
+              Printf.printf
+                "  %-10s old %3d -> %3d   new %3d -> %3d   (seeding delta \
+                 %+d old, %+d new)\n"
+                n.Results.p_bench old_p.Results.p_warmup_off
+                old_p.Results.p_warmup_on n.Results.p_warmup_off
+                n.Results.p_warmup_on
+                (old_p.Results.p_warmup_on - old_p.Results.p_warmup_off)
+                (n.Results.p_warmup_on - n.Results.p_warmup_off);
+              if
+                same_scale
+                && (old_p.Results.p_warmup_off <> n.Results.p_warmup_off
+                   || old_p.Results.p_warmup_on <> n.Results.p_warmup_on
+                   || old_p.Results.p_checksum_off <> n.Results.p_checksum_off
+                   || old_p.Results.p_checksum_on <> n.Results.p_checksum_on)
+              then static_mismatches := (old_p, n) :: !static_mismatches
+          | None ->
+              Printf.printf "  %-10s (new)  %3d -> %3d\n" n.Results.p_bench
+                n.Results.p_warmup_off n.Results.p_warmup_on)
+        new_static);
   (* Traced component breakdowns carry the contract too: at equal scale,
      matched (bench, policy) component cells must agree on every
      component's cycle count — the per-component split is deterministic,
      not just the totals. Runs recorded without --trace have no
      components section, so nothing matches and nothing is checked. *)
   let component_mismatches = ref [] in
-  if same_scale then begin
+  if check_cycles then begin
     let old_ccells = Hashtbl.create 8 in
     List.iter
       (fun (c : Results.ccell) ->
@@ -322,6 +399,7 @@ let () =
   if
     !cycle_mismatches <> [] || !server_mismatches <> []
     || !shard_mismatches <> []
+    || !static_mismatches <> []
     || !component_mismatches <> []
   then begin
     if !cycle_mismatches <> [] then begin
@@ -362,6 +440,24 @@ let () =
             o.Results.sh_p99 n.Results.sh_p50 n.Results.sh_p95 n.Results.sh_p99
             o.Results.sh_steals n.Results.sh_steals)
         (List.rev !shard_mismatches)
+    end;
+    if !static_mismatches <> [] then begin
+      Printf.printf
+        "\nDETERMINISM VIOLATION: static warmup-ablation cells changed on \
+         %d cells:\n"
+        (List.length !static_mismatches);
+      List.iter
+        (fun ((o : Results.pcell), (n : Results.pcell)) ->
+          Printf.printf
+            "  %s/%s: warmup off/on %d/%d -> %d/%d, checksums %s\n"
+            n.Results.p_bench n.Results.p_policy o.Results.p_warmup_off
+            o.Results.p_warmup_on n.Results.p_warmup_off n.Results.p_warmup_on
+            (if
+               o.Results.p_checksum_off = n.Results.p_checksum_off
+               && o.Results.p_checksum_on = n.Results.p_checksum_on
+             then "unchanged"
+             else "changed"))
+        (List.rev !static_mismatches)
     end;
     if !component_mismatches <> [] then begin
       Printf.printf

@@ -87,6 +87,24 @@ type calcheck = {
   v_verdict : string; (* "consistent" | "undercharged" | "overcharged" *)
 }
 
+(* One static-oracle warmup-ablation cell (bench --serve): the same
+   closed-loop serve workload run twice — static_seed off, then on —
+   at a tiny scale where requests are short enough for the warmup knee
+   to be visible. Both halves are deterministic; checksums may licitly
+   differ only on workloads whose concurrent requests interleave
+   output (the checksum is order-sensitive), never on the others. *)
+type pcell = {
+  p_bench : string;
+  p_policy : string;
+  p_requests : int;
+  p_warmup_off : int; (* sv_warmup_requests, static_seed off *)
+  p_warmup_on : int; (* sv_warmup_requests, static_seed on *)
+  p_steady_off : float; (* sv_steady_latency, static_seed off *)
+  p_steady_on : float; (* sv_steady_latency, static_seed on *)
+  p_checksum_off : int;
+  p_checksum_on : int;
+}
+
 type run = {
   jobs : int;
   scale_factor : float;
@@ -95,11 +113,18 @@ type run = {
       (* execution tier the sweep ran on: "closure" (the default
          second tier) or "interp" (--no-native-tier); absent in files
          written before the tier existed, which reads as "interp" *)
+  static_seed : bool;
+      (* whether the run's cells executed with the static pre-warm
+         oracle on (--static-seed); absent in files written before the
+         oracle existed, which reads as false *)
   cells : cell list;
   server : scell list;
       (* empty for runs recorded before server mode existed *)
   shards : hcell list;
       (* empty for runs recorded before the sharded server existed *)
+  static : pcell list;
+      (* empty for runs recorded before the static oracle existed or
+         without --serve *)
   components : ccell list;
       (* empty for runs recorded without --trace *)
   calibration : calib list;
@@ -334,6 +359,26 @@ let hcell_of_json j =
     sh_adopted = int_of_float (num (field "adopted" j));
   }
 
+(* Output checksums use the full 63-bit int range, beyond a float's 53
+   bits of exact precision, so they travel as JSON strings. *)
+let checksum_field name j =
+  match int_of_string_opt (str (field name j)) with
+  | Some v -> v
+  | None -> raise (Parse_error (Printf.sprintf "bad checksum in %S" name))
+
+let pcell_of_json j =
+  {
+    p_bench = str (field "bench" j);
+    p_policy = str (field "policy" j);
+    p_requests = int_of_float (num (field "requests" j));
+    p_warmup_off = int_of_float (num (field "warmup_off" j));
+    p_warmup_on = int_of_float (num (field "warmup_on" j));
+    p_steady_off = num (field "steady_off" j);
+    p_steady_on = num (field "steady_on" j);
+    p_checksum_off = checksum_field "checksum_off" j;
+    p_checksum_on = checksum_field "checksum_on" j;
+  }
+
 let calcheck_of_json j =
   {
     v_app_ns = num (field "app_ns" j);
@@ -363,6 +408,16 @@ let run_of_json j =
           | None | Some Null -> "interp"
           | Some v -> str v)
       | _ -> "interp");
+    static_seed =
+      (* Absent in files written before the static oracle existed:
+         those runs were purely reactive. *)
+      (match j with
+      | Obj kvs -> (
+          match List.assoc_opt "static_seed" kvs with
+          | None | Some Null -> false
+          | Some (Bool b) -> b
+          | Some _ -> raise (Parse_error "expected a bool for static_seed"))
+      | _ -> false);
     cells =
       (match field "cells" j with
       | Arr cells -> List.map cell_of_json cells
@@ -386,6 +441,16 @@ let run_of_json j =
           | Some (Arr hcells) -> List.map hcell_of_json hcells
           | Some _ ->
               raise (Parse_error "expected an array under \"shards\""))
+      | _ -> []);
+    static =
+      (* Absent in files written before the static-oracle ablation. *)
+      (match j with
+      | Obj kvs -> (
+          match List.assoc_opt "static" kvs with
+          | None | Some Null -> []
+          | Some (Arr pcells) -> List.map pcell_of_json pcells
+          | Some _ ->
+              raise (Parse_error "expected an array under \"static\""))
       | _ -> []);
     components =
       (* Absent in files written without a traced sweep. *)
@@ -457,8 +522,9 @@ let output_run oc r ~last =
     \      \"scale_factor\": %g,\n\
     \      \"wall_total_s\": %.6f,\n\
     \      \"tier\": \"%s\",\n\
+    \      \"static_seed\": %b,\n\
     \      \"cells\": [\n"
-    r.jobs r.scale_factor r.wall_total_s (json_escape r.tier);
+    r.jobs r.scale_factor r.wall_total_s (json_escape r.tier) r.static_seed;
   let last_cell = List.length r.cells - 1 in
   List.iteri
     (fun i c ->
@@ -507,6 +573,25 @@ let output_run oc r ~last =
           h.sh_adopted
           (if i = last_h then "" else ","))
       r.shards;
+    Printf.fprintf oc "      ]"
+  end;
+  (* The static-oracle ablation section is likewise only written when
+     bench --serve ran it. *)
+  if r.static <> [] then begin
+    Printf.fprintf oc ",\n      \"static\": [\n";
+    let last_p = List.length r.static - 1 in
+    List.iteri
+      (fun i p ->
+        Printf.fprintf oc
+          "        {\"bench\": \"%s\", \"policy\": \"%s\", \"requests\": %d, \
+           \"warmup_off\": %d, \"warmup_on\": %d, \"steady_off\": %.6f, \
+           \"steady_on\": %.6f, \"checksum_off\": \"%d\", \"checksum_on\": \
+           \"%d\"}%s\n"
+          (json_escape p.p_bench) (json_escape p.p_policy) p.p_requests
+          p.p_warmup_off p.p_warmup_on p.p_steady_off p.p_steady_on
+          p.p_checksum_off p.p_checksum_on
+          (if i = last_p then "" else ","))
+      r.static;
     Printf.fprintf oc "      ]"
   end;
   (* Likewise only written when a traced sweep ran. *)

@@ -67,8 +67,19 @@ let apply_tier tier (cfg : Config.t) =
         Config.aos = { cfg.Config.aos with Acsi_aos.System.native_tier = b };
       }
 
+(* --static-seed: turn on the static pre-warm oracle (summary-driven
+   inlining at method install time, before any sample). Default off —
+   the purely reactive system all goldens are pinned to. *)
+let apply_seed seed (cfg : Config.t) =
+  if not seed then cfg
+  else
+    {
+      cfg with
+      Config.aos = { cfg.Config.aos with Acsi_aos.System.static_seed = true };
+    }
+
 let run_one ~bench ~file ~policy_str ~scale ~compare_baseline
-    ~show_compilations ~disasm ~jobs ~verify ~tier =
+    ~show_compilations ~disasm ~jobs ~verify ~tier ~static_seed =
   match Acsi_policy.Policy.of_string policy_str with
   | None ->
       Format.eprintf
@@ -111,15 +122,20 @@ let run_one ~bench ~file ~policy_str ~scale ~compare_baseline
               match
                 Parallel.map ~jobs
                   (fun policy ->
-                    Runtime.run (apply_tier tier (Config.default ~policy))
+                    Runtime.run
+                      (apply_seed static_seed
+                         (apply_tier tier (Config.default ~policy)))
                       program)
                   [ policy; Acsi_policy.Policy.Context_insensitive ]
               with
               | [ r; b ] -> (r, Some b)
               | _ -> assert false
             else
-              (Runtime.run (apply_tier tier (Config.default ~policy)) program,
-               None)
+              ( Runtime.run
+                  (apply_seed static_seed
+                     (apply_tier tier (Config.default ~policy)))
+                  program,
+                None )
           in
           (match file with
           | Some path -> Format.printf "%s:@.%a@." path Metrics.pp result.Runtime.metrics
@@ -151,9 +167,10 @@ let run_one ~bench ~file ~policy_str ~scale ~compare_baseline
                | Some base -> base
                | None ->
                    Runtime.run
-                     (apply_tier tier
-                        (Config.default
-                           ~policy:Acsi_policy.Policy.Context_insensitive))
+                     (apply_seed static_seed
+                        (apply_tier tier
+                           (Config.default
+                              ~policy:Acsi_policy.Policy.Context_insensitive)))
                      program
              in
              let bm = base.Runtime.metrics in
@@ -263,17 +280,27 @@ let tier_flag =
                  only host time changes." );
         ])
 
+let static_seed_arg =
+  Arg.(
+    value & flag
+    & info [ "static-seed" ]
+        ~doc:
+          "Enable the static pre-warm oracle: interprocedural summaries \
+           computed at class-load time drive inlining at method install, \
+           before any profile sample exists (provenance records these \
+           under the static source).")
+
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
 
 let main list_only verbose bench file policy scale compare_baseline
-    show_compilations disasm jobs verify tier =
+    show_compilations disasm jobs verify tier static_seed =
   setup_logs verbose;
   if list_only then list_benchmarks ()
   else
     run_one ~bench ~file ~policy_str:policy ~scale ~compare_baseline
-      ~show_compilations ~disasm ~jobs ~verify ~tier
+      ~show_compilations ~disasm ~jobs ~verify ~tier ~static_seed
 
 (* --- trace / explain: the observability subcommands (lib/obs) --- *)
 
@@ -309,8 +336,8 @@ let qualified_name program mid =
   let c = Acsi_bytecode.Program.clazz program m.Acsi_bytecode.Meth.owner in
   c.Acsi_bytecode.Clazz.name ^ "." ^ m.Acsi_bytecode.Meth.name
 
-let run_with_obs ~policy ~obs ~tier program =
-  let cfg = apply_tier tier (Config.default ~policy) in
+let run_with_obs ~policy ~obs ~tier ~static_seed program =
+  let cfg = apply_seed static_seed (apply_tier tier (Config.default ~policy)) in
   Runtime.run
     { cfg with Config.aos = { cfg.Config.aos with Acsi_aos.System.obs } }
     program
@@ -327,7 +354,7 @@ let write_buffer path buf =
    reconciliation check: with no ring drops, every AOS component's summed
    span durations must equal its Accounting total exactly. *)
 let trace_one ~bench ~file ~policy_str ~scale ~out ~jsonl ~flame ~min_pct
-    ~capacity ~probe_on_clock ~tier =
+    ~capacity ~probe_on_clock ~tier ~static_seed =
   match Acsi_policy.Policy.of_string policy_str with
   | None ->
       Format.eprintf "unknown policy %S@." policy_str;
@@ -349,7 +376,7 @@ let trace_one ~bench ~file ~policy_str ~scale ~out ~jsonl ~flame ~min_pct
              below reports exactly this run's traffic (deterministic:
              one VM, no concurrent sweeps in this process). *)
           Metrics.reset_tier_cache_stats ();
-          let result = run_with_obs ~policy ~obs ~tier program in
+          let result = run_with_obs ~policy ~obs ~tier ~static_seed program in
           let sys = result.Runtime.sys in
           let m = result.Runtime.metrics in
           let tracer = Acsi_aos.System.tracer sys in
@@ -430,7 +457,7 @@ let trace_one ~bench ~file ~policy_str ~scale ~out ~jsonl ~flame ~min_pct
    provenance sink installed and print every recorded inline decision —
    optionally restricted to call sites in one method (matched by
    unqualified or "Cls.name" qualified name), or to one call-site pc. *)
-let explain_one ~bench ~file ~policy_str ~scale ~query ~tier =
+let explain_one ~bench ~file ~policy_str ~scale ~query ~tier ~static_seed =
   match Acsi_policy.Policy.of_string policy_str with
   | None ->
       Format.eprintf "unknown policy %S@." policy_str;
@@ -442,7 +469,7 @@ let explain_one ~bench ~file ~policy_str ~scale ~query ~tier =
           let obs =
             { Acsi_obs.Control.off with Acsi_obs.Control.provenance = true }
           in
-          let result = run_with_obs ~policy ~obs ~tier program in
+          let result = run_with_obs ~policy ~obs ~tier ~static_seed program in
           let sys = result.Runtime.sys in
           match Acsi_aos.System.provenance sys with
           | None ->
@@ -541,6 +568,14 @@ let explain_one ~bench ~file ~policy_str ~scale ~query ~tier =
                     "@.%d decisions shown of %d recorded (%d inlined, %d \
                      refused)@."
                     (List.length decisions) total inlined refused;
+                  (let sampled, static =
+                     Acsi_obs.Provenance.source_counts prov
+                   in
+                   if static > 0 then
+                     Format.printf
+                       "%d decided by the static oracle (before any sample), \
+                        %d sample-driven@."
+                       static sampled);
                   (* The orthogonal decision axis: what happened when each
                      installed optimized method was promoted to (or kept
                      off) the closure execution tier. Only shown for
@@ -570,7 +605,7 @@ let explain_one ~bench ~file ~policy_str ~scale ~query ~tier =
    unused-local lints over the given .acsi programs, or over every
    built-in workload when no file is given. *)
 let lint_targets files =
-  let findings = ref 0 and targets = ref 0 in
+  let findings = ref 0 and targets = ref 0 and notes = ref 0 in
   let lint_one label program =
     incr targets;
     let diags = Acsi_analysis.Lint.program program in
@@ -578,7 +613,15 @@ let lint_targets files =
       (fun d ->
         incr findings;
         Format.printf "%s: %s@." label (Acsi_analysis.Diag.to_string d))
-      diags
+      diags;
+    (* Summary-backed advisory notes: printed, never fatal — a
+       monomorphic dispatch or a discarded pure result is legitimate
+       code, just provably dead weight. *)
+    List.iter
+      (fun d ->
+        incr notes;
+        Format.printf "%s: note: %s@." label (Acsi_analysis.Diag.to_string d))
+      (Acsi_analysis.Lint.program_notes program)
   in
   let ok = ref true in
   (match files with
@@ -599,11 +642,63 @@ let lint_targets files =
           | program -> lint_one path program)
         files);
   if !findings = 0 && !ok then begin
-    Format.printf "lint: %d target%s clean@." !targets
-      (if !targets = 1 then "" else "s");
+    Format.printf "lint: %d target%s clean%s@." !targets
+      (if !targets = 1 then "" else "s")
+      (if !notes > 0 then Printf.sprintf " (%d advisory notes)" !notes
+       else "");
     0
   end
   else 1
+
+(* `acsi-run analyze [FILES]`: the compositional interprocedural summary
+   pass ({!Acsi_analysis.Summary}) over the given .acsi programs, or
+   over every built-in workload when no file is given. Pure static
+   analysis — nothing executes; each table is a deterministic function
+   of its program, so --jobs changes wall time only, never output. *)
+let analyze_targets ~jobs files =
+  let targets =
+    match files with
+    | [] ->
+        List.map
+          (fun (s : Acsi_workloads.Workloads.spec) ->
+            ( s.Acsi_workloads.Workloads.name,
+              fun () ->
+                s.Acsi_workloads.Workloads.build
+                  ~scale:s.Acsi_workloads.Workloads.default_scale ))
+          Acsi_workloads.Workloads.all
+    | files ->
+        List.map
+          (fun path ->
+            (path, fun () -> Acsi_lang.Parser.compile (read_file path)))
+          files
+  in
+  let render (label, build) =
+    match build () with
+    | exception Acsi_bytecode.Verify.Error msg ->
+        Error (Printf.sprintf "%s: %s" label msg)
+    | program ->
+        let table = Acsi_analysis.Summary.analyze program in
+        Ok
+          (Format.asprintf "%s:@.%a" label
+             (fun fmt () -> Acsi_analysis.Summary.print fmt program table)
+             ())
+  in
+  (* Tables render to strings inside the pool; printing stays on the
+     calling domain in input order, so the output is identical for
+     every --jobs value. *)
+  let rendered = Parallel.map ~jobs render targets in
+  let ok = ref true in
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok text ->
+          if i > 0 then Format.printf "@.";
+          Format.printf "%s%!" text
+      | Error msg ->
+          ok := false;
+          Format.eprintf "%s@." msg)
+    rendered;
+  if !ok then 0 else 1
 
 (* `acsi-run serve`: server-mode execution — each benchmark's requests
    run as virtual threads over one shared VM/AOS instance, with
@@ -612,7 +707,7 @@ let lint_targets files =
    identical summaries. *)
 let serve_benches ~benches ~policy_str ~scale ~requests ~clients ~think
     ~open_period ~quantum ~switch_cost ~seed ~sync_compile ~show_windows
-    ~shards ~pool ~pool_policy_str ~barrier ~jobs =
+    ~shards ~pool ~pool_policy_str ~barrier ~jobs ~static_seed =
   match Acsi_policy.Policy.of_string policy_str with
   | None ->
       Format.eprintf "unknown policy %S@." policy_str;
@@ -660,7 +755,8 @@ let serve_benches ~benches ~policy_str ~scale ~requests ~clients ~think
                     Acsi_server.Shards.run ~quantum ~switch_cost ~seed ~jobs
                       ~barrier ~pool ~pool_policy ~shards ~sessions:requests
                       ~period ~name:spec.Acsi_workloads.Workloads.name
-                      (Config.default ~policy) program
+                      (apply_seed static_seed (Config.default ~policy))
+                      program
                   in
                   if not !first then Format.printf "@.";
                   first := false;
@@ -710,7 +806,8 @@ let serve_benches ~benches ~policy_str ~scale ~requests ~clients ~think
                 Acsi_server.Server.run ~quantum ~switch_cost ~seed
                   ~async_compile:(not sync_compile) ~mode
                   ~name:spec.Acsi_workloads.Workloads.name
-                  (Config.default ~policy) program
+                  (apply_seed static_seed (Config.default ~policy))
+                  program
               in
               if not !first then Format.printf "@.";
               first := false;
@@ -827,11 +924,11 @@ let serve_jobs_arg =
 
 let serve_main verbose benches policy scale requests clients think open_period
     quantum switch_cost seed sync_compile show_windows shards pool
-    pool_policy_str barrier jobs =
+    pool_policy_str barrier jobs static_seed =
   setup_logs verbose;
   serve_benches ~benches ~policy_str:policy ~scale ~requests ~clients ~think
     ~open_period ~quantum ~switch_cost ~seed ~sync_compile ~show_windows
-    ~shards ~pool ~pool_policy_str ~barrier ~jobs
+    ~shards ~pool ~pool_policy_str ~barrier ~jobs ~static_seed
 
 let serve_cmd =
   let doc =
@@ -844,7 +941,7 @@ let serve_cmd =
       $ scale_arg $ requests_arg $ clients_arg $ think_arg $ open_period_arg
       $ quantum_arg $ switch_cost_arg $ seed_arg $ sync_compile_arg
       $ windows_arg $ shards_arg $ pool_arg $ pool_policy_arg $ barrier_arg
-      $ serve_jobs_arg)
+      $ serve_jobs_arg $ static_seed_arg)
 
 let lint_files_arg =
   Arg.(
@@ -858,13 +955,34 @@ let run_cmd_term =
   Term.(
     const main $ list_arg $ verbose_arg $ bench_arg $ file_arg $ policy_arg
     $ scale_arg $ compare_arg $ compilations_arg $ disasm_arg $ jobs_arg
-    $ verify_flag $ tier_flag)
+    $ verify_flag $ tier_flag $ static_seed_arg)
 
 let lint_cmd =
   let doc =
     "typed verification, dead-code and unused-local lints over programs"
   in
   Cmd.v (Cmd.info "lint" ~doc) Term.(const lint_targets $ lint_files_arg)
+
+let analyze_files_arg =
+  Arg.(
+    value & pos_all file []
+    & info [] ~docv:"FILE"
+        ~doc:
+          "Mini-language programs (.acsi) to analyze; every built-in \
+           workload when omitted.")
+
+let analyze_main verbose jobs files =
+  setup_logs verbose;
+  analyze_targets ~jobs files
+
+let analyze_cmd =
+  let doc =
+    "print the compositional interprocedural summary table (size after \
+     inlining, effects, escapes, constness, always-throws, CHA \
+     monomorphic-dispatch proofs) for programs, without executing them"
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const analyze_main $ verbose_arg $ jobs_arg $ analyze_files_arg)
 
 let trace_out_arg =
   Arg.(
@@ -913,10 +1031,10 @@ let trace_probe_arg =
            clock, making the tracing overhead itself visible to the run.")
 
 let trace_main verbose bench file policy scale out jsonl flame min_pct
-    capacity probe_on_clock tier =
+    capacity probe_on_clock tier static_seed =
   setup_logs verbose;
   trace_one ~bench ~file ~policy_str:policy ~scale ~out ~jsonl ~flame
-    ~min_pct ~capacity ~probe_on_clock ~tier
+    ~min_pct ~capacity ~probe_on_clock ~tier ~static_seed
 
 let trace_cmd =
   let doc =
@@ -927,7 +1045,8 @@ let trace_cmd =
     Term.(
       const trace_main $ verbose_arg $ bench_arg $ file_arg $ policy_arg
       $ scale_arg $ trace_out_arg $ trace_jsonl_arg $ trace_flame_arg
-      $ trace_min_pct_arg $ trace_capacity_arg $ trace_probe_arg $ tier_flag)
+      $ trace_min_pct_arg $ trace_capacity_arg $ trace_probe_arg $ tier_flag
+      $ static_seed_arg)
 
 let explain_query_arg =
   Arg.(
@@ -939,9 +1058,9 @@ let explain_query_arg =
            site in this method (unqualified or Cls.name), optionally at \
            exactly the given bytecode pc. All decisions when omitted.")
 
-let explain_main verbose bench file policy scale query tier =
+let explain_main verbose bench file policy scale query tier static_seed =
   setup_logs verbose;
-  explain_one ~bench ~file ~policy_str:policy ~scale ~query ~tier
+  explain_one ~bench ~file ~policy_str:policy ~scale ~query ~tier ~static_seed
 
 let explain_cmd =
   let doc =
@@ -951,13 +1070,13 @@ let explain_cmd =
   Cmd.v (Cmd.info "explain" ~doc)
     Term.(
       const explain_main $ verbose_arg $ bench_arg $ file_arg $ policy_arg
-      $ scale_arg $ explain_query_arg $ tier_flag)
+      $ scale_arg $ explain_query_arg $ tier_flag $ static_seed_arg)
 
 let cmd =
   let doc =
     "run an adaptive-context-sensitive-inlining experiment on one benchmark"
   in
   Cmd.group ~default:run_cmd_term (Cmd.info "acsi-run" ~doc)
-    [ lint_cmd; serve_cmd; trace_cmd; explain_cmd ]
+    [ analyze_cmd; lint_cmd; serve_cmd; trace_cmd; explain_cmd ]
 
 let () = exit (Cmd.eval' cmd)

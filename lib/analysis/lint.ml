@@ -35,11 +35,13 @@ let meth p (m : Meth.t) =
   match (try Verify.meth p m; None with Verify.Error msg -> Some msg) with
   | Some msg -> [ Diag.of_verify_error msg ]
   | None ->
-      let diags = ref (Typecheck.meth_diags p m) in
+      (* Reverse-accumulate; a single [List.rev] at the end restores
+         report order (the old [@ [d]] per finding was quadratic). *)
+      let diags = ref [] in
       let add ?pc fmt =
         Format.kasprintf
           (fun message ->
-            diags := !diags @ [ Diag.make ~meth:m.Meth.name ?pc message ])
+            diags := Diag.make ~meth:m.Meth.name ?pc message :: !diags)
           fmt
       in
       List.iter
@@ -62,7 +64,81 @@ let meth p (m : Meth.t) =
       for i = max (Meth.param_slots m) 1 to m.Meth.max_locals - 1 do
         if not used.(i) then add "local %d is never used" i
       done;
-      !diags
+      Typecheck.meth_diags p m @ List.rev !diags
 
 let program p =
-  Array.fold_left (fun acc m -> acc @ meth p m) [] (Program.methods p)
+  List.concat_map (fun m -> meth p m) (Array.to_list (Program.methods p))
+
+(* --- summary-driven advisory notes ------------------------------------ *)
+
+(* Interprocedural findings backed by {!Summary}: dead work and dead
+   dispatch the intraprocedural lints above cannot see. Advisory (the
+   CLI prints them without failing): a monomorphic virtual call, say, is
+   legitimate source code — the note tells the author the dynamic
+   dispatch is provably dead weight, not that the program is wrong. *)
+let meth_notes summaries p (m : Meth.t) =
+  match (try Verify.meth p m; None with Verify.Error _ -> Some ()) with
+  | Some () -> []
+  | None ->
+      let body = m.Meth.body in
+      let live = Cfg.reachable_instrs body in
+      let notes = ref [] in
+      let add ~pc fmt =
+        Format.kasprintf
+          (fun message ->
+            notes := Diag.make ~meth:m.Meth.name ~pc message :: !notes)
+          fmt
+      in
+      let callee_name mid = (Program.meth p mid).Meth.name in
+      Array.iteri
+        (fun pc instr ->
+          if live.(pc) && Instr.is_call instr then begin
+            let targets = Scc.call_targets p instr in
+            let summaries_of =
+              List.map (fun mid -> Summary.get summaries mid) targets
+            in
+            let all f = targets <> [] && List.for_all f summaries_of in
+            (match instr with
+            | Instr.Call_virtual (sel, _) -> (
+                match Program.monomorphic_target p sel with
+                | Some target ->
+                    add ~pc
+                      "virtual dispatch of %s is monomorphic (only target is \
+                       %s); a direct call would be cheaper"
+                      (Program.selector_name p sel)
+                      (callee_name target)
+                | None -> ())
+            | _ -> ());
+            if all (fun (s : Summary.meth_summary) -> s.Summary.always_throws)
+            then
+              add ~pc "call to %s never returns normally (always throws)"
+                (match targets with
+                | [ mid ] -> callee_name mid
+                | _ -> "an always-throwing method");
+            let returns =
+              match targets with
+              | mid :: _ -> (Program.meth p mid).Meth.returns
+              | [] -> false
+            in
+            if
+              returns
+              && pc + 1 < Array.length body
+              && body.(pc + 1) = Instr.Pop
+              && all (fun (s : Summary.meth_summary) ->
+                     s.Summary.pure && not s.Summary.always_throws)
+            then
+              add ~pc "result of a call to pure %s is immediately discarded"
+                (match targets with
+                | [ mid ] -> callee_name mid
+                | _ -> "methods")
+          end)
+        body;
+      List.rev !notes
+
+let program_notes ?summaries p =
+  let summaries =
+    match summaries with Some s -> s | None -> Summary.analyze p
+  in
+  List.concat_map
+    (fun m -> meth_notes summaries p m)
+    (Array.to_list (Program.methods p))

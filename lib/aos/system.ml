@@ -53,6 +53,12 @@ type config = {
           execution tier ({!Acsi_vm.Tier}); purely a host-speed change —
           virtual cycles, output and all decisions are bit-identical
           either way *)
+  static_seed : bool;
+      (** static pre-warm oracle: at a method's first execution, if the
+          interprocedural summaries ({!Acsi_analysis.Summary}) prove it
+          has statically inlinable call sites, compile it optimized
+          immediately — before any sample exists. Default [false]; the
+          paper's system (and every golden) is purely reactive. *)
   collect_termination_stats : bool;
   async_compile : bool;
   compiler_pool : int;
@@ -85,6 +91,7 @@ let default_config policy =
     enable_osr = false;
     verify_installed = true;
     native_tier = true;
+    static_seed = false;
     collect_termination_stats = false;
     async_compile = false;
     compiler_pool = 1;
@@ -121,6 +128,13 @@ type t = {
   flags : Flags.t;
   oracle : Acsi_jit.Oracle.t;
   listener : Trace_listener.t;
+  (* static pre-warm oracle: summaries computed once at creation when
+     [static_seed] is on; [static_compiling] marks oracle decisions made
+     during a seed compilation so provenance can attribute them to the
+     [Static] source *)
+  summaries : Acsi_analysis.Summary.table option;
+  mutable static_compiling : bool;
+  mutable static_seeds : int;
   mutable rules : Rules.t;
   mutable rules_version : int;
   (* buffers *)
@@ -174,6 +188,8 @@ let adopted_installs t = t.adopted_installs
 let compiler_pool_size t = Array.length t.compilers
 let async_overlap_instructions t = t.overlap_instructions
 let overlapped_aos_cycles t = t.overlapped_aos_cycles
+let static_seeded_methods t = t.static_seeds
+let summaries t = t.summaries
 let obs t = t.obs
 let tracer t = t.obs.Acsi_obs.Control.tracer
 let provenance t = t.obs.Acsi_obs.Control.prov
@@ -562,6 +578,40 @@ let install_compiled t mid code stats ~rule_stamp =
       ce_guards = stats.Acsi_jit.Expand.guard_count;
     }
 
+(* The static pre-warm oracle (hybrid static+online inlining): at a
+   method's first execution, if the interprocedural summaries prove the
+   method has at least one statically inlinable call site (unique
+   non-recursive target, Tiny/Small after its own inlining, not
+   always-throwing), compile it optimized right away — before any sample
+   exists. The rules are still empty at this point, so every inline the
+   expander performs is decided by the oracle's static heuristics over
+   summary-proven sites; provenance records them under the [Static]
+   source. The compile itself stalls and is charged like any stalling
+   opt-compile — seeding buys earlier optimized code, not free cycles.
+   Seeded methods enter the registry at the current rules version, so
+   the missing-edge organizer refines them later exactly as it would any
+   reactively compiled method. *)
+let static_seed_install t (mid : Ids.Method_id.t) =
+  match t.summaries with
+  | None -> ()
+  | Some table ->
+      if Acsi_analysis.Summary.seed_worthy table mid then begin
+        let root = Program.meth t.program mid in
+        t.static_compiling <- true;
+        let code, stats =
+          Acsi_jit.Expand.compile t.program t.cost t.oracle ~root
+        in
+        t.static_compiling <- false;
+        t.static_seeds <- t.static_seeds + 1;
+        Log.debug (fun m ->
+            m "static seed %s: %d units, %d inlines" root.Meth.name
+              stats.Acsi_jit.Expand.expanded_units
+              stats.Acsi_jit.Expand.inline_count);
+        charge ~ev:"static-seed-compile" t Accounting.Compilation
+          stats.Acsi_jit.Expand.compile_cycles;
+        install_compiled t mid code stats ~rule_stamp:t.rules_version
+      end
+
 (* The stalling compilation model (the default, and the paper's
    measurement configuration): compile cycles are charged to the shared
    clock, so the requesting execution waits for the compiler. *)
@@ -796,23 +846,28 @@ let on_first_execution t mid =
      hook fires before the frame is pushed, so even the first invocation
      runs on the closures. Host-side work only — no virtual charge beyond
      the baseline-compile cost above, which is tier-independent. *)
-  if t.cfg.native_tier then
-    match Acsi_vm.Tier.install t.vm mid (Interp.code_of t.vm mid) with
-    | () -> (
-        match t.obs.Acsi_obs.Control.prov with
-        | Some prov ->
-            Acsi_obs.Provenance.add_tier prov mid
-              Acsi_obs.Provenance.Tier_compiled
-        | None -> ())
-    | exception exn -> (
-        Log.debug (fun f ->
-            f "closure tier skipped baseline %s: %s" m.Meth.name
-              (Printexc.to_string exn));
-        match t.obs.Acsi_obs.Control.prov with
-        | Some prov ->
-            Acsi_obs.Provenance.add_tier prov mid
-              (Acsi_obs.Provenance.Tier_fell_back (Printexc.to_string exn))
-        | None -> ())
+  (if t.cfg.native_tier then
+     match Acsi_vm.Tier.install t.vm mid (Interp.code_of t.vm mid) with
+     | () -> (
+         match t.obs.Acsi_obs.Control.prov with
+         | Some prov ->
+             Acsi_obs.Provenance.add_tier prov mid
+               Acsi_obs.Provenance.Tier_compiled
+         | None -> ())
+     | exception exn -> (
+         Log.debug (fun f ->
+             f "closure tier skipped baseline %s: %s" m.Meth.name
+               (Printexc.to_string exn));
+         match t.obs.Acsi_obs.Control.prov with
+         | Some prov ->
+             Acsi_obs.Provenance.add_tier prov mid
+               (Acsi_obs.Provenance.Tier_fell_back (Printexc.to_string exn))
+         | None -> ()));
+  (* The static pre-warm oracle replaces the just-installed baseline code
+     with summary-driven optimized code before the first frame is even
+     pushed — the hook fires ahead of the push, so the very first
+     invocation runs the seeded code. *)
+  if t.cfg.static_seed then static_seed_install t mid
 
 let create ?profile cfg vm =
   let program = Interp.program vm in
@@ -844,6 +899,14 @@ let create ?profile cfg vm =
         Trace_listener.create
           ~collect_termination_stats:cfg.collect_termination_stats program
           ~policy:cfg.policy ~flags;
+      (* Summaries model class-load-time analysis performed before the
+         measured run starts (like verification, host-side work); the
+         compiles they trigger ARE charged, at seed time. *)
+      summaries =
+        (if cfg.static_seed then Some (Acsi_analysis.Summary.analyze program)
+         else None);
+      static_compiling = false;
+      static_seeds = 0;
       rules = Rules.empty ();
       rules_version = 0;
       method_buffer = [];
@@ -876,7 +939,11 @@ let create ?profile cfg vm =
   (match obs.Acsi_obs.Control.prov with
   | Some prov ->
       Acsi_jit.Oracle.set_on_decision oracle (fun info ->
-          Acsi_obs.Provenance.add prov info)
+          let source =
+            if t.static_compiling then Acsi_obs.Provenance.Static
+            else Acsi_obs.Provenance.Sampled
+          in
+          Acsi_obs.Provenance.add ~source prov info)
   | None -> ());
   Interp.set_on_first_execution vm (on_first_execution t);
   Interp.set_on_timer_sample vm (on_timer_sample t);

@@ -79,6 +79,16 @@ type config = {
           as the tier-decision axis). Purely a host-speed change: virtual
           cycles, stdout, and every adaptive decision are bit-identical
           with the flag on or off. Default [true]. *)
+  static_seed : bool;
+      (** static pre-warm oracle: at method first-execution time, consult
+          the interprocedural summary table ({!Acsi_analysis.Summary})
+          and immediately compile methods whose summaries prove
+          profitable inlining — before any sample exists. Summary
+          analysis itself models class-load-time work and is uncharged
+          (like verification); the seed compilations it triggers ARE
+          charged at seed time. Each seeded decision is recorded in
+          provenance under the [Static] source. Default [false] — all
+          goldens are pinned to the purely reactive system. *)
   collect_termination_stats : bool;
   async_compile : bool;
       (** compile on a background virtual thread whose cycles overlap
@@ -127,6 +137,15 @@ val flags : t -> Flags.t
 val trace_stats : t -> Trace_listener.stats
 
 val baseline_compiled_methods : t -> int
+
+val static_seeded_methods : t -> int
+(** Methods compiled by the static pre-warm oracle (0 unless
+    {!config.static_seed}). *)
+
+val summaries : t -> Acsi_analysis.Summary.table option
+(** The interprocedural summary table computed at [create] when
+    {!config.static_seed} is on; [None] otherwise. *)
+
 val baseline_code_bytes : t -> int
 val method_samples_taken : t -> int
 val trace_samples_taken : t -> int

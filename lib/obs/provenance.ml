@@ -18,7 +18,14 @@ type info = {
   i_budget_ext_limit : int;
 }
 
-type decision = { d_seq : int; d_cycle : int; d_info : info }
+type source = Sampled | Static
+
+type decision = {
+  d_seq : int;
+  d_cycle : int;
+  d_source : source;
+  d_info : info;
+}
 
 type tier_outcome =
   | Tier_compiled
@@ -43,8 +50,10 @@ type t = {
 let create ?(now = fun () -> 0) () =
   { now; rev = []; count = 0; tier_rev = []; tier_count = 0 }
 
-let add t info =
-  t.rev <- { d_seq = t.count; d_cycle = t.now (); d_info = info } :: t.rev;
+let add ?(source = Sampled) t info =
+  t.rev <-
+    { d_seq = t.count; d_cycle = t.now (); d_source = source; d_info = info }
+    :: t.rev;
   t.count <- t.count + 1
 
 let add_tier t meth outcome =
@@ -88,6 +97,14 @@ let outcome_counts t =
       | Refused _ -> (i, r + 1))
     (0, 0) t.rev
 
+let source_counts t =
+  List.fold_left
+    (fun (sampled, static) d ->
+      match d.d_source with
+      | Sampled -> (sampled + 1, static)
+      | Static -> (sampled, static + 1))
+    (0, 0) t.rev
+
 let pp_context ~name fmt (ctx : Trace.entry array) =
   Array.iteri
     (fun i (e : Trace.entry) ->
@@ -106,16 +123,21 @@ let pp_decision ~name fmt d =
     | Inlined { guarded = false } -> "INLINED"
     | Refused reason -> "refused: " ^ reason
   in
-  Format.fprintf fmt "@[<v 2>#%d @@%d cycles  %a -> %s  %s@," d.d_seq d.d_cycle
+  Format.fprintf fmt "@[<v 2>#%d @@%d cycles%s  %a -> %s  %s@," d.d_seq
+    d.d_cycle
+    (match d.d_source with Sampled -> "" | Static -> " [static]")
     (pp_context ~name) i.i_context callee verdict;
-  (match (i.i_matched_rule, i.i_match_depth) with
-  | Some rule, depth ->
+  (match (d.d_source, i.i_matched_rule, i.i_match_depth) with
+  | Static, _, _ ->
+      Format.fprintf fmt
+        "static oracle: summary-driven, decided before any samples@,"
+  | Sampled, Some rule, depth ->
       Format.fprintf fmt
         "matched rule %a (Eq.3 match depth %d of %d, weight %.2f)@," Trace.pp
         rule depth
         (Array.length i.i_context)
         i.i_match_weight
-  | None, _ ->
+  | Sampled, None, _ ->
       Format.fprintf fmt "no profile rule matched (static heuristics only)@,");
   Format.fprintf fmt
     "budget: est %d units, expanded %d, limit %d (extended %d), inline depth \

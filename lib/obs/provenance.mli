@@ -51,9 +51,19 @@ type info = {
   i_budget_ext_limit : int;  (** extended budget for hot/tiny callees *)
 }
 
+type source =
+  | Sampled
+      (** the ordinary reactive path: the oracle consulted profile rules
+          built from DCG samples (even if none matched) *)
+  | Static
+      (** the static pre-warm oracle: the decision was reached at
+          method-install time from interprocedural summaries
+          ({!Acsi_analysis.Summary}), before any sample existed *)
+
 type decision = private {
   d_seq : int;  (** 0-based emission order *)
   d_cycle : int;  (** virtual cycle when the oracle decided *)
+  d_source : source;
   d_info : info;
 }
 
@@ -85,7 +95,8 @@ val create : ?now:(unit -> int) -> unit -> t
 (** [now] reads the virtual clock for {!decision.d_cycle} (default:
     always 0). *)
 
-val add : t -> info -> unit
+val add : ?source:source -> t -> info -> unit
+(** Default source: {!Sampled}. *)
 
 val add_tier : t -> Ids.Method_id.t -> tier_outcome -> unit
 
@@ -106,6 +117,9 @@ val at : t -> caller:Ids.Method_id.t -> ?callsite:int -> unit -> decision list
 
 val outcome_counts : t -> int * int
 (** [(inlined, refused)]. *)
+
+val source_counts : t -> int * int
+(** [(sampled, static)]: decisions by {!source}. *)
 
 val pp_decision :
   name:(Ids.Method_id.t -> string) ->

@@ -279,6 +279,173 @@ let prop_installed_code_reverifies =
                     (Policy.to_string policy) (Diag.to_string d)))
         (Program.methods program))
 
+(* --- Property: summaries never contradict execution ---------------- *)
+
+module Interp = Acsi_vm.Interp
+
+(* Dynamic effect observation: drive a single virtual thread a quantum
+   of one cycle at a time (instruction fusion off) and, before each
+   slice, peek at the innermost frame's next source instruction. A
+   write/allocation/print is attributed to EVERY method on the physical
+   stack — the same transitive semantics the summary claims — and a
+   return is attributed to the innermost method alone. Peeking can only
+   under-observe (a slice may retire more than one instruction), which
+   keeps the property one-sided: every observed fact must be claimed,
+   never the converse. *)
+let observed_facts program =
+  let n = Array.length (Program.methods program) in
+  let wr = Array.make n false
+  and al = Array.make n false
+  and io = Array.make n false
+  and ret = Array.make n false in
+  let vm = Interp.create ~fuse:false program in
+  let th = Interp.spawn vm in
+  let mark arr =
+    for i = 0 to vm.Interp.depth - 1 do
+      let fr = vm.Interp.frames.(i) in
+      arr.((fr.Interp.f_code.Acsi_vm.Code.meth :> int)) <- true
+    done
+  in
+  let status = ref Interp.Running in
+  while !status = Interp.Running do
+    (if vm.Interp.depth > 0 then
+       let fr = vm.Interp.frames.(vm.Interp.depth - 1) in
+       let mid = fr.Interp.f_code.Acsi_vm.Code.meth in
+       let body = (Program.meth program mid).Meth.body in
+       if fr.Interp.f_pc >= 0 && fr.Interp.f_pc < Array.length body then
+         match body.(fr.Interp.f_pc) with
+         | Instr.Put_field _ | Instr.Put_global _ | Instr.Array_set -> mark wr
+         | Instr.New _ | Instr.Array_new -> mark al
+         | Instr.Print_int -> mark io
+         | Instr.Return | Instr.Return_void -> ret.((mid :> int)) <- true
+         | _ -> ());
+    status := Interp.resume vm th ~quantum:1
+  done;
+  (wr, al, io, ret)
+
+let prop_summaries_sound_dynamically =
+  QCheck.Test.make ~name:"summaries never contradict execution" ~count:15
+    Test_props.arbitrary_program (fun ast ->
+      let program = Acsi_lang.Compile.prog ast in
+      let tbl = Summary.analyze program in
+      let wr, al, io, ret = observed_facts program in
+      (* Vacuity guard: generated programs always print from [main], so
+         a working peek loop must observe [main] doing output. *)
+      if not io.((Program.main program :> int)) then
+        QCheck.Test.fail_reportf "dynamic harness observed no output in main";
+      Array.for_all
+        (fun (m : Meth.t) ->
+          let s = Summary.get tbl m.Meth.id in
+          let i = (m.Meth.id :> int) in
+          let claimed what claim obs =
+            if obs && not claim then
+              QCheck.Test.fail_reportf
+                "%s: summary claims no %s but execution observed one"
+                m.Meth.name what
+            else true
+          in
+          claimed "heap write" s.Summary.effects.Summary.writes_heap wr.(i)
+          && claimed "allocation" s.Summary.effects.Summary.allocates al.(i)
+          && claimed "output" s.Summary.effects.Summary.io io.(i)
+          && (if s.Summary.pure && (wr.(i) || al.(i) || io.(i)) then
+                QCheck.Test.fail_reportf
+                  "%s: summary says pure but execution had effects"
+                  m.Meth.name
+              else true)
+          &&
+          if s.Summary.always_throws && ret.(i) then
+            QCheck.Test.fail_reportf
+              "%s: summary says always-throws but execution saw it return"
+              m.Meth.name
+          else true)
+        (Program.methods program))
+
+(* Monomorphic-dispatch proofs against the dynamic call graph: every
+   receiver the profile actually observed at a CHA-proven site must be
+   the proven target. *)
+let prop_mono_proofs_match_dcg =
+  QCheck.Test.make ~name:"CHA mono proofs match observed receivers" ~count:10
+    Test_props.arbitrary_program (fun ast ->
+      let program = Acsi_lang.Compile.prog ast in
+      let tbl = Summary.analyze program in
+      let cfg = Config.default ~policy:(Policy.Fixed 3) in
+      let cfg = { cfg with Config.sample_period = 5_000; invoke_stride = 4 } in
+      let result = Runtime.run cfg program in
+      let dcg = Acsi_aos.System.dcg result.Runtime.sys in
+      Array.for_all
+        (fun (m : Meth.t) ->
+          let s = Summary.get tbl m.Meth.id in
+          List.for_all
+            (fun (pc, target) ->
+              List.for_all
+                (fun (callee, w) ->
+                  if w > 0.0 && callee <> target then
+                    QCheck.Test.fail_reportf
+                      "%s:%d proven monomorphic to %s but DCG observed %s"
+                      m.Meth.name pc
+                      (Program.meth program target).Meth.name
+                      (Program.meth program callee).Meth.name
+                  else true)
+                (Acsi_profile.Dcg.site_distribution dcg ~caller:m.Meth.id
+                   ~callsite:pc))
+            s.Summary.mono_sites)
+        (Program.methods program))
+
+(* --- Summary corpus: always-throws, dynamically -------------------- *)
+
+(* A division by a constant zero: the summary must prove always-throws,
+   and actually running the method must trap, not return. *)
+let test_always_throws_traps () =
+  let p, m =
+    prog_of ~max_locals:1 (fun _ ->
+        [| Instr.Const 1; Instr.Const 0; Instr.Binop Instr.Div; Instr.Pop;
+           Instr.Return_void |])
+  in
+  let tbl = Summary.analyze p in
+  let s = Summary.get tbl m.Meth.id in
+  Alcotest.(check bool) "summary proves always-throws" true s.Summary.always_throws;
+  (* Seal a twin program whose main calls m, and watch it trap. *)
+  let b = Program.Builder.create () in
+  let cls = Program.Builder.declare_class b ~name:"T" ~parent:None ~fields:[] in
+  let thrower =
+    Program.Builder.declare_method b ~owner:cls ~name:"boom" ~kind:Meth.Static
+      ~arity:0 ~returns:false
+  in
+  Program.Builder.set_body b thrower ~max_locals:1
+    [| Instr.Const 1; Instr.Const 0; Instr.Binop Instr.Div; Instr.Pop;
+       Instr.Return_void |];
+  let main =
+    Program.Builder.declare_method b ~owner:cls ~name:"main" ~kind:Meth.Static
+      ~arity:0 ~returns:false
+  in
+  Program.Builder.set_body b main ~max_locals:1
+    [| Instr.Call_static thrower; Instr.Return_void |];
+  let p2 = Program.Builder.seal b ~main in
+  let tbl2 = Summary.analyze p2 in
+  Alcotest.(check bool) "caller inherits always-throws" true
+    (Summary.get tbl2 thrower).Summary.always_throws;
+  let vm = Interp.create p2 in
+  Alcotest.(check bool) "execution traps, never returns" true
+    (try
+       Interp.run vm;
+       false
+     with Interp.Runtime_error _ -> true)
+
+(* --- Determinism: the analyze table is independent of --jobs ------- *)
+
+let test_summary_render_jobs_invariant () =
+  let render name =
+    let spec = Acsi_workloads.Workloads.find name in
+    let program = spec.Acsi_workloads.Workloads.build ~scale:1 in
+    Format.asprintf "%a"
+      (fun fmt tbl -> Summary.print fmt program tbl)
+      (Summary.analyze program)
+  in
+  let benches = [ "db"; "jess"; "mtrt" ] in
+  let serial = Parallel.map ~jobs:1 render benches in
+  let pooled = Parallel.map ~jobs:3 render benches in
+  Alcotest.(check (list string)) "tables independent of --jobs" serial pooled
+
 let suite =
   [
     Alcotest.test_case "type clash at join" `Quick test_type_clash_at_join;
@@ -294,5 +461,14 @@ let suite =
       test_return_into_own_region;
     Alcotest.test_case "OSR-incompatible stack slot" `Quick
       test_osr_incompatible_stack;
+    Alcotest.test_case "always-throws summary traps dynamically" `Quick
+      test_always_throws_traps;
+    Alcotest.test_case "summary table invariant under --jobs" `Quick
+      test_summary_render_jobs_invariant;
   ]
-  @ List.map QCheck_alcotest.to_alcotest [ prop_installed_code_reverifies ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_installed_code_reverifies;
+        prop_summaries_sound_dynamically;
+        prop_mono_proofs_match_dcg;
+      ]

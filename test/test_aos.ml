@@ -285,6 +285,71 @@ let test_system_trace_on_timer_ablation () =
   check_bool "timer-driven traces still flow" true
     (System.trace_samples_taken sys > 0)
 
+(* --- static pre-warm oracle: determinism matrix --- *)
+
+(* static_seed x native_tier x repetition, on real workloads: the tier
+   must stay invisible (byte-identical output and cycles) with seeding
+   on; seeding must preserve output while actually compiling something
+   before the first sample; a reactive run must seed nothing; and the
+   seeded run must be reproducible. With provenance on, every seeded
+   decision carries the Static source. *)
+let test_static_seed_matrix () =
+  let module Config = Acsi_core.Config in
+  let module Runtime = Acsi_core.Runtime in
+  let run ~seeded ~tier ~prov program =
+    let cfg = Config.default ~policy:(Policy.Fixed 3) in
+    let cfg =
+      {
+        cfg with
+        Config.aos =
+          {
+            cfg.Config.aos with
+            System.static_seed = seeded;
+            native_tier = tier;
+            obs = { Acsi_obs.Control.off with Acsi_obs.Control.provenance = prov };
+          };
+      }
+    in
+    let r = Runtime.run cfg program in
+    ( Acsi_vm.Interp.output r.Runtime.vm,
+      r.Runtime.metrics.Acsi_core.Metrics.total_cycles,
+      r.Runtime.sys )
+  in
+  List.iter
+    (fun name ->
+      let program =
+        (Acsi_workloads.Workloads.find name).Acsi_workloads.Workloads.build
+          ~scale:1
+      in
+      let out_on, cyc_on, sys_on = run ~seeded:true ~tier:true ~prov:true program in
+      let out_interp, cyc_interp, _ =
+        run ~seeded:true ~tier:false ~prov:false program
+      in
+      let out_again, cyc_again, _ =
+        run ~seeded:true ~tier:true ~prov:false program
+      in
+      let out_react, cyc_react, sys_react =
+        run ~seeded:false ~tier:true ~prov:false program
+      in
+      check_bool (name ^ ": tier invisible with seeding on") true
+        (out_on = out_interp && cyc_on = cyc_interp);
+      check_bool (name ^ ": seeded run reproducible") true
+        (out_on = out_again && cyc_on = cyc_again);
+      check_bool (name ^ ": seeding preserves output") true (out_on = out_react);
+      check_bool (name ^ ": oracle seeded before first sample") true
+        (System.static_seeded_methods sys_on > 0);
+      check_int (name ^ ": reactive run seeds nothing") 0
+        (System.static_seeded_methods sys_react);
+      check_bool (name ^ ": seeding changes the cycle count") true
+        (cyc_on <> cyc_react);
+      match System.provenance sys_on with
+      | None -> Alcotest.fail (name ^ ": provenance requested but absent")
+      | Some prov ->
+          let _, static = Acsi_obs.Provenance.source_counts prov in
+          check_bool (name ^ ": static-source decisions recorded") true
+            (static > 0))
+    [ "db"; "jess" ]
+
 let suite =
   [
     Alcotest.test_case "accounting" `Quick test_accounting;
@@ -302,4 +367,6 @@ let suite =
       test_system_missing_edge_recompiles;
     Alcotest.test_case "trace-on-timer ablation" `Quick
       test_system_trace_on_timer_ablation;
+    Alcotest.test_case "static-seed determinism matrix" `Slow
+      test_static_seed_matrix;
   ]

@@ -258,6 +258,48 @@ let test_serve_jobs_invariant () =
   Alcotest.(check bool) "summaries independent of --jobs" true
     (serial = parallel)
 
+(* --- static pre-warm oracle: warmup-reduction regression --- *)
+
+(* The EXPERIMENTS.md warmup-ablation claim, pinned as a test: under the
+   bench panel's exact configuration (scale 1, closed loop 4 clients x
+   16 requests, Fixed 3), seeding from summaries must bring at least
+   three serve workloads to steady state in fewer requests while leaving
+   the merged output checksum byte-identical. *)
+let test_static_seed_warmup_reduction () =
+  let serve ~seeded name =
+    let program = (Workloads.find name).Workloads.build ~scale:1 in
+    let cfg = Config.default ~policy:(Policy.Fixed 3) in
+    let cfg =
+      {
+        cfg with
+        Config.aos = { cfg.Config.aos with System.static_seed = seeded };
+      }
+    in
+    (Server.run
+       ~mode:
+         (Server.Closed { clients = 4; requests_per_client = 16; think = 50_000 })
+       ~name cfg program)
+      .Server.summary
+  in
+  let reduced =
+    List.filter
+      (fun name ->
+        let off = serve ~seeded:false name in
+        let on_ = serve ~seeded:true name in
+        Alcotest.(check int)
+          (name ^ ": same request count")
+          off.Server.sv_requests on_.Server.sv_requests;
+        on_.Server.sv_output_checksum = off.Server.sv_output_checksum
+        && on_.Server.sv_warmup_requests < off.Server.sv_warmup_requests)
+      [ "db"; "compress"; "jack"; "javac" ]
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "at least 3 of 4 workloads reach steady state earlier (got %d: %s)"
+       (List.length reduced) (String.concat ", " reduced))
+    true
+    (List.length reduced >= 3)
+
 let suite =
   [
     Alcotest.test_case "interleaved reentrancy (same method)" `Quick
@@ -278,4 +320,6 @@ let suite =
       test_serve_deterministic;
     Alcotest.test_case "server summaries invariant under --jobs" `Slow
       test_serve_jobs_invariant;
+    Alcotest.test_case "static seeding cuts warmup, output identical" `Slow
+      test_static_seed_warmup_reduction;
   ]
