@@ -4,6 +4,7 @@
 
      compare.exe OLD.json NEW.json [--all] [--old-run N] [--new-run N]
                  [--allow-cross-tier] [--allow-cross-seed]
+                 [--allow-cross-spec]
 
    By default the *last* run of each file is compared (a results file is
    a trajectory; see results.ml). Wall-clock deltas are informational —
@@ -28,6 +29,15 @@
    cycle-identity check, since the identity does not hold across the
    seed). When both runs carry a "static" warmup-ablation section, the
    per-workload warmup-requests deltas are diffed like every other
+   deterministic cell.
+
+   The --speculate stamp (guard-free speculative inlining + deopt) is
+   the same shape as the seed stamp: cycle counts legitimately move
+   under speculation, so a cross-spec comparison at equal scale is
+   refused unless --allow-cross-spec (which likewise waives the
+   cycle-identity check). When both runs carry a "speculation"
+   guards-vs-guard-free section, its guard counts, deopt counts and
+   checksums are held to the determinism contract like every other
    deterministic cell. *)
 
 let usage =
@@ -44,6 +54,7 @@ type opts = {
   mutable new_run : int option;
   mutable allow_cross_tier : bool;
   mutable allow_cross_seed : bool;
+  mutable allow_cross_spec : bool;
 }
 
 let parse_args () =
@@ -56,6 +67,7 @@ let parse_args () =
       new_run = None;
       allow_cross_tier = false;
       allow_cross_seed = false;
+      allow_cross_spec = false;
     }
   in
   let int_arg name v =
@@ -73,6 +85,9 @@ let parse_args () =
         go rest
     | "--allow-cross-seed" :: rest ->
         o.allow_cross_seed <- true;
+        go rest
+    | "--allow-cross-spec" :: rest ->
+        o.allow_cross_spec <- true;
         go rest
     | "--old-run" :: v :: rest ->
         o.old_run <- Some (int_arg "--old-run" v);
@@ -112,14 +127,21 @@ let () =
   let seed_label r =
     if r.Results.static_seed then "seeded" else "reactive"
   in
+  let spec_label r =
+    if r.Results.speculate then "speculative" else "guarded"
+  in
   Printf.printf
-    "old: %s (run %d/%d)  jobs %d  scale %g  tier %s  %s  wall_total %.2fs\n"
+    "old: %s (run %d/%d)  jobs %d  scale %g  tier %s  %s  %s  wall_total \
+     %.2fs\n"
     old_path old_i (old_n - 1) old_run.Results.jobs old_run.Results.scale_factor
-    old_run.Results.tier (seed_label old_run) old_run.Results.wall_total_s;
+    old_run.Results.tier (seed_label old_run) (spec_label old_run)
+    old_run.Results.wall_total_s;
   Printf.printf
-    "new: %s (run %d/%d)  jobs %d  scale %g  tier %s  %s  wall_total %.2fs\n"
+    "new: %s (run %d/%d)  jobs %d  scale %g  tier %s  %s  %s  wall_total \
+     %.2fs\n"
     new_path new_i (new_n - 1) new_run.Results.jobs new_run.Results.scale_factor
-    new_run.Results.tier (seed_label new_run) new_run.Results.wall_total_s;
+    new_run.Results.tier (seed_label new_run) (spec_label new_run)
+    new_run.Results.wall_total_s;
   let same_scale =
     old_run.Results.scale_factor = new_run.Results.scale_factor
   in
@@ -158,7 +180,23 @@ let () =
        --allow-cross-seed to compare anyway (cycle-identity checks are \
        then skipped)."
       (seed_label old_run) (seed_label new_run);
-  let check_cycles = same_scale && not cross_seed in
+  (* The speculate stamp has the same force as the seed stamp: guard-free
+     inlining legitimately changes cycle counts (that is its point), so a
+     cross-spec diff at equal scale would report the subsystem's intended
+     effect as a regression. Refuse, and when overridden, skip the cycle
+     checks rather than fail them. *)
+  let cross_spec =
+    old_run.Results.speculate <> new_run.Results.speculate
+  in
+  if same_scale && cross_spec && not o.allow_cross_spec then
+    die
+      "refusing to compare a %s run against a %s run at equal scale: \
+       guard-free speculative inlining changes cycle counts by design, so \
+       the diff would measure the speculation, not the change under test. \
+       Pass --allow-cross-spec to compare anyway (cycle-identity checks \
+       are then skipped)."
+      (spec_label old_run) (spec_label new_run);
+  let check_cycles = same_scale && not cross_seed && not cross_spec in
   (* Cost-model drift: when both runs measured host time per charged
      virtual cycle, report how much each tier's measured cost moved.
      Informational only — the host is noisy — but a large drift means
@@ -374,6 +412,56 @@ let () =
               Printf.printf "  %-10s (new)  %3d -> %3d\n" n.Results.p_bench
                 n.Results.p_warmup_off n.Results.p_warmup_on)
         new_static);
+  (* Speculation (guards-vs-guard-free) cells: report each workload's
+     guard-check movement between the two runs, and hold every recorded
+     figure to the determinism contract at equal scale. Like the static
+     section, each cell embeds its own off/on halves with explicit
+     settings, so it is comparable even across the global --speculate
+     stamp. *)
+  let spec_mismatches = ref [] in
+  (match (old_run.Results.speculation, new_run.Results.speculation) with
+  | [], _ | _, [] -> ()
+  | old_spec, new_spec ->
+      Printf.printf
+        "\nguards-vs-guard-free ablation (guard checks, off -> on):\n";
+      List.iter
+        (fun (n : Results.gcell) ->
+          let checks_off (g : Results.gcell) =
+            g.Results.g_hits_off + g.Results.g_misses_off
+          in
+          let checks_on (g : Results.gcell) =
+            g.Results.g_hits_on + g.Results.g_misses_on
+          in
+          match
+            List.find_opt
+              (fun (g : Results.gcell) ->
+                g.Results.g_bench = n.Results.g_bench
+                && g.Results.g_policy = n.Results.g_policy)
+              old_spec
+          with
+          | Some old_g ->
+              Printf.printf
+                "  %-10s old %6d -> %-6d   new %6d -> %-6d   (deopts %d \
+                 storm + %d invalidated)\n"
+                n.Results.g_bench (checks_off old_g) (checks_on old_g)
+                (checks_off n) (checks_on n) n.Results.g_storms_on
+                n.Results.g_invalidated_on;
+              if
+                same_scale
+                && (old_g.Results.g_hits_off <> n.Results.g_hits_off
+                   || old_g.Results.g_misses_off <> n.Results.g_misses_off
+                   || old_g.Results.g_hits_on <> n.Results.g_hits_on
+                   || old_g.Results.g_misses_on <> n.Results.g_misses_on
+                   || old_g.Results.g_storms_on <> n.Results.g_storms_on
+                   || old_g.Results.g_invalidated_on
+                      <> n.Results.g_invalidated_on
+                   || old_g.Results.g_checksum_off <> n.Results.g_checksum_off
+                   || old_g.Results.g_checksum_on <> n.Results.g_checksum_on)
+              then spec_mismatches := (old_g, n) :: !spec_mismatches
+          | None ->
+              Printf.printf "  %-10s (new)  %6d -> %-6d\n" n.Results.g_bench
+                (checks_off n) (checks_on n))
+        new_spec);
   (* Traced component breakdowns carry the contract too: at equal scale,
      matched (bench, policy) component cells must agree on every
      component's cycle count — the per-component split is deterministic,
@@ -400,6 +488,7 @@ let () =
     !cycle_mismatches <> [] || !server_mismatches <> []
     || !shard_mismatches <> []
     || !static_mismatches <> []
+    || !spec_mismatches <> []
     || !component_mismatches <> []
   then begin
     if !cycle_mismatches <> [] then begin
@@ -458,6 +547,29 @@ let () =
              then "unchanged"
              else "changed"))
         (List.rev !static_mismatches)
+    end;
+    if !spec_mismatches <> [] then begin
+      Printf.printf
+        "\nDETERMINISM VIOLATION: guards-vs-guard-free cells changed on %d \
+         cells:\n"
+        (List.length !spec_mismatches);
+      List.iter
+        (fun ((o : Results.gcell), (n : Results.gcell)) ->
+          Printf.printf
+            "  %s/%s: guards off %d/%d -> %d/%d, on %d/%d -> %d/%d, deopts \
+             %d+%d -> %d+%d, checksums %s\n"
+            n.Results.g_bench n.Results.g_policy o.Results.g_hits_off
+            o.Results.g_misses_off n.Results.g_hits_off n.Results.g_misses_off
+            o.Results.g_hits_on o.Results.g_misses_on n.Results.g_hits_on
+            n.Results.g_misses_on o.Results.g_storms_on
+            o.Results.g_invalidated_on n.Results.g_storms_on
+            n.Results.g_invalidated_on
+            (if
+               o.Results.g_checksum_off = n.Results.g_checksum_off
+               && o.Results.g_checksum_on = n.Results.g_checksum_on
+             then "unchanged"
+             else "changed"))
+        (List.rev !spec_mismatches)
     end;
     if !component_mismatches <> [] then begin
       Printf.printf

@@ -9,6 +9,8 @@
      dune exec bench/main.exe -- --serve --shards 1,4   sharded-server cells
      dune exec bench/main.exe -- --sessions N sessions per sharded cell
      dune exec bench/main.exe -- --trace      traced per-component sweep
+     dune exec bench/main.exe -- --deopt      guards-vs-guard-free ablation
+     dune exec bench/main.exe -- --speculate  guard-free speculation on
      dune exec bench/main.exe -- --micro      bechamel microbenchmarks
      dune exec bench/main.exe -- --jobs 8     domain-parallel driver
      dune exec bench/main.exe -- --no-native-tier   interpreter tier only
@@ -36,6 +38,7 @@ type mode = {
   mutable ablations : bool;
   mutable serve : bool;
   mutable trace : bool;
+  mutable deopt : bool;
   mutable micro : bool;
   mutable shards : int list;
       (* shard counts for the sharded-server section (--serve) *)
@@ -65,6 +68,15 @@ let tier_name () = if !native_tier then "closure" else "interp"
    seeding is a measured behaviour change, not a host-speed one. *)
 let static_seed = ref false
 
+(* --speculate: run every cell with guard-free speculative inlining and
+   the deoptimization machinery on (pre-existence-proven receivers at
+   loaded-CHA-monomorphic sites inline with no guard; class loads and
+   guard storms revert and deoptimize). Output checksums are unchanged
+   by construction, but cycle counts legitimately move, so the run
+   record is stamped and compare.exe refuses a cross-spec comparison at
+   equal scale unless told otherwise — the static-seed shape again. *)
+let speculate = ref false
+
 let config ~policy =
   let cfg = Config.default ~policy in
   let cfg =
@@ -76,11 +88,24 @@ let config ~policy =
           { cfg.Config.aos with Acsi_aos.System.native_tier = false };
       }
   in
-  if not !static_seed then cfg
+  let cfg =
+    if not !static_seed then cfg
+    else
+      {
+        cfg with
+        Config.aos = { cfg.Config.aos with Acsi_aos.System.static_seed = true };
+      }
+  in
+  if not !speculate then cfg
   else
     {
       cfg with
-      Config.aos = { cfg.Config.aos with Acsi_aos.System.static_seed = true };
+      Config.aos =
+        {
+          cfg.Config.aos with
+          Acsi_aos.System.speculate = true;
+          enable_osr = true;
+        };
     }
 
 let parse_args () =
@@ -95,6 +120,7 @@ let parse_args () =
       ablations = false;
       serve = false;
       trace = false;
+      deopt = false;
       micro = false;
       shards = [ 1; 2; 4 ];
       sessions = 1_000_000;
@@ -141,6 +167,10 @@ let parse_args () =
         go rest
     | "--trace" :: rest ->
         m.trace <- true;
+        any := true;
+        go rest
+    | "--deopt" :: rest ->
+        m.deopt <- true;
         any := true;
         go rest
     | "--micro" :: rest ->
@@ -195,6 +225,9 @@ let parse_args () =
     | "--static-seed" :: rest ->
         static_seed := true;
         go rest
+    | "--speculate" :: rest ->
+        speculate := true;
+        go rest
     | "--json" :: rest ->
         m.json <- true;
         go rest
@@ -219,6 +252,7 @@ let parse_args () =
     m.ablations <- true;
     m.serve <- true;
     m.trace <- true;
+    m.deopt <- true;
     m.json <- true
   end;
   m
@@ -688,6 +722,99 @@ let static_oracle_mode mode =
     improved (List.length cells);
   cells
 
+(* --- guards vs guard-free: the speculative-inlining ablation --- *)
+
+(* Each panel workload run twice — speculation off, then on — at its
+   full default scale (fixed on purpose, like the sharded section: the
+   speculative compile has to land before the hot phase ends for the
+   guard-count contrast to be visible, so the cells stay identical in
+   --quick and full runs). The claim under test is Detlefs & Agesen's:
+   at loaded-CHA-monomorphic sites whose receiver provably pre-exists
+   the activation, the inline guard can be dropped entirely, and class
+   loading plus deoptimization — not a method test per dispatch — pays
+   for the speculation. Output checksums must match on every row; a
+   mismatch means the deopt machinery changed program semantics, and
+   the harness aborts. *)
+let deopt_panel mode =
+  hr "Guards vs guard-free speculation (pre-existence + deoptimization)";
+  let policy = Policy.Fixed 3 in
+  let guard_cost = Acsi_vm.Cost.default.Acsi_vm.Cost.guard in
+  let cells =
+    Parallel.map ~jobs:mode.jobs
+      (fun name ->
+        let spec = Workloads.find name in
+        let program = spec.Workloads.build ~scale:spec.Workloads.default_scale in
+        let half ~spec_on =
+          let cfg = config ~policy in
+          let cfg =
+            {
+              cfg with
+              Config.aos =
+                {
+                  cfg.Config.aos with
+                  Acsi_aos.System.speculate = spec_on;
+                  enable_osr =
+                    (spec_on || cfg.Config.aos.Acsi_aos.System.enable_osr);
+                };
+            }
+          in
+          (Runtime.run cfg program).Runtime.metrics
+        in
+        let off = half ~spec_on:false in
+        let on_ = half ~spec_on:true in
+        {
+          Results.g_bench = name;
+          g_policy = Policy.to_string policy;
+          g_hits_off = off.Metrics.guard_hits;
+          g_misses_off = off.Metrics.guard_misses;
+          g_hits_on = on_.Metrics.guard_hits;
+          g_misses_on = on_.Metrics.guard_misses;
+          g_storms_on = on_.Metrics.deopt_guard;
+          g_invalidated_on = on_.Metrics.deopt_invalidate;
+          g_cycles_off = off.Metrics.total_cycles;
+          g_cycles_on = on_.Metrics.total_cycles;
+          g_checksum_off = off.Metrics.output_checksum;
+          g_checksum_on = on_.Metrics.output_checksum;
+        })
+      [ "javac"; "jack"; "jbb"; "dispatch" ]
+  in
+  Format.printf "%-10s %15s %15s %12s %12s %13s %s@." "bench" "guards-off"
+    "guards-on" "guard-cyc-off" "guard-cyc-on" "deopts-on" "checksum";
+  List.iter
+    (fun (g : Results.gcell) ->
+      let checks_off = g.Results.g_hits_off + g.Results.g_misses_off in
+      let checks_on = g.Results.g_hits_on + g.Results.g_misses_on in
+      Format.printf "%-10s %7d/%-7d %7d/%-7d %12d %12d %5d st %3d inv  %s@."
+        g.Results.g_bench g.Results.g_hits_off g.Results.g_misses_off
+        g.Results.g_hits_on g.Results.g_misses_on (checks_off * guard_cost)
+        (checks_on * guard_cost) g.Results.g_storms_on
+        g.Results.g_invalidated_on
+        (if g.Results.g_checksum_off = g.Results.g_checksum_on then
+           "identical"
+         else "DIFFERS");
+      if g.Results.g_checksum_off <> g.Results.g_checksum_on then begin
+        Format.eprintf
+          "SEMANTIC VIOLATION: %s output checksum changed under \
+           speculation (%d vs %d)@."
+          g.Results.g_bench g.Results.g_checksum_off g.Results.g_checksum_on;
+        exit 1
+      end)
+    cells;
+  let reclaimed =
+    List.fold_left
+      (fun acc (g : Results.gcell) ->
+        acc
+        + ((g.Results.g_hits_off + g.Results.g_misses_off
+            - g.Results.g_hits_on - g.Results.g_misses_on)
+          * guard_cost))
+      0 cells
+  in
+  Format.printf
+    "@.%d guard cycles reclaimed across the panel (identical output \
+     everywhere)@."
+    reclaimed;
+  cells
+
 (* --- traced sweep: per-component overhead from tracer spans --- *)
 
 (* Figure-6 ground truth, measured the hard way: re-run a handful of
@@ -864,7 +991,7 @@ let traced_components mode =
    wall-clock history survives in one file and compare.exe can diff any
    two points of it (see results.ml). *)
 let write_json mode (s : Experiment.sweep option) server shards static_cells
-    components calibration calibration_check =
+    speculation_cells components calibration calibration_check =
   let path = mode.json_path in
   let wall_total_s, cells =
     match s with
@@ -888,10 +1015,12 @@ let write_json mode (s : Experiment.sweep option) server shards static_cells
       wall_total_s;
       tier = tier_name ();
       static_seed = !static_seed;
+      speculate = !speculate;
       cells;
       server;
       shards;
       static = static_cells;
+      speculation = speculation_cells;
       components;
       calibration;
       calibration_check;
@@ -1034,6 +1163,7 @@ let () =
   let server_cells = if mode.serve then serve_mode mode else [] in
   let shard_cells = if mode.serve then shard_mode mode else [] in
   let static_cells = if mode.serve then static_oracle_mode mode else [] in
+  let speculation_cells = if mode.deopt then deopt_panel mode else [] in
   let component_cells, calibration, calibration_check =
     if mode.trace then traced_components mode else ([], [], None)
   in
@@ -1041,8 +1171,9 @@ let () =
   if
     mode.json
     && (Option.is_some !the_sweep || server_cells <> [] || shard_cells <> []
-       || static_cells <> [] || component_cells <> [])
+       || static_cells <> [] || speculation_cells <> []
+       || component_cells <> [])
   then
     write_json mode !the_sweep server_cells shard_cells static_cells
-      component_cells calibration calibration_check;
+      speculation_cells component_cells calibration calibration_check;
   Format.printf "@.done.@."

@@ -105,6 +105,26 @@ type pcell = {
   p_checksum_on : int;
 }
 
+(* One guards-vs-guard-free ablation cell (bench --deopt): the same
+   workload run twice — speculation off, then on — at its full default
+   scale. Both halves are deterministic, and the output checksums must
+   always agree: guard-free speculative inlining plus deoptimization is
+   a performance transform, never a semantic one. *)
+type gcell = {
+  g_bench : string;
+  g_policy : string;
+  g_hits_off : int; (* inline-guard hits, speculation off *)
+  g_misses_off : int;
+  g_hits_on : int;
+  g_misses_on : int;
+  g_storms_on : int; (* deopts after repeated guard failure, on half *)
+  g_invalidated_on : int; (* deopts after class-load invalidation *)
+  g_cycles_off : int; (* total_cycles per half *)
+  g_cycles_on : int;
+  g_checksum_off : int;
+  g_checksum_on : int;
+}
+
 type run = {
   jobs : int;
   scale_factor : float;
@@ -117,6 +137,11 @@ type run = {
       (* whether the run's cells executed with the static pre-warm
          oracle on (--static-seed); absent in files written before the
          oracle existed, which reads as false *)
+  speculate : bool;
+      (* whether the run's cells executed with guard-free speculative
+         inlining + deoptimization on (--speculate); absent in files
+         written before the deopt subsystem existed, which reads as
+         false *)
   cells : cell list;
   server : scell list;
       (* empty for runs recorded before server mode existed *)
@@ -125,6 +150,9 @@ type run = {
   static : pcell list;
       (* empty for runs recorded before the static oracle existed or
          without --serve *)
+  speculation : gcell list;
+      (* empty for runs recorded before the deopt subsystem existed or
+         without --deopt *)
   components : ccell list;
       (* empty for runs recorded without --trace *)
   calibration : calib list;
@@ -379,6 +407,22 @@ let pcell_of_json j =
     p_checksum_on = checksum_field "checksum_on" j;
   }
 
+let gcell_of_json j =
+  {
+    g_bench = str (field "bench" j);
+    g_policy = str (field "policy" j);
+    g_hits_off = int_of_float (num (field "hits_off" j));
+    g_misses_off = int_of_float (num (field "misses_off" j));
+    g_hits_on = int_of_float (num (field "hits_on" j));
+    g_misses_on = int_of_float (num (field "misses_on" j));
+    g_storms_on = int_of_float (num (field "storms_on" j));
+    g_invalidated_on = int_of_float (num (field "invalidated_on" j));
+    g_cycles_off = int_of_float (num (field "cycles_off" j));
+    g_cycles_on = int_of_float (num (field "cycles_on" j));
+    g_checksum_off = checksum_field "checksum_off" j;
+    g_checksum_on = checksum_field "checksum_on" j;
+  }
+
 let calcheck_of_json j =
   {
     v_app_ns = num (field "app_ns" j);
@@ -418,6 +462,16 @@ let run_of_json j =
           | Some (Bool b) -> b
           | Some _ -> raise (Parse_error "expected a bool for static_seed"))
       | _ -> false);
+    speculate =
+      (* Absent in files written before the deopt subsystem existed:
+         those runs never speculated. *)
+      (match j with
+      | Obj kvs -> (
+          match List.assoc_opt "speculate" kvs with
+          | None | Some Null -> false
+          | Some (Bool b) -> b
+          | Some _ -> raise (Parse_error "expected a bool for speculate"))
+      | _ -> false);
     cells =
       (match field "cells" j with
       | Arr cells -> List.map cell_of_json cells
@@ -451,6 +505,16 @@ let run_of_json j =
           | Some (Arr pcells) -> List.map pcell_of_json pcells
           | Some _ ->
               raise (Parse_error "expected an array under \"static\""))
+      | _ -> []);
+    speculation =
+      (* Absent in files written before the deopt subsystem existed. *)
+      (match j with
+      | Obj kvs -> (
+          match List.assoc_opt "speculation" kvs with
+          | None | Some Null -> []
+          | Some (Arr gcells) -> List.map gcell_of_json gcells
+          | Some _ ->
+              raise (Parse_error "expected an array under \"speculation\""))
       | _ -> []);
     components =
       (* Absent in files written without a traced sweep. *)
@@ -523,8 +587,10 @@ let output_run oc r ~last =
     \      \"wall_total_s\": %.6f,\n\
     \      \"tier\": \"%s\",\n\
     \      \"static_seed\": %b,\n\
+    \      \"speculate\": %b,\n\
     \      \"cells\": [\n"
-    r.jobs r.scale_factor r.wall_total_s (json_escape r.tier) r.static_seed;
+    r.jobs r.scale_factor r.wall_total_s (json_escape r.tier) r.static_seed
+    r.speculate;
   let last_cell = List.length r.cells - 1 in
   List.iteri
     (fun i c ->
@@ -592,6 +658,27 @@ let output_run oc r ~last =
           p.p_checksum_off p.p_checksum_on
           (if i = last_p then "" else ","))
       r.static;
+    Printf.fprintf oc "      ]"
+  end;
+  (* The guards-vs-guard-free ablation section is likewise only written
+     when bench --deopt ran it. *)
+  if r.speculation <> [] then begin
+    Printf.fprintf oc ",\n      \"speculation\": [\n";
+    let last_g = List.length r.speculation - 1 in
+    List.iteri
+      (fun i g ->
+        Printf.fprintf oc
+          "        {\"bench\": \"%s\", \"policy\": \"%s\", \"hits_off\": %d, \
+           \"misses_off\": %d, \"hits_on\": %d, \"misses_on\": %d, \
+           \"storms_on\": %d, \"invalidated_on\": %d, \"cycles_off\": %d, \
+           \"cycles_on\": %d, \"checksum_off\": \"%d\", \"checksum_on\": \
+           \"%d\"}%s\n"
+          (json_escape g.g_bench) (json_escape g.g_policy) g.g_hits_off
+          g.g_misses_off g.g_hits_on g.g_misses_on g.g_storms_on
+          g.g_invalidated_on g.g_cycles_off g.g_cycles_on g.g_checksum_off
+          g.g_checksum_on
+          (if i = last_g then "" else ","))
+      r.speculation;
     Printf.fprintf oc "      ]"
   end;
   (* Likewise only written when a traced sweep ran. *)

@@ -78,8 +78,25 @@ let apply_seed seed (cfg : Config.t) =
       Config.aos = { cfg.Config.aos with Acsi_aos.System.static_seed = true };
     }
 
+(* --speculate: guard-free speculative inlining with deoptimization.
+   Implies --enable-osr semantics: on-stack transfers both ways, so
+   recompiles activate immediately and reverted methods drain their
+   stale frames. *)
+let apply_speculate spec (cfg : Config.t) =
+  if not spec then cfg
+  else
+    {
+      cfg with
+      Config.aos =
+        {
+          cfg.Config.aos with
+          Acsi_aos.System.speculate = true;
+          enable_osr = true;
+        };
+    }
+
 let run_one ~bench ~file ~policy_str ~scale ~compare_baseline
-    ~show_compilations ~disasm ~jobs ~verify ~tier ~static_seed =
+    ~show_compilations ~disasm ~jobs ~verify ~tier ~static_seed ~speculate =
   match Acsi_policy.Policy.of_string policy_str with
   | None ->
       Format.eprintf
@@ -123,8 +140,9 @@ let run_one ~bench ~file ~policy_str ~scale ~compare_baseline
                 Parallel.map ~jobs
                   (fun policy ->
                     Runtime.run
-                      (apply_seed static_seed
-                         (apply_tier tier (Config.default ~policy)))
+                      (apply_speculate speculate
+                         (apply_seed static_seed
+                            (apply_tier tier (Config.default ~policy))))
                       program)
                   [ policy; Acsi_policy.Policy.Context_insensitive ]
               with
@@ -132,8 +150,9 @@ let run_one ~bench ~file ~policy_str ~scale ~compare_baseline
               | _ -> assert false
             else
               ( Runtime.run
-                  (apply_seed static_seed
-                     (apply_tier tier (Config.default ~policy)))
+                  (apply_speculate speculate
+                     (apply_seed static_seed
+                        (apply_tier tier (Config.default ~policy))))
                   program,
                 None )
           in
@@ -167,10 +186,11 @@ let run_one ~bench ~file ~policy_str ~scale ~compare_baseline
                | Some base -> base
                | None ->
                    Runtime.run
-                     (apply_seed static_seed
-                        (apply_tier tier
-                           (Config.default
-                              ~policy:Acsi_policy.Policy.Context_insensitive)))
+                     (apply_speculate speculate
+                        (apply_seed static_seed
+                           (apply_tier tier
+                              (Config.default
+                                 ~policy:Acsi_policy.Policy.Context_insensitive))))
                      program
              in
              let bm = base.Runtime.metrics in
@@ -290,17 +310,29 @@ let static_seed_arg =
            before any profile sample exists (provenance records these \
            under the static source).")
 
+let speculate_arg =
+  Arg.(
+    value & flag
+    & info [ "speculate" ]
+        ~doc:
+          "Enable guard-free speculative inlining: virtual sites \
+           monomorphic over the loaded class universe whose receiver \
+           pre-exists the activation are inlined with no guard; a class \
+           load that breaks the recorded assumption (or a guard storm) \
+           deoptimizes the method through its frame-state table. Implies \
+           on-stack replacement in both directions.")
+
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
 
 let main list_only verbose bench file policy scale compare_baseline
-    show_compilations disasm jobs verify tier static_seed =
+    show_compilations disasm jobs verify tier static_seed speculate =
   setup_logs verbose;
   if list_only then list_benchmarks ()
   else
     run_one ~bench ~file ~policy_str:policy ~scale ~compare_baseline
-      ~show_compilations ~disasm ~jobs ~verify ~tier ~static_seed
+      ~show_compilations ~disasm ~jobs ~verify ~tier ~static_seed ~speculate
 
 (* --- trace / explain: the observability subcommands (lib/obs) --- *)
 
@@ -336,8 +368,11 @@ let qualified_name program mid =
   let c = Acsi_bytecode.Program.clazz program m.Acsi_bytecode.Meth.owner in
   c.Acsi_bytecode.Clazz.name ^ "." ^ m.Acsi_bytecode.Meth.name
 
-let run_with_obs ~policy ~obs ~tier ~static_seed program =
-  let cfg = apply_seed static_seed (apply_tier tier (Config.default ~policy)) in
+let run_with_obs ~policy ~obs ~tier ~static_seed ~speculate program =
+  let cfg =
+    apply_speculate speculate
+      (apply_seed static_seed (apply_tier tier (Config.default ~policy)))
+  in
   Runtime.run
     { cfg with Config.aos = { cfg.Config.aos with Acsi_aos.System.obs } }
     program
@@ -354,7 +389,7 @@ let write_buffer path buf =
    reconciliation check: with no ring drops, every AOS component's summed
    span durations must equal its Accounting total exactly. *)
 let trace_one ~bench ~file ~policy_str ~scale ~out ~jsonl ~flame ~min_pct
-    ~capacity ~probe_on_clock ~tier ~static_seed =
+    ~capacity ~probe_on_clock ~tier ~static_seed ~speculate =
   match Acsi_policy.Policy.of_string policy_str with
   | None ->
       Format.eprintf "unknown policy %S@." policy_str;
@@ -376,7 +411,9 @@ let trace_one ~bench ~file ~policy_str ~scale ~out ~jsonl ~flame ~min_pct
              below reports exactly this run's traffic (deterministic:
              one VM, no concurrent sweeps in this process). *)
           Metrics.reset_tier_cache_stats ();
-          let result = run_with_obs ~policy ~obs ~tier ~static_seed program in
+          let result =
+            run_with_obs ~policy ~obs ~tier ~static_seed ~speculate program
+          in
           let sys = result.Runtime.sys in
           let m = result.Runtime.metrics in
           let tracer = Acsi_aos.System.tracer sys in
@@ -411,6 +448,15 @@ let trace_one ~bench ~file ~policy_str ~scale ~out ~jsonl ~flame ~min_pct
             "tier cache: %d hits, %d misses, %d evictions (shared \
              baseline-compile MRU)@."
             cs.Metrics.hits cs.Metrics.misses cs.Metrics.evictions;
+          (* On-stack transfer traffic; only under --speculate (or OSR)
+             is there anything to say. *)
+          if m.Metrics.osr_count > 0 then
+            Format.printf
+              "osr: %d up / %d down (deopt: %d guard-storm, %d \
+               CHA-invalidated; %d speculative installs)@."
+              m.Metrics.osr_up m.Metrics.osr_down m.Metrics.deopt_guard
+              m.Metrics.deopt_invalidate
+              (Acsi_aos.System.speculative_installs sys);
           (* The reconciliation contract (see Acsi_obs.Tracer): only
              checkable when the ring kept every event. *)
           let mismatches =
@@ -457,7 +503,8 @@ let trace_one ~bench ~file ~policy_str ~scale ~out ~jsonl ~flame ~min_pct
    provenance sink installed and print every recorded inline decision —
    optionally restricted to call sites in one method (matched by
    unqualified or "Cls.name" qualified name), or to one call-site pc. *)
-let explain_one ~bench ~file ~policy_str ~scale ~query ~tier ~static_seed =
+let explain_one ~bench ~file ~policy_str ~scale ~query ~tier ~static_seed
+    ~speculate =
   match Acsi_policy.Policy.of_string policy_str with
   | None ->
       Format.eprintf "unknown policy %S@." policy_str;
@@ -469,7 +516,9 @@ let explain_one ~bench ~file ~policy_str ~scale ~query ~tier ~static_seed =
           let obs =
             { Acsi_obs.Control.off with Acsi_obs.Control.provenance = true }
           in
-          let result = run_with_obs ~policy ~obs ~tier ~static_seed program in
+          let result =
+            run_with_obs ~policy ~obs ~tier ~static_seed ~speculate program
+          in
           let sys = result.Runtime.sys in
           match Acsi_aos.System.provenance sys with
           | None ->
@@ -568,14 +617,19 @@ let explain_one ~bench ~file ~policy_str ~scale ~query ~tier ~static_seed =
                     "@.%d decisions shown of %d recorded (%d inlined, %d \
                      refused)@."
                     (List.length decisions) total inlined refused;
-                  (let sampled, static =
+                  (let sampled, static, speculative =
                      Acsi_obs.Provenance.source_counts prov
                    in
                    if static > 0 then
                      Format.printf
                        "%d decided by the static oracle (before any sample), \
                         %d sample-driven@."
-                       static sampled);
+                       static sampled;
+                   if speculative > 0 then
+                     Format.printf
+                       "%d decided speculatively (guard-free, loaded-CHA + \
+                        pre-existence)@."
+                       speculative);
                   (* The orthogonal decision axis: what happened when each
                      installed optimized method was promoted to (or kept
                      off) the closure execution tier. Only shown for
@@ -955,7 +1009,7 @@ let run_cmd_term =
   Term.(
     const main $ list_arg $ verbose_arg $ bench_arg $ file_arg $ policy_arg
     $ scale_arg $ compare_arg $ compilations_arg $ disasm_arg $ jobs_arg
-    $ verify_flag $ tier_flag $ static_seed_arg)
+    $ verify_flag $ tier_flag $ static_seed_arg $ speculate_arg)
 
 let lint_cmd =
   let doc =
@@ -1031,10 +1085,10 @@ let trace_probe_arg =
            clock, making the tracing overhead itself visible to the run.")
 
 let trace_main verbose bench file policy scale out jsonl flame min_pct
-    capacity probe_on_clock tier static_seed =
+    capacity probe_on_clock tier static_seed speculate =
   setup_logs verbose;
   trace_one ~bench ~file ~policy_str:policy ~scale ~out ~jsonl ~flame
-    ~min_pct ~capacity ~probe_on_clock ~tier ~static_seed
+    ~min_pct ~capacity ~probe_on_clock ~tier ~static_seed ~speculate
 
 let trace_cmd =
   let doc =
@@ -1046,7 +1100,7 @@ let trace_cmd =
       const trace_main $ verbose_arg $ bench_arg $ file_arg $ policy_arg
       $ scale_arg $ trace_out_arg $ trace_jsonl_arg $ trace_flame_arg
       $ trace_min_pct_arg $ trace_capacity_arg $ trace_probe_arg $ tier_flag
-      $ static_seed_arg)
+      $ static_seed_arg $ speculate_arg)
 
 let explain_query_arg =
   Arg.(
@@ -1058,9 +1112,11 @@ let explain_query_arg =
            site in this method (unqualified or Cls.name), optionally at \
            exactly the given bytecode pc. All decisions when omitted.")
 
-let explain_main verbose bench file policy scale query tier static_seed =
+let explain_main verbose bench file policy scale query tier static_seed
+    speculate =
   setup_logs verbose;
   explain_one ~bench ~file ~policy_str:policy ~scale ~query ~tier ~static_seed
+    ~speculate
 
 let explain_cmd =
   let doc =
@@ -1070,13 +1126,97 @@ let explain_cmd =
   Cmd.v (Cmd.info "explain" ~doc)
     Term.(
       const explain_main $ verbose_arg $ bench_arg $ file_arg $ policy_arg
-      $ scale_arg $ explain_query_arg $ tier_flag $ static_seed_arg)
+      $ scale_arg $ explain_query_arg $ tier_flag $ static_seed_arg
+      $ speculate_arg)
+
+(* `acsi-run profile`: deterministic DCG persistence. --dump writes the
+   run's final dynamic call graph in the textual {!Acsi_profile.Persist}
+   format; --load seeds a run from a previously dumped profile,
+   reproducing the offline profile-directed setups the paper contrasts
+   itself with (§6). Profiles are program-specific (dense method ids),
+   so dump and load must name the same benchmark and scale. *)
+let profile_one ~bench ~file ~policy_str ~scale ~dump ~load ~tier
+    ~static_seed ~speculate =
+  match Acsi_policy.Policy.of_string policy_str with
+  | None ->
+      Format.eprintf "unknown policy %S@." policy_str;
+      2
+  | Some policy -> (
+      match load_program ~bench ~file ~scale with
+      | Error code -> code
+      | Ok (label, program) -> (
+          match
+            match load with
+            | None -> Ok None
+            | Some path -> (
+                try Ok (Some (Acsi_profile.Persist.load path)) with
+                | Acsi_profile.Persist.Malformed msg ->
+                    Error (Printf.sprintf "%s: malformed profile: %s" path msg)
+                | Sys_error msg -> Error msg)
+          with
+          | Error msg ->
+              Format.eprintf "%s@." msg;
+              1
+          | Ok profile ->
+              let cfg =
+                apply_speculate speculate
+                  (apply_seed static_seed
+                     (apply_tier tier (Config.default ~policy)))
+              in
+              let result = Runtime.run ?profile cfg program in
+              Format.printf "%s under %s:@.%a@." label
+                (Acsi_policy.Policy.to_string policy)
+                Metrics.pp result.Runtime.metrics;
+              (match load with
+              | Some path -> Format.printf "profile seeded from %s@." path
+              | None -> ());
+              (match dump with
+              | Some path ->
+                  let dcg = Acsi_aos.System.dcg result.Runtime.sys in
+                  Acsi_profile.Persist.save path dcg;
+                  Format.printf "profile (%d traces) written to %s@."
+                    (Acsi_profile.Dcg.size dcg) path
+              | None -> ());
+              0))
+
+let profile_dump_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump" ] ~docv:"FILE"
+        ~doc:"Write the run's final dynamic call graph to FILE.")
+
+let profile_load_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "load" ] ~docv:"FILE"
+        ~doc:
+          "Seed the dynamic call graph from FILE before the run (offline \
+           profile-directed inlining).")
+
+let profile_main verbose bench file policy scale dump load tier static_seed
+    speculate =
+  setup_logs verbose;
+  profile_one ~bench ~file ~policy_str:policy ~scale ~dump ~load ~tier
+    ~static_seed ~speculate
+
+let profile_cmd =
+  let doc =
+    "run one workload and persist its dynamic call graph, or seed a run \
+     from a dumped profile (deterministic text format)"
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const profile_main $ verbose_arg $ bench_arg $ file_arg $ policy_arg
+      $ scale_arg $ profile_dump_arg $ profile_load_arg $ tier_flag
+      $ static_seed_arg $ speculate_arg)
 
 let cmd =
   let doc =
     "run an adaptive-context-sensitive-inlining experiment on one benchmark"
   in
   Cmd.group ~default:run_cmd_term (Cmd.info "acsi-run" ~doc)
-    [ analyze_cmd; lint_cmd; serve_cmd; trace_cmd; explain_cmd ]
+    [ analyze_cmd; lint_cmd; serve_cmd; trace_cmd; explain_cmd; profile_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -123,6 +123,25 @@ let check p (code : Code.t) : Diag.t list =
           (* Guard domination per inline region. *)
           let cfg = Cfg.make instrs in
           let idom = Cfg.dominators cfg in
+          (* Speculative (assumption-carrying) regions trade the guard
+             for recoverability: every pc must be dominated by a pc with
+             a valid deopt point, so a CHA invalidation can always
+             reconstruct source frames at or before the region. *)
+          let deopt_pcs =
+            lazy
+              (let tbl = Acsi_deopt.Deopt.table_of_code p code in
+               let pcs = ref [] in
+               for pc = n - 1 downto 0 do
+                 if Acsi_deopt.Deopt.covered tbl ~pc then pcs := pc :: !pcs
+               done;
+               !pcs)
+          in
+          let assumed sel target =
+            List.exists
+              (fun (s, m) ->
+                Ids.Selector.equal s sel && Ids.Method_id.equal m target)
+              code.Code.assumptions
+          in
           List.iter
             (fun (region_m, parents, pcs) ->
               match parents with
@@ -150,6 +169,23 @@ let check p (code : Code.t) : Diag.t list =
                             "inline region for %s unreachable from selector %s"
                             region_meth.Meth.name
                             (Program.selector_name p sel)
+                        else if assumed sel region_m then
+                          (* Unguarded speculative inline: no guard to
+                             dominate the region — a valid deopt point
+                             must instead. *)
+                          List.iter
+                            (fun pc ->
+                              if
+                                not
+                                  (List.exists
+                                     (fun d ->
+                                       Cfg.dominates cfg ~idom d pc)
+                                     (Lazy.force deopt_pcs))
+                              then
+                                add ~pc
+                                  "speculative inline body for %s not dominated by a deopt point"
+                                  region_meth.Meth.name)
+                            pcs
                         else if
                           not
                             (match Program.monomorphic_target p sel with

@@ -1,0 +1,110 @@
+open Acsi_bytecode
+
+(* Abstract value: [Param i] = still the method's original argument in
+   slot [i]; anything computed, loaded from the heap, or merged from
+   disagreeing paths is [Unknown]. The lattice has height 2, so the
+   round-robin fixpoint below terminates quickly. *)
+type av = Param of int | Unknown
+
+let join a b =
+  match (a, b) with Param i, Param j when i = j -> a | _ -> Unknown
+
+type state = { locals : av array; stack : av list  (* head = top *) }
+
+let join_state a b =
+  let locals = Array.map2 join a.locals b.locals in
+  let stack =
+    if List.length a.stack = List.length b.stack then
+      List.map2 join a.stack b.stack
+    else
+      (* Inconsistent depths never happen on verified bodies; degrade
+         soundly rather than raise on corpus inputs. *)
+      List.map (fun _ -> Unknown)
+        (if List.length a.stack < List.length b.stack then a.stack
+         else b.stack)
+  in
+  { locals; stack }
+
+let transfer program (m : Meth.t) st pc (instr : Instr.t) =
+  match instr with
+  | Instr.Load i ->
+      let v = if i < Array.length st.locals then st.locals.(i) else Unknown in
+      { st with stack = v :: st.stack }
+  | Instr.Store i -> (
+      match st.stack with
+      | v :: rest ->
+          let locals = Array.copy st.locals in
+          if i < Array.length locals then locals.(i) <- v;
+          { locals; stack = rest }
+      | [] -> st)
+  | Instr.Dup -> (
+      match st.stack with v :: _ -> { st with stack = v :: st.stack } | [] -> st)
+  | Instr.Swap -> (
+      match st.stack with
+      | a :: b :: rest -> { st with stack = b :: a :: rest }
+      | _ -> st)
+  | _ ->
+      let pops, pushes = Verify.effect_of program m pc instr in
+      let rec drop k s =
+        if k <= 0 then s else match s with _ :: r -> drop (k - 1) r | [] -> []
+      in
+      let rec push k s = if k <= 0 then s else push (k - 1) (Unknown :: s) in
+      { st with stack = push pushes (drop pops st.stack) }
+
+let successors n pc (instr : Instr.t) =
+  let targets = Instr.jump_targets instr in
+  let all = if Cfg.falls_through instr then (pc + 1) :: targets else targets in
+  List.filter (fun t -> t >= 0 && t < n) all
+
+let receiver_preexists program table (m : Meth.t) =
+  let body = m.Meth.body in
+  let n = Array.length body in
+  let result = Array.make n false in
+  if n = 0 then result
+  else begin
+    let nslots = Meth.param_slots m in
+    let states : state option array = Array.make n None in
+    let changed = ref true in
+    let update pc st =
+      match states.(pc) with
+      | None ->
+          states.(pc) <- Some st;
+          changed := true
+      | Some old ->
+          let j = join_state old st in
+          if j <> old then begin
+            states.(pc) <- Some j;
+            changed := true
+          end
+    in
+    update 0
+      {
+        locals =
+          Array.init (max m.Meth.max_locals nslots) (fun i ->
+              if i < nslots then Param i else Unknown);
+        stack = [];
+      };
+    while !changed do
+      changed := false;
+      for pc = 0 to n - 1 do
+        match states.(pc) with
+        | None -> ()
+        | Some st ->
+            let out = transfer program m st pc body.(pc) in
+            List.iter (fun t -> update t out) (successors n pc body.(pc))
+      done
+    done;
+    let escapes = (Summary.get table m.Meth.id).Summary.escapes in
+    Array.iteri
+      (fun pc instr ->
+        match (instr, states.(pc)) with
+        | Instr.Call_virtual (_, argc), Some st -> (
+            match List.nth_opt st.stack argc with
+            | Some (Param i) when i < Array.length escapes && not escapes.(i)
+              ->
+                result.(pc) <- true
+            | _ -> ())
+        | _ -> ())
+      body;
+    result
+  end

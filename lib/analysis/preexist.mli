@@ -1,0 +1,23 @@
+(** Pre-existence analysis (Detlefs & Agesen style).
+
+    A receiver {e pre-exists} an invocation of method [m] when the
+    object was allocated before [m]'s current activation began — then a
+    class load that invalidates a CHA-based devirtualization in [m]
+    cannot have happened after the receiver was dispatched on, so
+    already-active frames of [m] stay correct and invalidation only
+    needs to keep {e future} activations off the speculative code (code
+    patching / table swap), never to deopt a dispatched receiver.
+
+    The proof here is the simple, sound core: the receiver is one of
+    [m]'s own arguments, still holding the original argument value
+    (tracked through local reassignment by forward dataflow), and — as
+    an extra conservatism riding on the PR 8 interprocedural summaries
+    — the argument slot is proven non-escaping in [m], so no aliasing
+    path can swap the object under the analysis. *)
+
+open Acsi_bytecode
+
+val receiver_preexists : Program.t -> Summary.table -> Meth.t -> bool array
+(** Per pc of [m.body]: the instruction is a [Call_virtual] whose
+    receiver provably pre-exists the activation (an unmodified,
+    non-escaping argument of [m]). [false] everywhere else. *)

@@ -59,6 +59,19 @@ type config = {
           has statically inlinable call sites, compile it optimized
           immediately — before any sample exists. Default [false]; the
           paper's system (and every golden) is purely reactive. *)
+  speculate : bool;
+      (** guard-free speculative inlining: let the oracle inline virtual
+          sites that are monomorphic over the *loaded* class universe
+          with no guard when the receiver pre-exists the activation,
+          record the CHA assumptions on the installed code, invalidate
+          synchronously on class load, deopt active stale frames through
+          the {!Acsi_deopt} tables, and deopt guard-stormy methods.
+          Default [false]; all goldens are pinned to the guarded
+          system. *)
+  deopt_guard_threshold : int;
+      (** inline-guard failures at one (method, pc) site before the
+          method is deoptimized back to baseline and re-enqueued for
+          compilation *)
   collect_termination_stats : bool;
   async_compile : bool;
   compiler_pool : int;
@@ -92,6 +105,8 @@ let default_config policy =
     verify_installed = true;
     native_tier = true;
     static_seed = false;
+    speculate = false;
+    deopt_guard_threshold = 32;
     collect_termination_stats = false;
     async_compile = false;
     compiler_pool = 1;
@@ -135,6 +150,18 @@ type t = {
   summaries : Acsi_analysis.Summary.table option;
   mutable static_compiling : bool;
   mutable static_seeds : int;
+  (* speculation & deoptimization: current optimized installs with their
+     frame-state tables ([deopt_tables], keyed by method id); reverted
+     codes whose active stale frames still await a downward transfer
+     ([pending_deopt], matched by physical code identity); per-(method,
+     pc) guard-failure counters; memoized pre-existence analyses *)
+  deopt_tables : (int, Acsi_vm.Code.t * Acsi_deopt.Deopt.table) Hashtbl.t;
+  mutable pending_deopt :
+    (Acsi_vm.Code.t * Acsi_deopt.Deopt.table * Interp.deopt_reason) list;
+  guard_fails : (int * int, int ref) Hashtbl.t;
+  preexist_cache : (int, bool array) Hashtbl.t;
+  mutable speculative_installs : int;
+  mutable dropped_installs : int;
   mutable rules : Rules.t;
   mutable rules_version : int;
   (* buffers *)
@@ -190,6 +217,9 @@ let async_overlap_instructions t = t.overlap_instructions
 let overlapped_aos_cycles t = t.overlapped_aos_cycles
 let static_seeded_methods t = t.static_seeds
 let summaries t = t.summaries
+let speculative_installs t = t.speculative_installs
+let dropped_installs t = t.dropped_installs
+let pending_deopts t = List.length t.pending_deopt
 let obs t = t.obs
 let tracer t = t.obs.Acsi_obs.Control.tracer
 let provenance t = t.obs.Acsi_obs.Control.prov
@@ -508,6 +538,142 @@ let compile_one t (mid : Ids.Method_id.t) =
         stats.Acsi_jit.Expand.inline_count stats.Acsi_jit.Expand.guard_count);
   (code, stats)
 
+(* --- speculation & deoptimization --- *)
+
+(* The unique dispatch target of [sel] over the classes instantiated so
+   far, or [None]: the loaded-CHA analogue of
+   [Program.monomorphic_target] over the sealed universe. *)
+let loaded_mono t sel =
+  let n = Program.class_count t.program in
+  let target = ref None in
+  let unique = ref true in
+  for c = 0 to n - 1 do
+    let cid = Ids.Class_id.of_int c in
+    if !unique && Interp.class_is_loaded t.vm cid then
+      match Program.dispatch t.program cid sel with
+      | Some m -> (
+          match !target with
+          | None -> target := Some m
+          | Some m' -> if not (Ids.Method_id.equal m m') then unique := false)
+      | None -> ()
+  done;
+  if !unique then !target else None
+
+let preexist_pcs t (root : Meth.t) =
+  match t.summaries with
+  | None -> [||]
+  | Some table -> (
+      let key = (root.Meth.id :> int) in
+      match Hashtbl.find_opt t.preexist_cache key with
+      | Some a -> a
+      | None ->
+          let a =
+            Acsi_analysis.Preexist.receiver_preexists t.program table root
+          in
+          Hashtbl.add t.preexist_cache key a;
+          a)
+
+let assumptions_hold t (code : Acsi_vm.Code.t) =
+  List.for_all
+    (fun (sel, target) ->
+      match loaded_mono t sel with
+      | Some m -> Ids.Method_id.equal m target
+      | None -> false)
+    code.Acsi_vm.Code.assumptions
+
+(* Take [mid] off its current optimized code: future invocations run the
+   baseline again (closure tier reinstalled to match), frames still
+   executing the stale code are drained by [drain_pending_deopt] at the
+   next timer samples, and a recompile is enqueued — the speculation
+   closures read the *current* loaded universe, so the replacement is
+   compiled without the broken assumption. Safe inside an execution
+   window: mutates code tables only, never the frame stack. *)
+let revert_optimized t (mid : Ids.Method_id.t) ~reason ~ev =
+  match Hashtbl.find_opt t.deopt_tables (mid :> int) with
+  | None -> ()
+  | Some (code, table) ->
+      Hashtbl.remove t.deopt_tables (mid :> int);
+      t.pending_deopt <- (code, table, reason) :: t.pending_deopt;
+      let bcode = Interp.baseline_code_of t.vm mid in
+      Interp.install_code t.vm mid bcode;
+      (if t.cfg.native_tier then
+         try Acsi_vm.Tier.install t.vm mid bcode with _ -> ());
+      charge ~ev t Accounting.Controller t.cost.Cost.controller_per_event;
+      Log.info (fun m ->
+          m "deopt %s: reverted to baseline (%s)"
+            (Program.meth t.program mid).Meth.name
+            (match (reason : Interp.deopt_reason) with
+            | Interp.Guard_storm -> "guard storm"
+            | Interp.Cha_invalidated -> "CHA invalidated"));
+      enqueue_compile t mid
+
+let on_guard_miss t (mid : Ids.Method_id.t) pc =
+  if Hashtbl.mem t.deopt_tables (mid :> int) then begin
+    let key = ((mid :> int), pc) in
+    let r =
+      match Hashtbl.find_opt t.guard_fails key with
+      | Some r -> r
+      | None ->
+          let r = ref 0 in
+          Hashtbl.add t.guard_fails key r;
+          r
+    in
+    incr r;
+    if !r = t.cfg.deopt_guard_threshold then
+      revert_optimized t mid ~reason:Interp.Guard_storm ~ev:"deopt-guard-storm"
+  end
+
+(* Synchronous CHA invalidation: fires from the class-load hook, i.e.
+   after the allocation's cycles were charged but *before* the first
+   instance of [cid] exists — so no dispatch can ever reach a
+   speculative inline whose assumption the new class breaks. One
+   controller event is charged per assumption-carrying code scanned. *)
+let on_class_load t (cid : Ids.Class_id.t) =
+  let broken = ref [] in
+  Hashtbl.iter
+    (fun key ((code : Acsi_vm.Code.t), _) ->
+      if code.Acsi_vm.Code.assumptions <> [] then begin
+        charge ~ev:"invalidate-scan" t Accounting.Controller
+          t.cost.Cost.controller_per_event;
+        if
+          List.exists
+            (fun (sel, target) ->
+              match Program.dispatch t.program cid sel with
+              | Some m -> not (Ids.Method_id.equal m target)
+              | None -> false)
+            code.Acsi_vm.Code.assumptions
+        then broken := key :: !broken
+      end)
+    t.deopt_tables;
+  List.iter
+    (fun key ->
+      revert_optimized t (Ids.Method_id.of_int key)
+        ~reason:Interp.Cha_invalidated ~ev:"deopt-invalidate")
+    (List.sort compare !broken)
+
+(* Downward transfer of stale frames: when the top frame still runs a
+   reverted code (matched by physical identity) and its pc has a valid
+   deopt point, reconstruct the baseline frames there. Runs at timer
+   samples — an instruction boundary, where frame mutation is legal. A
+   pc without a point simply waits for a later sample. *)
+let drain_pending_deopt t vm =
+  match t.pending_deopt with
+  | [] -> ()
+  | pend ->
+      if vm.Interp.depth > 0 then begin
+        let fr = vm.Interp.frames.(vm.Interp.depth - 1) in
+        let code = fr.Interp.f_code in
+        match List.find_opt (fun (c, _, _) -> c == code) pend with
+        | Some (_, table, reason) -> (
+            match Acsi_deopt.Deopt.point_at table ~pc:fr.Interp.f_pc with
+            | Some plans ->
+                Interp.deopt_top_frame vm ~plans ~reason;
+                charge ~ev:"deopt-transfer" t Accounting.Controller
+                  (Array.length plans * t.cost.Cost.deopt_frame)
+            | None -> ())
+        | None -> ()
+      end
+
 (* Install freshly compiled code: verify, activate, optionally OSR the
    innermost frame, and record the compilation. [rule_stamp] is the rules
    version the code was built against — for background compilations that
@@ -521,6 +687,17 @@ let compile_one t (mid : Ids.Method_id.t) =
    code produced by the background compiler thread passes through the
    same check before activation. *)
 let install_compiled t mid code stats ~rule_stamp =
+  if t.cfg.speculate && not (assumptions_hold t code) then begin
+    (* A class load between compile and install broke an assumption
+       (possible under the background model): drop the code and
+       recompile against the current loaded universe. *)
+    t.dropped_installs <- t.dropped_installs + 1;
+    Log.info (fun m ->
+        m "dropping stale speculative code for %s (assumption broken before install)"
+          (Program.meth t.program mid).Meth.name);
+    enqueue_compile t mid
+  end
+  else begin
   if t.cfg.verify_installed then
     Acsi_analysis.Jit_check.check_exn t.program code;
   Interp.install_code t.vm mid code;
@@ -562,7 +739,26 @@ let install_compiled t mid code stats ~rule_stamp =
                    (Printexc.to_string exn));
              record
                (Acsi_obs.Provenance.Tier_fell_back (Printexc.to_string exn))));
-  if t.cfg.enable_osr then ignore (Interp.osr t.vm mid);
+  (if t.cfg.speculate then begin
+     Hashtbl.replace t.deopt_tables
+       (mid :> int)
+       (code, Acsi_deopt.Deopt.table_of_code t.program code);
+     if code.Acsi_vm.Code.assumptions <> [] then
+       t.speculative_installs <- t.speculative_installs + 1
+   end);
+  (if t.cfg.enable_osr then
+     let moved = Interp.osr t.vm mid in
+     if (not moved) && t.cfg.speculate then
+       match Hashtbl.find_opt t.deopt_tables (mid :> int) with
+       | Some (c, tbl) ->
+           (* Generalized transfer: the root-level OSR above refuses
+              frames suspended inside what is now an inline region; the
+              deopt table can move those too (multi-frame collapse). *)
+           let d0 = t.vm.Interp.depth in
+           if Acsi_deopt.Deopt.try_osr_up t.vm c tbl then
+             charge ~ev:"osr-up" t Accounting.Controller
+               ((d0 - t.vm.Interp.depth + 1) * t.cost.Cost.deopt_frame)
+       | None -> ());
   Registry.record t.registry mid stats ~rule_stamp;
   Db.record_compilation t.db
     {
@@ -577,6 +773,7 @@ let install_compiled t mid code stats ~rule_stamp =
       ce_inlines = stats.Acsi_jit.Expand.inline_count;
       ce_guards = stats.Acsi_jit.Expand.guard_count;
     }
+  end
 
 (* The static pre-warm oracle (hybrid static+online inlining): at a
    method's first execution, if the interprocedural summaries prove the
@@ -747,6 +944,10 @@ let poll_async_installs t =
    VM-independent (runtime state flows through the [wst] record), so
    re-verifying + re-compiling them per shard would be pure waste. *)
 let adopt_compiled t mid code stats ~rule_stamp ~native =
+  if code.Acsi_vm.Code.assumptions <> [] then
+    invalid_arg
+      "System.adopt_compiled: speculative code is shard-local (its CHA \
+       assumptions hold against the publisher's loaded universe, not ours)";
   if t.cfg.verify_installed then
     Acsi_analysis.Jit_check.check_exn t.program code;
   Interp.install_code t.vm mid code;
@@ -792,6 +993,10 @@ let take_trace_sample t vm =
   | None -> ()
 
 let on_timer_sample t vm =
+  (* Stale speculative frames deoptimize at the first settled boundary,
+     before this sample can observe (and attribute cycles to) code that
+     is no longer installed. *)
+  if t.cfg.speculate then drain_pending_deopt t vm;
   (* Background compilations whose finish time has passed install at this
      yield point, before any new sampling or organizer work. *)
   if t.cfg.async_compile then poll_async_installs t;
@@ -874,7 +1079,12 @@ let create ?profile cfg vm =
   let flags = Flags.create () in
   let dcg = match profile with Some d -> d | None -> Dcg.create () in
   let oracle =
-    Acsi_jit.Oracle.create ~config:cfg.oracle_config program
+    let ocfg =
+      if cfg.speculate then
+        { cfg.oracle_config with Acsi_jit.Oracle.speculate_unguarded = true }
+      else cfg.oracle_config
+    in
+    Acsi_jit.Oracle.create ~config:ocfg program
   in
   let obs =
     Acsi_obs.Control.create cfg.obs
@@ -903,10 +1113,17 @@ let create ?profile cfg vm =
          measured run starts (like verification, host-side work); the
          compiles they trigger ARE charged, at seed time. *)
       summaries =
-        (if cfg.static_seed then Some (Acsi_analysis.Summary.analyze program)
+        (if cfg.static_seed || cfg.speculate then
+           Some (Acsi_analysis.Summary.analyze program)
          else None);
       static_compiling = false;
       static_seeds = 0;
+      deopt_tables = Hashtbl.create 16;
+      pending_deopt = [];
+      guard_fails = Hashtbl.create 16;
+      preexist_cache = Hashtbl.create 16;
+      speculative_installs = 0;
+      dropped_installs = 0;
       rules = Rules.empty ();
       rules_version = 0;
       method_buffer = [];
@@ -940,11 +1157,26 @@ let create ?profile cfg vm =
   | Some prov ->
       Acsi_jit.Oracle.set_on_decision oracle (fun info ->
           let source =
-            if t.static_compiling then Acsi_obs.Provenance.Static
+            if info.Acsi_obs.Provenance.i_speculative then
+              Acsi_obs.Provenance.Speculative
+            else if t.static_compiling then Acsi_obs.Provenance.Static
             else Acsi_obs.Provenance.Sampled
           in
           Acsi_obs.Provenance.add ~source prov info)
   | None -> ());
+  if cfg.speculate then begin
+    Acsi_jit.Oracle.set_speculation oracle
+      (Some
+         {
+           Acsi_jit.Oracle.spec_mono = (fun sel -> loaded_mono t sel);
+           spec_preexists =
+             (fun root pc ->
+               let a = preexist_pcs t root in
+               pc >= 0 && pc < Array.length a && a.(pc));
+         });
+    Interp.set_on_class_load vm (fun _vm cid -> on_class_load t cid);
+    Interp.set_on_guard_miss vm (fun _vm mid pc -> on_guard_miss t mid pc)
+  end;
   Interp.set_on_first_execution vm (on_first_execution t);
   Interp.set_on_timer_sample vm (on_timer_sample t);
   Interp.set_on_invoke vm (on_invoke t);

@@ -89,6 +89,25 @@ type config = {
           charged at seed time. Each seeded decision is recorded in
           provenance under the [Static] source. Default [false] — all
           goldens are pinned to the purely reactive system. *)
+  speculate : bool;
+      (** guard-free speculative inlining with deoptimization: the
+          oracle may inline a virtual site with {e no} guard when the
+          site is monomorphic over the {e loaded} class universe and the
+          receiver provably pre-exists the activation
+          ({!Acsi_analysis.Preexist}). The CHA assumptions ride on the
+          installed {!Acsi_vm.Code.t}; a class load that breaks one
+          triggers a synchronous revert to baseline (inside the load
+          hook, before the first instance exists — so no dispatch can
+          reach the broken inline) plus downward frame transfers through
+          the {!Acsi_deopt} tables at the next timer samples, and a
+          recompile against the new universe. Methods whose inline
+          guards fail {!deopt_guard_threshold} times at one site are
+          deoptimized the same way. Also unlocks generalized multi-frame
+          OSR when {!enable_osr} is on. Default [false] — all goldens
+          are pinned to the guarded system. *)
+  deopt_guard_threshold : int;
+      (** inline-guard failures at one (method, pc) site before the
+          guard-storm deopt fires. Default 32. *)
   collect_termination_stats : bool;
   async_compile : bool;
       (** compile on a background virtual thread whose cycles overlap
@@ -144,7 +163,20 @@ val static_seeded_methods : t -> int
 
 val summaries : t -> Acsi_analysis.Summary.table option
 (** The interprocedural summary table computed at [create] when
-    {!config.static_seed} is on; [None] otherwise. *)
+    {!config.static_seed} or {!config.speculate} is on; [None]
+    otherwise. *)
+
+val speculative_installs : t -> int
+(** Optimized codes installed carrying at least one CHA assumption
+    (0 unless {!config.speculate}). *)
+
+val dropped_installs : t -> int
+(** Compiled codes discarded at install time because a class load broke
+    an assumption between compile and install (background model). *)
+
+val pending_deopts : t -> int
+(** Reverted codes whose stale frames may still await a downward
+    transfer. *)
 
 val baseline_code_bytes : t -> int
 val method_samples_taken : t -> int
@@ -190,7 +222,9 @@ val adopt_compiled :
     is on, reuses the publisher's closure-tier compilation — closures
     are VM-independent, runtime state flows through the interpreter's
     window-state record. Recorded in the {!Db} adoption log and in
-    {!adopted_installs}. *)
+    {!adopted_installs}. Raises [Invalid_argument] on assumption-carrying
+    (speculative) code: its CHA proofs hold against the publisher's
+    loaded universe, not the adopter's. *)
 
 val adopted_installs : t -> int
 (** Cross-shard adoptions performed via {!adopt_compiled}. *)

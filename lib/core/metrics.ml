@@ -31,6 +31,10 @@ type t = {
   methods_compiled : int;
   bytecodes_compiled : int;
   osr_count : int;
+  osr_up : int;
+  osr_down : int;
+  deopt_guard : int;
+  deopt_invalidate : int;
   async_installs : int;
   max_compile_queue_depth : int;
   overlapped_aos_cycles : int;
@@ -103,6 +107,10 @@ let of_run vm sys =
     methods_compiled;
     bytecodes_compiled;
     osr_count = Interp.osr_count vm;
+    osr_up = Interp.osr_up vm;
+    osr_down = Interp.osr_down vm;
+    deopt_guard = Interp.deopt_guard_count vm;
+    deopt_invalidate = Interp.deopt_invalidate_count vm;
     async_installs = System.async_installs sys;
     max_compile_queue_depth = System.max_compile_queue_depth sys;
     overlapped_aos_cycles;
@@ -121,6 +129,7 @@ type snapshot = {
   s_guard_hits : int;
   s_guard_misses : int;
   s_osr : int;
+  s_osr_down : int;
   s_method_samples : int;
   s_trace_samples : int;
   s_opt_compilations : int;
@@ -137,6 +146,7 @@ let snapshot vm sys =
     s_guard_hits = Interp.guard_hits vm;
     s_guard_misses = Interp.guard_misses vm;
     s_osr = Interp.osr_count vm;
+    s_osr_down = Interp.osr_down vm;
     s_method_samples = System.method_samples_taken sys;
     s_trace_samples = System.trace_samples_taken sys;
     s_opt_compilations =
@@ -155,6 +165,7 @@ let diff ~before ~after =
     s_guard_hits = after.s_guard_hits - before.s_guard_hits;
     s_guard_misses = after.s_guard_misses - before.s_guard_misses;
     s_osr = after.s_osr - before.s_osr;
+    s_osr_down = after.s_osr_down - before.s_osr_down;
     s_method_samples = after.s_method_samples - before.s_method_samples;
     s_trace_samples = after.s_trace_samples - before.s_trace_samples;
     s_opt_compilations =
@@ -216,6 +227,11 @@ let pp fmt t =
   f fmt "execution            %d instrs, %d calls@," t.instructions t.calls;
   f fmt "guards               %d hits / %d misses (%d sites, %d inlines)@,"
     t.guard_hits t.guard_misses t.guard_sites t.inline_total;
+  (* Deopt traffic only exists under speculation / generalized OSR;
+     keep the line out of baseline reports so goldens stay stable. *)
+  if t.osr_down > 0 || t.deopt_guard > 0 || t.deopt_invalidate > 0 then
+    f fmt "deopt                %d up / %d down (%d guard-storm, %d invalidated)@,"
+      t.osr_up t.osr_down t.deopt_guard t.deopt_invalidate;
   f fmt "output checksum      %d@]" t.output_checksum
 
 type cache_stats = Acsi_vm.Tier.cache_stats = {

@@ -43,7 +43,18 @@ type t = {
   methods_compiled : int;
   bytecodes_compiled : int;
   (* scheduler / server counters *)
-  osr_count : int;
+  osr_count : int;  (** [osr_up + osr_down]: all on-stack transfers *)
+  osr_up : int;
+      (** interpreter/baseline frames transferred {e into} optimized
+          code: root-level {!Acsi_vm.Interp.osr} plus generalized
+          multi-frame {!Acsi_vm.Interp.osr_into} transfers *)
+  osr_down : int;
+      (** optimized frames deoptimized back to baseline
+          ({!Acsi_vm.Interp.deopt_top_frame}); broken down by reason in
+          {!deopt_guard} / {!deopt_invalidate} *)
+  deopt_guard : int;  (** deopts after repeated inline-guard failure *)
+  deopt_invalidate : int;
+      (** deopts after a class load broke a speculation assumption *)
   async_installs : int;  (** background-model code installations *)
   max_compile_queue_depth : int;
       (** high-water mark of the AOS compile queue *)
@@ -73,6 +84,7 @@ type snapshot = {
   s_guard_hits : int;
   s_guard_misses : int;
   s_osr : int;
+  s_osr_down : int;
   s_method_samples : int;
   s_trace_samples : int;
   s_opt_compilations : int;

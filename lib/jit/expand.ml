@@ -19,6 +19,7 @@ type st = {
   mutable inline_count : int;
   mutable guard_count : int;
   mutable inlined_edges : (int * int * int) list;
+  mutable assumptions : (Ids.Selector.t * Ids.Method_id.t) list;
 }
 
 let dummy_src root =
@@ -107,7 +108,7 @@ and emit_call st (m : Meth.t) ~parents ~chain_methods ~depth ~pc ~instr ~src
       (match (instr : Instr.t) with
       | Instr.Call_static _ | Instr.Call_direct _ -> (
           match targets with
-          | [ { Oracle.target; guarded = false } ] ->
+          | [ { Oracle.target; guarded = false; _ } ] ->
               emit_inline st
                 (Program.meth st.program target)
                 ~caller_id:m.Meth.id ~pc ~parents ~chain_methods ~depth ~synth
@@ -116,15 +117,24 @@ and emit_call st (m : Meth.t) ~parents ~chain_methods ~depth ~pc ~instr ~src
               invalid_arg "Expand: bad oracle decision for a bound call")
       | Instr.Call_virtual (sel, argc) -> (
           match targets with
-          | [ { Oracle.target; guarded = false } ] ->
-              (* CHA-monomorphic: statically bound, no guard. *)
+          | [ { Oracle.target; guarded = false; speculative } ] ->
+              (* CHA-monomorphic over the sealed universe — statically
+                 bound, no guard; or speculative: monomorphic only over
+                 the loaded universe, still no guard, but the assumption
+                 is recorded on the code so the AOS can invalidate it
+                 when a class load breaks it. *)
+              if speculative then begin
+                let a = (sel, target) in
+                if not (List.mem a st.assumptions) then
+                  st.assumptions <- a :: st.assumptions
+              end;
               emit_inline st
                 (Program.meth st.program target)
                 ~caller_id:m.Meth.id ~pc ~parents ~chain_methods ~depth ~synth
                 ~l_done
           | _ :: _ ->
               List.iter
-                (fun { Oracle.target; guarded } ->
+                (fun { Oracle.target; guarded; _ } ->
                   if not guarded then
                     invalid_arg
                       "Expand: unguarded target among guarded ones";
@@ -166,6 +176,7 @@ let compile program cost oracle ~root =
       inline_count = 0;
       guard_count = 0;
       inlined_edges = [];
+      assumptions = [];
     }
   in
   emit_body st root ~parents:[] ~chain_methods:[ root.Meth.id ] ~depth:0
@@ -186,6 +197,7 @@ let compile program cost oracle ~root =
       max_stack = 0;
       src = Some srcs;
       code_bytes = units * cost.Cost.opt_bytes_per_unit;
+      assumptions = List.rev st.assumptions;
     }
   in
   (* Re-verify the optimized body; this computes max_stack and checks the

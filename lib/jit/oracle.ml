@@ -10,6 +10,7 @@ type config = {
   extended_expansion_factor : int;
   max_guarded_targets : int;
   peephole : bool;
+  speculate_unguarded : bool;
 }
 
 let default_config =
@@ -22,6 +23,7 @@ let default_config =
     extended_expansion_factor = 6;
     max_guarded_targets = 2;
     peephole = true;
+    speculate_unguarded = false;
   }
 
 type refusal_reason =
@@ -44,9 +46,23 @@ let all_refusal_reasons =
 type target = {
   target : Ids.Method_id.t;
   guarded : bool;
+  speculative : bool;
+      (* unguarded on the strength of a loaded-CHA proof + pre-existing
+         receiver; the expander records the assumption on the code *)
 }
 
 type decision = No_inline | Inline of target list
+
+(* Evidence providers for guard-free speculation, supplied by the AOS
+   (the oracle itself has no view of what is loaded at runtime):
+   [spec_mono sel] is the unique dispatch target of [sel] over the
+   *loaded* class universe (None when absent or not unique), and
+   [spec_preexists root pc] whether the receiver of the virtual call at
+   [root]'s [pc] provably pre-exists the activation. *)
+type speculation = {
+  spec_mono : Ids.Selector.t -> Ids.Method_id.t option;
+  spec_preexists : Meth.t -> int -> bool;
+}
 
 type t = {
   program : Program.t;
@@ -55,6 +71,7 @@ type t = {
   mutable on_refusal :
     site:Trace.entry array -> callee:Ids.Method_id.t -> refusal_reason -> unit;
   mutable on_decision : (Acsi_obs.Provenance.info -> unit) option;
+  mutable speculation : speculation option;
 }
 
 let create ?(config = default_config) program =
@@ -64,6 +81,7 @@ let create ?(config = default_config) program =
     rules = Rules.empty ();
     on_refusal = (fun ~site:_ ~callee:_ _ -> ());
     on_decision = None;
+    speculation = None;
   }
 
 let config t = t.cfg
@@ -71,6 +89,7 @@ let set_rules t rules = t.rules <- rules
 let rules t = t.rules
 let set_on_refusal t f = t.on_refusal <- f
 let set_on_decision t f = t.on_decision <- Some f
+let set_speculation t s = t.speculation <- s
 
 (* Whether an inlined body of [est] units fits the expansion budget. *)
 let budget_ok t ~extended ~root ~expanded_units ~est =
@@ -107,7 +126,7 @@ let match_evidence t ~site_chain mid =
        (0, 0.0, None)
 
 let emit_decision t ~root ~site_chain ~depth ~expanded_units ~const_args
-    ~callee ~outcome =
+    ~callee ~outcome ~speculative =
   match t.on_decision with
   | None -> ()
   | Some sink ->
@@ -136,6 +155,7 @@ let emit_decision t ~root ~site_chain ~depth ~expanded_units ~const_args
             (t.cfg.expansion_factor * base) + t.cfg.expansion_slack;
           i_budget_ext_limit =
             (t.cfg.extended_expansion_factor * base) + t.cfg.expansion_slack;
+          i_speculative = speculative;
         }
 
 (* Verdict for one concrete callee. [hot] means the profile recommends this
@@ -183,9 +203,9 @@ let consider t ~root ~site_chain ~chain_methods ~depth ~expanded_units ~hot
 
 let decide t ~root ~site_chain ~chain_methods ~depth ~expanded_units ~call
     ~const_args =
-  let emit ~callee ~outcome =
+  let emit ?(speculative = false) ~callee ~outcome () =
     emit_decision t ~root ~site_chain ~depth ~expanded_units ~const_args
-      ~callee ~outcome
+      ~callee ~outcome ~speculative
   in
   let candidates =
     lazy (Rules.candidates ~exact:t.cfg.exact_match_only t.rules ~site_chain)
@@ -210,24 +230,28 @@ let decide t ~root ~site_chain ~chain_methods ~depth ~expanded_units ~call
                 ~outcome:
                   (Acsi_obs.Provenance.Refused
                      (refusal_reason_to_string Context_conflict))
+                ()
             end));
   let is_hot mid =
     List.exists
       (fun (c, _) -> Ids.Method_id.equal c mid)
       (Lazy.force candidates)
   in
-  let consider_one ~guarded mid =
+  let consider_one ?(speculative = false) ~guarded mid =
     let callee = Program.meth t.program mid in
     match
       consider t ~root ~site_chain ~chain_methods ~depth ~expanded_units
         ~hot:(is_hot mid) ~const_args callee
     with
     | Ok target ->
-        emit ~callee:(Some mid)
-          ~outcome:(Acsi_obs.Provenance.Inlined { guarded });
-        Some { target; guarded }
+        emit ~speculative ~callee:(Some mid)
+          ~outcome:(Acsi_obs.Provenance.Inlined { guarded })
+          ();
+        Some { target; guarded; speculative }
     | Error reason ->
-        emit ~callee:(Some mid) ~outcome:(Acsi_obs.Provenance.Refused reason);
+        emit ~speculative ~callee:(Some mid)
+          ~outcome:(Acsi_obs.Provenance.Refused reason)
+          ();
         None
   in
   match (call : Instr.t) with
@@ -244,6 +268,34 @@ let decide t ~root ~site_chain ~chain_methods ~depth ~expanded_units ~call
           | Some target -> Inline [ target ]
           | None -> No_inline)
       | None ->
+          (* Speculation first: a site CHA cannot bind over the sealed
+             universe may still be monomorphic over the *loaded* one. If
+             additionally the receiver pre-exists the activation, inline
+             the unique loaded target with no guard at all — the AOS
+             records the assumption and deoptimizes on invalidation.
+             Root-level sites only: pre-existence facts are per root
+             argument. *)
+          let speculated =
+            if not (t.cfg.speculate_unguarded && depth = 0) then None
+            else
+              match t.speculation with
+              | None -> None
+              | Some s -> (
+                  match s.spec_mono sel with
+                  | Some mid
+                    when Array.length site_chain > 0
+                         && s.spec_preexists root
+                              site_chain.(0).Trace.callsite -> (
+                      match
+                        consider_one ~speculative:true ~guarded:false mid
+                      with
+                      | Some tgt -> Some (Inline [ tgt ])
+                      | None -> None)
+                  | _ -> None)
+          in
+          (match speculated with
+          | Some d -> d
+          | None ->
           (* Polymorphic: guarded inlining of the profile's dominant
              targets, most frequent first. *)
           let impls = Program.implementations t.program sel in
@@ -261,7 +313,8 @@ let decide t ~root ~site_chain ~chain_methods ~depth ~expanded_units ~call
               hot_targets
             |> List.iter (fun (mid, _) ->
                    emit ~callee:(Some mid)
-                     ~outcome:(Acsi_obs.Provenance.Refused "guard-limit"));
+                     ~outcome:(Acsi_obs.Provenance.Refused "guard-limit")
+                     ());
             if
               hot_targets = []
               && Array.length site_chain > 0
@@ -272,13 +325,14 @@ let decide t ~root ~site_chain ~chain_methods ~depth ~expanded_units ~call
             then
               emit ~callee:None
                 ~outcome:(Acsi_obs.Provenance.Refused "no-match")
+                ()
           end;
           let chosen =
             List.filteri (fun i _ -> i < t.cfg.max_guarded_targets) hot_targets
             |> List.filter_map (fun (mid, _) ->
                    consider_one ~guarded:true mid)
           in
-          (match chosen with [] -> No_inline | _ :: _ -> Inline chosen))
+          (match chosen with [] -> No_inline | _ :: _ -> Inline chosen)))
   | Instr.Const _ | Instr.Const_null | Instr.Load _ | Instr.Store _
   | Instr.Dup | Instr.Pop | Instr.Swap | Instr.Binop _ | Instr.Neg
   | Instr.Not | Instr.Cmp _ | Instr.Jump _ | Instr.Jump_if _

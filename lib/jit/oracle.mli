@@ -36,6 +36,11 @@ type config = {
   peephole : bool;
       (** run classical peephole optimization on expanded code (see
           {!Peephole}); off = ablation *)
+  speculate_unguarded : bool;
+      (** inline loaded-CHA-monomorphic virtual sites with {e no} guard
+          when the receiver provably pre-exists the activation; requires
+          a {!speculation} evidence provider and an AOS prepared to
+          deoptimize on invalidation. Off by default. *)
 }
 
 val default_config : config
@@ -59,9 +64,24 @@ val all_refusal_reasons : refusal_reason list
 type target = {
   target : Ids.Method_id.t;
   guarded : bool;  (** true: protect with a method-test guard + fallback *)
+  speculative : bool;
+      (** unguarded by speculation, not CHA proof: the expander must
+          record the (selector, target) assumption on the emitted code *)
 }
 
 type decision = No_inline | Inline of target list
+
+type speculation = {
+  spec_mono : Ids.Selector.t -> Ids.Method_id.t option;
+      (** unique dispatch target of the selector over the {e loaded}
+          class universe; [None] when absent or not unique *)
+  spec_preexists : Meth.t -> int -> bool;
+      (** [spec_preexists root pc]: the receiver of the virtual call at
+          [root]'s [pc] provably pre-exists the activation (see
+          {!Acsi_analysis.Preexist}) *)
+}
+(** Runtime evidence providers for guard-free speculation, supplied by
+    the AOS — the oracle has no view of what is loaded. *)
 
 type t
 
@@ -75,6 +95,10 @@ val set_on_refusal :
   t ->
   (site:Trace.entry array -> callee:Ids.Method_id.t -> refusal_reason -> unit) ->
   unit
+
+val set_speculation : t -> speculation option -> unit
+(** Install (or clear) the speculation evidence providers. Without one,
+    [speculate_unguarded] never fires. *)
 
 val set_on_decision : t -> (Acsi_obs.Provenance.info -> unit) -> unit
 (** Install a decision-provenance sink: one record per callee the oracle

@@ -16,9 +16,10 @@ type info = {
   i_est : int;
   i_budget_limit : int;
   i_budget_ext_limit : int;
+  i_speculative : bool;
 }
 
-type source = Sampled | Static
+type source = Sampled | Static | Speculative
 
 type decision = {
   d_seq : int;
@@ -99,11 +100,12 @@ let outcome_counts t =
 
 let source_counts t =
   List.fold_left
-    (fun (sampled, static) d ->
+    (fun (sampled, static, speculative) d ->
       match d.d_source with
-      | Sampled -> (sampled + 1, static)
-      | Static -> (sampled, static + 1))
-    (0, 0) t.rev
+      | Sampled -> (sampled + 1, static, speculative)
+      | Static -> (sampled, static + 1, speculative)
+      | Speculative -> (sampled, static, speculative + 1))
+    (0, 0, 0) t.rev
 
 let pp_context ~name fmt (ctx : Trace.entry array) =
   Array.iteri
@@ -120,17 +122,26 @@ let pp_decision ~name fmt d =
   let verdict =
     match i.i_outcome with
     | Inlined { guarded = true } -> "INLINED (guarded)"
+    | Inlined { guarded = false } when i.i_speculative ->
+        "INLINED (speculative, no guard)"
     | Inlined { guarded = false } -> "INLINED"
     | Refused reason -> "refused: " ^ reason
   in
   Format.fprintf fmt "@[<v 2>#%d @@%d cycles%s  %a -> %s  %s@," d.d_seq
     d.d_cycle
-    (match d.d_source with Sampled -> "" | Static -> " [static]")
+    (match d.d_source with
+    | Sampled -> ""
+    | Static -> " [static]"
+    | Speculative -> " [speculative]")
     (pp_context ~name) i.i_context callee verdict;
   (match (d.d_source, i.i_matched_rule, i.i_match_depth) with
   | Static, _, _ ->
       Format.fprintf fmt
         "static oracle: summary-driven, decided before any samples@,"
+  | Speculative, _, _ ->
+      Format.fprintf fmt
+        "speculative oracle: loaded-CHA monomorphic + pre-existing \
+         receiver, deopt on invalidation@,"
   | Sampled, Some rule, depth ->
       Format.fprintf fmt
         "matched rule %a (Eq.3 match depth %d of %d, weight %.2f)@," Trace.pp

@@ -49,6 +49,10 @@ type info = {
   i_budget_limit : int;
       (** normal expansion budget: [factor * root + slack] units *)
   i_budget_ext_limit : int;  (** extended budget for hot/tiny callees *)
+  i_speculative : bool;
+      (** the inline was emitted with {e no} guard on the strength of a
+          loaded-CHA monomorphism proof plus receiver pre-existence;
+          safety rests on deopt-on-invalidation, not on a check *)
 }
 
 type source =
@@ -59,6 +63,10 @@ type source =
       (** the static pre-warm oracle: the decision was reached at
           method-install time from interprocedural summaries
           ({!Acsi_analysis.Summary}), before any sample existed *)
+  | Speculative
+      (** the decision carries at least one guard-free speculative
+          inline ([i_speculative]); the installed code records the CHA
+          assumption and relies on deoptimization for safety *)
 
 type decision = private {
   d_seq : int;  (** 0-based emission order *)
@@ -118,8 +126,8 @@ val at : t -> caller:Ids.Method_id.t -> ?callsite:int -> unit -> decision list
 val outcome_counts : t -> int * int
 (** [(inlined, refused)]. *)
 
-val source_counts : t -> int * int
-(** [(sampled, static)]: decisions by {!source}. *)
+val source_counts : t -> int * int * int
+(** [(sampled, static, speculative)]: decisions by {!source}. *)
 
 val pp_decision :
   name:(Ids.Method_id.t -> string) ->

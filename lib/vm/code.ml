@@ -16,6 +16,7 @@ type t = {
   max_stack : int;
   src : src_entry array option;
   code_bytes : int;
+  assumptions : (Ids.Selector.t * Ids.Method_id.t) list;
 }
 
 let baseline (cost : Cost.t) (m : Meth.t) =
@@ -27,6 +28,7 @@ let baseline (cost : Cost.t) (m : Meth.t) =
     max_stack = m.Meth.max_stack;
     src = None;
     code_bytes = Array.length m.Meth.body * cost.Cost.baseline_bytes_per_unit;
+    assumptions = [];
   }
 
 let source_at code ~pc =

@@ -32,6 +32,12 @@ type t = {
   max_stack : int;
   src : src_entry array option;  (** [None] for baseline (identity map) *)
   code_bytes : int;  (** modeled machine-code size *)
+  assumptions : (Ids.Selector.t * Ids.Method_id.t) list;
+      (** CHA proofs this code speculates on without a guard:
+          [(sel, target)] means "every loaded receiver class dispatches
+          [sel] to [target]". Empty for baseline and for fully guarded
+          optimized code. Loading a class that violates an assumption
+          must deoptimize/discard the code before the class is used. *)
 }
 
 val baseline : Cost.t -> Meth.t -> t

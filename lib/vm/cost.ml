@@ -20,6 +20,7 @@ type t = {
   decay_per_trace : int;
   controller_per_event : int;
   probe : int;
+  deopt_frame : int;
 }
 
 let default =
@@ -45,4 +46,5 @@ let default =
     decay_per_trace = 6;
     controller_per_event = 120;
     probe = 8;
+    deopt_frame = 25;
   }

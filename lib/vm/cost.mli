@@ -48,6 +48,11 @@ type t = {
           ([Acsi_obs.Control.probe_on_clock]); never charged to the
           per-component accounting, so tracing's own cost is visible in
           total time without perturbing the Figure-6 breakdown. *)
+  deopt_frame : int;
+      (** cost per source frame reconstructed (or consumed) by an
+          on-stack transfer between tiers — charged by the AOS for each
+          frame a {!Interp.deopt_top_frame}/{!Interp.osr_into} plan
+          touches, modeling frame-state extraction and repack. *)
 }
 
 val default : t

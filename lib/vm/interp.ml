@@ -36,13 +36,32 @@ and t = {
   mutable call_count : int;
   mutable guard_hits : int;
   mutable guard_misses : int;
-  mutable osr_count : int;
+  mutable osr_up : int;  (* interpreter/baseline -> optimized transfers *)
+  mutable osr_down : int;  (* optimized -> baseline deoptimizations *)
+  mutable deopt_guard : int;  (* osr_down transfers caused by guard storms *)
+  mutable deopt_invalidate : int;  (* ... caused by CHA invalidation *)
   executed : bool array;
   invocations : int array;
+  (* Class loading, modeled as first instantiation: [class_loaded] flips
+     once per class at its first [New], firing [on_class_load] — the
+     invalidation hook speculative inlining hangs CHA proofs on. *)
+  class_loaded : bool array;
+  (* The initial (baseline) compilations, kept so deoptimization can
+     reconstruct source frames even after [install_code] replaced a
+     method's entry with optimized code. *)
+  baseline_code : Code.t array;
+  baseline_dcode : Dcode.t array;
   (* hooks *)
   mutable on_first_execution : Ids.Method_id.t -> unit;
   mutable on_invoke : t -> Ids.Method_id.t -> unit;
   mutable on_timer_sample : t -> unit;
+  (* In-branch hooks: unlike the timer hook these fire *inside* an
+     execution window (at a New / failed Guard, both of which settle the
+     clock and restart the window unclipped). They may charge cycles but
+     must never mutate the frame stack — the running frame's [f_pc]/[f_sp]
+     are not saved at the firing point. Default no-ops. *)
+  mutable on_class_load : t -> Ids.Class_id.t -> unit;
+  mutable on_guard_miss : t -> Ids.Method_id.t -> int -> unit;
   sample_period : int;
   mutable next_sample : int;
   invoke_stride : int;
@@ -101,10 +120,32 @@ let cal_buckets = [| "interp"; "closure"; "system" |]
 
 let max_call_depth = 200_000
 
+(* --- deoptimization plans (built by [Acsi_deopt], executed here) --- *)
+
+(* One source frame to reconstruct from (or consume into) an optimized
+   frame. Plans are listed outermost-first; all offsets index the
+   *optimized* frame's [f_regs]: the region's locals live at
+   [dp_base, ...) and its operand-stack slice at
+   [f_base + dp_stack_lo, f_base + dp_stack_lo + dp_stack_len).
+   For every non-innermost plan, [dp_pc] is the call instruction the
+   source frame is suspended at and [dp_stack_len] its residual stack
+   depth *after* the arguments were popped — the exact invariant
+   [invoke]/[Return] maintain for suspended callers. *)
+type frame_plan = {
+  dp_meth : Ids.Method_id.t;
+  dp_pc : int;
+  dp_base : int;
+  dp_stack_lo : int;
+  dp_stack_len : int;
+}
+
+type deopt_reason = Guard_storm | Cha_invalidated
+
 let create ?(cost = Cost.default) ?(sample_period = 100_000)
     ?(invoke_stride = 2048) ?(fuse = true) program =
   let methods = Program.methods program in
   let code_table = Array.map (fun m -> Code.baseline cost m) methods in
+  let dcode_table = Array.map (fun c -> Dcode.of_code ~fuse cost c) code_table in
   (* [w_fr] is populated by the window dispatchers before any closure
      can read it; until then it holds an unboxed dummy. *)
   let rec t =
@@ -115,7 +156,7 @@ let create ?(cost = Cost.default) ?(sample_period = 100_000)
     cycles = 0;
     globals = Array.make (max 1 (Program.global_count program)) Value.zero;
     code_table;
-    dcode_table = Array.map (fun c -> Dcode.of_code ~fuse cost c) code_table;
+    dcode_table;
     param_slots = Array.map Meth.param_slots methods;
     frames = Array.make 0 (Obj.magic 0);
     depth = 0;
@@ -124,12 +165,20 @@ let create ?(cost = Cost.default) ?(sample_period = 100_000)
     call_count = 0;
     guard_hits = 0;
     guard_misses = 0;
-    osr_count = 0;
+    osr_up = 0;
+    osr_down = 0;
+    deopt_guard = 0;
+    deopt_invalidate = 0;
     executed = Array.make (Array.length methods) false;
     invocations = Array.make (Array.length methods) 0;
+    class_loaded = Array.make (max 1 (Program.class_count program)) false;
+    baseline_code = Array.copy code_table;
+    baseline_dcode = Array.copy dcode_table;
     on_first_execution = (fun _ -> ());
     on_invoke = (fun _ _ -> ());
     on_timer_sample = (fun _ -> ());
+    on_class_load = (fun _ _ -> ());
+    on_guard_miss = (fun _ _ _ -> ());
     sample_period;
     next_sample = sample_period;
     invoke_stride;
@@ -187,6 +236,18 @@ let was_executed t (mid : Ids.Method_id.t) = t.executed.((mid :> int))
 let set_on_first_execution t f = t.on_first_execution <- f
 let set_on_invoke t f = t.on_invoke <- f
 let set_on_timer_sample t f = t.on_timer_sample <- f
+let set_on_class_load t f = t.on_class_load <- f
+let set_on_guard_miss t f = t.on_guard_miss <- f
+let class_is_loaded t (cid : Ids.Class_id.t) = t.class_loaded.((cid :> int))
+let baseline_code_of t (mid : Ids.Method_id.t) = t.baseline_code.((mid :> int))
+
+(* First instantiation of a class = its load event. Out of line: the
+   [New] branches only pay one array read on the hot path. *)
+let note_class_load t (cid : Ids.Class_id.t) =
+  if not (Array.unsafe_get t.class_loaded (cid :> int)) then begin
+    t.class_loaded.((cid :> int)) <- true;
+    t.on_class_load t cid
+  end
 let charge t cycles = t.cycles <- t.cycles + cycles
 let stack_depth t = t.depth
 let set_calibrate t on = t.calibrate <- on
@@ -198,7 +259,11 @@ let calibration t =
        cal_buckets)
 
 let now_s = Unix.gettimeofday
-let osr_count t = t.osr_count
+let osr_count t = t.osr_up + t.osr_down
+let osr_up t = t.osr_up
+let osr_down t = t.osr_down
+let deopt_guard_count t = t.deopt_guard
+let deopt_invalidate_count t = t.deopt_invalidate
 let invocation_count t (mid : Ids.Method_id.t) = t.invocations.((mid :> int))
 
 (* On-stack replacement of the innermost frame: if it is executing stale
@@ -297,9 +362,53 @@ let osr t (mid : Ids.Method_id.t) =
               fr.f_regs <- regs;
               fr.f_base <- base;
               fr.f_sp <- base + sp_rel;
-              t.osr_count <- t.osr_count + 1;
+              t.osr_up <- t.osr_up + 1;
               true
             end
+
+(* Generalized upward transfer: replace the top [Array.length plans]
+   baseline frames (outermost first, matching [plans]) by ONE optimized
+   frame resuming at [pc] of the currently installed code for [mid]. The
+   caller ([Acsi_deopt.try_osr_up]) has already checked that each live
+   frame matches its plan (method, pc, stack depth) — this function only
+   moves state. Locals of every source frame scatter to their region
+   bases; operand-stack slices concatenate bottom-up above [max_locals],
+   exactly inverting {!deopt_top_frame}. *)
+let osr_into t (mid : Ids.Method_id.t) ~(plans : frame_plan array) ~pc =
+  let k = Array.length plans in
+  if k = 0 || t.depth < k then invalid_arg "Interp.osr_into: bad plan count";
+  let code = t.code_table.((mid :> int)) in
+  let base = code.Code.max_locals in
+  let regs = Array.make (base + max 1 code.Code.max_stack) Value.zero in
+  let sp_rel = ref 0 in
+  Array.iteri
+    (fun i p ->
+      let sf = t.frames.(t.depth - k + i) in
+      let nl = min sf.f_base (max 0 (base - p.dp_base)) in
+      Array.blit sf.f_regs 0 regs p.dp_base nl;
+      let slen = sf.f_sp - sf.f_base in
+      Array.blit sf.f_regs sf.f_base regs (base + p.dp_stack_lo) slen;
+      sp_rel := p.dp_stack_lo + slen)
+    plans;
+  let nc = t.native_table.((mid :> int)) in
+  (if Array.length nc > 0 then begin
+     (* Same cross-tier agreement check as {!osr}: landing on a compiled
+        entry point requires the tier compiler's entry depth for [pc] to
+        match the depth we just materialized. *)
+     let nd = t.native_depths.((mid :> int)) in
+     if pc >= Array.length nd || nd.(pc) <> !sp_rel then
+       rerr "osr_into: closure-tier entry depth mismatch at pc %d" pc
+   end);
+  let fr = t.frames.(t.depth - k) in
+  fr.f_code <- code;
+  fr.f_dcode <- t.dcode_table.((mid :> int));
+  fr.f_ncode <- nc;
+  fr.f_pc <- pc;
+  fr.f_regs <- regs;
+  fr.f_base <- base;
+  fr.f_sp <- base + !sp_rel;
+  t.depth <- t.depth - k + 1;
+  t.osr_up <- t.osr_up + 1
 
 let walk_source_stack t ~f =
   let continue_ = ref true in
@@ -361,6 +470,36 @@ let push_frame t code dcode ncode =
   t.frames.(t.depth) <- fr;
   t.depth <- t.depth + 1;
   fr
+
+(* Deoptimize the innermost frame: replace one optimized frame by the
+   stack of baseline frames its deopt point describes (outermost plan
+   first, so the innermost source frame ends up on top). Only safe at an
+   instruction boundary (a VM hook) — the optimized frame's [f_pc]/[f_sp]
+   must be settled. Charges nothing: the caller accounts for the
+   transfer ([Cost.deopt_frame] per reconstructed frame in the AOS). *)
+let deopt_top_frame t ~(plans : frame_plan array) ~(reason : deopt_reason) =
+  if t.depth = 0 || Array.length plans = 0 then
+    invalid_arg "Interp.deopt_top_frame: nothing to transfer";
+  let fr = t.frames.(t.depth - 1) in
+  let opt_regs = fr.f_regs in
+  let opt_base = fr.f_base in
+  t.depth <- t.depth - 1;
+  Array.iter
+    (fun p ->
+      let code = t.baseline_code.((p.dp_meth :> int)) in
+      let dcode = t.baseline_dcode.((p.dp_meth :> int)) in
+      let nfr = push_frame t code dcode [||] in
+      let nl = min code.Code.max_locals (max 0 (opt_base - p.dp_base)) in
+      Array.blit opt_regs p.dp_base nfr.f_regs 0 nl;
+      Array.blit opt_regs (opt_base + p.dp_stack_lo) nfr.f_regs nfr.f_base
+        p.dp_stack_len;
+      nfr.f_pc <- p.dp_pc;
+      nfr.f_sp <- nfr.f_base + p.dp_stack_len)
+    plans;
+  t.osr_down <- t.osr_down + 1;
+  match reason with
+  | Guard_storm -> t.deopt_guard <- t.deopt_guard + 1
+  | Cha_invalidated -> t.deopt_invalidate <- t.deopt_invalidate + 1
 
 (* --- helpers --- *)
 
@@ -569,6 +708,7 @@ let rec step t fr ops icost stack locals pc sp remaining ninstr =
     | Dcode.New cid ->
         flush t icost (ninstr + 1);
         t.cycles <- t.cycles + t.cost.Cost.alloc;
+        note_class_load t cid;
         Array.unsafe_set stack sp (Value.alloc t.program cid);
         step t fr ops icost stack locals (pc + 1) (sp + 1)
           (t.next_sample - t.cycles) 0
@@ -657,6 +797,7 @@ let rec step t fr ops icost stack locals pc sp remaining ninstr =
           end
           else begin
             t.guard_misses <- t.guard_misses + 1;
+            t.on_guard_miss t fr.f_code.Code.meth pc;
             g.Instr.fail
           end
         in
@@ -1307,6 +1448,7 @@ let run_reference ?(cycle_limit = max_int) t =
         else fr.f_pc <- target
     | Instr.New cid ->
         t.cycles <- t.cycles + t.cost.Cost.alloc;
+        note_class_load t cid;
         stack.(fr.f_sp) <- Value.alloc t.program cid;
         fr.f_sp <- fr.f_sp + 1;
         fr.f_pc <- fr.f_pc + 1
@@ -1379,6 +1521,7 @@ let run_reference ?(cycle_limit = max_int) t =
         end
         else begin
           t.guard_misses <- t.guard_misses + 1;
+          t.on_guard_miss t fr.f_code.Code.meth fr.f_pc;
           fr.f_pc <- g.Instr.fail
         end
     | Instr.Return ->

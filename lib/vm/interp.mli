@@ -70,12 +70,20 @@ and t = {
   mutable call_count : int;
   mutable guard_hits : int;
   mutable guard_misses : int;
-  mutable osr_count : int;
+  mutable osr_up : int;
+  mutable osr_down : int;
+  mutable deopt_guard : int;
+  mutable deopt_invalidate : int;
   executed : bool array;
   invocations : int array;
+  class_loaded : bool array;
+  baseline_code : Code.t array;
+  baseline_dcode : Dcode.t array;
   mutable on_first_execution : Ids.Method_id.t -> unit;
   mutable on_invoke : t -> Ids.Method_id.t -> unit;
   mutable on_timer_sample : t -> unit;
+  mutable on_class_load : t -> Ids.Class_id.t -> unit;
+  mutable on_guard_miss : t -> Ids.Method_id.t -> int -> unit;
   sample_period : int;
   mutable next_sample : int;
   invoke_stride : int;
@@ -113,6 +121,30 @@ and wst = {
     jumping, so no two live uses overlap. Populated by the window
     dispatchers; nothing outside [Acsi_vm] should write it. *)
 
+(** {2 Deoptimization plans}
+
+    A transfer between one optimized frame and the stack of source
+    (baseline) frames it subsumes is described by an array of
+    [frame_plan]s, listed outermost-first. Plans are constructed and
+    validated by the [Acsi_deopt] library from a [Code.t]'s inline map;
+    the VM only executes them. All offsets index the *optimized* frame's
+    register array: a region's locals live at [dp_base, ...) and its
+    operand-stack slice at [f_base + dp_stack_lo, ... + dp_stack_len).
+    For non-innermost plans, [dp_pc] is the call instruction the source
+    frame is suspended at and [dp_stack_len] its residual stack depth
+    after arguments were popped. *)
+
+type frame_plan = {
+  dp_meth : Ids.Method_id.t;
+  dp_pc : int;
+  dp_base : int;
+  dp_stack_lo : int;
+  dp_stack_len : int;
+}
+
+(** Why a downward transfer happened (the deopt-reason taxonomy). *)
+type deopt_reason = Guard_storm | Cha_invalidated
+
 val create :
   ?cost:Cost.t ->
   ?sample_period:int ->
@@ -147,7 +179,22 @@ val guard_hits : t -> int
 val guard_misses : t -> int
 
 val osr_count : t -> int
-(** Successful on-stack replacements performed so far. *)
+(** Successful on-stack transfers in either direction
+    ([osr_up + osr_down]). *)
+
+val osr_up : t -> int
+(** Upward transfers: interpreter/baseline frames replaced by optimized
+    code ({!osr} and {!osr_into}). *)
+
+val osr_down : t -> int
+(** Downward transfers (deoptimizations): optimized frames replaced by
+    reconstructed baseline frames ({!deopt_top_frame}). *)
+
+val deopt_guard_count : t -> int
+(** [osr_down] transfers whose reason was {!Guard_storm}. *)
+
+val deopt_invalidate_count : t -> int
+(** [osr_down] transfers whose reason was {!Cha_invalidated}. *)
 
 val output : t -> int list
 (** Values printed by [Print_int], oldest first. The observable behaviour
@@ -192,6 +239,40 @@ val was_executed : t -> Ids.Method_id.t -> bool
 val set_on_first_execution : t -> (Ids.Method_id.t -> unit) -> unit
 val set_on_invoke : t -> (t -> Ids.Method_id.t -> unit) -> unit
 val set_on_timer_sample : t -> (t -> unit) -> unit
+
+val set_on_class_load : t -> (t -> Ids.Class_id.t -> unit) -> unit
+(** [on_class_load] fires at a class's first instantiation (the model's
+    class-load event), after the allocation's cycles were charged and
+    *before* the instance exists — so a CHA invalidation handler runs
+    ahead of any possible dispatch on the new class. Fires inside an
+    execution window: the handler may charge cycles but must not mutate
+    the frame stack. *)
+
+val set_on_guard_miss : t -> (t -> Ids.Method_id.t -> int -> unit) -> unit
+(** [on_guard_miss vm mid pc] fires when the guard at [pc] of [mid]'s
+    installed code fails, after the miss was counted. Same in-window
+    restrictions as [on_class_load]. *)
+
+val class_is_loaded : t -> Ids.Class_id.t -> bool
+(** Whether the class has been instantiated at least once. *)
+
+val baseline_code_of : t -> Ids.Method_id.t -> Code.t
+(** The method's initial baseline compilation, independent of what
+    {!install_code} later activated (deoptimization reconstructs source
+    frames against this). *)
+
+val deopt_top_frame :
+  t -> plans:frame_plan array -> reason:deopt_reason -> unit
+(** Replace the innermost (optimized) frame by the stack of baseline
+    frames described by [plans]. Only safe at an instruction boundary
+    (a timer hook) where the frame's [f_pc]/[f_sp] are settled. Charges
+    nothing; the caller accounts for the transfer cost. *)
+
+val osr_into : t -> Ids.Method_id.t -> plans:frame_plan array -> pc:int -> unit
+(** Replace the top [Array.length plans] frames (which the caller has
+    verified to match [plans]) by one frame of [mid]'s currently
+    installed code resuming at [pc] — the inverse of
+    {!deopt_top_frame}, generalizing {!osr} across inline regions. *)
 
 val charge : t -> int -> unit
 (** Advance the virtual clock by externally-accounted cycles (the runtime
@@ -289,6 +370,10 @@ val invoke : t -> Ids.Method_id.t -> unit
     invocation hooks — exactly the interpreter's call sequence. *)
 
 val dispatch_target : t -> Value.t -> Ids.Selector.t -> Ids.Method_id.t
+
+val note_class_load : t -> Ids.Class_id.t -> unit
+(** Mark the class loaded and fire [on_class_load] if this is its first
+    instantiation ([New] branches of all execution engines call this). *)
 
 val step :
   t ->

@@ -214,6 +214,7 @@ let compile (t : t) (code : Code.t) : nfn array * int array =
               end
               else begin
                 t.guard_misses <- t.guard_misses + 1;
+                t.on_guard_miss t st.w_fr.f_code.Code.meth pc;
                 g.Instr.fail
               end
             in
@@ -235,6 +236,7 @@ let compile (t : t) (code : Code.t) : nfn array * int array =
           else begin
             flush t icost (nin + 1);
             t.cycles <- t.cycles + t.cost.Cost.alloc;
+            note_class_load t cid;
             let sp = st.w_sp in
             Array.unsafe_set st.w_regs sp (Value.alloc t.program cid);
             st.w_sp <- sp + 1;

@@ -1,0 +1,103 @@
+(* "dispatch"-shaped workload: speculative devirtualization stress.
+
+   A pipeline drives a handler hierarchy through one hot virtual site
+   whose receiver is a non-escaping argument of the hot method — exactly
+   the shape where pre-existence ([Acsi_analysis.Preexist]) licenses
+   guard-free speculative inlining under [--speculate]: for the first
+   ~60% of the hot loop only [NormalHandler] is instantiated, so the
+   [apply] selector is monomorphic over the {e loaded} universe and the
+   oracle inlines it with no guard.
+
+   Then, from inside the hot loop itself, the program instantiates
+   [UrgentHandler] for the first time. The class-load event invalidates
+   the (apply -> NormalHandler.apply) assumption while the speculative
+   activation is still on the stack: the AOS must revert the code
+   synchronously and deoptimize the stale frame back to baseline at the
+   next safe point. Pre-existence keeps the stale frame correct in the
+   interim — the second dispatch site (on the freshly allocated urgent
+   handler) does NOT pre-exist and therefore was never speculated.
+
+   Output is a pure function of program semantics, so the printed
+   checksum must be byte-identical with speculation on or off, across
+   both execution tiers — the acceptance check for the deoptimization
+   subsystem. *)
+
+open Acsi_lang.Dsl
+
+let classes =
+  [
+    cls "Handler" ~parent:"Obj" ~fields:[ "gain" ]
+      [
+        meth "init" [ "gain" ] ~returns:false
+          [
+            expr (dcall this "Obj" "init" []);
+            set_thisf "gain" (v "gain");
+          ];
+        meth "apply" [ "x" ] ~returns:true [ ret (v "x") ];
+      ];
+    cls "NormalHandler" ~parent:"Handler" ~fields:[]
+      [
+        meth "init" [ "gain" ] ~returns:false
+          [ expr (dcall this "Handler" "init" [ v "gain" ]) ];
+        meth "apply" [ "x" ] ~returns:true
+          [ ret (band (add (mul (v "x") (i 3)) (thisf "gain")) (i 65535)) ];
+      ];
+    cls "UrgentHandler" ~parent:"Handler" ~fields:[]
+      [
+        meth "init" [ "gain" ] ~returns:false
+          [ expr (dcall this "Handler" "init" [ v "gain" ]) ];
+        meth "apply" [ "x" ] ~returns:true
+          [ ret (band (sub (mul (v "x") (i 5)) (thisf "gain")) (i 65535)) ];
+      ];
+    cls "Pipeline" ~parent:"Obj" ~fields:[ "spill" ]
+      [
+        meth "init" [] ~returns:false
+          [
+            expr (dcall this "Obj" "init" []);
+            set_thisf "spill" (i 0);
+          ];
+        (* The hot method. [h] is dispatched on but never stored or
+           leaked, so its slot is non-escaping and every receiver it
+           carries pre-exists the activation. At iteration [flip] the
+           first [UrgentHandler] is allocated mid-activation — the
+           load-time invalidation case. Passing [flip = -1] keeps the
+           loop pure. *)
+        meth "run" [ "h"; "iters"; "flip" ] ~returns:true
+          [
+            let_ "acc" (i 0);
+            for_ "k" (i 0) (v "iters")
+              [
+                let_ "acc"
+                  (band
+                     (add (v "acc")
+                        (inv (v "h") "apply" [ add (v "k") (v "acc") ]))
+                     (i 1073741823));
+                if_
+                  (eq (v "k") (v "flip"))
+                  [
+                    set_thisf "spill"
+                      (inv (new_ "UrgentHandler" [ i 9 ]) "apply"
+                         [ v "acc" ]);
+                  ]
+                  [];
+              ];
+            ret (band (add (v "acc") (thisf "spill")) (i 1073741823));
+          ];
+      ];
+  ]
+
+(* Phase 1 runs long enough for the adaptive system to sample, compile
+   and OSR into [run] well before the flip point at 60%; phases 2 and 3
+   exercise the reverted/recompiled (now polymorphic) code with both
+   receivers. *)
+let main ~scale =
+  [
+    let_ "p" (new_ "Pipeline" []);
+    let_ "n" (new_ "NormalHandler" [ i 7 ]);
+    let_ "a1"
+      (inv (v "p") "run" [ v "n"; i (1000 * scale); i (600 * scale) ]);
+    let_ "u" (new_ "UrgentHandler" [ i 11 ]);
+    let_ "a2" (inv (v "p") "run" [ v "u"; i (250 * scale); i (-1) ]);
+    let_ "a3" (inv (v "p") "run" [ v "n"; i (250 * scale); i (-1) ]);
+    print (band (add (v "a1") (add (v "a2") (v "a3"))) (i 1073741823));
+  ]

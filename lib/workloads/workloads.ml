@@ -76,6 +76,14 @@ let extended =
       build = (fun ~scale -> build_prog Session.classes (Session.main ~scale));
     };
     {
+      name = "dispatch";
+      description =
+        "late-loaded handler subclass: speculative inlining + deopt stress";
+      default_scale = 40;
+      build =
+        (fun ~scale -> build_prog Dispatch.classes (Dispatch.main ~scale));
+    };
+    {
       name = "richards";
       description = "classic OO task-scheduler benchmark (paper §7 extension)";
       default_scale = 12;

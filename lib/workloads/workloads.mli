@@ -20,9 +20,11 @@ val extended : spec list
 (** Extension workloads beyond the paper's suite (its §7 anticipates
     "larger and more object-oriented programs"): the classic Richards
     scheduler benchmark, cross-validated against the canonical
-    implementation's expected counters, and [session] — one short
+    implementation's expected counters; [session] — one short
     polymorphic server request, the unit of load the sharded server
-    multiplies into millions. *)
+    multiplies into millions; and [dispatch] — a handler pipeline that
+    loads an overriding subclass from inside its hot loop, the stress
+    case for guard-free speculative inlining and deoptimization. *)
 
 val find : string -> spec
 (** Looks in {!all} and then {!extended}. Raises [Not_found]. *)

@@ -16,6 +16,7 @@ let () =
       ("peephole", Test_peephole.suite);
       ("analysis", Test_analysis.suite);
       ("osr", Test_osr.suite);
+      ("deopt", Test_deopt.suite);
       ("aos", Test_aos.suite);
       ("obs", Test_obs.suite);
       ("smoke", Test_smoke.suite);

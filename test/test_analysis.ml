@@ -136,6 +136,7 @@ let mk_code mid instrs srcs =
     max_stack = 4;
     src = Some srcs;
     code_bytes = 0;
+    assumptions = [];
   }
 
 (* A devirtualized inline body reachable along a path that bypasses its

@@ -345,7 +345,7 @@ let test_static_seed_matrix () =
       match System.provenance sys_on with
       | None -> Alcotest.fail (name ^ ": provenance requested but absent")
       | Some prov ->
-          let _, static = Acsi_obs.Provenance.source_counts prov in
+          let _, static, _ = Acsi_obs.Provenance.source_counts prov in
           check_bool (name ^ ": static-source decisions recorded") true
             (static > 0))
     [ "db"; "jess" ]

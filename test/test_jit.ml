@@ -140,7 +140,7 @@ let test_oracle_tiny_always () =
   let caller = find program "caller" in
   let tiny = find program "tiny" in
   match decide program caller (Instr.Call_static tiny.Meth.id) with
-  | Oracle.Inline [ { Oracle.target; guarded = false } ] ->
+  | Oracle.Inline [ { Oracle.target; guarded = false; _ } ] ->
       check_bool "tiny inlined" true (Ids.Method_id.equal target tiny.Meth.id)
   | Oracle.Inline _ | Oracle.No_inline -> Alcotest.fail "tiny must inline"
 

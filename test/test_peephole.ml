@@ -182,6 +182,7 @@ let test_preserves_semantics_on_program () =
           max_stack = wrapper.Meth.max_stack;
           src = None;
           code_bytes = 0;
+          assumptions = [];
         })
     (Program.methods program);
   Acsi_vm.Interp.run vm;

@@ -320,6 +320,7 @@ let test_fusion_coverage () =
           max_stack = 8;
           src = None;
           code_bytes = 0;
+          assumptions = [];
         }
       in
       let dc = Dcode.of_code Cost.default code in

@@ -212,6 +212,7 @@ let test_guard_hit_and_miss () =
       max_stack = 2;
       src = None;
       code_bytes = 0;
+      assumptions = [];
     }
   in
   let vm = Interp.create program in
