@@ -42,7 +42,11 @@
 
 let usage =
   "usage: compare.exe OLD.json NEW.json [--all] [--old-run N] [--new-run N] \
-   [--allow-cross-tier]"
+   [--allow-cross-tier] [--slo KEY=BUDGET]...\n\
+   SLO keys (checked against the NEW run, violation exits 1): p99 \
+   (telemetry session-latency p99), warmup (static-ablation seeded warmup \
+   requests), deopts (telemetry deopt count), guards (speculation guard \
+   checks, on half)"
 
 let die fmt = Format.kasprintf (fun m -> prerr_endline m; exit 2) fmt
 
@@ -55,6 +59,7 @@ type opts = {
   mutable allow_cross_tier : bool;
   mutable allow_cross_seed : bool;
   mutable allow_cross_spec : bool;
+  mutable slo : (string * int) list;  (* declared budgets, argv order *)
 }
 
 let parse_args () =
@@ -68,6 +73,7 @@ let parse_args () =
       allow_cross_tier = false;
       allow_cross_seed = false;
       allow_cross_spec = false;
+      slo = [];
     }
   in
   let int_arg name v =
@@ -94,6 +100,20 @@ let parse_args () =
         go rest
     | "--new-run" :: v :: rest ->
         o.new_run <- Some (int_arg "--new-run" v);
+        go rest
+    | "--slo" :: v :: rest ->
+        (match String.index_opt v '=' with
+        | Some i ->
+            let key = String.sub v 0 i in
+            let budget =
+              int_arg "--slo"
+                (String.sub v (i + 1) (String.length v - i - 1))
+            in
+            if
+              not (List.mem key [ "p99"; "warmup"; "deopts"; "guards" ])
+            then die "unknown SLO key %S@.%s" key usage;
+            o.slo <- o.slo @ [ (key, budget) ]
+        | None -> die "invalid --slo value %s (want KEY=BUDGET)@.%s" v usage);
         go rest
     | arg :: rest when o.old_file = None ->
         o.old_file <- Some arg;
@@ -370,6 +390,34 @@ let () =
         | Some _ | None -> ())
       new_run.Results.shards
   end;
+  (* Fleet-telemetry cells carry the contract in full as well: for a
+     given (bench, shards, sessions, interval) configuration at equal
+     scale, every recorded figure — histogram quantiles, exact
+     count/sum, flow counts, the conservation verdict and the
+     order-sensitive series checksum — is byte-identical across --jobs
+     and across repeated runs, so any drift is a violation. Runs
+     recorded before fleet telemetry existed have no telemetry section,
+     so nothing matches and nothing is checked. *)
+  let telemetry_mismatches = ref [] in
+  if check_cycles then begin
+    let old_tcells = Hashtbl.create 8 in
+    let tkey (t : Results.tcell) =
+      ( t.Results.t_bench,
+        t.Results.t_shards,
+        t.Results.t_sessions,
+        t.Results.t_interval )
+    in
+    List.iter
+      (fun (t : Results.tcell) -> Hashtbl.replace old_tcells (tkey t) t)
+      old_run.Results.telemetry;
+    List.iter
+      (fun (t : Results.tcell) ->
+        match Hashtbl.find_opt old_tcells (tkey t) with
+        | Some o when o <> t ->
+            telemetry_mismatches := (o, t) :: !telemetry_mismatches
+        | Some _ | None -> ())
+      new_run.Results.telemetry
+  end;
   (* Static warmup-ablation cells: report the per-workload
      warmup-requests movement between the two runs, and hold the cells
      to the determinism contract at equal scale. The section is
@@ -484,12 +532,58 @@ let () =
         | Some _ | None -> ())
       new_run.Results.components
   end;
+  (* The SLO gate: declared budgets are checked against the NEW run's
+     recorded sections — the same numbers the determinism checks above
+     hold byte-stable — so a budget can only regress when the simulated
+     behaviour itself regressed. A declared budget with no recorded
+     data is a violation too: a gate that silently passes because the
+     section went missing is not a gate. *)
+  let slo_violations = ref [] in
+  List.iter
+    (fun (key, budget) ->
+      let max_over f = function
+        | [] -> None
+        | cells ->
+            Some
+              (List.fold_left (fun acc c -> max acc (f c)) min_int cells)
+      in
+      let measured =
+        match key with
+        | "p99" ->
+            max_over
+              (fun (t : Results.tcell) -> t.Results.t_hist_p99)
+              new_run.Results.telemetry
+        | "deopts" ->
+            max_over
+              (fun (t : Results.tcell) -> t.Results.t_deopts)
+              new_run.Results.telemetry
+        | "warmup" ->
+            max_over
+              (fun (p : Results.pcell) -> p.Results.p_warmup_on)
+              new_run.Results.static
+        | "guards" ->
+            max_over
+              (fun (g : Results.gcell) ->
+                g.Results.g_hits_on + g.Results.g_misses_on)
+              new_run.Results.speculation
+        | _ -> None
+      in
+      match measured with
+      | None ->
+          slo_violations :=
+            (key, budget, None) :: !slo_violations
+      | Some m when m > budget ->
+          slo_violations := (key, budget, Some m) :: !slo_violations
+      | Some m -> Printf.printf "SLO ok: %s %d within budget %d\n" key m budget)
+    o.slo;
   if
     !cycle_mismatches <> [] || !server_mismatches <> []
     || !shard_mismatches <> []
+    || !telemetry_mismatches <> []
     || !static_mismatches <> []
     || !spec_mismatches <> []
     || !component_mismatches <> []
+    || !slo_violations <> []
   then begin
     if !cycle_mismatches <> [] then begin
       Printf.printf
@@ -529,6 +623,29 @@ let () =
             o.Results.sh_p99 n.Results.sh_p50 n.Results.sh_p95 n.Results.sh_p99
             o.Results.sh_steals n.Results.sh_steals)
         (List.rev !shard_mismatches)
+    end;
+    if !telemetry_mismatches <> [] then begin
+      Printf.printf
+        "\nDETERMINISM VIOLATION: fleet-telemetry cells changed on %d \
+         cells:\n"
+        (List.length !telemetry_mismatches);
+      List.iter
+        (fun ((o : Results.tcell), (n : Results.tcell)) ->
+          Printf.printf
+            "  %s shards=%d: latency p50/p90/p99 %d/%d/%d -> %d/%d/%d, \
+             count %d -> %d, flows %d+%d -> %d+%d (conserved %b -> %b), \
+             deopts %d -> %d, series checksum %s\n"
+            n.Results.t_bench n.Results.t_shards o.Results.t_hist_p50
+            o.Results.t_hist_p90 o.Results.t_hist_p99 n.Results.t_hist_p50
+            n.Results.t_hist_p90 n.Results.t_hist_p99 o.Results.t_hist_count
+            n.Results.t_hist_count o.Results.t_steal_flows
+            o.Results.t_adopt_flows n.Results.t_steal_flows
+            n.Results.t_adopt_flows o.Results.t_flow_conserved
+            n.Results.t_flow_conserved o.Results.t_deopts n.Results.t_deopts
+            (if o.Results.t_series_checksum = n.Results.t_series_checksum
+             then "unchanged"
+             else "changed"))
+        (List.rev !telemetry_mismatches)
     end;
     if !static_mismatches <> [] then begin
       Printf.printf
@@ -595,6 +712,22 @@ let () =
                 Printf.printf "    %s: %d -> (absent)\n" nm old_cycles)
             o.Results.c_components)
         (List.rev !component_mismatches)
+    end;
+    if !slo_violations <> [] then begin
+      Printf.printf "\nSLO VIOLATION on %d budgets:\n"
+        (List.length !slo_violations);
+      List.iter
+        (fun (key, budget, measured) ->
+          match measured with
+          | Some m ->
+              Printf.printf "  %s: measured %d exceeds budget %d\n" key m
+                budget
+          | None ->
+              Printf.printf
+                "  %s: budget %d declared but the new run recorded no data \
+                 for it\n"
+                key budget)
+        (List.rev !slo_violations)
     end;
     exit 1
   end

@@ -568,8 +568,29 @@ let serve_mode mode =
             ~name (config ~policy) program
         in
         let s = result.Acsi_server.Server.summary in
+        (* The warmup curve as a sparkline (mean latency per window,
+           high blocks = slow cold windows) next to the telemetry
+           histogram's quantiles — all virtual-clock figures, so the
+           panel is byte-stable like the summary above it. *)
+        let tl = result.Acsi_server.Server.telemetry in
+        let curve =
+          Acsi_obs.Timeseries.spark
+            (Array.of_list
+               (List.map
+                  (fun (w : Acsi_server.Server.window) ->
+                    int_of_float w.Acsi_server.Server.w_mean_latency)
+                  result.Acsi_server.Server.windows))
+        in
+        let lat = tl.Acsi_server.Server.tl_latency in
         let text =
-          Format.asprintf "%a@.@." Acsi_server.Server.pp_summary s
+          Format.asprintf
+            "%a@.  warmup curve %s  (mean latency per window)  hist p50 %d \
+             p90 %d p99 %d over %d requests@.@."
+            Acsi_server.Server.pp_summary s curve
+            (Acsi_obs.Hist.quantile lat 50.0)
+            (Acsi_obs.Hist.quantile lat 90.0)
+            (Acsi_obs.Hist.quantile lat 99.0)
+            (Acsi_obs.Hist.count lat)
         in
         let cell =
           {
@@ -625,7 +646,72 @@ let shard_mode mode =
       in
       let s = result.Acsi_server.Shards.summary in
       Format.printf "%a@.@." Acsi_server.Shards.pp_summary s;
-      {
+      (* Fleet-telemetry panel: per-shard live-session sparklines, the
+         latency histogram's quantiles, and the flow-arrow counts with
+         the conservation verdict — all virtual-clock figures, so the
+         panel is byte-stable like the summary above it. *)
+      let tel = result.Acsi_server.Shards.telemetry in
+      let lat = tel.Acsi_server.Shards.tel_latency_all in
+      let p q = Acsi_obs.Hist.quantile lat q in
+      let steal_flows = Acsi_server.Shards.flow_pairs tel Acsi_server.Shards.Steal in
+      let adopt_flows = Acsi_server.Shards.flow_pairs tel Acsi_server.Shards.Adopt in
+      let deopt_flows =
+        Acsi_server.Shards.flow_pairs tel Acsi_server.Shards.Deopt
+        + Acsi_server.Shards.flow_pairs tel Acsi_server.Shards.Invalidate
+      in
+      let conserved = Acsi_server.Shards.flows_conserved tel in
+      Format.printf
+        "  telemetry: latency p50/p90/p99 %d/%d/%d over %d sessions, \
+         compile-wait p99 %d, deopt-gap p99 %d@."
+        (p 50.0) (p 90.0) (p 99.0) (Acsi_obs.Hist.count lat)
+        (Acsi_obs.Hist.quantile tel.Acsi_server.Shards.tel_compile_wait 99.0)
+        (Acsi_obs.Hist.quantile tel.Acsi_server.Shards.tel_deopt_gap 99.0);
+      Format.printf "  flows: %d steal + %d adopt + %d deopt, conserved: %s@."
+        steal_flows adopt_flows deopt_flows
+        (if conserved then "yes" else "NO");
+      Array.iteri
+        (fun i series ->
+          Format.printf "  shard%d live %s@." i
+            (Acsi_obs.Timeseries.sparkline series "live"))
+        tel.Acsi_server.Shards.tel_series;
+      Format.printf "@.";
+      let series_checksum =
+        Array.fold_left
+          (fun acc series ->
+            ((acc * 31) + Acsi_obs.Timeseries.checksum series) land max_int)
+          17
+          tel.Acsi_server.Shards.tel_series
+      in
+      let deopts =
+        Array.fold_left
+          (fun acc series -> acc + Acsi_obs.Timeseries.last series "deopts")
+          0
+          tel.Acsi_server.Shards.tel_series
+      in
+      let tcell =
+        {
+          Results.t_bench = s.Acsi_server.Shards.sh_workload;
+          t_shards = s.Acsi_server.Shards.sh_shards;
+          t_sessions = s.Acsi_server.Shards.sh_sessions;
+          t_interval = tel.Acsi_server.Shards.tel_interval;
+          t_hist_p50 = p 50.0;
+          t_hist_p90 = p 90.0;
+          t_hist_p99 = p 99.0;
+          t_hist_count = Acsi_obs.Hist.count lat;
+          t_hist_sum = Acsi_obs.Hist.sum lat;
+          t_compile_wait_p99 =
+            Acsi_obs.Hist.quantile tel.Acsi_server.Shards.tel_compile_wait
+              99.0;
+          t_deopt_gap_p99 =
+            Acsi_obs.Hist.quantile tel.Acsi_server.Shards.tel_deopt_gap 99.0;
+          t_steal_flows = steal_flows;
+          t_adopt_flows = adopt_flows;
+          t_flow_conserved = conserved;
+          t_deopts = deopts;
+          t_series_checksum = series_checksum;
+        }
+      in
+      ( {
         Results.sh_bench = s.Acsi_server.Shards.sh_workload;
         sh_policy = s.Acsi_server.Shards.sh_policy;
         sh_shards = s.Acsi_server.Shards.sh_shards;
@@ -640,10 +726,12 @@ let shard_mode mode =
         sh_p99 = s.Acsi_server.Shards.sh_p99;
         sh_steals = s.Acsi_server.Shards.sh_steals;
         sh_fairness = s.Acsi_server.Shards.sh_fairness;
-        sh_published = s.Acsi_server.Shards.sh_published;
-        sh_adopted = s.Acsi_server.Shards.sh_adopted;
-      })
+          sh_published = s.Acsi_server.Shards.sh_published;
+          sh_adopted = s.Acsi_server.Shards.sh_adopted;
+        },
+        tcell ))
     mode.shards
+  |> List.split
 
 (* --- static pre-warm oracle: the warmup ablation (--serve) --- *)
 
@@ -990,8 +1078,9 @@ let traced_components mode =
    file is a trajectory — each invocation appends its run, so the
    wall-clock history survives in one file and compare.exe can diff any
    two points of it (see results.ml). *)
-let write_json mode (s : Experiment.sweep option) server shards static_cells
-    speculation_cells components calibration calibration_check =
+let write_json mode (s : Experiment.sweep option) server shards
+    telemetry_cells static_cells speculation_cells components calibration
+    calibration_check =
   let path = mode.json_path in
   let wall_total_s, cells =
     match s with
@@ -1019,6 +1108,7 @@ let write_json mode (s : Experiment.sweep option) server shards static_cells
       cells;
       server;
       shards;
+      telemetry = telemetry_cells;
       static = static_cells;
       speculation = speculation_cells;
       components;
@@ -1161,7 +1251,9 @@ let () =
     extended mode
   end;
   let server_cells = if mode.serve then serve_mode mode else [] in
-  let shard_cells = if mode.serve then shard_mode mode else [] in
+  let shard_cells, telemetry_cells =
+    if mode.serve then shard_mode mode else ([], [])
+  in
   let static_cells = if mode.serve then static_oracle_mode mode else [] in
   let speculation_cells = if mode.deopt then deopt_panel mode else [] in
   let component_cells, calibration, calibration_check =
@@ -1174,6 +1266,7 @@ let () =
        || static_cells <> [] || speculation_cells <> []
        || component_cells <> [])
   then
-    write_json mode !the_sweep server_cells shard_cells static_cells
-      speculation_cells component_cells calibration calibration_check;
+    write_json mode !the_sweep server_cells shard_cells telemetry_cells
+      static_cells speculation_cells component_cells calibration
+      calibration_check;
   Format.printf "@.done.@."

@@ -125,6 +125,32 @@ type gcell = {
   g_checksum_on : int;
 }
 
+(* One fleet-telemetry cell (bench --serve, sharded half): the
+   observability figures from Acsi_server.Shards.telemetry — histogram
+   quantiles, flow-arrow counts with the conservation verdict, and the
+   order-sensitive checksum of every per-shard time-series. All of it is
+   deterministic for a given cell configuration and byte-identical
+   across --jobs, so compare.exe treats any mismatch as a determinism
+   violation, and the SLO gate reads its budgets from here. *)
+type tcell = {
+  t_bench : string;
+  t_shards : int;
+  t_sessions : int;
+  t_interval : int; (* barrier length = series sampling interval *)
+  t_hist_p50 : int; (* session-latency histogram quantiles ... *)
+  t_hist_p90 : int;
+  t_hist_p99 : int;
+  t_hist_count : int; (* ... with exact count and sum *)
+  t_hist_sum : int;
+  t_compile_wait_p99 : int;
+  t_deopt_gap_p99 : int;
+  t_steal_flows : int; (* complete steal arrows (= sh_steals) *)
+  t_adopt_flows : int; (* complete adopt arrows (= sh_adopted) *)
+  t_flow_conserved : bool; (* Shards.flows_conserved verdict *)
+  t_deopts : int; (* guard + invalidation deopts, all shards *)
+  t_series_checksum : int; (* folded over per-shard series checksums *)
+}
+
 type run = {
   jobs : int;
   scale_factor : float;
@@ -147,6 +173,8 @@ type run = {
       (* empty for runs recorded before server mode existed *)
   shards : hcell list;
       (* empty for runs recorded before the sharded server existed *)
+  telemetry : tcell list;
+      (* empty for runs recorded before fleet telemetry existed *)
   static : pcell list;
       (* empty for runs recorded before the static oracle existed or
          without --serve *)
@@ -394,6 +422,30 @@ let checksum_field name j =
   | Some v -> v
   | None -> raise (Parse_error (Printf.sprintf "bad checksum in %S" name))
 
+let tcell_of_json j =
+  {
+    t_bench = str (field "bench" j);
+    t_shards = int_of_float (num (field "shards" j));
+    t_sessions = int_of_float (num (field "sessions" j));
+    t_interval = int_of_float (num (field "interval" j));
+    t_hist_p50 = int_of_float (num (field "hist_p50" j));
+    t_hist_p90 = int_of_float (num (field "hist_p90" j));
+    t_hist_p99 = int_of_float (num (field "hist_p99" j));
+    t_hist_count = int_of_float (num (field "hist_count" j));
+    (* Sums and checksums use the full 63-bit range: strings. *)
+    t_hist_sum = checksum_field "hist_sum" j;
+    t_compile_wait_p99 = int_of_float (num (field "compile_wait_p99" j));
+    t_deopt_gap_p99 = int_of_float (num (field "deopt_gap_p99" j));
+    t_steal_flows = int_of_float (num (field "steal_flows" j));
+    t_adopt_flows = int_of_float (num (field "adopt_flows" j));
+    t_flow_conserved =
+      (match field "flow_conserved" j with
+      | Bool b -> b
+      | _ -> raise (Parse_error "expected a bool for flow_conserved"));
+    t_deopts = int_of_float (num (field "deopts" j));
+    t_series_checksum = checksum_field "series_checksum" j;
+  }
+
 let pcell_of_json j =
   {
     p_bench = str (field "bench" j);
@@ -495,6 +547,16 @@ let run_of_json j =
           | Some (Arr hcells) -> List.map hcell_of_json hcells
           | Some _ ->
               raise (Parse_error "expected an array under \"shards\""))
+      | _ -> []);
+    telemetry =
+      (* Absent in files written before fleet telemetry existed. *)
+      (match j with
+      | Obj kvs -> (
+          match List.assoc_opt "telemetry" kvs with
+          | None | Some Null -> []
+          | Some (Arr tcells) -> List.map tcell_of_json tcells
+          | Some _ ->
+              raise (Parse_error "expected an array under \"telemetry\""))
       | _ -> []);
     static =
       (* Absent in files written before the static-oracle ablation. *)
@@ -639,6 +701,28 @@ let output_run oc r ~last =
           h.sh_adopted
           (if i = last_h then "" else ","))
       r.shards;
+    Printf.fprintf oc "      ]"
+  end;
+  (* The telemetry section is likewise only written when the sharded
+     server ran with fleet telemetry (bench --serve). *)
+  if r.telemetry <> [] then begin
+    Printf.fprintf oc ",\n      \"telemetry\": [\n";
+    let last_t = List.length r.telemetry - 1 in
+    List.iteri
+      (fun i t ->
+        Printf.fprintf oc
+          "        {\"bench\": \"%s\", \"shards\": %d, \"sessions\": %d, \
+           \"interval\": %d, \"hist_p50\": %d, \"hist_p90\": %d, \
+           \"hist_p99\": %d, \"hist_count\": %d, \"hist_sum\": \"%d\", \
+           \"compile_wait_p99\": %d, \"deopt_gap_p99\": %d, \"steal_flows\": \
+           %d, \"adopt_flows\": %d, \"flow_conserved\": %b, \"deopts\": %d, \
+           \"series_checksum\": \"%d\"}%s\n"
+          (json_escape t.t_bench) t.t_shards t.t_sessions t.t_interval
+          t.t_hist_p50 t.t_hist_p90 t.t_hist_p99 t.t_hist_count t.t_hist_sum
+          t.t_compile_wait_p99 t.t_deopt_gap_p99 t.t_steal_flows
+          t.t_adopt_flows t.t_flow_conserved t.t_deopts t.t_series_checksum
+          (if i = last_t then "" else ","))
+      r.telemetry;
     Printf.fprintf oc "      ]"
   end;
   (* The static-oracle ablation section is likewise only written when

@@ -473,8 +473,12 @@ let trace_one ~bench ~file ~policy_str ~scale ~out ~jsonl ~flame ~min_pct
               Acsi_aos.Accounting.all_components
           in
           (if dropped > 0 then
+             (* A wrapped ring silently undercounts spans, which could
+                mask a genuine span-vs-Accounting divergence — so drops
+                fail the check rather than skipping it. *)
              Format.printf
-               "reconciliation: skipped (%d events dropped; raise --capacity)@."
+               "reconciliation: FAILED — %d events dropped, span totals \
+                undercount (raise --capacity)@."
                dropped
            else if mismatches = [] then
              Format.printf
@@ -497,7 +501,7 @@ let trace_one ~bench ~file ~policy_str ~scale ~out ~jsonl ~flame ~min_pct
                    cp
              | None -> ());
           Format.printf "trace written to %s@." out;
-          if mismatches <> [] && dropped = 0 then 1 else 0)
+          if mismatches <> [] || dropped > 0 then 1 else 0)
 
 (* `acsi-run explain [METHOD[:PC]]`: run with the oracle's decision-
    provenance sink installed and print every recorded inline decision —
@@ -997,6 +1001,214 @@ let serve_cmd =
       $ windows_arg $ shards_arg $ pool_arg $ pool_policy_arg $ barrier_arg
       $ serve_jobs_arg $ static_seed_arg)
 
+(* `acsi-run metrics`: run one serve cell with fleet telemetry and print
+   the virtual-clock time-series plus the latency / compile-wait /
+   deopt-gap histograms as OpenMetrics (default) or JSONL text.
+   Telemetry reads the virtual clock but never charges it, and sharded
+   runs emit it only in the serial barrier section, so the export is
+   byte-identical across --jobs and never perturbs the run it observes. *)
+let metrics_one ~bench ~policy_str ~scale ~requests ~clients ~think
+    ~open_period ~quantum ~switch_cost ~seed ~shards ~pool ~pool_policy_str
+    ~barrier ~jobs ~static_seed ~interval ~format ~flows_out =
+  let module Export = Acsi_obs.Export in
+  match Acsi_policy.Policy.of_string policy_str with
+  | None ->
+      Format.eprintf "unknown policy %S@." policy_str;
+      2
+  | Some _ when format <> "openmetrics" && format <> "jsonl" ->
+      Format.eprintf "unknown format %S (openmetrics|jsonl)@." format;
+      2
+  | Some _ when flows_out <> None && shards <= 0 ->
+      Format.eprintf "--flows needs --shards (flow arrows link shards)@.";
+      2
+  | Some policy -> (
+      match Acsi_workloads.Workloads.find bench with
+      | exception Not_found ->
+          Format.eprintf "unknown benchmark %S (use --list)@." bench;
+          2
+      | spec -> (
+          let scale =
+            match scale with
+            | Some s -> s
+            | None -> spec.Acsi_workloads.Workloads.default_scale
+          in
+          let program = spec.Acsi_workloads.Workloads.build ~scale in
+          let name = spec.Acsi_workloads.Workloads.name in
+          let cfg = apply_seed static_seed (Config.default ~policy) in
+          let buf = Buffer.create 4096 in
+          if shards > 0 then
+            match Acsi_aos.System.queue_policy_of_string pool_policy_str with
+            | None ->
+                Format.eprintf "unknown pool policy %S (fifo|hot|deadline)@."
+                  pool_policy_str;
+                2
+            | Some pool_policy ->
+                let period = Option.value open_period ~default:2400 in
+                let result =
+                  Acsi_server.Shards.run ~quantum ~switch_cost ~seed ~jobs
+                    ~barrier ~pool ~pool_policy ~shards ~sessions:requests
+                    ~period ~name cfg program
+                in
+                let tel = result.Acsi_server.Shards.telemetry in
+                let {
+                  Acsi_server.Shards.tel_series;
+                  tel_latency_all;
+                  tel_steal_distance;
+                  tel_compile_wait;
+                  tel_deopt_gap;
+                  _
+                } =
+                  tel
+                in
+                let shard_labels i =
+                  [ ("bench", name); ("shard", string_of_int i) ]
+                in
+                let labels = [ ("bench", name) ] in
+                (match format with
+                | "openmetrics" ->
+                    Array.iteri
+                      (fun i s ->
+                        Export.series_openmetrics buf ~prefix:"acsi_"
+                          ~labels:(shard_labels i) s)
+                      tel_series;
+                    Export.hist_openmetrics buf ~name:"acsi_session_latency"
+                      ~labels tel_latency_all;
+                    Export.hist_openmetrics buf ~name:"acsi_steal_distance"
+                      ~labels tel_steal_distance;
+                    Export.hist_openmetrics buf ~name:"acsi_compile_wait"
+                      ~labels tel_compile_wait;
+                    Export.hist_openmetrics buf ~name:"acsi_deopt_gap" ~labels
+                      tel_deopt_gap;
+                    Buffer.add_string buf "# EOF\n"
+                | _ ->
+                    Array.iteri
+                      (fun i s ->
+                        Export.series_jsonl buf ~name:"shard"
+                          ~labels:(shard_labels i) s)
+                      tel_series;
+                    Export.hist_jsonl buf ~name:"session_latency" ~labels
+                      tel_latency_all;
+                    Export.hist_jsonl buf ~name:"steal_distance" ~labels
+                      tel_steal_distance;
+                    Export.hist_jsonl buf ~name:"compile_wait" ~labels
+                      tel_compile_wait;
+                    Export.hist_jsonl buf ~name:"deopt_gap" ~labels
+                      tel_deopt_gap);
+                (match flows_out with
+                | None -> ()
+                | Some path ->
+                    let tracer = Acsi_server.Shards.telemetry_tracer tel in
+                    let fbuf = Buffer.create 4096 in
+                    Export.to_chrome_json fbuf tracer;
+                    write_buffer path fbuf;
+                    Format.eprintf "metrics: wrote flow trace to %s@." path);
+                print_string (Buffer.contents buf);
+                0
+          else begin
+            let mode =
+              match open_period with
+              | Some period -> Acsi_server.Server.Open { period; requests }
+              | None ->
+                  Acsi_server.Server.Closed
+                    { clients; requests_per_client = requests; think }
+            in
+            let result =
+              Acsi_server.Server.run ~quantum ~switch_cost ~seed
+                ?telemetry_interval:interval ~mode ~name cfg program
+            in
+            let {
+              Acsi_server.Server.tl_series;
+              tl_latency;
+              tl_compile_wait;
+              tl_deopt_gap;
+              _
+            } =
+              result.Acsi_server.Server.telemetry
+            in
+            let labels = [ ("bench", name) ] in
+            (match format with
+            | "openmetrics" ->
+                Export.series_openmetrics buf ~prefix:"acsi_" ~labels
+                  tl_series;
+                Export.hist_openmetrics buf ~name:"acsi_request_latency"
+                  ~labels tl_latency;
+                Export.hist_openmetrics buf ~name:"acsi_compile_wait" ~labels
+                  tl_compile_wait;
+                Export.hist_openmetrics buf ~name:"acsi_deopt_gap" ~labels
+                  tl_deopt_gap;
+                Buffer.add_string buf "# EOF\n"
+            | _ ->
+                Export.series_jsonl buf ~name:"server" ~labels tl_series;
+                Export.hist_jsonl buf ~name:"request_latency" ~labels
+                  tl_latency;
+                Export.hist_jsonl buf ~name:"compile_wait" ~labels
+                  tl_compile_wait;
+                Export.hist_jsonl buf ~name:"deopt_gap" ~labels tl_deopt_gap);
+            print_string (Buffer.contents buf);
+            0
+          end))
+
+let metrics_bench_arg =
+  Arg.(
+    value & opt string "session"
+    & info [ "b"; "bench" ]
+        ~doc:"Benchmark to serve while collecting telemetry.")
+
+let metrics_shards_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "shards" ]
+        ~doc:
+          "Virtual processors for the sharded server; 0 collects \
+           single-VM server telemetry instead.")
+
+let metrics_interval_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "interval" ] ~docv:"CYCLES"
+        ~doc:
+          "Time-series sampling interval in virtual cycles (single-VM \
+           mode; the sharded server always samples at round barriers).")
+
+let metrics_format_arg =
+  Arg.(
+    value & opt string "openmetrics"
+    & info [ "format" ] ~doc:"Output format: openmetrics or jsonl.")
+
+let metrics_flows_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flows" ] ~docv:"FILE"
+        ~doc:
+          "Also write the cross-shard flow trace (steal/adopt/deopt \
+           arrows between shard tracks) as Chrome trace-event JSON for \
+           Perfetto (sharded mode).")
+
+let metrics_main verbose bench policy scale requests clients think
+    open_period quantum switch_cost seed shards pool pool_policy_str barrier
+    jobs static_seed interval format flows_out =
+  setup_logs verbose;
+  metrics_one ~bench ~policy_str:policy ~scale ~requests ~clients ~think
+    ~open_period ~quantum ~switch_cost ~seed ~shards ~pool ~pool_policy_str
+    ~barrier ~jobs ~static_seed ~interval ~format ~flows_out
+
+let metrics_cmd =
+  let doc =
+    "serve one benchmark with fleet telemetry and export the \
+     virtual-clock time-series and latency histograms as OpenMetrics or \
+     JSONL (deterministic: byte-identical across --jobs)"
+  in
+  Cmd.v (Cmd.info "metrics" ~doc)
+    Term.(
+      const metrics_main $ verbose_arg $ metrics_bench_arg $ policy_arg
+      $ scale_arg $ requests_arg $ clients_arg $ think_arg $ open_period_arg
+      $ quantum_arg $ switch_cost_arg $ seed_arg $ metrics_shards_arg
+      $ pool_arg $ pool_policy_arg $ barrier_arg $ serve_jobs_arg
+      $ static_seed_arg $ metrics_interval_arg $ metrics_format_arg
+      $ metrics_flows_arg)
+
 let lint_files_arg =
   Arg.(
     value & pos_all file []
@@ -1217,6 +1429,14 @@ let cmd =
     "run an adaptive-context-sensitive-inlining experiment on one benchmark"
   in
   Cmd.group ~default:run_cmd_term (Cmd.info "acsi-run" ~doc)
-    [ analyze_cmd; lint_cmd; serve_cmd; trace_cmd; explain_cmd; profile_cmd ]
+    [
+      analyze_cmd;
+      lint_cmd;
+      serve_cmd;
+      metrics_cmd;
+      trace_cmd;
+      explain_cmd;
+      profile_cmd;
+    ]
 
 let () = exit (Cmd.eval' cmd)

@@ -130,6 +130,13 @@ type in_flight_compile = {
   ic_seq : int;  (** job submission order, install tie-break *)
 }
 
+(* Fleet-telemetry events, recorded only when [set_telemetry_events]
+   turned the log on (the sharded server does, per round). Timestamps
+   are this VM's virtual clock. *)
+type tel_event =
+  | Tel_deopt of { mid : int; at : int; invalidated : bool }
+  | Tel_reinstall of { mid : int; at : int; gap : int }
+
 type t = {
   cfg : config;
   vm : Interp.t;
@@ -185,6 +192,15 @@ type t = {
   mutable overlap_instructions : int;
   mutable overlapped_aos_cycles : int;
   obs : Acsi_obs.Control.t;
+  (* fleet telemetry: always-on histograms (queue wait measured at
+     compile start, deopt-to-reinstall gap) — off the virtual clock, so
+     they never perturb a run — and an opt-in bounded event log the
+     sharded server drains at barriers to draw deopt flow arrows *)
+  tel_compile_wait : Acsi_obs.Hist.t;
+  tel_deopt_gap : Acsi_obs.Hist.t;
+  last_deopt : (int, int) Hashtbl.t;
+  mutable tel_events_on : bool;
+  mutable tel_events : tel_event list; (* newest first *)
   (* counters *)
   mutable baseline_methods : int;
   mutable baseline_bytes : int;
@@ -221,6 +237,14 @@ let speculative_installs t = t.speculative_installs
 let dropped_installs t = t.dropped_installs
 let pending_deopts t = List.length t.pending_deopt
 let obs t = t.obs
+let compile_wait_hist t = t.tel_compile_wait
+let deopt_gap_hist t = t.tel_deopt_gap
+let set_telemetry_events t on = t.tel_events_on <- on
+let take_telemetry_events t =
+  let evs = List.rev t.tel_events in
+  t.tel_events <- [];
+  evs
+let tel_emit t e = if t.tel_events_on then t.tel_events <- e :: t.tel_events
 let tracer t = t.obs.Acsi_obs.Control.tracer
 let provenance t = t.obs.Acsi_obs.Control.prov
 let cprof t = t.obs.Acsi_obs.Control.cprof
@@ -594,6 +618,15 @@ let revert_optimized t (mid : Ids.Method_id.t) ~reason ~ev =
   | Some (code, table) ->
       Hashtbl.remove t.deopt_tables (mid :> int);
       t.pending_deopt <- (code, table, reason) :: t.pending_deopt;
+      (let at = Interp.cycles t.vm in
+       Hashtbl.replace t.last_deopt (mid :> int) at;
+       tel_emit t
+         (Tel_deopt
+            {
+              mid = (mid :> int);
+              at;
+              invalidated = reason = Interp.Cha_invalidated;
+            }));
       let bcode = Interp.baseline_code_of t.vm mid in
       Interp.install_code t.vm mid bcode;
       (if t.cfg.native_tier then
@@ -759,6 +792,16 @@ let install_compiled t mid code stats ~rule_stamp =
              charge ~ev:"osr-up" t Accounting.Controller
                ((d0 - t.vm.Interp.depth + 1) * t.cost.Cost.deopt_frame)
        | None -> ());
+  (* Deopt-to-recompile gap: this install closes any open deopt window
+     for the method (clock read only; nothing is charged). *)
+  (match Hashtbl.find_opt t.last_deopt (mid :> int) with
+  | Some t0 ->
+      Hashtbl.remove t.last_deopt (mid :> int);
+      let at = Interp.cycles t.vm in
+      let gap = at - t0 in
+      Acsi_obs.Hist.record t.tel_deopt_gap gap;
+      tel_emit t (Tel_reinstall { mid = (mid :> int); at; gap })
+  | None -> ());
   Registry.record t.registry mid stats ~rule_stamp;
   Db.record_compilation t.db
     {
@@ -814,7 +857,8 @@ let static_seed_install t (mid : Ids.Method_id.t) =
    clock, so the requesting execution waits for the compiler. *)
 let compilation_thread t =
   while not (Queue.is_empty t.compile_queue) do
-    let mid, _ = Queue.pop t.compile_queue in
+    let mid, enq = Queue.pop t.compile_queue in
+    Acsi_obs.Hist.record t.tel_compile_wait (Interp.cycles t.vm - enq);
     let code, stats = compile_one t mid in
     charge ~ev:"opt-compile" t Accounting.Compilation
       stats.Acsi_jit.Expand.compile_cycles;
@@ -857,7 +901,7 @@ let start_async_compiles t =
     jobs := Queue.pop t.compile_queue :: !jobs
   done;
   List.iter
-    (fun (mid, _enq) ->
+    (fun (mid, enq) ->
       let code, stats = compile_one t mid in
       Accounting.charge t.accounting Accounting.Compilation
         stats.Acsi_jit.Expand.compile_cycles;
@@ -875,6 +919,9 @@ let start_async_compiles t =
       let start = max now t.compilers.(!k) in
       let finish = start + stats.Acsi_jit.Expand.compile_cycles in
       t.compilers.(!k) <- finish;
+      (* Queue wait = enqueue to the moment a pool compiler picks the
+         job up, on the virtual timeline. *)
+      Acsi_obs.Hist.record t.tel_compile_wait (start - enq);
       (* The span covers the pool compiler's own busy interval
          [start, finish) — exactly [compile_cycles] long, so the
          Compilation track still reconciles with its Accounting total. *)
@@ -1141,6 +1188,11 @@ let create ?profile cfg vm =
       overlap_instructions = 0;
       overlapped_aos_cycles = 0;
       obs;
+      tel_compile_wait = Acsi_obs.Hist.create ();
+      tel_deopt_gap = Acsi_obs.Hist.create ();
+      last_deopt = Hashtbl.create 16;
+      tel_events_on = false;
+      tel_events = [];
       baseline_methods = 0;
       baseline_bytes = 0;
       method_samples = 0;

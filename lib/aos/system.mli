@@ -253,6 +253,40 @@ val tracer : t -> Acsi_obs.Tracer.t
 val provenance : t -> Acsi_obs.Provenance.t option
 val cprof : t -> Acsi_obs.Cprof.t option
 
+(** {2 Fleet telemetry}
+
+    Always-on, off-the-clock instrumentation: recording reads the
+    virtual clock but never charges it, so it cannot perturb any run
+    (all pinned goldens are byte-identical with or without a consumer).
+    The histograms live in {!Acsi_obs.Hist}'s log-bucketed
+    representation and merge across shards. *)
+
+val compile_wait_hist : t -> Acsi_obs.Hist.t
+(** Virtual cycles each compile job spent queued: enqueue to the moment
+    a compiler (the stalling thread, or a pool compiler's timeline)
+    begins it. *)
+
+val deopt_gap_hist : t -> Acsi_obs.Hist.t
+(** Deopt-to-recompile gap: virtual cycles from a method's reversion
+    ({!pending_deopts} growing) to the install of its replacement
+    optimized code. *)
+
+(** One fleet-telemetry event, timestamped on this VM's virtual clock.
+    [Tel_deopt.invalidated] distinguishes CHA-invalidation deopts from
+    guard storms; [Tel_reinstall.gap] is the matching deopt-to-recompile
+    gap also recorded in {!deopt_gap_hist}. *)
+type tel_event =
+  | Tel_deopt of { mid : int; at : int; invalidated : bool }
+  | Tel_reinstall of { mid : int; at : int; gap : int }
+
+val set_telemetry_events : t -> bool -> unit
+(** Turn the telemetry event log on or off (default off — the sharded
+    server enables it and drains at every round barrier, bounding the
+    log; unconsumed logs would grow with the run). *)
+
+val take_telemetry_events : t -> tel_event list
+(** Drain the pending event log, oldest first. *)
+
 (** {2 Organizer kernels and their executable specs}
 
     The adaptive-resolution and missing-edge organizers run on indexed

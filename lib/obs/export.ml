@@ -33,7 +33,7 @@ let track_ids tracer =
   Tracer.iter tracer ~f:(fun e ->
       match e with
       | Tracer.Span { track; _ } | Tracer.Counter { track; _ }
-      | Tracer.Instant { track; _ } ->
+      | Tracer.Instant { track; _ } | Tracer.Flow { track; _ } ->
           see track);
   (tbl, List.rev !order)
 
@@ -86,7 +86,20 @@ let to_chrome_json b tracer =
               Buffer.add_char b ':';
               add_jstr b v)
             args;
-          Buffer.add_string b "}}");
+          Buffer.add_string b "}}"
+      | Tracer.Flow { track; name; t; id; dir } ->
+          (* ph "s" starts the arrow, ph "f" (binding enclosing, so the
+             arrow terminates at the slice spanning [t]) ends it; the
+             shared numeric id links the two halves. *)
+          let ph, extra =
+            match dir with Tracer.Out -> ("s", "") | Tracer.In -> ("f", ",\"bp\":\"e\"")
+          in
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"ph\":\"%s\"%s,\"cat\":\"flow\",\"pid\":1,\"tid\":%d,\"ts\":%d,\"id\":%d,\"name\":"
+               ph extra (tid track) t id);
+          add_jstr b name;
+          Buffer.add_string b "}");
   Buffer.add_string b "]}\n"
 
 let to_jsonl b tracer =
@@ -118,7 +131,16 @@ let to_jsonl b tracer =
               Buffer.add_char b ':';
               add_jstr b v)
             args;
-          Buffer.add_string b "}}");
+          Buffer.add_string b "}}"
+      | Tracer.Flow { track; name; t; id; dir } ->
+          Buffer.add_string b
+            (match dir with
+            | Tracer.Out -> "{\"ev\":\"flow-out\",\"track\":"
+            | Tracer.In -> "{\"ev\":\"flow-in\",\"track\":");
+          add_jstr b track;
+          Buffer.add_string b ",\"name\":";
+          add_jstr b name;
+          Buffer.add_string b (Printf.sprintf ",\"t\":%d,\"id\":%d}" t id));
       Buffer.add_char b '\n')
 
 let track_totals tracer =
@@ -132,7 +154,7 @@ let track_totals tracer =
           | None ->
               Hashtbl.add tbl track (t1 - t0);
               order := track :: !order)
-      | Tracer.Counter _ | Tracer.Instant _ -> ());
+      | Tracer.Counter _ | Tracer.Instant _ | Tracer.Flow _ -> ());
   List.rev_map (fun track -> (track, Hashtbl.find tbl track)) !order
   |> List.rev
 
@@ -150,3 +172,98 @@ let pp_breakdown ~total fmt rows =
     rows;
   let sum = List.fold_left (fun acc (_, v) -> acc + v) 0 rows in
   Format.fprintf fmt "%-*s %14d %7.3f%%@]" width "(overhead)" sum (pct sum)
+
+(* --- fleet-telemetry text formats ----------------------------------- *)
+(* OpenMetrics and JSONL renderers for {!Timeseries} and {!Hist}. All
+   timestamps are virtual cycles (the OpenMetrics "seconds" slot carries
+   cycles — same license as the chrome export's 1 cycle = 1 "us"), so
+   both formats are byte-deterministic across hosts and --jobs. *)
+
+let add_label_set b labels =
+  match labels with
+  | [] -> ()
+  | labels ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b k;
+          Buffer.add_string b "=\"";
+          json_escape b v;
+          Buffer.add_string b "\"")
+        labels;
+      Buffer.add_char b '}'
+
+let series_openmetrics b ~prefix ?(labels = []) s =
+  let n = Timeseries.length s in
+  List.iteri
+    (fun c col ->
+      let metric = prefix ^ col in
+      Buffer.add_string b ("# TYPE " ^ metric ^ " gauge\n");
+      for i = 0 to n - 1 do
+        let t, vs = Timeseries.row s i in
+        Buffer.add_string b metric;
+        add_label_set b labels;
+        Buffer.add_string b (Printf.sprintf " %d %d\n" vs.(c) t)
+      done)
+    (Timeseries.columns s)
+
+let hist_openmetrics b ~name ?(labels = []) h =
+  Buffer.add_string b ("# TYPE " ^ name ^ " histogram\n");
+  let bucket le cum =
+    Buffer.add_string b (name ^ "_bucket");
+    add_label_set b (labels @ [ ("le", le) ]);
+    Buffer.add_string b (Printf.sprintf " %d\n" cum)
+  in
+  let cum = ref 0 in
+  Hist.iter_buckets h ~f:(fun ~lo:_ ~hi ~count ->
+      cum := !cum + count;
+      bucket (string_of_int hi) !cum);
+  bucket "+Inf" (Hist.count h);
+  Buffer.add_string b (name ^ "_sum");
+  add_label_set b labels;
+  Buffer.add_string b (Printf.sprintf " %d\n" (Hist.sum h));
+  Buffer.add_string b (name ^ "_count");
+  add_label_set b labels;
+  Buffer.add_string b (Printf.sprintf " %d\n" (Hist.count h))
+
+let add_jlabels b labels =
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char b ',';
+      add_jstr b k;
+      Buffer.add_char b ':';
+      add_jstr b v)
+    labels
+
+let series_jsonl b ~name ?(labels = []) s =
+  let cols = Timeseries.columns s in
+  Timeseries.iter s ~f:(fun ~now vs ->
+      Buffer.add_string b "{\"ev\":\"sample\",\"series\":";
+      add_jstr b name;
+      add_jlabels b labels;
+      Buffer.add_string b (Printf.sprintf ",\"t\":%d" now);
+      List.iteri
+        (fun c col ->
+          Buffer.add_char b ',';
+          add_jstr b col;
+          Buffer.add_string b (Printf.sprintf ":%d" vs.(c)))
+        cols;
+      Buffer.add_string b "}\n")
+
+let hist_jsonl b ~name ?(labels = []) h =
+  Buffer.add_string b "{\"ev\":\"hist\",\"name\":";
+  add_jstr b name;
+  add_jlabels b labels;
+  Buffer.add_string b
+    (Printf.sprintf ",\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d" (Hist.count h)
+       (Hist.sum h) (Hist.min_value h) (Hist.max_value h));
+  Buffer.add_string b
+    (Printf.sprintf ",\"p50\":%d,\"p90\":%d,\"p99\":%d" (Hist.quantile h 50.0)
+       (Hist.quantile h 90.0) (Hist.quantile h 99.0));
+  Buffer.add_string b ",\"buckets\":[";
+  let first = ref true in
+  Hist.iter_buckets h ~f:(fun ~lo ~hi ~count ->
+      if !first then first := false else Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "[%d,%d,%d]" lo hi count));
+  Buffer.add_string b "]}\n"

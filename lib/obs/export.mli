@@ -11,14 +11,17 @@
 val to_chrome_json : Buffer.t -> Tracer.t -> unit
 (** A complete [{"traceEvents": [...]}] document: one ["M"] thread-name
     metadata event per track, then ["X"] complete events for spans,
-    ["C"] counter events and ["i"] instant events in emission order.
-    All events share [pid 1]; each track gets its own [tid]. *)
+    ["C"] counter events, ["i"] instant events and ["s"]/["f"] flow
+    arrows ({!Tracer.Flow}; the two halves share their numeric [id]) in
+    emission order. All events share [pid 1]; each track gets its own
+    [tid]. *)
 
 val to_jsonl : Buffer.t -> Tracer.t -> unit
 (** One self-describing JSON object per line, in emission order:
     [{"ev":"span","track":...,"name":...,"t0":...,"t1":...,"dur":...}],
     [{"ev":"counter",...,"t":...,"value":...}],
-    [{"ev":"instant",...,"t":...,"args":{...}}]. *)
+    [{"ev":"instant",...,"t":...,"args":{...}}],
+    [{"ev":"flow-out"|"flow-in",...,"t":...,"id":...}]. *)
 
 val track_totals : Tracer.t -> (string * int) list
 (** Summed span durations per track, tracks in first-seen order.
@@ -31,3 +34,36 @@ val pp_breakdown :
 (** Figure-6-style table: one line per (component, cycles) row with its
     percentage of [total] (the run's total virtual cycles), then the
     summed overhead and percentage. *)
+
+(** {2 Fleet-telemetry text formats}
+
+    OpenMetrics and JSONL renderers for {!Timeseries} and {!Hist} —
+    the [acsi-run metrics] export surface. Timestamps are virtual
+    cycles (the OpenMetrics timestamp slot carries cycles, same license
+    as 1 cycle = 1 "us" above); [labels] render in the given order, so
+    all output is byte-deterministic. *)
+
+val series_openmetrics :
+  Buffer.t -> prefix:string -> ?labels:(string * string) list ->
+  Timeseries.t -> unit
+(** One gauge family per column, named [prefix ^ column]: a [# TYPE]
+    line, then one [metric{labels} value timestamp] sample line per
+    row. *)
+
+val hist_openmetrics :
+  Buffer.t -> name:string -> ?labels:(string * string) list -> Hist.t -> unit
+(** One OpenMetrics histogram family: cumulative [_bucket] lines with
+    [le] set to each non-empty bucket's inclusive upper edge (plus the
+    [+Inf] bucket), then [_sum] and [_count]. *)
+
+val series_jsonl :
+  Buffer.t -> name:string -> ?labels:(string * string) list ->
+  Timeseries.t -> unit
+(** One [{"ev":"sample","series":...,"t":...,<column>:<value>...}] line
+    per row. *)
+
+val hist_jsonl :
+  Buffer.t -> name:string -> ?labels:(string * string) list -> Hist.t -> unit
+(** A single [{"ev":"hist",...}] line carrying exact count/sum/min/max,
+    p50/p90/p99 bucket quantiles and the non-empty [[lo,hi,count]]
+    buckets. *)

@@ -1,3 +1,5 @@
+type flow_dir = Out | In
+
 type event =
   | Span of { track : string; name : string; t0 : int; t1 : int }
   | Counter of { track : string; name : string; t : int; value : int }
@@ -7,6 +9,7 @@ type event =
       t : int;
       args : (string * string) list;
     }
+  | Flow of { track : string; name : string; t : int; id : int; dir : flow_dir }
 
 type t = {
   enabled : bool;
@@ -71,6 +74,9 @@ let counter t ~track ~name ~t:time ~value =
 
 let instant t ~track ~name ~t:time ?(args = []) () =
   if t.enabled then add t (Instant { track; name; t = time; args })
+
+let flow t ~track ~name ~t:time ~id ~dir =
+  if t.enabled then add t (Flow { track; name; t = time; id; dir })
 
 let iter t ~f =
   for i = 0 to t.len - 1 do

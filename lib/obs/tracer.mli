@@ -29,6 +29,10 @@
     charged to any AOS component: they would otherwise break the
     reconciliation contract above. *)
 
+type flow_dir =
+  | Out  (** the originating half of a flow arrow *)
+  | In  (** the receiving half *)
+
 type event =
   | Span of { track : string; name : string; t0 : int; t1 : int }
       (** [cycles t0 <= t1]; duration [t1 - t0] on [track]. *)
@@ -39,6 +43,13 @@ type event =
       t : int;
       args : (string * string) list;
     }
+  | Flow of { track : string; name : string; t : int; id : int; dir : flow_dir }
+      (** Half of a cross-track flow arrow (Perfetto [ph:"s"]/[ph:"f"]):
+          the two halves share [id] and render as an arrow from the [Out]
+          track/time to the [In] track/time — how cross-shard steal,
+          adopt and deopt hand-offs are linked in the fleet export. The
+          conservation witness in the test suite demands exactly one
+          [Out] and one [In] per id. *)
 
 type t
 
@@ -63,6 +74,10 @@ val counter : t -> track:string -> name:string -> t:int -> value:int -> unit
 val instant :
   t -> track:string -> name:string -> t:int -> ?args:(string * string) list ->
   unit -> unit
+
+val flow :
+  t -> track:string -> name:string -> t:int -> id:int -> dir:flow_dir -> unit
+(** Record one half of a flow arrow (see {!event}). *)
 
 val length : t -> int
 (** Events currently held (<= capacity). *)

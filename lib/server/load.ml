@@ -25,7 +25,7 @@ let percentile xs p =
   if n = 0 then 0
   else begin
     let sorted = Array.copy xs in
-    Array.sort compare sorted;
+    Array.sort Int.compare sorted;
     let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
     sorted.(min (n - 1) (max 0 (rank - 1)))
   end

@@ -16,7 +16,10 @@ val open_loop_arrivals : seed:int -> period:int -> n:int -> int array
 
 val percentile : int array -> float -> int
 (** Nearest-rank percentile of an (unsorted) sample; [percentile xs 50.0]
-    is the median. 0 on an empty sample. *)
+    is the median. 0 on an empty sample. Exact (full copy + sort): this
+    is the reference spec the log-bucketed {!Acsi_obs.Hist.quantile} is
+    differentially tested against, and it keeps computing the pinned
+    summary percentiles; histograms serve the telemetry surfaces. *)
 
 val mean : int array -> float
 (** Arithmetic mean; 0 on an empty sample. *)

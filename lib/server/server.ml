@@ -47,10 +47,25 @@ type summary = {
   sv_output_checksum : int;
 }
 
+(* Fleet telemetry for one server run: a fixed-interval virtual-clock
+   time-series plus log-bucketed histograms, populated off the clock —
+   the summary above never changes whether anyone reads these. *)
+type telemetry = {
+  tl_interval : int;
+  tl_series : Acsi_obs.Timeseries.t;
+  tl_latency : Acsi_obs.Hist.t;
+  tl_compile_wait : Acsi_obs.Hist.t;
+  tl_deopt_gap : Acsi_obs.Hist.t;
+}
+
+let telemetry_columns =
+  [ "live"; "compile_queue"; "in_flight"; "served"; "samples"; "deopts" ]
+
 type result = {
   summary : summary;
   requests : request list;
   windows : window list;
+  telemetry : telemetry;
 }
 
 let mode_string = function
@@ -78,7 +93,10 @@ let insert_pending pending (arrival, client) =
   go pending
 
 let run ?(quantum = 25_000) ?(switch_cost = 200) ?(seed = 1)
-    ?(async_compile = true) ~mode ~name (cfg : Config.t) program =
+    ?(async_compile = true) ?(telemetry_interval = 1_000_000) ~mode ~name
+    (cfg : Config.t) program =
+  if telemetry_interval <= 0 then
+    invalid_arg "Server.run: telemetry_interval must be positive";
   let n_total = total_requests mode in
   if n_total <= 0 then invalid_arg "Server.run: no requests";
   let vm =
@@ -119,6 +137,32 @@ let run ?(quantum = 25_000) ?(switch_cost = 200) ?(seed = 1)
   (* Warmup-curve windows: counter snapshots at window boundaries. *)
   let win = max 1 ((n_total + 7) / 8) in
   let snaps = ref [ (0, Metrics.snapshot vm sys) ] in
+  (* Fleet telemetry: sampled at fixed virtual-clock boundaries as the
+     serve loop crosses them, recorded off the clock. *)
+  let series =
+    Acsi_obs.Timeseries.create ~interval:telemetry_interval
+      ~columns:telemetry_columns
+  in
+  let latency_hist = Acsi_obs.Hist.create () in
+  let sample_row at =
+    Acsi_obs.Timeseries.sample series ~now:at
+      [|
+        Sched.live sched;
+        System.compile_queue_depth sys;
+        System.in_flight_compiles sys;
+        !completed_count;
+        System.method_samples_taken sys;
+        Interp.deopt_guard_count vm + Interp.deopt_invalidate_count vm;
+      |]
+  in
+  let next_tick = ref telemetry_interval in
+  let sample_due () =
+    let now = Interp.cycles vm in
+    while !next_tick <= now do
+      sample_row !next_tick;
+      next_tick := !next_tick + telemetry_interval
+    done
+  in
   let admit_due () =
     let now = Interp.cycles vm in
     let rec go = function
@@ -149,6 +193,7 @@ let run ?(quantum = 25_000) ?(switch_cost = 200) ?(seed = 1)
       | None -> assert false
     in
     Hashtbl.remove by_tid tid;
+    Acsi_obs.Hist.record latency_hist (finish - arrival);
     completed_rev :=
       {
         r_id = rid;
@@ -178,6 +223,7 @@ let run ?(quantum = 25_000) ?(switch_cost = 200) ?(seed = 1)
     | Closed _ | Open _ -> ()
   in
   let rec serve () =
+    sample_due ();
     admit_due ();
     match Sched.run_slice sched with
     | Some (tid, Interp.Done) ->
@@ -194,6 +240,11 @@ let run ?(quantum = 25_000) ?(switch_cost = 200) ?(seed = 1)
             serve ())
   in
   serve ();
+  (* Close the series with an end-of-run row so cumulative columns end
+     at their final totals (skipped when the run ended exactly on a
+     boundary already sampled). *)
+  (if Interp.cycles vm >= !next_tick - telemetry_interval + 1 then
+     sample_row (Interp.cycles vm));
   let requests = List.rev !completed_rev in
   let latencies =
     Array.of_list (List.map (fun r -> r.r_latency) requests)
@@ -251,7 +302,16 @@ let run ?(quantum = 25_000) ?(switch_cost = 200) ?(seed = 1)
       sv_output_checksum = Metrics.checksum (Interp.output vm);
     }
   in
-  { summary; requests; windows }
+  let telemetry =
+    {
+      tl_interval = telemetry_interval;
+      tl_series = series;
+      tl_latency = latency_hist;
+      tl_compile_wait = System.compile_wait_hist sys;
+      tl_deopt_gap = System.deopt_gap_hist sys;
+    }
+  in
+  { summary; requests; windows; telemetry }
 
 let pp_summary fmt s =
   let f = Format.fprintf in

@@ -65,10 +65,31 @@ type summary = {
   sv_output_checksum : int;
 }
 
+(** Fleet telemetry for one run, collected off the virtual clock (the
+    summary and every pinned figure are identical whether or not anyone
+    consumes it): a fixed-interval {!Acsi_obs.Timeseries} over
+    {!telemetry_columns}, the request-latency histogram, and the
+    system's compile-queue-wait and deopt-to-recompile-gap histograms.
+    Exported by [acsi-run metrics] as OpenMetrics/JSONL text. *)
+type telemetry = {
+  tl_interval : int;
+  tl_series : Acsi_obs.Timeseries.t;
+  tl_latency : Acsi_obs.Hist.t;
+  tl_compile_wait : Acsi_obs.Hist.t;
+  tl_deopt_gap : Acsi_obs.Hist.t;
+}
+
+val telemetry_columns : string list
+(** The series schema: [live] (runnable virtual threads),
+    [compile_queue], [in_flight] (pool jobs compiling), [served]
+    (cumulative completions), [samples] (cumulative method samples),
+    [deopts] (cumulative guard + invalidation deopts). *)
+
 type result = {
   summary : summary;
   requests : request list;  (** completion order *)
   windows : window list;  (** the warmup curve, 8 windows *)
+  telemetry : telemetry;
 }
 
 val run :
@@ -76,6 +97,7 @@ val run :
   ?switch_cost:int ->
   ?seed:int ->
   ?async_compile:bool ->
+  ?telemetry_interval:int ->
   mode:mode ->
   name:string ->
   Acsi_core.Config.t ->
@@ -84,7 +106,9 @@ val run :
 (** Serve the request schedule to completion. [name] labels the summary;
     [cfg] supplies the VM cost model, sampling configuration and AOS
     configuration (its [async_compile] field is overridden by the
-    [async_compile] argument, default [true]). *)
+    [async_compile] argument, default [true]). [telemetry_interval]
+    (virtual cycles, default 1M) sets the time-series sampling period;
+    sampling reads the clock but never charges it. *)
 
 val pp_summary : Format.formatter -> summary -> unit
 

@@ -49,12 +49,83 @@ type summary = {
   sh_output_checksum : int;
 }
 
+(* --- fleet telemetry ------------------------------------------------ *)
+
+type flow_kind = Steal | Adopt | Deopt | Invalidate
+
+(* One half of a cross-shard flow arrow. The two halves of an arrow
+   share [f_id]; [f_key] is the session rid for steals and the method id
+   for adopt/deopt flows. All emission happens in the serial barrier
+   section in shard-id order, so the flow log is byte-identical across
+   [--jobs]. *)
+type flow = {
+  f_kind : flow_kind;
+  f_id : int;
+  f_dir : Acsi_obs.Tracer.flow_dir;
+  f_shard : int;
+  f_t : int;
+  f_key : int;
+}
+
+let flow_name = function
+  | Steal -> "steal"
+  | Adopt -> "adopt"
+  | Deopt -> "deopt"
+  | Invalidate -> "invalidate"
+
+type telemetry = {
+  tel_interval : int;
+  tel_series : Acsi_obs.Timeseries.t array;  (* one per shard *)
+  tel_latency : Acsi_obs.Hist.t array;  (* one per shard *)
+  tel_latency_all : Acsi_obs.Hist.t;
+  tel_steal_distance : Acsi_obs.Hist.t;
+  tel_compile_wait : Acsi_obs.Hist.t;
+  tel_deopt_gap : Acsi_obs.Hist.t;
+  tel_flows : flow list;  (* emission order; Out precedes its In *)
+}
+
+let telemetry_columns =
+  [
+    "live"; "backlog"; "compile_queue"; "in_flight"; "served"; "steals_in";
+    "steals_out"; "adopted"; "samples"; "deopts";
+  ]
+
+(* Mutable telemetry state threaded through the barrier passes. *)
+type tel_ctx = {
+  mutable tc_flows : flow list;  (* newest first *)
+  mutable tc_next_id : int;
+  tc_dist : Acsi_obs.Hist.t;
+}
+
+let tel_flow tc kind ~out_shard ~out_t ~in_shard ~in_t ~key =
+  let id = tc.tc_next_id in
+  tc.tc_next_id <- id + 1;
+  tc.tc_flows <-
+    {
+      f_kind = kind;
+      f_id = id;
+      f_dir = Acsi_obs.Tracer.In;
+      f_shard = in_shard;
+      f_t = in_t;
+      f_key = key;
+    }
+    :: {
+         f_kind = kind;
+         f_id = id;
+         f_dir = Acsi_obs.Tracer.Out;
+         f_shard = out_shard;
+         f_t = out_t;
+         f_key = key;
+       }
+    :: tc.tc_flows
+
 type result = {
   summary : summary;
   shard_stats : shard_stat list;
   publications : (Acsi_bytecode.Ids.Method_id.t * int) list;
   merged_dcg : Dcg.t;
   systems : System.t list;
+  telemetry : telemetry;
 }
 
 (* One virtual processor. [sd_home] is the shard's slice of the global
@@ -78,6 +149,7 @@ type shard = {
   mutable sd_steals_out : int;
   mutable sd_busy_last : int;
   sd_pub_seen : int array;
+  sd_latency_hist : Acsi_obs.Hist.t;
 }
 
 (* A publish-once code-cache entry. [p_native] carries the publisher's
@@ -132,6 +204,7 @@ let finish_one sd tid =
   in
   Hashtbl.remove sd.sd_by_tid tid;
   sd.sd_latencies_rev <- (finish - arrival) :: sd.sd_latencies_rev;
+  Acsi_obs.Hist.record sd.sd_latency_hist (finish - arrival);
   sd.sd_served <- sd.sd_served + 1;
   sd.sd_busy_last <- finish
 
@@ -194,7 +267,7 @@ let movable sd = due_home sd + Queue.length sd.sd_stolen
    splitmix hash of (seed, round) so tie-breaks do not systematically
    favour low shard ids. Stolen sessions keep their arrival, so
    latencies still measure from the original arrival. *)
-let steal_pass shards ~seed ~round =
+let steal_pass shards ~seed ~round ~now ~tel =
   let n = Array.length shards in
   if n > 1 then begin
     let offset =
@@ -234,6 +307,11 @@ let steal_pass shards ~seed ~round =
         Queue.add session t.sd_stolen;
         v.sd_steals_out <- v.sd_steals_out + 1;
         t.sd_steals_in <- t.sd_steals_in + 1;
+        (* Flow arrow from victim to thief at barrier time; steal
+           distance is the shard-index hop the session made. *)
+        tel_flow tel Steal ~out_shard:!victim ~out_t:now ~in_shard:!thief
+          ~in_t:now ~key:(snd session);
+        Acsi_obs.Hist.record tel.tc_dist (abs (!victim - !thief));
         backlog.(!victim) <- backlog.(!victim) - 1;
         mov.(!victim) <- mov.(!victim) - 1;
         backlog.(!thief) <- backlog.(!thief) + 1;
@@ -293,7 +371,7 @@ let collect_publications published shards pubs_rev =
 (* Adopt published code on every shard that has executed the method but
    never opt-compiled it. Runs every barrier, so a shard that first
    touches a method later still adopts at the next barrier. *)
-let adopt_published published shards =
+let adopt_published published shards ~now ~tel =
   let pubs =
     Hashtbl.fold (fun _ p acc -> p :: acc) published []
     |> List.sort (fun a b -> compare (a.p_mid :> int) (b.p_mid :> int))
@@ -309,6 +387,9 @@ let adopt_published published shards =
           then begin
             System.adopt_compiled sd.sd_sys p.p_mid p.p_code p.p_stats
               ~rule_stamp:p.p_rule_stamp ~native:p.p_native;
+            tel_flow tel Adopt ~out_shard:p.p_origin ~out_t:now
+              ~in_shard:sd.sd_id ~in_t:now
+              ~key:(p.p_mid :> int);
             sd.sd_pub_seen.((p.p_mid :> int)) <-
               (match Registry.entry (System.registry sd.sd_sys) p.p_mid with
               | Some e -> e.Registry.version
@@ -356,6 +437,9 @@ let run ?(quantum = 25_000) ?(switch_cost = 200) ?(seed = 1) ?(jobs = 1)
       }
     in
     let sys = System.create aos vm in
+    (* Telemetry event log on: drained every barrier (below), so it
+       stays bounded by one round's deopt activity. *)
+    System.set_telemetry_events sys true;
     let sched =
       (* Sharded runs outlive the single-run default cycle budget by
          design (millions of sessions), so the per-resume limit is
@@ -383,11 +467,63 @@ let run ?(quantum = 25_000) ?(switch_cost = 200) ?(seed = 1) ?(jobs = 1)
       sd_steals_out = 0;
       sd_busy_last = 0;
       sd_pub_seen = Array.make n_methods 0;
+      sd_latency_hist = Acsi_obs.Hist.create ();
     }
   in
   let shards = Array.init n_shards mk_shard in
   let published : (int, publication) Hashtbl.t = Hashtbl.create 64 in
   let pubs_rev = ref [] in
+  let tel =
+    { tc_flows = []; tc_next_id = 1; tc_dist = Acsi_obs.Hist.create () }
+  in
+  let series =
+    Array.init n_shards (fun _ ->
+        Acsi_obs.Timeseries.create ~interval:barrier
+          ~columns:telemetry_columns)
+  in
+  (* Open deopt windows per (shard, mid): a flow arrow is emitted only
+     when the matching reinstall closes the window, so every Out half
+     has exactly one In half by construction. *)
+  let open_deopts : (int * int, int * bool) Hashtbl.t = Hashtbl.create 16 in
+  let drain_deopt_flows () =
+    Array.iter
+      (fun sd ->
+        List.iter
+          (fun (ev : System.tel_event) ->
+            match ev with
+            | System.Tel_deopt { mid; at; invalidated } ->
+                Hashtbl.replace open_deopts (sd.sd_id, mid) (at, invalidated)
+            | System.Tel_reinstall { mid; at; gap = _ } -> (
+                match Hashtbl.find_opt open_deopts (sd.sd_id, mid) with
+                | Some (t0, invalidated) ->
+                    Hashtbl.remove open_deopts (sd.sd_id, mid);
+                    tel_flow tel
+                      (if invalidated then Invalidate else Deopt)
+                      ~out_shard:sd.sd_id ~out_t:t0 ~in_shard:sd.sd_id
+                      ~in_t:at ~key:mid
+                | None -> ()))
+          (System.take_telemetry_events sd.sd_sys))
+      shards
+  in
+  let sample_series limit =
+    Array.iteri
+      (fun i sd ->
+        Acsi_obs.Timeseries.sample series.(i) ~now:limit
+          [|
+            Sched.live sd.sd_sched;
+            movable sd;
+            System.compile_queue_depth sd.sd_sys;
+            System.in_flight_compiles sd.sd_sys;
+            sd.sd_served;
+            sd.sd_steals_in;
+            sd.sd_steals_out;
+            System.adopted_installs sd.sd_sys;
+            System.method_samples_taken sd.sd_sys;
+            Interp.deopt_guard_count sd.sd_vm
+            + Interp.deopt_invalidate_count sd.sd_vm;
+          |])
+      shards
+  in
   let total_served () =
     Array.fold_left (fun acc sd -> acc + sd.sd_served) 0 shards
   in
@@ -400,13 +536,17 @@ let run ?(quantum = 25_000) ?(switch_cost = 200) ?(seed = 1) ?(jobs = 1)
            run_round max_live limit sd;
            ())
          (Array.to_list shards));
-    (* Serial barrier, shard-id order: publications, adoptions, steals.
+    (* Serial barrier, shard-id order: publications, adoptions, steals,
+       then telemetry — deopt flow arrows drained from the shard
+       systems and one time-series row per shard at the barrier stamp.
        (The global DCG view is rebuilt once at the end — merging is
        associative over barriers, and organizers read shard-local DCGs
        during rounds.) *)
     collect_publications published shards pubs_rev;
-    adopt_published published shards;
-    steal_pass shards ~seed ~round:!round;
+    adopt_published published shards ~now:limit ~tel;
+    steal_pass shards ~seed ~round:!round ~now:limit ~tel;
+    drain_deopt_flows ();
+    sample_series limit;
     incr round
   done;
   let merged_dcg = Dcg.create () in
@@ -494,12 +634,35 @@ let run ?(quantum = 25_000) ?(switch_cost = 200) ?(seed = 1) ?(jobs = 1)
       sh_output_checksum = checksum;
     }
   in
+  let telemetry =
+    let latency_all = Acsi_obs.Hist.create () in
+    let compile_wait = Acsi_obs.Hist.create () in
+    let deopt_gap = Acsi_obs.Hist.create () in
+    Array.iter
+      (fun sd ->
+        Acsi_obs.Hist.merge ~into:latency_all sd.sd_latency_hist;
+        Acsi_obs.Hist.merge ~into:compile_wait
+          (System.compile_wait_hist sd.sd_sys);
+        Acsi_obs.Hist.merge ~into:deopt_gap (System.deopt_gap_hist sd.sd_sys))
+      shards;
+    {
+      tel_interval = barrier;
+      tel_series = series;
+      tel_latency = Array.map (fun sd -> sd.sd_latency_hist) shards;
+      tel_latency_all = latency_all;
+      tel_steal_distance = tel.tc_dist;
+      tel_compile_wait = compile_wait;
+      tel_deopt_gap = deopt_gap;
+      tel_flows = List.rev tel.tc_flows;
+    }
+  in
   {
     summary;
     shard_stats;
     publications;
     merged_dcg;
     systems = Array.to_list (Array.map (fun sd -> sd.sd_sys) shards);
+    telemetry;
   }
 
 let pp_summary fmt s =
@@ -535,3 +698,75 @@ let pp_shards fmt stats =
         h.h_dcg_size)
     stats;
   Format.fprintf fmt "@]"
+
+(* --- flow witnesses and export -------------------------------------- *)
+
+let flow_pairs tel kind =
+  List.fold_left
+    (fun acc f ->
+      if f.f_kind = kind && f.f_dir = Acsi_obs.Tracer.Out then acc + 1
+      else acc)
+    0 tel.tel_flows
+
+(* Conservation witness: every flow id has exactly one Out and one In of
+   the same kind; steal/adopt arrows cross shards, deopt arrows stay on
+   their shard; the In never precedes its Out on the virtual clock. *)
+let flows_conserved tel =
+  let halves : (int, flow list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt halves f.f_id) in
+      Hashtbl.replace halves f.f_id (f :: prev))
+    tel.tel_flows;
+  Hashtbl.fold
+    (fun _ fs ok ->
+      ok
+      &&
+      match fs with
+      | [ a; b ] ->
+          let out, inn =
+            if a.f_dir = Acsi_obs.Tracer.Out then (a, b) else (b, a)
+          in
+          out.f_dir = Acsi_obs.Tracer.Out
+          && inn.f_dir = Acsi_obs.Tracer.In
+          && out.f_kind = inn.f_kind
+          && out.f_key = inn.f_key
+          && out.f_t <= inn.f_t
+          && (match out.f_kind with
+             | Steal | Adopt -> out.f_shard <> inn.f_shard
+             | Deopt | Invalidate -> out.f_shard = inn.f_shard)
+      | _ -> false)
+    halves true
+
+let shard_track i = Printf.sprintf "shard%d" i
+
+(* Materialize the fleet trace: per-shard counter rows from the
+   time-series plus every flow arrow (anchored on a 1-cycle span, which
+   Perfetto uses to attach the arrow ends). Capacity is computed exactly,
+   so nothing is ever dropped. *)
+let telemetry_tracer tel =
+  let rows =
+    Array.fold_left
+      (fun acc s -> acc + Acsi_obs.Timeseries.length s)
+      0 tel.tel_series
+  in
+  let capacity =
+    max 16 ((2 * rows) + (2 * List.length tel.tel_flows))
+  in
+  let tr = Acsi_obs.Tracer.create ~capacity () in
+  Array.iteri
+    (fun i s ->
+      let track = shard_track i in
+      Acsi_obs.Timeseries.iter s ~f:(fun ~now vs ->
+          Acsi_obs.Tracer.counter tr ~track ~name:"live" ~t:now ~value:vs.(0);
+          Acsi_obs.Tracer.counter tr ~track ~name:"backlog" ~t:now
+            ~value:vs.(1)))
+    tel.tel_series;
+  List.iter
+    (fun f ->
+      let track = shard_track f.f_shard in
+      let name = flow_name f.f_kind in
+      Acsi_obs.Tracer.span tr ~track ~name ~t0:f.f_t ~t1:(f.f_t + 1);
+      Acsi_obs.Tracer.flow tr ~track ~name ~t:f.f_t ~id:f.f_id ~dir:f.f_dir)
+    tel.tel_flows;
+  tr

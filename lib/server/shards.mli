@@ -76,6 +76,74 @@ type summary = {
   sh_output_checksum : int;
 }
 
+(** {2 Fleet telemetry}
+
+    Collected off the virtual clock during the run and finalized after
+    the last barrier; the summary above and all pinned goldens are
+    byte-identical whether or not anyone consumes it. *)
+
+type flow_kind =
+  | Steal  (** a due session moved victim shard -> thief shard *)
+  | Adopt  (** published code adopted: publisher -> adopter *)
+  | Deopt  (** guard-storm deopt -> recompiled install, same shard *)
+  | Invalidate  (** CHA-invalidation deopt -> reinstall, same shard *)
+
+(** One half of a flow arrow linking shard tracks in the Perfetto
+    export. The two halves of an arrow share [f_id] (an [Out] half at
+    the origin and an [In] half at the destination); [f_key] is the
+    session rid for steals and the method id otherwise. Flows are
+    emitted only in the serial barrier section, in shard-id order, so
+    the log is byte-identical across [--jobs]. *)
+type flow = {
+  f_kind : flow_kind;
+  f_id : int;
+  f_dir : Acsi_obs.Tracer.flow_dir;
+  f_shard : int;
+  f_t : int;  (** virtual cycles: barrier stamp for steal/adopt, the
+                  deopt/reinstall clock for deopt arrows *)
+  f_key : int;
+}
+
+val flow_name : flow_kind -> string
+
+type telemetry = {
+  tel_interval : int;  (** = the run's barrier length *)
+  tel_series : Acsi_obs.Timeseries.t array;
+      (** one per shard, one row per round over {!telemetry_columns} *)
+  tel_latency : Acsi_obs.Hist.t array;  (** per-shard session latency *)
+  tel_latency_all : Acsi_obs.Hist.t;  (** merged across shards *)
+  tel_steal_distance : Acsi_obs.Hist.t;
+      (** |victim - thief| per stolen session *)
+  tel_compile_wait : Acsi_obs.Hist.t;
+      (** merged {!System.compile_wait_hist} *)
+  tel_deopt_gap : Acsi_obs.Hist.t;  (** merged {!System.deopt_gap_hist} *)
+  tel_flows : flow list;
+      (** emission order; each arrow's [Out] half precedes its [In] *)
+}
+
+val telemetry_columns : string list
+(** Per-shard series schema: [live], [backlog] (due movable sessions),
+    [compile_queue], [in_flight], [served], [steals_in], [steals_out],
+    [adopted], [samples], [deopts] — gauges and cumulative counters
+    sampled at every round barrier. *)
+
+val flow_pairs : telemetry -> flow_kind -> int
+(** Number of complete arrows of a kind (= its [Out] halves). With the
+    conservation witness below, [flow_pairs t Steal = sh_steals] and
+    [flow_pairs t Adopt = sh_adopted]. *)
+
+val flows_conserved : telemetry -> bool
+(** The conservation witness: every flow id has exactly one [Out] and
+    one [In] half of the same kind and key, the [In] never precedes its
+    [Out], steal/adopt arrows cross shards and deopt arrows stay on
+    their shard. *)
+
+val telemetry_tracer : telemetry -> Acsi_obs.Tracer.t
+(** Materialize the fleet trace for {!Acsi_obs.Export.to_chrome_json}:
+    per-shard [live]/[backlog] counter tracks from the time-series plus
+    every flow arrow (anchored on 1-cycle spans). Capacity is computed
+    exactly; the tracer never drops. *)
+
 type result = {
   summary : summary;
   shard_stats : shard_stat list;
@@ -84,6 +152,7 @@ type result = {
   merged_dcg : Acsi_profile.Dcg.t;
       (** the organizer's global view after the final barrier *)
   systems : System.t list;  (** per-shard AOS handles, for inspection *)
+  telemetry : telemetry;
 }
 
 val run :

@@ -353,6 +353,177 @@ let test_export_determinism_across_domains () =
         serial t)
     parallel
 
+(* --- log-bucketed histograms (fleet telemetry, generation two) --- *)
+
+module Hist = Acsi_obs.Hist
+module Timeseries = Acsi_obs.Timeseries
+module Load = Acsi_server.Load
+
+let test_hist_basics () =
+  let h = Hist.create () in
+  check_int "empty quantile" 0 (Hist.quantile h 99.0);
+  List.iter (Hist.record h) [ 5; 5; 7; 100; 100_000 ];
+  check_int "exact count" 5 (Hist.count h);
+  check_int "exact sum" (5 + 5 + 7 + 100 + 100_000) (Hist.sum h);
+  check_int "exact min" 5 (Hist.min_value h);
+  check_int "exact max" 100_000 (Hist.max_value h);
+  (* Values below 2^sub_bits land in exact unit buckets. *)
+  check_int "small values are exact" 5 (Hist.quantile h 20.0);
+  check_int "p100 is the exact max" 100_000 (Hist.quantile h 100.0);
+  Hist.record h (-3);
+  check_int "negatives clamp to 0" 0 (Hist.min_value h);
+  (* iter_buckets visits ascending, non-empty only, covering the count. *)
+  let total = ref 0 and last_hi = ref (-1) in
+  Hist.iter_buckets h ~f:(fun ~lo ~hi ~count ->
+      check_bool "ascending buckets" true (lo > !last_hi);
+      check_bool "lo <= hi" true (lo <= hi);
+      last_hi := hi;
+      total := !total + count);
+  check_int "buckets cover every recording" (Hist.count h) !total
+
+let test_hist_merge_equals_replay () =
+  let xs = List.init 500 (fun i -> (i * 7919) mod 300_000) in
+  let one = Hist.create () in
+  List.iter (Hist.record one) xs;
+  let a = Hist.create () and b = Hist.create () in
+  List.iteri
+    (fun i v -> Hist.record (if i mod 2 = 0 then a else b) v)
+    xs;
+  Hist.merge ~into:a b;
+  check_int "merged count" (Hist.count one) (Hist.count a);
+  check_int "merged sum" (Hist.sum one) (Hist.sum a);
+  check_int "merged max" (Hist.max_value one) (Hist.max_value a);
+  check_int "merged checksum" (Hist.checksum one) (Hist.checksum a);
+  List.iter
+    (fun p ->
+      check_int
+        (Printf.sprintf "merged p%.0f" p)
+        (Hist.quantile one p) (Hist.quantile a p))
+    [ 50.0; 90.0; 99.0 ]
+
+(* The accuracy contract, pinned differentially: for any multiset and
+   percentile, the histogram quantile brackets the exact nearest-rank
+   reference spec Load.percentile within one bucket's relative error. *)
+let prop_hist_quantile_brackets_percentile =
+  QCheck.Test.make
+    ~name:"hist quantiles bracket Load.percentile within a bucket" ~count:300
+    QCheck.(
+      pair (int_range 1 8)
+        (list_of_size Gen.(int_range 1 300) (int_range 0 5_000_000)))
+    (fun (sub_bits, values) ->
+      let h = Hist.create ~sub_bits () in
+      List.iter (Hist.record h) values;
+      let arr = Array.of_list values in
+      List.for_all
+        (fun p ->
+          let exact = Load.percentile arr p in
+          let q = Hist.quantile h p in
+          exact <= q && q <= exact + (exact asr sub_bits) + 1
+          ||
+          QCheck.Test.fail_reportf
+            "p%.0f of %d values: exact %d, hist %d outside [%d, %d] \
+             (sub_bits %d)"
+            p (List.length values) exact q exact
+            (exact + (exact asr sub_bits) + 1)
+            sub_bits)
+        [ 1.0; 25.0; 50.0; 90.0; 95.0; 99.0; 100.0 ])
+
+(* Merge order is immaterial: a histogram is a pure function of the
+   recorded multiset. *)
+let prop_hist_merge_commutes =
+  QCheck.Test.make ~name:"hist merge is order-insensitive" ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 0 100) (int_range 0 1_000_000))
+        (list_of_size Gen.(int_range 0 100) (int_range 0 1_000_000)))
+    (fun (xs, ys) ->
+      let mk vs =
+        let h = Hist.create () in
+        List.iter (Hist.record h) vs;
+        h
+      in
+      let ab = mk xs and ba = mk ys in
+      Hist.merge ~into:ab (mk ys);
+      Hist.merge ~into:ba (mk xs);
+      Hist.checksum ab = Hist.checksum ba
+      && Hist.count ab = Hist.count ba
+      && Hist.sum ab = Hist.sum ba
+      && Hist.quantile ab 99.0 = Hist.quantile ba 99.0)
+
+(* --- virtual-clock time-series --- *)
+
+let test_timeseries_basics () =
+  let s = Timeseries.create ~interval:10 ~columns:[ "gauge"; "total" ] in
+  check_int "empty last" 0 (Timeseries.last s "total");
+  for i = 1 to 40 do
+    Timeseries.sample s ~now:(i * 10) [| i mod 4; i |]
+  done;
+  check_int "rows" 40 (Timeseries.length s);
+  check_int "last of cumulative column" 40 (Timeseries.last s "total");
+  let t, vs = Timeseries.row s 0 in
+  check_int "first row time" 10 t;
+  check_int "first row gauge" 1 vs.(0);
+  check_int "column extraction" 40
+    (Array.length (Timeseries.column s "gauge"));
+  (* The checksum is order-sensitive: swapping two samples changes it. *)
+  let s2 = Timeseries.create ~interval:10 ~columns:[ "gauge"; "total" ] in
+  for i = 40 downto 1 do
+    Timeseries.sample s2 ~now:(i * 10) [| i mod 4; i |]
+  done;
+  check_bool "checksum sees row order" true
+    (Timeseries.checksum s <> Timeseries.checksum s2);
+  Alcotest.check_raises "arity is enforced"
+    (Invalid_argument "Timeseries.sample: wrong arity") (fun () ->
+      Timeseries.sample s ~now:500 [| 1 |])
+
+let test_sparkline () =
+  Alcotest.(check string)
+    "max maps to the full block, zero to the baseline"
+    "\xe2\x96\x81\xe2\x96\x84\xe2\x96\x88"
+    (Timeseries.spark [| 0; 7; 14 |]);
+  Alcotest.(check string)
+    "all-zero input flatlines" "\xe2\x96\x81\xe2\x96\x81"
+    (Timeseries.spark [| 0; 0 |]);
+  Alcotest.(check string) "empty input renders empty" ""
+    (Timeseries.spark [||])
+
+(* --- telemetry text renderers --- *)
+
+let test_telemetry_renderers () =
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i =
+      i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1))
+    in
+    go 0
+  in
+  let s = Timeseries.create ~interval:5 ~columns:[ "depth" ] in
+  Timeseries.sample s ~now:5 [| 3 |];
+  Timeseries.sample s ~now:10 [| 4 |];
+  let h = Hist.create () in
+  List.iter (Hist.record h) [ 1; 2; 2; 900 ];
+  let buf = Buffer.create 256 in
+  Export.series_openmetrics buf ~prefix:"acsi_"
+    ~labels:[ ("shard", "0") ] s;
+  Export.hist_openmetrics buf ~name:"acsi_lat" ~labels:[ ("shard", "0") ] h;
+  let om = Buffer.contents buf in
+  check_bool "openmetrics TYPE line" true
+    (contains om "# TYPE acsi_depth gauge");
+  check_bool "openmetrics labeled sample" true
+    (contains om "acsi_depth{shard=\"0\"} 3 5\n");
+  check_bool "openmetrics +Inf bucket carries the count" true
+    (contains om "acsi_lat_bucket{shard=\"0\",le=\"+Inf\"} 4");
+  check_bool "openmetrics exact sum" true
+    (contains om "acsi_lat_sum{shard=\"0\"} 905");
+  Buffer.clear buf;
+  Export.series_jsonl buf ~name:"shard" ~labels:[ ("shard", "0") ] s;
+  Export.hist_jsonl buf ~name:"lat" h;
+  let jl = Buffer.contents buf in
+  check_bool "jsonl sample line" true
+    (contains jl "{\"ev\":\"sample\",\"series\":\"shard\",\"shard\":\"0\",\"t\":5,\"depth\":3}");
+  check_bool "jsonl hist line carries count and sum" true
+    (contains jl "\"count\":4,\"sum\":905")
+
 let suite =
   [
     Alcotest.test_case "ring capacity and drops" `Quick test_ring_and_drops;
@@ -374,4 +545,13 @@ let suite =
     Alcotest.test_case "export shapes" `Quick test_export_shapes;
     Alcotest.test_case "export determinism across domains" `Quick
       test_export_determinism_across_domains;
+    Alcotest.test_case "hist basics" `Quick test_hist_basics;
+    Alcotest.test_case "hist merge equals replay" `Quick
+      test_hist_merge_equals_replay;
+    QCheck_alcotest.to_alcotest prop_hist_quantile_brackets_percentile;
+    QCheck_alcotest.to_alcotest prop_hist_merge_commutes;
+    Alcotest.test_case "timeseries basics" `Quick test_timeseries_basics;
+    Alcotest.test_case "sparkline rendering" `Quick test_sparkline;
+    Alcotest.test_case "telemetry text renderers" `Quick
+      test_telemetry_renderers;
   ]

@@ -231,6 +231,143 @@ let test_pool_policies () =
        (fun p -> System.queue_policy_of_string (System.queue_policy_name p) = Some p)
        [ System.Fifo; System.Hot_first; System.Deadline ])
 
+(* --- fleet telemetry: flow conservation and aggregate identities --- *)
+
+(* The conservation witness, plus the cross-checks that tie the flow log
+   and the time-series back to the counters the summary already pins:
+   telemetry is a second bookkeeping of the same events, so every
+   aggregate must agree exactly. *)
+let test_flow_conservation_and_aggregates () =
+  let r = run ~shards:4 ~sessions:4000 () in
+  let s = r.Shards.summary in
+  let tel = r.Shards.telemetry in
+  Alcotest.(check bool) "flows conserved" true (Shards.flows_conserved tel);
+  Alcotest.(check int) "steal arrows = summary steals" s.Shards.sh_steals
+    (Shards.flow_pairs tel Shards.Steal);
+  Alcotest.(check int) "adopt arrows = summary adoptions" s.Shards.sh_adopted
+    (Shards.flow_pairs tel Shards.Adopt);
+  (* Per-shard flow halves agree with each shard's steal counters. *)
+  let flow_count dir shard =
+    List.length
+      (List.filter
+         (fun (f : Shards.flow) ->
+           f.Shards.f_kind = Shards.Steal
+           && f.Shards.f_dir = dir && f.Shards.f_shard = shard)
+         tel.Shards.tel_flows)
+  in
+  List.iter
+    (fun (h : Shards.shard_stat) ->
+      Alcotest.(check int)
+        (Printf.sprintf "shard %d steal-out flows" h.Shards.h_id)
+        h.Shards.h_steals_out
+        (flow_count Acsi_obs.Tracer.Out h.Shards.h_id);
+      Alcotest.(check int)
+        (Printf.sprintf "shard %d steal-in flows" h.Shards.h_id)
+        h.Shards.h_steals_in
+        (flow_count Acsi_obs.Tracer.In h.Shards.h_id))
+    r.Shards.shard_stats;
+  (* The time-series' final cumulative rows are the same counters. *)
+  List.iter
+    (fun (h : Shards.shard_stat) ->
+      let series = tel.Shards.tel_series.(h.Shards.h_id) in
+      Alcotest.(check int)
+        (Printf.sprintf "shard %d series served" h.Shards.h_id)
+        h.Shards.h_served
+        (Acsi_obs.Timeseries.last series "served");
+      Alcotest.(check int)
+        (Printf.sprintf "shard %d series steals_in" h.Shards.h_id)
+        h.Shards.h_steals_in
+        (Acsi_obs.Timeseries.last series "steals_in");
+      Alcotest.(check int)
+        (Printf.sprintf "shard %d series steals_out" h.Shards.h_id)
+        h.Shards.h_steals_out
+        (Acsi_obs.Timeseries.last series "steals_out");
+      Alcotest.(check int)
+        (Printf.sprintf "shard %d series adopted" h.Shards.h_id)
+        h.Shards.h_adopted
+        (Acsi_obs.Timeseries.last series "adopted"))
+    r.Shards.shard_stats;
+  (* The latency histograms re-aggregate the summary's percentiles'
+     source data: exact count matches, merged = per-shard sum. *)
+  Alcotest.(check int) "latency histogram counts every session"
+    s.Shards.sh_sessions
+    (Acsi_obs.Hist.count tel.Shards.tel_latency_all);
+  Alcotest.(check int) "merged latency = sum of per-shard counts"
+    (Acsi_obs.Hist.count tel.Shards.tel_latency_all)
+    (Array.fold_left
+       (fun acc h -> acc + Acsi_obs.Hist.count h)
+       0 tel.Shards.tel_latency);
+  Alcotest.(check int) "steal-distance histogram counts every steal"
+    s.Shards.sh_steals
+    (Acsi_obs.Hist.count tel.Shards.tel_steal_distance)
+
+(* Telemetry rides the virtual clock only, and flows are emitted in the
+   serial barrier section: everything it contains is byte-identical
+   across the host-parallelism axis, like the summary itself. *)
+let test_telemetry_jobs_determinism () =
+  let a = run ~shards:3 ~jobs:1 () in
+  let b = run ~shards:3 ~jobs:4 () in
+  let ta = a.Shards.telemetry and tb = b.Shards.telemetry in
+  Alcotest.(check bool) "flow logs identical" true
+    (ta.Shards.tel_flows = tb.Shards.tel_flows);
+  Array.iteri
+    (fun i sa ->
+      Alcotest.(check int)
+        (Printf.sprintf "shard %d series checksum" i)
+        (Acsi_obs.Timeseries.checksum sa)
+        (Acsi_obs.Timeseries.checksum tb.Shards.tel_series.(i)))
+    ta.Shards.tel_series;
+  List.iter
+    (fun (label, ha, hb) ->
+      Alcotest.(check int)
+        (label ^ " histogram checksum")
+        (Acsi_obs.Hist.checksum ha) (Acsi_obs.Hist.checksum hb))
+    [
+      ("latency", ta.Shards.tel_latency_all, tb.Shards.tel_latency_all);
+      ("steal-distance", ta.Shards.tel_steal_distance,
+       tb.Shards.tel_steal_distance);
+      ("compile-wait", ta.Shards.tel_compile_wait, tb.Shards.tel_compile_wait);
+      ("deopt-gap", ta.Shards.tel_deopt_gap, tb.Shards.tel_deopt_gap);
+    ]
+
+(* The Perfetto materialization: every flow becomes an "s"/"f" arrow
+   pair sharing its id, the tracer never drops, and the chrome document
+   carries both halves. *)
+let test_telemetry_tracer_export () =
+  let r = run ~shards:2 ~sessions:4000 () in
+  let tel = r.Shards.telemetry in
+  Alcotest.(check bool) "some steals to trace" true
+    (Shards.flow_pairs tel Shards.Steal > 0);
+  let tracer = Shards.telemetry_tracer tel in
+  Alcotest.(check int) "exact-capacity tracer never drops" 0
+    (Acsi_obs.Tracer.dropped tracer);
+  let flows_out = ref 0 and flows_in = ref 0 in
+  Acsi_obs.Tracer.iter tracer ~f:(fun e ->
+      match e with
+      | Acsi_obs.Tracer.Flow { dir = Acsi_obs.Tracer.Out; _ } ->
+          incr flows_out
+      | Acsi_obs.Tracer.Flow { dir = Acsi_obs.Tracer.In; _ } -> incr flows_in
+      | _ -> ());
+  Alcotest.(check int) "every flow half materialized"
+    (List.length tel.Shards.tel_flows)
+    (!flows_out + !flows_in);
+  Alcotest.(check int) "out halves = in halves" !flows_out !flows_in;
+  let buf = Buffer.create 4096 in
+  Acsi_obs.Export.to_chrome_json buf tracer;
+  let chrome = Buffer.contents buf in
+  let contains sub =
+    let n = String.length chrome and m = String.length sub in
+    let rec go i =
+      i + m <= n && (String.equal (String.sub chrome i m) sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "chrome export has flow-start arrows" true
+    (contains "\"ph\":\"s\",\"cat\":\"flow\"");
+  Alcotest.(check bool) "chrome export has binding flow-finish arrows" true
+    (contains "\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"flow\"");
+  Alcotest.(check bool) "steal arrows are named" true (contains "\"steal\"")
+
 let suite =
   [
     Alcotest.test_case "jobs x shards determinism matrix" `Slow
@@ -247,4 +384,10 @@ let suite =
       test_merged_dcg_preserves_weight;
     Alcotest.test_case "Dcg.merge unit semantics" `Quick test_dcg_merge_unit;
     Alcotest.test_case "compiler pool queue policies" `Quick test_pool_policies;
+    Alcotest.test_case "flow conservation and telemetry aggregates" `Quick
+      test_flow_conservation_and_aggregates;
+    Alcotest.test_case "telemetry jobs determinism" `Slow
+      test_telemetry_jobs_determinism;
+    Alcotest.test_case "telemetry tracer chrome export" `Quick
+      test_telemetry_tracer_export;
   ]
